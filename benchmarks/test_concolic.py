@@ -1,0 +1,49 @@
+"""Extension benchmark: concolic vs whole-program symbolic testing (§6).
+
+The paper's future-work list includes concolic execution; this benchmark
+runs the DART-style driver (`repro.engine.concolic`) against the
+whole-path symbolic tester on the same bug-finding task and reports both.
+Shape: both find the bug; concolic pays per-iteration concrete runs,
+symbolic pays path enumeration.
+"""
+
+import pytest
+
+from repro.engine.concolic import ConcolicTester
+from repro.targets.while_lang import WhileLanguage
+from repro.testing.harness import SymbolicTester
+
+LANG = WhileLanguage()
+
+PROGRAM = """
+proc main() {
+  x := symb_int();
+  y := symb_int();
+  if (x = 2 * y) {
+    if (10 < x - y) {
+      assert(false);
+    }
+  }
+  return 0;
+}
+"""
+
+
+def _run_symbolic():
+    result = SymbolicTester(LANG).run_source(PROGRAM, "main")
+    assert result.verdict == "bug"
+    return result
+
+
+def _run_concolic():
+    prog = LANG.compile(PROGRAM)
+    report = ConcolicTester(LANG).run(prog, "main")
+    assert report.found_bug
+    return report
+
+
+@pytest.mark.parametrize(
+    "runner", [_run_symbolic, _run_concolic], ids=["symbolic", "concolic"]
+)
+def test_bug_finding_modes(runner, benchmark):
+    benchmark(runner)

@@ -1,0 +1,62 @@
+"""Ablation: path/step budgets and branch dropping (paper §3.1).
+
+Relaxed trace composition "gives us permission to arbitrarily drop paths
+in the analysis by need, a technique commonly used for achieving better
+scalability of symbolic execution tools."  This ablation runs a
+combinatorially-branching symbolic test under shrinking step budgets and
+reports paths finished vs dropped — the scalability/coverage trade the
+paper's soundness story licenses.
+"""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.targets.while_lang import WhileLanguage
+from repro.testing.harness import SymbolicTester
+
+LANG = WhileLanguage()
+
+#: 2^6 = 64 paths at full exploration; taken branches are *longer* than
+#: skipped ones, so path lengths vary and budgets cut a gradient.
+PROGRAM = """
+proc main() {
+  count := 0;
+  b1 := symb_bool(); if (b1) { count := count + 1; count := count * 1; count := count + 0; }
+  b2 := symb_bool(); if (b2) { count := count + 1; count := count * 1; count := count + 0; }
+  b3 := symb_bool(); if (b3) { count := count + 1; count := count * 1; count := count + 0; }
+  b4 := symb_bool(); if (b4) { count := count + 1; count := count * 1; count := count + 0; }
+  b5 := symb_bool(); if (b5) { count := count + 1; count := count * 1; count := count + 0; }
+  b6 := symb_bool(); if (b6) { count := count + 1; count := count * 1; count := count + 0; }
+  assert(count <= 6);
+  return count;
+}
+"""
+
+BUDGETS = [10_000, 40, 34, 28]
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_budgeted_exploration(budget, benchmark):
+    config = EngineConfig(max_steps_per_path=budget)
+    tester = SymbolicTester(LANG, config=config)
+
+    result = benchmark(tester.run_source, PROGRAM, "main")
+    # Dropping paths never fabricates bugs (soundness of dropping).
+    assert result.passed
+
+
+def test_budget_coverage_profile():
+    print()
+    print(f"{'budget':>8s} {'paths':>6s} {'dropped':>8s} {'commands':>9s}")
+    full_paths = None
+    for budget in BUDGETS:
+        config = EngineConfig(max_steps_per_path=budget)
+        result = SymbolicTester(LANG, config=config).run_source(PROGRAM, "main")
+        if full_paths is None:
+            full_paths = result.paths
+        print(
+            f"{budget:8d} {result.paths:6d} {result.stats.paths_dropped:8d} "
+            f"{result.stats.commands_executed:9d}"
+        )
+        assert result.paths <= full_paths
+    assert full_paths == 64

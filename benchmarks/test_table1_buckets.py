@@ -1,0 +1,59 @@
+"""E1 — Table 1: symbolic testing of the Buckets-style library (paper §4.1).
+
+Regenerates both timing columns of Table 1: ``Time (J2)`` is the same
+engine under the JaVerT 2.0-like baseline configuration (no simplifier
+memoisation, no solver cache) and ``Time (GJS)`` is the optimised Gillian
+configuration.  The shape to reproduce: identical results under both
+configurations, per-row #T matching the paper, and Gillian faster than
+the baseline (the paper reports roughly 2×).
+
+Also reproduces the §4.1 finding that exactly the two known library bugs
+are detected ("our testing has not found any additional bugs in
+Buckets.js, but was able to detect the two bugs found in our previous
+work").
+"""
+
+import pytest
+
+from benchmarks.tables import run_suite, run_table1
+from repro.engine.config import gillian, javert2_baseline
+from repro.targets.js_like import MiniJSLanguage
+from repro.targets.js_like.buckets import suites
+
+LANGUAGE = MiniJSLanguage()
+EXPECTED_T = suites.expected_test_counts()
+
+
+@pytest.mark.parametrize("name", suites.suite_names())
+def test_row(name, benchmark):
+    source, tests = suites.suite(name)
+    row = benchmark(run_suite, LANGUAGE, source, tests, name, gillian())
+    # #T matches the paper's Table 1 row.
+    assert row.tests == EXPECTED_T[name]
+    # Only the two known bugs fail, and only in their suites.
+    assert set(row.failures) <= suites.KNOWN_BUG_TESTS
+    # Work was actually done.
+    assert row.commands > 0
+
+
+def test_table1_totals_and_known_bugs():
+    report = run_table1(gillian())
+    total = report.total
+    assert total.tests == 74  # Table 1: 74 symbolic tests
+    assert set(total.failures) == suites.KNOWN_BUG_TESTS
+    print()
+    print(report.format("Table 1 — Buckets-style library (Gillian-JS)", "Time(GJS)"))
+
+
+def test_table1_baseline_agrees_on_results():
+    """The J2 baseline must reach identical verdicts (same analysis,
+    different speed)."""
+    optimised = run_table1(gillian())
+    baseline = run_table1(javert2_baseline())
+    for fast, slow in zip(optimised.rows, baseline.rows):
+        assert fast.name == slow.name
+        assert fast.tests == slow.tests
+        assert fast.commands == slow.commands  # identical exploration
+        assert fast.failures == slow.failures
+    print()
+    print(baseline.format("Table 1 — baseline column", "Time(J2)"))

@@ -1,0 +1,62 @@
+"""Gillian-JS in action: hunting the known Buckets.js bugs (paper §4.1).
+
+Runs the Buckets-style MiniJS library's symbolic suites and reports the
+two known bugs the paper's evaluation re-detects, with their
+counter-models.  Also demonstrates a dynamic-property-key exploit search:
+the engine finds the *string* key that collides with an internal
+property.
+
+Run:  python examples/bug_hunt_js.py
+"""
+
+from repro import MiniJSLanguage, SymbolicTester
+from repro.targets.js_like.buckets import suites
+
+
+def hunt_known_bugs() -> None:
+    language = MiniJSLanguage()
+    tester = SymbolicTester(language)
+    print("== running the Buckets-style suites (Table 1 rows) ==")
+    found = []
+    for name in suites.suite_names():
+        source, tests = suites.suite(name)
+        prog = language.compile(source)
+        for test in tests:
+            result = tester.run_test(prog, test)
+            status = "ok" if result.passed else result.verdict.upper()
+            if not result.passed:
+                found.append((name, test, result))
+            print(f"  [{name}] {test}: {status}")
+    print()
+    print(f"bugs detected: {len(found)} (the paper re-detects exactly 2)")
+    for name, test, result in found:
+        bug = result.bugs[0]
+        print(f"  {name}/{test}: confirmed={bug.confirmed}")
+
+
+def hunt_key_collision() -> None:
+    """The engine synthesises the property name that corrupts the dict."""
+    source = """
+    function main() {
+      var key = symb_string();
+      var account = { balance: 100, owner: "alice" };
+      // Untrusted key written straight into the object...
+      account[key] = 0;
+      // ...can clobber the balance.
+      assert(account.balance === 100);
+    }
+    """
+    language = MiniJSLanguage()
+    result = SymbolicTester(language).run_source(source, "main")
+    print()
+    print("== dynamic-property collision search ==")
+    print(f"verdict: {result.verdict}")
+    for bug in result.bugs:
+        key = {k: v for k, v in (bug.model or {}).items()}
+        print(f"colliding key found by the solver: {key}")
+        assert any(v == "balance" for v in key.values())
+
+
+if __name__ == "__main__":
+    hunt_known_bugs()
+    hunt_key_collision()

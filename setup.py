@@ -1,0 +1,17 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Gillian, Part I (PLDI 2020): a multi-language platform for "
+        "symbolic execution - Python reproduction"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="BSD-3-Clause",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

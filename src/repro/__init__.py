@@ -1,0 +1,66 @@
+"""Gillian, Part I — a multi-language platform for symbolic execution.
+
+Python reproduction of Fragoso Santos, Maksimović, Ayoun & Gardner,
+PLDI 2020.  The platform's core is a symbolic execution engine for the
+intermediate language GIL, parametric on the memory model of the target
+language; see DESIGN.md for the system inventory and EXPERIMENTS.md for
+the reproduced evaluation.
+
+Quickstart::
+
+    from repro import SymbolicTester, WhileLanguage
+
+    source = '''
+    proc main() {
+      n := symb_number();
+      assume(0 <= n and n <= 10);
+      assert(n * n <= 100);
+      return null;
+    }
+    '''
+    result = SymbolicTester(WhileLanguage()).run_source(source, "main")
+    assert result.passed
+"""
+
+from repro.engine.concolic import ConcolicTester
+from repro.engine.config import EngineConfig, gillian, javert2_baseline
+from repro.engine.explorer import Explorer
+from repro.logic.solver import SatResult, Solver
+from repro.testing.harness import Bug, SuiteResult, SymbolicTester, TestResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bug",
+    "ConcolicTester",
+    "EngineConfig",
+    "Explorer",
+    "SatResult",
+    "Solver",
+    "SuiteResult",
+    "SymbolicTester",
+    "TestResult",
+    "WhileLanguage",
+    "MiniJSLanguage",
+    "MiniCLanguage",
+    "gillian",
+    "javert2_baseline",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid import cycles while
+    # the language instantiations pull in their full front ends.
+    if name == "WhileLanguage":
+        from repro.targets.while_lang import WhileLanguage
+
+        return WhileLanguage
+    if name == "MiniJSLanguage":
+        from repro.targets.js_like import MiniJSLanguage
+
+        return MiniJSLanguage
+    if name == "MiniCLanguage":
+        from repro.targets.c_like import MiniCLanguage
+
+        return MiniCLanguage
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,12 @@
+"""Execution drivers: path exploration, configurations, concolic mode."""
+
+from repro.engine.concolic import ConcolicBug, ConcolicReport, ConcolicTester
+from repro.engine.config import EngineConfig, gillian, javert2_baseline
+from repro.engine.explorer import Explorer
+from repro.engine.results import ExecutionResult, ExecutionStats
+
+__all__ = [
+    "ConcolicBug", "ConcolicReport", "ConcolicTester", "EngineConfig",
+    "ExecutionResult", "ExecutionStats", "Explorer", "gillian",
+    "javert2_baseline",
+]

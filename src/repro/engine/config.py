@@ -1,0 +1,49 @@
+"""Engine configurations.
+
+The paper attributes Gillian-JS being roughly twice as fast as JaVerT 2.0
+(§4.1, Table 1) to improvements in the symbolic execution engine — "more
+efficient use of OCaml features, such as hashtables" and "better
+simplifications and better caching of results" in the first-order solver.
+We expose exactly those levers so the benchmark ablation (E4) can run the
+same analysis under both configurations:
+
+* :func:`gillian` — memoised simplifier + solver result cache;
+* :func:`javert2_baseline` — same simplification *rules* (so exploration
+  is identical: same branches, same results) but nothing is memoised or
+  cached, which re-does the work JaVerT 2.0 re-did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineConfig:
+    name: str = "gillian"
+    #: memoise the expression simplifier
+    simplifier_memoisation: bool = True
+    #: cache solver results per path-condition
+    solver_cache: bool = True
+    #: bound on GIL commands executed along a single path (loop unrolling
+    #: bound; paper §1: "unrolling loops up to a bound")
+    max_steps_per_path: int = 100_000
+    #: bound on the number of explored paths
+    max_paths: int = 100_000
+    #: global bound on executed GIL commands
+    max_total_steps: int = 5_000_000
+
+
+def gillian(**overrides) -> EngineConfig:
+    """The optimised Gillian engine configuration."""
+    return EngineConfig(name="gillian", **overrides)
+
+
+def javert2_baseline(**overrides) -> EngineConfig:
+    """The JaVerT 2.0-like baseline: identical precision, no caching."""
+    return EngineConfig(
+        name="javert2",
+        simplifier_memoisation=False,
+        solver_cache=False,
+        **overrides,
+    )

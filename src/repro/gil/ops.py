@@ -1,0 +1,235 @@
+"""Concrete evaluation of GIL expressions (paper §2.1, §2.3 ⟦e⟧ρ and ⟦ê⟧ε).
+
+A single evaluator serves both roles:
+
+* ``⟦e⟧ρ`` — evaluate a *program* expression under a concrete store ρ
+  (``pvar_env``);
+* ``⟦ê⟧ε`` — interpret a *logical* expression under a logical environment ε
+  (``lvar_env``), used by memory interpretations and counter-model replay
+  (paper §3.2).
+
+Evaluation raises :class:`EvalError` on ill-typed applications (e.g. adding
+a string to a list).  The GIL interpreter converts these into error
+outcomes ``E(v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.gil.values import Value, type_of, values_equal
+from repro.logic.expr import (
+    BinOp,
+    BinOpExpr,
+    EList,
+    Expr,
+    Lit,
+    LVar,
+    PVar,
+    UnOp,
+    UnOpExpr,
+)
+
+
+class EvalError(Exception):
+    """An ill-typed or otherwise undefined expression evaluation."""
+
+
+def _as_number(v: Value, op: str) -> float:
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        raise EvalError(f"{op}: expected a number, got {v!r}")
+    return v
+
+
+def _as_int(v: Value, op: str) -> int:
+    n = _as_number(v, op)
+    if isinstance(n, float):
+        if not n.is_integer():
+            raise EvalError(f"{op}: expected an integer, got {n!r}")
+        n = int(n)
+    return n
+
+
+def _as_bool(v: Value, op: str) -> bool:
+    if not isinstance(v, bool):
+        raise EvalError(f"{op}: expected a boolean, got {v!r}")
+    return v
+
+
+def _as_str(v: Value, op: str) -> str:
+    if not isinstance(v, str):
+        raise EvalError(f"{op}: expected a string, got {v!r}")
+    return v
+
+
+def _as_list(v: Value, op: str) -> tuple:
+    if not isinstance(v, tuple):
+        raise EvalError(f"{op}: expected a list, got {v!r}")
+    return v
+
+
+def _norm_num(x: float) -> Value:
+    """Collapse integral floats back to int so results stay exact."""
+    if isinstance(x, float) and x.is_integer() and abs(x) < 2**53:
+        return int(x)
+    return x
+
+
+def apply_unop(op: UnOp, v: Value) -> Value:
+    """Apply a unary operator to a concrete value."""
+    if op is UnOp.NOT:
+        return not _as_bool(v, "not")
+    if op is UnOp.NEG:
+        return _norm_num(-_as_number(v, "neg"))
+    if op is UnOp.TYPEOF:
+        return type_of(v)
+    if op is UnOp.STRLEN:
+        return len(_as_str(v, "s-len"))
+    if op is UnOp.LSTLEN:
+        return len(_as_list(v, "l-len"))
+    if op is UnOp.HEAD:
+        items = _as_list(v, "hd")
+        if not items:
+            raise EvalError("hd: empty list")
+        return items[0]
+    if op is UnOp.TAIL:
+        items = _as_list(v, "tl")
+        if not items:
+            raise EvalError("tl: empty list")
+        return items[1:]
+    if op is UnOp.TOSTRING:
+        n = _as_number(v, "num->str")
+        if isinstance(n, float) and n.is_integer():
+            n = int(n)
+        return str(n)
+    if op is UnOp.TONUMBER:
+        s = _as_str(v, "str->num")
+        try:
+            return _norm_num(float(s)) if "." in s or "e" in s else int(s)
+        except ValueError as exc:
+            raise EvalError(f"str->num: {s!r}") from exc
+    if op is UnOp.FLOOR:
+        import math
+
+        return math.floor(_as_number(v, "floor"))
+    raise EvalError(f"unknown unary operator {op}")
+
+
+def apply_binop(op: BinOp, v1: Value, v2: Value) -> Value:
+    """Apply a binary operator to concrete values."""
+    if op is BinOp.ADD:
+        return _norm_num(_as_number(v1, "+") + _as_number(v2, "+"))
+    if op is BinOp.SUB:
+        return _norm_num(_as_number(v1, "-") - _as_number(v2, "-"))
+    if op is BinOp.MUL:
+        return _norm_num(_as_number(v1, "*") * _as_number(v2, "*"))
+    if op is BinOp.DIV:
+        d = _as_number(v2, "/")
+        if d == 0:
+            raise EvalError("/: division by zero")
+        n = _as_number(v1, "/")
+        if isinstance(n, int) and isinstance(d, int) and n % d == 0:
+            return n // d
+        return _norm_num(n / d)
+    if op is BinOp.MOD:
+        d = _as_int(v2, "%")
+        if d == 0:
+            raise EvalError("%: modulo by zero")
+        return _as_int(v1, "%") % d
+    if op is BinOp.EQ:
+        return values_equal(v1, v2)
+    if op is BinOp.LT:
+        return _compare(v1, v2, "<") < 0
+    if op is BinOp.LEQ:
+        return _compare(v1, v2, "<=") <= 0
+    if op is BinOp.AND:
+        return _as_bool(v1, "and") and _as_bool(v2, "and")
+    if op is BinOp.OR:
+        return _as_bool(v1, "or") or _as_bool(v2, "or")
+    if op is BinOp.SCONCAT:
+        return _as_str(v1, "s++") + _as_str(v2, "s++")
+    if op is BinOp.SNTH:
+        s = _as_str(v1, "s-nth")
+        i = _as_int(v2, "s-nth")
+        if not 0 <= i < len(s):
+            raise EvalError(f"s-nth: index {i} out of range for {s!r}")
+        return s[i]
+    if op is BinOp.LCONCAT:
+        return _as_list(v1, "l++") + _as_list(v2, "l++")
+    if op is BinOp.LNTH:
+        items = _as_list(v1, "l-nth")
+        i = _as_int(v2, "l-nth")
+        if not 0 <= i < len(items):
+            raise EvalError(f"l-nth: index {i} out of range (len {len(items)})")
+        return items[i]
+    if op is BinOp.LCONS:
+        return (v1,) + _as_list(v2, "l-cons")
+    if op is BinOp.MIN:
+        return min(_as_number(v1, "min"), _as_number(v2, "min"))
+    if op is BinOp.MAX:
+        return max(_as_number(v1, "max"), _as_number(v2, "max"))
+    raise EvalError(f"unknown binary operator {op}")
+
+
+def _compare(v1: Value, v2: Value, op: str) -> int:
+    """Three-way comparison; numbers with numbers, strings with strings."""
+    if (
+        isinstance(v1, (int, float))
+        and not isinstance(v1, bool)
+        and isinstance(v2, (int, float))
+        and not isinstance(v2, bool)
+    ):
+        return (v1 > v2) - (v1 < v2)
+    if isinstance(v1, str) and isinstance(v2, str):
+        return (v1 > v2) - (v1 < v2)
+    raise EvalError(f"{op}: values {v1!r} and {v2!r} are not comparable")
+
+
+def evaluate(
+    e: Expr,
+    pvar_env: Optional[Mapping[str, Value]] = None,
+    lvar_env: Optional[Mapping[str, Value]] = None,
+) -> Value:
+    """Evaluate an expression to a concrete value.
+
+    ``pvar_env`` supplies program-variable bindings (the concrete store ρ);
+    ``lvar_env`` supplies logical-variable bindings (the logical
+    environment ε).  An unbound variable raises :class:`EvalError`.
+    """
+    if isinstance(e, Lit):
+        return e.value
+    if isinstance(e, PVar):
+        if pvar_env is None or e.name not in pvar_env:
+            raise EvalError(f"unbound program variable {e.name}")
+        return pvar_env[e.name]
+    if isinstance(e, LVar):
+        if lvar_env is None or e.name not in lvar_env:
+            raise EvalError(f"unbound logical variable #{e.name}")
+        return lvar_env[e.name]
+    if isinstance(e, UnOpExpr):
+        return apply_unop(e.op, evaluate(e.operand, pvar_env, lvar_env))
+    if isinstance(e, BinOpExpr):
+        # Short-circuit booleans so guards like ``i < len and nth(l, i)``
+        # evaluate as target languages expect.
+        if e.op is BinOp.AND:
+            left = evaluate(e.left, pvar_env, lvar_env)
+            if left is False:
+                return False
+            return apply_binop(
+                BinOp.AND, left, evaluate(e.right, pvar_env, lvar_env)
+            )
+        if e.op is BinOp.OR:
+            left = evaluate(e.left, pvar_env, lvar_env)
+            if left is True:
+                return True
+            return apply_binop(
+                BinOp.OR, left, evaluate(e.right, pvar_env, lvar_env)
+            )
+        return apply_binop(
+            e.op,
+            evaluate(e.left, pvar_env, lvar_env),
+            evaluate(e.right, pvar_env, lvar_env),
+        )
+    if isinstance(e, EList):
+        return tuple(evaluate(item, pvar_env, lvar_env) for item in e.items)
+    raise EvalError(f"not an expression: {e!r}")

@@ -1,0 +1,158 @@
+"""GIL values (paper §2.1).
+
+GIL values ``v ∈ V`` include numbers, strings, booleans, *uninterpreted
+symbols*, types, procedure identifiers, and lists of values.  In this
+reproduction:
+
+* numbers are Python ``int``/``float`` (GIL has a single numeric type; we
+  keep ints exact when possible, as the OCaml implementation does);
+* strings are ``str``; booleans are ``bool``;
+* uninterpreted symbols ``ς ∈ U`` are :class:`Symbol` instances — these
+  model memory locations and language-specific constants (e.g. the
+  JavaScript ``undefined``);
+* types ``τ ∈ T`` are :class:`GilType` members;
+* procedure identifiers ``f ∈ F`` are plain strings (the GIL ``Call``
+  command evaluates its callee expression to a string);
+* lists are Python tuples (immutable so values stay hashable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class GilType(enum.Enum):
+    """The standard GIL types (paper §2.1: numbers, strings, booleans, lists...)."""
+
+    NUMBER = "Num"
+    STRING = "Str"
+    BOOLEAN = "Bool"
+    LIST = "List"
+    SYMBOL = "Symbol"
+    TYPE = "Type"
+    NONE = "None"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GilType.{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class Symbol:
+    """An uninterpreted symbol ``ς ∈ U``.
+
+    Uninterpreted symbols represent instantiation-specific constants (the
+    JavaScript ``undefined`` and ``null``) and unique memory constituents
+    (heap locations, memory blocks).  Two symbols are equal iff their names
+    are equal; distinct names denote provably distinct values (``U`` is a
+    countable set of atoms).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+#: The distinguished "unit"-like value used where GIL needs a literal
+#: "nothing" (e.g. the value output of actions that only update state).
+@dataclass(frozen=True)
+class Null:
+    """The GIL empty value (pretty-printed ``null``)."""
+
+    def __repr__(self) -> str:
+        return "null"
+
+
+NULL = Null()
+
+#: A concrete GIL value.  Lists of values are Python tuples.
+Value = Union[int, float, str, bool, Symbol, GilType, Null, tuple]
+
+
+def is_value(x: object) -> bool:
+    """Return True iff ``x`` is a well-formed GIL value (recursively)."""
+    if isinstance(x, (int, float, str, bool, Symbol, GilType, Null)):
+        return True
+    if isinstance(x, tuple):
+        return all(is_value(item) for item in x)
+    return False
+
+
+def type_of(v: Value) -> GilType:
+    """The GIL type of a concrete value (``typeof`` operator)."""
+    if isinstance(v, bool):  # bool must precede int: bool is an int subtype
+        return GilType.BOOLEAN
+    if isinstance(v, (int, float)):
+        return GilType.NUMBER
+    if isinstance(v, str):
+        return GilType.STRING
+    if isinstance(v, Symbol):
+        return GilType.SYMBOL
+    if isinstance(v, GilType):
+        return GilType.TYPE
+    if isinstance(v, tuple):
+        return GilType.LIST
+    if isinstance(v, Null):
+        return GilType.NONE
+    raise TypeError(f"not a GIL value: {v!r}")
+
+
+def values_equal(v1: Value, v2: Value) -> bool:
+    """GIL value equality.
+
+    Python's ``==`` conflates ``True == 1`` and ``1 == 1.0``; GIL equality
+    distinguishes booleans from numbers but identifies ``1`` and ``1.0``
+    (a single numeric type).
+    """
+    if isinstance(v1, bool) or isinstance(v2, bool):
+        return isinstance(v1, bool) and isinstance(v2, bool) and v1 == v2
+    if isinstance(v1, (int, float)) and isinstance(v2, (int, float)):
+        return float(v1) == float(v2)
+    if isinstance(v1, tuple) and isinstance(v2, tuple):
+        return len(v1) == len(v2) and all(
+            values_equal(a, b) for a, b in zip(v1, v2)
+        )
+    if type(v1) is not type(v2):
+        return False
+    return v1 == v2
+
+
+def value_key(v: Value) -> tuple:
+    """A canonical, type-aware key for a value.
+
+    Python's ``==`` identifies ``0 == False`` and ``1 == True``; GIL
+    distinguishes booleans from numbers (but identifies ``1`` and ``1.0``).
+    Structural containers (expression nodes, caches, path conditions) key
+    values through this function so that ``Lit(0)`` and ``Lit(False)``
+    never collide.
+    """
+    if isinstance(v, bool):
+        return ("b", v)
+    if isinstance(v, (int, float)):
+        return ("n", float(v))
+    if isinstance(v, str):
+        return ("s", v)
+    if isinstance(v, Symbol):
+        return ("y", v.name)
+    if isinstance(v, GilType):
+        return ("t", v.name)
+    if isinstance(v, Null):
+        return ("null",)
+    if isinstance(v, tuple):
+        return ("l", tuple(value_key(item) for item in v))
+    raise TypeError(f"not a GIL value: {v!r}")
+
+
+def pp_value(v: Value) -> str:
+    """Pretty-print a GIL value (used in error reports and traces)."""
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    if isinstance(v, str):
+        return repr(v)
+    if isinstance(v, tuple):
+        return "[" + ", ".join(pp_value(item) for item in v) + "]"
+    return repr(v)

@@ -1,0 +1,26 @@
+"""Logical expressions, simplification, path conditions, and the solver.
+
+Re-exports are lazy to avoid import cycles with ``repro.gil``.
+"""
+
+_EXPORTS = {
+    "expr": [
+        "BinOp", "BinOpExpr", "EList", "Expr", "FALSE", "LVar", "Lit",
+        "PVar", "TRUE", "UnOp", "UnOpExpr", "conj", "disj", "lst",
+    ],
+    "pathcond": ["PathCondition"],
+    "simplify": ["Simplifier", "simplify"],
+    "solver": ["Model", "SatResult", "Solver"],
+}
+_BY_NAME = {name: mod for mod, names in _EXPORTS.items() for name in names}
+
+__all__ = sorted(_BY_NAME)
+
+
+def __getattr__(name):
+    module = _BY_NAME.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.logic' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"repro.logic.{module}"), name)

@@ -1,0 +1,345 @@
+"""Expressions (paper §2.1 and §2.3).
+
+GIL program expressions ``e ∈ E`` are values, program variables, and
+unary/binary operator applications.  Logical expressions ``ê ∈ Ê`` replace
+program variables with logical variables ``x̂ ∈ X̂``.  We use a single AST
+for both: an expression is *program-level* if it contains no :class:`LVar`
+and *logical* if it contains no :class:`PVar`.  Symbolic evaluation of a
+program expression substitutes each program variable with the logical
+expression held in the symbolic store, yielding a logical expression
+(paper §2.3, [EvalExpr]).
+
+All nodes are frozen (hashable) so they can key solver caches and sets of
+path-condition conjuncts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+from repro.gil.values import NULL, Symbol, Value
+
+
+class UnOp(enum.Enum):
+    """Unary operators ``⊖``."""
+
+    NOT = "not"          # boolean negation
+    NEG = "-"            # numeric negation
+    TYPEOF = "typeof"    # GIL type of the operand
+    STRLEN = "s-len"     # string length
+    LSTLEN = "l-len"     # list length
+    HEAD = "hd"          # first element of a list
+    TAIL = "tl"          # list without its first element
+    TOSTRING = "num->str"
+    TONUMBER = "str->num"
+    FLOOR = "floor"
+
+
+class BinOp(enum.Enum):
+    """Binary operators ``⊕``."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    EQ = "="
+    LT = "<"
+    LEQ = "<="
+    AND = "and"
+    OR = "or"
+    SCONCAT = "s++"      # string concatenation
+    SNTH = "s-nth"       # nth character of a string
+    LCONCAT = "l++"      # list concatenation
+    LNTH = "l-nth"       # nth element of a list
+    LCONS = "l-cons"     # prepend an element to a list
+    MIN = "min"
+    MAX = "max"
+
+
+class Expr:
+    """Base class for expression nodes.
+
+    Provides operator sugar so compilers and tests can build ASTs
+    compactly: ``x + y`` is ``BinOpExpr(BinOp.ADD, x, y)`` and so on.
+    Comparison dunders are *not* overloaded (``==`` stays structural
+    equality, needed for hashing); use :meth:`eq` / :meth:`lt` instead.
+    """
+
+    __slots__ = ()
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.ADD, self, to_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.ADD, to_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.SUB, self, to_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.SUB, to_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.MUL, self, to_expr(other))
+
+    def __truediv__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.DIV, self, to_expr(other))
+
+    def __mod__(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.MOD, self, to_expr(other))
+
+    def __neg__(self) -> "Expr":
+        return UnOpExpr(UnOp.NEG, self)
+
+    def eq(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.EQ, self, to_expr(other))
+
+    def neq(self, other: "ExprLike") -> "Expr":
+        return UnOpExpr(UnOp.NOT, self.eq(other))
+
+    def lt(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.LT, self, to_expr(other))
+
+    def leq(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.LEQ, self, to_expr(other))
+
+    def gt(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.LT, to_expr(other), self)
+
+    def geq(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.LEQ, to_expr(other), self)
+
+    def and_(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.AND, self, to_expr(other))
+
+    def or_(self, other: "ExprLike") -> "Expr":
+        return BinOpExpr(BinOp.OR, self, to_expr(other))
+
+    def not_(self) -> "Expr":
+        return UnOpExpr(UnOp.NOT, self)
+
+    def typeof(self) -> "Expr":
+        return UnOpExpr(UnOp.TYPEOF, self)
+
+
+@dataclass(frozen=True, repr=False, eq=False)
+class Lit(Expr):
+    """A literal GIL value.
+
+    Equality and hashing are *type-aware* (via
+    :func:`repro.gil.values.value_key`): ``Lit(0) != Lit(False)`` even
+    though Python's ``0 == False`` — otherwise caches, sets of path
+    conjuncts, and memory cell keys would silently conflate them.
+    """
+
+    value: Value
+
+    __slots__ = ("value",)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lit):
+            return NotImplemented
+        from repro.gil.values import value_key
+
+        return value_key(self.value) == value_key(other.value)
+
+    def __hash__(self) -> int:
+        from repro.gil.values import value_key
+
+        return hash(value_key(self.value))
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return repr(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class PVar(Expr):
+    """A program variable ``x ∈ X``."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class LVar(Expr):
+    """A logical variable ``x̂ ∈ X̂`` (an *interpreted symbol*, paper §2.1)."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __repr__(self) -> str:
+        return f"#{self.name}"
+
+
+@dataclass(frozen=True, repr=False)
+class UnOpExpr(Expr):
+    op: UnOp
+    operand: Expr
+
+    __slots__ = ("op", "operand")
+
+    def __repr__(self) -> str:
+        return f"({self.op.value} {self.operand!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class BinOpExpr(Expr):
+    op: BinOp
+    left: Expr
+    right: Expr
+
+    __slots__ = ("op", "left", "right")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op.value} {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class EList(Expr):
+    """An n-ary list constructor ``[e1, ..., en]``."""
+
+    items: tuple
+
+    __slots__ = ("items",)
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(item) for item in self.items) + "]"
+
+
+ExprLike = Union[Expr, Value]
+
+#: Convenient literals.
+TRUE = Lit(True)
+FALSE = Lit(False)
+NULL_EXPR = Lit(NULL)
+
+
+def to_expr(x: ExprLike) -> Expr:
+    """Coerce a raw GIL value into a literal expression (identity on Expr)."""
+    if isinstance(x, Expr):
+        return x
+    return Lit(x)
+
+
+def lst(*items: ExprLike) -> EList:
+    """Build a list-constructor expression from expression-like items."""
+    return EList(tuple(to_expr(item) for item in items))
+
+
+def conj(*conjuncts: Expr) -> Expr:
+    """Right-nested conjunction of the given boolean expressions."""
+    parts = [c for c in conjuncts if c != TRUE]
+    if not parts:
+        return TRUE
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = BinOpExpr(BinOp.AND, part, result)
+    return result
+
+
+def disj(*disjuncts: Expr) -> Expr:
+    """Right-nested disjunction of the given boolean expressions."""
+    parts = [d for d in disjuncts if d != FALSE]
+    if not parts:
+        return FALSE
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = BinOpExpr(BinOp.OR, part, result)
+    return result
+
+
+def children(e: Expr) -> tuple:
+    """Immediate sub-expressions of ``e``."""
+    if isinstance(e, UnOpExpr):
+        return (e.operand,)
+    if isinstance(e, BinOpExpr):
+        return (e.left, e.right)
+    if isinstance(e, EList):
+        return e.items
+    return ()
+
+
+def walk(e: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of all sub-expressions (including ``e``)."""
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(children(node))
+
+
+def free_pvars(e: Expr) -> set:
+    """Names of the program variables occurring in ``e``."""
+    return {node.name for node in walk(e) if isinstance(node, PVar)}
+
+
+def free_lvars(e: Expr) -> set:
+    """Names of the logical variables occurring in ``e``."""
+    return {node.name for node in walk(e) if isinstance(node, LVar)}
+
+
+def symbols_of(e: Expr) -> set:
+    """The uninterpreted symbols occurring literally in ``e``."""
+    out = set()
+    for node in walk(e):
+        if isinstance(node, Lit) and isinstance(node.value, Symbol):
+            out.add(node.value)
+    return out
+
+
+def substitute_pvars(e: Expr, store: Mapping[str, Expr]) -> Expr:
+    """Replace each program variable with its store image (paper [EvalExpr]).
+
+    Raises ``KeyError`` if ``e`` mentions a variable absent from the store —
+    GIL programs produced by the compilers always initialise before use, so
+    an absent variable is a compiler bug worth failing loudly on.
+    """
+    if isinstance(e, PVar):
+        return store[e.name]
+    if isinstance(e, (Lit, LVar)):
+        return e
+    if isinstance(e, UnOpExpr):
+        return UnOpExpr(e.op, substitute_pvars(e.operand, store))
+    if isinstance(e, BinOpExpr):
+        return BinOpExpr(
+            e.op,
+            substitute_pvars(e.left, store),
+            substitute_pvars(e.right, store),
+        )
+    if isinstance(e, EList):
+        return EList(tuple(substitute_pvars(item, store) for item in e.items))
+    raise TypeError(f"not an expression: {e!r}")
+
+
+def substitute_lvars(e: Expr, env: Mapping[str, Expr]) -> Expr:
+    """Replace logical variables with expressions (used by interpretations)."""
+    if isinstance(e, LVar):
+        return env.get(e.name, e)
+    if isinstance(e, (Lit, PVar)):
+        return e
+    if isinstance(e, UnOpExpr):
+        return UnOpExpr(e.op, substitute_lvars(e.operand, env))
+    if isinstance(e, BinOpExpr):
+        return BinOpExpr(
+            e.op,
+            substitute_lvars(e.left, env),
+            substitute_lvars(e.right, env),
+        )
+    if isinstance(e, EList):
+        return EList(tuple(substitute_lvars(item, env) for item in e.items))
+    raise TypeError(f"not an expression: {e!r}")
+
+
+def is_concrete(e: Expr) -> bool:
+    """True iff ``e`` mentions no variables of either kind."""
+    return not any(isinstance(node, (PVar, LVar)) for node in walk(e))

@@ -1,0 +1,78 @@
+"""Path conditions π ∈ Π (paper §2.3).
+
+A path condition is a conjunction of boolean logical expressions
+book-keeping the constraints on logical variables that led execution to
+the current symbolic state.  We keep the conjuncts as an ordered tuple
+(deduplicated) so that path conditions are hashable — they key the solver
+cache — and so that restriction (π ∧ π′, paper §3.1) is a cheap merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Tuple
+
+from repro.logic.expr import TRUE, BinOp, BinOpExpr, Expr
+
+
+def _flatten(e: Expr) -> Iterator[Expr]:
+    """Split nested conjunctions into their conjuncts."""
+    if isinstance(e, BinOpExpr) and e.op is BinOp.AND:
+        yield from _flatten(e.left)
+        yield from _flatten(e.right)
+    elif e != TRUE:
+        yield e
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """An immutable conjunction of boolean logical expressions."""
+
+    conjuncts: Tuple[Expr, ...] = field(default=())
+
+    @staticmethod
+    def true() -> "PathCondition":
+        return PathCondition(())
+
+    @staticmethod
+    def of(*exprs: Expr) -> "PathCondition":
+        return PathCondition.true().conjoin_all(exprs)
+
+    def conjoin(self, e: Expr) -> "PathCondition":
+        """π ∧ e, flattening nested conjunctions and deduplicating."""
+        new = [c for c in _flatten(e) if c not in self.conjuncts]
+        if not new:
+            return self
+        seen = set(self.conjuncts)
+        ordered = list(self.conjuncts)
+        for c in new:
+            if c not in seen:
+                seen.add(c)
+                ordered.append(c)
+        return PathCondition(tuple(ordered))
+
+    def conjoin_all(self, exprs: Iterable[Expr]) -> "PathCondition":
+        pc = self
+        for e in exprs:
+            pc = pc.conjoin(e)
+        return pc
+
+    def extend(self, other: "PathCondition") -> "PathCondition":
+        """Restriction on path conditions: π₁ ⇃π₂ = π₁ ∧ π₂ (paper §3.1)."""
+        return self.conjoin_all(other.conjuncts)
+
+    def implies_syntactically(self, other: "PathCondition") -> bool:
+        """True iff every conjunct of ``other`` appears in ``self``."""
+        mine = set(self.conjuncts)
+        return all(c in mine for c in other.conjuncts)
+
+    def __iter__(self) -> Iterator[Expr]:
+        return iter(self.conjuncts)
+
+    def __len__(self) -> int:
+        return len(self.conjuncts)
+
+    def __repr__(self) -> str:
+        if not self.conjuncts:
+            return "true"
+        return " /\\ ".join(repr(c) for c in self.conjuncts)

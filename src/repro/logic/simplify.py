@@ -1,0 +1,353 @@
+"""Algebraic simplification of logical expressions (paper §2.3, [EvalExpr]).
+
+    "In the implementation, Gillian's first-order solver applies a number
+     of algebraic identities to simplify the resulting expression."
+
+The simplifier is one of the two engine improvements the paper credits for
+Gillian-JS being roughly twice as fast as JaVerT 2.0 (§4.1); the benchmark
+ablation (EXPERIMENTS.md, E4) toggles it via :class:`Simplifier`'s
+``enabled`` flag.
+
+Rules implemented (bottom-up, to a fixed point on each node):
+
+* constant folding of every operator on literal operands;
+* boolean identities (``¬¬e = e``, absorption with ``true``/``false``);
+* equality: ``e = e → true``; distinct literals → ``false``; pointwise
+  equality of list constructors; symbol disequality (distinct symbols are
+  distinct values);
+* arithmetic identities (``e+0``, ``e*1``, ``e*0``, ``e-e``);
+* list identities (``l-len [e1..en] → n``, ``l-nth`` on constructors,
+  concatenation of constructors, ``hd``/``tl`` of constructors);
+* negation of comparisons (``¬(a < b) → b ≤ a``), which keeps path
+  conditions in the fragment the solver handles best.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.gil.ops import EvalError, apply_binop, apply_unop
+from repro.gil.values import Symbol, values_equal
+from repro.logic.expr import (
+    FALSE,
+    TRUE,
+    BinOp,
+    BinOpExpr,
+    EList,
+    Expr,
+    Lit,
+    LVar,
+    PVar,
+    UnOp,
+    UnOpExpr,
+    conj,
+)
+
+
+def _is_num_lit(e: Expr) -> bool:
+    return (
+        isinstance(e, Lit)
+        and isinstance(e.value, (int, float))
+        and not isinstance(e.value, bool)
+    )
+
+
+class Simplifier:
+    """A memoising expression simplifier.
+
+    ``enabled=False`` turns the simplifier into the identity function —
+    this is the "JaVerT 2.0"-like baseline configuration used by the
+    engine-ablation benchmark (E4).
+    """
+
+    def __init__(self, enabled: bool = True, memoise: bool = True) -> None:
+        self.enabled = enabled
+        self.memoise = memoise
+        self._cache: Dict[Expr, Expr] = {}
+
+    def simplify(self, e: Expr) -> Expr:
+        if not self.enabled:
+            return e
+        if self.memoise:
+            cached = self._cache.get(e)
+            if cached is not None:
+                return cached
+        result = self._simplify(e)
+        if self.memoise:
+            self._cache[e] = result
+        return result
+
+    # -- internals --------------------------------------------------------
+
+    def _simplify(self, e: Expr) -> Expr:
+        if isinstance(e, (Lit, PVar, LVar)):
+            return e
+        if isinstance(e, EList):
+            items = tuple(self.simplify(item) for item in e.items)
+            if all(isinstance(item, Lit) for item in items):
+                return Lit(tuple(item.value for item in items))
+            return EList(items)
+        if isinstance(e, UnOpExpr):
+            return self._simplify_unop(e.op, self.simplify(e.operand))
+        if isinstance(e, BinOpExpr):
+            return self._simplify_binop(
+                e.op, self.simplify(e.left), self.simplify(e.right)
+            )
+        raise TypeError(f"not an expression: {e!r}")
+
+    def _simplify_unop(self, op: UnOp, operand: Expr) -> Expr:
+        if isinstance(operand, Lit):
+            try:
+                return Lit(apply_unop(op, operand.value))
+            except EvalError:
+                return UnOpExpr(op, operand)
+        if op is UnOp.NOT:
+            if isinstance(operand, UnOpExpr) and operand.op is UnOp.NOT:
+                return operand.operand
+            if isinstance(operand, BinOpExpr):
+                # ¬(a < b) → b ≤ a ; ¬(a ≤ b) → b < a
+                if operand.op is BinOp.LT:
+                    return self._simplify_binop(
+                        BinOp.LEQ, operand.right, operand.left
+                    )
+                if operand.op is BinOp.LEQ:
+                    return self._simplify_binop(
+                        BinOp.LT, operand.right, operand.left
+                    )
+        if op is UnOp.TYPEOF:
+            from repro.logic.types import infer_type
+
+            known = infer_type(operand)
+            if known is not None:
+                return Lit(known)
+        if op is UnOp.LSTLEN and isinstance(operand, EList):
+            return Lit(len(operand.items))
+        if op is UnOp.HEAD and isinstance(operand, EList) and operand.items:
+            return operand.items[0]
+        if op is UnOp.TAIL and isinstance(operand, EList) and operand.items:
+            return EList(operand.items[1:])
+        if (
+            op in (UnOp.HEAD, UnOp.TAIL)
+            and isinstance(operand, BinOpExpr)
+            and operand.op is BinOp.LCONS
+        ):
+            return operand.left if op is UnOp.HEAD else operand.right
+        if op is UnOp.STRLEN and isinstance(operand, BinOpExpr):
+            if operand.op is BinOp.SCONCAT:
+                return self._simplify_binop(
+                    BinOp.ADD,
+                    self._simplify_unop(UnOp.STRLEN, operand.left),
+                    self._simplify_unop(UnOp.STRLEN, operand.right),
+                )
+        if op is UnOp.LSTLEN and isinstance(operand, BinOpExpr):
+            if operand.op is BinOp.LCONCAT:
+                return self._simplify_binop(
+                    BinOp.ADD,
+                    self._simplify_unop(UnOp.LSTLEN, operand.left),
+                    self._simplify_unop(UnOp.LSTLEN, operand.right),
+                )
+            if operand.op is BinOp.LCONS:
+                return self._simplify_binop(
+                    BinOp.ADD,
+                    Lit(1),
+                    self._simplify_unop(UnOp.LSTLEN, operand.right),
+                )
+        return UnOpExpr(op, operand)
+
+    def _simplify_binop(self, op: BinOp, left: Expr, right: Expr) -> Expr:
+        if isinstance(left, Lit) and isinstance(right, Lit):
+            try:
+                return Lit(apply_binop(op, left.value, right.value))
+            except EvalError:
+                return BinOpExpr(op, left, right)
+
+        if op is BinOp.AND:
+            if left == TRUE:
+                return right
+            if right == TRUE:
+                return left
+            if left == FALSE or right == FALSE:
+                return FALSE
+            if left == right:
+                return left
+        elif op is BinOp.OR:
+            if left == FALSE:
+                return right
+            if right == FALSE:
+                return left
+            if left == TRUE or right == TRUE:
+                return TRUE
+            if left == right:
+                return left
+        elif op is BinOp.EQ:
+            return self._simplify_eq(left, right)
+        elif op in (BinOp.LT, BinOp.LEQ):
+            if left == right:
+                return Lit(op is BinOp.LEQ)
+            folded = self._fold_offset_comparison(op, left, right)
+            if folded is not None:
+                return folded
+        elif op is BinOp.ADD:
+            if _is_num_lit(left) and left.value == 0:
+                return right
+            if _is_num_lit(right) and right.value == 0:
+                return left
+            # Reassociate (e + c1) + c2 → e + (c1+c2): keeps pointer-offset
+            # chains small in the MiniC instantiation.
+            if (
+                _is_num_lit(right)
+                and isinstance(left, BinOpExpr)
+                and left.op is BinOp.ADD
+                and _is_num_lit(left.right)
+            ):
+                return self._simplify_binop(
+                    BinOp.ADD,
+                    left.left,
+                    Lit(apply_binop(BinOp.ADD, left.right.value, right.value)),
+                )
+        elif op is BinOp.SUB:
+            if _is_num_lit(right) and right.value == 0:
+                return left
+            if left == right:
+                return Lit(0)
+        elif op is BinOp.MUL:
+            for a, b in ((left, right), (right, left)):
+                if _is_num_lit(a):
+                    if a.value == 0:
+                        return Lit(0)
+                    if a.value == 1:
+                        return b
+        elif op is BinOp.LCONCAT:
+            if isinstance(left, EList) and not left.items:
+                return right
+            if isinstance(right, EList) and not right.items:
+                return left
+            if isinstance(left, EList) and isinstance(right, EList):
+                return EList(left.items + right.items)
+        elif op is BinOp.LNTH:
+            if isinstance(left, EList) and isinstance(right, Lit):
+                idx = right.value
+                if (
+                    isinstance(idx, int)
+                    and not isinstance(idx, bool)
+                    and 0 <= idx < len(left.items)
+                ):
+                    return left.items[idx]
+        elif op is BinOp.LCONS:
+            if isinstance(right, EList):
+                return EList((left,) + right.items)
+        elif op is BinOp.SCONCAT:
+            if isinstance(left, Lit) and left.value == "":
+                return right
+            if isinstance(right, Lit) and right.value == "":
+                return left
+        return BinOpExpr(op, left, right)
+
+    def _fold_offset_comparison(
+        self, op: BinOp, left: Expr, right: Expr
+    ) -> Optional[Expr]:
+        """Fold ``e + c1 < e + c2`` into a literal boolean.
+
+        Pointer-bound checks in MiniC produce comparisons whose two sides
+        are the same symbolic base plus literal offsets.
+        """
+        def split(e: Expr):
+            if (
+                isinstance(e, BinOpExpr)
+                and e.op is BinOp.ADD
+                and _is_num_lit(e.right)
+            ):
+                return e.left, e.right.value
+            return e, 0
+
+        lbase, loff = split(left)
+        rbase, roff = split(right)
+        if lbase == rbase and (loff != 0 or roff != 0):
+            if op is BinOp.LT:
+                return Lit(loff < roff)
+            return Lit(loff <= roff)
+        return None
+
+    def _simplify_eq(self, left: Expr, right: Expr) -> Expr:
+        if left == right:
+            return TRUE
+        if isinstance(left, Lit) and isinstance(right, Lit):
+            return Lit(values_equal(left.value, right.value))
+        # Distinct uninterpreted symbols denote distinct values.
+        if (
+            isinstance(left, Lit)
+            and isinstance(right, Lit)
+            and isinstance(left.value, Symbol)
+            and isinstance(right.value, Symbol)
+        ):
+            return Lit(left.value == right.value)
+        # Pointwise equality of list constructors.
+        lx = self._as_items(left)
+        rx = self._as_items(right)
+        if lx is not None and rx is not None:
+            if len(lx) != len(rx):
+                return FALSE
+            return self.simplify(
+                conj(*(BinOpExpr(BinOp.EQ, a, b) for a, b in zip(lx, rx)))
+            )
+        # String prefix cancellation: "$" ++ a = "$" ++ b  →  a = b, and
+        # "$" ++ a = "lit"  →  a = "it"/false.  Dictionary-style key
+        # prefixing (Buckets.js) produces these constantly.
+        folded = self._cancel_string_prefix(left, right)
+        if folded is not None:
+            return folded
+        # ``e + c1 = e + c2`` with distinct literal offsets.
+        if (
+            isinstance(left, BinOpExpr)
+            and left.op is BinOp.ADD
+            and isinstance(right, BinOpExpr)
+            and right.op is BinOp.ADD
+            and left.left == right.left
+            and _is_num_lit(left.right)
+            and _is_num_lit(right.right)
+        ):
+            return Lit(values_equal(left.right.value, right.right.value))
+        return BinOpExpr(BinOp.EQ, left, right)
+
+    def _cancel_string_prefix(self, left: Expr, right: Expr) -> Optional[Expr]:
+        def split(e: Expr):
+            if (
+                isinstance(e, BinOpExpr)
+                and e.op is BinOp.SCONCAT
+                and isinstance(e.left, Lit)
+                and isinstance(e.left.value, str)
+            ):
+                return e.left.value, e.right
+            return None
+
+        ls, rs = split(left), split(right)
+        if ls is not None and rs is not None and ls[0] == rs[0]:
+            return self._simplify_eq(ls[1], rs[1])
+        for concat, other in ((ls, right), (rs, left)):
+            if concat is None:
+                continue
+            prefix, rest = concat
+            if isinstance(other, Lit) and isinstance(other.value, str):
+                if other.value.startswith(prefix):
+                    return self._simplify_eq(rest, Lit(other.value[len(prefix):]))
+                return FALSE
+        return None
+
+    @staticmethod
+    def _as_items(e: Expr):
+        """View an expression as a tuple of item expressions, if it is a
+        list constructor or a literal list."""
+        if isinstance(e, EList):
+            return e.items
+        if isinstance(e, Lit) and isinstance(e.value, tuple):
+            return tuple(Lit(v) for v in e.value)
+        return None
+
+
+#: Module-level default simplifier (shared cache).
+DEFAULT_SIMPLIFIER = Simplifier()
+
+
+def simplify(e: Expr) -> Expr:
+    """Simplify with the module-level default simplifier."""
+    return DEFAULT_SIMPLIFIER.simplify(e)

@@ -1,0 +1,162 @@
+"""Type inference for logical expressions.
+
+The solver uses a lightweight bottom-up/top-down typing pass both to detect
+ill-typed (hence unsatisfiable) path conditions early and to choose
+well-typed candidate values when searching for models.  Types are the GIL
+types of :class:`repro.gil.values.GilType`; ``None`` means "unknown".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.gil.values import GilType, type_of
+from repro.logic.expr import (
+    BinOp,
+    BinOpExpr,
+    EList,
+    Expr,
+    Lit,
+    LVar,
+    PVar,
+    UnOp,
+    UnOpExpr,
+)
+
+_UNOP_RESULT = {
+    UnOp.NOT: GilType.BOOLEAN,
+    UnOp.NEG: GilType.NUMBER,
+    UnOp.TYPEOF: GilType.TYPE,
+    UnOp.STRLEN: GilType.NUMBER,
+    UnOp.LSTLEN: GilType.NUMBER,
+    UnOp.TOSTRING: GilType.STRING,
+    UnOp.TONUMBER: GilType.NUMBER,
+    UnOp.FLOOR: GilType.NUMBER,
+    UnOp.TAIL: GilType.LIST,
+    UnOp.HEAD: None,
+}
+
+_UNOP_OPERAND = {
+    UnOp.NOT: GilType.BOOLEAN,
+    UnOp.NEG: GilType.NUMBER,
+    UnOp.TYPEOF: None,
+    UnOp.STRLEN: GilType.STRING,
+    UnOp.LSTLEN: GilType.LIST,
+    UnOp.TOSTRING: GilType.NUMBER,
+    UnOp.TONUMBER: GilType.STRING,
+    UnOp.FLOOR: GilType.NUMBER,
+    UnOp.TAIL: GilType.LIST,
+    UnOp.HEAD: GilType.LIST,
+}
+
+_NUMERIC_BINOPS = {
+    BinOp.ADD,
+    BinOp.SUB,
+    BinOp.MUL,
+    BinOp.DIV,
+    BinOp.MOD,
+    BinOp.MIN,
+    BinOp.MAX,
+}
+_BOOL_BINOPS = {BinOp.AND, BinOp.OR}
+_COMPARISONS = {BinOp.LT, BinOp.LEQ}
+
+
+class TypeConflict(Exception):
+    """A variable is required to have two distinct types — UNSAT evidence."""
+
+
+def infer_type(e: Expr) -> Optional[GilType]:
+    """The type of ``e``, if determined by its top-level structure."""
+    if isinstance(e, Lit):
+        return type_of(e.value)
+    if isinstance(e, EList):
+        return GilType.LIST
+    if isinstance(e, UnOpExpr):
+        return _UNOP_RESULT[e.op]
+    if isinstance(e, BinOpExpr):
+        if e.op in _NUMERIC_BINOPS:
+            return GilType.NUMBER
+        if e.op in _BOOL_BINOPS or e.op in _COMPARISONS or e.op is BinOp.EQ:
+            return GilType.BOOLEAN
+        if e.op is BinOp.SCONCAT or e.op is BinOp.SNTH:
+            return GilType.STRING
+        if e.op in (BinOp.LCONCAT, BinOp.LCONS):
+            return GilType.LIST
+        if e.op is BinOp.LNTH:
+            return None
+    return None  # PVar / LVar / hd — unknown
+
+
+def collect_var_types(
+    conjuncts: Iterable[Expr],
+) -> Dict[str, GilType]:
+    """Infer logical-variable types from how variables are *used*.
+
+    Walks each conjunct and records, for every logical variable, the type
+    its context imposes.  Raises :class:`TypeConflict` if the same variable
+    is forced to two distinct types (the path condition is then UNSAT).
+    """
+    env: Dict[str, GilType] = {}
+
+    def require(e: Expr, t: Optional[GilType]) -> None:
+        if t is None:
+            visit(e)
+            return
+        if isinstance(e, LVar):
+            prior = env.get(e.name)
+            if prior is not None and prior is not t:
+                raise TypeConflict(
+                    f"#{e.name} used both as {prior.value} and {t.value}"
+                )
+            env[e.name] = t
+        visit(e)
+
+    def visit(e: Expr) -> None:
+        if isinstance(e, (Lit, LVar, PVar)):
+            return
+        if isinstance(e, EList):
+            for item in e.items:
+                visit(item)
+            return
+        if isinstance(e, UnOpExpr):
+            require(e.operand, _UNOP_OPERAND[e.op])
+            return
+        if isinstance(e, BinOpExpr):
+            if e.op in _NUMERIC_BINOPS:
+                require(e.left, GilType.NUMBER)
+                require(e.right, GilType.NUMBER)
+            elif e.op in _BOOL_BINOPS:
+                require(e.left, GilType.BOOLEAN)
+                require(e.right, GilType.BOOLEAN)
+            elif e.op in _COMPARISONS:
+                # Comparisons apply to numbers or strings; only constrain
+                # when the other side's type is known.
+                lt, rt = infer_type(e.left), infer_type(e.right)
+                require(e.left, rt if lt is None else None)
+                require(e.right, lt if rt is None else None)
+            elif e.op is BinOp.EQ:
+                lt, rt = infer_type(e.left), infer_type(e.right)
+                require(e.left, rt if lt is None else None)
+                require(e.right, lt if rt is None else None)
+            elif e.op in (BinOp.SCONCAT,):
+                require(e.left, GilType.STRING)
+                require(e.right, GilType.STRING)
+            elif e.op is BinOp.SNTH:
+                require(e.left, GilType.STRING)
+                require(e.right, GilType.NUMBER)
+            elif e.op is BinOp.LCONCAT:
+                require(e.left, GilType.LIST)
+                require(e.right, GilType.LIST)
+            elif e.op is BinOp.LNTH:
+                require(e.left, GilType.LIST)
+                require(e.right, GilType.NUMBER)
+            elif e.op is BinOp.LCONS:
+                visit(e.left)
+                require(e.right, GilType.LIST)
+            return
+        raise TypeError(f"not an expression: {e!r}")
+
+    for c in conjuncts:
+        require(c, GilType.BOOLEAN)
+    return env

@@ -1,0 +1,30 @@
+"""Executable soundness machinery: restriction, interpretations,
+differential replay, relaxed trace composition (paper §3)."""
+
+from repro.soundness.composition import (
+    CompositionError,
+    RelaxedTraceBuilder,
+    can_compose,
+    strengthen,
+)
+from repro.soundness.differential import DifferentialReport, check_trace_soundness
+from repro.soundness.interpretation import ActionCheckReport, check_action
+from repro.soundness.restriction import (
+    check_idempotence,
+    check_right_commutativity,
+    check_state_monotonicity,
+    check_weakening,
+    induced_preorder,
+    restrict_alloc,
+    restrict_config,
+    restrict_pc,
+    restrict_state,
+)
+
+__all__ = [
+    "ActionCheckReport", "CompositionError", "DifferentialReport",
+    "RelaxedTraceBuilder", "can_compose", "check_action", "check_idempotence",
+    "check_right_commutativity", "check_state_monotonicity", "check_weakening",
+    "check_trace_soundness", "induced_preorder", "restrict_alloc",
+    "restrict_config", "restrict_pc", "restrict_state", "strengthen",
+]

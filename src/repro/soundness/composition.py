@@ -1,0 +1,115 @@
+"""Relaxed trace composition ⇝Z (paper §3.1).
+
+    "At any point during trace construction, we can extend the current
+     configuration with additional information that does not conflict
+     with what is already known. ... cf′₁ ⇃cf₂ = cf₂ means that, at any
+     point during the construction of the symbolic trace, we may safely
+     add more information to the current path condition.  This gives us
+     permission to arbitrarily drop paths in the analysis by need."
+
+This module implements the ⇝Z closure operator as an executable trace
+builder: segments of ordinary execution may be stitched together whenever
+the composition side-condition holds — the second segment's start must be
+a *restriction-fixpoint* of the first segment's end (it already contains
+all of its information).  The engine's path dropping and the symbolic
+tester's mid-run assumption strengthening are both instances; the tests
+validate the three closure rules directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.engine.config import EngineConfig
+from repro.engine.explorer import Explorer
+from repro.gil.semantics import Config, Final
+from repro.gil.syntax import Prog
+from repro.logic.expr import Expr
+from repro.soundness.restriction import restrict_config
+
+
+class CompositionError(Exception):
+    """The ⇝Z side-condition failed: the segments do not compose."""
+
+
+def can_compose(cf1_end: Config, cf2_start: Config) -> bool:
+    """The [Composition] premise: cf′₁ ⇃cf₂ = cf₂.
+
+    Restricting the first segment's final configuration by the second's
+    initial configuration must give exactly the second's initial
+    configuration — i.e. cf₂ already carries all of cf′₁'s information
+    (same control point, call stack, memory, store; a path condition at
+    least as strong; an allocator at least as advanced).
+    """
+    if cf1_end.stack != cf2_start.stack or cf1_end.idx != cf2_start.idx:
+        return False
+    restricted = restrict_config(cf1_end, cf2_start)
+    return restricted.state == cf2_start.state
+
+
+def strengthen(cf: Config, extra: Tuple[Expr, ...]) -> Config:
+    """Mid-trace strengthening: conjoin extra path-condition conjuncts.
+
+    The resulting configuration is always a valid ⇝Z continuation point
+    of ``cf`` (it differs only by added information), which the
+    composition check verifies.
+    """
+    state = cf.state.with_pc(cf.state.pc.conjoin_all(extra))
+    out = Config(state, cf.stack, cf.idx)
+    assert can_compose(cf, out), "strengthening must satisfy the ⇝Z premise"
+    return out
+
+
+@dataclass
+class TraceSegment:
+    """One ⇝* run: initial configuration to final configurations."""
+
+    start: Config
+    ends: List[Config] = field(default_factory=list)
+    finals: List[Final] = field(default_factory=list)
+
+
+class RelaxedTraceBuilder:
+    """Builds ⇝Z traces: run a segment, strengthen, run on, compose."""
+
+    def __init__(self, prog: Prog, state_model, config: Optional[EngineConfig] = None):
+        self.prog = prog
+        self.sm = state_model
+        self.config = config if config is not None else EngineConfig()
+        self.segments: List[TraceSegment] = []
+
+    def run_segment(self, cfg: Config, steps: int) -> TraceSegment:
+        """Execute up to ``steps`` commands from ``cfg`` (all branches)."""
+        from repro.gil.semantics import step
+
+        segment = TraceSegment(start=cfg)
+        worklist = [(cfg, 0)]
+        while worklist:
+            current, depth = worklist.pop()
+            if depth >= steps:
+                segment.ends.append(current)
+                continue
+            successors, finished = step(self.prog, self.sm, current)
+            segment.finals.extend(finished)
+            for succ in successors:
+                worklist.append((succ, depth + 1))
+        self.segments.append(segment)
+        return segment
+
+    def compose(
+        self, segment_end: Config, continuation: Config
+    ) -> Config:
+        """[Composition]: continue from ``continuation`` if the premise
+        holds; raises :class:`CompositionError` otherwise."""
+        if not can_compose(segment_end, continuation):
+            raise CompositionError(
+                "cf'1 ⇃cf2 != cf2: the continuation lacks information from "
+                "the first segment"
+            )
+        return continuation
+
+    def run_to_finals(self, cfg: Config) -> List[Final]:
+        """Finish the trace: explore from ``cfg`` to all finals."""
+        result = Explorer(self.prog, self.sm, self.config).explore([cfg])
+        return result.finals

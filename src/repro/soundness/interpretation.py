@@ -1,0 +1,129 @@
+"""Memory interpretations and the MA-RS / MA-RC checks (paper §3.2).
+
+A memory interpretation function ``I(ε, µ̂) = µ`` links a symbolic memory
+model to a concrete one.  Definition 3.7 requires two properties of every
+action α, which this module turns into *executable checks*:
+
+* **MA-RS** (restricted soundness): if ``µ̂.α(ê, π) ⇝ (µ̂′, ê′, π′)`` and
+  ``⟦π ∧ π′⟧ε = true`` and ``µ = I(ε, µ̂)`` and ``µ.α(⟦ê⟧ε) ⇝ (µ′, v)``,
+  then ``µ′ = I(ε, µ̂′)`` and ``v = ⟦ê′⟧ε``.
+* **MA-RC** (restricted completeness): under the same hypotheses, *some*
+  concrete transition ``µ.α(⟦ê⟧ε) ⇝ (µ′, v)`` exists.
+
+The test suites instantiate these checks with randomly generated
+memories, actions, and logical environments for each target language —
+the empirical counterpart of Lemma 3.11's proof obligation, which is
+exactly what Gillian asks of a tool developer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.gil.ops import EvalError, evaluate
+from repro.gil.values import Value, values_equal
+from repro.logic.expr import Expr
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.state.interface import (
+    ConcreteMemoryModel,
+    MemErr,
+    MemOk,
+    SymbolicMemoryModel,
+    SymMemErr,
+    SymMemOk,
+)
+
+#: I : (X̂ ⇀ V) → |M̂| → |M| — may raise to signal "undefined under ε".
+Interpretation = Callable[[Dict[str, Value], object], object]
+
+
+@dataclass
+class ActionCheckReport:
+    """The outcome of checking MA-RS/MA-RC for one action application."""
+
+    action: str
+    branches_checked: int
+    soundness_ok: bool
+    completeness_ok: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.soundness_ok and self.completeness_ok
+
+
+def check_action(
+    concrete: ConcreteMemoryModel,
+    symbolic: SymbolicMemoryModel,
+    interpret: Interpretation,
+    env: Dict[str, Value],
+    sym_memory: object,
+    action: str,
+    arg: Expr,
+    pc: Optional[PathCondition] = None,
+    solver: Optional[Solver] = None,
+) -> ActionCheckReport:
+    """Check MA-RS and MA-RC for one (µ̂, α, ê, π, ε) instance."""
+    pc = pc if pc is not None else PathCondition.true()
+    solver = solver if solver is not None else Solver()
+
+    try:
+        conc_memory = interpret(env, sym_memory)
+    except Exception as exc:  # interpretation undefined under ε
+        return ActionCheckReport(action, 0, True, True, f"I undefined: {exc}")
+
+    try:
+        conc_arg = evaluate(arg, lvar_env=env)
+    except EvalError as exc:
+        return ActionCheckReport(action, 0, True, True, f"⟦ê⟧ε undefined: {exc}")
+
+    sym_branches = symbolic.execute(action, sym_memory, arg, pc, solver)
+    checked = 0
+    for branch in sym_branches:
+        learned = branch.learned
+        # Does ε satisfy π ∧ π′?  If not, this branch says nothing about ε.
+        if not _env_satisfies(env, list(pc) + list(learned)):
+            continue
+        checked += 1
+        conc_branches = concrete.execute(action, conc_memory, conc_arg)
+        if isinstance(branch, SymMemOk):
+            ok_branches = [b for b in conc_branches if isinstance(b, MemOk)]
+            if not ok_branches:
+                return ActionCheckReport(
+                    action, checked, True, False,
+                    f"MA-RC fails: no concrete Ok transition for {branch!r}",
+                )
+            expected_value = evaluate(branch.expr, lvar_env=env)
+            expected_memory = interpret(env, branch.memory)
+            matched = any(
+                values_equal(b.value, expected_value)
+                and b.memory == expected_memory
+                for b in ok_branches
+            )
+            if not matched:
+                return ActionCheckReport(
+                    action, checked, False, True,
+                    "MA-RS fails: concrete result disagrees with "
+                    f"interpreted symbolic result for {branch!r}",
+                )
+        elif isinstance(branch, SymMemErr):
+            err_branches = [b for b in conc_branches if isinstance(b, MemErr)]
+            if not err_branches:
+                return ActionCheckReport(
+                    action, checked, False, True,
+                    f"MA-RS fails: symbolic error branch {branch!r} has no "
+                    "concrete error counterpart",
+                )
+    return ActionCheckReport(action, checked, True, True)
+
+
+def _env_satisfies(env: Dict[str, Value], conjuncts: List[Expr]) -> bool:
+    for c in conjuncts:
+        try:
+            if evaluate(c, lvar_env=env) is not True:
+                return False
+        except EvalError:
+            return False
+    return True

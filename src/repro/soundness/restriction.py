@@ -1,0 +1,113 @@
+"""Restriction (paper §3.1, Definitions 3.1–3.4).
+
+Restriction generalises path conditions: ``x₁ ⇃x₂`` strengthens ``x₁``
+with information from ``x₂``.  The paper proves soundness *parametrically*
+in any restriction operator satisfying three laws; this module packages
+the operators used by the reproduction (on path conditions, allocation
+records, symbolic states, and configurations) and provides *executable
+checkers* for the laws, which the property-based test suite instantiates
+with randomly generated values — the empirical counterpart of the paper's
+proofs.
+
+Laws (Def. 3.1):
+
+* idempotence:           ``x ⇃x = x``
+* right commutativity:   ``(x₁ ⇃x₂) ⇃x₃ = (x₁ ⇃x₃) ⇃x₂``
+* weakening:             ``x₁ ⇃x₂⇃x₃ = x₁  ⟹  x₁ ⇃x₂ = x₁ ∧ x₁ ⇃x₃ = x₁``
+
+Every restriction induces a pre-order ``x₂ ⊑ x₁ ⟺ x₂ ⇃x₁ = x₂``; state
+restriction must additionally be monotone w.r.t. action execution
+(Def. 3.2) and allocator restriction w.r.t. allocation (Def. 3.3) —
+checked by :func:`check_state_monotonicity` and the allocator tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.gil.semantics import Config
+from repro.logic.pathcond import PathCondition
+from repro.state.allocator import AllocRecord
+from repro.state.symbolic import SymbolicState
+
+X = TypeVar("X")
+Restriction = Callable[[X, X], X]
+
+
+# -- the restriction operators used in this reproduction ----------------------
+
+
+def restrict_pc(pc1: PathCondition, pc2: PathCondition) -> PathCondition:
+    """π₁ ⇃π₂ = π₁ ∧ π₂ — the classical path-condition strengthening."""
+    return pc1.extend(pc2)
+
+
+def restrict_alloc(r1: AllocRecord, r2: AllocRecord) -> AllocRecord:
+    """ξ₁ ⇃ξ₂ — per-site maximum of allocation counters."""
+    return r1.restrict(r2)
+
+
+def restrict_state(s1: SymbolicState, s2: SymbolicState) -> SymbolicState:
+    """σ₁ ⇃σ₂ (Def. 3.9): conjoin path conditions, merge allocators."""
+    return s1.restrict(s2)
+
+
+def restrict_config(c1: Config, c2: Config) -> Config:
+    """⟨σ, cs, i⟩ ⇃⟨σ′,−,−⟩ ≜ ⟨σ ⇃σ′, cs, i⟩ (paper, before Thm. 3.6)."""
+    return Config(restrict_state(c1.state, c2.state), c1.stack, c1.idx)
+
+
+def induced_preorder(restrict: Restriction) -> Callable[[X, X], bool]:
+    """x₂ ⊑ x₁ ⟺ x₂ ⇃x₁ = x₂."""
+
+    def precedes(x2: X, x1: X) -> bool:
+        return restrict(x2, x1) == x2
+
+    return precedes
+
+
+# -- law checkers (used by the property-based tests) ---------------------------
+
+
+def check_idempotence(restrict: Restriction, x: X) -> bool:
+    return restrict(x, x) == x
+
+
+def check_right_commutativity(restrict: Restriction, x1: X, x2: X, x3: X) -> bool:
+    return restrict(restrict(x1, x2), x3) == restrict(restrict(x1, x3), x2)
+
+
+def check_weakening(restrict: Restriction, x1: X, x2: X, x3: X) -> bool:
+    """If x₁ gains nothing from x₂ ⇃x₃ combined, it gains nothing from
+    either alone."""
+    if restrict(x1, restrict(x2, x3)) != x1:
+        return True  # antecedent false: vacuously holds
+    return restrict(x1, x2) == x1 and restrict(x1, x3) == x1
+
+
+def check_associativity(restrict: Restriction, x1: X, x2: X, x3: X) -> bool:
+    return restrict(restrict(x1, x2), x3) == restrict(x1, restrict(x2, x3))
+
+
+def check_state_monotonicity(state_before, state_after) -> bool:
+    """Def. 3.2: σ.α(v) ⇝ (σ′, −) implies σ′ ⊑ σ."""
+    return state_after.precedes(state_before)
+
+
+# -- compatibility (Def. 3.4) --------------------------------------------------
+
+
+def check_restriction_increases_precision(
+    leq: Callable[[X, X], bool], restrict: Restriction, x1: X, x2: X
+) -> bool:
+    """⇃-≤ compatibility: x₁ ⇃x₂ ≤ x₁."""
+    return leq(restrict(x1, x2), x1)
+
+
+def check_precision_implies_preorder(
+    leq: Callable[[X, X], bool], restrict: Restriction, x1: X, x2: X
+) -> bool:
+    """≤-⇃ compatibility: x₂ ≤ x₁ ⟹ x₂ ⊑ x₁."""
+    if not leq(x2, x1):
+        return True
+    return induced_preorder(restrict)(x2, x1)

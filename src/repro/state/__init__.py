@@ -1,0 +1,30 @@
+"""State models: allocators and the concrete/symbolic state constructors
+(paper Defs. 2.2, 2.5, 2.6)."""
+
+from repro.state.allocator import (
+    AllocRecord,
+    ConcreteAllocator,
+    SymbolicAllocator,
+    isym_name,
+    usym_name,
+)
+from repro.state.concrete import ConcreteState, ConcreteStateModel
+from repro.state.interface import (
+    ConcreteMemoryModel,
+    MemErr,
+    MemOk,
+    StateErr,
+    StateOk,
+    SymbolicMemoryModel,
+    SymMemErr,
+    SymMemOk,
+)
+from repro.state.symbolic import SymbolicState, SymbolicStateModel
+
+__all__ = [
+    "AllocRecord", "ConcreteAllocator", "ConcreteMemoryModel",
+    "ConcreteState", "ConcreteStateModel", "MemErr", "MemOk", "StateErr",
+    "StateOk", "SymMemErr", "SymMemOk", "SymbolicAllocator",
+    "SymbolicMemoryModel", "SymbolicState", "SymbolicStateModel",
+    "isym_name", "usym_name",
+]

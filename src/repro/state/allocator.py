@@ -1,0 +1,120 @@
+"""Allocators (paper Def. 2.2, §3.2).
+
+An allocator ``AL = ⟨|AL|, Y, alloc⟩`` draws fresh values from an
+allocation range, keyed by *allocation site* (the program point of the
+``uSym_j``/``iSym_j`` command).  An allocation record ξ keeps, per site,
+how many values that site has produced; the n-th allocation at site j is
+the deterministic name ``{prefix}_{j}_{n}``.  Determinism is what makes
+*restriction* (Def. 3.3) and concrete *replay* of symbolic traces work:
+re-running the same trace allocates the same names.
+
+* The symbolic allocator draws uninterpreted symbols from ``U`` for
+  ``uSym`` and fresh logical variables from ``X̂`` for ``iSym``.
+* The concrete allocator draws uninterpreted symbols for ``uSym`` and an
+  *arbitrary value* for ``iSym`` — arbitrary is resolved either by a
+  default (0) or by a *script*: the logical environment ε of a
+  counter-model, which directs replay (paper §3.2, allocator
+  interpretation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.gil.values import Symbol, Value
+from repro.logic.expr import LVar
+
+
+@dataclass(frozen=True)
+class AllocRecord:
+    """An allocation record ξ: per-site next-index counters (immutable)."""
+
+    counters: Tuple[Tuple[int, int], ...] = ()
+
+    def count(self, site: int) -> int:
+        for s, n in self.counters:
+            if s == site:
+                return n
+        return 0
+
+    def bump(self, site: int) -> Tuple["AllocRecord", int]:
+        """Allocate the next index at ``site``; returns (ξ', index)."""
+        counters = dict(self.counters)
+        idx = counters.get(site, 0)
+        counters[site] = idx + 1
+        return AllocRecord(tuple(sorted(counters.items()))), idx
+
+    # -- restriction (paper Def. 3.1 / 3.3) --------------------------------
+
+    def restrict(self, other: "AllocRecord") -> "AllocRecord":
+        """ξ₁ ⇃ξ₂ — adopt the *further along* counter per site.
+
+        Restriction strengthens ξ₁ with the information of ξ₂: sites that
+        ξ₂ has already allocated from are marked allocated in the result,
+        so a restricted replay makes exactly the same fresh choices.
+        """
+        merged = dict(self.counters)
+        for s, n in other.counters:
+            merged[s] = max(merged.get(s, 0), n)
+        return AllocRecord(tuple(sorted(merged.items())))
+
+    def precedes(self, other: "AllocRecord") -> bool:
+        """The induced pre-order ⊑: self ⊑ other iff self ⇃other = self."""
+        return self.restrict(other) == self
+
+
+def usym_name(site: int, idx: int) -> str:
+    return f"loc_{site}_{idx}"
+
+
+def isym_name(site: int, idx: int) -> str:
+    return f"val_{site}_{idx}"
+
+
+@dataclass
+class SymbolicAllocator:
+    """Allocates uninterpreted symbols and fresh logical variables."""
+
+    def alloc_usym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, Symbol]:
+        record, idx = record.bump(site)
+        return record, Symbol(usym_name(site, idx))
+
+    def alloc_isym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, LVar]:
+        record, idx = record.bump(site)
+        return record, LVar(isym_name(site, idx))
+
+
+@dataclass
+class ConcreteAllocator:
+    """Allocates symbols concretely; ``iSym`` picks an arbitrary value.
+
+    ``script`` maps logical-variable *names* (as produced by
+    :func:`isym_name`) to concrete values — supplying the counter-model ε
+    makes a concrete run follow the corresponding symbolic trace, which is
+    how the testing harness confirms reported bugs (Thm. 3.6).
+    """
+
+    script: Mapping[str, Value] = field(default_factory=dict)
+    default_value: Value = 0
+
+    def alloc_usym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, Symbol]:
+        record, idx = record.bump(site)
+        return record, Symbol(usym_name(site, idx))
+
+    def alloc_isym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, Value]:
+        record, idx = record.bump(site)
+        name = isym_name(site, idx)
+        value = self.script.get(name, self.default_value)
+        return record, value
+
+
+def interpret_record(record: AllocRecord) -> AllocRecord:
+    """Allocator interpretation I_AL (paper Def. 3.8).
+
+    Symbolic and concrete allocation records share their representation —
+    both count per-site allocations — so the interpretation is the
+    identity on records; only the *values* differ (the logical environment
+    maps ``val_j_n`` logical variables to the concrete picks).
+    """
+    return record

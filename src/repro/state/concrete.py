@@ -1,0 +1,123 @@
+"""The concrete state constructor CSC (paper Def. 2.5).
+
+Lifts a concrete memory model to a concrete *state model*: states are
+triples ⟨µ, ρ, ξ⟩ of a memory, a variable store, and an allocation
+record.  The store-related proper actions, ``assume``, and the two
+symbol-generation actions are provided here once and for all — the tool
+developer only supplies the memory model (paper §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.gil.ops import evaluate
+from repro.gil.values import Value
+from repro.logic.expr import Expr
+from repro.state.allocator import AllocRecord, ConcreteAllocator
+from repro.state.interface import (
+    ConcreteMemoryModel,
+    MemErr,
+    MemOk,
+    StateErr,
+    StateOk,
+)
+
+
+@dataclass(frozen=True)
+class ConcreteState:
+    """σ = ⟨µ, ρ, ξ⟩."""
+
+    memory: object
+    store: Mapping[str, Value]
+    alloc: AllocRecord
+
+    def with_store(self, store: Mapping[str, Value]) -> "ConcreteState":
+        return ConcreteState(self.memory, MappingProxyType(dict(store)), self.alloc)
+
+    def bind(self, x: str, v: Value) -> "ConcreteState":
+        store = dict(self.store)
+        store[x] = v
+        return ConcreteState(self.memory, MappingProxyType(store), self.alloc)
+
+
+class ConcreteStateModel:
+    """CSC_AL(M): the state model over a concrete memory model."""
+
+    symbolic = False
+
+    def __init__(
+        self,
+        memory_model: ConcreteMemoryModel,
+        allocator: Optional[ConcreteAllocator] = None,
+    ) -> None:
+        self.memory_model = memory_model
+        self.allocator = allocator if allocator is not None else ConcreteAllocator()
+
+    # -- construction -------------------------------------------------------
+
+    def initial_state(self, memory: object = None) -> ConcreteState:
+        if memory is None:
+            memory = self.memory_model.initial()
+        return ConcreteState(memory, MappingProxyType({}), AllocRecord())
+
+    # -- proper actions (paper Def. 2.5) ------------------------------------
+
+    def eval_expr(self, state: ConcreteState, e: Expr) -> Value:
+        """ea(eval_e): evaluation under the store ρ.  Raises EvalError."""
+        return evaluate(e, pvar_env=state.store)
+
+    def set_var(self, state: ConcreteState, x: str, v: Value) -> ConcreteState:
+        return state.bind(x, v)
+
+    def get_store(self, state: ConcreteState) -> Dict[str, Value]:
+        return dict(state.store)
+
+    def set_store(
+        self, state: ConcreteState, store: Mapping[str, Value]
+    ) -> ConcreteState:
+        return state.with_store(store)
+
+    def assume(self, state: ConcreteState, v: Value) -> List[ConcreteState]:
+        """Keep the state iff v is literally ``true`` (paper [Assume])."""
+        return [state] if v is True else []
+
+    def branch_on(
+        self, state: ConcreteState, cond: Value
+    ) -> List[Tuple[ConcreteState, bool]]:
+        """Both conditional-goto rules at once: concrete execution follows
+        exactly the branch the boolean picks."""
+        if cond is True:
+            return [(state, True)]
+        if cond is False:
+            return [(state, False)]
+        from repro.gil.ops import EvalError
+
+        raise EvalError(f"ifgoto: condition is not a boolean: {cond!r}")
+
+    def fresh_usym(self, state: ConcreteState, site: int):
+        record, sym = self.allocator.alloc_usym(state.alloc, site)
+        return ConcreteState(state.memory, state.store, record), sym
+
+    def fresh_isym(self, state: ConcreteState, site: int):
+        record, value = self.allocator.alloc_isym(state.alloc, site)
+        return ConcreteState(state.memory, state.store, record), value
+
+    # -- memory actions ------------------------------------------------------
+
+    def execute_action(
+        self, state: ConcreteState, action: str, arg: Value
+    ) -> List:
+        """Lift memory-action branches to state-action branches."""
+        out = []
+        for branch in self.memory_model.execute(action, state.memory, arg):
+            if isinstance(branch, MemOk):
+                new_state = ConcreteState(branch.memory, state.store, state.alloc)
+                out.append(StateOk(new_state, branch.value))
+            elif isinstance(branch, MemErr):
+                out.append(StateErr(state, branch.value))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"bad concrete branch {branch!r}")
+        return out

@@ -1,0 +1,142 @@
+"""State and memory model interfaces (paper Defs. 2.1, 2.3, 2.4).
+
+A *memory model* exposes a set of actions and an action execution
+function.  Concrete actions map a memory and a value to a set of
+(memory, value) branches; symbolic actions additionally take and return
+path-condition information:
+
+    ea  : A → |M| → V  ⇀ ℘(|M| × V)                       (concrete)
+    êa  : A → |M̂| → Ê → Π ⇀ ℘(|M̂| × Ê × Π)                (symbolic)
+
+Branches are :class:`MemOk`/:class:`MemErr` (concrete) and
+:class:`SymMemOk`/:class:`SymMemErr` (symbolic).  Error branches model
+executions on which *no successful action rule applies* — e.g. a C load
+outside block bounds — and are turned into GIL error outcomes ``E(v)`` by
+the interpreter; this is how the symbolic testing tools detect
+memory-safety bugs without user assertions.
+
+A *state model* (paper Def. 2.1) packages a memory model with GIL's
+built-in store handling, allocator, and (symbolically) path conditions;
+see :mod:`repro.state.concrete` and :mod:`repro.state.symbolic` for the
+two constructors of Defs. 2.5/2.6.  The GIL interpreter talks to state
+models through the *proper actions* — ``setVar``, ``setStore``,
+``getStore``, ``eval_e``, ``assume``, ``uSym``, ``iSym`` — realised here
+as methods, plus :meth:`execute_action` for the memory actions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generic, List, Tuple, TypeVar
+
+from repro.gil.values import Value
+from repro.logic.expr import Expr
+
+# -- memory action branches ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemOk:
+    """A successful concrete action branch: (µ′, v′)."""
+
+    memory: object
+    value: Value
+
+
+@dataclass(frozen=True)
+class MemErr:
+    """A failing concrete action branch (memory fault, UB, ...)."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class SymMemOk:
+    """A successful symbolic action branch: (µ̂′, ê′, π′).
+
+    ``learned`` is the branching condition π′ the action passes back to
+    the state, which conjoins it onto the path condition (paper §2.3,
+    [Action]).
+    """
+
+    memory: object
+    expr: Expr
+    learned: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class SymMemErr:
+    """A failing symbolic action branch, guarded by ``learned``."""
+
+    expr: Expr
+    learned: Tuple[Expr, ...] = ()
+
+
+# -- memory models -----------------------------------------------------------
+
+
+class ConcreteMemoryModel(abc.ABC):
+    """A concrete memory model M = ⟨|M|, A, ea⟩ (paper Def. 2.3).
+
+    Memories must be treated as immutable: ``execute`` returns fresh
+    memories and never mutates its argument.
+    """
+
+    @property
+    @abc.abstractmethod
+    def actions(self) -> frozenset:
+        """The action names A this model understands."""
+
+    @abc.abstractmethod
+    def initial(self) -> object:
+        """The empty memory."""
+
+    @abc.abstractmethod
+    def execute(self, action: str, memory: object, value: Value) -> List:
+        """``µ.α(v) ⇝ (µ′, v′)`` — a list of MemOk/MemErr branches."""
+
+
+class SymbolicMemoryModel(abc.ABC):
+    """A symbolic memory model M̂ = ⟨|M̂|, A, êa⟩ (paper Def. 2.4)."""
+
+    @property
+    @abc.abstractmethod
+    def actions(self) -> frozenset:
+        """The action names A this model understands."""
+
+    @abc.abstractmethod
+    def initial(self) -> object:
+        """The empty symbolic memory."""
+
+    @abc.abstractmethod
+    def execute(
+        self, action: str, memory: object, expr: Expr, pc, solver
+    ) -> List:
+        """``µ̂.α(ê, π) ⇝ (µ̂′, ê′, π′)`` — a list of SymMemOk/SymMemErr.
+
+        ``pc`` is the current path condition (:class:`PathCondition`);
+        ``solver`` decides satisfiability of candidate branch conditions.
+        Implementations must only emit branches whose learned condition is
+        compatible with ``pc`` (they typically call ``solver.is_sat``).
+        """
+
+
+# -- state action branches ----------------------------------------------------
+
+S = TypeVar("S")
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class StateOk(Generic[S, V]):
+    state: S
+    value: V
+
+
+@dataclass(frozen=True)
+class StateErr(Generic[S, V]):
+    """An action branch that raises a GIL error outcome ``E(value)``."""
+
+    state: S
+    value: V

@@ -1,0 +1,190 @@
+"""The symbolic state constructor SSC (paper Def. 2.6).
+
+Lifts a symbolic memory model to a symbolic state model: states are
+quadruples ⟨µ̂, ρ̂, ξ, π⟩ of a symbolic memory, a symbolic store (program
+variables to logical expressions), an allocation record, and a path
+condition.  ``assume`` strengthens π when satisfiable; memory actions
+conjoin their learned branching conditions onto π (paper §2.3).
+
+This module also implements *state restriction* (paper Def. 3.2):
+``σ₁ ⇃σ₂`` conjoins σ₂'s path condition onto σ₁'s and merges allocation
+records — the generalisation of "strengthening the initial state with the
+final path condition" used in classical symbolic-execution soundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.logic.expr import Expr, Lit, UnOp, UnOpExpr, substitute_pvars
+from repro.logic.pathcond import PathCondition
+from repro.logic.simplify import Simplifier
+from repro.logic.solver import Solver
+from repro.state.allocator import AllocRecord, SymbolicAllocator
+from repro.state.interface import (
+    StateErr,
+    StateOk,
+    SymbolicMemoryModel,
+    SymMemErr,
+    SymMemOk,
+)
+
+
+@dataclass(frozen=True)
+class SymbolicState:
+    """σ̂ = ⟨µ̂, ρ̂, ξ, π⟩."""
+
+    memory: object
+    store: Mapping[str, Expr]
+    alloc: AllocRecord
+    pc: PathCondition
+
+    def with_store(self, store: Mapping[str, Expr]) -> "SymbolicState":
+        return SymbolicState(
+            self.memory, MappingProxyType(dict(store)), self.alloc, self.pc
+        )
+
+    def bind(self, x: str, e: Expr) -> "SymbolicState":
+        store = dict(self.store)
+        store[x] = e
+        return SymbolicState(self.memory, MappingProxyType(store), self.alloc, self.pc)
+
+    def with_pc(self, pc: PathCondition) -> "SymbolicState":
+        return SymbolicState(self.memory, self.store, self.alloc, pc)
+
+    # -- restriction (paper Defs. 3.1/3.2) ----------------------------------
+
+    def restrict(self, other: "SymbolicState") -> "SymbolicState":
+        """σ₁ ⇃σ₂ ≜ ⟨µ̂₁, ρ̂₁, ξ₁ ⇃ξ₂, π₁ ∧ π₂⟩ (paper Def. 3.9)."""
+        return SymbolicState(
+            self.memory,
+            self.store,
+            self.alloc.restrict(other.alloc),
+            self.pc.extend(other.pc),
+        )
+
+    def precedes(self, other: "SymbolicState") -> bool:
+        """The induced pre-order ⊑ (syntactic approximation).
+
+        ``self ⊑ other`` iff restricting self by other gains nothing —
+        here checked syntactically on path conditions and allocator
+        records, which suffices for the monotonicity property tests.
+        """
+        return self.pc.implies_syntactically(other.pc) and self.alloc.precedes(
+            other.alloc
+        )
+
+
+class SymbolicStateModel:
+    """SSC_AL(M̂): the state model over a symbolic memory model."""
+
+    symbolic = True
+
+    def __init__(
+        self,
+        memory_model: SymbolicMemoryModel,
+        solver: Optional[Solver] = None,
+        allocator: Optional[SymbolicAllocator] = None,
+        simplifier: Optional[Simplifier] = None,
+    ) -> None:
+        self.memory_model = memory_model
+        self.solver = solver if solver is not None else Solver()
+        self.allocator = allocator if allocator is not None else SymbolicAllocator()
+        self.simplifier = (
+            simplifier if simplifier is not None else self.solver.simplifier
+        )
+
+    # -- construction -------------------------------------------------------
+
+    def initial_state(
+        self, memory: object = None, pc: Optional[PathCondition] = None
+    ) -> SymbolicState:
+        if memory is None:
+            memory = self.memory_model.initial()
+        return SymbolicState(
+            memory,
+            MappingProxyType({}),
+            AllocRecord(),
+            pc if pc is not None else PathCondition.true(),
+        )
+
+    # -- proper actions (paper Def. 2.6) ------------------------------------
+
+    def eval_expr(self, state: SymbolicState, e: Expr) -> Expr:
+        """[EvalExpr]: substitute the store and simplify (paper §2.3)."""
+        return self.simplifier.simplify(substitute_pvars(e, state.store))
+
+    def set_var(self, state: SymbolicState, x: str, e: Expr) -> SymbolicState:
+        return state.bind(x, e)
+
+    def get_store(self, state: SymbolicState) -> Dict[str, Expr]:
+        return dict(state.store)
+
+    def set_store(
+        self, state: SymbolicState, store: Mapping[str, Expr]
+    ) -> SymbolicState:
+        return state.with_store(store)
+
+    def assume(self, state: SymbolicState, e: Expr) -> List[SymbolicState]:
+        """Strengthen π with ê if satisfiable, else drop the path."""
+        e = self.simplifier.simplify(e)
+        if e == Lit(False):
+            return []
+        pc = state.pc.conjoin(e)
+        if not self.solver.is_sat(pc):
+            return []
+        return [state.with_pc(pc)]
+
+    def branch_on(
+        self, state: SymbolicState, cond: Expr
+    ) -> List[Tuple[SymbolicState, bool]]:
+        """The two conditional-goto rules: branch when both π ∧ ê and
+        π ∧ ¬ê are satisfiable (paper §2.3, [Assume] discussion)."""
+        out: List[Tuple[SymbolicState, bool]] = []
+        for taken, guard in (
+            (True, cond),
+            (False, UnOpExpr(UnOp.NOT, cond)),
+        ):
+            for st in self.assume(state, guard):
+                out.append((st, taken))
+        return out
+
+    def fresh_usym(self, state: SymbolicState, site: int):
+        record, sym = self.allocator.alloc_usym(state.alloc, site)
+        return (
+            SymbolicState(state.memory, state.store, record, state.pc),
+            Lit(sym),
+        )
+
+    def fresh_isym(self, state: SymbolicState, site: int):
+        record, lvar = self.allocator.alloc_isym(state.alloc, site)
+        return SymbolicState(state.memory, state.store, record, state.pc), lvar
+
+    # -- memory actions ------------------------------------------------------
+
+    def execute_action(
+        self, state: SymbolicState, action: str, arg: Expr
+    ) -> List:
+        """Lift symbolic memory branches, conjoining learned conditions and
+        discarding unsatisfiable branches (paper Def. 2.6, [Action])."""
+        out = []
+        branches = self.memory_model.execute(
+            action, state.memory, arg, state.pc, self.solver
+        )
+        for branch in branches:
+            if isinstance(branch, SymMemOk):
+                pc = state.pc.conjoin_all(branch.learned)
+                if branch.learned and not self.solver.is_sat(pc):
+                    continue
+                new_state = SymbolicState(branch.memory, state.store, state.alloc, pc)
+                out.append(StateOk(new_state, branch.expr))
+            elif isinstance(branch, SymMemErr):
+                pc = state.pc.conjoin_all(branch.learned)
+                if branch.learned and not self.solver.is_sat(pc):
+                    continue
+                out.append(StateErr(state.with_pc(pc), branch.expr))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"bad symbolic branch {branch!r}")
+        return out

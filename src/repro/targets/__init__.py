@@ -1,0 +1,21 @@
+"""Target-language instantiations of Gillian (paper §2.2, §4)."""
+
+from repro.targets.language import Language
+
+__all__ = ["Language", "WhileLanguage", "MiniJSLanguage", "MiniCLanguage"]
+
+
+def __getattr__(name):
+    if name == "WhileLanguage":
+        from repro.targets.while_lang import WhileLanguage
+
+        return WhileLanguage
+    if name == "MiniJSLanguage":
+        from repro.targets.js_like import MiniJSLanguage
+
+        return MiniJSLanguage
+    if name == "MiniCLanguage":
+        from repro.targets.c_like import MiniCLanguage
+
+        return MiniCLanguage
+    raise AttributeError(f"module 'repro.targets' has no attribute {name!r}")

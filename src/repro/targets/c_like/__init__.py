@@ -1,0 +1,60 @@
+"""The MiniC instantiation of Gillian (Gillian-C, paper §4.2)."""
+
+from __future__ import annotations
+
+from repro.gil.syntax import Prog
+from repro.targets.language import Language
+from repro.targets.c_like.compiler import compile_source
+from repro.targets.c_like.memory import (
+    CConcreteMemory,
+    CSymbolicMemory,
+    interpret_memory,
+)
+
+#: MiniC implementations of the supported C standard library functions
+#: (paper §4.2: "we have implemented only calloc, free, malloc, memcpy,
+#: memmove, memset, and strcmp").  malloc/calloc/free/memcpy/memmove/
+#: memset are compiler built-ins backed by memory actions; strcmp and
+#: strlen are ordinary MiniC code prepended to every program.
+RUNTIME = r"""
+int strlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && b[i] != 0) {
+    if (a[i] < b[i]) { return -1; }
+    if (b[i] < a[i]) { return 1; }
+    i = i + 1;
+  }
+  if (a[i] == 0 && b[i] == 0) { return 0; }
+  if (a[i] == 0) { return -1; }
+  return 1;
+}
+"""
+
+
+class MiniCLanguage(Language):
+    """Gillian-C: block/offset memory with byte-granular contents."""
+
+    name = "minic"
+
+    def compile(self, source: str) -> Prog:
+        return compile_source(RUNTIME + source)
+
+    def concrete_memory(self) -> CConcreteMemory:
+        return CConcreteMemory()
+
+    def symbolic_memory(self) -> CSymbolicMemory:
+        return CSymbolicMemory()
+
+    def interpretation(self):
+        return interpret_memory
+
+
+__all__ = ["MiniCLanguage"]

@@ -1,0 +1,203 @@
+"""MiniC abstract syntax (paper §4.2).
+
+MiniC is the ISO-C-like target language of the Gillian-C reproduction:
+structs, heap pointers with block/offset semantics, pointer arithmetic,
+``malloc``/``calloc``/``free``/``memcpy``/``memset``, string literals as
+char arrays.  Matching the paper's Gillian-C limitations: no symbolic-size
+allocation, no concurrency, mathematical integer arithmetic (arithmetic
+UB is not modelled), and no address-of on scalar locals (locals live in
+GIL registers; Collections-C-style code keeps data on the heap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.targets.c_like.ctypes import CType
+
+
+class Node:
+    __slots__ = ()
+
+
+class Expression(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntLit(Expression):
+    value: int
+
+
+@dataclass(frozen=True)
+class CharLit(Expression):
+    value: str  # single character
+
+
+@dataclass(frozen=True)
+class StrLit(Expression):
+    value: str
+
+
+@dataclass(frozen=True)
+class NullLit(Expression):
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expression):
+    op: str  # "-" | "!" | "*" | "&"
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class Binary(Expression):
+    op: str  # + - * / % == != < <= > >= && ||
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class CallExpr(Expression):
+    name: str
+    args: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Member(Expression):
+    """obj.field or ptr->field."""
+
+    obj: Expression
+    field: str
+    arrow: bool
+
+
+@dataclass(frozen=True)
+class Index(Expression):
+    base: Expression
+    index: Expression
+
+
+@dataclass(frozen=True)
+class SizeofExpr(Expression):
+    type: CType
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    type: CType
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class SymbolicExpr(Expression):
+    type_name: Optional[str]  # None | "int" | "char" | "bool"
+
+
+class Statement(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Decl(Statement):
+    type: CType
+    name: str
+    init: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class ArrayDecl(Statement):
+    """T name[n]; — a stack array, modelled as a fresh block."""
+
+    element_type: CType
+    name: str
+    length: int
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    target: Expression  # Var | Unary("*") | Member | Index
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IfStmt(Statement):
+    cond: Expression
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class WhileStmt(Statement):
+    cond: Expression
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ForStmt(Statement):
+    init: Optional[Statement]
+    cond: Optional[Expression]
+    step: Optional[Statement]
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Statement):
+    expr: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class BreakStmt(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class ContinueStmt(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class ExprStmt(Statement):
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class AssumeStmt(Statement):
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class AssertStmt(Statement):
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class Param(Node):
+    type: CType
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncDef(Node):
+    ret_type: CType
+    name: str
+    params: Tuple[Param, ...]
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class StructDef(Node):
+    name: str
+    fields: Tuple[Tuple[str, CType], ...]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    structs: Tuple[StructDef, ...]
+    functions: Tuple[FuncDef, ...]

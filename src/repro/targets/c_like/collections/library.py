@@ -1,0 +1,967 @@
+"""A Collections-C-style data-structure library written in MiniC.
+
+The paper evaluates Gillian-C on Collections-C (§4.2, Table 2), "a
+real-world data-structure library for C" with "arrays, lists, treetables,
+hashtables, ring buffers and queues", using "C-specific constructs and
+idioms, such as structures and pointer arithmetic".  This module ports
+the same ten structures (the Table 2 rows) to MiniC: array, deque, list,
+pqueue, queue, rbuf, slist, stack, treetbl, treeset.  Elements are
+``int`` (Collections-C is ``void*``-generic; MiniC keeps the memory
+behaviour — struct layout, pointer arithmetic, malloc/free discipline —
+which is what the analysis exercises).
+
+The §4.2 findings are reproduced as planted defects of the same classes:
+
+1. ``array_add``: an off-by-one in the expansion check writes one slot
+   past the buffer — the paper's "buffer overflow bug in the
+   implementation of dynamic arrays, caused by an off-by-one index";
+2. ``slist_node_before``: relational comparison of pointers into
+   different blocks — "usage of undefined behaviours (pointer
+   comparison, in particular)";
+3. a concrete test that compares freed pointers —
+   "several bugs in the concrete test suite: in particular, comparing
+   freed pointers" (see suites);
+4. ``rbuf_new`` over-allocates by one element with otherwise correct
+   behaviour — "over-allocation in the ring-buffer data structure, but
+   with correct behaviour of the associated functions";
+5. ``str_hash``: the hash loop never advances, so every string hashes
+   alike — "a bug in the string hashing function ... that could lead to
+   performance loss".
+
+The treetable is a plain BST rather than Collections-C's red-black tree
+(same interface and complexity class for the suite's small inputs);
+hashtables are omitted exactly as in the paper ("our first-order solver
+cannot reason about hash functions, we are not able to test the hashtbl
+and hashset data structures"), except for the hash function itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# -- dynamic array (planted bug 1: off-by-one expansion check) --------------------
+
+ARRAY = r"""
+struct Array {
+  int size;
+  int capacity;
+  int *buffer;
+};
+
+struct Array *array_new(int capacity) {
+  struct Array *a = (struct Array *) malloc(sizeof(struct Array));
+  a->size = 0;
+  a->capacity = capacity;
+  a->buffer = (int *) malloc(capacity * sizeof(int));
+  return a;
+}
+
+int array_expand(struct Array *a) {
+  int new_capacity = a->capacity * 2;
+  int *new_buffer = (int *) malloc(new_capacity * sizeof(int));
+  memcpy(new_buffer, a->buffer, a->size * sizeof(int));
+  free(a->buffer);
+  a->buffer = new_buffer;
+  a->capacity = new_capacity;
+  return 1;
+}
+
+int array_add(struct Array *a, int value) {
+  // PLANTED BUG (paper finding 1): the expansion check is off by one —
+  // when size == capacity, the write below lands one past the buffer.
+  if (a->size > a->capacity) {
+    array_expand(a);
+  }
+  a->buffer[a->size] = value;
+  a->size = a->size + 1;
+  return 1;
+}
+
+int array_get(struct Array *a, int index) {
+  return a->buffer[index];
+}
+
+int array_get_checked(struct Array *a, int index, int *out) {
+  if (index < 0 || index >= a->size) { return 0; }
+  *out = a->buffer[index];
+  return 1;
+}
+
+int array_set(struct Array *a, int index, int value) {
+  if (index < 0 || index >= a->size) { return 0; }
+  a->buffer[index] = value;
+  return 1;
+}
+
+int array_index_of(struct Array *a, int value) {
+  int i = 0;
+  while (i < a->size) {
+    if (a->buffer[i] == value) { return i; }
+    i = i + 1;
+  }
+  return 0 - 1;
+}
+
+int array_contains(struct Array *a, int value) {
+  return array_index_of(a, value) >= 0;
+}
+
+int array_remove_at(struct Array *a, int index) {
+  if (index < 0 || index >= a->size) { return 0; }
+  int i = index;
+  while (i < a->size - 1) {
+    a->buffer[i] = a->buffer[i + 1];
+    i = i + 1;
+  }
+  a->size = a->size - 1;
+  return 1;
+}
+
+int array_size(struct Array *a) {
+  return a->size;
+}
+
+void array_destroy(struct Array *a) {
+  free(a->buffer);
+  free(a);
+}
+"""
+
+# -- singly linked list (planted bug 2: UB pointer comparison) ---------------------
+
+SLIST = r"""
+struct SNode {
+  int value;
+  struct SNode *next;
+};
+
+struct SList {
+  struct SNode *head;
+  struct SNode *tail;
+  int size;
+};
+
+struct SList *slist_new() {
+  struct SList *l = (struct SList *) malloc(sizeof(struct SList));
+  l->head = NULL;
+  l->tail = NULL;
+  l->size = 0;
+  return l;
+}
+
+int slist_add(struct SList *l, int value) {
+  struct SNode *n = (struct SNode *) malloc(sizeof(struct SNode));
+  n->value = value;
+  n->next = NULL;
+  if (l->head == NULL) {
+    l->head = n;
+    l->tail = n;
+  } else {
+    l->tail->next = n;
+    l->tail = n;
+  }
+  l->size = l->size + 1;
+  return 1;
+}
+
+int slist_add_first(struct SList *l, int value) {
+  struct SNode *n = (struct SNode *) malloc(sizeof(struct SNode));
+  n->value = value;
+  n->next = l->head;
+  l->head = n;
+  if (l->tail == NULL) { l->tail = n; }
+  l->size = l->size + 1;
+  return 1;
+}
+
+int slist_get(struct SList *l, int index, int *out) {
+  if (index < 0 || index >= l->size) { return 0; }
+  struct SNode *n = l->head;
+  int i = 0;
+  while (i < index) {
+    n = n->next;
+    i = i + 1;
+  }
+  *out = n->value;
+  return 1;
+}
+
+int slist_index_of(struct SList *l, int value) {
+  struct SNode *n = l->head;
+  int i = 0;
+  while (n != NULL) {
+    if (n->value == value) { return i; }
+    n = n->next;
+    i = i + 1;
+  }
+  return 0 - 1;
+}
+
+int slist_contains(struct SList *l, int value) {
+  return slist_index_of(l, value) >= 0;
+}
+
+struct SNode *slist_node_before(struct SList *l, struct SNode *node) {
+  // PLANTED BUG (paper finding 2): comparing pointers into different
+  // blocks with < is C undefined behaviour; compilers may assume the
+  // comparison never happens and miscompile the search.
+  struct SNode *n = l->head;
+  while (n != NULL) {
+    if (n->next != NULL && n->next < node && node < n->next->next) {
+      return n;
+    }
+    if (n->next == node) { return n; }
+    n = n->next;
+  }
+  return NULL;
+}
+
+int slist_remove(struct SList *l, int value) {
+  struct SNode *prev = NULL;
+  struct SNode *n = l->head;
+  while (n != NULL) {
+    if (n->value == value) {
+      if (prev == NULL) {
+        l->head = n->next;
+      } else {
+        prev->next = n->next;
+      }
+      if (n == l->tail) { l->tail = prev; }
+      l->size = l->size - 1;
+      free(n);
+      return 1;
+    }
+    prev = n;
+    n = n->next;
+  }
+  return 0;
+}
+
+int slist_remove_first(struct SList *l, int *out) {
+  if (l->head == NULL) { return 0; }
+  struct SNode *n = l->head;
+  *out = n->value;
+  l->head = n->next;
+  if (l->head == NULL) { l->tail = NULL; }
+  l->size = l->size - 1;
+  free(n);
+  return 1;
+}
+
+int slist_size(struct SList *l) {
+  return l->size;
+}
+
+void slist_destroy(struct SList *l) {
+  struct SNode *n = l->head;
+  while (n != NULL) {
+    struct SNode *next = n->next;
+    free(n);
+    n = next;
+  }
+  free(l);
+}
+"""
+
+# -- doubly linked list ---------------------------------------------------------------
+
+LIST = r"""
+struct DNode {
+  int value;
+  struct DNode *next;
+  struct DNode *prev;
+};
+
+struct List {
+  struct DNode *head;
+  struct DNode *tail;
+  int size;
+};
+
+struct List *list_new() {
+  struct List *l = (struct List *) malloc(sizeof(struct List));
+  l->head = NULL;
+  l->tail = NULL;
+  l->size = 0;
+  return l;
+}
+
+int list_add_last(struct List *l, int value) {
+  struct DNode *n = (struct DNode *) malloc(sizeof(struct DNode));
+  n->value = value;
+  n->next = NULL;
+  n->prev = l->tail;
+  if (l->tail == NULL) {
+    l->head = n;
+  } else {
+    l->tail->next = n;
+  }
+  l->tail = n;
+  l->size = l->size + 1;
+  return 1;
+}
+
+int list_add_first(struct List *l, int value) {
+  struct DNode *n = (struct DNode *) malloc(sizeof(struct DNode));
+  n->value = value;
+  n->prev = NULL;
+  n->next = l->head;
+  if (l->head == NULL) {
+    l->tail = n;
+  } else {
+    l->head->prev = n;
+  }
+  l->head = n;
+  l->size = l->size + 1;
+  return 1;
+}
+
+struct DNode *list_node_at(struct List *l, int index) {
+  if (index < 0 || index >= l->size) { return NULL; }
+  struct DNode *n = l->head;
+  int i = 0;
+  while (i < index) {
+    n = n->next;
+    i = i + 1;
+  }
+  return n;
+}
+
+int list_get(struct List *l, int index, int *out) {
+  struct DNode *n = list_node_at(l, index);
+  if (n == NULL) { return 0; }
+  *out = n->value;
+  return 1;
+}
+
+int list_index_of(struct List *l, int value) {
+  struct DNode *n = l->head;
+  int i = 0;
+  while (n != NULL) {
+    if (n->value == value) { return i; }
+    n = n->next;
+    i = i + 1;
+  }
+  return 0 - 1;
+}
+
+int list_contains(struct List *l, int value) {
+  return list_index_of(l, value) >= 0;
+}
+
+int list_remove_node(struct List *l, struct DNode *n) {
+  if (n->prev == NULL) {
+    l->head = n->next;
+  } else {
+    n->prev->next = n->next;
+  }
+  if (n->next == NULL) {
+    l->tail = n->prev;
+  } else {
+    n->next->prev = n->prev;
+  }
+  l->size = l->size - 1;
+  free(n);
+  return 1;
+}
+
+int list_remove(struct List *l, int value) {
+  struct DNode *n = l->head;
+  while (n != NULL) {
+    if (n->value == value) {
+      return list_remove_node(l, n);
+    }
+    n = n->next;
+  }
+  return 0;
+}
+
+int list_remove_first(struct List *l, int *out) {
+  if (l->head == NULL) { return 0; }
+  *out = l->head->value;
+  return list_remove_node(l, l->head);
+}
+
+int list_remove_last(struct List *l, int *out) {
+  if (l->tail == NULL) { return 0; }
+  *out = l->tail->value;
+  return list_remove_node(l, l->tail);
+}
+
+int list_size(struct List *l) {
+  return l->size;
+}
+
+void list_destroy(struct List *l) {
+  struct DNode *n = l->head;
+  while (n != NULL) {
+    struct DNode *next = n->next;
+    free(n);
+    n = next;
+  }
+  free(l);
+}
+"""
+
+# -- deque (circular buffer) -------------------------------------------------------------
+
+DEQUE = r"""
+struct Deque {
+  int *buffer;
+  int capacity;
+  int first;
+  int size;
+};
+
+struct Deque *deque_new(int capacity) {
+  struct Deque *d = (struct Deque *) malloc(sizeof(struct Deque));
+  d->buffer = (int *) malloc(capacity * sizeof(int));
+  d->capacity = capacity;
+  d->first = 0;
+  d->size = 0;
+  return d;
+}
+
+int deque_expand(struct Deque *d) {
+  int new_capacity = d->capacity * 2;
+  int *new_buffer = (int *) malloc(new_capacity * sizeof(int));
+  int i = 0;
+  while (i < d->size) {
+    new_buffer[i] = d->buffer[(d->first + i) % d->capacity];
+    i = i + 1;
+  }
+  free(d->buffer);
+  d->buffer = new_buffer;
+  d->capacity = new_capacity;
+  d->first = 0;
+  return 1;
+}
+
+int deque_add_last(struct Deque *d, int value) {
+  if (d->size >= d->capacity) {
+    deque_expand(d);
+  }
+  d->buffer[(d->first + d->size) % d->capacity] = value;
+  d->size = d->size + 1;
+  return 1;
+}
+
+int deque_add_first(struct Deque *d, int value) {
+  if (d->size >= d->capacity) {
+    deque_expand(d);
+  }
+  d->first = (d->first + d->capacity - 1) % d->capacity;
+  d->buffer[d->first] = value;
+  d->size = d->size + 1;
+  return 1;
+}
+
+int deque_remove_first(struct Deque *d, int *out) {
+  if (d->size == 0) { return 0; }
+  *out = d->buffer[d->first];
+  d->first = (d->first + 1) % d->capacity;
+  d->size = d->size - 1;
+  return 1;
+}
+
+int deque_remove_last(struct Deque *d, int *out) {
+  if (d->size == 0) { return 0; }
+  *out = d->buffer[(d->first + d->size - 1) % d->capacity];
+  d->size = d->size - 1;
+  return 1;
+}
+
+int deque_get_first(struct Deque *d, int *out) {
+  if (d->size == 0) { return 0; }
+  *out = d->buffer[d->first];
+  return 1;
+}
+
+int deque_get_last(struct Deque *d, int *out) {
+  if (d->size == 0) { return 0; }
+  *out = d->buffer[(d->first + d->size - 1) % d->capacity];
+  return 1;
+}
+
+int deque_get(struct Deque *d, int index, int *out) {
+  if (index < 0 || index >= d->size) { return 0; }
+  *out = d->buffer[(d->first + index) % d->capacity];
+  return 1;
+}
+
+int deque_size(struct Deque *d) {
+  return d->size;
+}
+
+void deque_destroy(struct Deque *d) {
+  free(d->buffer);
+  free(d);
+}
+"""
+
+# -- queue and stack -------------------------------------------------------------------
+
+QUEUE = r"""
+struct Queue {
+  struct Deque *deque;
+};
+
+struct Queue *queue_new(int capacity) {
+  struct Queue *q = (struct Queue *) malloc(sizeof(struct Queue));
+  q->deque = deque_new(capacity);
+  return q;
+}
+
+int queue_enqueue(struct Queue *q, int value) {
+  return deque_add_last(q->deque, value);
+}
+
+int queue_poll(struct Queue *q, int *out) {
+  return deque_remove_first(q->deque, out);
+}
+
+int queue_peek(struct Queue *q, int *out) {
+  return deque_get_first(q->deque, out);
+}
+
+int queue_size(struct Queue *q) {
+  return deque_size(q->deque);
+}
+
+void queue_destroy(struct Queue *q) {
+  deque_destroy(q->deque);
+  free(q);
+}
+"""
+
+STACK = r"""
+struct Stack {
+  struct SList *list;
+};
+
+struct Stack *stack_new() {
+  struct Stack *s = (struct Stack *) malloc(sizeof(struct Stack));
+  s->list = slist_new();
+  return s;
+}
+
+int stack_push(struct Stack *s, int value) {
+  return slist_add_first(s->list, value);
+}
+
+int stack_pop(struct Stack *s, int *out) {
+  return slist_remove_first(s->list, out);
+}
+
+int stack_peek(struct Stack *s, int *out) {
+  return slist_get(s->list, 0, out);
+}
+
+int stack_size(struct Stack *s) {
+  return slist_size(s->list);
+}
+
+void stack_destroy(struct Stack *s) {
+  slist_destroy(s->list);
+  free(s);
+}
+"""
+
+# -- priority queue (binary min-heap) --------------------------------------------------
+
+PQUEUE = r"""
+struct PQueue {
+  int *buffer;
+  int capacity;
+  int size;
+};
+
+struct PQueue *pqueue_new(int capacity) {
+  struct PQueue *pq = (struct PQueue *) malloc(sizeof(struct PQueue));
+  pq->buffer = (int *) malloc(capacity * sizeof(int));
+  pq->capacity = capacity;
+  pq->size = 0;
+  return pq;
+}
+
+int pqueue_swap(struct PQueue *pq, int i, int j) {
+  int tmp = pq->buffer[i];
+  pq->buffer[i] = pq->buffer[j];
+  pq->buffer[j] = tmp;
+  return 1;
+}
+
+int pqueue_push(struct PQueue *pq, int value) {
+  if (pq->size >= pq->capacity) { return 0; }
+  pq->buffer[pq->size] = value;
+  int i = pq->size;
+  pq->size = pq->size + 1;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (pq->buffer[i] < pq->buffer[parent]) {
+      pqueue_swap(pq, i, parent);
+      i = parent;
+    } else {
+      break;
+    }
+  }
+  return 1;
+}
+
+int pqueue_pop(struct PQueue *pq, int *out) {
+  if (pq->size == 0) { return 0; }
+  *out = pq->buffer[0];
+  pq->size = pq->size - 1;
+  pq->buffer[0] = pq->buffer[pq->size];
+  int i = 0;
+  while (1) {
+    int left = 2 * i + 1;
+    int right = 2 * i + 2;
+    int smallest = i;
+    if (left < pq->size && pq->buffer[left] < pq->buffer[smallest]) {
+      smallest = left;
+    }
+    if (right < pq->size && pq->buffer[right] < pq->buffer[smallest]) {
+      smallest = right;
+    }
+    if (smallest == i) { break; }
+    pqueue_swap(pq, i, smallest);
+    i = smallest;
+  }
+  return 1;
+}
+
+int pqueue_peek(struct PQueue *pq, int *out) {
+  if (pq->size == 0) { return 0; }
+  *out = pq->buffer[0];
+  return 1;
+}
+
+int pqueue_size(struct PQueue *pq) {
+  return pq->size;
+}
+
+void pqueue_destroy(struct PQueue *pq) {
+  free(pq->buffer);
+  free(pq);
+}
+"""
+
+# -- ring buffer (planted bug 4: over-allocation, behaviour correct) --------------------
+
+RBUF = r"""
+struct RBuf {
+  int *buffer;
+  int capacity;
+  int head;
+  int size;
+};
+
+struct RBuf *rbuf_new(int capacity) {
+  struct RBuf *r = (struct RBuf *) malloc(sizeof(struct RBuf));
+  // PLANTED BUG (paper finding 4): one element more than needed is
+  // allocated; every operation stays correct, memory is simply wasted.
+  r->buffer = (int *) malloc((capacity + 1) * sizeof(int));
+  r->capacity = capacity;
+  r->head = 0;
+  r->size = 0;
+  return r;
+}
+
+int rbuf_enqueue(struct RBuf *r, int value) {
+  int index = (r->head + r->size) % r->capacity;
+  r->buffer[index] = value;
+  if (r->size < r->capacity) {
+    r->size = r->size + 1;
+  } else {
+    r->head = (r->head + 1) % r->capacity;
+  }
+  return 1;
+}
+
+int rbuf_dequeue(struct RBuf *r, int *out) {
+  if (r->size == 0) { return 0; }
+  *out = r->buffer[r->head];
+  r->head = (r->head + 1) % r->capacity;
+  r->size = r->size - 1;
+  return 1;
+}
+
+int rbuf_size(struct RBuf *r) {
+  return r->size;
+}
+
+void rbuf_destroy(struct RBuf *r) {
+  free(r->buffer);
+  free(r);
+}
+"""
+
+# -- treetable (BST-based ordered map) and treeset --------------------------------------
+
+TREETBL = r"""
+struct TNode {
+  int key;
+  int value;
+  struct TNode *left;
+  struct TNode *right;
+};
+
+struct TreeTbl {
+  struct TNode *root;
+  int size;
+};
+
+struct TreeTbl *treetbl_new() {
+  struct TreeTbl *t = (struct TreeTbl *) malloc(sizeof(struct TreeTbl));
+  t->root = NULL;
+  t->size = 0;
+  return t;
+}
+
+int treetbl_add(struct TreeTbl *t, int key, int value) {
+  struct TNode *n = (struct TNode *) malloc(sizeof(struct TNode));
+  n->key = key;
+  n->value = value;
+  n->left = NULL;
+  n->right = NULL;
+  if (t->root == NULL) {
+    t->root = n;
+    t->size = t->size + 1;
+    return 1;
+  }
+  struct TNode *current = t->root;
+  while (1) {
+    if (key == current->key) {
+      current->value = value;
+      free(n);
+      return 1;
+    }
+    if (key < current->key) {
+      if (current->left == NULL) {
+        current->left = n;
+        t->size = t->size + 1;
+        return 1;
+      }
+      current = current->left;
+    } else {
+      if (current->right == NULL) {
+        current->right = n;
+        t->size = t->size + 1;
+        return 1;
+      }
+      current = current->right;
+    }
+  }
+  return 0;
+}
+
+int treetbl_get(struct TreeTbl *t, int key, int *out) {
+  struct TNode *current = t->root;
+  while (current != NULL) {
+    if (key == current->key) {
+      *out = current->value;
+      return 1;
+    }
+    if (key < current->key) {
+      current = current->left;
+    } else {
+      current = current->right;
+    }
+  }
+  return 0;
+}
+
+int treetbl_contains_key(struct TreeTbl *t, int key) {
+  int tmp = 0;
+  return treetbl_get(t, key, &tmp);
+}
+
+int treetbl_min_key(struct TreeTbl *t, int *out) {
+  if (t->root == NULL) { return 0; }
+  struct TNode *current = t->root;
+  while (current->left != NULL) {
+    current = current->left;
+  }
+  *out = current->key;
+  return 1;
+}
+
+int treetbl_max_key(struct TreeTbl *t, int *out) {
+  if (t->root == NULL) { return 0; }
+  struct TNode *current = t->root;
+  while (current->right != NULL) {
+    current = current->right;
+  }
+  *out = current->key;
+  return 1;
+}
+
+struct TNode *treetbl_detach_min(struct TNode *parent, struct TNode *node) {
+  while (node->left != NULL) {
+    parent = node;
+    node = node->left;
+  }
+  if (parent->left == node) {
+    parent->left = node->right;
+  } else {
+    parent->right = node->right;
+  }
+  return node;
+}
+
+int treetbl_remove(struct TreeTbl *t, int key) {
+  struct TNode *parent = NULL;
+  struct TNode *current = t->root;
+  while (current != NULL) {
+    if (key == current->key) {
+      if (current->left != NULL && current->right != NULL) {
+        if (current->right->left == NULL) {
+          current->key = current->right->key;
+          current->value = current->right->value;
+          struct TNode *dead = current->right;
+          current->right = current->right->right;
+          free(dead);
+        } else {
+          struct TNode *min = treetbl_detach_min(current, current->right);
+          current->key = min->key;
+          current->value = min->value;
+          free(min);
+        }
+      } else {
+        struct TNode *child = current->left;
+        if (child == NULL) { child = current->right; }
+        if (parent == NULL) {
+          t->root = child;
+        } else if (parent->left == current) {
+          parent->left = child;
+        } else {
+          parent->right = child;
+        }
+        free(current);
+      }
+      t->size = t->size - 1;
+      return 1;
+    }
+    parent = current;
+    if (key < current->key) {
+      current = current->left;
+    } else {
+      current = current->right;
+    }
+  }
+  return 0;
+}
+
+int treetbl_size(struct TreeTbl *t) {
+  return t->size;
+}
+
+void treetbl_destroy_node(struct TNode *n) {
+  if (n == NULL) { return; }
+  treetbl_destroy_node(n->left);
+  treetbl_destroy_node(n->right);
+  free(n);
+}
+
+void treetbl_destroy(struct TreeTbl *t) {
+  treetbl_destroy_node(t->root);
+  free(t);
+}
+"""
+
+TREESET = r"""
+struct TreeSet {
+  struct TreeTbl *table;
+};
+
+struct TreeSet *treeset_new() {
+  struct TreeSet *s = (struct TreeSet *) malloc(sizeof(struct TreeSet));
+  s->table = treetbl_new();
+  return s;
+}
+
+int treeset_add(struct TreeSet *s, int value) {
+  if (treetbl_contains_key(s->table, value)) { return 0; }
+  return treetbl_add(s->table, value, 1);
+}
+
+int treeset_contains(struct TreeSet *s, int value) {
+  return treetbl_contains_key(s->table, value);
+}
+
+int treeset_remove(struct TreeSet *s, int value) {
+  return treetbl_remove(s->table, value);
+}
+
+int treeset_size(struct TreeSet *s) {
+  return treetbl_size(s->table);
+}
+
+int treeset_min(struct TreeSet *s, int *out) {
+  return treetbl_min_key(s->table, out);
+}
+
+void treeset_destroy(struct TreeSet *s) {
+  treetbl_destroy(s->table);
+  free(s);
+}
+"""
+
+# -- string hashing (planted bug 5) ------------------------------------------------------
+
+HASH = r"""
+int str_hash(char *s) {
+  int hash = 5381;
+  int i = 0;
+  while (s[i] != 0) {
+    // PLANTED BUG (paper finding 5): the hash never mixes the character
+    // in — every string of the same first character collides, degrading
+    // hashtable performance (behaviour stays functionally correct).
+    hash = hash * 33 + s[0];
+    i = i + 1;
+  }
+  return hash;
+}
+"""
+
+#: Module sources keyed by Table 2 row name.
+MODULES: Dict[str, str] = {
+    "array": ARRAY,
+    "deque": DEQUE,
+    "list": LIST,
+    "pqueue": PQUEUE,
+    "queue": QUEUE,
+    "rbuf": RBUF,
+    "slist": SLIST,
+    "stack": STACK,
+    "treetbl": TREETBL,
+    "treeset": TREESET,
+}
+
+DEPS: Dict[str, tuple] = {
+    "array": (),
+    "deque": (),
+    "list": (),
+    "pqueue": (),
+    "queue": ("deque",),
+    "rbuf": (),
+    "slist": (),
+    "stack": ("slist",),
+    "treetbl": (),
+    "treeset": ("treetbl",),
+}
+
+
+def module_source(name: str) -> str:
+    parts = []
+    for dep in DEPS[name]:
+        parts.append(MODULES[dep])
+    parts.append(MODULES[name])
+    return "\n".join(parts)
+
+
+def full_library() -> str:
+    order = ["array", "deque", "list", "pqueue", "slist", "queue", "rbuf",
+             "stack", "treetbl", "treeset"]
+    return "\n".join(MODULES[m] for m in order) + "\n" + HASH

@@ -1,0 +1,1961 @@
+"""Symbolic test suites for the Collections-C-style MiniC library (Table 2).
+
+One suite per Table 2 row with the paper's test counts (#T column:
+array 22, deque 34, list 37, pqueue 2, queue 4, rbuf 3, slist 38,
+stack 2, treetbl 13, treeset 6 — 161 in total), plus an extra ``hash``
+suite mirroring §4.2's hashing-bug discovery (outside Table 2, as in the
+paper).
+
+Tests expected to fail — each re-detecting one of the paper's findings —
+are listed in :data:`KNOWN_BUG_TESTS`:
+
+* ``test_array_add_triggers_expand`` — finding 1 (off-by-one overflow);
+* ``test_slist_node_before_lookup`` — finding 2 (UB pointer comparison);
+* ``test_array_compare_freed_pointers`` — finding 3 (bug in the concrete
+  test suite: comparing freed pointers);
+* ``test_rbuf_allocation_is_exact`` — finding 4 (ring-buffer
+  over-allocation);
+* ``test_hash_distinguishes_strings`` — finding 5 (string hashing bug).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.targets.c_like.collections.library import HASH, module_source
+
+_ARRAY_TESTS = r"""
+void test_new_is_empty() {
+  struct Array *a = array_new(4);
+  assert(array_size(a) == 0);
+  array_destroy(a);
+}
+
+void test_add_get() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  array_add(a, x);
+  assert(array_get(a, 0) == x);
+  assert(array_size(a) == 1);
+  array_destroy(a);
+}
+
+void test_add_two_order() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  array_add(a, x);
+  array_add(a, 7);
+  assert(array_get(a, 0) == x);
+  assert(array_get(a, 1) == 7);
+  array_destroy(a);
+}
+
+void test_get_checked_in_range() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  array_add(a, 2);
+  int i = symb_int();
+  assume(0 <= i && i < 2);
+  int out = 0;
+  assert(array_get_checked(a, i, &out));
+  assert(out == i + 1);
+  array_destroy(a);
+}
+
+void test_get_checked_out_of_range() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  int i = symb_int();
+  assume(i < 0 || i >= 1);
+  int out = 0;
+  assert(!array_get_checked(a, i, &out));
+  array_destroy(a);
+}
+
+void test_set_in_range() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  int v = symb_int();
+  assert(array_set(a, 0, v));
+  assert(array_get(a, 0) == v);
+  array_destroy(a);
+}
+
+void test_set_out_of_range_rejected() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  assert(!array_set(a, 1, 9));
+  assert(!array_set(a, 0 - 1, 9));
+  array_destroy(a);
+}
+
+void test_index_of_found() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  array_add(a, x);
+  array_add(a, y);
+  assert(array_index_of(a, y) == 1);
+  array_destroy(a);
+}
+
+void test_index_of_first_match() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  array_add(a, x);
+  array_add(a, x);
+  assert(array_index_of(a, x) == 0);
+  array_destroy(a);
+}
+
+void test_index_of_missing() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  array_add(a, x);
+  assert(array_index_of(a, y) == 0 - 1);
+  assert(!array_contains(a, y));
+  array_destroy(a);
+}
+
+void test_contains() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  array_add(a, x);
+  assert(array_contains(a, x));
+  array_destroy(a);
+}
+
+void test_remove_at_front() {
+  struct Array *a = array_new(4);
+  int x = symb_int();
+  array_add(a, x);
+  array_add(a, 2);
+  assert(array_remove_at(a, 0));
+  assert(array_size(a) == 1);
+  assert(array_get(a, 0) == 2);
+  array_destroy(a);
+}
+
+void test_remove_at_back() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  int x = symb_int();
+  array_add(a, x);
+  assert(array_remove_at(a, 1));
+  assert(array_size(a) == 1);
+  assert(array_get(a, 0) == 1);
+  array_destroy(a);
+}
+
+void test_remove_at_middle_shifts() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  int x = symb_int();
+  array_add(a, x);
+  array_add(a, 3);
+  assert(array_remove_at(a, 1));
+  assert(array_get(a, 0) == 1);
+  assert(array_get(a, 1) == 3);
+  array_destroy(a);
+}
+
+void test_remove_at_out_of_range() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  assert(!array_remove_at(a, 5));
+  assert(array_size(a) == 1);
+  array_destroy(a);
+}
+
+void test_symbolic_index_remove() {
+  struct Array *a = array_new(4);
+  array_add(a, 10);
+  array_add(a, 20);
+  array_add(a, 30);
+  int i = symb_int();
+  assume(0 <= i && i < 3);
+  assert(array_remove_at(a, i));
+  assert(array_size(a) == 2);
+  assert(!array_contains(a, (i + 1) * 10));
+  array_destroy(a);
+}
+
+void test_fill_to_capacity() {
+  struct Array *a = array_new(3);
+  array_add(a, 1);
+  array_add(a, 2);
+  array_add(a, 3);
+  assert(array_size(a) == 3);
+  assert(array_get(a, 2) == 3);
+  array_destroy(a);
+}
+
+void test_array_add_triggers_expand() {
+  // Detects planted finding 1: adding past the capacity must expand the
+  // buffer, but the off-by-one check writes one slot past it first.
+  struct Array *a = array_new(2);
+  array_add(a, 1);
+  array_add(a, 2);
+  array_add(a, 3);
+  assert(array_size(a) == 3);
+  assert(array_get(a, 2) == 3);
+  array_destroy(a);
+}
+
+void test_expand_preserves_contents() {
+  struct Array *a = array_new(4);
+  array_add(a, 1);
+  array_add(a, 2);
+  array_expand(a);
+  assert(array_get(a, 0) == 1);
+  assert(array_get(a, 1) == 2);
+  assert(array_size(a) == 2);
+  array_destroy(a);
+}
+
+void test_array_compare_freed_pointers() {
+  // Mirrors finding 3: the upstream concrete test suite compared freed
+  // pointers, itself undefined behaviour.
+  struct Array *a = array_new(2);
+  int *old_buffer = a->buffer;
+  array_expand(a);
+  assert(old_buffer != a->buffer);   // UB: old_buffer was freed
+  array_destroy(a);
+}
+
+void test_destroy_then_use_is_caught() {
+  struct Array *a = array_new(2);
+  array_add(a, 1);
+  int *buf = a->buffer;
+  array_destroy(a);
+  int probe = symb_int();
+  assume(probe == 0);
+  if (probe == 1) {
+    // Unreachable: guarded use after destroy must not be reported.
+    buf[0] = 1;
+  }
+  assert(probe == 0);
+}
+
+void test_two_arrays_independent() {
+  struct Array *a = array_new(2);
+  struct Array *b = array_new(2);
+  int x = symb_int();
+  array_add(a, x);
+  array_add(b, x + 1);
+  assert(array_get(a, 0) == x);
+  assert(array_get(b, 0) == x + 1);
+  array_destroy(a);
+  array_destroy(b);
+}
+"""
+
+_DEQUE_TESTS = r"""
+void test_new_empty() {
+  struct Deque *d = deque_new(4);
+  assert(deque_size(d) == 0);
+  deque_destroy(d);
+}
+
+void test_add_last_one() {
+  struct Deque *d = deque_new(4);
+  int x = symb_int();
+  deque_add_last(d, x);
+  int out = 0;
+  assert(deque_get_first(d, &out));
+  assert(out == x);
+  deque_destroy(d);
+}
+
+void test_add_first_one() {
+  struct Deque *d = deque_new(4);
+  int x = symb_int();
+  deque_add_first(d, x);
+  int out = 0;
+  assert(deque_get_last(d, &out));
+  assert(out == x);
+  deque_destroy(d);
+}
+
+void test_add_last_order() {
+  struct Deque *d = deque_new(4);
+  deque_add_last(d, 1);
+  deque_add_last(d, 2);
+  int out = 0;
+  deque_get_first(d, &out);
+  assert(out == 1);
+  deque_get_last(d, &out);
+  assert(out == 2);
+  deque_destroy(d);
+}
+
+void test_add_first_order() {
+  struct Deque *d = deque_new(4);
+  deque_add_first(d, 1);
+  deque_add_first(d, 2);
+  int out = 0;
+  deque_get_first(d, &out);
+  assert(out == 2);
+  deque_get_last(d, &out);
+  assert(out == 1);
+  deque_destroy(d);
+}
+
+void test_mixed_ends() {
+  struct Deque *d = deque_new(4);
+  int x = symb_int();
+  deque_add_last(d, x);
+  deque_add_first(d, 0);
+  deque_add_last(d, 9);
+  int out = 0;
+  deque_get(d, 0, &out);
+  assert(out == 0);
+  deque_get(d, 1, &out);
+  assert(out == x);
+  deque_get(d, 2, &out);
+  assert(out == 9);
+  deque_destroy(d);
+}
+
+void test_remove_first() {
+  struct Deque *d = deque_new(4);
+  int x = symb_int();
+  deque_add_last(d, x);
+  deque_add_last(d, 5);
+  int out = 0;
+  assert(deque_remove_first(d, &out));
+  assert(out == x);
+  assert(deque_size(d) == 1);
+  deque_destroy(d);
+}
+
+void test_remove_last() {
+  struct Deque *d = deque_new(4);
+  deque_add_last(d, 5);
+  int x = symb_int();
+  deque_add_last(d, x);
+  int out = 0;
+  assert(deque_remove_last(d, &out));
+  assert(out == x);
+  assert(deque_size(d) == 1);
+  deque_destroy(d);
+}
+
+void test_remove_first_empty() {
+  struct Deque *d = deque_new(4);
+  int out = 0;
+  assert(!deque_remove_first(d, &out));
+  deque_destroy(d);
+}
+
+void test_remove_last_empty() {
+  struct Deque *d = deque_new(4);
+  int out = 0;
+  assert(!deque_remove_last(d, &out));
+  deque_destroy(d);
+}
+
+void test_get_first_empty() {
+  struct Deque *d = deque_new(4);
+  int out = 0;
+  assert(!deque_get_first(d, &out));
+  deque_destroy(d);
+}
+
+void test_get_last_empty() {
+  struct Deque *d = deque_new(4);
+  int out = 0;
+  assert(!deque_get_last(d, &out));
+  deque_destroy(d);
+}
+
+void test_get_out_of_range() {
+  struct Deque *d = deque_new(4);
+  deque_add_last(d, 1);
+  int i = symb_int();
+  assume(i < 0 || i >= 1);
+  int out = 0;
+  assert(!deque_get(d, i, &out));
+  deque_destroy(d);
+}
+
+void test_wraparound_first() {
+  struct Deque *d = deque_new(3);
+  deque_add_last(d, 1);
+  deque_add_last(d, 2);
+  int out = 0;
+  deque_remove_first(d, &out);
+  deque_add_last(d, 3);
+  deque_add_last(d, 4);       // wraps around the circular buffer
+  deque_get(d, 0, &out);
+  assert(out == 2);
+  deque_get(d, 2, &out);
+  assert(out == 4);
+  deque_destroy(d);
+}
+
+void test_wraparound_add_first() {
+  struct Deque *d = deque_new(3);
+  int x = symb_int();
+  deque_add_first(d, x);       // first moves to capacity-1
+  int out = 0;
+  deque_get(d, 0, &out);
+  assert(out == x);
+  deque_add_first(d, 7);
+  deque_get(d, 0, &out);
+  assert(out == 7);
+  deque_destroy(d);
+}
+
+void test_expand_on_full() {
+  struct Deque *d = deque_new(2);
+  deque_add_last(d, 1);
+  deque_add_last(d, 2);
+  deque_add_last(d, 3);        // triggers expansion
+  assert(deque_size(d) == 3);
+  int out = 0;
+  deque_get(d, 2, &out);
+  assert(out == 3);
+  deque_destroy(d);
+}
+
+void test_expand_preserves_wrapped() {
+  struct Deque *d = deque_new(2);
+  deque_add_last(d, 1);
+  deque_add_last(d, 2);
+  int out = 0;
+  deque_remove_first(d, &out);
+  deque_add_last(d, 3);        // wrapped: physical order [3, 2]
+  deque_add_last(d, 4);        // expansion must linearise
+  deque_get(d, 0, &out);
+  assert(out == 2);
+  deque_get(d, 1, &out);
+  assert(out == 3);
+  deque_get(d, 2, &out);
+  assert(out == 4);
+  deque_destroy(d);
+}
+
+void test_size_tracks_both_ends() {
+  struct Deque *d = deque_new(4);
+  deque_add_first(d, 1);
+  deque_add_last(d, 2);
+  assert(deque_size(d) == 2);
+  int out = 0;
+  deque_remove_first(d, &out);
+  assert(deque_size(d) == 1);
+  deque_remove_last(d, &out);
+  assert(deque_size(d) == 0);
+  deque_destroy(d);
+}
+
+void test_fifo_through() {
+  struct Deque *d = deque_new(2);
+  int x = symb_int();
+  int y = symb_int();
+  deque_add_last(d, x);
+  deque_add_last(d, y);
+  int a = 0;
+  int b = 0;
+  deque_remove_first(d, &a);
+  deque_remove_first(d, &b);
+  assert(a == x && b == y);
+  deque_destroy(d);
+}
+
+void test_lifo_through() {
+  struct Deque *d = deque_new(2);
+  int x = symb_int();
+  int y = symb_int();
+  deque_add_last(d, x);
+  deque_add_last(d, y);
+  int a = 0;
+  int b = 0;
+  deque_remove_last(d, &a);
+  deque_remove_last(d, &b);
+  assert(a == y && b == x);
+  deque_destroy(d);
+}
+
+void test_symbolic_count_fill() {
+  struct Deque *d = deque_new(4);
+  int n = symb_int();
+  assume(0 <= n && n <= 3);
+  for (int i = 0; i < n; i++) {
+    deque_add_last(d, i);
+  }
+  assert(deque_size(d) == n);
+  deque_destroy(d);
+}
+
+void test_drain_refill() {
+  struct Deque *d = deque_new(2);
+  deque_add_last(d, 1);
+  int out = 0;
+  deque_remove_first(d, &out);
+  assert(deque_size(d) == 0);
+  int x = symb_int();
+  deque_add_first(d, x);
+  deque_get_first(d, &out);
+  assert(out == x);
+  deque_destroy(d);
+}
+
+void test_get_symbolic_index() {
+  struct Deque *d = deque_new(4);
+  deque_add_last(d, 10);
+  deque_add_last(d, 20);
+  deque_add_last(d, 30);
+  int i = symb_int();
+  assume(0 <= i && i < 3);
+  int out = 0;
+  assert(deque_get(d, i, &out));
+  assert(out == (i + 1) * 10);
+  deque_destroy(d);
+}
+
+void test_alternating_ends() {
+  struct Deque *d = deque_new(4);
+  deque_add_first(d, 2);
+  deque_add_last(d, 3);
+  deque_add_first(d, 1);
+  deque_add_last(d, 4);
+  int out = 0;
+  for (int i = 0; i < 4; i++) {
+    deque_remove_first(d, &out);
+    assert(out == i + 1);
+  }
+  deque_destroy(d);
+}
+
+void test_remove_until_empty_then_reject() {
+  struct Deque *d = deque_new(2);
+  deque_add_last(d, 1);
+  int out = 0;
+  assert(deque_remove_last(d, &out));
+  assert(!deque_remove_last(d, &out));
+  assert(!deque_remove_first(d, &out));
+  deque_destroy(d);
+}
+
+void test_first_last_same_single() {
+  struct Deque *d = deque_new(4);
+  int x = symb_int();
+  deque_add_first(d, x);
+  int a = 0;
+  int b = 0;
+  deque_get_first(d, &a);
+  deque_get_last(d, &b);
+  assert(a == b);
+  deque_destroy(d);
+}
+
+void test_capacity_one() {
+  struct Deque *d = deque_new(1);
+  deque_add_last(d, 5);
+  assert(deque_size(d) == 1);
+  deque_add_last(d, 6);   // expand from capacity 1
+  assert(deque_size(d) == 2);
+  int out = 0;
+  deque_get(d, 0, &out);
+  assert(out == 5);
+  deque_destroy(d);
+}
+
+void test_two_deques_independent() {
+  struct Deque *a = deque_new(2);
+  struct Deque *b = deque_new(2);
+  int x = symb_int();
+  deque_add_last(a, x);
+  deque_add_last(b, x + 1);
+  int out = 0;
+  deque_get_first(a, &out);
+  assert(out == x);
+  deque_get_first(b, &out);
+  assert(out == x + 1);
+  deque_destroy(a);
+  deque_destroy(b);
+}
+
+void test_interior_get_after_wrap() {
+  struct Deque *d = deque_new(3);
+  deque_add_last(d, 1);
+  deque_add_last(d, 2);
+  deque_add_last(d, 3);
+  int out = 0;
+  deque_remove_first(d, &out);
+  deque_add_last(d, 4);
+  int i = symb_int();
+  assume(0 <= i && i < 3);
+  assert(deque_get(d, i, &out));
+  assert(out == i + 2);
+  deque_destroy(d);
+}
+
+void test_remove_first_returns_each_in_turn() {
+  struct Deque *d = deque_new(4);
+  int n = symb_int();
+  assume(1 <= n && n <= 3);
+  for (int i = 0; i < n; i++) {
+    deque_add_last(d, i * 2);
+  }
+  int out = 0;
+  for (int i = 0; i < n; i++) {
+    assert(deque_remove_first(d, &out));
+    assert(out == i * 2);
+  }
+  assert(deque_size(d) == 0);
+  deque_destroy(d);
+}
+
+void test_add_first_then_remove_last() {
+  struct Deque *d = deque_new(4);
+  int x = symb_int();
+  deque_add_first(d, x);
+  deque_add_first(d, 1);
+  int out = 0;
+  assert(deque_remove_last(d, &out));
+  assert(out == x);
+  deque_destroy(d);
+}
+
+void test_expand_from_wrapped_add_first() {
+  struct Deque *d = deque_new(2);
+  deque_add_first(d, 2);
+  deque_add_first(d, 1);    // physical [2->idx1, 1->idx1-1 wraps]
+  deque_add_last(d, 3);     // expand
+  int out = 0;
+  deque_get(d, 0, &out);
+  assert(out == 1);
+  deque_get(d, 1, &out);
+  assert(out == 2);
+  deque_get(d, 2, &out);
+  assert(out == 3);
+  deque_destroy(d);
+}
+
+void test_get_negative_index() {
+  struct Deque *d = deque_new(2);
+  deque_add_last(d, 1);
+  int out = 0;
+  assert(!deque_get(d, 0 - 1, &out));
+  deque_destroy(d);
+}
+
+void test_symbolic_value_roundtrip() {
+  struct Deque *d = deque_new(2);
+  int x = symb_int();
+  int y = symb_int();
+  deque_add_last(d, x);
+  deque_add_first(d, y);
+  int out = 0;
+  deque_get(d, 0, &out);
+  assert(out == y);
+  deque_get(d, 1, &out);
+  assert(out == x);
+  deque_destroy(d);
+}
+"""
+
+_LIST_TESTS = r"""
+void test_new_empty() {
+  struct List *l = list_new();
+  assert(list_size(l) == 0);
+  list_destroy(l);
+}
+
+void test_add_last_single() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  int out = 0;
+  assert(list_get(l, 0, &out));
+  assert(out == x);
+  list_destroy(l);
+}
+
+void test_add_first_single() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_first(l, x);
+  int out = 0;
+  assert(list_get(l, 0, &out));
+  assert(out == x);
+  assert(list_size(l) == 1);
+  list_destroy(l);
+}
+
+void test_add_last_order() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  list_add_last(l, 2);
+  list_add_last(l, 3);
+  int out = 0;
+  for (int i = 0; i < 3; i++) {
+    list_get(l, i, &out);
+    assert(out == i + 1);
+  }
+  list_destroy(l);
+}
+
+void test_add_first_reverses() {
+  struct List *l = list_new();
+  list_add_first(l, 3);
+  list_add_first(l, 2);
+  list_add_first(l, 1);
+  int out = 0;
+  for (int i = 0; i < 3; i++) {
+    list_get(l, i, &out);
+    assert(out == i + 1);
+  }
+  list_destroy(l);
+}
+
+void test_head_prev_is_null() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  list_add_last(l, 2);
+  assert(l->head->prev == NULL);
+  assert(l->tail->next == NULL);
+  list_destroy(l);
+}
+
+void test_links_consistent() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, 1);
+  list_add_last(l, x);
+  list_add_last(l, 3);
+  assert(l->head->next->prev == l->head);
+  assert(l->tail->prev->next == l->tail);
+  assert(l->head->next->value == x);
+  list_destroy(l);
+}
+
+void test_get_out_of_range() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  int i = symb_int();
+  assume(i < 0 || i >= 1);
+  int out = 0;
+  assert(!list_get(l, i, &out));
+  list_destroy(l);
+}
+
+void test_get_symbolic_index() {
+  struct List *l = list_new();
+  list_add_last(l, 10);
+  list_add_last(l, 20);
+  list_add_last(l, 30);
+  int i = symb_int();
+  assume(0 <= i && i < 3);
+  int out = 0;
+  assert(list_get(l, i, &out));
+  assert(out == (i + 1) * 10);
+  list_destroy(l);
+}
+
+void test_index_of_found() {
+  struct List *l = list_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  list_add_last(l, x);
+  list_add_last(l, y);
+  assert(list_index_of(l, y) == 1);
+  list_destroy(l);
+}
+
+void test_index_of_first_occurrence() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  list_add_last(l, x);
+  assert(list_index_of(l, x) == 0);
+  list_destroy(l);
+}
+
+void test_index_of_missing() {
+  struct List *l = list_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  list_add_last(l, x);
+  assert(list_index_of(l, y) == 0 - 1);
+  list_destroy(l);
+}
+
+void test_contains() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  assert(list_contains(l, x));
+  list_destroy(l);
+}
+
+void test_remove_only_element() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  assert(list_remove(l, x));
+  assert(list_size(l) == 0);
+  assert(l->head == NULL && l->tail == NULL);
+  list_destroy(l);
+}
+
+void test_remove_head() {
+  struct List *l = list_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  list_add_last(l, x);
+  list_add_last(l, y);
+  assert(list_remove(l, x));
+  int out = 0;
+  list_get(l, 0, &out);
+  assert(out == y);
+  assert(l->head->prev == NULL);
+  list_destroy(l);
+}
+
+void test_remove_tail() {
+  struct List *l = list_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  list_add_last(l, x);
+  list_add_last(l, y);
+  assert(list_remove(l, y));
+  assert(l->tail->value == x);
+  assert(l->tail->next == NULL);
+  list_destroy(l);
+}
+
+void test_remove_middle_relinks() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  int x = symb_int();
+  assume(x != 1 && x != 3);
+  list_add_last(l, x);
+  list_add_last(l, 3);
+  assert(list_remove(l, x));
+  assert(l->head->next == l->tail);
+  assert(l->tail->prev == l->head);
+  assert(list_size(l) == 2);
+  list_destroy(l);
+}
+
+void test_remove_missing() {
+  struct List *l = list_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  list_add_last(l, x);
+  assert(!list_remove(l, y));
+  assert(list_size(l) == 1);
+  list_destroy(l);
+}
+
+void test_remove_first_fn() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  list_add_last(l, 9);
+  int out = 0;
+  assert(list_remove_first(l, &out));
+  assert(out == x);
+  assert(list_size(l) == 1);
+  list_destroy(l);
+}
+
+void test_remove_last_fn() {
+  struct List *l = list_new();
+  list_add_last(l, 9);
+  int x = symb_int();
+  list_add_last(l, x);
+  int out = 0;
+  assert(list_remove_last(l, &out));
+  assert(out == x);
+  assert(list_size(l) == 1);
+  list_destroy(l);
+}
+
+void test_remove_first_empty() {
+  struct List *l = list_new();
+  int out = 0;
+  assert(!list_remove_first(l, &out));
+  list_destroy(l);
+}
+
+void test_remove_last_empty() {
+  struct List *l = list_new();
+  int out = 0;
+  assert(!list_remove_last(l, &out));
+  list_destroy(l);
+}
+
+void test_remove_first_until_empty() {
+  struct List *l = list_new();
+  int n = symb_int();
+  assume(1 <= n && n <= 3);
+  for (int i = 0; i < n; i++) {
+    list_add_last(l, i);
+  }
+  int out = 0;
+  for (int i = 0; i < n; i++) {
+    assert(list_remove_first(l, &out));
+    assert(out == i);
+  }
+  assert(l->head == NULL && l->tail == NULL);
+  list_destroy(l);
+}
+
+void test_remove_last_until_empty() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  list_add_last(l, 2);
+  int out = 0;
+  assert(list_remove_last(l, &out));
+  assert(out == 2);
+  assert(list_remove_last(l, &out));
+  assert(out == 1);
+  assert(!list_remove_last(l, &out));
+  list_destroy(l);
+}
+
+void test_node_at_walks() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, 5);
+  list_add_last(l, x);
+  struct DNode *n = list_node_at(l, 1);
+  assert(n != NULL);
+  assert(n->value == x);
+  list_destroy(l);
+}
+
+void test_node_at_out_of_range_null() {
+  struct List *l = list_new();
+  list_add_last(l, 5);
+  assert(list_node_at(l, 2) == NULL);
+  assert(list_node_at(l, 0 - 1) == NULL);
+  list_destroy(l);
+}
+
+void test_size_after_mixed_ops() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  list_add_first(l, 0);
+  list_add_last(l, 2);
+  assert(list_size(l) == 3);
+  list_remove(l, 1);
+  assert(list_size(l) == 2);
+  list_destroy(l);
+}
+
+void test_symbolic_membership_paths() {
+  struct List *l = list_new();
+  int x = symb_int();
+  assume(0 <= x && x <= 2);
+  list_add_last(l, 0);
+  list_add_last(l, 1);
+  list_add_last(l, 2);
+  assert(list_contains(l, x));
+  assert(list_remove(l, x));
+  assert(!list_contains(l, x));
+  assert(list_size(l) == 2);
+  list_destroy(l);
+}
+
+void test_add_after_drain() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  int out = 0;
+  list_remove_first(l, &out);
+  int x = symb_int();
+  list_add_first(l, x);
+  assert(l->head == l->tail);
+  assert(l->head->value == x);
+  list_destroy(l);
+}
+
+void test_interleaved_add_remove() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  int out = 0;
+  list_remove_first(l, &out);
+  list_add_last(l, x + 1);
+  list_add_last(l, x + 2);
+  list_remove_last(l, &out);
+  assert(out == x + 2);
+  assert(list_size(l) == 1);
+  list_get(l, 0, &out);
+  assert(out == x + 1);
+  list_destroy(l);
+}
+
+void test_two_lists_share_values() {
+  struct List *a = list_new();
+  struct List *b = list_new();
+  int x = symb_int();
+  list_add_last(a, x);
+  list_add_last(b, x);
+  assert(list_remove(a, x));
+  assert(list_contains(b, x));
+  list_destroy(a);
+  list_destroy(b);
+}
+
+void test_duplicate_values_removed_one_at_a_time() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  list_add_last(l, x);
+  assert(list_remove(l, x));
+  assert(list_contains(l, x));
+  assert(list_remove(l, x));
+  assert(!list_contains(l, x));
+  list_destroy(l);
+}
+
+void test_head_tail_after_remove_middle() {
+  struct List *l = list_new();
+  list_add_last(l, 1);
+  list_add_last(l, 2);
+  list_add_last(l, 3);
+  list_remove(l, 2);
+  assert(l->head->value == 1);
+  assert(l->tail->value == 3);
+  int out = 0;
+  assert(list_get(l, 1, &out));
+  assert(out == 3);
+  list_destroy(l);
+}
+
+void test_get_writes_through_pointer() {
+  struct List *l = list_new();
+  int x = symb_int();
+  list_add_last(l, x);
+  int out = 12345;
+  assert(list_get(l, 0, &out));
+  assert(out == x);
+  list_destroy(l);
+}
+
+void test_index_of_each_position() {
+  struct List *l = list_new();
+  list_add_last(l, 10);
+  list_add_last(l, 11);
+  list_add_last(l, 12);
+  int k = symb_int();
+  assume(0 <= k && k <= 2);
+  assert(list_index_of(l, 10 + k) == k);
+  list_destroy(l);
+}
+
+void test_contains_negative_values() {
+  struct List *l = list_new();
+  int x = symb_int();
+  assume(-3 <= x && x <= 0 - 1);
+  list_add_last(l, x);
+  assert(list_contains(l, x));
+  assert(!list_contains(l, 0 - x));
+  list_destroy(l);
+}
+
+void test_remove_by_symbolic_value_keeps_links() {
+  struct List *l = list_new();
+  int x = symb_int();
+  assume(x == 1 || x == 2 || x == 3);
+  list_add_last(l, 1);
+  list_add_last(l, 2);
+  list_add_last(l, 3);
+  assert(list_remove(l, x));
+  assert(list_size(l) == 2);
+  struct DNode *n = l->head;
+  while (n->next != NULL) {
+    assert(n->next->prev == n);
+    n = n->next;
+  }
+  assert(n == l->tail);
+  list_destroy(l);
+}
+"""
+
+_SLIST_TESTS = r"""
+void test_new_empty() {
+  struct SList *l = slist_new();
+  assert(slist_size(l) == 0);
+  assert(l->head == NULL && l->tail == NULL);
+  slist_destroy(l);
+}
+
+void test_add_single() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  int out = 0;
+  assert(slist_get(l, 0, &out));
+  assert(out == x);
+  slist_destroy(l);
+}
+
+void test_add_first_single() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add_first(l, x);
+  assert(l->head == l->tail);
+  assert(l->head->value == x);
+  slist_destroy(l);
+}
+
+void test_add_order() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  slist_add(l, 2);
+  slist_add(l, 3);
+  int out = 0;
+  for (int i = 0; i < 3; i++) {
+    slist_get(l, i, &out);
+    assert(out == i + 1);
+  }
+  slist_destroy(l);
+}
+
+void test_add_first_order() {
+  struct SList *l = slist_new();
+  slist_add_first(l, 3);
+  slist_add_first(l, 2);
+  slist_add_first(l, 1);
+  int out = 0;
+  for (int i = 0; i < 3; i++) {
+    slist_get(l, i, &out);
+    assert(out == i + 1);
+  }
+  slist_destroy(l);
+}
+
+void test_add_first_then_add() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add_first(l, x);
+  slist_add(l, 9);
+  assert(l->head->value == x);
+  assert(l->tail->value == 9);
+  assert(slist_size(l) == 2);
+  slist_destroy(l);
+}
+
+void test_tail_is_last_added() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, 1);
+  slist_add(l, x);
+  assert(l->tail->value == x);
+  assert(l->tail->next == NULL);
+  slist_destroy(l);
+}
+
+void test_get_out_of_range() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  int i = symb_int();
+  assume(i < 0 || i >= 1);
+  int out = 0;
+  assert(!slist_get(l, i, &out));
+  slist_destroy(l);
+}
+
+void test_get_symbolic_index() {
+  struct SList *l = slist_new();
+  slist_add(l, 10);
+  slist_add(l, 20);
+  slist_add(l, 30);
+  int i = symb_int();
+  assume(0 <= i && i < 3);
+  int out = 0;
+  assert(slist_get(l, i, &out));
+  assert(out == (i + 1) * 10);
+  slist_destroy(l);
+}
+
+void test_index_of_found() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  slist_add(l, x);
+  slist_add(l, y);
+  assert(slist_index_of(l, y) == 1);
+  slist_destroy(l);
+}
+
+void test_index_of_missing() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  slist_add(l, x);
+  assert(slist_index_of(l, y) == 0 - 1);
+  slist_destroy(l);
+}
+
+void test_index_of_duplicate_first() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_add(l, x);
+  assert(slist_index_of(l, x) == 0);
+  slist_destroy(l);
+}
+
+void test_contains() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  assert(slist_contains(l, x));
+  assert(slist_size(l) == 1);
+  slist_destroy(l);
+}
+
+void test_contains_after_remove() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_remove(l, x);
+  assert(!slist_contains(l, x));
+  slist_destroy(l);
+}
+
+void test_remove_only() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  assert(slist_remove(l, x));
+  assert(l->head == NULL && l->tail == NULL);
+  assert(slist_size(l) == 0);
+  slist_destroy(l);
+}
+
+void test_remove_head() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  slist_add(l, x);
+  slist_add(l, y);
+  assert(slist_remove(l, x));
+  assert(l->head->value == y);
+  slist_destroy(l);
+}
+
+void test_remove_tail_updates_tail() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  slist_add(l, x);
+  slist_add(l, y);
+  assert(slist_remove(l, y));
+  assert(l->tail->value == x);
+  assert(l->tail->next == NULL);
+  slist_destroy(l);
+}
+
+void test_remove_middle() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  int x = symb_int();
+  assume(x != 1 && x != 3);
+  slist_add(l, x);
+  slist_add(l, 3);
+  assert(slist_remove(l, x));
+  int out = 0;
+  slist_get(l, 1, &out);
+  assert(out == 3);
+  assert(slist_size(l) == 2);
+  slist_destroy(l);
+}
+
+void test_remove_missing() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  slist_add(l, x);
+  assert(!slist_remove(l, y));
+  assert(slist_size(l) == 1);
+  slist_destroy(l);
+}
+
+void test_remove_first_fn() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_add(l, 2);
+  int out = 0;
+  assert(slist_remove_first(l, &out));
+  assert(out == x);
+  assert(slist_size(l) == 1);
+  slist_destroy(l);
+}
+
+void test_remove_first_empty() {
+  struct SList *l = slist_new();
+  int out = 0;
+  assert(!slist_remove_first(l, &out));
+  slist_destroy(l);
+}
+
+void test_remove_first_until_empty() {
+  struct SList *l = slist_new();
+  int n = symb_int();
+  assume(1 <= n && n <= 3);
+  for (int i = 0; i < n; i++) {
+    slist_add(l, i * 3);
+  }
+  int out = 0;
+  for (int i = 0; i < n; i++) {
+    assert(slist_remove_first(l, &out));
+    assert(out == i * 3);
+  }
+  assert(l->tail == NULL);
+  slist_destroy(l);
+}
+
+void test_slist_node_before_lookup() {
+  // Detects planted finding 2: slist_node_before compares node pointers
+  // from different malloc blocks with <, which is undefined behaviour.
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  slist_add(l, 2);
+  slist_add(l, 3);
+  struct SNode *third = l->head->next->next;
+  struct SNode *before = slist_node_before(l, third);
+  assert(before == l->head->next);
+  slist_destroy(l);
+}
+
+void test_symbolic_membership() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  assume(0 <= x && x <= 2);
+  slist_add(l, 0);
+  slist_add(l, 1);
+  slist_add(l, 2);
+  assert(slist_contains(l, x));
+  slist_destroy(l);
+}
+
+void test_remove_symbolic_each_position() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  assume(x == 0 || x == 1 || x == 2);
+  slist_add(l, 0);
+  slist_add(l, 1);
+  slist_add(l, 2);
+  assert(slist_remove(l, x));
+  assert(slist_size(l) == 2);
+  assert(!slist_contains(l, x));
+  slist_destroy(l);
+}
+
+void test_add_after_drain() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  int out = 0;
+  slist_remove_first(l, &out);
+  int x = symb_int();
+  slist_add(l, x);
+  assert(l->head == l->tail);
+  assert(l->head->value == x);
+  slist_destroy(l);
+}
+
+void test_duplicates_counted_in_size() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_add(l, x);
+  slist_add(l, x);
+  assert(slist_size(l) == 3);
+  slist_remove(l, x);
+  assert(slist_size(l) == 2);
+  slist_destroy(l);
+}
+
+void test_head_next_chain() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  slist_add(l, 2);
+  assert(l->head->next == l->tail);
+  assert(l->head->next->next == NULL);
+  slist_destroy(l);
+}
+
+void test_two_lists_independent() {
+  struct SList *a = slist_new();
+  struct SList *b = slist_new();
+  int x = symb_int();
+  slist_add(a, x);
+  slist_add(b, x + 1);
+  assert(slist_contains(a, x));
+  assert(!slist_contains(a, x + 1));
+  assert(slist_contains(b, x + 1));
+  slist_destroy(a);
+  slist_destroy(b);
+}
+
+void test_get_each_concrete_position() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_add(l, x + 1);
+  slist_add(l, x + 2);
+  int out = 0;
+  slist_get(l, 2, &out);
+  assert(out == x + 2);
+  slist_get(l, 1, &out);
+  assert(out == x + 1);
+  slist_destroy(l);
+}
+
+void test_remove_then_tail_append() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  slist_add(l, 2);
+  slist_remove(l, 2);       // removes tail
+  slist_add(l, 3);          // append must follow the new tail
+  int out = 0;
+  assert(slist_get(l, 1, &out));
+  assert(out == 3);
+  assert(slist_size(l) == 2);
+  slist_destroy(l);
+}
+
+void test_add_first_after_remove_all() {
+  struct SList *l = slist_new();
+  slist_add(l, 9);
+  slist_remove(l, 9);
+  slist_add_first(l, 4);
+  assert(l->tail->value == 4);
+  slist_destroy(l);
+}
+
+void test_index_of_positionally() {
+  struct SList *l = slist_new();
+  slist_add(l, 100);
+  slist_add(l, 101);
+  slist_add(l, 102);
+  int k = symb_int();
+  assume(0 <= k && k <= 2);
+  assert(slist_index_of(l, 100 + k) == k);
+  slist_destroy(l);
+}
+
+void test_size_nonnegative_invariant() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_remove(l, x);
+  int out = 0;
+  slist_remove_first(l, &out);   // no-op on empty
+  assert(slist_size(l) == 0);
+  slist_destroy(l);
+}
+
+void test_remove_first_writes_out() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add_first(l, x);
+  int out = 999;
+  assert(slist_remove_first(l, &out));
+  assert(out == x);
+  slist_destroy(l);
+}
+
+void test_interleaved_ops() {
+  struct SList *l = slist_new();
+  int x = symb_int();
+  slist_add(l, x);
+  slist_add_first(l, x - 1);
+  slist_add(l, x + 1);
+  assert(slist_size(l) == 3);
+  assert(slist_index_of(l, x) == 1);
+  slist_remove(l, x - 1);
+  assert(slist_index_of(l, x) == 0);
+  slist_destroy(l);
+}
+
+void test_add_many_then_index() {
+  struct SList *l = slist_new();
+  int n = symb_int();
+  assume(1 <= n && n <= 3);
+  for (int i = 0; i < n; i++) {
+    slist_add(l, 7 * i);
+  }
+  assert(slist_index_of(l, 7 * (n - 1)) == n - 1);
+  slist_destroy(l);
+}
+
+void test_node_structs_are_separate_allocations() {
+  struct SList *l = slist_new();
+  slist_add(l, 1);
+  slist_add(l, 2);
+  assert(l->head != l->tail);
+  l->head->value = 9;
+  assert(l->tail->value == 2);
+  slist_destroy(l);
+}
+"""
+
+_PQUEUE_TESTS = r"""
+void test_push_pop_sorted() {
+  struct PQueue *pq = pqueue_new(4);
+  int x = symb_int();
+  int y = symb_int();
+  assume(0 <= x && x <= 2 && 0 <= y && y <= 2);
+  pqueue_push(pq, x);
+  pqueue_push(pq, y);
+  int a = 0;
+  int b = 0;
+  assert(pqueue_pop(pq, &a));
+  assert(pqueue_pop(pq, &b));
+  assert(a <= b);
+  assert(pqueue_size(pq) == 0);
+  pqueue_destroy(pq);
+}
+
+void test_peek_is_minimum() {
+  struct PQueue *pq = pqueue_new(4);
+  int x = symb_int();
+  assume(-2 <= x && x <= 2);
+  pqueue_push(pq, 0);
+  pqueue_push(pq, x);
+  pqueue_push(pq, 1);
+  int top = 0;
+  assert(pqueue_peek(pq, &top));
+  assert(top <= 0 && top <= x && top <= 1);
+  assert(pqueue_size(pq) == 3);
+  pqueue_destroy(pq);
+}
+"""
+
+_QUEUE_TESTS = r"""
+void test_fifo() {
+  struct Queue *q = queue_new(4);
+  int x = symb_int();
+  queue_enqueue(q, x);
+  queue_enqueue(q, 2);
+  int out = 0;
+  assert(queue_poll(q, &out));
+  assert(out == x);
+  assert(queue_poll(q, &out));
+  assert(out == 2);
+  queue_destroy(q);
+}
+
+void test_peek_keeps() {
+  struct Queue *q = queue_new(4);
+  int x = symb_int();
+  queue_enqueue(q, x);
+  int out = 0;
+  assert(queue_peek(q, &out));
+  assert(out == x);
+  assert(queue_size(q) == 1);
+  queue_destroy(q);
+}
+
+void test_poll_empty() {
+  struct Queue *q = queue_new(4);
+  int out = 0;
+  assert(!queue_poll(q, &out));
+  assert(!queue_peek(q, &out));
+  queue_destroy(q);
+}
+
+void test_grows_past_capacity() {
+  struct Queue *q = queue_new(2);
+  int n = symb_int();
+  assume(1 <= n && n <= 4);
+  for (int i = 0; i < n; i++) {
+    queue_enqueue(q, i);
+  }
+  assert(queue_size(q) == n);
+  int out = 0;
+  assert(queue_poll(q, &out));
+  assert(out == 0);
+  queue_destroy(q);
+}
+"""
+
+_RBUF_TESTS = r"""
+void test_enqueue_dequeue() {
+  struct RBuf *r = rbuf_new(3);
+  int x = symb_int();
+  rbuf_enqueue(r, x);
+  rbuf_enqueue(r, 2);
+  int out = 0;
+  assert(rbuf_dequeue(r, &out));
+  assert(out == x);
+  assert(rbuf_size(r) == 1);
+  rbuf_destroy(r);
+}
+
+void test_overwrites_oldest_when_full() {
+  struct RBuf *r = rbuf_new(2);
+  rbuf_enqueue(r, 1);
+  rbuf_enqueue(r, 2);
+  rbuf_enqueue(r, 3);   // overwrites 1
+  int out = 0;
+  assert(rbuf_dequeue(r, &out));
+  assert(out == 2);
+  assert(rbuf_dequeue(r, &out));
+  assert(out == 3);
+  assert(!rbuf_dequeue(r, &out));
+  rbuf_destroy(r);
+}
+
+void test_rbuf_allocation_is_exact() {
+  // Detects planted finding 4: the buffer is one element larger than the
+  // capacity requires (behaviour correct, memory wasted).
+  struct RBuf *r = rbuf_new(3);
+  assert(block_size(r->buffer) == 3 * sizeof(int));
+  rbuf_destroy(r);
+}
+"""
+
+_STACK_TESTS = r"""
+void test_lifo() {
+  struct Stack *s = stack_new();
+  int x = symb_int();
+  stack_push(s, 1);
+  stack_push(s, x);
+  int out = 0;
+  assert(stack_pop(s, &out));
+  assert(out == x);
+  assert(stack_pop(s, &out));
+  assert(out == 1);
+  assert(!stack_pop(s, &out));
+  stack_destroy(s);
+}
+
+void test_peek_and_size() {
+  struct Stack *s = stack_new();
+  int x = symb_int();
+  stack_push(s, x);
+  int out = 0;
+  assert(stack_peek(s, &out));
+  assert(out == x);
+  assert(stack_size(s) == 1);
+  stack_destroy(s);
+}
+"""
+
+_TREETBL_TESTS = r"""
+void test_new_empty() {
+  struct TreeTbl *t = treetbl_new();
+  assert(treetbl_size(t) == 0);
+  int out = 0;
+  assert(!treetbl_min_key(t, &out));
+  treetbl_destroy(t);
+}
+
+void test_add_get() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  int v = symb_int();
+  treetbl_add(t, k, v);
+  int out = 0;
+  assert(treetbl_get(t, k, &out));
+  assert(out == v);
+  treetbl_destroy(t);
+}
+
+void test_add_overwrites() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  treetbl_add(t, k, 1);
+  treetbl_add(t, k, 2);
+  int out = 0;
+  assert(treetbl_get(t, k, &out));
+  assert(out == 2);
+  assert(treetbl_size(t) == 1);
+  treetbl_destroy(t);
+}
+
+void test_two_keys() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  assume(0 <= k && k <= 4);
+  assume(k != 2);
+  treetbl_add(t, 2, 20);
+  treetbl_add(t, k, 100);
+  assert(treetbl_size(t) == 2);
+  int out = 0;
+  assert(treetbl_get(t, k, &out));
+  assert(out == 100);
+  assert(treetbl_get(t, 2, &out));
+  assert(out == 20);
+  treetbl_destroy(t);
+}
+
+void test_get_missing() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  int j = symb_int();
+  assume(k != j);
+  treetbl_add(t, k, 1);
+  int out = 0;
+  assert(!treetbl_get(t, j, &out));
+  assert(!treetbl_contains_key(t, j));
+  treetbl_destroy(t);
+}
+
+void test_min_max() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  assume(-3 <= k && k <= 3);
+  treetbl_add(t, 0, 1);
+  treetbl_add(t, k, 1);
+  int lo = 0;
+  int hi = 0;
+  assert(treetbl_min_key(t, &lo));
+  assert(treetbl_max_key(t, &hi));
+  assert(lo <= k && lo <= 0);
+  assert(k <= hi && 0 <= hi);
+  treetbl_destroy(t);
+}
+
+void test_remove_leaf() {
+  struct TreeTbl *t = treetbl_new();
+  treetbl_add(t, 2, 1);
+  int k = symb_int();
+  assume(0 <= k && k <= 4 && k != 2);
+  treetbl_add(t, k, 1);
+  assert(treetbl_remove(t, k));
+  assert(!treetbl_contains_key(t, k));
+  assert(treetbl_contains_key(t, 2));
+  assert(treetbl_size(t) == 1);
+  treetbl_destroy(t);
+}
+
+void test_remove_root_single() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  treetbl_add(t, k, 1);
+  assert(treetbl_remove(t, k));
+  assert(treetbl_size(t) == 0);
+  assert(t->root == NULL);
+  treetbl_destroy(t);
+}
+
+void test_remove_root_with_two_children() {
+  struct TreeTbl *t = treetbl_new();
+  treetbl_add(t, 2, 20);
+  treetbl_add(t, 1, 10);
+  treetbl_add(t, 4, 40);
+  treetbl_add(t, 3, 30);
+  assert(treetbl_remove(t, 2));
+  assert(!treetbl_contains_key(t, 2));
+  int out = 0;
+  assert(treetbl_get(t, 3, &out));
+  assert(out == 30);
+  assert(treetbl_size(t) == 3);
+  treetbl_destroy(t);
+}
+
+void test_remove_missing() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  int j = symb_int();
+  assume(k != j);
+  treetbl_add(t, k, 1);
+  assert(!treetbl_remove(t, j));
+  assert(treetbl_size(t) == 1);
+  treetbl_destroy(t);
+}
+
+void test_inorder_invariant_after_inserts() {
+  struct TreeTbl *t = treetbl_new();
+  int a = symb_int();
+  int b = symb_int();
+  assume(0 <= a && a <= 2 && 0 <= b && b <= 2);
+  assume(a != b);
+  treetbl_add(t, a, a);
+  treetbl_add(t, b, b);
+  int lo = 0;
+  assert(treetbl_min_key(t, &lo));
+  assert(lo <= a && lo <= b);
+  assert(lo == a || lo == b);
+  treetbl_destroy(t);
+}
+
+void test_remove_then_min_updates() {
+  struct TreeTbl *t = treetbl_new();
+  treetbl_add(t, 1, 1);
+  treetbl_add(t, 2, 2);
+  int lo = 0;
+  treetbl_min_key(t, &lo);
+  assert(lo == 1);
+  treetbl_remove(t, 1);
+  treetbl_min_key(t, &lo);
+  assert(lo == 2);
+  treetbl_destroy(t);
+}
+
+void test_symbolic_key_three_inserts() {
+  struct TreeTbl *t = treetbl_new();
+  int k = symb_int();
+  assume(0 <= k && k <= 6);
+  assume(k != 2 && k != 5);
+  treetbl_add(t, 2, 0);
+  treetbl_add(t, 5, 0);
+  treetbl_add(t, k, 9);
+  int out = 0;
+  assert(treetbl_get(t, k, &out));
+  assert(out == 9);
+  assert(treetbl_size(t) == 3);
+  treetbl_destroy(t);
+}
+"""
+
+_TREESET_TESTS = r"""
+void test_add_contains() {
+  struct TreeSet *s = treeset_new();
+  int x = symb_int();
+  assert(treeset_add(s, x));
+  assert(treeset_contains(s, x));
+  assert(treeset_size(s) == 1);
+  treeset_destroy(s);
+}
+
+void test_add_duplicate_rejected() {
+  struct TreeSet *s = treeset_new();
+  int x = symb_int();
+  treeset_add(s, x);
+  assert(!treeset_add(s, x));
+  assert(treeset_size(s) == 1);
+  treeset_destroy(s);
+}
+
+void test_remove() {
+  struct TreeSet *s = treeset_new();
+  int x = symb_int();
+  treeset_add(s, x);
+  assert(treeset_remove(s, x));
+  assert(!treeset_contains(s, x));
+  assert(treeset_size(s) == 0);
+  treeset_destroy(s);
+}
+
+void test_remove_missing() {
+  struct TreeSet *s = treeset_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(x != y);
+  treeset_add(s, x);
+  assert(!treeset_remove(s, y));
+  treeset_destroy(s);
+}
+
+void test_min() {
+  struct TreeSet *s = treeset_new();
+  int x = symb_int();
+  assume(-2 <= x && x <= 2);
+  treeset_add(s, 0);
+  treeset_add(s, x);
+  int lo = 0;
+  assert(treeset_min(s, &lo));
+  assert(lo <= 0 && lo <= x);
+  treeset_destroy(s);
+}
+
+void test_two_members() {
+  struct TreeSet *s = treeset_new();
+  int x = symb_int();
+  int y = symb_int();
+  assume(0 <= x && x <= 1 && 0 <= y && y <= 1);
+  treeset_add(s, x);
+  treeset_add(s, y);
+  if (x == y) { assert(treeset_size(s) == 1); }
+  else { assert(treeset_size(s) == 2); }
+  treeset_destroy(s);
+}
+"""
+
+_HASH_TESTS = r"""
+void test_hash_deterministic() {
+  int h1 = str_hash("key");
+  int h2 = str_hash("key");
+  assert(h1 == h2);
+}
+
+void test_hash_distinguishes_strings() {
+  // Detects planted finding 5: the hash never mixes beyond the first
+  // character, so these two distinct keys collide.
+  int h1 = str_hash("ab");
+  int h2 = str_hash("ac");
+  assert(h1 != h2);
+}
+"""
+
+_RAW_SUITES: Dict[str, str] = {
+    "array": _ARRAY_TESTS,
+    "deque": _DEQUE_TESTS,
+    "list": _LIST_TESTS,
+    "pqueue": _PQUEUE_TESTS,
+    "queue": _QUEUE_TESTS,
+    "rbuf": _RBUF_TESTS,
+    "slist": _SLIST_TESTS,
+    "stack": _STACK_TESTS,
+    "treetbl": _TREETBL_TESTS,
+    "treeset": _TREESET_TESTS,
+    "hash": _HASH_TESTS,
+}
+
+#: Tests expected to fail — one per §4.2 finding.
+KNOWN_BUG_TESTS = {
+    "test_array_add_triggers_expand",
+    "test_array_compare_freed_pointers",
+    "test_slist_node_before_lookup",
+    "test_rbuf_allocation_is_exact",
+    "test_hash_distinguishes_strings",
+}
+
+
+def _test_names(source: str) -> List[str]:
+    names = []
+    for line in source.splitlines():
+        line = line.strip()
+        if line.startswith("void test_") or line.startswith("int test_"):
+            names.append(line.split()[1].split("(")[0])
+    return names
+
+
+def suite(name: str) -> Tuple[str, List[str]]:
+    """(full MiniC source, test entry points) for one Table 2 row."""
+    if name == "hash":
+        source = HASH + "\n" + _RAW_SUITES[name]
+    else:
+        source = module_source(name) + "\n" + _RAW_SUITES[name]
+    return source, _test_names(_RAW_SUITES[name])
+
+
+def suite_names(include_hash: bool = False) -> List[str]:
+    names = [n for n in sorted(_RAW_SUITES) if n != "hash"]
+    if include_hash:
+        names.append("hash")
+    return names
+
+
+def expected_test_counts() -> Dict[str, int]:
+    """The paper's Table 2 #T column."""
+    return {
+        "array": 22, "deque": 34, "list": 37, "pqueue": 2, "queue": 4,
+        "rbuf": 3, "slist": 38, "stack": 2, "treetbl": 13, "treeset": 6,
+    }

@@ -1,0 +1,449 @@
+"""A reference big-step interpreter for MiniC (conformance oracle, E5).
+
+Interprets the MiniC AST directly — no GIL involved — against the same
+concrete memory model the compiled code runs on (as CompCert's reference
+interpreter runs against the CompCert memory).  Differential agreement
+between this interpreter and concrete GIL execution of the compiled
+program is the compiler-trustworthiness evidence of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gil.values import Symbol, Value
+from repro.state.interface import MemErr, MemOk
+from repro.targets.c_like import ast
+from repro.targets.c_like.compiler import UNINIT, _collect_addressed
+from repro.targets.c_like.ctypes import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    CType,
+    PointerType,
+    StructType,
+    TypeTable,
+    is_pointer,
+)
+from repro.targets.c_like.memory import CConcreteMemory, CMemory
+
+
+@dataclass
+class InterpResult:
+    kind: str  # "normal" | "error" | "vanish"
+    value: Value = 0
+
+
+class CRuntimeError(Exception):
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class _Return(Exception):
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Vanish(Exception):
+    pass
+
+
+@dataclass
+class _Slot:
+    """An addressed local living in memory: its slot pointer and type."""
+
+    pointer: object
+    type: CType
+
+
+class CInterpreter:
+    """Direct interpreter over the MiniC AST."""
+
+    def __init__(self, symb_values: Optional[Sequence[Value]] = None) -> None:
+        self._symb_values: List[Value] = list(symb_values or [])
+        self._memory_model = CConcreteMemory()
+        self._memory: CMemory = self._memory_model.initial()
+        self._alloc_count = 0
+        self.types = TypeTable()
+        self.functions: Dict[str, ast.FuncDef] = {}
+
+    def run(self, program: ast.Program, entry: str, args: Sequence[Value] = ()) -> InterpResult:
+        for struct in program.structs:
+            self.types.define_struct(struct.name, list(struct.fields))
+        self.functions = {f.name: f for f in program.functions}
+        if entry not in self.functions:
+            raise ValueError(f"unknown function {entry!r}")
+        try:
+            value = self._call_function(self.functions[entry], list(args))
+        except CRuntimeError as exc:
+            return InterpResult("error", exc.value)
+        except _Vanish:
+            return InterpResult("vanish")
+        return InterpResult("normal", value)
+
+    # -- memory helpers -------------------------------------------------------
+
+    def _action(self, action: str, value):
+        branches = self._memory_model.execute(action, self._memory, value)
+        assert len(branches) == 1
+        branch = branches[0]
+        if isinstance(branch, MemErr):
+            raise CRuntimeError(branch.value)
+        assert isinstance(branch, MemOk)
+        self._memory = branch.memory
+        return branch.value
+
+    def _fresh_block(self) -> Symbol:
+        loc = Symbol(f"cblk_{self._alloc_count}")
+        self._alloc_count += 1
+        return loc
+
+    def _malloc(self, size: int):
+        return self._action("alloc", (self._fresh_block(), size))
+
+    # -- functions -------------------------------------------------------------
+
+    def _call_function(self, func: ast.FuncDef, args: List[Value]) -> Value:
+        if len(args) != len(func.params):
+            raise CRuntimeError(f"{func.name}: arity mismatch")
+        addressed = _collect_addressed(func)
+        env: Dict[str, object] = {}
+        for p, arg in zip(func.params, args):
+            if p.name in addressed:
+                env[p.name] = self._new_slot(p.type, arg)
+            else:
+                env[p.name] = (arg, p.type)
+        env["__addressed__"] = addressed
+        try:
+            for stmt in func.body:
+                self._stmt(env, stmt)
+        except _Return as ret:
+            return ret.value
+        return 0
+
+    # -- statements --------------------------------------------------------------
+
+    def _new_slot(self, t: CType, init=None) -> _Slot:
+        pointer = self._malloc(self.types.size_of(t))
+        if init is not None:
+            self._action("store", (self.types.chunk_of(t), pointer, init))
+        return _Slot(pointer, t)
+
+    def _stmt(self, env, stmt: ast.Statement) -> None:
+        if isinstance(stmt, ast.Decl):
+            if stmt.name in env.get("__addressed__", ()):
+                init = None
+                if stmt.init is not None:
+                    init, _ = self._expr(env, stmt.init)
+                env[stmt.name] = self._new_slot(stmt.type, init)
+                return
+            if stmt.init is not None:
+                value, _ = self._expr(env, stmt.init)
+            else:
+                value = UNINIT
+            env[stmt.name] = (value, stmt.type)
+            return
+        if isinstance(stmt, ast.ArrayDecl):
+            size = self.types.size_of(stmt.element_type) * stmt.length
+            ptr = self._malloc(size)
+            env[stmt.name] = (ptr, PointerType(stmt.element_type))
+            return
+        if isinstance(stmt, ast.Assign):
+            value, vtype = self._expr(env, stmt.value)
+            if isinstance(stmt.target, ast.Var):
+                if stmt.target.name not in env:
+                    raise CRuntimeError(f"undeclared {stmt.target.name!r}")
+                binding = env[stmt.target.name]
+                if isinstance(binding, _Slot):
+                    self._action(
+                        "store",
+                        (self.types.chunk_of(binding.type), binding.pointer, value),
+                    )
+                    return
+                _, ttype = binding
+                env[stmt.target.name] = (value, ttype)
+                return
+            pointer, ttype = self._lvalue(env, stmt.target)
+            chunk = self.types.chunk_of(ttype)
+            self._action("store", (chunk, pointer, value))
+            return
+        if isinstance(stmt, ast.IfStmt):
+            body = stmt.then_body if self._cond(env, stmt.cond) else stmt.else_body
+            for s in body:
+                self._stmt(env, s)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            while self._cond(env, stmt.cond):
+                try:
+                    for s in stmt.body:
+                        self._stmt(env, s)
+                except _Break:
+                    return
+                except _Continue:
+                    continue
+            return
+        if isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._stmt(env, stmt.init)
+            while stmt.cond is None or self._cond(env, stmt.cond):
+                try:
+                    for s in stmt.body:
+                        self._stmt(env, s)
+                except _Break:
+                    return
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self._stmt(env, stmt.step)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.expr is None:
+                raise _Return(0)
+            value, _ = self._expr(env, stmt.expr)
+            raise _Return(value)
+        if isinstance(stmt, ast.BreakStmt):
+            raise _Break()
+        if isinstance(stmt, ast.ContinueStmt):
+            raise _Continue()
+        if isinstance(stmt, ast.ExprStmt):
+            self._expr(env, stmt.expr)
+            return
+        if isinstance(stmt, ast.AssumeStmt):
+            if not self._cond(env, stmt.expr):
+                raise _Vanish()
+            return
+        if isinstance(stmt, ast.AssertStmt):
+            if not self._cond(env, stmt.expr):
+                raise CRuntimeError(("assertion-failure", repr(stmt.expr)))
+            return
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    # -- lvalues ---------------------------------------------------------------
+
+    def _lvalue(self, env, e: ast.Expression) -> Tuple[Value, CType]:
+        if isinstance(e, ast.Var):
+            binding = env.get(e.name)
+            if isinstance(binding, _Slot):
+                return binding.pointer, binding.type
+            raise CRuntimeError(f"cannot take the address of {e.name!r}")
+        if isinstance(e, ast.Unary) and e.op == "*":
+            pointer, ptype = self._expr(env, e.operand)
+            return pointer, ptype.pointee
+        if isinstance(e, ast.Member):
+            if e.arrow:
+                base, btype = self._expr(env, e.obj)
+                struct = btype.pointee
+            else:
+                base, struct = self._lvalue(env, e.obj)
+            layout = self.types.layout(struct)
+            offset, ftype = layout.fields[e.field]
+            return self._ptr_add(base, offset), ftype
+        if isinstance(e, ast.Index):
+            base, btype = self._expr(env, e.base)
+            index, _ = self._expr(env, e.index)
+            scale = self.types.size_of(btype.pointee)
+            return self._ptr_add(base, int(index) * scale), btype.pointee
+        raise CRuntimeError(f"not an lvalue: {e!r}")
+
+    @staticmethod
+    def _ptr_add(pointer, delta: int):
+        if not isinstance(pointer, tuple):
+            raise CRuntimeError(("null-dereference",))
+        return (pointer[0], pointer[1] + delta)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self, env, e: ast.Expression) -> Tuple[Value, CType]:
+        if isinstance(e, ast.IntLit):
+            return e.value, INT
+        if isinstance(e, ast.CharLit):
+            return ord(e.value), CHAR
+        if isinstance(e, ast.NullLit):
+            return 0, PointerType(VOID)
+        if isinstance(e, ast.StrLit):
+            ptr = self._malloc(len(e.value) + 1)
+            chunk = self.types.chunk_of(CHAR)
+            for i, ch in enumerate(e.value + "\0"):
+                self._action("store", (chunk, self._ptr_add(ptr, i), ord(ch)))
+            return ptr, PointerType(CHAR)
+        if isinstance(e, ast.Var):
+            if e.name not in env:
+                raise CRuntimeError(f"unknown identifier {e.name!r}")
+            binding = env[e.name]
+            if isinstance(binding, _Slot):
+                return self._load_or_decay(binding.pointer, binding.type)
+            return binding
+        if isinstance(e, ast.SizeofExpr):
+            return self.types.size_of(e.type), INT
+        if isinstance(e, ast.Cast):
+            value, _ = self._expr(env, e.operand)
+            return value, e.type
+        if isinstance(e, ast.SymbolicExpr):
+            return self._symbolic(e)
+        if isinstance(e, ast.Unary):
+            return self._unary(env, e)
+        if isinstance(e, ast.Binary):
+            return self._binary(env, e)
+        if isinstance(e, (ast.Member, ast.Index)):
+            pointer, ttype = self._lvalue(env, e)
+            return self._load_or_decay(pointer, ttype)
+        if isinstance(e, ast.CallExpr):
+            return self._call(env, e)
+        raise TypeError(f"unknown expression {e!r}")
+
+    def _load_or_decay(self, pointer, t: CType) -> Tuple[Value, CType]:
+        if isinstance(t, ArrayType):
+            return pointer, PointerType(t.element)
+        if isinstance(t, StructType):
+            return pointer, PointerType(t)
+        chunk = self.types.chunk_of(t)
+        return self._action("load", (chunk, pointer)), t
+
+    def _symbolic(self, e: ast.SymbolicExpr) -> Tuple[Value, CType]:
+        if not self._symb_values:
+            raise ValueError("interpreter ran out of symb() input values")
+        value = self._symb_values.pop(0)
+        if e.type_name is not None:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _Vanish()
+            if float(value) != int(value):
+                raise _Vanish()
+            value = int(value)
+            if e.type_name == "char" and not 0 <= value <= 255:
+                raise _Vanish()
+            if e.type_name == "bool" and not 0 <= value <= 1:
+                raise _Vanish()
+        return value, CHAR if e.type_name == "char" else INT
+
+    def _unary(self, env, e: ast.Unary) -> Tuple[Value, CType]:
+        if e.op == "-":
+            value, _ = self._expr(env, e.operand)
+            return -self._int(value, "-"), INT
+        if e.op == "!":
+            return (0 if self._cond(env, e.operand) else 1), INT
+        if e.op == "*":
+            pointer, ptype = self._expr(env, e.operand)
+            return self._load_or_decay(pointer, ptype.pointee)
+        if e.op == "&":
+            pointer, ttype = self._lvalue(env, e.operand)
+            return pointer, PointerType(ttype)
+        raise CRuntimeError(f"unknown unary {e.op!r}")
+
+    def _binary(self, env, e: ast.Binary) -> Tuple[Value, CType]:
+        if e.op == "&&":
+            result = self._cond(env, e.left) and self._cond(env, e.right)
+            return (1 if result else 0), INT
+        if e.op == "||":
+            result = self._cond(env, e.left) or self._cond(env, e.right)
+            return (1 if result else 0), INT
+        if e.op in ("==", "!=", "<", "<=", ">", ">="):
+            return (1 if self._comparison(env, e) else 0), INT
+
+        left, ltype = self._expr(env, e.left)
+        right, rtype = self._expr(env, e.right)
+        if isinstance(ltype, PointerType) and e.op in ("+", "-"):
+            if isinstance(rtype, PointerType):
+                scale = self.types.size_of(ltype.pointee)
+                return (left[1] - right[1]) // scale, INT
+            scale = self.types.size_of(ltype.pointee)
+            delta = int(self._int(right, e.op)) * scale
+            return self._ptr_add(left, delta if e.op == "+" else -delta), ltype
+        lv, rv = self._int(left, e.op), self._int(right, e.op)
+        if e.op == "+":
+            return lv + rv, INT
+        if e.op == "-":
+            return lv - rv, INT
+        if e.op == "*":
+            return lv * rv, INT
+        if e.op == "/":
+            if rv == 0:
+                raise CRuntimeError("eval-error: division by zero")
+            return lv // rv, INT  # floor semantics, as compiled code
+        if e.op == "%":
+            if rv == 0:
+                raise CRuntimeError("eval-error: modulo by zero")
+            return lv % rv, INT
+        raise CRuntimeError(f"unknown binary {e.op!r}")
+
+    def _comparison(self, env, e: ast.Binary) -> bool:
+        left, ltype = self._expr(env, e.left)
+        right, rtype = self._expr(env, e.right)
+        if is_pointer(ltype) or is_pointer(rtype):
+            op = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                  ">": "gt", ">=": "ge"}[e.op]
+            return bool(self._action("cmp_ptr", (op, left, right)))
+        lv, rv = self._int(left, e.op), self._int(right, e.op)
+        return {
+            "==": lv == rv, "!=": lv != rv, "<": lv < rv,
+            "<=": lv <= rv, ">": lv > rv, ">=": lv >= rv,
+        }[e.op]
+
+    def _cond(self, env, e: ast.Expression) -> bool:
+        if isinstance(e, ast.Binary) and e.op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._comparison(env, e)
+        if isinstance(e, ast.Binary) and e.op == "&&":
+            return self._cond(env, e.left) and self._cond(env, e.right)
+        if isinstance(e, ast.Binary) and e.op == "||":
+            return self._cond(env, e.left) or self._cond(env, e.right)
+        if isinstance(e, ast.Unary) and e.op == "!":
+            return not self._cond(env, e.operand)
+        value, vtype = self._expr(env, e)
+        if is_pointer(vtype):
+            return bool(self._action("cmp_ptr", ("ne", value, 0)))
+        return self._int(value, "condition") != 0
+
+    @staticmethod
+    def _int(value, op: str):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CRuntimeError(f"eval-error: {op}: expected an int, got {value!r}")
+        return int(value)
+
+    # -- calls ----------------------------------------------------------------
+
+    def _call(self, env, e: ast.CallExpr) -> Tuple[Value, CType]:
+        name = e.name
+        if name == "malloc":
+            size, _ = self._expr(env, e.args[0])
+            return self._malloc(int(size)), PointerType(VOID)
+        if name == "calloc":
+            count, _ = self._expr(env, e.args[0])
+            size, _ = self._expr(env, e.args[1])
+            total = int(count) * int(size)
+            ptr = self._malloc(total)
+            self._action("memset", (ptr, total, 0))
+            return ptr, PointerType(VOID)
+        if name == "free":
+            ptr, _ = self._expr(env, e.args[0])
+            self._action("free", (ptr,))
+            return 0, VOID
+        if name in ("memcpy", "memmove"):
+            dst, _ = self._expr(env, e.args[0])
+            src, _ = self._expr(env, e.args[1])
+            n, _ = self._expr(env, e.args[2])
+            self._action("memcpy", (dst, src, int(n)))
+            return dst, PointerType(VOID)
+        if name == "memset":
+            ptr, _ = self._expr(env, e.args[0])
+            value, _ = self._expr(env, e.args[1])
+            n, _ = self._expr(env, e.args[2])
+            self._action("memset", (ptr, int(n), value))
+            return ptr, PointerType(VOID)
+        if name == "block_size":
+            ptr, _ = self._expr(env, e.args[0])
+            return self._action("bounds", (ptr,)), INT
+        if name not in self.functions:
+            raise CRuntimeError(f"unknown function {name!r}")
+        args = [self._expr(env, a)[0] for a in e.args]
+        func = self.functions[name]
+        value = self._call_function(func, args)
+        return value, func.ret_type

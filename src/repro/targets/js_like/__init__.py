@@ -1,0 +1,33 @@
+"""The MiniJS instantiation of Gillian (Gillian-JS, paper §4.1)."""
+
+from __future__ import annotations
+
+from repro.gil.syntax import Prog
+from repro.targets.language import Language
+from repro.targets.js_like.compiler import compile_source
+from repro.targets.js_like.memory import (
+    JSConcreteMemory,
+    JSSymbolicMemory,
+    interpret_memory,
+)
+
+
+class MiniJSLanguage(Language):
+    """Gillian-JS: dynamic extensible objects with metadata."""
+
+    name = "minijs"
+
+    def compile(self, source: str) -> Prog:
+        return compile_source(source)
+
+    def concrete_memory(self) -> JSConcreteMemory:
+        return JSConcreteMemory()
+
+    def symbolic_memory(self) -> JSSymbolicMemory:
+        return JSSymbolicMemory()
+
+    def interpretation(self):
+        return interpret_memory
+
+
+__all__ = ["MiniJSLanguage"]

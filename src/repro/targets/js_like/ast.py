@@ -1,0 +1,206 @@
+"""MiniJS abstract syntax.
+
+MiniJS is the ES5-Strict-like target language of the Gillian-JS
+reproduction (paper §4.1).  It keeps the features that make the JavaScript
+memory model interesting — extensible objects, *dynamic* property access
+``o[e]``, object metadata, property deletion, functions as first-class
+(by-name) values — and drops what the evaluation does not need
+(prototypes, closures, ``this``, coercions beyond ``+`` dispatch).
+Deviations from full JS are catalogued in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Node:
+    __slots__ = ()
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class Expression(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: object  # number | str | bool | "null"/"undefined" markers handled below
+
+
+@dataclass(frozen=True)
+class Undefined(Expression):
+    pass
+
+
+@dataclass(frozen=True)
+class NullLit(Expression):
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncRef(Expression):
+    """A bare reference to a top-level function (a by-name function value)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ObjectLit(Expression):
+    props: Tuple[Tuple[str, Expression], ...]
+
+
+@dataclass(frozen=True)
+class ArrayLit(Expression):
+    items: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Member(Expression):
+    """o.p (static) or o[e] (dynamic): prop is an Expression either way."""
+
+    obj: Expression
+    prop: Expression
+
+
+@dataclass(frozen=True)
+class CallExpr(Expression):
+    """f(args) — callee is an expression (identifier, variable, member)."""
+
+    callee: Expression
+    args: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Unary(Expression):
+    op: str  # "-" | "!" | "typeof"
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class Binary(Expression):
+    op: str  # + - * / % === !== < <= > >= && ||
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Conditional(Expression):
+    """c ? a : b"""
+
+    cond: Expression
+    then_expr: Expression
+    else_expr: Expression
+
+
+@dataclass(frozen=True)
+class SymbolicExpr(Expression):
+    """symb() / symb_number() / symb_int() / symb_string() / symb_bool()."""
+
+    type_name: Optional[str]
+
+
+# -- statements ----------------------------------------------------------------
+
+
+class Statement(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VarDecl(Statement):
+    name: str
+    init: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class AssignVar(Statement):
+    name: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class AssignMember(Statement):
+    obj: Expression
+    prop: Expression
+    value: Expression
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    obj: Expression
+    prop: Expression
+
+
+@dataclass(frozen=True)
+class ExprStmt(Statement):
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class IfStmt(Statement):
+    cond: Expression
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class WhileStmt(Statement):
+    cond: Expression
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ForStmt(Statement):
+    init: Optional[Statement]
+    cond: Optional[Expression]
+    step: Optional[Statement]
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Statement):
+    expr: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class BreakStmt(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class ContinueStmt(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class AssumeStmt(Statement):
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class AssertStmt(Statement):
+    expr: Expression
+
+
+# -- program -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionDef(Node):
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    functions: Tuple[FunctionDef, ...]

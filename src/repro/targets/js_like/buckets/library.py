@@ -1,0 +1,811 @@
+"""A Buckets.js-style data-structure library written in MiniJS.
+
+The paper evaluates Gillian-JS on Buckets.js (§4.1, Table 1), a
+self-contained JavaScript data-structure library implementing "linked
+lists, sets, multi-sets, maps, queues and stacks".  Buckets.js itself is
+method-based ES5; MiniJS has no ``this``, so the same structures are
+written in function style (``llist_add(list, x)`` instead of
+``list.add(x)``), which preserves what the evaluation exercises: dynamic
+objects, dynamic property keys (dictionaries prefix keys, as Buckets
+does), comparator functions passed as (by-name) function values, loops
+and aliasing.
+
+One module string per Table 1 row: array, bag, bst, dict, heap, llist,
+mdict, pqueue, queue, set, stack.
+"""
+
+from __future__ import annotations
+
+# -- shared helpers -------------------------------------------------------------
+
+PRELUDE = r"""
+function default_compare(a, b) {
+  if (a < b) { return -1; }
+  if (b < a) { return 1; }
+  return 0;
+}
+"""
+
+# -- arrays: helper functions over JS array-objects ------------------------------
+
+ARRAYS = r"""
+function arr_new() {
+  return { length: 0 };
+}
+
+function arr_push(a, item) {
+  a[a.length] = item;
+  a.length = a.length + 1;
+  return true;
+}
+
+function arr_get(a, i) {
+  if (i < 0 || i >= a.length) { return undefined; }
+  return a[i];
+}
+
+function arr_set(a, i, item) {
+  if (i < 0 || i >= a.length) { return false; }
+  a[i] = item;
+  return true;
+}
+
+function arr_index_of(a, item) {
+  var i = 0;
+  while (i < a.length) {
+    if (a[i] === item) { return i; }
+    i = i + 1;
+  }
+  return -1;
+}
+
+function arr_last_index_of(a, item) {
+  var i = a.length - 1;
+  while (i >= 0) {
+    if (a[i] === item) { return i; }
+    i = i - 1;
+  }
+  return -1;
+}
+
+function arr_contains(a, item) {
+  return arr_index_of(a, item) >= 0;
+}
+
+function arr_frequency(a, item) {
+  var count = 0;
+  for (var i = 0; i < a.length; i++) {
+    if (a[i] === item) { count = count + 1; }
+  }
+  return count;
+}
+
+function arr_remove_at(a, i) {
+  if (i < 0 || i >= a.length) { return undefined; }
+  var removed = a[i];
+  for (var j = i; j < a.length - 1; j++) {
+    a[j] = a[j + 1];
+  }
+  delete a[a.length - 1];
+  a.length = a.length - 1;
+  return removed;
+}
+
+function arr_remove(a, item) {
+  var i = arr_index_of(a, item);
+  if (i < 0) { return false; }
+  arr_remove_at(a, i);
+  return true;
+}
+
+function arr_insert_at(a, i, item) {
+  if (i < 0 || i > a.length) { return false; }
+  for (var j = a.length; j > i; j--) {
+    a[j] = a[j - 1];
+  }
+  a[i] = item;
+  a.length = a.length + 1;
+  return true;
+}
+
+function arr_swap(a, i, j) {
+  if (i < 0 || i >= a.length || j < 0 || j >= a.length) { return false; }
+  var tmp = a[i];
+  a[i] = a[j];
+  a[j] = tmp;
+  return true;
+}
+
+function arr_equals(a, b) {
+  if (a.length !== b.length) { return false; }
+  for (var i = 0; i < a.length; i++) {
+    if (a[i] !== b[i]) { return false; }
+  }
+  return true;
+}
+
+function arr_copy(a) {
+  var out = arr_new();
+  for (var i = 0; i < a.length; i++) {
+    arr_push(out, a[i]);
+  }
+  return out;
+}
+"""
+
+# -- linked list ------------------------------------------------------------------
+
+LLIST = r"""
+function llist_new() {
+  return { first: null, last: null, size: 0 };
+}
+
+function llist_add(list, item) {
+  var node = { element: item, next: null };
+  if (list.first === null) {
+    list.first = node;
+    list.last = node;
+  } else {
+    list.last.next = node;
+    list.last = node;
+  }
+  list.size = list.size + 1;
+  return true;
+}
+
+function llist_add_first(list, item) {
+  var node = { element: item, next: list.first };
+  list.first = node;
+  if (list.last === null) { list.last = node; }
+  list.size = list.size + 1;
+  return true;
+}
+
+function llist_node_at(list, index) {
+  if (index < 0 || index >= list.size) { return null; }
+  var node = list.first;
+  for (var i = 0; i < index; i++) {
+    node = node.next;
+  }
+  return node;
+}
+
+function llist_element_at(list, index) {
+  var node = llist_node_at(list, index);
+  if (node === null) { return undefined; }
+  return node.element;
+}
+
+function llist_index_of(list, item) {
+  var node = list.first;
+  var i = 0;
+  while (node !== null) {
+    if (node.element === item) { return i; }
+    node = node.next;
+    i = i + 1;
+  }
+  return -1;
+}
+
+function llist_contains(list, item) {
+  return llist_index_of(list, item) >= 0;
+}
+
+function llist_remove(list, item) {
+  var prev = null;
+  var node = list.first;
+  while (node !== null) {
+    if (node.element === item) {
+      if (prev === null) {
+        list.first = node.next;
+      } else {
+        prev.next = node.next;
+      }
+      if (node === list.last) { list.last = prev; }
+      list.size = list.size - 1;
+      return true;
+    }
+    prev = node;
+    node = node.next;
+  }
+  return false;
+}
+
+function llist_first(list) {
+  if (list.first === null) { return undefined; }
+  return list.first.element;
+}
+
+function llist_last(list) {
+  if (list.last === null) { return undefined; }
+  return list.last.element;
+}
+
+function llist_is_empty(list) {
+  return list.size === 0;
+}
+
+function llist_reverse(list) {
+  // KNOWN BUG (kept to mirror the second Buckets.js defect the paper's
+  // suite re-detects): the last pointer is not updated, so an add after
+  // a reverse appends after a stale node and corrupts the list.
+  var prev = null;
+  var node = list.first;
+  while (node !== null) {
+    var next = node.next;
+    node.next = prev;
+    prev = node;
+    node = next;
+  }
+  list.first = prev;
+  return true;
+}
+
+function llist_to_array(list) {
+  var out = arr_new();
+  var node = list.first;
+  while (node !== null) {
+    arr_push(out, node.element);
+    node = node.next;
+  }
+  return out;
+}
+"""
+
+# -- stack and queue (over linked lists) --------------------------------------------
+
+STACK = r"""
+function stack_new() {
+  return { list: llist_new() };
+}
+
+function stack_push(s, item) {
+  return llist_add_first(s.list, item);
+}
+
+function stack_pop(s) {
+  if (s.list.size === 0) { return undefined; }
+  var top = llist_first(s.list);
+  llist_remove(s.list, top);
+  return top;
+}
+
+function stack_peek(s) {
+  return llist_first(s.list);
+}
+
+function stack_size(s) {
+  return s.list.size;
+}
+
+function stack_is_empty(s) {
+  return s.list.size === 0;
+}
+"""
+
+QUEUE = r"""
+function queue_new() {
+  return { list: llist_new() };
+}
+
+function queue_enqueue(q, item) {
+  return llist_add(q.list, item);
+}
+
+function queue_dequeue(q) {
+  if (q.list.size === 0) { return undefined; }
+  var front = llist_first(q.list);
+  var node = q.list.first;
+  q.list.first = node.next;
+  if (q.list.first === null) { q.list.last = null; }
+  q.list.size = q.list.size - 1;
+  return front;
+}
+
+function queue_peek(q) {
+  return llist_first(q.list);
+}
+
+function queue_size(q) {
+  return q.list.size;
+}
+
+function queue_is_empty(q) {
+  return q.list.size === 0;
+}
+"""
+
+# -- dictionary (dynamic property keys, Buckets-style '$' prefixing) ------------------
+
+DICT = r"""
+function dict_new() {
+  return { table: {}, keys: arr_new(), nElements: 0 };
+}
+
+function dict_key(k) {
+  return "$" + k;
+}
+
+function dict_set(d, k, v) {
+  var pk = dict_key(k);
+  var had = has_prop(d.table, pk);
+  var previous = undefined;
+  if (had) {
+    previous = d.table[pk];
+  } else {
+    d.nElements = d.nElements + 1;
+    arr_push(d.keys, k);
+  }
+  d.table[pk] = v;
+  return previous;
+}
+
+function dict_get(d, k) {
+  return d.table[dict_key(k)];
+}
+
+function dict_contains_key(d, k) {
+  return has_prop(d.table, dict_key(k));
+}
+
+function dict_remove(d, k) {
+  var pk = dict_key(k);
+  if (!has_prop(d.table, pk)) { return undefined; }
+  var previous = d.table[pk];
+  delete d.table[pk];
+  d.nElements = d.nElements - 1;
+  arr_remove(d.keys, k);
+  return previous;
+}
+
+function dict_size(d) {
+  return d.nElements;
+}
+
+function dict_is_empty(d) {
+  return d.nElements === 0;
+}
+
+function dict_keys(d) {
+  return arr_copy(d.keys);
+}
+"""
+
+# -- multi-dictionary (dict of arrays) -------------------------------------------------
+
+MDICT = r"""
+function mdict_new() {
+  return { dict: dict_new() };
+}
+
+function mdict_set(md, k, v) {
+  var bucket = dict_get(md.dict, k);
+  if (bucket === undefined) {
+    bucket = arr_new();
+    dict_set(md.dict, k, bucket);
+  }
+  arr_push(bucket, v);
+  return true;
+}
+
+function mdict_get(md, k) {
+  var bucket = dict_get(md.dict, k);
+  if (bucket === undefined) { return arr_new(); }
+  return bucket;
+}
+
+function mdict_remove_value(md, k, v) {
+  // KNOWN BUG (kept to mirror the Buckets.js defect re-detected by the
+  // paper's suite): removing the last value leaves an empty bucket
+  // behind, so mdict_contains_key keeps answering true for the key.
+  var bucket = dict_get(md.dict, k);
+  if (bucket === undefined) { return false; }
+  var removed = arr_remove(bucket, v);
+  return removed;
+}
+
+function mdict_remove_key(md, k) {
+  var bucket = dict_get(md.dict, k);
+  if (bucket === undefined) { return false; }
+  dict_remove(md.dict, k);
+  return true;
+}
+
+function mdict_contains_key(md, k) {
+  return dict_contains_key(md.dict, k);
+}
+
+function mdict_size(md) {
+  return dict_size(md.dict);
+}
+"""
+
+# -- bag (multiset) ---------------------------------------------------------------------
+
+BAG = r"""
+function bag_new() {
+  return { dict: dict_new(), nElements: 0 };
+}
+
+function bag_add(bag, item) {
+  return bag_add_n(bag, item, 1);
+}
+
+function bag_add_n(bag, item, n) {
+  if (n <= 0) { return false; }
+  var count = dict_get(bag.dict, item);
+  if (count === undefined) {
+    dict_set(bag.dict, item, n);
+  } else {
+    dict_set(bag.dict, item, count + n);
+  }
+  bag.nElements = bag.nElements + n;
+  return true;
+}
+
+function bag_count(bag, item) {
+  var count = dict_get(bag.dict, item);
+  if (count === undefined) { return 0; }
+  return count;
+}
+
+function bag_contains(bag, item) {
+  return bag_count(bag, item) > 0;
+}
+
+function bag_remove(bag, item) {
+  var count = dict_get(bag.dict, item);
+  if (count === undefined) { return false; }
+  if (count === 1) {
+    dict_remove(bag.dict, item);
+  } else {
+    dict_set(bag.dict, item, count - 1);
+  }
+  bag.nElements = bag.nElements - 1;
+  return true;
+}
+
+function bag_size(bag) {
+  return bag.nElements;
+}
+
+function bag_is_empty(bag) {
+  return bag.nElements === 0;
+}
+"""
+
+# -- set -----------------------------------------------------------------------------
+
+SET = r"""
+function set_new() {
+  return { dict: dict_new() };
+}
+
+function set_add(s, item) {
+  if (dict_contains_key(s.dict, item)) { return false; }
+  dict_set(s.dict, item, item);
+  return true;
+}
+
+function set_contains(s, item) {
+  return dict_contains_key(s.dict, item);
+}
+
+function set_remove(s, item) {
+  if (!dict_contains_key(s.dict, item)) { return false; }
+  dict_remove(s.dict, item);
+  return true;
+}
+
+function set_size(s) {
+  return dict_size(s.dict);
+}
+
+function set_is_empty(s) {
+  return dict_size(s.dict) === 0;
+}
+
+function set_to_array(s) {
+  return dict_keys(s.dict);
+}
+
+function set_union(a, b) {
+  var out = set_new();
+  var ka = set_to_array(a);
+  for (var i = 0; i < ka.length; i++) { set_add(out, ka[i]); }
+  var kb = set_to_array(b);
+  for (var j = 0; j < kb.length; j++) { set_add(out, kb[j]); }
+  return out;
+}
+
+function set_intersection(a, b) {
+  var out = set_new();
+  var ka = set_to_array(a);
+  for (var i = 0; i < ka.length; i++) {
+    if (set_contains(b, ka[i])) { set_add(out, ka[i]); }
+  }
+  return out;
+}
+
+function set_is_subset_of(a, b) {
+  var ka = set_to_array(a);
+  for (var i = 0; i < ka.length; i++) {
+    if (!set_contains(b, ka[i])) { return false; }
+  }
+  return true;
+}
+"""
+
+# -- binary search tree -----------------------------------------------------------------
+
+BST = r"""
+function bst_new(compare) {
+  return { root: null, nElements: 0, compare: compare };
+}
+
+function bst_insert(tree, item) {
+  var node = { element: item, left: null, right: null };
+  if (tree.root === null) {
+    tree.root = node;
+    tree.nElements = tree.nElements + 1;
+    return true;
+  }
+  var cmp = tree.compare;
+  var current = tree.root;
+  while (true) {
+    var c = cmp(item, current.element);
+    if (c === 0) { return false; }
+    if (c < 0) {
+      if (current.left === null) {
+        current.left = node;
+        tree.nElements = tree.nElements + 1;
+        return true;
+      }
+      current = current.left;
+    } else {
+      if (current.right === null) {
+        current.right = node;
+        tree.nElements = tree.nElements + 1;
+        return true;
+      }
+      current = current.right;
+    }
+  }
+}
+
+function bst_contains(tree, item) {
+  var cmp = tree.compare;
+  var current = tree.root;
+  while (current !== null) {
+    var c = cmp(item, current.element);
+    if (c === 0) { return true; }
+    if (c < 0) { current = current.left; } else { current = current.right; }
+  }
+  return false;
+}
+
+function bst_minimum(tree) {
+  if (tree.root === null) { return undefined; }
+  var current = tree.root;
+  while (current.left !== null) { current = current.left; }
+  return current.element;
+}
+
+function bst_maximum(tree) {
+  if (tree.root === null) { return undefined; }
+  var current = tree.root;
+  while (current.right !== null) { current = current.right; }
+  return current.element;
+}
+
+function bst_size(tree) {
+  return tree.nElements;
+}
+
+function bst_inorder_collect(node, out) {
+  if (node === null) { return out; }
+  bst_inorder_collect(node.left, out);
+  arr_push(out, node.element);
+  bst_inorder_collect(node.right, out);
+  return out;
+}
+
+function bst_to_array(tree) {
+  return bst_inorder_collect(tree.root, arr_new());
+}
+
+function bst_remove_min_node(parent, node) {
+  while (node.left !== null) {
+    parent = node;
+    node = node.left;
+  }
+  if (parent.left === node) {
+    parent.left = node.right;
+  } else {
+    parent.right = node.right;
+  }
+  return node.element;
+}
+
+function bst_remove(tree, item) {
+  var cmp = tree.compare;
+  var parent = null;
+  var current = tree.root;
+  while (current !== null) {
+    var c = cmp(item, current.element);
+    if (c === 0) {
+      if (current.left !== null && current.right !== null) {
+        if (current.right.left === null) {
+          current.element = current.right.element;
+          current.right = current.right.right;
+        } else {
+          current.element = bst_remove_min_node(current, current.right);
+        }
+      } else {
+        var child = current.left;
+        if (child === null) { child = current.right; }
+        if (parent === null) {
+          tree.root = child;
+        } else if (parent.left === current) {
+          parent.left = child;
+        } else {
+          parent.right = child;
+        }
+      }
+      tree.nElements = tree.nElements - 1;
+      return true;
+    }
+    parent = current;
+    if (c < 0) { current = current.left; } else { current = current.right; }
+  }
+  return false;
+}
+"""
+
+# -- binary heap and priority queue -----------------------------------------------------
+
+HEAP = r"""
+function heap_new(compare) {
+  return { data: arr_new(), compare: compare };
+}
+
+function heap_size(h) {
+  return h.data.length;
+}
+
+function heap_is_empty(h) {
+  return h.data.length === 0;
+}
+
+function heap_peek(h) {
+  if (h.data.length === 0) { return undefined; }
+  return h.data[0];
+}
+
+function heap_sift_up(h, index) {
+  var cmp = h.compare;
+  while (index > 0) {
+    var parent = floor((index - 1) / 2);
+    if (cmp(h.data[index], h.data[parent]) < 0) {
+      arr_swap(h.data, index, parent);
+      index = parent;
+    } else {
+      return true;
+    }
+  }
+  return true;
+}
+
+function heap_sift_down(h, index) {
+  var cmp = h.compare;
+  var n = h.data.length;
+  while (true) {
+    var left = 2 * index + 1;
+    var right = 2 * index + 2;
+    var smallest = index;
+    if (left < n && cmp(h.data[left], h.data[smallest]) < 0) { smallest = left; }
+    if (right < n && cmp(h.data[right], h.data[smallest]) < 0) { smallest = right; }
+    if (smallest === index) { return true; }
+    arr_swap(h.data, index, smallest);
+    index = smallest;
+  }
+}
+
+function heap_add(h, item) {
+  arr_push(h.data, item);
+  heap_sift_up(h, h.data.length - 1);
+  return true;
+}
+
+function heap_remove_root(h) {
+  if (h.data.length === 0) { return undefined; }
+  var root = h.data[0];
+  var last = arr_remove_at(h.data, h.data.length - 1);
+  if (h.data.length > 0) {
+    h.data[0] = last;
+    heap_sift_down(h, 0);
+  }
+  return root;
+}
+"""
+
+PQUEUE = r"""
+function pq_compare(a, b) {
+  // A priority queue dequeues the *highest* priority first: invert.
+  return default_compare(b.priority, a.priority);
+}
+
+function pqueue_new() {
+  return { heap: heap_new(pq_compare) };
+}
+
+function pqueue_enqueue(pq, item, priority) {
+  return heap_add(pq.heap, { element: item, priority: priority });
+}
+
+function pqueue_dequeue(pq) {
+  var entry = heap_remove_root(pq.heap);
+  if (entry === undefined) { return undefined; }
+  return entry.element;
+}
+
+function pqueue_peek(pq) {
+  var entry = heap_peek(pq.heap);
+  if (entry === undefined) { return undefined; }
+  return entry.element;
+}
+
+function pqueue_size(pq) {
+  return heap_size(pq.heap);
+}
+
+function pqueue_is_empty(pq) {
+  return heap_size(pq.heap) === 0;
+}
+"""
+
+#: Module sources keyed by Table 1 row name.
+MODULES = {
+    "array": ARRAYS,
+    "bag": BAG,
+    "bst": BST,
+    "dict": DICT,
+    "heap": HEAP,
+    "llist": LLIST,
+    "mdict": MDICT,
+    "pqueue": PQUEUE,
+    "queue": QUEUE,
+    "set": SET,
+    "stack": STACK,
+}
+
+#: Dependencies between modules (a module's source needs these first).
+DEPS = {
+    "array": (),
+    "llist": ("array",),
+    "stack": ("array", "llist"),
+    "queue": ("array", "llist"),
+    "dict": ("array",),
+    "mdict": ("array", "dict"),
+    "bag": ("array", "dict"),
+    "set": ("array", "dict"),
+    "bst": ("array",),
+    "heap": ("array",),
+    "pqueue": ("array", "heap"),
+}
+
+
+def module_source(name: str) -> str:
+    """The full MiniJS source for a module, with prelude and dependencies."""
+    parts = [PRELUDE]
+    for dep in DEPS[name]:
+        parts.append(MODULES[dep])
+    parts.append(MODULES[name])
+    return "\n".join(parts)
+
+
+def full_library() -> str:
+    """The whole library in dependency order."""
+    order = ["array", "llist", "stack", "queue", "dict", "mdict", "bag",
+             "set", "bst", "heap", "pqueue"]
+    return "\n".join([PRELUDE] + [MODULES[m] for m in order])

@@ -1,0 +1,864 @@
+"""Symbolic test suites for the Buckets-style MiniJS library (Table 1).
+
+One suite per Table 1 row, with the same number of symbolic tests per
+structure as the paper reports (#T column: array 9, bag 7, bst 11,
+dict 7, heap 4, llist 9, mdict 6, pqueue 5, queue 6, set 6, stack 4 —
+74 in total).  The tests are "purposefully written to cover multiple
+execution traces" (§4.1): inputs are symbolic, so each test explores many
+paths.
+
+Two tests intentionally re-detect the two known library bugs (mirroring
+the paper: "our testing ... was able to detect the two bugs found in our
+previous work"): ``test_mdict_remove_last_value_removes_key`` and
+``test_llist_add_after_reverse``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.targets.js_like.buckets.library import module_source
+
+# Each suite: row name → (list of test function names, test source).
+
+_ARRAY_TESTS = r"""
+function test_push_get() {
+  var a = arr_new();
+  var x = symb_number();
+  arr_push(a, x);
+  arr_push(a, 2);
+  assert(a.length === 2);
+  assert(arr_get(a, 0) === x);
+  assert(arr_get(a, 1) === 2);
+}
+
+function test_get_out_of_bounds() {
+  var a = arr_new();
+  arr_push(a, 1);
+  var i = symb_int();
+  assume(i < 0 || i >= 1);
+  assert(arr_get(a, i) === undefined);
+}
+
+function test_index_of() {
+  var a = arr_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  arr_push(a, x);
+  arr_push(a, y);
+  assert(arr_index_of(a, x) === 0);
+  assert(arr_index_of(a, y) === 1);
+}
+
+function test_last_index_of() {
+  var a = arr_new();
+  var x = symb_number();
+  arr_push(a, x);
+  arr_push(a, x);
+  assert(arr_last_index_of(a, x) === 1);
+  assert(arr_index_of(a, x) === 0);
+}
+
+function test_contains_frequency() {
+  var a = arr_new();
+  var x = symb_number();
+  var y = symb_number();
+  arr_push(a, x);
+  arr_push(a, y);
+  assert(arr_contains(a, x));
+  var f = arr_frequency(a, x);
+  if (x === y) { assert(f === 2); } else { assert(f === 1); }
+}
+
+function test_remove_at_shifts() {
+  var a = arr_new();
+  arr_push(a, 10);
+  var x = symb_number();
+  arr_push(a, x);
+  arr_push(a, 30);
+  var removed = arr_remove_at(a, 1);
+  assert(removed === x);
+  assert(a.length === 2);
+  assert(arr_get(a, 0) === 10);
+  assert(arr_get(a, 1) === 30);
+}
+
+function test_insert_at() {
+  var a = arr_new();
+  arr_push(a, 1);
+  arr_push(a, 3);
+  var x = symb_number();
+  var ok = arr_insert_at(a, 1, x);
+  assert(ok);
+  assert(a.length === 3);
+  assert(arr_get(a, 1) === x);
+  assert(arr_get(a, 2) === 3);
+}
+
+function test_swap_and_equals() {
+  var a = arr_new();
+  var x = symb_number();
+  var y = symb_number();
+  arr_push(a, x); arr_push(a, y);
+  var b = arr_copy(a);
+  arr_swap(a, 0, 1);
+  assert(arr_get(a, 0) === y);
+  assert(arr_get(a, 1) === x);
+  if (x === y) { assert(arr_equals(a, b)); }
+}
+
+function test_remove_value() {
+  var a = arr_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  arr_push(a, x); arr_push(a, y);
+  assert(arr_remove(a, x));
+  assert(a.length === 1);
+  assert(!arr_contains(a, x));
+  assert(arr_contains(a, y));
+}
+"""
+
+_BAG_TESTS = r"""
+function test_add_count() {
+  var b = bag_new();
+  var x = symb_number();
+  bag_add(b, x);
+  bag_add(b, x);
+  assert(bag_count(b, x) === 2);
+  assert(bag_size(b) === 2);
+}
+
+function test_add_distinct() {
+  var b = bag_new();
+  var x = symb_number();
+  var y = symb_number();
+  bag_add(b, x);
+  bag_add(b, y);
+  if (x === y) { assert(bag_count(b, x) === 2); }
+  else { assert(bag_count(b, x) === 1 && bag_count(b, y) === 1); }
+  assert(bag_size(b) === 2);
+}
+
+function test_add_n() {
+  var b = bag_new();
+  var n = symb_int();
+  assume(1 <= n && n <= 3);
+  bag_add_n(b, "item", n);
+  assert(bag_count(b, "item") === n);
+  assert(bag_size(b) === n);
+}
+
+function test_add_nonpositive_rejected() {
+  var b = bag_new();
+  var n = symb_int();
+  assume(n <= 0);
+  var ok = bag_add_n(b, "item", n);
+  assert(!ok);
+  assert(bag_size(b) === 0);
+}
+
+function test_remove_decrements() {
+  var b = bag_new();
+  var x = symb_number();
+  bag_add(b, x);
+  bag_add(b, x);
+  assert(bag_remove(b, x));
+  assert(bag_count(b, x) === 1);
+  assert(bag_remove(b, x));
+  assert(bag_count(b, x) === 0);
+  assert(!bag_contains(b, x));
+  assert(bag_is_empty(b));
+}
+
+function test_remove_absent() {
+  var b = bag_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  bag_add(b, x);
+  assert(!bag_remove(b, y));
+  assert(bag_size(b) === 1);
+}
+
+function test_contains() {
+  var b = bag_new();
+  var x = symb_string();
+  bag_add(b, x);
+  assert(bag_contains(b, x));
+  assert(!bag_is_empty(b));
+}
+"""
+
+_BST_TESTS = r"""
+function test_insert_contains() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  assume(0 <= x && x <= 2);
+  bst_insert(t, 1);
+  bst_insert(t, x);
+  assert(bst_contains(t, x));
+  assert(bst_contains(t, 1));
+}
+
+function test_insert_duplicate() {
+  var t = bst_new(default_compare);
+  var x = symb_number();
+  assert(bst_insert(t, x));
+  assert(!bst_insert(t, x));
+  assert(bst_size(t) === 1);
+}
+
+function test_size() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  var y = symb_int();
+  assume(0 <= x && x <= 1 && 0 <= y && y <= 1);
+  bst_insert(t, x);
+  bst_insert(t, y);
+  if (x === y) { assert(bst_size(t) === 1); }
+  else { assert(bst_size(t) === 2); }
+}
+
+function test_minimum() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  assume(-2 <= x && x <= 2);
+  bst_insert(t, 0);
+  bst_insert(t, x);
+  var m = bst_minimum(t);
+  assert(m <= 0 && m <= x);
+  assert(m === 0 || m === x);
+}
+
+function test_maximum() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  assume(-2 <= x && x <= 2);
+  bst_insert(t, 0);
+  bst_insert(t, x);
+  var m = bst_maximum(t);
+  assert(0 <= m && x <= m);
+}
+
+function test_inorder_sorted() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  var y = symb_int();
+  assume(0 <= x && x <= 2 && 0 <= y && y <= 2);
+  assume(x !== y);
+  bst_insert(t, x);
+  bst_insert(t, y);
+  var a = bst_to_array(t);
+  assert(a.length === 2);
+  assert(arr_get(a, 0) < arr_get(a, 1));
+}
+
+function test_empty_tree() {
+  var t = bst_new(default_compare);
+  assert(bst_size(t) === 0);
+  assert(bst_minimum(t) === undefined);
+  assert(bst_maximum(t) === undefined);
+  assert(!bst_contains(t, 1));
+}
+
+function test_remove_leaf() {
+  var t = bst_new(default_compare);
+  bst_insert(t, 2);
+  var x = symb_int();
+  assume(0 <= x && x <= 4);
+  assume(x !== 2);
+  bst_insert(t, x);
+  assert(bst_remove(t, x));
+  assert(!bst_contains(t, x));
+  assert(bst_contains(t, 2));
+  assert(bst_size(t) === 1);
+}
+
+function test_remove_root() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  assume(0 <= x && x <= 4);
+  assume(x !== 2);
+  bst_insert(t, 2);
+  bst_insert(t, x);
+  assert(bst_remove(t, 2));
+  assert(!bst_contains(t, 2));
+  assert(bst_contains(t, x));
+}
+
+function test_remove_absent() {
+  var t = bst_new(default_compare);
+  var x = symb_int();
+  var y = symb_int();
+  assume(x !== y);
+  bst_insert(t, x);
+  assert(!bst_remove(t, y));
+  assert(bst_size(t) === 1);
+}
+
+function test_remove_node_with_two_children() {
+  var t = bst_new(default_compare);
+  bst_insert(t, 2);
+  bst_insert(t, 1);
+  bst_insert(t, 4);
+  bst_insert(t, 3);
+  assert(bst_remove(t, 2));
+  var a = bst_to_array(t);
+  assert(a.length === 3);
+  assert(arr_get(a, 0) === 1);
+  assert(arr_get(a, 1) === 3);
+  assert(arr_get(a, 2) === 4);
+}
+"""
+
+_DICT_TESTS = r"""
+function test_set_get() {
+  var d = dict_new();
+  var k = symb_string();
+  var v = symb_number();
+  dict_set(d, k, v);
+  assert(dict_get(d, k) === v);
+  assert(dict_size(d) === 1);
+}
+
+function test_set_overwrites() {
+  var d = dict_new();
+  var k = symb_string();
+  dict_set(d, k, 1);
+  var previous = dict_set(d, k, 2);
+  assert(previous === 1);
+  assert(dict_get(d, k) === 2);
+  assert(dict_size(d) === 1);
+}
+
+function test_two_keys() {
+  var d = dict_new();
+  var k1 = symb_string();
+  var k2 = symb_string();
+  assume(k1 !== k2);
+  dict_set(d, k1, 1);
+  dict_set(d, k2, 2);
+  assert(dict_size(d) === 2);
+  assert(dict_get(d, k1) === 1);
+  assert(dict_get(d, k2) === 2);
+}
+
+function test_missing_key_undefined() {
+  var d = dict_new();
+  var k1 = symb_string();
+  var k2 = symb_string();
+  assume(k1 !== k2);
+  dict_set(d, k1, 1);
+  assert(dict_get(d, k2) === undefined);
+  assert(!dict_contains_key(d, k2));
+}
+
+function test_remove() {
+  var d = dict_new();
+  var k = symb_string();
+  dict_set(d, k, 42);
+  var removed = dict_remove(d, k);
+  assert(removed === 42);
+  assert(dict_size(d) === 0);
+  assert(!dict_contains_key(d, k));
+  assert(dict_is_empty(d));
+}
+
+function test_remove_absent() {
+  var d = dict_new();
+  var k = symb_string();
+  assert(dict_remove(d, k) === undefined);
+  assert(dict_size(d) === 0);
+}
+
+function test_keys() {
+  var d = dict_new();
+  var k1 = symb_string();
+  var k2 = symb_string();
+  assume(k1 !== k2);
+  dict_set(d, k1, 1);
+  dict_set(d, k2, 2);
+  var ks = dict_keys(d);
+  assert(ks.length === 2);
+  assert(arr_contains(ks, k1));
+  assert(arr_contains(ks, k2));
+}
+"""
+
+_HEAP_TESTS = r"""
+function test_add_peek() {
+  var h = heap_new(default_compare);
+  var x = symb_int();
+  assume(-2 <= x && x <= 2);
+  heap_add(h, 0);
+  heap_add(h, x);
+  var top = heap_peek(h);
+  assert(top <= 0 && top <= x);
+  assert(heap_size(h) === 2);
+}
+
+function test_remove_root_order() {
+  var h = heap_new(default_compare);
+  var x = symb_int();
+  var y = symb_int();
+  assume(0 <= x && x <= 2 && 0 <= y && y <= 2);
+  heap_add(h, x);
+  heap_add(h, y);
+  var a = heap_remove_root(h);
+  var b = heap_remove_root(h);
+  assert(a <= b);
+  assert(heap_is_empty(h));
+}
+
+function test_empty_heap() {
+  var h = heap_new(default_compare);
+  assert(heap_peek(h) === undefined);
+  assert(heap_remove_root(h) === undefined);
+  assert(heap_size(h) === 0);
+}
+
+function test_three_elements_min_at_root() {
+  var h = heap_new(default_compare);
+  var x = symb_int();
+  assume(-1 <= x && x <= 1);
+  heap_add(h, 1);
+  heap_add(h, x);
+  heap_add(h, 0);
+  var top = heap_peek(h);
+  assert(top <= 0 && top <= x);
+  assert(heap_size(h) === 3);
+}
+"""
+
+_LLIST_TESTS = r"""
+function test_add_size_order() {
+  var l = llist_new();
+  var x = symb_number();
+  llist_add(l, x);
+  llist_add(l, 2);
+  assert(l.size === 2);
+  assert(llist_element_at(l, 0) === x);
+  assert(llist_element_at(l, 1) === 2);
+}
+
+function test_add_first() {
+  var l = llist_new();
+  var x = symb_number();
+  llist_add(l, 1);
+  llist_add_first(l, x);
+  assert(llist_first(l) === x);
+  assert(llist_last(l) === 1);
+  assert(l.size === 2);
+}
+
+function test_index_of() {
+  var l = llist_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  llist_add(l, x);
+  llist_add(l, y);
+  assert(llist_index_of(l, y) === 1);
+  assert(llist_contains(l, x));
+}
+
+function test_element_at_out_of_range() {
+  var l = llist_new();
+  llist_add(l, 1);
+  var i = symb_int();
+  assume(i < 0 || i >= 1);
+  assert(llist_element_at(l, i) === undefined);
+}
+
+function test_remove_first_element() {
+  var l = llist_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  llist_add(l, x);
+  llist_add(l, y);
+  assert(llist_remove(l, x));
+  assert(l.size === 1);
+  assert(llist_first(l) === y);
+  assert(llist_last(l) === y);
+}
+
+function test_remove_last_element_updates_last() {
+  var l = llist_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  llist_add(l, x);
+  llist_add(l, y);
+  assert(llist_remove(l, y));
+  assert(llist_last(l) === x);
+  llist_add(l, 99);
+  assert(llist_last(l) === 99);
+  assert(llist_element_at(l, 1) === 99);
+}
+
+function test_remove_absent() {
+  var l = llist_new();
+  var x = symb_number();
+  var y = symb_number();
+  assume(x !== y);
+  llist_add(l, x);
+  assert(!llist_remove(l, y));
+  assert(l.size === 1);
+}
+
+function test_reverse_order() {
+  var l = llist_new();
+  var x = symb_number();
+  llist_add(l, x);
+  llist_add(l, 2);
+  llist_add(l, 3);
+  llist_reverse(l);
+  assert(llist_element_at(l, 0) === 3);
+  assert(llist_element_at(l, 1) === 2);
+  assert(llist_element_at(l, 2) === x);
+}
+
+function test_llist_add_after_reverse() {
+  // Detects the known reverse bug: the last pointer goes stale.
+  var l = llist_new();
+  var x = symb_number();
+  llist_add(l, x);
+  llist_add(l, 2);
+  llist_reverse(l);
+  llist_add(l, 3);
+  assert(l.size === 3);
+  assert(llist_element_at(l, 2) === 3);
+  assert(llist_last(l) === 3);
+}
+"""
+
+_MDICT_TESTS = r"""
+function test_set_get_multi() {
+  var md = mdict_new();
+  var k = symb_string();
+  mdict_set(md, k, 1);
+  mdict_set(md, k, 2);
+  var vs = mdict_get(md, k);
+  assert(vs.length === 2);
+  assert(arr_get(vs, 0) === 1);
+  assert(arr_get(vs, 1) === 2);
+}
+
+function test_get_absent_is_empty() {
+  var md = mdict_new();
+  var k = symb_string();
+  var vs = mdict_get(md, k);
+  assert(vs.length === 0);
+  assert(!mdict_contains_key(md, k));
+}
+
+function test_two_keys() {
+  var md = mdict_new();
+  var k1 = symb_string();
+  var k2 = symb_string();
+  assume(k1 !== k2);
+  mdict_set(md, k1, 1);
+  mdict_set(md, k2, 2);
+  assert(mdict_size(md) === 2);
+  assert(mdict_get(md, k1).length === 1);
+}
+
+function test_remove_value() {
+  var md = mdict_new();
+  var k = symb_string();
+  mdict_set(md, k, 1);
+  mdict_set(md, k, 2);
+  assert(mdict_remove_value(md, k, 1));
+  var vs = mdict_get(md, k);
+  assert(vs.length === 1);
+  assert(arr_get(vs, 0) === 2);
+}
+
+function test_mdict_remove_last_value_removes_key() {
+  // Detects the known multi-dictionary bug: removing the last value
+  // must remove the key, but an empty bucket is left behind.
+  var md = mdict_new();
+  var k = symb_string();
+  mdict_set(md, k, 7);
+  assert(mdict_remove_value(md, k, 7));
+  assert(!mdict_contains_key(md, k));
+}
+
+function test_remove_key() {
+  var md = mdict_new();
+  var k = symb_string();
+  mdict_set(md, k, 1);
+  mdict_set(md, k, 2);
+  assert(mdict_remove_key(md, k));
+  assert(!mdict_contains_key(md, k));
+  assert(mdict_size(md) === 0);
+}
+"""
+
+_PQUEUE_TESTS = r"""
+function test_enqueue_dequeue_priority() {
+  var pq = pqueue_new();
+  var p = symb_int();
+  assume(0 <= p && p <= 2);
+  pqueue_enqueue(pq, "low", 1);
+  pqueue_enqueue(pq, "sym", p);
+  var first = pqueue_dequeue(pq);
+  if (p > 1) { assert(first === "sym"); }
+  if (p < 1) { assert(first === "low"); }
+}
+
+function test_peek_highest() {
+  var pq = pqueue_new();
+  pqueue_enqueue(pq, "a", 1);
+  pqueue_enqueue(pq, "b", 5);
+  assert(pqueue_peek(pq) === "b");
+  assert(pqueue_size(pq) === 2);
+}
+
+function test_empty() {
+  var pq = pqueue_new();
+  assert(pqueue_dequeue(pq) === undefined);
+  assert(pqueue_peek(pq) === undefined);
+  assert(pqueue_is_empty(pq));
+}
+
+function test_dequeue_all_sorted() {
+  var pq = pqueue_new();
+  var p = symb_int();
+  assume(0 <= p && p <= 4);
+  pqueue_enqueue(pq, 2, 2);
+  pqueue_enqueue(pq, p, p);
+  pqueue_enqueue(pq, 3, 3);
+  var a = pqueue_dequeue(pq);
+  var b = pqueue_dequeue(pq);
+  var c = pqueue_dequeue(pq);
+  assert(b <= a);
+  assert(c <= b);
+  assert(pqueue_is_empty(pq));
+}
+
+function test_size_tracks() {
+  var pq = pqueue_new();
+  var p = symb_int();
+  pqueue_enqueue(pq, "x", p);
+  assert(pqueue_size(pq) === 1);
+  pqueue_dequeue(pq);
+  assert(pqueue_size(pq) === 0);
+}
+"""
+
+_QUEUE_TESTS = r"""
+function test_fifo_order() {
+  var q = queue_new();
+  var x = symb_number();
+  queue_enqueue(q, x);
+  queue_enqueue(q, 2);
+  assert(queue_dequeue(q) === x);
+  assert(queue_dequeue(q) === 2);
+  assert(queue_is_empty(q));
+}
+
+function test_peek_does_not_remove() {
+  var q = queue_new();
+  var x = symb_number();
+  queue_enqueue(q, x);
+  assert(queue_peek(q) === x);
+  assert(queue_size(q) === 1);
+}
+
+function test_dequeue_empty() {
+  var q = queue_new();
+  assert(queue_dequeue(q) === undefined);
+  assert(queue_peek(q) === undefined);
+}
+
+function test_interleaved() {
+  var q = queue_new();
+  var x = symb_number();
+  queue_enqueue(q, 1);
+  assert(queue_dequeue(q) === 1);
+  queue_enqueue(q, x);
+  queue_enqueue(q, 3);
+  assert(queue_dequeue(q) === x);
+  assert(queue_size(q) === 1);
+}
+
+function test_size_counts() {
+  var q = queue_new();
+  var n = symb_int();
+  assume(0 <= n && n <= 3);
+  for (var i = 0; i < n; i++) {
+    queue_enqueue(q, i);
+  }
+  assert(queue_size(q) === n);
+}
+
+function test_drain_after_refill() {
+  var q = queue_new();
+  queue_enqueue(q, 1);
+  queue_dequeue(q);
+  assert(queue_is_empty(q));
+  queue_enqueue(q, 2);
+  assert(queue_peek(q) === 2);
+  assert(queue_dequeue(q) === 2);
+}
+"""
+
+_SET_TESTS = r"""
+function test_add_contains() {
+  var s = set_new();
+  var x = symb_number();
+  assert(set_add(s, x));
+  assert(set_contains(s, x));
+  assert(set_size(s) === 1);
+}
+
+function test_add_duplicate() {
+  var s = set_new();
+  var x = symb_number();
+  set_add(s, x);
+  assert(!set_add(s, x));
+  assert(set_size(s) === 1);
+}
+
+function test_remove() {
+  var s = set_new();
+  var x = symb_number();
+  set_add(s, x);
+  assert(set_remove(s, x));
+  assert(!set_contains(s, x));
+  assert(set_is_empty(s));
+  assert(!set_remove(s, x));
+}
+
+function test_union() {
+  var a = set_new();
+  var b = set_new();
+  var x = symb_int();
+  var y = symb_int();
+  assume(0 <= x && x <= 1 && 0 <= y && y <= 1);
+  set_add(a, x);
+  set_add(b, y);
+  var u = set_union(a, b);
+  assert(set_contains(u, x));
+  assert(set_contains(u, y));
+  if (x === y) { assert(set_size(u) === 1); }
+  else { assert(set_size(u) === 2); }
+}
+
+function test_intersection() {
+  var a = set_new();
+  var b = set_new();
+  var x = symb_int();
+  var y = symb_int();
+  assume(0 <= x && x <= 1 && 0 <= y && y <= 1);
+  set_add(a, x);
+  set_add(b, y);
+  var inter = set_intersection(a, b);
+  if (x === y) { assert(set_contains(inter, x) && set_size(inter) === 1); }
+  else { assert(set_size(inter) === 0); }
+}
+
+function test_subset() {
+  var a = set_new();
+  var b = set_new();
+  var x = symb_int();
+  assume(0 <= x && x <= 1);
+  set_add(a, x);
+  set_add(b, 0);
+  set_add(b, 1);
+  assert(set_is_subset_of(a, b));
+  assert(!set_is_subset_of(b, a));
+}
+"""
+
+_STACK_TESTS = r"""
+function test_lifo_order() {
+  var s = stack_new();
+  var x = symb_number();
+  stack_push(s, 1);
+  stack_push(s, x);
+  assert(stack_pop(s) === x);
+  assert(stack_pop(s) === 1);
+  assert(stack_is_empty(s));
+}
+
+function test_peek() {
+  var s = stack_new();
+  var x = symb_number();
+  stack_push(s, x);
+  assert(stack_peek(s) === x);
+  assert(stack_size(s) === 1);
+}
+
+function test_pop_empty() {
+  var s = stack_new();
+  assert(stack_pop(s) === undefined);
+  assert(stack_peek(s) === undefined);
+}
+
+function test_push_pop_push() {
+  var s = stack_new();
+  var x = symb_number();
+  var y = symb_number();
+  stack_push(s, x);
+  assert(stack_pop(s) === x);
+  stack_push(s, y);
+  stack_push(s, x);
+  assert(stack_size(s) === 2);
+  assert(stack_pop(s) === x);
+  assert(stack_peek(s) === y);
+}
+"""
+
+_RAW_SUITES: Dict[str, str] = {
+    "array": _ARRAY_TESTS,
+    "bag": _BAG_TESTS,
+    "bst": _BST_TESTS,
+    "dict": _DICT_TESTS,
+    "heap": _HEAP_TESTS,
+    "llist": _LLIST_TESTS,
+    "mdict": _MDICT_TESTS,
+    "pqueue": _PQUEUE_TESTS,
+    "queue": _QUEUE_TESTS,
+    "set": _SET_TESTS,
+    "stack": _STACK_TESTS,
+}
+
+#: Tests that are *expected to fail*: they re-detect the two known
+#: Buckets.js bugs, mirroring the paper's finding.
+KNOWN_BUG_TESTS = {
+    "test_llist_add_after_reverse",
+    "test_mdict_remove_last_value_removes_key",
+}
+
+
+def _test_names(source: str) -> List[str]:
+    names = []
+    for line in source.splitlines():
+        line = line.strip()
+        if line.startswith("function test_"):
+            names.append(line[len("function "):].split("(")[0])
+    return names
+
+
+def suite(name: str) -> Tuple[str, List[str]]:
+    """(full MiniJS source, test entry points) for one Table 1 row."""
+    source = module_source(name) + "\n" + _RAW_SUITES[name]
+    return source, _test_names(_RAW_SUITES[name])
+
+
+def suite_names() -> List[str]:
+    return sorted(_RAW_SUITES)
+
+
+def expected_test_counts() -> Dict[str, int]:
+    """The paper's Table 1 #T column."""
+    return {
+        "array": 9, "bag": 7, "bst": 11, "dict": 7, "heap": 4, "llist": 9,
+        "mdict": 6, "pqueue": 5, "queue": 6, "set": 6, "stack": 4,
+    }

@@ -1,0 +1,33 @@
+"""The While instantiation of Gillian (paper §2.2, §2.4, §3.3)."""
+
+from __future__ import annotations
+
+from repro.gil.syntax import Prog
+from repro.targets.language import Language
+from repro.targets.while_lang.compiler import compile_source
+from repro.targets.while_lang.memory import (
+    WhileConcreteMemory,
+    WhileSymbolicMemory,
+    interpret_memory,
+)
+
+
+class WhileLanguage(Language):
+    """Gillian-While: the paper's running example, end to end."""
+
+    name = "while"
+
+    def compile(self, source: str) -> Prog:
+        return compile_source(source)
+
+    def concrete_memory(self) -> WhileConcreteMemory:
+        return WhileConcreteMemory()
+
+    def symbolic_memory(self) -> WhileSymbolicMemory:
+        return WhileSymbolicMemory()
+
+    def interpretation(self):
+        return interpret_memory
+
+
+__all__ = ["WhileLanguage"]

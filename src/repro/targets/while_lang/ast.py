@@ -1,0 +1,125 @@
+"""While-language abstract syntax (paper §2.2).
+
+    s ::= x := e | if (e) {s} else {s} | while (e) {s} | s1; s2
+        | x := f(e...) | return e | assume e | assert e
+        | x := {p1: e1, ..., pn: en} | dispose e | x := e.p | e.p := e'
+
+plus ``skip`` and the symbolic-input forms ``x := symb()``,
+``x := symb_number()``, ``x := symb_string()``, ``x := symb_bool()``
+used to write symbolic tests (paper §1: "standard symbolic unit tests,
+with symbolic inputs").
+
+Expressions are shared with GIL (paper §2.2: "we assume that the
+semantics of expressions and the variable store coincide for While and
+GIL"), so statement nodes hold :class:`repro.logic.expr.Expr` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.logic.expr import Expr
+
+
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """x := f(e1, ..., en) — static function call."""
+
+    target: str
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class New(Stmt):
+    """x := {p1: e1, ..., pn: en} — object creation with static properties."""
+
+    target: str
+    props: Tuple[Tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class Dispose(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Lookup(Stmt):
+    """x := e.p"""
+
+    target: str
+    obj: Expr
+    prop: str
+
+
+@dataclass(frozen=True)
+class Mutate(Stmt):
+    """e.p := e'"""
+
+    obj: Expr
+    prop: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SymbolicInput(Stmt):
+    """x := symb() / symb_number() / symb_string() / symb_bool()."""
+
+    target: str
+    type_name: Optional[str]  # None | "number" | "string" | "bool"
+
+
+@dataclass(frozen=True)
+class ProcDef:
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Program:
+    procs: Tuple[ProcDef, ...]

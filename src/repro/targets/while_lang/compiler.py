@@ -1,0 +1,169 @@
+"""The While-to-GIL compiler (paper §2.2, Figure 2).
+
+Each statement form compiles exactly as in the paper:
+
+* ``assume e``  →  ``ifgoto e +2; vanish``
+* ``assert e``  →  ``ifgoto e +2; fail e``
+* ``x := {p̄: ē}`` →  ``x := uSym; mutate([x, pi, ei])…``
+* ``x := e.p``  →  ``x := lookup([e, p])``
+* control flow becomes conditional gotos (labels resolved by the shared
+  :class:`repro.frontend.emitter.Emitter`).
+
+Symbolic inputs ``x := symb_number()`` compile to ``x := iSym`` followed
+by the assume-pattern on ``typeof x`` — interpreted symbols are the
+logical variables of classical symbolic execution (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.emitter import Emitter, Label
+from repro.gil.syntax import (
+    ActionCall,
+    Assignment,
+    Call,
+    Fail,
+    Goto,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    USym,
+    Vanish,
+    allocate_sites,
+)
+from repro.gil.values import NULL, GilType
+from repro.logic.expr import Expr, Lit, PVar, lst
+from repro.targets.while_lang import ast
+
+#: The set of While actions A_W (paper §2.2).
+ACTIONS = frozenset({"lookup", "mutate", "dispose"})
+
+_SYMB_TYPE = {
+    "number": GilType.NUMBER,
+    "int": GilType.NUMBER,
+    "string": GilType.STRING,
+    "bool": GilType.BOOLEAN,
+}
+
+
+def compile_program(program: ast.Program) -> Prog:
+    prog = Prog()
+    for proc_def in program.procs:
+        prog.add(_compile_proc(proc_def))
+    return allocate_sites(prog)
+
+
+def compile_source(source: str) -> Prog:
+    from repro.targets.while_lang.parser import parse_program
+
+    return compile_program(parse_program(source))
+
+
+def _compile_proc(proc_def: ast.ProcDef) -> Proc:
+    em = Emitter()
+    for stmt in proc_def.body:
+        _compile_stmt(em, stmt)
+    # A procedure that falls off the end returns null.
+    em.emit(Return(Lit(NULL)))
+    return Proc(proc_def.name, proc_def.params, em.finish())
+
+
+def _compile_stmt(em: Emitter, stmt: ast.Stmt) -> None:
+    if isinstance(stmt, ast.Skip):
+        return
+
+    if isinstance(stmt, ast.Assign):
+        em.emit(Assignment(stmt.target, stmt.expr))
+        return
+
+    if isinstance(stmt, ast.New):
+        em.emit(USym(stmt.target, 0))
+        for prop, expr in stmt.props:
+            em.emit(
+                ActionCall(
+                    em.fresh_temp(),
+                    "mutate",
+                    lst(PVar(stmt.target), prop, expr),
+                )
+            )
+        return
+
+    if isinstance(stmt, ast.Lookup):
+        em.emit(ActionCall(stmt.target, "lookup", lst(stmt.obj, stmt.prop)))
+        return
+
+    if isinstance(stmt, ast.Mutate):
+        em.emit(
+            ActionCall(em.fresh_temp(), "mutate", lst(stmt.obj, stmt.prop, stmt.value))
+        )
+        return
+
+    if isinstance(stmt, ast.Dispose):
+        em.emit(ActionCall(em.fresh_temp(), "dispose", lst(stmt.expr)))
+        return
+
+    if isinstance(stmt, ast.If):
+        then_label, end_label = Label("then"), Label("endif")
+        em.emit(IfGoto(stmt.condition, then_label))
+        for s in stmt.else_body:
+            _compile_stmt(em, s)
+        em.emit(Goto(end_label))
+        em.mark(then_label)
+        for s in stmt.then_body:
+            _compile_stmt(em, s)
+        em.mark(end_label)
+        return
+
+    if isinstance(stmt, ast.While):
+        start_label, body_label, end_label = Label("loop"), Label("body"), Label("endloop")
+        em.mark(start_label)
+        em.emit(IfGoto(stmt.condition, body_label))
+        em.emit(Goto(end_label))
+        em.mark(body_label)
+        for s in stmt.body:
+            _compile_stmt(em, s)
+        em.emit(Goto(start_label))
+        em.mark(end_label)
+        return
+
+    if isinstance(stmt, ast.CallStmt):
+        em.emit(Call(stmt.target, Lit(stmt.func), stmt.args))
+        return
+
+    if isinstance(stmt, ast.ReturnStmt):
+        em.emit(Return(stmt.expr))
+        return
+
+    if isinstance(stmt, ast.Assume):
+        _emit_assume(em, stmt.expr)
+        return
+
+    if isinstance(stmt, ast.Assert):
+        ok = Label("assert_ok")
+        em.emit(IfGoto(stmt.expr, ok))
+        em.emit(Fail(lst("assertion-failure", repr(stmt.expr))))
+        em.mark(ok)
+        return
+
+    if isinstance(stmt, ast.SymbolicInput):
+        em.emit(ISym(stmt.target, 0))
+        if stmt.type_name is not None:
+            gil_type = _SYMB_TYPE[stmt.type_name]
+            _emit_assume(em, PVar(stmt.target).typeof().eq(Lit(gil_type)))
+        if stmt.type_name == "int":
+            from repro.logic.expr import UnOp, UnOpExpr
+
+            x = PVar(stmt.target)
+            _emit_assume(em, UnOpExpr(UnOp.FLOOR, x).eq(x))
+        return
+
+    raise TypeError(f"unknown While statement {stmt!r}")
+
+
+def _emit_assume(em: Emitter, condition: Expr) -> None:
+    """Fig. 2 [Assume]: ``ifgoto e +2; vanish``."""
+    ok = Label("assume_ok")
+    em.emit(IfGoto(condition, ok))
+    em.emit(Vanish())
+    em.mark(ok)

@@ -1,0 +1,166 @@
+"""A reference big-step interpreter for While.
+
+Used by the conformance tests (E5): the GIL compiler is "trusted" in the
+paper's sense because concrete execution of the compiled GIL program is
+differentially tested against this direct source-level interpreter, the
+same methodology JaVerT applies with Test262 (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gil.ops import EvalError, evaluate
+from repro.gil.values import NULL, GilType, Symbol, Value, type_of
+from repro.targets.while_lang import ast
+
+
+@dataclass
+class InterpResult:
+    kind: str  # "normal" | "error" | "vanish"
+    value: Value = NULL
+
+
+class _Return(Exception):
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+
+class _Fail(Exception):
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+
+class _Vanish(Exception):
+    pass
+
+
+_SYMB_EXPECTED_TYPE = {
+    "number": GilType.NUMBER,
+    "int": GilType.NUMBER,
+    "string": GilType.STRING,
+    "bool": GilType.BOOLEAN,
+}
+
+
+class WhileInterpreter:
+    """Direct interpreter over the While AST."""
+
+    def __init__(self, symb_values: Optional[Sequence[Value]] = None) -> None:
+        # Values consumed, in order, by symb()/symb_number()/… statements,
+        # making "concrete-with-inputs" runs reproducible.
+        self._symb_values: List[Value] = list(symb_values or [])
+        self._heap: Dict[Tuple[Symbol, str], Value] = {}
+        self._alloc_count = 0
+
+    def run(self, program: ast.Program, entry: str, args: Sequence[Value] = ()) -> InterpResult:
+        procs = {p.name: p for p in program.procs}
+        if entry not in procs:
+            raise ValueError(f"unknown procedure {entry!r}")
+        try:
+            value = self._call(procs, procs[entry], list(args))
+        except _Fail as exc:
+            return InterpResult("error", exc.value)
+        except _Vanish:
+            return InterpResult("vanish")
+        except EvalError as exc:
+            return InterpResult("error", f"eval-error: {exc}")
+        return InterpResult("normal", value)
+
+    # -- internals ----------------------------------------------------------
+
+    def _call(self, procs, proc: ast.ProcDef, args: List[Value]) -> Value:
+        if len(args) != len(proc.params):
+            raise _Fail(f"{proc.name}: arity mismatch")
+        store: Dict[str, Value] = dict(zip(proc.params, args))
+        try:
+            for stmt in proc.body:
+                self._exec(procs, store, stmt)
+        except _Return as ret:
+            return ret.value
+        return NULL
+
+    def _exec(self, procs, store: Dict[str, Value], stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Skip):
+            return
+        if isinstance(stmt, ast.Assign):
+            store[stmt.target] = evaluate(stmt.expr, pvar_env=store)
+            return
+        if isinstance(stmt, ast.If):
+            cond = evaluate(stmt.condition, pvar_env=store)
+            if not isinstance(cond, bool):
+                raise EvalError(f"if: condition is not a boolean: {cond!r}")
+            body = stmt.then_body if cond else stmt.else_body
+            for s in body:
+                self._exec(procs, store, s)
+            return
+        if isinstance(stmt, ast.While):
+            while True:
+                cond = evaluate(stmt.condition, pvar_env=store)
+                if not isinstance(cond, bool):
+                    raise EvalError(f"while: condition is not a boolean: {cond!r}")
+                if not cond:
+                    return
+                for s in stmt.body:
+                    self._exec(procs, store, s)
+        if isinstance(stmt, ast.CallStmt):
+            if stmt.func not in procs:
+                raise _Fail(f"call to unknown procedure {stmt.func!r}")
+            args = [evaluate(a, pvar_env=store) for a in stmt.args]
+            store[stmt.target] = self._call(procs, procs[stmt.func], args)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            raise _Return(evaluate(stmt.expr, pvar_env=store))
+        if isinstance(stmt, ast.Assume):
+            if evaluate(stmt.expr, pvar_env=store) is not True:
+                raise _Vanish()
+            return
+        if isinstance(stmt, ast.Assert):
+            if evaluate(stmt.expr, pvar_env=store) is not True:
+                raise _Fail(("assertion-failure", repr(stmt.expr)))
+            return
+        if isinstance(stmt, ast.New):
+            loc = Symbol(f"obj_{self._alloc_count}")
+            self._alloc_count += 1
+            for prop, expr in stmt.props:
+                self._heap[(loc, prop)] = evaluate(expr, pvar_env=store)
+            store[stmt.target] = loc
+            return
+        if isinstance(stmt, ast.Dispose):
+            loc = self._loc(evaluate(stmt.expr, pvar_env=store))
+            cells = [k for k in self._heap if k[0] == loc]
+            if not cells:
+                raise _Fail(("missing-object", loc))
+            for k in cells:
+                del self._heap[k]
+            return
+        if isinstance(stmt, ast.Lookup):
+            loc = self._loc(evaluate(stmt.obj, pvar_env=store))
+            if (loc, stmt.prop) not in self._heap:
+                raise _Fail(("missing-property", loc, stmt.prop))
+            store[stmt.target] = self._heap[(loc, stmt.prop)]
+            return
+        if isinstance(stmt, ast.Mutate):
+            loc = self._loc(evaluate(stmt.obj, pvar_env=store))
+            self._heap[(loc, stmt.prop)] = evaluate(stmt.value, pvar_env=store)
+            return
+        if isinstance(stmt, ast.SymbolicInput):
+            if not self._symb_values:
+                raise ValueError("interpreter ran out of symb() input values")
+            value = self._symb_values.pop(0)
+            if stmt.type_name is not None:
+                expected = _SYMB_EXPECTED_TYPE[stmt.type_name]
+                if type_of(value) is not expected:
+                    raise _Vanish()
+                if stmt.type_name == "int" and float(value) != int(value):
+                    raise _Vanish()
+            store[stmt.target] = value
+            return
+        raise TypeError(f"unknown While statement {stmt!r}")
+
+    @staticmethod
+    def _loc(value: Value) -> Symbol:
+        if not isinstance(value, Symbol):
+            raise EvalError(f"not an object location: {value!r}")
+        return value

@@ -1,0 +1,9 @@
+"""Symbolic testing: harness, verdicts, counter-models, tracing."""
+
+from repro.testing.harness import Bug, SuiteResult, SymbolicTester, TestResult
+from repro.testing.trace import Trace, TraceRecorder, TraceStep, explain_bug
+
+__all__ = [
+    "Bug", "SuiteResult", "SymbolicTester", "TestResult", "Trace",
+    "TraceRecorder", "TraceStep", "explain_bug",
+]

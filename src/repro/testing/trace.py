@@ -1,0 +1,147 @@
+"""Execution traces and bug explanation (paper §4.3).
+
+The paper's usability discussion: "we first have to improve its debugging
+and error reporting mechanisms, as the produced logs are lengthy and the
+information is not lifted back from GIL to the TL".  This module provides
+the reproduction's answer:
+
+* :class:`TraceRecorder` steps a (concrete) run command by command,
+  recording procedure, index, the GIL command text, and the store delta —
+  a code-stepper's view;
+* :func:`explain_bug` replays a bug's counter-model under the recorder
+  and renders a human-readable report: the inputs ε chose, the last
+  ``n`` executed commands with their effects, and the final error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.gil.semantics import Config, Final, OutcomeKind, make_call_config, step
+from repro.gil.syntax import Prog
+from repro.gil.text import print_command, print_value
+from repro.gil.values import Value
+from repro.state.allocator import ConcreteAllocator
+from repro.state.concrete import ConcreteStateModel
+from repro.targets.language import Language
+from repro.testing.harness import Bug
+
+
+@dataclass
+class TraceStep:
+    """One executed GIL command and its visible effect."""
+
+    proc: str
+    idx: int
+    command: str
+    store_delta: Dict[str, Value] = field(default_factory=dict)
+
+    def format(self) -> str:
+        effect = ""
+        if self.store_delta:
+            assigns = ", ".join(
+                f"{name} = {print_value(value)}"
+                for name, value in self.store_delta.items()
+            )
+            effect = f"   ⇒ {assigns}"
+        return f"[{self.proc}:{self.idx}] {self.command}{effect}"
+
+
+@dataclass
+class Trace:
+    steps: List[TraceStep]
+    outcome: Optional[Final]
+
+    @property
+    def kind(self) -> Optional[OutcomeKind]:
+        return self.outcome.kind if self.outcome is not None else None
+
+    def format(self, last: Optional[int] = None) -> str:
+        steps = self.steps if last is None else self.steps[-last:]
+        lines = [s.format() for s in steps]
+        if last is not None and len(self.steps) > last:
+            lines.insert(0, f"... ({len(self.steps) - last} earlier steps elided)")
+        if self.outcome is not None:
+            lines.append(f"outcome: {self.outcome.kind.name}({self.outcome.value!r})")
+        return "\n".join(lines)
+
+
+class TraceRecorder:
+    """Steps a deterministic run, recording every command."""
+
+    def __init__(self, prog: Prog, state_model, max_steps: int = 100_000) -> None:
+        self.prog = prog
+        self.sm = state_model
+        self.max_steps = max_steps
+
+    def run(self, entry: str, args: Sequence = ()) -> Trace:
+        state = self.sm.initial_state()
+        cfg = make_call_config(self.sm, state, self.prog, entry, list(args))
+        steps: List[TraceStep] = []
+        outcome: Optional[Final] = None
+        for _ in range(self.max_steps):
+            proc = self.prog.procs[cfg.proc]
+            cmd = proc.body[cfg.idx]
+            before = dict(self.sm.get_store(cfg.state))
+            successors, finals = step(self.prog, self.sm, cfg)
+            if len(successors) + len(finals) != 1:
+                raise ValueError(
+                    "TraceRecorder requires a deterministic run "
+                    f"(got {len(successors)} successors at {cfg.proc}:{cfg.idx})"
+                )
+            if finals:
+                outcome = finals[0]
+                steps.append(
+                    TraceStep(cfg.proc, cfg.idx, print_command(cmd))
+                )
+                break
+            nxt = successors[0]
+            after = self.sm.get_store(nxt.state)
+            delta = {
+                name: value
+                for name, value in after.items()
+                if name not in before or before[name] != value
+            }
+            steps.append(
+                TraceStep(cfg.proc, cfg.idx, print_command(cmd), delta)
+            )
+            cfg = nxt
+        return Trace(steps, outcome)
+
+
+def explain_bug(
+    language: Language,
+    prog: Prog,
+    entry: str,
+    bug: Bug,
+    last_steps: int = 15,
+) -> str:
+    """A human-readable report for a confirmed bug.
+
+    Replays the counter-model ε concretely with the step recorder and
+    renders the chosen inputs plus the tail of the execution trace —
+    the "lifted back" log of §4.3.
+    """
+    if bug.model is None:
+        return (
+            f"potential bug (no verified counter-model)\n"
+            f"violation: {bug.value!r}\n"
+            f"path condition: {bug.path_condition!r}"
+        )
+    inputs = {
+        name: value for name, value in bug.model.items() if name.startswith("val_")
+    }
+    allocator = ConcreteAllocator(script=dict(bug.model))
+    sm = ConcreteStateModel(language.concrete_memory(), allocator)
+    trace = TraceRecorder(prog, sm).run(entry)
+    lines = [
+        f"violation: {bug.value!r}",
+        "counter-model inputs:",
+    ]
+    for name, value in sorted(inputs.items()):
+        lines.append(f"  {name} = {print_value(value)}")
+    lines.append("")
+    lines.append(f"trace (last {last_steps} steps):")
+    lines.append(trace.format(last=last_steps))
+    return "\n".join(lines)

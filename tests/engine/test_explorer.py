@@ -1,0 +1,164 @@
+"""Tests for the symbolic execution driver (repro.engine.explorer)."""
+
+import pytest
+
+from repro.engine.config import EngineConfig, gillian, javert2_baseline
+from repro.engine.explorer import Explorer
+from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.gil.semantics import OutcomeKind
+from repro.gil.syntax import (
+    Assignment,
+    Goto,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    Vanish,
+)
+from repro.logic.expr import Lit, PVar
+from repro.state.concrete import ConcreteStateModel
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileConcreteMemory, WhileSymbolicMemory
+
+
+def prog_of(*procs):
+    p = Prog()
+    for proc in procs:
+        p.add(proc)
+    return p
+
+
+def symbolic_explorer(prog, config=None):
+    return Explorer(prog, SymbolicStateModel(WhileSymbolicMemory()), config)
+
+
+class TestBounds:
+    def _infinite_loop(self):
+        return prog_of(
+            Proc("main", (), (Assignment("x", Lit(0)), Goto(0), Return(PVar("x"))))
+        )
+
+    def test_step_bound_drops_path(self):
+        config = EngineConfig(max_steps_per_path=50)
+        result = symbolic_explorer(self._infinite_loop(), config).run("main")
+        assert result.finals == []
+        assert result.stats.paths_dropped == 1
+
+    def test_total_step_bound(self):
+        config = EngineConfig(max_total_steps=30)
+        result = symbolic_explorer(self._infinite_loop(), config).run("main")
+        assert result.stats.commands_executed <= 30
+
+    def test_branching_explores_all_paths(self):
+        # Two symbolic booleans → up to 4 normal paths.
+        body = (
+            ISym("a", 0),
+            ISym("b", 1),
+            IfGoto(PVar("a").eq(Lit(True)), 4),
+            Return(Lit("a-false")),
+            IfGoto(PVar("b").eq(Lit(True)), 6),
+            Return(Lit("b-false")),
+            Return(Lit("both-true")),
+        )
+        prog = prog_of(Proc("main", (), body))
+        result = symbolic_explorer(prog).run("main")
+        values = sorted(f.value.value for f in result.normal)
+        assert values == ["a-false", "b-false", "both-true"]
+
+
+class TestStats:
+    def test_command_count(self):
+        prog = prog_of(Proc("main", (), (Assignment("x", Lit(1)), Return(PVar("x")))))
+        result = symbolic_explorer(prog).run("main")
+        assert result.stats.commands_executed == 2
+
+    def test_vanish_counted(self):
+        prog = prog_of(Proc("main", (), (Vanish(),)))
+        result = symbolic_explorer(prog).run("main")
+        assert result.stats.paths_vanished == 1
+        assert result.stats.paths_finished == 0
+
+    def test_solver_stats_tracked(self):
+        body = (
+            ISym("a", 0),
+            IfGoto(PVar("a").eq(Lit(1)), 3),
+            Return(Lit(0)),
+            Return(Lit(1)),
+        )
+        prog = prog_of(Proc("main", (), body))
+        result = symbolic_explorer(prog).run("main")
+        assert result.stats.solver_queries > 0
+
+    def test_stats_merge(self):
+        a = ExecutionStats(commands_executed=2, paths_finished=1, wall_time=0.5)
+        b = ExecutionStats(commands_executed=3, paths_finished=2, wall_time=0.25)
+        a.merge(b)
+        assert a.commands_executed == 5
+        assert a.paths_finished == 3
+        assert a.wall_time == 0.75
+
+
+class TestResults:
+    def test_normal_and_error_partition(self):
+        from repro.gil.syntax import Fail
+
+        body = (
+            ISym("a", 0),
+            IfGoto(PVar("a").eq(Lit(True)), 3),
+            Fail(Lit("nope")),
+            Return(Lit("ok")),
+        )
+        prog = prog_of(Proc("main", (), body))
+        result = symbolic_explorer(prog).run("main")
+        assert len(result.normal) == 1
+        assert len(result.errors) == 1
+
+    def test_sole_outcome_requires_determinism(self):
+        prog = prog_of(Proc("main", (), (Return(Lit(1)),)))
+        sm = ConcreteStateModel(WhileConcreteMemory())
+        result = Explorer(prog, sm).run("main")
+        assert result.sole_outcome.value == 1
+
+    def test_sole_outcome_rejects_multiple(self):
+        body = (
+            ISym("a", 0),
+            IfGoto(PVar("a").eq(Lit(True)), 3),
+            Return(Lit(0)),
+            Return(Lit(1)),
+        )
+        prog = prog_of(Proc("main", (), body))
+        result = symbolic_explorer(prog).run("main")
+        with pytest.raises(ValueError):
+            result.sole_outcome
+
+
+class TestConfigs:
+    def test_gillian_config(self):
+        config = gillian()
+        assert config.simplifier_memoisation and config.solver_cache
+
+    def test_baseline_config(self):
+        config = javert2_baseline()
+        assert not config.simplifier_memoisation and not config.solver_cache
+
+    def test_configs_explore_identically(self):
+        source_body = (
+            ISym("a", 0),
+            IfGoto(PVar("a").lt(Lit(0)), 3),
+            Return(Lit("nonneg")),
+            Return(Lit("neg")),
+        )
+        prog = prog_of(Proc("main", (), source_body))
+        fast = symbolic_explorer(prog, gillian()).run("main")
+        # Fresh state model so solver/simplifier settings apply.
+        from repro.logic.simplify import Simplifier
+        from repro.logic.solver import Solver
+
+        slow_solver = Solver(
+            simplifier=Simplifier(memoise=False), cache_enabled=False
+        )
+        slow_sm = SymbolicStateModel(WhileSymbolicMemory(), solver=slow_solver)
+        slow = Explorer(prog, slow_sm, javert2_baseline()).run("main")
+        assert fast.stats.commands_executed == slow.stats.commands_executed
+        assert len(fast.finals) == len(slow.finals)

@@ -1,0 +1,97 @@
+"""Tests for execution tracing and bug explanation (repro.testing.trace)."""
+
+import pytest
+
+from repro.state.concrete import ConcreteStateModel
+from repro.targets.while_lang import WhileLanguage
+from repro.targets.while_lang.memory import WhileConcreteMemory
+from repro.testing.harness import SymbolicTester
+from repro.testing.trace import TraceRecorder, explain_bug
+
+LANG = WhileLanguage()
+
+
+def record(source: str, entry: str = "main"):
+    prog = LANG.compile(source)
+    sm = ConcreteStateModel(LANG.concrete_memory())
+    return TraceRecorder(prog, sm).run(entry)
+
+
+class TestTraceRecorder:
+    def test_records_every_command(self):
+        trace = record("proc main() { x := 1; y := x + 1; return y; }")
+        assert len(trace.steps) == 3
+        assert trace.outcome.value == 2
+
+    def test_store_deltas(self):
+        trace = record("proc main() { x := 41; x := x + 1; return x; }")
+        assert trace.steps[0].store_delta == {"x": 41}
+        assert trace.steps[1].store_delta == {"x": 42}
+
+    def test_calls_tracked_across_procs(self):
+        trace = record(
+            """
+            proc double(n) { return n * 2; }
+            proc main() { r := double(21); return r; }"""
+        )
+        procs = {s.proc for s in trace.steps}
+        assert procs == {"main", "double"}
+
+    def test_error_outcome_recorded(self):
+        trace = record("proc main() { o := {}; x := o.missing; return x; }")
+        assert trace.outcome.kind.name == "ERROR"
+        assert trace.steps[-1].command.startswith("x := action lookup")
+
+    def test_format_elides_long_traces(self):
+        trace = record(
+            """
+            proc main() {
+              i := 0;
+              while (i < 20) { i := i + 1; }
+              return i;
+            }"""
+        )
+        text = trace.format(last=5)
+        assert "earlier steps elided" in text
+        assert "outcome: NORMAL" in text
+
+    def test_format_shows_effects(self):
+        trace = record("proc main() { x := 7; return x; }")
+        assert "⇒ x = 7" in trace.steps[0].format()
+
+
+class TestExplainBug:
+    def test_explains_confirmed_bug(self):
+        source = """
+        proc main() {
+          n := symb_int();
+          assume(0 <= n and n <= 5);
+          assert(n * n != 16);
+        }"""
+        prog = LANG.compile(source)
+        result = SymbolicTester(LANG).run_test(prog, "main")
+        assert result.verdict == "bug"
+        report = explain_bug(LANG, prog, "main", result.bugs[0])
+        assert "val_0_0 = 4" in report
+        assert "assertion-failure" in report
+        assert "trace (last" in report
+
+    def test_explains_potential_bug_without_model(self):
+        from repro.testing.harness import Bug
+
+        bug = Bug(value="mystery", path_condition="pc", model=None, confirmed=False)
+        report = explain_bug(LANG, LANG.compile("proc main() { skip; }"), "main", bug)
+        assert "potential bug" in report
+
+    def test_memory_bug_trace_ends_at_fault(self):
+        source = """
+        proc main() {
+          o := { a: 1 };
+          dispose(o);
+          x := o.a;
+          return x;
+        }"""
+        prog = LANG.compile(source)
+        result = SymbolicTester(LANG).run_test(prog, "main")
+        report = explain_bug(LANG, prog, "main", result.bugs[0])
+        assert "missing-property" in report

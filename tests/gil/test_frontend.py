@@ -1,0 +1,124 @@
+"""Tests for the shared lexer and label-resolving emitter."""
+
+import pytest
+
+from repro.frontend.emitter import Emitter, Label
+from repro.frontend.lexer import LexError, ParseError, TokenStream, tokenize
+from repro.gil.syntax import Assignment, Goto, IfGoto, Return
+from repro.logic.expr import Lit, PVar
+
+
+class TestLexer:
+    def test_identifiers_numbers_strings(self):
+        tokens = tokenize('abc 42 3.5 "hi"')
+        assert [t.kind for t in tokens] == ["ident", "number", "number", "string", "eof"]
+
+    def test_number_values(self):
+        tokens = tokenize("42 3.5 1e3")
+        assert tokens[0].number_value == 42
+        assert tokens[1].number_value == 3.5
+        assert tokens[2].number_value == 1000.0
+
+    def test_multichar_operators_longest_match(self):
+        tokens = tokenize("a === b !== c <= >= && || :=")
+        texts = [t.text for t in tokens if t.kind == "punct"]
+        assert texts == ["===", "!==", "<=", ">=", "&&", "||", ":="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\n /* block\n over lines */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\t\"q\""')
+        assert tokens[0].text == 'a\nb\t"q"'
+
+    def test_char_literal_mode(self):
+        tokens = tokenize("'a' \"s\"", char_literals=True)
+        assert tokens[0].kind == "char"
+        assert tokens[1].kind == "string"
+
+    def test_char_literal_mode_off(self):
+        tokens = tokenize("'a'")
+        assert tokens[0].kind == "string"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* abc")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestTokenStream:
+    def test_accept_expect(self):
+        ts = TokenStream(tokenize("a := 1;"))
+        assert ts.expect_kind("ident").text == "a"
+        assert ts.accept(":=") is not None
+        assert ts.expect_kind("number").text == "1"
+        ts.expect(";")
+        assert ts.current.kind == "eof"
+
+    def test_expect_failure(self):
+        ts = TokenStream(tokenize("a"))
+        with pytest.raises(ParseError):
+            ts.expect("(")
+
+    def test_peek_does_not_advance(self):
+        ts = TokenStream(tokenize("a b"))
+        assert ts.peek(1).text == "b"
+        assert ts.current.text == "a"
+
+    def test_eof_is_sticky(self):
+        ts = TokenStream(tokenize(""))
+        ts.advance()
+        ts.advance()
+        assert ts.current.kind == "eof"
+
+
+class TestEmitter:
+    def test_forward_label(self):
+        em = Emitter()
+        end = Label("end")
+        em.emit(IfGoto(Lit(True), end))
+        em.emit(Assignment("x", Lit(1)))
+        em.mark(end)
+        em.emit(Return(PVar("x")))
+        cmds = em.finish()
+        assert cmds[0] == IfGoto(Lit(True), 2)
+
+    def test_backward_label(self):
+        em = Emitter()
+        start = Label("start")
+        em.mark(start)
+        em.emit(Assignment("x", Lit(1)))
+        em.emit(Goto(start))
+        cmds = em.finish()
+        assert cmds[1] == Goto(0)
+
+    def test_unmarked_label_rejected(self):
+        em = Emitter()
+        em.emit(Goto(Label("never")))
+        with pytest.raises(ValueError):
+            em.finish()
+
+    def test_double_mark_rejected(self):
+        em = Emitter()
+        label = Label("l")
+        em.mark(label)
+        with pytest.raises(ValueError):
+            em.mark(label)
+
+    def test_fresh_temps_unique(self):
+        em = Emitter()
+        names = {em.fresh_temp() for _ in range(10)}
+        assert len(names) == 10

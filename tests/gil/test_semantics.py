@@ -1,0 +1,246 @@
+"""Tests for the parametric GIL semantics (paper §2.1, Figure 1).
+
+Programs here are built directly in GIL (no TL front end) over the While
+memory model, exercising every command form under both the concrete and
+the symbolic state constructors.
+"""
+
+import pytest
+
+from repro.engine.explorer import Explorer
+from repro.gil.semantics import GilRuntimeError, OutcomeKind
+from repro.gil.syntax import (
+    ActionCall,
+    Assignment,
+    Call,
+    Fail,
+    Goto,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    USym,
+    Vanish,
+)
+from repro.gil.values import NULL, GilType, Symbol
+from repro.logic.expr import Lit, PVar, lst
+from repro.state.concrete import ConcreteStateModel
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileConcreteMemory, WhileSymbolicMemory
+
+
+def run_concrete(prog, entry, args=()):
+    sm = ConcreteStateModel(WhileConcreteMemory())
+    return Explorer(prog, sm).run(entry, [Lit(a) if not isinstance(a, Lit) else a for a in args])
+
+
+def run_symbolic(prog, entry, args=()):
+    sm = SymbolicStateModel(WhileSymbolicMemory())
+    return Explorer(prog, sm).run(entry, list(args))
+
+
+def prog_of(*procs):
+    p = Prog()
+    for proc in procs:
+        p.add(proc)
+    return p
+
+
+class TestStraightLine:
+    def test_assignment_and_return(self):
+        prog = prog_of(
+            Proc("main", (), (Assignment("x", Lit(2) + Lit(3)), Return(PVar("x"))))
+        )
+        out = run_concrete(prog, "main").sole_outcome
+        assert out.kind is OutcomeKind.NORMAL and out.value == 5
+
+    def test_goto_skips(self):
+        prog = prog_of(
+            Proc(
+                "main",
+                (),
+                (Goto(2), Return(Lit("skipped")), Return(Lit("reached"))),
+            )
+        )
+        assert run_concrete(prog, "main").sole_outcome.value == "reached"
+
+    def test_fail_produces_error(self):
+        prog = prog_of(Proc("main", (), (Fail(Lit("boom")),)))
+        out = run_concrete(prog, "main").sole_outcome
+        assert out.kind is OutcomeKind.ERROR and out.value == "boom"
+
+    def test_vanish_produces_no_outcome(self):
+        prog = prog_of(Proc("main", (), (Vanish(),)))
+        result = run_concrete(prog, "main")
+        assert result.finals == [] and result.stats.paths_vanished == 1
+
+    def test_eval_error_becomes_error_outcome(self):
+        prog = prog_of(Proc("main", (), (Assignment("x", Lit(1) + Lit("s")), Return(PVar("x")))))
+        out = run_concrete(prog, "main").sole_outcome
+        assert out.kind is OutcomeKind.ERROR
+        assert "eval-error" in str(out.value)
+
+
+class TestIfGoto:
+    def _branch_prog(self, cond):
+        return prog_of(
+            Proc(
+                "main",
+                ("b",),
+                (IfGoto(cond, 2), Return(Lit("else")), Return(Lit("then"))),
+            )
+        )
+
+    def test_concrete_true_branch(self):
+        prog = self._branch_prog(PVar("b"))
+        assert run_concrete(prog, "main", [True]).sole_outcome.value == "then"
+
+    def test_concrete_false_branch(self):
+        prog = self._branch_prog(PVar("b"))
+        assert run_concrete(prog, "main", [False]).sole_outcome.value == "else"
+
+    def test_concrete_nonbool_condition_errors(self):
+        prog = self._branch_prog(PVar("b"))
+        out = run_concrete(prog, "main", [7]).sole_outcome
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_symbolic_branches_both_ways(self):
+        from repro.logic.expr import LVar
+
+        prog = self._branch_prog(PVar("b"))
+        result = run_symbolic(prog, "main", [LVar("c")])
+        values = sorted(f.value.value for f in result.normal)
+        assert values == ["else", "then"]
+
+    def test_symbolic_determined_condition_takes_one_branch(self):
+        prog = self._branch_prog(Lit(True))
+        result = run_symbolic(prog, "main", [Lit(True)])
+        assert [f.value.value for f in result.normal] == ["then"]
+
+
+class TestCalls:
+    def test_static_call_and_return(self):
+        double = Proc("double", ("n",), (Return(PVar("n") * 2),))
+        main = Proc(
+            "main",
+            (),
+            (
+                Assignment("x", Lit(21)),
+                Call("y", Lit("double"), (PVar("x"),)),
+                Return(PVar("y")),
+            ),
+        )
+        assert run_concrete(prog_of(double, main), "main").sole_outcome.value == 42
+
+    def test_caller_store_restored(self):
+        clobber = Proc("clobber", ("x",), (Assignment("x", Lit(0)), Return(PVar("x"))))
+        main = Proc(
+            "main",
+            (),
+            (
+                Assignment("x", Lit(9)),
+                Call("r", Lit("clobber"), (Lit(1),)),
+                Return(PVar("x")),
+            ),
+        )
+        assert run_concrete(prog_of(clobber, main), "main").sole_outcome.value == 9
+
+    def test_dynamic_call_through_variable(self):
+        f = Proc("f", (), (Return(Lit("from-f")),))
+        main = Proc(
+            "main",
+            (),
+            (Assignment("g", Lit("f")), Call("r", PVar("g"), ()), Return(PVar("r"))),
+        )
+        assert run_concrete(prog_of(f, main), "main").sole_outcome.value == "from-f"
+
+    def test_unknown_procedure_errors(self):
+        main = Proc("main", (), (Call("r", Lit("nope"), ()), Return(PVar("r"))))
+        out = run_concrete(prog_of(main), "main").sole_outcome
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_arity_mismatch_errors(self):
+        f = Proc("f", ("a", "b"), (Return(PVar("a")),))
+        main = Proc("main", (), (Call("r", Lit("f"), (Lit(1),)), Return(PVar("r"))))
+        out = run_concrete(prog_of(f, main), "main").sole_outcome
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_recursion(self):
+        # fact(n) = n <= 0 ? 1 : n * fact(n-1)
+        fact = Proc(
+            "fact",
+            ("n",),
+            (
+                IfGoto(PVar("n").leq(Lit(0)), 3),
+                Call("r", Lit("fact"), (PVar("n") - 1,)),
+                Return(PVar("n") * PVar("r")),
+                Return(Lit(1)),
+            ),
+        )
+        main = Proc("main", (), (Call("r", Lit("fact"), (Lit(5),)), Return(PVar("r"))))
+        assert run_concrete(prog_of(fact, main), "main").sole_outcome.value == 120
+
+
+class TestSymbols:
+    def test_usym_allocates_distinct_symbols(self):
+        prog = prog_of(
+            Proc(
+                "main",
+                (),
+                (
+                    USym("a", 0),
+                    USym("b", 1),
+                    Return(PVar("a").eq(PVar("b"))),
+                ),
+            )
+        )
+        assert run_concrete(prog, "main").sole_outcome.value is False
+
+    def test_isym_concrete_default(self):
+        prog = prog_of(Proc("main", (), (ISym("x", 0), Return(PVar("x")))))
+        assert run_concrete(prog, "main").sole_outcome.value == 0
+
+    def test_isym_symbolic_is_lvar(self):
+        from repro.logic.expr import LVar
+
+        prog = prog_of(Proc("main", (), (ISym("x", 0), Return(PVar("x")))))
+        out = run_symbolic(prog, "main").sole_outcome
+        assert isinstance(out.value, LVar)
+
+
+class TestActions:
+    def test_action_roundtrip_concrete(self):
+        prog = prog_of(
+            Proc(
+                "main",
+                (),
+                (
+                    USym("o", 0),
+                    ActionCall("w", "mutate", lst(PVar("o"), "p", Lit(7))),
+                    ActionCall("v", "lookup", lst(PVar("o"), "p")),
+                    Return(PVar("v")),
+                ),
+            )
+        )
+        assert run_concrete(prog, "main").sole_outcome.value == 7
+
+    def test_action_error_branch(self):
+        prog = prog_of(
+            Proc(
+                "main",
+                (),
+                (
+                    USym("o", 0),
+                    ActionCall("v", "lookup", lst(PVar("o"), "missing")),
+                    Return(PVar("v")),
+                ),
+            )
+        )
+        out = run_concrete(prog, "main").sole_outcome
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_malformed_program_raises(self):
+        prog = prog_of(Proc("main", (), ()))
+        with pytest.raises(GilRuntimeError):
+            run_concrete(prog, "main")

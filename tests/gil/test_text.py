@@ -1,0 +1,190 @@
+"""Round-trip tests for the GIL text format (repro.gil.text)."""
+
+import pytest
+
+from repro.gil.syntax import (
+    ActionCall,
+    Assignment,
+    Call,
+    Fail,
+    Goto,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    USym,
+    Vanish,
+)
+from repro.gil.text import parse_prog, print_expr, print_prog, print_value
+from repro.gil.values import NULL, GilType, Symbol
+from repro.logic.expr import BinOp, BinOpExpr, Lit, LVar, PVar, UnOp, UnOpExpr, lst
+
+
+def roundtrip(prog: Prog) -> None:
+    """Print → parse → print must be stable (the format normalises
+    negated numeric literals, so textual stability is the invariant)."""
+    text = print_prog(prog)
+    parsed = parse_prog(text)
+    assert print_prog(parsed) == text, text
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, "true"),
+            (False, "false"),
+            (3, "3"),
+            (3.0, "3"),
+            (3.5, "3.5"),
+            ("hi", '"hi"'),
+            ('say "x"', '"say \\"x\\""'),
+            (Symbol("loc_0_0"), "$loc_0_0"),
+            (GilType.NUMBER, "@NUMBER"),
+            (NULL, "null"),
+            ((1, "a", (True,)), '{{1, "a", {{true}}}}'),
+        ],
+    )
+    def test_print(self, value, expected):
+        assert print_value(value) == expected
+
+
+class TestExprPrinting:
+    def test_binary(self):
+        assert print_expr(PVar("x") + 1) == "(x + 1)"
+
+    def test_string_ops_identifier_safe(self):
+        e = BinOpExpr(BinOp.SCONCAT, Lit("a"), PVar("s"))
+        assert print_expr(e) == '("a" s_concat s)'
+
+    def test_lvar(self):
+        assert print_expr(LVar("v")) == "#v"
+
+    def test_list_constructor(self):
+        assert print_expr(lst(PVar("x"), 1)) == "[x, 1]"
+
+
+class TestRoundTrip:
+    def test_minimal_proc(self):
+        prog = Prog()
+        prog.add(Proc("main", (), (Return(Lit(0)),)))
+        roundtrip(prog)
+
+    def test_all_command_forms(self):
+        prog = Prog()
+        prog.add(
+            Proc(
+                "main",
+                ("a", "b"),
+                (
+                    Assignment("x", PVar("a") + PVar("b")),
+                    IfGoto(PVar("x").lt(Lit(10)), 4),
+                    Goto(5),
+                    Vanish(),
+                    ActionCall("y", "lookup", lst(PVar("x"), "prop")),
+                    Call("r", Lit("helper"), (PVar("x"), Lit(1))),
+                    USym("loc", 3),
+                    ISym("val", 7),
+                    Fail(lst("assertion-failure", PVar("r"))),
+                    Return(PVar("r")),
+                ),
+            )
+        )
+        prog.add(Proc("helper", ("n", "m"), (Return(PVar("n") * PVar("m")),)))
+        roundtrip(prog)
+
+    def test_operator_zoo(self):
+        exprs = (
+            UnOpExpr(UnOp.NOT, PVar("b")),
+            UnOpExpr(UnOp.NEG, PVar("n")),
+            UnOpExpr(UnOp.TYPEOF, PVar("v")),
+            UnOpExpr(UnOp.STRLEN, Lit("s")),
+            UnOpExpr(UnOp.LSTLEN, lst(1, 2)),
+            UnOpExpr(UnOp.HEAD, PVar("l")),
+            UnOpExpr(UnOp.TAIL, PVar("l")),
+            UnOpExpr(UnOp.FLOOR, PVar("n")),
+            BinOpExpr(BinOp.SCONCAT, Lit("a"), Lit("b")),
+            BinOpExpr(BinOp.SNTH, Lit("abc"), Lit(1)),
+            BinOpExpr(BinOp.LCONCAT, PVar("l"), lst(1)),
+            BinOpExpr(BinOp.LNTH, PVar("l"), Lit(0)),
+            BinOpExpr(BinOp.LCONS, Lit(0), PVar("l")),
+            BinOpExpr(BinOp.MIN, PVar("a"), PVar("b")),
+            BinOpExpr(BinOp.MAX, PVar("a"), PVar("b")),
+            BinOpExpr(BinOp.AND, PVar("p"), PVar("q")),
+            BinOpExpr(BinOp.OR, PVar("p"), PVar("q")),
+            BinOpExpr(BinOp.MOD, PVar("a"), Lit(3)),
+            PVar("x").eq(Lit(Symbol("sym"))),
+            PVar("x").leq(Lit(-5)),
+        )
+        prog = Prog()
+        body = tuple(Assignment(f"t{i}", e) for i, e in enumerate(exprs))
+        prog.add(Proc("main", ("b", "n", "v", "l", "a", "p", "q", "x"), body + (Return(Lit(0)),)))
+        roundtrip(prog)
+
+    def test_negative_literal_in_binary(self):
+        prog = Prog()
+        prog.add(Proc("main", (), (Assignment("x", Lit(-5) + PVar("x")), Return(PVar("x")))))
+        roundtrip(prog)
+
+    def test_compiled_while_program_roundtrips(self):
+        from repro.targets.while_lang import WhileLanguage
+
+        prog = WhileLanguage().compile(
+            """
+            proc main() {
+              n := symb_int();
+              assume(0 <= n and n <= 3);
+              o := { count: n };
+              i := 0;
+              while (i < n) { i := i + 1; }
+              c := o.count;
+              assert(c = n);
+              return c;
+            }"""
+        )
+        roundtrip(prog)
+
+    def test_compiled_minijs_program_roundtrips(self):
+        from repro.targets.js_like import MiniJSLanguage
+
+        prog = MiniJSLanguage().compile(
+            """
+            function main() {
+              var o = { a: 1 };
+              var k = symb_string();
+              o[k] = "x" + "y";
+              return o[k];
+            }"""
+        )
+        roundtrip(prog)
+
+    def test_compiled_minic_program_roundtrips(self):
+        from repro.targets.c_like import MiniCLanguage
+
+        prog = MiniCLanguage().compile(
+            """
+            struct P { int v; };
+            int main() {
+              struct P *p = (struct P *) malloc(sizeof(struct P));
+              p->v = symb_int();
+              int r = p->v;
+              free(p);
+              return r;
+            }"""
+        )
+        roundtrip(prog)
+
+    def test_parsed_program_executes(self):
+        from repro.engine.explorer import Explorer
+        from repro.state.concrete import ConcreteStateModel
+        from repro.targets.while_lang import WhileLanguage
+        from repro.targets.while_lang.memory import WhileConcreteMemory
+
+        source_prog = WhileLanguage().compile(
+            "proc main() { x := 2 + 3; return x * 2; }"
+        )
+        reloaded = parse_prog(print_prog(source_prog))
+        sm = ConcreteStateModel(WhileConcreteMemory())
+        out = Explorer(reloaded, sm).run("main").sole_outcome
+        assert out.value == 10

@@ -1,0 +1,106 @@
+"""Property-based round-trip for the GIL text format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.syntax import (
+    ActionCall,
+    Assignment,
+    Call,
+    Fail,
+    Goto,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    USym,
+    Vanish,
+)
+from repro.gil.text import parse_prog, print_prog
+from repro.gil.values import NULL, GilType, Symbol
+from repro.logic.expr import BinOp, BinOpExpr, EList, Lit, LVar, PVar, UnOp, UnOpExpr
+
+_values = st.one_of(
+    st.integers(-50, 50),
+    st.booleans(),
+    st.text(alphabet="abc \\\"\n", max_size=4),
+    st.sampled_from([Symbol("loc_0_1"), GilType.NUMBER, GilType.LIST, NULL]),
+    st.lists(st.integers(-3, 3), max_size=2).map(tuple),
+)
+
+_leaves = st.one_of(
+    _values.map(Lit),
+    st.sampled_from(["x", "y", "ret1"]).map(PVar),
+    st.sampled_from(["v", "val_0_0"]).map(LVar),
+)
+
+# NEG of a numeric literal normalises in the format; exclude that single
+# shape so structural round-trip equality can be asserted exactly.
+_safe_unops = st.sampled_from(
+    [UnOp.NOT, UnOp.TYPEOF, UnOp.STRLEN, UnOp.LSTLEN, UnOp.HEAD, UnOp.TAIL, UnOp.FLOOR]
+)
+
+
+def _exprs(depth: int):
+    if depth == 0:
+        return _leaves
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _leaves,
+        st.tuples(_safe_unops, sub).map(lambda t: UnOpExpr(*t)),
+        st.tuples(st.sampled_from(list(BinOp)), sub, sub).map(
+            lambda t: BinOpExpr(*t)
+        ),
+        st.lists(sub, max_size=2).map(lambda items: EList(tuple(items))),
+    )
+
+
+@st.composite
+def _commands(draw):
+    kind = draw(
+        st.sampled_from(
+            ["assign", "ifgoto", "goto", "call", "return", "fail", "vanish",
+             "action", "usym", "isym"]
+        )
+    )
+    e = _exprs(2)
+    if kind == "assign":
+        return Assignment(draw(st.sampled_from(["x", "y"])), draw(e))
+    if kind == "ifgoto":
+        return IfGoto(draw(e), draw(st.integers(0, 9)))
+    if kind == "goto":
+        return Goto(draw(st.integers(0, 9)))
+    if kind == "call":
+        args = tuple(draw(st.lists(e, max_size=2)))
+        return Call("r", draw(e), args)
+    if kind == "return":
+        return Return(draw(e))
+    if kind == "fail":
+        return Fail(draw(e))
+    if kind == "vanish":
+        return Vanish()
+    if kind == "action":
+        return ActionCall("t", draw(st.sampled_from(["lookup", "store"])), draw(e))
+    if kind == "usym":
+        return USym("u", draw(st.integers(0, 20)))
+    return ISym("i", draw(st.integers(0, 20)))
+
+
+@st.composite
+def _programs(draw):
+    prog = Prog()
+    n_procs = draw(st.integers(1, 3))
+    for p in range(n_procs):
+        body = tuple(draw(st.lists(_commands(), min_size=1, max_size=6)))
+        params = tuple(draw(st.lists(st.sampled_from(["x", "y", "z"]), max_size=3, unique=True)))
+        prog.add(Proc(f"proc{p}", params, body))
+    return prog
+
+
+@given(prog=_programs())
+@settings(max_examples=150, deadline=None)
+def test_print_parse_roundtrip(prog):
+    text = print_prog(prog)
+    parsed = parse_prog(text)
+    assert parsed.procs == prog.procs, text

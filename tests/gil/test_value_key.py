@@ -1,0 +1,40 @@
+"""Property tests: value_key must agree with GIL value equality."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import NULL, GilType, Symbol, value_key, values_equal
+
+_scalars = st.one_of(
+    st.integers(-100, 100),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=5),
+    st.sampled_from([Symbol("a"), Symbol("b"), GilType.NUMBER, NULL]),
+)
+_values = st.recursive(
+    _scalars, lambda inner: st.lists(inner, max_size=3).map(tuple), max_leaves=8
+)
+
+
+@given(v1=_values, v2=_values)
+@settings(max_examples=400, deadline=None)
+def test_value_key_iff_values_equal(v1, v2):
+    assert (value_key(v1) == value_key(v2)) == values_equal(v1, v2)
+
+
+@given(v=_values)
+@settings(max_examples=200, deadline=None)
+def test_value_key_reflexive_and_hashable(v):
+    key = value_key(v)
+    assert key == value_key(v)
+    hash(key)  # must be usable in sets/dicts
+
+
+def test_bool_int_distinction():
+    assert value_key(0) != value_key(False)
+    assert value_key(1) != value_key(True)
+
+
+def test_int_float_identified():
+    assert value_key(1) == value_key(1.0)

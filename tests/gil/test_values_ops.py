@@ -1,0 +1,167 @@
+"""Tests for GIL values and concrete operator semantics."""
+
+import math
+
+import pytest
+
+from repro.gil.ops import EvalError, apply_binop, apply_unop, evaluate
+from repro.gil.values import (
+    NULL,
+    GilType,
+    Symbol,
+    is_value,
+    pp_value,
+    type_of,
+    values_equal,
+)
+from repro.logic.expr import BinOp, Lit, LVar, PVar, UnOp, lst
+
+
+class TestValues:
+    def test_type_of_bool_is_not_number(self):
+        assert type_of(True) is GilType.BOOLEAN
+        assert type_of(1) is GilType.NUMBER
+
+    def test_type_of_all_kinds(self):
+        assert type_of(1.5) is GilType.NUMBER
+        assert type_of("s") is GilType.STRING
+        assert type_of(Symbol("l")) is GilType.SYMBOL
+        assert type_of(GilType.NUMBER) is GilType.TYPE
+        assert type_of((1, 2)) is GilType.LIST
+        assert type_of(NULL) is GilType.NONE
+
+    def test_values_equal_distinguishes_bool_and_number(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+
+    def test_values_equal_identifies_int_and_float(self):
+        assert values_equal(1, 1.0)
+
+    def test_values_equal_lists_recursive(self):
+        assert values_equal((1, (2, "a")), (1.0, (2.0, "a")))
+        assert not values_equal((1, 2), (1, 2, 3))
+
+    def test_is_value(self):
+        assert is_value((1, "a", Symbol("x"), (True,)))
+        assert not is_value(object())
+
+    def test_pp_value(self):
+        assert pp_value(True) == "true"
+        assert pp_value(3.0) == "3"
+        assert pp_value((1, 2)) == "[1, 2]"
+
+
+class TestUnaryOps:
+    def test_not(self):
+        assert apply_unop(UnOp.NOT, True) is False
+
+    def test_not_requires_bool(self):
+        with pytest.raises(EvalError):
+            apply_unop(UnOp.NOT, 1)
+
+    def test_neg(self):
+        assert apply_unop(UnOp.NEG, 5) == -5
+
+    def test_typeof(self):
+        assert apply_unop(UnOp.TYPEOF, "s") is GilType.STRING
+
+    def test_strlen_and_lstlen(self):
+        assert apply_unop(UnOp.STRLEN, "abc") == 3
+        assert apply_unop(UnOp.LSTLEN, (1, 2)) == 2
+
+    def test_head_tail(self):
+        assert apply_unop(UnOp.HEAD, (1, 2, 3)) == 1
+        assert apply_unop(UnOp.TAIL, (1, 2, 3)) == (2, 3)
+
+    def test_head_empty_errors(self):
+        with pytest.raises(EvalError):
+            apply_unop(UnOp.HEAD, ())
+
+    def test_tostring_tonumber_roundtrip(self):
+        assert apply_unop(UnOp.TOSTRING, 42) == "42"
+        assert apply_unop(UnOp.TONUMBER, "42") == 42
+
+    def test_tonumber_bad_string(self):
+        with pytest.raises(EvalError):
+            apply_unop(UnOp.TONUMBER, "xyz")
+
+    def test_floor(self):
+        assert apply_unop(UnOp.FLOOR, 3.7) == 3
+
+
+class TestBinaryOps:
+    def test_arith(self):
+        assert apply_binop(BinOp.ADD, 2, 3) == 5
+        assert apply_binop(BinOp.SUB, 2, 3) == -1
+        assert apply_binop(BinOp.MUL, 2, 3) == 6
+
+    def test_div_exact_stays_int(self):
+        assert apply_binop(BinOp.DIV, 6, 3) == 2
+        assert isinstance(apply_binop(BinOp.DIV, 6, 3), int)
+
+    def test_div_by_zero_errors(self):
+        with pytest.raises(EvalError):
+            apply_binop(BinOp.DIV, 1, 0)
+
+    def test_mod(self):
+        assert apply_binop(BinOp.MOD, 7, 3) == 1
+
+    def test_eq_uses_gil_equality(self):
+        assert apply_binop(BinOp.EQ, 1, 1.0) is True
+        assert apply_binop(BinOp.EQ, True, 1) is False
+
+    def test_comparisons_numbers(self):
+        assert apply_binop(BinOp.LT, 1, 2) is True
+        assert apply_binop(BinOp.LEQ, 2, 2) is True
+
+    def test_comparisons_strings(self):
+        assert apply_binop(BinOp.LT, "a", "b") is True
+
+    def test_comparisons_mixed_types_error(self):
+        with pytest.raises(EvalError):
+            apply_binop(BinOp.LT, "a", 1)
+
+    def test_string_ops(self):
+        assert apply_binop(BinOp.SCONCAT, "ab", "cd") == "abcd"
+        assert apply_binop(BinOp.SNTH, "abc", 1) == "b"
+
+    def test_snth_out_of_range(self):
+        with pytest.raises(EvalError):
+            apply_binop(BinOp.SNTH, "abc", 3)
+
+    def test_list_ops(self):
+        assert apply_binop(BinOp.LCONCAT, (1,), (2,)) == (1, 2)
+        assert apply_binop(BinOp.LNTH, (1, 2), 1) == 2
+        assert apply_binop(BinOp.LCONS, 0, (1,)) == (0, 1)
+
+    def test_lnth_out_of_range(self):
+        with pytest.raises(EvalError):
+            apply_binop(BinOp.LNTH, (1,), 5)
+
+    def test_min_max(self):
+        assert apply_binop(BinOp.MIN, 1, 2) == 1
+        assert apply_binop(BinOp.MAX, 1, 2) == 2
+
+
+class TestEvaluate:
+    def test_pvar_lookup(self):
+        assert evaluate(PVar("x") + 1, pvar_env={"x": 2}) == 3
+
+    def test_lvar_lookup(self):
+        assert evaluate(LVar("x") + 1, lvar_env={"x": 2}) == 3
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(PVar("x"), pvar_env={})
+
+    def test_elist(self):
+        assert evaluate(lst(1, PVar("x")), pvar_env={"x": 2}) == (1, 2)
+
+    def test_and_short_circuits(self):
+        # Right operand would error, but left is false.
+        e = Lit(False).and_(Lit(1).lt(Lit("a")))
+        assert evaluate(e) is False
+
+    def test_or_short_circuits(self):
+        e = Lit(True).or_(Lit(1).lt(Lit("a")))
+        assert evaluate(e) is True

@@ -1,0 +1,132 @@
+"""Tests for the expression language (repro.logic.expr)."""
+
+import pytest
+
+from repro.gil.values import NULL, GilType, Symbol
+from repro.logic.expr import (
+    FALSE,
+    TRUE,
+    BinOp,
+    BinOpExpr,
+    EList,
+    Expr,
+    Lit,
+    LVar,
+    PVar,
+    UnOp,
+    UnOpExpr,
+    conj,
+    disj,
+    free_lvars,
+    free_pvars,
+    is_concrete,
+    lst,
+    substitute_lvars,
+    substitute_pvars,
+    symbols_of,
+    to_expr,
+    walk,
+)
+
+
+class TestConstruction:
+    def test_operator_sugar_add(self):
+        e = PVar("x") + 1
+        assert e == BinOpExpr(BinOp.ADD, PVar("x"), Lit(1))
+
+    def test_operator_sugar_radd(self):
+        e = 1 + PVar("x")
+        assert e == BinOpExpr(BinOp.ADD, Lit(1), PVar("x"))
+
+    def test_operator_sugar_comparisons(self):
+        x = LVar("x")
+        assert x.lt(3) == BinOpExpr(BinOp.LT, x, Lit(3))
+        assert x.gt(3) == BinOpExpr(BinOp.LT, Lit(3), x)
+        assert x.geq(3) == BinOpExpr(BinOp.LEQ, Lit(3), x)
+
+    def test_neq_is_negated_eq(self):
+        x = LVar("x")
+        assert x.neq(1) == UnOpExpr(UnOp.NOT, BinOpExpr(BinOp.EQ, x, Lit(1)))
+
+    def test_structural_equality_is_not_overloaded(self):
+        assert (PVar("x") == PVar("x")) is True
+        assert (PVar("x") == PVar("y")) is False
+
+    def test_expressions_are_hashable(self):
+        s = {PVar("x") + 1, PVar("x") + 1, LVar("y")}
+        assert len(s) == 2
+
+    def test_to_expr_coerces_values(self):
+        assert to_expr(5) == Lit(5)
+        assert to_expr(Lit(5)) == Lit(5)
+
+    def test_lst_builds_elist(self):
+        assert lst(1, "a") == EList((Lit(1), Lit("a")))
+
+
+class TestConjDisj:
+    def test_conj_empty_is_true(self):
+        assert conj() == TRUE
+
+    def test_conj_drops_true(self):
+        assert conj(TRUE, LVar("b")) == LVar("b")
+
+    def test_conj_nests_right(self):
+        a, b, c = LVar("a"), LVar("b"), LVar("c")
+        assert conj(a, b, c) == BinOpExpr(BinOp.AND, a, BinOpExpr(BinOp.AND, b, c))
+
+    def test_disj_empty_is_false(self):
+        assert disj() == FALSE
+
+    def test_disj_drops_false(self):
+        assert disj(FALSE, LVar("b")) == LVar("b")
+
+
+class TestTraversal:
+    def test_walk_visits_all_nodes(self):
+        e = (PVar("x") + LVar("y")).eq(lst(1, PVar("z")))
+        kinds = {type(n).__name__ for n in walk(e)}
+        assert {"BinOpExpr", "PVar", "LVar", "EList", "Lit"} <= kinds
+
+    def test_free_pvars(self):
+        e = (PVar("x") + LVar("y")) * PVar("z")
+        assert free_pvars(e) == {"x", "z"}
+
+    def test_free_lvars(self):
+        e = (PVar("x") + LVar("y")).eq(LVar("w"))
+        assert free_lvars(e) == {"y", "w"}
+
+    def test_symbols_of(self):
+        e = Lit(Symbol("loc1")).eq(PVar("x"))
+        assert symbols_of(e) == {Symbol("loc1")}
+
+    def test_is_concrete(self):
+        assert is_concrete(Lit(1) + Lit(2))
+        assert not is_concrete(PVar("x") + 1)
+        assert not is_concrete(LVar("x") + 1)
+
+
+class TestSubstitution:
+    def test_substitute_pvars(self):
+        e = PVar("x") + PVar("y")
+        out = substitute_pvars(e, {"x": LVar("a"), "y": Lit(2)})
+        assert out == LVar("a") + Lit(2)
+
+    def test_substitute_pvars_unbound_raises(self):
+        with pytest.raises(KeyError):
+            substitute_pvars(PVar("nope"), {})
+
+    def test_substitute_pvars_in_lists(self):
+        e = lst(PVar("x"), Lit(3))
+        out = substitute_pvars(e, {"x": Lit(1)})
+        assert out == lst(1, 3)
+
+    def test_substitute_lvars_partial(self):
+        e = LVar("a") + LVar("b")
+        out = substitute_lvars(e, {"a": Lit(1)})
+        assert out == Lit(1) + LVar("b")
+
+    def test_substitute_lvars_leaves_pvars(self):
+        e = PVar("x") + LVar("a")
+        out = substitute_lvars(e, {"a": Lit(1)})
+        assert out == PVar("x") + Lit(1)

@@ -1,0 +1,188 @@
+"""Tests for the algebraic simplifier (repro.logic.simplify)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.ops import EvalError, evaluate
+from repro.gil.values import GilType, Symbol
+from repro.logic.expr import (
+    FALSE,
+    TRUE,
+    BinOp,
+    BinOpExpr,
+    EList,
+    Lit,
+    LVar,
+    UnOp,
+    UnOpExpr,
+    lst,
+)
+from repro.logic.simplify import Simplifier, simplify
+
+x, y = LVar("x"), LVar("y")
+
+
+class TestConstantFolding:
+    def test_arith_folds(self):
+        assert simplify(Lit(2) + Lit(3)) == Lit(5)
+
+    def test_nested_folds(self):
+        assert simplify((Lit(2) + Lit(3)) * Lit(4)) == Lit(20)
+
+    def test_ill_typed_does_not_fold(self):
+        e = Lit("a") + Lit(1)
+        assert simplify(e) == e  # left as-is, not an exception
+
+    def test_literal_list_constructor_folds(self):
+        assert simplify(lst(1, 2)) == Lit((1, 2))
+
+
+class TestBooleanIdentities:
+    def test_double_negation(self):
+        assert simplify(x.not_().not_()) == x
+
+    def test_and_true(self):
+        assert simplify(x.and_(TRUE)) == x
+        assert simplify(TRUE.and_(x)) == x
+
+    def test_and_false(self):
+        assert simplify(x.and_(FALSE)) == FALSE
+
+    def test_or_false(self):
+        assert simplify(x.or_(FALSE)) == x
+
+    def test_or_true(self):
+        assert simplify(x.or_(TRUE)) == TRUE
+
+    def test_idempotent_and(self):
+        assert simplify(x.and_(x)) == x
+
+
+class TestEquality:
+    def test_reflexive_eq(self):
+        assert simplify((x + y).eq(x + y)) == TRUE
+
+    def test_distinct_literals(self):
+        assert simplify(Lit(1).eq(Lit(2))) == FALSE
+
+    def test_distinct_symbols(self):
+        assert simplify(Lit(Symbol("a")).eq(Lit(Symbol("b")))) == FALSE
+
+    def test_same_symbol(self):
+        assert simplify(Lit(Symbol("a")).eq(Lit(Symbol("a")))) == TRUE
+
+    def test_list_pointwise(self):
+        e = lst(x, 1).eq(lst(y, 1))
+        assert simplify(e) == x.eq(y)
+
+    def test_list_length_mismatch(self):
+        assert simplify(lst(x).eq(lst(x, x))) == FALSE
+
+    def test_list_vs_literal_list(self):
+        e = lst(x, 2).eq(Lit((1, 2)))
+        assert simplify(e) == x.eq(Lit(1))
+
+    def test_same_base_distinct_offsets(self):
+        assert simplify((x + 1).eq(x + 2)) == FALSE
+        assert simplify((x + 1).eq(x + 1)) == TRUE
+
+
+class TestArithmeticIdentities:
+    def test_add_zero(self):
+        assert simplify(x + 0) == x
+        assert simplify(0 + x) == x
+
+    def test_mul_identities(self):
+        assert simplify(x * 1) == x
+        assert simplify(x * 0) == Lit(0)
+
+    def test_sub_self(self):
+        assert simplify(x - x) == Lit(0)
+
+    def test_offset_chain_reassociates(self):
+        assert simplify((x + 1) + 2) == x + Lit(3)
+
+    def test_offset_comparison_folds(self):
+        assert simplify((x + 1).lt(x + 2)) == TRUE
+        assert simplify((x + 3).leq(x + 2)) == FALSE
+
+
+class TestListIdentities:
+    def test_lstlen_of_constructor(self):
+        assert simplify(UnOpExpr(UnOp.LSTLEN, lst(x, y))) == Lit(2)
+
+    def test_head_tail_of_constructor(self):
+        assert simplify(UnOpExpr(UnOp.HEAD, lst(x, y))) == x
+        assert simplify(UnOpExpr(UnOp.TAIL, lst(x, y))) == EList((y,))
+
+    def test_lnth_of_constructor(self):
+        assert simplify(BinOpExpr(BinOp.LNTH, lst(x, y), Lit(1))) == y
+
+    def test_concat_of_constructors(self):
+        assert simplify(BinOpExpr(BinOp.LCONCAT, lst(x), lst(y))) == lst(x, y)
+
+    def test_lstlen_distributes_over_concat(self):
+        e = UnOpExpr(UnOp.LSTLEN, BinOpExpr(BinOp.LCONCAT, lst(x), lst(y, x)))
+        assert simplify(e) == Lit(3)
+
+    def test_cons_onto_constructor(self):
+        assert simplify(BinOpExpr(BinOp.LCONS, x, lst(y))) == lst(x, y)
+
+
+class TestNegatedComparisons:
+    def test_not_lt(self):
+        assert simplify(x.lt(y).not_()) == y.leq(x)
+
+    def test_not_leq(self):
+        assert simplify(x.leq(y).not_()) == y.lt(x)
+
+
+class TestSimplifierModes:
+    def test_disabled_is_identity(self):
+        s = Simplifier(enabled=False)
+        e = Lit(1) + Lit(2)
+        assert s.simplify(e) == e
+
+    def test_memoisation_returns_same_object(self):
+        s = Simplifier(memoise=True)
+        e = (x + 0) * 1
+        assert s.simplify(e) is s.simplify(e)
+
+
+# -- property: simplification preserves concrete evaluation -------------------
+
+_atoms = st.one_of(
+    st.integers(-20, 20).map(Lit),
+    st.booleans().map(Lit),
+    st.sampled_from([LVar("x"), LVar("y")]),
+)
+
+
+def _exprs(depth: int):
+    if depth == 0:
+        return _atoms
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.tuples(st.sampled_from(list(BinOp)), sub, sub).map(
+            lambda t: BinOpExpr(*t)
+        ),
+        st.tuples(st.sampled_from([UnOp.NOT, UnOp.NEG, UnOp.TYPEOF]), sub).map(
+            lambda t: UnOpExpr(*t)
+        ),
+    )
+
+
+@given(e=_exprs(3), xv=st.integers(-5, 5), yv=st.integers(-5, 5))
+@settings(max_examples=300, deadline=None)
+def test_simplify_preserves_evaluation(e, xv, yv):
+    env = {"x": xv, "y": yv}
+    try:
+        expected = evaluate(e, lvar_env=env)
+    except EvalError:
+        return  # ill-typed instance; nothing to compare
+    simplified = simplify(e)
+    got = evaluate(simplified, lvar_env=env)
+    from repro.gil.values import values_equal
+
+    assert values_equal(expected, got)

@@ -1,0 +1,63 @@
+"""Property: caching and memoisation never change solver verdicts.
+
+The E4 ablation depends on the cached (Gillian) and uncached (JaVerT 2.0
+baseline) configurations exploring identically; this test pins the
+underlying invariant — same verdicts, same models-modulo-verification —
+over random constraint sets, including repeated queries that exercise
+cache hits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.ops import evaluate
+from repro.logic.expr import Lit, LVar
+from repro.logic.simplify import Simplifier
+from repro.logic.solver import SatResult, Solver
+
+_atoms = st.one_of(
+    st.integers(-4, 4).map(Lit),
+    st.sampled_from([LVar("x"), LVar("y"), LVar("z")]),
+)
+
+
+@st.composite
+def _constraint_sets(draw):
+    out = []
+    for _ in range(draw(st.integers(1, 5))):
+        a, b = draw(_atoms), draw(_atoms)
+        kind = draw(st.sampled_from(["lt", "leq", "eq", "neq"]))
+        c = getattr(a, kind)(b)
+        if draw(st.booleans()):
+            d = getattr(draw(_atoms), draw(st.sampled_from(["lt", "eq"])))(draw(_atoms))
+            c = c.or_(d)
+        out.append(c)
+    return out
+
+
+@given(pc=_constraint_sets())
+@settings(max_examples=150, deadline=None)
+def test_cached_and_uncached_agree(pc):
+    cached = Solver(cache_enabled=True)
+    uncached = Solver(
+        simplifier=Simplifier(memoise=False), cache_enabled=False
+    )
+    r1 = cached.check(pc)
+    r2 = uncached.check(pc)
+    assert r1 == r2, pc
+
+    # Repeat the query: the cached answer must be stable.
+    assert cached.check(pc) == r1
+    if r1 is SatResult.SAT:
+        for solver in (cached, uncached):
+            model = solver.get_model(pc)
+            if model is not None:
+                for c in pc:
+                    assert evaluate(c, lvar_env=model) is True
+
+
+@given(pc=_constraint_sets())
+@settings(max_examples=100, deadline=None)
+def test_conjunct_order_irrelevant(pc):
+    solver = Solver()
+    assert solver.check(pc) == solver.check(list(reversed(pc)))

@@ -1,0 +1,88 @@
+"""Tests for type inference over logical expressions (repro.logic.types)."""
+
+import pytest
+
+from repro.gil.values import GilType, Symbol
+from repro.logic.expr import (
+    BinOp,
+    BinOpExpr,
+    Lit,
+    LVar,
+    UnOp,
+    UnOpExpr,
+    lst,
+)
+from repro.logic.types import TypeConflict, collect_var_types, infer_type
+
+x, y = LVar("x"), LVar("y")
+
+
+class TestInferType:
+    def test_literals(self):
+        assert infer_type(Lit(1)) is GilType.NUMBER
+        assert infer_type(Lit("s")) is GilType.STRING
+        assert infer_type(Lit(True)) is GilType.BOOLEAN
+        assert infer_type(Lit(Symbol("l"))) is GilType.SYMBOL
+
+    def test_list_constructor(self):
+        assert infer_type(lst(x, 1)) is GilType.LIST
+
+    def test_arithmetic_is_number(self):
+        assert infer_type(x + y) is GilType.NUMBER
+
+    def test_comparison_is_boolean(self):
+        assert infer_type(x.lt(y)) is GilType.BOOLEAN
+        assert infer_type(x.eq(y)) is GilType.BOOLEAN
+
+    def test_string_ops(self):
+        assert infer_type(BinOpExpr(BinOp.SCONCAT, x, y)) is GilType.STRING
+        assert infer_type(UnOpExpr(UnOp.STRLEN, x)) is GilType.NUMBER
+
+    def test_unknowns(self):
+        assert infer_type(x) is None
+        assert infer_type(UnOpExpr(UnOp.HEAD, x)) is None
+        assert infer_type(BinOpExpr(BinOp.LNTH, x, Lit(0))) is None
+
+    def test_typeof_is_type(self):
+        assert infer_type(x.typeof()) is GilType.TYPE
+
+
+class TestCollectVarTypes:
+    def test_arithmetic_context(self):
+        env = collect_var_types([x + y > Lit(0) if False else (x + y).lt(Lit(0))])
+        assert env == {"x": GilType.NUMBER, "y": GilType.NUMBER}
+
+    def test_boolean_context(self):
+        env = collect_var_types([x.and_(y)])
+        assert env == {"x": GilType.BOOLEAN, "y": GilType.BOOLEAN}
+
+    def test_comparison_against_literal(self):
+        env = collect_var_types([x.eq(Lit("str"))])
+        assert env == {"x": GilType.STRING}
+
+    def test_string_builtin_contexts(self):
+        env = collect_var_types([UnOpExpr(UnOp.STRLEN, x).lt(Lit(5))])
+        assert env["x"] is GilType.STRING
+
+    def test_list_builtin_contexts(self):
+        env = collect_var_types([BinOpExpr(BinOp.LNTH, x, y).eq(Lit(1))])
+        assert env["x"] is GilType.LIST
+        assert env["y"] is GilType.NUMBER
+
+    def test_equality_transfers_known_type(self):
+        env = collect_var_types([x.eq(y + 1)])
+        assert env["x"] is GilType.NUMBER
+
+    def test_conflict_raises(self):
+        with pytest.raises(TypeConflict):
+            collect_var_types([x.lt(Lit(3)), x.eq(Lit("s"))])
+
+    def test_conflict_across_conjuncts(self):
+        with pytest.raises(TypeConflict):
+            collect_var_types(
+                [UnOpExpr(UnOp.STRLEN, x).eq(Lit(2)), (x + 1).eq(Lit(3))]
+            )
+
+    def test_unconstrained_var_absent(self):
+        env = collect_var_types([x.eq(y)])
+        assert "x" not in env and "y" not in env

@@ -1,0 +1,84 @@
+"""Allocator interpretation checks (paper Def. 3.8, AL-RS / AL-RC).
+
+The built-in allocators share their record representation between the
+symbolic and concrete worlds (I_AL is the identity on records, paper
+§3.2); these tests pin the two restricted properties:
+
+* AL-RS: when the symbolic allocator draws a value at site j, the
+  concrete allocator under any ε (the counter-model script) draws the
+  interpreted value from the corresponding record;
+* AL-RC: the concrete draw always exists.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import Symbol
+from repro.logic.expr import LVar
+from repro.state.allocator import (
+    AllocRecord,
+    ConcreteAllocator,
+    SymbolicAllocator,
+    interpret_record,
+    isym_name,
+)
+
+_records = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(1, 3)), max_size=3
+).map(lambda items: AllocRecord(tuple(sorted(dict(items).items()))))
+
+
+@given(record=_records, site=st.integers(0, 4))
+@settings(deadline=None)
+def test_usym_al_rs(record, site):
+    """uSym draws the *same* symbol symbolically and concretely."""
+    sym_record, sym_value = SymbolicAllocator().alloc_usym(record, site)
+    conc_record, conc_value = ConcreteAllocator().alloc_usym(
+        interpret_record(record), site
+    )
+    assert isinstance(sym_value, Symbol) and sym_value == conc_value
+    assert interpret_record(sym_record) == conc_record
+
+
+@given(record=_records, site=st.integers(0, 4), value=st.integers(-5, 5))
+@settings(deadline=None)
+def test_isym_al_rs(record, site, value):
+    """iSym symbolically yields the logical variable the scripted concrete
+    allocator maps to ε's value — the replay alignment Thm. 3.6 needs."""
+    sym_record, lvar = SymbolicAllocator().alloc_isym(record, site)
+    assert isinstance(lvar, LVar)
+    env = {lvar.name: value}
+
+    script = ConcreteAllocator(script=env)
+    conc_record, conc_value = script.alloc_isym(interpret_record(record), site)
+    assert conc_value == value  # ⟦x̂⟧ε
+    assert interpret_record(sym_record) == conc_record
+
+
+@given(record=_records, site=st.integers(0, 4))
+@settings(deadline=None)
+def test_al_rc_concrete_draw_always_exists(record, site):
+    """AL-RC: allocation is total — both draws always succeed."""
+    r1, _ = SymbolicAllocator().alloc_usym(record, site)
+    r2, _ = ConcreteAllocator().alloc_usym(record, site)
+    assert r1.count(site) == r2.count(site) == record.count(site) + 1
+
+
+def test_records_shared_representation():
+    """I_AL is the identity: symbolic and concrete records coincide."""
+    record = AllocRecord(((0, 2), (3, 1)))
+    assert interpret_record(record) == record
+
+
+@given(record=_records, sites=st.lists(st.integers(0, 4), max_size=6))
+@settings(deadline=None)
+def test_deterministic_names_across_worlds(record, sites):
+    """Replaying the same site sequence yields identical names, so ε keys
+    always line up between the symbolic trace and its concrete replay."""
+    sym_record, conc_record = record, record
+    sym_alloc, conc_alloc = SymbolicAllocator(), ConcreteAllocator()
+    for site in sites:
+        sym_record, lvar = sym_alloc.alloc_isym(sym_record, site)
+        conc_record, _ = conc_alloc.alloc_isym(conc_record, site)
+        assert lvar.name == isym_name(site, sym_record.count(site) - 1)
+        assert sym_record == conc_record

@@ -1,0 +1,103 @@
+"""Tests for relaxed trace composition ⇝Z (paper §3.1)."""
+
+import pytest
+
+from repro.gil.semantics import OutcomeKind, make_call_config
+from repro.logic.expr import Lit, LVar
+from repro.soundness.composition import (
+    CompositionError,
+    RelaxedTraceBuilder,
+    can_compose,
+    strengthen,
+)
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang import WhileLanguage
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+LANG = WhileLanguage()
+
+PROGRAM = """
+proc main() {
+  n := symb_int();
+  assume(0 <= n and n <= 10);
+  if (n < 5) { r := 1; } else { r := 2; }
+  return r;
+}
+"""
+
+
+def setup():
+    prog = LANG.compile(PROGRAM)
+    sm = SymbolicStateModel(WhileSymbolicMemory())
+    cfg = make_call_config(sm, sm.initial_state(), prog, "main", [])
+    return prog, sm, cfg
+
+
+class TestClosureRules:
+    def test_reflexivity(self):
+        # cf ⇝Z cf: any configuration composes with itself.
+        _, _, cfg = setup()
+        assert can_compose(cfg, cfg)
+
+    def test_one_step_composes(self):
+        # cf1 ⇝ cf2 implies cf1 ⇝Z cf2 via trivial segments.
+        prog, sm, cfg = setup()
+        builder = RelaxedTraceBuilder(prog, sm)
+        segment = builder.run_segment(cfg, steps=1)
+        for end in segment.ends:
+            assert can_compose(end, end)
+
+    def test_composition_with_strengthened_pc(self):
+        # The paper's point: mid-trace, the path condition may gain
+        # information, and the composed trace is still sound.
+        prog, sm, cfg = setup()
+        builder = RelaxedTraceBuilder(prog, sm)
+        segment = builder.run_segment(cfg, steps=6)
+        assert segment.ends
+        end = segment.ends[0]
+        # Strengthen with knowledge not yet on the path: n != 7.
+        n = LVar("val_0_0")
+        stronger = strengthen(end, (n.neq(Lit(7)),))
+        continued = builder.compose(end, stronger)
+        finals = builder.run_to_finals(continued)
+        # The extra conjunct is carried to every final.
+        for fin in finals:
+            if fin.kind is not OutcomeKind.VANISH:
+                assert n.neq(Lit(7)) in fin.state.pc.conjuncts
+
+    def test_composition_rejects_weaker_continuation(self):
+        prog, sm, cfg = setup()
+        builder = RelaxedTraceBuilder(prog, sm)
+        segment = builder.run_segment(cfg, steps=6)
+        end = segment.ends[0]
+        # A continuation that *lost* path-condition information (fresh
+        # initial state at the same control point) must not compose.
+        from repro.gil.semantics import Config
+
+        weaker = Config(sm.initial_state(), end.stack, end.idx)
+        with pytest.raises(CompositionError):
+            builder.compose(end, weaker)
+
+    def test_composition_rejects_control_point_mismatch(self):
+        prog, sm, cfg = setup()
+        builder = RelaxedTraceBuilder(prog, sm)
+        segment = builder.run_segment(cfg, steps=4)
+        end = segment.ends[0]
+        from repro.gil.semantics import Config
+
+        elsewhere = Config(end.state, end.stack, end.idx + 1)
+        assert not can_compose(end, elsewhere)
+
+    def test_path_dropping_is_a_composition_instance(self):
+        # Dropping one branch = composing only the kept branch's
+        # configuration; results on the kept branch are unaffected.
+        prog, sm, cfg = setup()
+        builder = RelaxedTraceBuilder(prog, sm)
+        # Step to just past the if-branching (both branches live).
+        segment = builder.run_segment(cfg, steps=6)
+        assert len(segment.ends) >= 2
+        kept = segment.ends[0]
+        finals = builder.run_to_finals(builder.compose(kept, kept))
+        values = {f.value for f in finals if f.kind is OutcomeKind.NORMAL}
+        assert values <= {Lit(1), Lit(2)}
+        assert len(values) == 1  # one branch only: the other was dropped

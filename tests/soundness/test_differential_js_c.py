@@ -1,0 +1,125 @@
+"""Trace-level differential soundness for MiniJS and MiniC (Thm. 3.6, E6)."""
+
+import pytest
+
+from repro.soundness.differential import check_trace_soundness
+from repro.targets.c_like import MiniCLanguage
+from repro.targets.js_like import MiniJSLanguage
+
+JS_PROGRAMS = {
+    "dynamic_props": """
+        function main() {
+          var o = { a: 1, b: 2 };
+          var k = symb_string();
+          var v = o[k];
+          if (v === undefined) { return 0; }
+          return v;
+        }""",
+    "branching_objects": """
+        function main() {
+          var flag = symb_bool();
+          var o = flag ? { kind: "yes", v: 1 } : { kind: "no", v: 2 };
+          return o.v;
+        }""",
+    "errors": """
+        function main() {
+          var b = symb_bool();
+          var o = b ? { v: 1 } : null;
+          return o.v;
+        }""",
+    "loops": """
+        function main() {
+          var n = symb_int();
+          assume(0 <= n && n <= 3);
+          var a = [];
+          for (var i = 0; i < n; i++) { a[i] = i; }
+          a.length = n;
+          return a.length;
+        }""",
+}
+
+C_PROGRAMS = {
+    "heap_struct": """
+        struct P { int x; int y; };
+        int main() {
+          struct P *p = (struct P *) malloc(sizeof(struct P));
+          p->x = symb_int();
+          assume(0 <= p->x && p->x <= 2);
+          p->y = p->x * 2;
+          int r = p->y;
+          free(p);
+          return r;
+        }""",
+    "overflow_paths": """
+        int main() {
+          int *a = (int *) malloc(8);
+          int i = symb_int();
+          assume(0 <= i && i <= 2);
+          a[i] = 1;
+          int v = a[i];
+          free(a);
+          return v;
+        }""",
+    "conditional_free": """
+        int main() {
+          int *p = (int *) malloc(4);
+          *p = 7;
+          int b = symb_bool();
+          if (b == 1) { free(p); }
+          int v = *p;
+          return v;
+        }""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(JS_PROGRAMS))
+def test_minijs_trace_soundness(name):
+    language = MiniJSLanguage()
+    prog = language.compile(JS_PROGRAMS[name])
+    report = check_trace_soundness(language, prog, "main")
+    assert report.checks
+    assert report.ok, [c.detail for c in report.checks if not c.ok]
+    assert report.replayed >= 1
+
+
+@pytest.mark.parametrize("name", sorted(C_PROGRAMS))
+def test_minic_trace_soundness(name):
+    language = MiniCLanguage()
+    prog = language.compile(C_PROGRAMS[name])
+    report = check_trace_soundness(language, prog, "main")
+    assert report.checks
+    assert report.ok, [c.detail for c in report.checks if not c.ok]
+    assert report.replayed >= 1
+
+
+class TestLibrarySuiteTraceSoundness:
+    """E6 over real library workloads: every final of selected Buckets and
+    Collections suite tests replays concretely."""
+
+    @pytest.mark.parametrize(
+        "suite_name,test_name",
+        [("stack", "test_lifo_order"), ("dict", "test_set_get")],
+    )
+    def test_buckets(self, suite_name, test_name):
+        from repro.targets.js_like.buckets import suites
+
+        language = MiniJSLanguage()
+        source, _ = suites.suite(suite_name)
+        prog = language.compile(source)
+        report = check_trace_soundness(language, prog, test_name)
+        assert report.checks
+        assert report.ok, [c.detail for c in report.checks if not c.ok]
+
+    @pytest.mark.parametrize(
+        "suite_name,test_name",
+        [("stack", "test_lifo"), ("treeset", "test_add_contains")],
+    )
+    def test_collections(self, suite_name, test_name):
+        from repro.targets.c_like.collections import suites
+
+        language = MiniCLanguage()
+        source, _ = suites.suite(suite_name)
+        prog = language.compile(source)
+        report = check_trace_soundness(language, prog, test_name)
+        assert report.checks
+        assert report.ok, [c.detail for c in report.checks if not c.ok]

@@ -1,0 +1,118 @@
+"""MA-RS / MA-RC checks for the While memory model (Lemma 3.11, empirically).
+
+Randomly generates symbolic While memories, actions, argument expressions,
+and logical environments; every symbolic action branch compatible with the
+environment must have a matching concrete counterpart through I_W.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import Symbol
+from repro.logic.expr import Lit, LVar, lst
+from repro.logic.pathcond import PathCondition
+from repro.soundness.interpretation import check_action
+from repro.targets.while_lang.memory import (
+    InterpretationError,
+    SymWhileMemory,
+    WhileConcreteMemory,
+    WhileSymbolicMemory,
+    interpret_memory,
+)
+
+CONC = WhileConcreteMemory()
+SYM = WhileSymbolicMemory()
+
+_LOCS = [Symbol("l0"), Symbol("l1"), Symbol("l2")]
+_PROPS = ["a", "b"]
+
+_loc_exprs = st.one_of(
+    st.sampled_from([Lit(l) for l in _LOCS]),
+    st.sampled_from([LVar("p"), LVar("q")]),
+)
+_val_exprs = st.one_of(
+    st.integers(-3, 3).map(Lit),
+    st.sampled_from([LVar("v"), LVar("w")]),
+)
+
+
+@st.composite
+def _memories(draw):
+    n = draw(st.integers(0, 4))
+    cells = {}
+    for _ in range(n):
+        loc = draw(_loc_exprs)
+        prop = draw(st.sampled_from(_PROPS))
+        cells[(loc, prop)] = draw(_val_exprs)
+    return SymWhileMemory.of(cells)
+
+
+@st.composite
+def _envs(draw):
+    return {
+        "p": draw(st.sampled_from(_LOCS)),
+        "q": draw(st.sampled_from(_LOCS)),
+        "v": draw(st.integers(-3, 3)),
+        "w": draw(st.integers(-3, 3)),
+    }
+
+
+def _interp(env, memory):
+    return interpret_memory(env, memory)
+
+
+class TestInterpretation:
+    def test_empty_memory(self):
+        assert interpret_memory({}, SymWhileMemory()).cells == ()
+
+    def test_cell_interpretation(self):
+        mem = SymWhileMemory.of({(LVar("p"), "a"): LVar("v")})
+        out = interpret_memory({"p": Symbol("l0"), "v": 7}, mem)
+        assert out.as_dict() == {(Symbol("l0"), "a"): 7}
+
+    def test_collision_is_undefined(self):
+        mem = SymWhileMemory.of(
+            {(LVar("p"), "a"): Lit(1), (Lit(Symbol("l0")), "a"): Lit(2)}
+        )
+        try:
+            interpret_memory({"p": Symbol("l0")}, mem)
+        except InterpretationError:
+            return
+        raise AssertionError("expected InterpretationError")
+
+    def test_non_symbol_location_is_undefined(self):
+        mem = SymWhileMemory.of({(LVar("p"), "a"): Lit(1)})
+        try:
+            interpret_memory({"p": 42}, mem)
+        except InterpretationError:
+            return
+        raise AssertionError("expected InterpretationError")
+
+
+@given(memory=_memories(), env=_envs(), loc=_loc_exprs, prop=st.sampled_from(_PROPS))
+@settings(max_examples=150, deadline=None)
+def test_lookup_ma_rs_rc(memory, env, loc, prop):
+    report = check_action(CONC, SYM, _interp, env, memory, "lookup", lst(loc, prop))
+    assert report.ok, report.detail
+
+
+@given(
+    memory=_memories(),
+    env=_envs(),
+    loc=_loc_exprs,
+    prop=st.sampled_from(_PROPS),
+    value=_val_exprs,
+)
+@settings(max_examples=150, deadline=None)
+def test_mutate_ma_rs_rc(memory, env, loc, prop, value):
+    report = check_action(
+        CONC, SYM, _interp, env, memory, "mutate", lst(loc, prop, value)
+    )
+    assert report.ok, report.detail
+
+
+@given(memory=_memories(), env=_envs(), loc=_loc_exprs)
+@settings(max_examples=150, deadline=None)
+def test_dispose_ma_rs_rc(memory, env, loc):
+    report = check_action(CONC, SYM, _interp, env, memory, "dispose", lst(loc))
+    assert report.ok, report.detail

@@ -1,0 +1,123 @@
+"""Property-based checks of the restriction laws (paper Defs. 3.1–3.4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.expr import Lit, LVar
+from repro.logic.pathcond import PathCondition
+from repro.soundness.restriction import (
+    check_idempotence,
+    check_precision_implies_preorder,
+    check_restriction_increases_precision,
+    check_right_commutativity,
+    check_state_monotonicity,
+    check_weakening,
+    induced_preorder,
+    restrict_pc,
+    restrict_state,
+)
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+# Path conditions over a small pool of conjuncts, so collisions happen.
+_x, _y = LVar("x"), LVar("y")
+_CONJUNCTS = [
+    _x.lt(_y),
+    _y.lt(Lit(10)),
+    Lit(0).leq(_x),
+    _x.neq(Lit(3)),
+    _y.eq(_x + 1),
+]
+
+_pcs = st.lists(st.sampled_from(_CONJUNCTS), max_size=4).map(
+    lambda cs: PathCondition.of(*cs)
+)
+
+
+class TestPathConditionRestriction:
+    @given(pc=_pcs)
+    @settings(deadline=None)
+    def test_idempotence(self, pc):
+        assert check_idempotence(restrict_pc, pc)
+
+    @given(p1=_pcs, p2=_pcs, p3=_pcs)
+    @settings(deadline=None)
+    def test_right_commutativity(self, p1, p2, p3):
+        # Note: our PathCondition keeps insertion order, so equality is
+        # up-to-set; compare conjunct sets.
+        a = restrict_pc(restrict_pc(p1, p2), p3)
+        b = restrict_pc(restrict_pc(p1, p3), p2)
+        assert set(a.conjuncts) == set(b.conjuncts)
+
+    @given(p1=_pcs, p2=_pcs, p3=_pcs)
+    @settings(deadline=None)
+    def test_weakening(self, p1, p2, p3):
+        assert check_weakening(restrict_pc, p1, p2, p3)
+
+    @given(p1=_pcs, p2=_pcs)
+    @settings(deadline=None)
+    def test_induced_preorder_reflexive(self, p1, p2):
+        leq = induced_preorder(restrict_pc)
+        assert leq(p1, p1)
+        # restriction increases precision: p1 ⇃p2 ⊑ p1
+        assert leq(restrict_pc(p1, p2), p1)
+
+
+class TestStateRestriction:
+    def _state(self, *conjuncts):
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        state = sm.initial_state()
+        return state.with_pc(PathCondition.of(*conjuncts)), sm
+
+    def test_restrict_conjoins_pcs(self):
+        s1, _ = self._state(_x.lt(_y))
+        s2, _ = self._state(_y.lt(Lit(3)))
+        merged = restrict_state(s1, s2)
+        assert set(merged.pc.conjuncts) == {_x.lt(_y), _y.lt(Lit(3))}
+
+    def test_restrict_keeps_memory_and_store(self):
+        s1, _ = self._state(_x.lt(_y))
+        s2, _ = self._state()
+        merged = restrict_state(s1, s2)
+        assert merged.memory == s1.memory and merged.store == s1.store
+
+    def test_idempotent_on_states(self):
+        s1, _ = self._state(_x.lt(_y))
+        assert restrict_state(s1, s1) == s1
+
+    def test_monotonicity_assume(self):
+        # Def. 3.2: every action's output state ⊑ its input state.
+        s, sm = self._state(Lit(0).leq(_x))
+        (after,) = sm.assume(s, _x.lt(Lit(5)))
+        assert check_state_monotonicity(s, after)
+
+    def test_monotonicity_memory_action(self):
+        from repro.logic.expr import lst
+        from repro.gil.values import Symbol
+
+        s, sm = self._state()
+        loc = Lit(Symbol("l"))
+        branches = sm.execute_action(s, "mutate", lst(loc, "p", Lit(1)))
+        for br in branches:
+            assert check_state_monotonicity(s, br.state)
+
+    def test_monotonicity_fresh_symbols(self):
+        s, sm = self._state()
+        after, _ = sm.fresh_usym(s, 0)
+        assert check_state_monotonicity(s, after)
+        after2, _ = sm.fresh_isym(after, 1)
+        assert check_state_monotonicity(after2, s) or after2.precedes(s)
+
+
+class TestCompatibility:
+    @given(p1=_pcs, p2=_pcs)
+    @settings(deadline=None)
+    def test_restriction_increases_precision(self, p1, p2):
+        leq = induced_preorder(restrict_pc)
+        assert check_restriction_increases_precision(leq, restrict_pc, p1, p2)
+
+    @given(p1=_pcs, p2=_pcs)
+    @settings(deadline=None)
+    def test_precision_implies_preorder(self, p1, p2):
+        leq = induced_preorder(restrict_pc)
+        assert check_precision_implies_preorder(leq, restrict_pc, p1, p2)

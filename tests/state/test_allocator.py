@@ -1,0 +1,121 @@
+"""Tests for allocators and allocation records (paper Def. 2.2, §3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import Symbol
+from repro.logic.expr import LVar
+from repro.state.allocator import (
+    AllocRecord,
+    ConcreteAllocator,
+    SymbolicAllocator,
+    interpret_record,
+    isym_name,
+    usym_name,
+)
+
+
+class TestAllocRecord:
+    def test_fresh_record_counts_zero(self):
+        assert AllocRecord().count(0) == 0
+
+    def test_bump_increments(self):
+        r, idx = AllocRecord().bump(3)
+        assert idx == 0 and r.count(3) == 1
+
+    def test_bump_is_per_site(self):
+        r, _ = AllocRecord().bump(0)
+        r, _ = r.bump(1)
+        r, idx = r.bump(0)
+        assert idx == 1 and r.count(1) == 1
+
+    def test_records_are_immutable_values(self):
+        r0 = AllocRecord()
+        r1, _ = r0.bump(0)
+        assert r0.count(0) == 0 and r1.count(0) == 1
+        assert r0 != r1
+
+    def test_restrict_takes_max(self):
+        r1, _ = AllocRecord().bump(0)
+        r2 = AllocRecord()
+        for _ in range(3):
+            r2, _ = r2.bump(0)
+        assert r1.restrict(r2).count(0) == 3
+        assert r2.restrict(r1).count(0) == 3
+
+    def test_monotonicity_of_alloc(self):
+        # Def. 3.3: allocation only moves down the ⊑ pre-order.
+        r = AllocRecord()
+        r2, _ = r.bump(5)
+        assert r2.precedes(r)
+        assert not r.precedes(r2)
+
+
+class TestSymbolicAllocator:
+    def test_usym_names_are_deterministic(self):
+        al = SymbolicAllocator()
+        r, s1 = al.alloc_usym(AllocRecord(), 2)
+        _, s2 = al.alloc_usym(r, 2)
+        assert s1 == Symbol(usym_name(2, 0))
+        assert s2 == Symbol(usym_name(2, 1))
+
+    def test_isym_yields_lvars(self):
+        al = SymbolicAllocator()
+        _, v = al.alloc_isym(AllocRecord(), 7)
+        assert v == LVar(isym_name(7, 0))
+
+    def test_different_sites_never_collide(self):
+        al = SymbolicAllocator()
+        _, a = al.alloc_usym(AllocRecord(), 1)
+        _, b = al.alloc_usym(AllocRecord(), 2)
+        assert a != b
+
+
+class TestConcreteAllocator:
+    def test_usym_matches_symbolic_names(self):
+        conc = ConcreteAllocator()
+        sym = SymbolicAllocator()
+        _, a = conc.alloc_usym(AllocRecord(), 4)
+        _, b = sym.alloc_usym(AllocRecord(), 4)
+        assert a == b  # replay yields identical locations
+
+    def test_isym_default(self):
+        conc = ConcreteAllocator()
+        _, v = conc.alloc_isym(AllocRecord(), 0)
+        assert v == 0
+
+    def test_isym_scripted(self):
+        conc = ConcreteAllocator(script={isym_name(0, 0): 42})
+        _, v = conc.alloc_isym(AllocRecord(), 0)
+        assert v == 42
+
+    def test_interpret_record_is_identity(self):
+        r, _ = AllocRecord().bump(0)
+        assert interpret_record(r) == r
+
+
+# -- restriction laws on records (Def. 3.1), property-based -------------------
+
+_records = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(1, 4)), max_size=4
+).map(lambda items: AllocRecord(tuple(sorted(dict(items).items()))))
+
+
+@given(r=_records)
+@settings(deadline=None)
+def test_restriction_idempotent(r):
+    assert r.restrict(r) == r
+
+
+@given(r1=_records, r2=_records, r3=_records)
+@settings(deadline=None)
+def test_restriction_right_commutative(r1, r2, r3):
+    assert r1.restrict(r2).restrict(r3) == r1.restrict(r3).restrict(r2)
+
+
+@given(r1=_records, r2=_records, r3=_records)
+@settings(deadline=None)
+def test_restriction_weakening(r1, r2, r3):
+    if r1.restrict(r2.restrict(r3)) == r1:
+        assert r1.restrict(r2) == r1
+        assert r1.restrict(r3) == r1

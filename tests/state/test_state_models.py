@@ -1,0 +1,132 @@
+"""Tests for the concrete/symbolic state constructors (Defs. 2.5/2.6)."""
+
+import pytest
+
+from repro.gil.ops import EvalError
+from repro.gil.values import GilType, Symbol
+from repro.logic.expr import FALSE, TRUE, Lit, LVar, PVar, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.state.concrete import ConcreteStateModel
+from repro.state.interface import StateErr, StateOk
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileConcreteMemory, WhileSymbolicMemory
+
+
+@pytest.fixture
+def conc():
+    return ConcreteStateModel(WhileConcreteMemory())
+
+
+@pytest.fixture
+def sym():
+    return SymbolicStateModel(WhileSymbolicMemory())
+
+
+class TestConcreteStateModel:
+    def test_store_roundtrip(self, conc):
+        state = conc.initial_state()
+        state = conc.set_var(state, "x", 5)
+        assert conc.get_store(state) == {"x": 5}
+
+    def test_set_store_replaces(self, conc):
+        state = conc.set_var(conc.initial_state(), "x", 1)
+        state = conc.set_store(state, {"y": 2})
+        assert conc.get_store(state) == {"y": 2}
+
+    def test_states_immutable(self, conc):
+        s1 = conc.initial_state()
+        s2 = conc.set_var(s1, "x", 1)
+        assert conc.get_store(s1) == {}
+        assert conc.get_store(s2) == {"x": 1}
+
+    def test_eval_expr_uses_store(self, conc):
+        state = conc.set_var(conc.initial_state(), "x", 4)
+        assert conc.eval_expr(state, PVar("x") * 2) == 8
+
+    def test_eval_unbound_raises(self, conc):
+        with pytest.raises(EvalError):
+            conc.eval_expr(conc.initial_state(), PVar("nope"))
+
+    def test_assume_filters(self, conc):
+        state = conc.initial_state()
+        assert conc.assume(state, True) == [state]
+        assert conc.assume(state, False) == []
+
+    def test_branch_on_requires_boolean(self, conc):
+        state = conc.initial_state()
+        with pytest.raises(EvalError):
+            conc.branch_on(state, 5)
+
+    def test_fresh_usym_advances_allocator(self, conc):
+        state = conc.initial_state()
+        state, s1 = conc.fresh_usym(state, 0)
+        state, s2 = conc.fresh_usym(state, 0)
+        assert isinstance(s1, Symbol) and s1 != s2
+
+    def test_action_error_branch(self, conc):
+        state = conc.initial_state()
+        (branch,) = conc.execute_action(state, "lookup", (Symbol("l"), "p"))
+        assert isinstance(branch, StateErr)
+
+
+class TestSymbolicStateModel:
+    def test_eval_substitutes_and_simplifies(self, sym):
+        state = sym.set_var(sym.initial_state(), "x", LVar("a"))
+        out = sym.eval_expr(state, (PVar("x") + 0) * 1)
+        assert out == LVar("a")
+
+    def test_assume_strengthens_pc(self, sym):
+        state = sym.initial_state()
+        (after,) = sym.assume(state, LVar("a").lt(Lit(3)))
+        assert LVar("a").lt(Lit(3)) in after.pc.conjuncts
+
+    def test_assume_unsat_drops(self, sym):
+        state = sym.initial_state()
+        (s1,) = sym.assume(state, LVar("a").lt(Lit(3)))
+        assert sym.assume(s1, Lit(5).lt(LVar("a"))) == []
+
+    def test_assume_false_literal_drops(self, sym):
+        assert sym.assume(sym.initial_state(), FALSE) == []
+
+    def test_branch_on_undetermined_gives_both(self, sym):
+        state = sym.initial_state()
+        branches = sym.branch_on(state, LVar("a").lt(Lit(0)))
+        assert sorted(taken for _, taken in branches) == [False, True]
+
+    def test_branch_on_determined_gives_one(self, sym):
+        state = sym.initial_state()
+        (s1,) = sym.assume(state, LVar("a").lt(Lit(0)))
+        branches = sym.branch_on(s1, LVar("a").lt(Lit(1)))
+        assert [taken for _, taken in branches] == [True]
+
+    def test_action_learned_conditions_conjoined(self, sym):
+        loc = LVar("l")
+        state = sym.initial_state()
+        branches = sym.execute_action(
+            state, "mutate", lst(Lit(Symbol("k")), Lit("p"), Lit(1))
+        )
+        assert len(branches) == 1
+        state2 = branches[0].state
+        branches2 = sym.execute_action(state2, "lookup", lst(loc, Lit("p")))
+        ok = [b for b in branches2 if isinstance(b, StateOk)]
+        assert ok and loc.eq(Lit(Symbol("k"))) in ok[0].state.pc.conjuncts
+
+    def test_fresh_isym_is_lvar(self, sym):
+        state, v = sym.fresh_isym(sym.initial_state(), 2)
+        assert isinstance(v, LVar)
+
+    def test_fresh_usym_is_symbol_literal(self, sym):
+        state, v = sym.fresh_usym(sym.initial_state(), 2)
+        assert isinstance(v, Lit) and isinstance(v.value, Symbol)
+
+    def test_restrict_merges(self, sym):
+        s1 = sym.initial_state()
+        (s1,) = sym.assume(s1, LVar("a").lt(Lit(3)))
+        s2 = sym.initial_state()
+        (s2,) = sym.assume(s2, Lit(0).leq(LVar("a")))
+        merged = s1.restrict(s2)
+        assert set(merged.pc.conjuncts) == {
+            LVar("a").lt(Lit(3)),
+            Lit(0).leq(LVar("a")),
+        }

@@ -1,0 +1,44 @@
+"""The Collections-style library suites (Table 2 substrate) behave as §4.2 reports."""
+
+import pytest
+
+from repro.targets.c_like import MiniCLanguage
+from repro.targets.c_like.collections import suites
+from repro.targets.c_like.collections.library import full_library
+from repro.testing.harness import SymbolicTester
+
+LANG = MiniCLanguage()
+
+
+def test_counts_match_table2():
+    counts = suites.expected_test_counts()
+    for name in suites.suite_names():
+        _, tests = suites.suite(name)
+        assert len(tests) == counts[name], name
+    assert sum(counts.values()) == 161
+
+
+def test_full_library_compiles():
+    prog = LANG.compile(full_library())
+    for fn in ("array_add", "deque_add_last", "list_add_last", "pqueue_push",
+               "queue_enqueue", "rbuf_enqueue", "slist_add", "stack_push",
+               "treetbl_add", "treeset_add", "str_hash"):
+        assert prog.get(fn) is not None
+
+
+@pytest.mark.parametrize("name", suites.suite_names(include_hash=True))
+def test_suite_outcomes(name):
+    source, tests = suites.suite(name)
+    prog = LANG.compile(source)
+    tester = SymbolicTester(LANG)
+    for test in tests:
+        result = tester.run_test(prog, test)
+        if test in suites.KNOWN_BUG_TESTS:
+            assert not result.passed, f"{test} should re-detect a finding"
+            assert any(b.confirmed for b in result.bugs), test
+        else:
+            assert result.passed, (test, result.bugs)
+
+
+def test_five_findings_planted():
+    assert len(suites.KNOWN_BUG_TESTS) == 5  # the five §4.2 findings

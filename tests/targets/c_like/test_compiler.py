@@ -1,0 +1,180 @@
+"""Structural tests for the MiniC-to-GIL compiler."""
+
+import pytest
+
+from repro.gil.syntax import ActionCall, Call, ISym, USym
+from repro.logic.expr import Lit
+from repro.targets.c_like.compiler import CompileError, compile_source
+
+
+def compile_src(source: str):
+    return compile_source(source)
+
+
+def proc_actions(proc):
+    return [c for c in proc.body if isinstance(c, ActionCall)]
+
+
+class TestMallocFamily:
+    def test_malloc_emits_usym_and_alloc(self):
+        prog = compile_src("int main() { int *p = (int *) malloc(8); return 0; }")
+        proc = prog.procs["main"]
+        assert any(isinstance(c, USym) for c in proc.body)
+        assert [c.action for c in proc_actions(proc)] == ["alloc"]
+
+    def test_calloc_allocs_and_memsets(self):
+        prog = compile_src("int main() { int *p = (int *) calloc(2, 4); return 0; }")
+        actions = [c.action for c in proc_actions(prog.procs["main"])]
+        assert actions == ["alloc", "memset"]
+
+    def test_free_emits_free(self):
+        prog = compile_src(
+            "int main() { int *p = (int *) malloc(4); free(p); return 0; }"
+        )
+        actions = [c.action for c in proc_actions(prog.procs["main"])]
+        assert "free" in actions
+
+    def test_stack_array_allocates(self):
+        prog = compile_src("int main() { int a[4]; return 0; }")
+        actions = [c.action for c in proc_actions(prog.procs["main"])]
+        assert actions == ["alloc"]
+
+
+class TestChunks:
+    def _store_chunks(self, source):
+        prog = compile_src(source)
+        return [
+            c.arg.items[0].value
+            for c in proc_actions(prog.procs["main"])
+            if c.action == "store"
+        ]
+
+    def test_int_store_uses_int32_chunk(self):
+        chunks = self._store_chunks(
+            "int main() { int *p = (int *) malloc(4); *p = 1; return 0; }"
+        )
+        assert chunks == [(4, 4, "int32")]
+
+    def test_char_store_uses_int8_chunk(self):
+        chunks = self._store_chunks(
+            "int main() { char *p = (char *) malloc(1); *p = 'x'; return 0; }"
+        )
+        assert chunks == [(1, 1, "int8")]
+
+    def test_pointer_store_uses_ptr_chunk(self):
+        chunks = self._store_chunks(
+            """
+            struct N { struct N *next; };
+            int main() {
+              struct N *n = (struct N *) malloc(sizeof(struct N));
+              n->next = NULL;
+              return 0;
+            }"""
+        )
+        assert chunks == [(8, 8, "ptr")]
+
+
+class TestFieldOffsets:
+    def test_second_field_offset_in_pointer(self):
+        prog = compile_src(
+            """
+            struct P { int x; int y; };
+            int main() {
+              struct P *p = (struct P *) malloc(sizeof(struct P));
+              p->y = 1;
+              return 0;
+            }"""
+        )
+        stores = [
+            c for c in proc_actions(prog.procs["main"]) if c.action == "store"
+        ]
+        # Offset expression must add 4 (the y field's offset).
+        assert "4" in repr(stores[0].arg)
+
+    def test_index_scaling(self):
+        prog = compile_src(
+            "int main() { int *a = (int *) malloc(8); a[1] = 5; return 0; }"
+        )
+        stores = [
+            c for c in proc_actions(prog.procs["main"]) if c.action == "store"
+        ]
+        assert "4" in repr(stores[0].arg)  # 1 * sizeof(int)
+
+
+class TestPointerComparisons:
+    def test_pointer_equality_uses_cmp_ptr(self):
+        prog = compile_src(
+            """
+            int main() {
+              int *p = (int *) malloc(4);
+              if (p == NULL) { return 1; }
+              free(p);
+              return 0;
+            }"""
+        )
+        actions = [c.action for c in proc_actions(prog.procs["main"])]
+        assert "cmp_ptr" in actions
+
+    def test_int_comparison_does_not(self):
+        prog = compile_src("int main() { int a = 1; if (a == 1) { return 1; } return 0; }")
+        actions = [c.action for c in proc_actions(prog.procs["main"])]
+        assert "cmp_ptr" not in actions
+
+    def test_pointer_condition_truthiness_uses_cmp_ptr(self):
+        prog = compile_src(
+            """
+            int main() {
+              int *p = (int *) malloc(4);
+              if (p) { free(p); }
+              return 0;
+            }"""
+        )
+        actions = [c.action for c in proc_actions(prog.procs["main"])]
+        assert "cmp_ptr" in actions
+
+
+class TestAddressedLocals:
+    def test_addressed_local_gets_slot(self):
+        prog = compile_src(
+            """
+            void set(int *out) { *out = 1; }
+            int main() { int v = 0; set(&v); return v; }"""
+        )
+        main = prog.procs["main"]
+        actions = [c.action for c in proc_actions(main)]
+        # slot alloc + initial store + final load
+        assert "alloc" in actions and "store" in actions and "load" in actions
+
+    def test_plain_local_stays_register(self):
+        prog = compile_src("int main() { int v = 1; return v; }")
+        assert proc_actions(prog.procs["main"]) == []
+
+    def test_address_of_unaddressable_rejected(self):
+        # & on a never-declared name.
+        with pytest.raises(CompileError):
+            compile_src("int main() { return *(&undeclared); }")
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        with pytest.raises(CompileError):
+            compile_src("int main() { return nothere(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError):
+            compile_src("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_unknown_field(self):
+        with pytest.raises(CompileError):
+            compile_src(
+                """
+                struct P { int x; };
+                int main() {
+                  struct P *p = (struct P *) malloc(sizeof(struct P));
+                  return p->nope;
+                }"""
+            )
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError):
+            compile_src("int main() { int a = 1; return *a; }")

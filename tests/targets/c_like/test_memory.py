@@ -1,0 +1,301 @@
+"""Unit and MA-RS/MA-RC tests for the MiniC memory models (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import Symbol
+from repro.logic.expr import Lit, LVar, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.soundness.interpretation import check_action
+from repro.state.interface import MemErr, MemOk, SymMemErr, SymMemOk
+from repro.targets.c_like.memory import (
+    PERM_FREEABLE,
+    PERM_NONE,
+    CConcreteMemory,
+    CMemory,
+    CSymbolicMemory,
+    SymBlock,
+    SymCMemory,
+    interpret_memory,
+)
+
+CONC = CConcreteMemory()
+SYM = CSymbolicMemory()
+B1, B2 = Symbol("b1"), Symbol("b2")
+INT32 = (4, 4, "int32")
+INT8 = (1, 1, "int8")
+PTR = (8, 8, "ptr")
+
+
+def alloc(mem, loc, size):
+    (branch,) = CONC.execute("alloc", mem, (loc, size))
+    return branch.memory, branch.value
+
+
+class TestConcreteAllocFree:
+    def test_alloc_returns_base_pointer(self):
+        mem, ptr = alloc(CONC.initial(), B1, 8)
+        assert ptr == (B1, 0)
+
+    def test_zero_size_rejected(self):
+        (branch,) = CONC.execute("alloc", CONC.initial(), (B1, 0))
+        assert isinstance(branch, MemErr)
+
+    def test_free_marks_dead(self):
+        mem, ptr = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("free", mem, (ptr,))
+        (b2,) = CONC.execute("load", b.memory, (INT32, ptr))
+        assert isinstance(b2, MemErr) and b2.value[0] == "use-after-free"
+
+    def test_double_free(self):
+        mem, ptr = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("free", mem, (ptr,))
+        (b2,) = CONC.execute("free", b.memory, (ptr,))
+        assert isinstance(b2, MemErr) and b2.value[0] == "double-free"
+
+    def test_free_interior_pointer(self):
+        mem, ptr = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("free", mem, ((B1, 4),))
+        assert isinstance(b, MemErr) and b.value[0] == "free-of-interior-pointer"
+
+
+class TestConcreteLoadStore:
+    def test_store_load_roundtrip(self):
+        mem, ptr = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("store", mem, (INT32, (B1, 4), 77))
+        (b2,) = CONC.execute("load", b.memory, (INT32, (B1, 4)))
+        assert b2.value == 77
+
+    def test_pointer_store_load(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        mem, _ = alloc(mem, B2, 8)
+        (b,) = CONC.execute("store", mem, (PTR, (B1, 0), (B2, 4)))
+        (b2,) = CONC.execute("load", b.memory, (PTR, (B1, 0)))
+        assert b2.value == (B2, 4)
+
+    def test_out_of_bounds(self):
+        mem, ptr = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("load", mem, (INT32, (B1, 8)))
+        assert isinstance(b, MemErr) and b.value[0] == "buffer-overflow"
+
+    def test_negative_offset(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("store", mem, (INT32, (B1, -4), 1))
+        assert isinstance(b, MemErr) and b.value[0] == "buffer-overflow"
+
+    def test_misaligned(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("load", mem, (INT32, (B1, 2)))
+        assert isinstance(b, MemErr) and b.value[0] == "misaligned-access"
+
+    def test_uninitialised_read(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("load", mem, (INT32, (B1, 0)))
+        assert isinstance(b, MemErr) and b.value[0] == "uninitialised-read"
+
+    def test_partial_overwrite_corrupts(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        (b,) = CONC.execute("store", mem, (INT32, (B1, 0), 1))
+        (b2,) = CONC.execute("store", b.memory, (INT8, (B1, 1), 9))
+        (b3,) = CONC.execute("load", b2.memory, (INT32, (B1, 0)))
+        assert isinstance(b3, MemErr) and b3.value[0] == "corrupted-read"
+
+    def test_byte_reconstruction(self):
+        # memset-style int8 writes decode as an int32.
+        mem, _ = alloc(CONC.initial(), B1, 4)
+        for i, byte in enumerate((1, 0, 0, 0)):
+            (b,) = CONC.execute("store", mem, (INT8, (B1, i), byte))
+            mem = b.memory
+        (b2,) = CONC.execute("load", mem, (INT32, (B1, 0)))
+        assert b2.value == 1
+
+    def test_null_dereference(self):
+        (b,) = CONC.execute("load", CONC.initial(), (INT32, 0))
+        assert isinstance(b, MemErr) and b.value[0] == "null-dereference"
+
+
+class TestConcreteBulkOps:
+    def test_memcpy_preserves_undef(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        mem2, _ = alloc(mem, B2, 8)
+        (b,) = CONC.execute("store", mem2, (INT32, (B1, 0), 5))
+        (b2,) = CONC.execute("memcpy", b.memory, ((B2, 0), (B1, 0), 8))
+        (b3,) = CONC.execute("load", b2.memory, (INT32, (B2, 0)))
+        assert b3.value == 5
+        (b4,) = CONC.execute("load", b2.memory, (INT32, (B2, 4)))
+        assert isinstance(b4, MemErr)  # copied undef stays undef
+
+    def test_memcpy_out_of_bounds(self):
+        mem, _ = alloc(CONC.initial(), B1, 4)
+        mem2, _ = alloc(mem, B2, 8)
+        (b,) = CONC.execute("memcpy", mem2, ((B1, 0), (B2, 0), 8))
+        assert isinstance(b, MemErr)
+
+    def test_memset(self):
+        mem, _ = alloc(CONC.initial(), B1, 4)
+        (b,) = CONC.execute("memset", mem, ((B1, 0), 4, 0))
+        (b2,) = CONC.execute("load", b.memory, (INT32, (B1, 0)))
+        assert b2.value == 0
+
+    def test_bounds_action(self):
+        mem, _ = alloc(CONC.initial(), B1, 12)
+        (b,) = CONC.execute("bounds", mem, ((B1, 0),))
+        assert b.value == 12
+
+
+class TestConcreteCmpPtr:
+    def _mem2(self):
+        mem, _ = alloc(CONC.initial(), B1, 8)
+        return alloc(mem, B2, 8)[0]
+
+    def test_eq_same_block(self):
+        mem = self._mem2()
+        (b,) = CONC.execute("cmp_ptr", mem, ("eq", (B1, 0), (B1, 0)))
+        assert b.value is True
+
+    def test_eq_different_blocks_false(self):
+        mem = self._mem2()
+        (b,) = CONC.execute("cmp_ptr", mem, ("eq", (B1, 0), (B2, 0)))
+        assert b.value is False
+
+    def test_relational_same_block(self):
+        mem = self._mem2()
+        (b,) = CONC.execute("cmp_ptr", mem, ("lt", (B1, 0), (B1, 4)))
+        assert b.value is True
+
+    def test_relational_cross_block_ub(self):
+        mem = self._mem2()
+        (b,) = CONC.execute("cmp_ptr", mem, ("lt", (B1, 0), (B2, 0)))
+        assert isinstance(b, MemErr) and b.value[0] == "ub-compare-different-blocks"
+
+    def test_freed_pointer_comparison_ub(self):
+        mem = self._mem2()
+        (b,) = CONC.execute("free", mem, ((B1, 0),))
+        (b2,) = CONC.execute("cmp_ptr", b.memory, ("eq", (B1, 0), (B2, 0)))
+        assert isinstance(b2, MemErr) and b2.value[0] == "ub-compare-freed-pointer"
+
+    def test_null_equality_defined(self):
+        mem = self._mem2()
+        (b,) = CONC.execute("cmp_ptr", mem, ("eq", 0, (B1, 0)))
+        assert b.value is False
+        (b2,) = CONC.execute("cmp_ptr", mem, ("ne", 0, 0))
+        assert b2.value is False
+
+
+class TestSymbolicOffsets:
+    def _sym_mem(self, size=12):
+        blocks = {B1: SymBlock.fresh(size)}
+        return SymCMemory.of(blocks)
+
+    def test_concrete_offset_store_load(self):
+        mem = self._sym_mem()
+        (b,) = SYM.execute(
+            "store", mem, lst(Lit(INT32), lst(B1, 4), LVar("v")),
+            PathCondition.true(), Solver(),
+        )
+        (b2,) = SYM.execute(
+            "load", b.memory, lst(Lit(INT32), lst(B1, 4)),
+            PathCondition.true(), Solver(),
+        )
+        assert b2.expr == LVar("v")
+
+    def test_symbolic_offset_branches(self):
+        mem = self._sym_mem()
+        i = LVar("i")
+        from repro.logic.expr import UnOp, UnOpExpr
+
+        pc = PathCondition.of(
+            UnOpExpr(UnOp.FLOOR, i).eq(i), Lit(0).leq(i), i.lt(Lit(3))
+        )
+        branches = SYM.execute(
+            "store", mem, lst(Lit(INT32), lst(B1, i * 4), LVar("v")), pc, Solver()
+        )
+        # Offsets 0, 4, 8 feasible; out-of-bounds infeasible under pc.
+        assert len(branches) == 3
+        assert all(isinstance(b, SymMemOk) for b in branches)
+
+    def test_symbolic_offset_with_overflow_branch(self):
+        mem = self._sym_mem()
+        i = LVar("i")
+        from repro.logic.expr import UnOp, UnOpExpr
+
+        pc = PathCondition.of(
+            UnOpExpr(UnOp.FLOOR, i).eq(i), Lit(0).leq(i), i.leq(Lit(3))
+        )
+        branches = SYM.execute(
+            "store", mem, lst(Lit(INT32), lst(B1, i * 4), LVar("v")), pc, Solver()
+        )
+        errs = [b for b in branches if isinstance(b, SymMemErr)]
+        assert len(errs) == 1  # i == 3 overflows
+
+    def test_use_after_free_symbolic(self):
+        blocks = {B1: SymBlock(8, PERM_NONE, (None,) * 8)}
+        mem = SymCMemory.of(blocks)
+        branches = SYM.execute(
+            "load", mem, lst(Lit(INT32), lst(B1, 0)), PathCondition.true(), Solver()
+        )
+        assert isinstance(branches[0], SymMemErr)
+
+
+class TestSymbolicInterpretation:
+    def test_roundtrip(self):
+        block = SymBlock(4, PERM_FREEABLE, tuple(
+            (LVar("v"), i, 4, "int32") for i in range(4)
+        ))
+        mem = SymCMemory.of({B1: block})
+        conc = interpret_memory({"v": 9}, mem)
+        (b,) = CONC.execute("load", conc, (INT32, (B1, 0)))
+        assert b.value == 9
+
+
+# -- MA-RS / MA-RC property tests ------------------------------------------------
+
+_offsets = st.one_of(st.sampled_from([Lit(0), Lit(4), Lit(8)]), st.just(LVar("o")))
+_values = st.one_of(st.integers(-3, 3).map(Lit), st.just(LVar("v")))
+
+
+@st.composite
+def _memories(draw):
+    cells = []
+    for i in range(8):
+        kind = draw(st.sampled_from(["undef", "int32", "int8"]))
+        if kind == "undef":
+            cells.append(None)
+        elif kind == "int8":
+            cells.append((draw(_values), 0, 1, "int8"))
+        else:
+            # Align int32 fragments on a 4-boundary start.
+            cells.append((LVar("w"), i % 4, 4, "int32"))
+    block = SymBlock(8, PERM_FREEABLE, tuple(cells))
+    return SymCMemory.of({B1: block})
+
+
+@st.composite
+def _envs(draw):
+    return {
+        "o": draw(st.sampled_from([0, 4, 8, 12])),
+        "v": draw(st.integers(-3, 3)),
+        "w": draw(st.integers(-3, 3)),
+    }
+
+
+@given(memory=_memories(), env=_envs(), offset=_offsets)
+@settings(max_examples=100, deadline=None)
+def test_load_ma_rs_rc(memory, env, offset):
+    report = check_action(
+        CONC, SYM, interpret_memory, env, memory,
+        "load", lst(Lit(INT32), lst(B1, offset)),
+    )
+    assert report.ok, report.detail
+
+
+@given(memory=_memories(), env=_envs(), offset=_offsets, value=_values)
+@settings(max_examples=100, deadline=None)
+def test_store_ma_rs_rc(memory, env, offset, value):
+    report = check_action(
+        CONC, SYM, interpret_memory, env, memory,
+        "store", lst(Lit(INT32), lst(B1, offset), value),
+    )
+    assert report.ok, report.detail

@@ -1,0 +1,258 @@
+"""Symbolic testing of MiniC programs (the Gillian-C behaviours, §4.2)."""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.targets.c_like import MiniCLanguage
+from repro.testing.harness import SymbolicTester
+
+LANG = MiniCLanguage()
+
+
+def run(source: str, entry: str = "main", **kw):
+    return SymbolicTester(LANG, **kw).run_source(source, entry)
+
+
+class TestMemorySafety:
+    def test_symbolic_index_overflow_found(self):
+        result = run(
+            """
+            int main() {
+              int *a = (int *) malloc(3 * sizeof(int));
+              int i = symb_int();
+              assume(0 <= i && i <= 3);
+              a[i] = 1;
+              free(a);
+              return 0;
+            }"""
+        )
+        assert result.verdict == "bug"
+        bug = next(b for b in result.bugs if b.confirmed)
+        assert list(bug.model.values()) == [3]
+
+    def test_bounds_checked_write_verified(self):
+        result = run(
+            """
+            int main() {
+              int *a = (int *) malloc(3 * sizeof(int));
+              int i = symb_int();
+              assume(0 <= i && i < 3);
+              a[i] = 7;
+              int v = a[i];
+              free(a);
+              assert(v == 7);
+              return 0;
+            }"""
+        )
+        assert result.passed
+
+    def test_conditional_free_uaf(self):
+        result = run(
+            """
+            int main() {
+              int *p = (int *) malloc(4);
+              *p = 1;
+              int flag = symb_bool();
+              if (flag == 1) { free(p); }
+              int v = *p;
+              return v;
+            }"""
+        )
+        assert result.verdict == "bug"
+        assert len(result.bugs) == 1
+
+    def test_double_free_detected(self):
+        result = run(
+            """
+            int main() {
+              int *p = (int *) malloc(4);
+              int n = symb_int();
+              assume(1 <= n && n <= 2);
+              for (int i = 0; i < n; i++) { free(p); }
+              return 0;
+            }"""
+        )
+        assert result.verdict == "bug"
+
+    def test_uninitialised_read_detected(self):
+        result = run(
+            """
+            int main() {
+              int *a = (int *) malloc(8);
+              a[0] = 1;
+              int i = symb_int();
+              assume(0 <= i && i <= 1);
+              int v = a[i];
+              free(a);
+              return v;
+            }"""
+        )
+        # i == 1 reads an uninitialised cell.
+        assert result.verdict == "bug"
+        assert len(result.bugs) == 1
+
+    def test_free_of_interior_pointer(self):
+        result = run(
+            """
+            int main() {
+              int *a = (int *) malloc(8);
+              free(a + 1);
+              return 0;
+            }"""
+        )
+        assert result.verdict == "bug"
+
+
+class TestPointerReasoning:
+    def test_symbolic_offset_read_branches(self):
+        result = run(
+            """
+            int main() {
+              int *a = (int *) malloc(3 * sizeof(int));
+              for (int i = 0; i < 3; i++) { a[i] = i * 10; }
+              int k = symb_int();
+              assume(0 <= k && k < 3);
+              int v = a[k];
+              free(a);
+              assert(v == k * 10);
+              return 0;
+            }"""
+        )
+        assert result.passed
+        assert result.paths == 3
+
+    def test_aliasing_through_struct(self):
+        result = run(
+            """
+            struct Box { int *data; };
+            int main() {
+              int *a = (int *) malloc(4);
+              struct Box *b1 = (struct Box *) malloc(sizeof(struct Box));
+              struct Box *b2 = (struct Box *) malloc(sizeof(struct Box));
+              b1->data = a;
+              b2->data = a;
+              *(b1->data) = 5;
+              int v = *(b2->data);
+              assert(v == 5);
+              free(a); free(b1); free(b2);
+              return 0;
+            }"""
+        )
+        assert result.passed
+
+    def test_pointer_equality_same_block(self):
+        result = run(
+            """
+            int main() {
+              int *a = (int *) malloc(8);
+              int i = symb_int();
+              assume(0 <= i && i <= 1);
+              int *p = a + i;
+              if (p == a) { assert(i == 0); }
+              else { assert(i == 1); }
+              free(a);
+              return 0;
+            }"""
+        )
+        assert result.passed
+
+    def test_ub_freed_pointer_comparison_detected(self):
+        result = run(
+            """
+            int main() {
+              int *p = (int *) malloc(4);
+              int *q = p;
+              free(p);
+              if (q == p) { return 1; }
+              return 0;
+            }"""
+        )
+        assert result.verdict == "bug"
+
+
+class TestStructsSymbolic:
+    def test_symbolic_struct_fields(self):
+        result = run(
+            """
+            struct Pair { int a; int b; };
+            int main() {
+              struct Pair *p = (struct Pair *) malloc(sizeof(struct Pair));
+              p->a = symb_int();
+              p->b = symb_int();
+              assume(p->a < p->b);
+              int d = p->b - p->a;
+              free(p);
+              assert(d > 0);
+              return d;
+            }"""
+        )
+        assert result.passed
+
+    def test_linked_list_symbolic_length(self):
+        result = run(
+            """
+            struct Node { int value; struct Node *next; };
+            int main() {
+              int n = symb_int();
+              assume(0 <= n && n <= 3);
+              struct Node *head = NULL;
+              for (int i = 0; i < n; i++) {
+                struct Node *node = (struct Node *) malloc(sizeof(struct Node));
+                node->value = i;
+                node->next = head;
+                head = node;
+              }
+              int count = 0;
+              struct Node *cur = head;
+              while (cur != NULL) {
+                count = count + 1;
+                cur = cur->next;
+              }
+              assert(count == n);
+              return count;
+            }"""
+        )
+        assert result.passed
+        assert result.paths == 4
+
+
+class TestStrings:
+    def test_strcmp_with_symbolic_char(self):
+        result = run(
+            """
+            int main() {
+              char *buf = (char *) malloc(2);
+              int c = symb_char();
+              assume('a' <= c && c <= 'c');
+              buf[0] = c;
+              buf[1] = 0;
+              int r = strcmp(buf, "b");
+              if (c < 'b') { assert(r < 0); }
+              if (c == 'b') { assert(r == 0); }
+              if (c > 'b') { assert(r > 0); }
+              free(buf);
+              return 0;
+            }"""
+        )
+        assert result.passed
+
+    def test_strlen_concrete(self):
+        result = run(
+            """
+            int main() {
+              assert(strlen("hello") == 5);
+              assert(strlen("") == 0);
+              return 0;
+            }"""
+        )
+        assert result.passed
+
+
+class TestBounds:
+    def test_loop_bound_drops_paths(self):
+        config = EngineConfig(max_steps_per_path=200)
+        result = SymbolicTester(LANG, config=config).run_source(
+            "int main() { while (1) { int x = 0; } return 0; }", "main"
+        )
+        assert result.passed
+        assert result.stats.paths_dropped >= 1

@@ -1,0 +1,45 @@
+"""The Buckets-style library suites (Table 1 substrate) behave as §4.1 reports."""
+
+import pytest
+
+from repro.targets.js_like import MiniJSLanguage
+from repro.targets.js_like.buckets import suites
+from repro.targets.js_like.buckets.library import full_library
+from repro.testing.harness import SymbolicTester
+
+LANG = MiniJSLanguage()
+
+
+def test_counts_match_table1():
+    counts = suites.expected_test_counts()
+    for name in suites.suite_names():
+        _, tests = suites.suite(name)
+        assert len(tests) == counts[name], name
+    assert sum(counts.values()) == 74
+
+
+def test_full_library_compiles():
+    prog = LANG.compile(full_library())
+    # All Table 1 structures contribute procedures.
+    for fn in ("arr_push", "llist_add", "stack_push", "queue_enqueue",
+               "dict_set", "mdict_set", "bag_add", "set_add", "bst_insert",
+               "heap_add", "pqueue_enqueue"):
+        assert prog.get(fn) is not None
+
+
+@pytest.mark.parametrize("name", suites.suite_names())
+def test_suite_outcomes(name):
+    source, tests = suites.suite(name)
+    prog = LANG.compile(source)
+    tester = SymbolicTester(LANG)
+    for test in tests:
+        result = tester.run_test(prog, test)
+        if test in suites.KNOWN_BUG_TESTS:
+            assert not result.passed, f"{test} should re-detect a known bug"
+            assert any(b.confirmed for b in result.bugs), test
+        else:
+            assert result.passed, (test, result.bugs)
+
+
+def test_exactly_two_known_bugs():
+    assert len(suites.KNOWN_BUG_TESTS) == 2  # "the two bugs found in our previous work"

@@ -1,0 +1,119 @@
+"""Structural tests for the MiniJS-to-GIL compiler."""
+
+import pytest
+
+from repro.gil.syntax import ActionCall, Call, Fail, IfGoto, ISym, USym, Vanish
+from repro.targets.js_like.compiler import CompileError, compile_source
+
+
+def compile_main(body: str, extra: str = ""):
+    prog = compile_source(f"{extra}\nfunction main() {{ {body} }}")
+    return prog.procs["main"]
+
+
+def commands_of_type(proc, kind):
+    return [c for c in proc.body if isinstance(c, kind)]
+
+
+class TestObjectCompilation:
+    def test_object_literal_emits_usym_init_set(self):
+        proc = compile_main("var o = { a: 1 };")
+        assert len(commands_of_type(proc, USym)) == 1
+        actions = [c.action for c in commands_of_type(proc, ActionCall)]
+        assert actions == ["initObj", "setProp"]
+
+    def test_array_literal_sets_length(self):
+        proc = compile_main("var a = [1, 2];")
+        set_props = [
+            c for c in commands_of_type(proc, ActionCall) if c.action == "setProp"
+        ]
+        assert len(set_props) == 3  # two elements plus length
+
+    def test_member_read_is_getprop(self):
+        proc = compile_main("var o = {}; var v = o.p;")
+        assert any(
+            c.action == "getProp" for c in commands_of_type(proc, ActionCall)
+        )
+
+    def test_delete_is_delprop(self):
+        proc = compile_main("var o = {}; delete o.p;")
+        assert any(
+            c.action == "delProp" for c in commands_of_type(proc, ActionCall)
+        )
+
+
+class TestControlFlow:
+    def test_assert_compiles_to_ifgoto_fail(self):
+        proc = compile_main("assert(true);")
+        assert commands_of_type(proc, Fail)
+        assert commands_of_type(proc, IfGoto)
+
+    def test_assume_compiles_to_ifgoto_vanish(self):
+        proc = compile_main("assume(true);")
+        assert commands_of_type(proc, Vanish)
+
+    def test_symbolic_input_emits_isym_and_type_assume(self):
+        proc = compile_main("var n = symb_number();")
+        assert len(commands_of_type(proc, ISym)) == 1
+        assert commands_of_type(proc, Vanish)  # the typeof assume pattern
+
+    def test_untyped_symb_has_no_assume(self):
+        proc = compile_main("var v = symb();")
+        assert len(commands_of_type(proc, ISym)) == 1
+        assert not commands_of_type(proc, Vanish)
+
+    def test_every_function_ends_with_return(self):
+        from repro.gil.syntax import Return
+
+        proc = compile_main("var x = 1;")
+        assert isinstance(proc.body[-1], Return)
+
+
+class TestCalls:
+    def test_known_function_called_by_name(self):
+        proc = compile_main("f();", extra="function f() {}")
+        calls = commands_of_type(proc, Call)
+        assert len(calls) == 1
+        from repro.logic.expr import Lit
+
+        assert calls[0].callee == Lit("f")
+
+    def test_function_value_through_variable(self):
+        proc = compile_main(
+            "var g = f; g();", extra="function f() {}"
+        )
+        calls = commands_of_type(proc, Call)
+        from repro.logic.expr import PVar
+
+        assert calls[0].callee == PVar("g")
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(CompileError):
+            compile_main("var x = undeclared_thing;")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError):
+            compile_main("break;")
+
+
+class TestTypeofRuntime:
+    def test_js_typeof_proc_injected(self):
+        prog = compile_source("function main() { return typeof 1; }")
+        assert "__js_typeof" in prog.procs
+
+    def test_sites_are_globally_unique(self):
+        prog = compile_source(
+            """
+            function main() {
+              var a = symb_number();
+              var o = {};
+              var b = symb_number();
+            }"""
+        )
+        sites = [
+            c.site
+            for proc in prog.procs.values()
+            for c in proc.body
+            if isinstance(c, (ISym, USym))
+        ]
+        assert len(sites) == len(set(sites))

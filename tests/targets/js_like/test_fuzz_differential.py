@@ -1,0 +1,120 @@
+"""Differential fuzzing of the MiniJS compiler (E5, randomized).
+
+Random MiniJS ASTs over numbers, strings, objects with static *and*
+computed keys, deletes, and bounded loops; reference interpreter vs
+compiled-GIL concrete execution must agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.explorer import Explorer
+from repro.gil.semantics import OutcomeKind
+from repro.gil.values import Symbol, values_equal
+from repro.state.concrete import ConcreteStateModel
+from repro.targets.js_like import MiniJSLanguage, ast
+from repro.targets.js_like.compiler import compile_program
+from repro.targets.js_like.interpreter import JSInterpreter
+
+LANG = MiniJSLanguage()
+
+_NUM_VARS = ["a", "b"]
+_OBJ_VARS = ["o", "p"]
+_KEYS = ["x", "y"]
+
+_num_exprs = st.one_of(
+    st.integers(-4, 4).map(ast.Literal),
+    st.sampled_from([ast.Var(v) for v in _NUM_VARS]),
+    st.tuples(
+        st.sampled_from(["+", "-", "*"]),
+        st.integers(-3, 3).map(ast.Literal),
+        st.sampled_from([ast.Var(v) for v in _NUM_VARS]),
+    ).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+)
+
+_key_exprs = st.one_of(
+    st.sampled_from([ast.Literal(k) for k in _KEYS]),
+    st.sampled_from([ast.Literal(0), ast.Literal(1)]),
+)
+
+_conditions = st.tuples(
+    st.sampled_from(["===", "!==", "<", "<=", ">", ">="]),
+    _num_exprs,
+    _num_exprs,
+).map(lambda t: ast.Binary(t[0], t[1], t[2]))
+
+
+@st.composite
+def _statements(draw, depth: int) -> ast.Statement:
+    choices = ["assign", "member_set", "member_get", "delete"]
+    if depth > 0:
+        choices += ["if", "while"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "assign":
+        return ast.AssignVar(draw(st.sampled_from(_NUM_VARS)), draw(_num_exprs))
+    if kind == "member_set":
+        return ast.AssignMember(
+            ast.Var(draw(st.sampled_from(_OBJ_VARS))),
+            draw(_key_exprs),
+            draw(_num_exprs),
+        )
+    if kind == "member_get":
+        # Reads may hit absent properties (undefined) — assign into a
+        # scratch variable that no arithmetic consumes.
+        return ast.AssignVar(
+            "scratch",
+            ast.Member(ast.Var(draw(st.sampled_from(_OBJ_VARS))), draw(_key_exprs)),
+        )
+    if kind == "delete":
+        return ast.DeleteStmt(
+            ast.Var(draw(st.sampled_from(_OBJ_VARS))), draw(_key_exprs)
+        )
+    if kind == "if":
+        then_body = tuple(draw(_statements(depth - 1)) for _ in range(draw(st.integers(1, 2))))
+        else_body = tuple(draw(_statements(depth - 1)) for _ in range(draw(st.integers(0, 1))))
+        return ast.IfStmt(draw(_conditions), then_body, else_body)
+    body = tuple(draw(_statements(depth - 1)) for _ in range(draw(st.integers(1, 2))))
+    bound = draw(st.integers(1, 3))
+    return ast.WhileStmt(
+        ast.Binary("<", ast.Var("loop_i"), ast.Literal(bound)),
+        body
+        + (ast.AssignVar("loop_i", ast.Binary("+", ast.Var("loop_i"), ast.Literal(1))),),
+    )
+
+
+@st.composite
+def _programs(draw) -> ast.Program:
+    header = [
+        ast.VarDecl("a", ast.Literal(draw(st.integers(-3, 3)))),
+        ast.VarDecl("b", ast.Literal(draw(st.integers(-3, 3)))),
+        ast.VarDecl("scratch", None),
+        ast.VarDecl("loop_i", ast.Literal(0)),
+        ast.VarDecl("o", ast.ObjectLit((("x", ast.Literal(1)),))),
+        ast.VarDecl("p", ast.ObjectLit(())),
+    ]
+    stmts: list = list(header)
+    for _ in range(draw(st.integers(1, 5))):
+        stmts.append(ast.AssignVar("loop_i", ast.Literal(0)))
+        stmts.append(draw(_statements(2)))
+    stmts.append(
+        ast.ReturnStmt(ast.Binary("+", ast.Var("a"), ast.Var("b")))
+    )
+    return ast.Program((ast.FunctionDef("main", (), tuple(stmts)),))
+
+
+@given(program=_programs())
+@settings(max_examples=200, deadline=None)
+def test_interpreter_and_compiled_gil_agree(program):
+    ref = JSInterpreter().run(program, "main")
+    prog = compile_program(program)
+    sm = ConcreteStateModel(LANG.concrete_memory())
+    result = Explorer(prog, sm).run("main")
+
+    if ref.kind == "vanish":
+        assert result.finals == []
+        return
+    out = result.sole_outcome
+    expected = OutcomeKind.NORMAL if ref.kind == "normal" else OutcomeKind.ERROR
+    assert out.kind is expected, (ref, out)
+    if ref.kind == "normal" and not isinstance(ref.value, Symbol):
+        assert values_equal(out.value, ref.value), (ref.value, out.value)

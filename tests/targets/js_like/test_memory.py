@@ -1,0 +1,229 @@
+"""Unit and MA-RS/MA-RC tests for the MiniJS memory models (§4.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import Symbol
+from repro.logic.expr import Lit, LVar, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.soundness.interpretation import check_action
+from repro.state.interface import MemErr, MemOk, SymMemErr, SymMemOk
+from repro.targets.js_like.memory import (
+    UNDEFINED,
+    JSConcreteMemory,
+    JSMemory,
+    JSObjectC,
+    JSObjectS,
+    JSSymbolicMemory,
+    SymJSMemory,
+    interpret_memory,
+)
+
+CONC = JSConcreteMemory()
+SYM = JSSymbolicMemory()
+L1, L2 = Symbol("o1"), Symbol("o2")
+
+
+def make_concrete(*objs):
+    mem = CONC.initial()
+    for loc, metadata in objs:
+        (branch,) = CONC.execute("initObj", mem, (loc, metadata))
+        mem = branch.memory
+    return mem
+
+
+class TestConcreteActions:
+    def test_init_and_get_absent(self):
+        mem = make_concrete((L1, "Object"))
+        (branch,) = CONC.execute("getProp", mem, (L1, "missing"))
+        assert isinstance(branch, MemOk) and branch.value == UNDEFINED
+
+    def test_set_get_roundtrip(self):
+        mem = make_concrete((L1, "Object"))
+        (b1,) = CONC.execute("setProp", mem, (L1, "p", 42))
+        (b2,) = CONC.execute("getProp", b1.memory, (L1, "p"))
+        assert b2.value == 42
+
+    def test_numeric_and_string_keys_distinct(self):
+        mem = make_concrete((L1, "Array"))
+        (b1,) = CONC.execute("setProp", mem, (L1, 1, "num"))
+        (b2,) = CONC.execute("getProp", b1.memory, (L1, "1"))
+        assert b2.value == UNDEFINED
+
+    def test_del_prop(self):
+        mem = make_concrete((L1, "Object"))
+        (b1,) = CONC.execute("setProp", mem, (L1, "p", 1))
+        (b2,) = CONC.execute("delProp", b1.memory, (L1, "p"))
+        (b3,) = CONC.execute("getProp", b2.memory, (L1, "p"))
+        assert b3.value == UNDEFINED
+
+    def test_has_prop(self):
+        mem = make_concrete((L1, "Object"))
+        (b1,) = CONC.execute("setProp", mem, (L1, "p", 1))
+        (b2,) = CONC.execute("hasProp", b1.memory, (L1, "p"))
+        assert b2.value is True
+        (b3,) = CONC.execute("hasProp", b1.memory, (L1, "q"))
+        assert b3.value is False
+
+    def test_metadata(self):
+        mem = make_concrete((L1, "Array"))
+        (b1,) = CONC.execute("getMetadata", mem, (L1,))
+        assert b1.value == "Array"
+        (b2,) = CONC.execute("setMetadata", mem, (L1, "Custom"))
+        (b3,) = CONC.execute("getMetadata", b2.memory, (L1,))
+        assert b3.value == "Custom"
+
+    def test_access_to_non_object_errors(self):
+        mem = CONC.initial()
+        (branch,) = CONC.execute("getProp", mem, (UNDEFINED, "p"))
+        assert isinstance(branch, MemErr)
+
+    def test_use_after_dispose_errors(self):
+        mem = make_concrete((L1, "Object"))
+        (b1,) = CONC.execute("dispose", mem, (L1,))
+        (b2,) = CONC.execute("getProp", b1.memory, (L1, "p"))
+        assert isinstance(b2, MemErr)
+        assert b2.value[0] == "use-after-dispose"
+
+
+class TestSymbolicBranching:
+    def _mem(self, props):
+        obj = JSObjectS(Lit("Object"), tuple(props))
+        return SymJSMemory(((Lit(L1), obj),))
+
+    def test_concrete_key_no_branching(self):
+        mem = self._mem([(Lit("a"), Lit(1))])
+        branches = SYM.execute(
+            "getProp", mem, lst(L1, "a"), PathCondition.true(), Solver()
+        )
+        assert len(branches) == 1
+        assert branches[0].expr == Lit(1)
+
+    def test_symbolic_key_branches(self):
+        mem = self._mem([(Lit("a"), Lit(1)), (Lit("b"), Lit(2))])
+        k = LVar("k")
+        branches = SYM.execute(
+            "getProp", mem, lst(L1, k), PathCondition.true(), Solver()
+        )
+        # match a, match b, absent (undefined)
+        assert len(branches) == 3
+        values = {b.expr for b in branches if isinstance(b, SymMemOk)}
+        assert Lit(UNDEFINED) in values
+
+    def test_branch_conditions_are_learned(self):
+        mem = self._mem([(Lit("a"), Lit(1))])
+        k = LVar("k")
+        branches = SYM.execute(
+            "getProp", mem, lst(L1, k), PathCondition.true(), Solver()
+        )
+        learned = [b.learned for b in branches]
+        assert any(l == (k.eq(Lit("a")),) for l in learned)
+
+    def test_path_condition_prunes_branches(self):
+        mem = self._mem([(Lit("a"), Lit(1)), (Lit("b"), Lit(2))])
+        k = LVar("k")
+        pc = PathCondition.of(k.eq(Lit("a")))
+        branches = SYM.execute("getProp", mem, lst(L1, k), pc, Solver())
+        assert len(branches) == 1
+        assert branches[0].expr == Lit(1)
+
+    def test_set_symbolic_key_absent_branch_adds(self):
+        mem = self._mem([(Lit("a"), Lit(1))])
+        k = LVar("k")
+        branches = SYM.execute(
+            "setProp", mem, lst(L1, k, Lit(9)), PathCondition.true(), Solver()
+        )
+        assert len(branches) == 2
+        sizes = sorted(
+            len(b.memory.objects[0][1].props) for b in branches
+        )
+        assert sizes == [1, 2]  # overwrite vs extend
+
+    def test_dispose_then_access_errors(self):
+        mem = self._mem([])
+        (b1,) = SYM.execute("dispose", mem, lst(L1), PathCondition.true(), Solver())
+        branches = SYM.execute(
+            "getProp", b1.memory, lst(L1, "p"), PathCondition.true(), Solver()
+        )
+        assert len(branches) == 1 and isinstance(branches[0], SymMemErr)
+
+
+class TestInterpretation:
+    def test_roundtrip(self):
+        obj = JSObjectS(Lit("Object"), ((Lit("a"), LVar("v")),))
+        mem = SymJSMemory(((Lit(L1), obj),))
+        conc = interpret_memory({"v": 3}, mem)
+        assert conc.as_dict()[L1].get("a") == 3
+
+
+# -- property-based MA-RS / MA-RC (Def. 3.7) for the JS actions ---------------
+
+_keys = st.one_of(
+    st.sampled_from([Lit("a"), Lit("b"), Lit(0)]),
+    st.sampled_from([LVar("k1"), LVar("k2")]),
+)
+_vals = st.one_of(st.integers(-3, 3).map(Lit), st.sampled_from([LVar("v")]))
+
+
+@st.composite
+def _memories(draw):
+    objs = {}
+    for loc in (L1, L2):
+        if draw(st.booleans()):
+            n = draw(st.integers(0, 3))
+            props = []
+            used = []
+            for _ in range(n):
+                key = draw(_keys)
+                props.append((key, draw(_vals)))
+            objs[Lit(loc)] = JSObjectS(Lit("Object"), tuple(props))
+    return SymJSMemory(tuple(objs.items()))
+
+
+@st.composite
+def _envs(draw):
+    return {
+        "k1": draw(st.sampled_from(["a", "b", "c"])),
+        "k2": draw(st.sampled_from(["a", "b", "c"])),
+        "v": draw(st.integers(-3, 3)),
+    }
+
+
+_locs = st.sampled_from([Lit(L1), Lit(L2)])
+
+
+@given(memory=_memories(), env=_envs(), loc=_locs, key=_keys)
+@settings(max_examples=120, deadline=None)
+def test_getprop_ma_rs_rc(memory, env, loc, key):
+    report = check_action(
+        CONC, SYM, interpret_memory, env, memory, "getProp", lst(loc, key)
+    )
+    assert report.ok, report.detail
+
+
+@given(memory=_memories(), env=_envs(), loc=_locs, key=_keys, value=_vals)
+@settings(max_examples=120, deadline=None)
+def test_setprop_ma_rs_rc(memory, env, loc, key, value):
+    report = check_action(
+        CONC, SYM, interpret_memory, env, memory, "setProp", lst(loc, key, value)
+    )
+    assert report.ok, report.detail
+
+
+@given(memory=_memories(), env=_envs(), loc=_locs, key=_keys)
+@settings(max_examples=120, deadline=None)
+def test_delprop_ma_rs_rc(memory, env, loc, key):
+    report = check_action(
+        CONC, SYM, interpret_memory, env, memory, "delProp", lst(loc, key)
+    )
+    assert report.ok, report.detail
+
+
+@given(memory=_memories(), env=_envs(), loc=_locs)
+@settings(max_examples=80, deadline=None)
+def test_dispose_ma_rs_rc(memory, env, loc):
+    report = check_action(
+        CONC, SYM, interpret_memory, env, memory, "dispose", lst(loc)
+    )
+    assert report.ok, report.detail

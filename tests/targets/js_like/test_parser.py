@@ -1,0 +1,195 @@
+"""Tests for the MiniJS parser."""
+
+import pytest
+
+from repro.frontend.lexer import ParseError
+from repro.targets.js_like import ast
+from repro.targets.js_like.parser import parse_program
+
+
+def parse_main(body: str) -> ast.FunctionDef:
+    program = parse_program(f"function main() {{ {body} }}")
+    return program.functions[0]
+
+
+def first_stmt(body: str) -> ast.Statement:
+    return parse_main(body).body[0]
+
+
+def expr_of(text: str) -> ast.Expression:
+    stmt = first_stmt(f"var x = {text};")
+    assert isinstance(stmt, ast.VarDecl)
+    return stmt.init
+
+
+class TestFunctions:
+    def test_empty(self):
+        func = parse_main("")
+        assert func.name == "main" and func.body == ()
+
+    def test_params(self):
+        program = parse_program("function f(a, b) { return a; }")
+        assert program.functions[0].params == ("a", "b")
+
+    def test_multiple_functions(self):
+        program = parse_program("function f() {} function g() {}")
+        assert [f.name for f in program.functions] == ["f", "g"]
+
+
+class TestStatements:
+    def test_var_decl(self):
+        assert first_stmt("var x = 1;") == ast.VarDecl("x", ast.Literal(1))
+
+    def test_var_decl_no_init(self):
+        assert first_stmt("var x;") == ast.VarDecl("x", None)
+
+    def test_assignment(self):
+        stmt = first_stmt("var x = 0; x = 2;")
+        assert parse_main("var x = 0; x = 2;").body[1] == ast.AssignVar(
+            "x", ast.Literal(2)
+        )
+
+    def test_member_assignment(self):
+        stmt = parse_main("var o = {}; o.p = 1;").body[1]
+        assert stmt == ast.AssignMember(ast.Var("o"), ast.Literal("p"), ast.Literal(1))
+
+    def test_computed_member_assignment(self):
+        stmt = parse_main("var o = {}; o[1 + 1] = 2;").body[1]
+        assert isinstance(stmt, ast.AssignMember)
+        assert isinstance(stmt.prop, ast.Binary)
+
+    def test_increment_statement(self):
+        stmt = parse_main("var i = 0; i++;").body[1]
+        assert stmt == ast.AssignVar("i", ast.Binary("+", ast.Var("i"), ast.Literal(1)))
+
+    def test_compound_assignment(self):
+        stmt = parse_main("var i = 0; i += 3;").body[1]
+        assert stmt == ast.AssignVar("i", ast.Binary("+", ast.Var("i"), ast.Literal(3)))
+
+    def test_member_increment(self):
+        stmt = parse_main("var o = {}; o.n++;").body[1]
+        assert isinstance(stmt, ast.AssignMember)
+
+    def test_delete(self):
+        stmt = parse_main("var o = {}; delete o.p;").body[1]
+        assert stmt == ast.DeleteStmt(ast.Var("o"), ast.Literal("p"))
+
+    def test_delete_computed(self):
+        stmt = parse_main("var o = {}; delete o[1];").body[1]
+        assert stmt == ast.DeleteStmt(ast.Var("o"), ast.Literal(1))
+
+    def test_if_else_braceless(self):
+        stmt = first_stmt("if (true) return 1; else return 2;")
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_while(self):
+        assert isinstance(first_stmt("while (true) {}"), ast.WhileStmt)
+
+    def test_for_full(self):
+        stmt = first_stmt("for (var i = 0; i < 3; i++) {}")
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.init is not None and stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_sections(self):
+        stmt = first_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        stmt = first_stmt("while (true) { break; }")
+        assert isinstance(stmt.body[0], ast.BreakStmt)
+        stmt = first_stmt("while (true) { continue; }")
+        assert isinstance(stmt.body[0], ast.ContinueStmt)
+
+    def test_return_bare(self):
+        assert first_stmt("return;") == ast.ReturnStmt(None)
+
+    def test_assume_assert(self):
+        assert isinstance(first_stmt("assume(true);"), ast.AssumeStmt)
+        assert isinstance(first_stmt("assert(true);"), ast.AssertStmt)
+
+    def test_expression_statement(self):
+        stmt = parse_program(
+            "function f() {} function main() { f(); }"
+        ).functions[1].body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert expr_of("42") == ast.Literal(42)
+        assert expr_of('"s"') == ast.Literal("s")
+        assert expr_of("true") == ast.Literal(True)
+        assert expr_of("null") == ast.NullLit()
+        assert expr_of("undefined") == ast.Undefined()
+
+    def test_object_literal(self):
+        e = expr_of("{ a: 1, b: 2 }")
+        assert e == ast.ObjectLit((("a", ast.Literal(1)), ("b", ast.Literal(2))))
+
+    def test_array_literal(self):
+        e = expr_of("[1, 2]")
+        assert e == ast.ArrayLit((ast.Literal(1), ast.Literal(2)))
+
+    def test_member_dot_and_bracket(self):
+        assert expr_of("o.p") == ast.Member(ast.Var("o"), ast.Literal("p"))
+        assert expr_of("o[k]") == ast.Member(ast.Var("o"), ast.Var("k"))
+
+    def test_chained_members(self):
+        e = expr_of("o.a.b")
+        assert e == ast.Member(
+            ast.Member(ast.Var("o"), ast.Literal("a")), ast.Literal("b")
+        )
+
+    def test_call(self):
+        e = expr_of("f(1, x)")
+        assert e == ast.CallExpr(ast.Var("f"), (ast.Literal(1), ast.Var("x")))
+
+    def test_call_through_member(self):
+        e = expr_of("o.f(1)")
+        assert isinstance(e, ast.CallExpr)
+        assert isinstance(e.callee, ast.Member)
+
+    def test_strict_equality(self):
+        assert expr_of("a === b") == ast.Binary("===", ast.Var("a"), ast.Var("b"))
+        assert expr_of("a !== b") == ast.Binary("!==", ast.Var("a"), ast.Var("b"))
+
+    def test_precedence(self):
+        e = expr_of("1 + 2 * 3")
+        assert e == ast.Binary(
+            "+", ast.Literal(1), ast.Binary("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_logical_precedence(self):
+        e = expr_of("a && b || c")
+        assert e == ast.Binary("||", ast.Binary("&&", ast.Var("a"), ast.Var("b")), ast.Var("c"))
+
+    def test_conditional(self):
+        e = expr_of("c ? 1 : 2")
+        assert e == ast.Conditional(ast.Var("c"), ast.Literal(1), ast.Literal(2))
+
+    def test_unary(self):
+        assert expr_of("!b") == ast.Unary("!", ast.Var("b"))
+        assert expr_of("-x") == ast.Unary("-", ast.Var("x"))
+        assert expr_of("typeof x") == ast.Unary("typeof", ast.Var("x"))
+
+    def test_symbolic_inputs(self):
+        assert expr_of("symb_number()") == ast.SymbolicExpr("number")
+        assert expr_of("symb_int()") == ast.SymbolicExpr("int")
+        assert expr_of("symb_string()") == ast.SymbolicExpr("string")
+        assert expr_of("symb_bool()") == ast.SymbolicExpr("bool")
+        assert expr_of("symb()") == ast.SymbolicExpr(None)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("function main() { var x = 1 }")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_program("function main() { 1 = 2; }")
+
+    def test_delete_non_member(self):
+        with pytest.raises(ParseError):
+            parse_program("function main() { var x = 0; delete x; }")

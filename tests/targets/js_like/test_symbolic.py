@@ -1,0 +1,217 @@
+"""Symbolic testing of MiniJS programs (the Gillian-JS behaviours, §4.1)."""
+
+import pytest
+
+from repro.gil.values import Symbol
+from repro.targets.js_like import MiniJSLanguage
+from repro.testing.harness import SymbolicTester
+
+LANG = MiniJSLanguage()
+
+
+def run(source: str, entry: str = "main"):
+    return SymbolicTester(LANG).run_source(source, entry)
+
+
+class TestDynamicProperties:
+    def test_symbolic_key_branches_over_matches(self):
+        # [SGetProp - Branch]: a symbolic key matches each existing
+        # property or none.
+        result = run(
+            """
+            function main() {
+              var o = { a: 1, b: 2 };
+              var k = symb_string();
+              var v = o[k];
+              assert(v === 1 || v === 2 || v === undefined);
+            }"""
+        )
+        assert result.passed
+        assert result.paths == 3  # k = "a", k = "b", k fresh
+
+    def test_symbolic_key_write_then_read(self):
+        result = run(
+            """
+            function main() {
+              var o = {};
+              var k = symb_string();
+              o[k] = 42;
+              assert(o[k] === 42);
+            }"""
+        )
+        assert result.passed
+
+    def test_collision_found(self):
+        result = run(
+            """
+            function main() {
+              var k = symb_string();
+              var o = { secret: 1 };
+              o[k] = 2;
+              assert(o.secret === 1);
+            }"""
+        )
+        assert result.verdict == "bug"
+        bug = next(b for b in result.bugs if b.confirmed)
+        assert "secret" in bug.model.values()
+
+    def test_two_symbolic_keys_aliasing(self):
+        result = run(
+            """
+            function main() {
+              var o = {};
+              var k1 = symb_string();
+              var k2 = symb_string();
+              o[k1] = 1;
+              o[k2] = 2;
+              if (k1 === k2) { assert(o[k1] === 2); }
+              else { assert(o[k1] === 1 && o[k2] === 2); }
+            }"""
+        )
+        assert result.passed
+
+    def test_delete_with_symbolic_key(self):
+        result = run(
+            """
+            function main() {
+              var o = { a: 1, b: 2 };
+              var k = symb_string();
+              delete o[k];
+              assert(o.a === 1 || k === "a");
+              assert(o.b === 2 || k === "b");
+            }"""
+        )
+        assert result.passed
+
+    def test_has_prop_branches(self):
+        result = run(
+            """
+            function main() {
+              var o = { a: 1 };
+              var k = symb_string();
+              var h = has_prop(o, k);
+              if (h) { assert(k === "a"); }
+              else { assert(k !== "a"); }
+            }"""
+        )
+        assert result.passed
+
+
+class TestJSSemantics:
+    def test_plus_dispatch_symbolic_number(self):
+        result = run(
+            """
+            function main() {
+              var n = symb_number();
+              var m = n + 1;
+              assert(m === n + 1);
+            }"""
+        )
+        assert result.passed
+        assert result.paths == 1  # string branch pruned by typing
+
+    def test_plus_dispatch_symbolic_string(self):
+        result = run(
+            """
+            function main() {
+              var s = symb_string();
+              var t = s + "!";
+              assert(strlen(t) === strlen(s) + 1);
+            }"""
+        )
+        assert result.passed
+
+    def test_undefined_vs_null(self):
+        result = run(
+            """
+            function main() {
+              var o = { a: null };
+              assert(o.a !== undefined);
+              assert(o.b === undefined);
+              assert(o.a === null);
+            }"""
+        )
+        assert result.passed
+
+    def test_type_error_on_null_access_found(self):
+        result = run(
+            """
+            function find(o, k) { return o[k]; }
+            function main() {
+              var flag = symb_bool();
+              var o = flag ? { v: 1 } : null;
+              return find(o, "v");
+            }"""
+        )
+        assert result.verdict == "bug"
+        assert len(result.bugs) == 1  # only the null path errors
+        assert result.bugs[0].confirmed
+
+    def test_dispose_use_after_free(self):
+        result = run(
+            """
+            function main() {
+              var o = { v: 1 };
+              dispose(o);
+              return o.v;
+            }"""
+        )
+        assert result.verdict == "bug"
+
+    def test_metadata_arrays_vs_objects(self):
+        result = run(
+            """
+            function main() {
+              var a = [1];
+              var o = {};
+              assert(a.length === 1);
+              assert(o.length === undefined);
+            }"""
+        )
+        assert result.passed
+
+
+class TestComparatorCallbacks:
+    def test_dynamic_comparator_dispatch(self):
+        result = run(
+            """
+            function asc(a, b) { return a < b ? -1 : (b < a ? 1 : 0); }
+            function desc(a, b) { return asc(b, a); }
+            function pick_smaller(cmp, x, y) {
+              var c = cmp(x, y);
+              if (c <= 0) { return x; }
+              return y;
+            }
+            function main() {
+              var x = symb_int();
+              var y = symb_int();
+              assume(-3 <= x && x <= 3 && -3 <= y && y <= 3);
+              var lo = pick_smaller(asc, x, y);
+              var hi = pick_smaller(desc, x, y);
+              assert(lo <= hi);
+            }"""
+        )
+        assert result.passed
+
+
+class TestCalleeErrors:
+    def test_calling_a_number_is_a_type_error(self):
+        result = run(
+            """
+            function main() {
+              var f = 5;
+              return f();
+            }"""
+        )
+        assert result.verdict in ("bug", "potential-bug")
+
+    def test_calling_undefined_property_is_a_type_error(self):
+        result = run(
+            """
+            function main() {
+              var o = {};
+              var f = o.missing;
+              return f();
+            }"""
+        )
+        assert not result.passed

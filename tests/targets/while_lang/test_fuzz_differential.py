@@ -1,0 +1,232 @@
+"""Differential fuzzing of the While compiler (E5, randomized).
+
+Hypothesis generates random While programs (arithmetic, branching,
+bounded loops, object create/lookup/mutate/dispose — including programs
+that fault); each is executed by the source-level reference interpreter
+and by concrete GIL execution of the compiled program, and the outcomes
+must agree.  This is the randomized arm of the compiler-trustworthiness
+argument (the paper's Test262-style methodology).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.explorer import Explorer
+from repro.gil.semantics import OutcomeKind
+from repro.gil.values import Symbol, values_equal
+from repro.logic.expr import BinOp, BinOpExpr, Expr, Lit, PVar, UnOp, UnOpExpr
+from repro.state.concrete import ConcreteStateModel
+from repro.targets.while_lang import WhileLanguage, ast
+from repro.targets.while_lang.compiler import compile_program
+from repro.targets.while_lang.interpreter import WhileInterpreter
+
+LANG = WhileLanguage()
+
+#: Numeric variables (always initialised first) and object variables.
+_NUM_VARS = ["a", "b", "c"]
+_OBJ_VARS = ["o", "p"]
+_PROPS = ["x", "y"]
+
+_num_expr_leaf = st.one_of(
+    st.integers(-5, 5).map(Lit),
+    st.sampled_from([PVar(v) for v in _NUM_VARS]),
+)
+
+
+def _num_exprs(depth: int):
+    if depth == 0:
+        return _num_expr_leaf
+    sub = _num_exprs(depth - 1)
+    return st.one_of(
+        _num_expr_leaf,
+        st.tuples(st.sampled_from([BinOp.ADD, BinOp.SUB, BinOp.MUL]), sub, sub).map(
+            lambda t: BinOpExpr(*t)
+        ),
+        sub.map(lambda e: UnOpExpr(UnOp.NEG, e)),
+    )
+
+
+_conditions = st.tuples(
+    st.sampled_from([BinOp.LT, BinOp.LEQ, BinOp.EQ]),
+    _num_exprs(1),
+    _num_exprs(1),
+).map(lambda t: BinOpExpr(*t))
+
+
+@st.composite
+def _statements(draw, depth: int) -> ast.Stmt:
+    choices = ["assign", "mutate", "lookup", "new", "dispose"]
+    if depth > 0:
+        choices += ["if", "while"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "assign":
+        return ast.Assign(draw(st.sampled_from(_NUM_VARS)), draw(_num_exprs(2)))
+    if kind == "new":
+        props = tuple(
+            (p, draw(_num_exprs(1)))
+            for p in draw(st.sets(st.sampled_from(_PROPS), max_size=2))
+        )
+        return ast.New(draw(st.sampled_from(_OBJ_VARS)), props)
+    if kind == "mutate":
+        return ast.Mutate(
+            PVar(draw(st.sampled_from(_OBJ_VARS))),
+            draw(st.sampled_from(_PROPS)),
+            draw(_num_exprs(1)),
+        )
+    if kind == "lookup":
+        return ast.Lookup(
+            draw(st.sampled_from(_NUM_VARS)),
+            PVar(draw(st.sampled_from(_OBJ_VARS))),
+            draw(st.sampled_from(_PROPS)),
+        )
+    if kind == "dispose":
+        return ast.Dispose(PVar(draw(st.sampled_from(_OBJ_VARS))))
+    if kind == "if":
+        then_body = tuple(
+            draw(_statements(depth - 1)) for _ in range(draw(st.integers(1, 2)))
+        )
+        else_body = tuple(
+            draw(_statements(depth - 1)) for _ in range(draw(st.integers(0, 2)))
+        )
+        return ast.If(draw(_conditions), then_body, else_body)
+    # Bounded while: i := 0; while (i < k) { body; i := i + 1; } — the
+    # counter variable is dedicated so generated bodies can't unbound it.
+    body = tuple(
+        draw(_statements(depth - 1)) for _ in range(draw(st.integers(1, 2)))
+    )
+    bound = draw(st.integers(1, 3))
+    return ast.While(
+        PVar("loop_i").lt(Lit(bound)),
+        body + (ast.Assign("loop_i", PVar("loop_i") + 1),),
+    )
+
+
+@st.composite
+def _programs(draw) -> ast.Program:
+    header = [
+        ast.Assign("a", Lit(draw(st.integers(-3, 3)))),
+        ast.Assign("b", Lit(draw(st.integers(-3, 3)))),
+        ast.Assign("c", Lit(0)),
+        ast.Assign("loop_i", Lit(0)),
+        ast.New("o", (("x", Lit(1)),)),
+        ast.New("p", ()),
+    ]
+    body = [draw(_statements(2)) for _ in range(draw(st.integers(1, 5)))]
+    footer = [
+        ast.ReturnStmt(
+            BinOpExpr(BinOp.ADD, PVar("a"), BinOpExpr(BinOp.ADD, PVar("b"), PVar("c")))
+        )
+    ]
+    # Reset the loop counter before each top-level statement so nested
+    # whiles terminate regardless of interleaving.
+    stmts: list = list(header)
+    for s in body:
+        stmts.append(ast.Assign("loop_i", Lit(0)))
+        stmts.append(s)
+    stmts += footer
+    return ast.Program((ast.ProcDef("main", (), tuple(stmts)),))
+
+
+@given(program=_programs())
+@settings(max_examples=250, deadline=None)
+def test_interpreter_and_compiled_gil_agree(program):
+    ref = WhileInterpreter().run(program, "main")
+    prog = compile_program(program)
+    sm = ConcreteStateModel(LANG.concrete_memory())
+    result = Explorer(prog, sm).run("main")
+
+    if ref.kind == "vanish":
+        assert result.finals == []
+        return
+    out = result.sole_outcome
+    expected_kind = OutcomeKind.NORMAL if ref.kind == "normal" else OutcomeKind.ERROR
+    assert out.kind is expected_kind, (ref, out)
+    if ref.kind == "normal":
+        if isinstance(ref.value, Symbol):
+            assert isinstance(out.value, Symbol)
+        else:
+            assert values_equal(out.value, ref.value), (ref.value, out.value)
+    else:
+        # Error *classes* must agree (location names differ by allocator).
+        ref_tag = ref.value[0] if isinstance(ref.value, tuple) else str(ref.value)
+        out_tag = out.value[0] if isinstance(out.value, tuple) else str(out.value)
+        if isinstance(ref_tag, str) and isinstance(out_tag, str):
+            assert ref_tag.split(":")[0] == out_tag.split(":")[0] or (
+                "eval-error" in ref_tag and "eval-error" in out_tag
+            ), (ref.value, out.value)
+
+
+# -- completeness: symbolic execution covers every concrete run ----------------
+#
+# Theorem 3.6's completeness direction, randomized: for a program with
+# symbolic inputs, any concrete run (under any inputs) must be covered by
+# some symbolic final — same outcome kind, with a path condition the
+# concrete inputs satisfy.
+
+from repro.engine.config import EngineConfig
+from repro.gil.ops import EvalError, evaluate
+from repro.state.allocator import ConcreteAllocator, isym_name
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+
+@st.composite
+def _symbolic_programs(draw) -> ast.Program:
+    header = [
+        ast.SymbolicInput("a", "int"),
+        ast.SymbolicInput("b", "int"),
+        ast.Assign("c", Lit(0)),
+        ast.Assign("loop_i", Lit(0)),
+        ast.New("o", (("x", Lit(1)),)),
+        ast.New("p", ()),
+    ]
+    stmts: list = list(header)
+    for _ in range(draw(st.integers(1, 4))):
+        stmts.append(ast.Assign("loop_i", Lit(0)))
+        stmts.append(draw(_statements(1)))
+    stmts.append(
+        ast.ReturnStmt(
+            BinOpExpr(BinOp.ADD, PVar("a"), BinOpExpr(BinOp.ADD, PVar("b"), PVar("c")))
+        )
+    )
+    return ast.Program((ast.ProcDef("main", (), tuple(stmts)),))
+
+
+@given(
+    program=_symbolic_programs(),
+    a=st.integers(-3, 3),
+    b=st.integers(-3, 3),
+)
+@settings(max_examples=120, deadline=None)
+def test_symbolic_covers_concrete(program, a, b):
+    prog = compile_program(program)
+
+    # Concrete run under the chosen inputs.
+    from repro.gil.syntax import ISym
+
+    sites = sorted(
+        cmd.site
+        for proc in prog.procs.values()
+        for cmd in proc.body
+        if isinstance(cmd, ISym)
+    )
+    env = {isym_name(site, 0): value for site, value in zip(sites, (a, b))}
+    conc_sm = ConcreteStateModel(
+        LANG.concrete_memory(), ConcreteAllocator(script=env)
+    )
+    conc = Explorer(prog, conc_sm).run("main").sole_outcome
+
+    # Symbolic run: some final must cover it.
+    sym_sm = SymbolicStateModel(WhileSymbolicMemory())
+    sym = Explorer(prog, sym_sm, EngineConfig()).run("main")
+
+    covering = []
+    for fin in sym.finals:
+        if fin.kind is not conc.kind:
+            continue
+        try:
+            if all(evaluate(c, lvar_env=env) is True for c in fin.state.pc.conjuncts):
+                covering.append(fin)
+        except EvalError:
+            continue
+    assert covering, (conc, [f.state.pc for f in sym.finals])

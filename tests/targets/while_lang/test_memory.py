@@ -1,0 +1,151 @@
+"""Unit tests for the While memory models (paper §2.4, Figure 3)."""
+
+import pytest
+
+from repro.gil.values import Symbol
+from repro.logic.expr import Lit, LVar, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.state.interface import MemErr, MemOk, SymMemErr, SymMemOk
+from repro.targets.while_lang.memory import (
+    SymWhileMemory,
+    WhileConcreteMemory,
+    WhileSymbolicMemory,
+)
+
+CONC = WhileConcreteMemory()
+SYM = WhileSymbolicMemory()
+L1, L2 = Symbol("l1"), Symbol("l2")
+
+
+class TestConcrete:
+    def test_mutate_then_lookup(self):
+        mem = CONC.initial()
+        (b1,) = CONC.execute("mutate", mem, (L1, "p", 7))
+        (b2,) = CONC.execute("lookup", b1.memory, (L1, "p"))
+        assert isinstance(b2, MemOk) and b2.value == 7
+
+    def test_lookup_missing_errors(self):
+        (b,) = CONC.execute("lookup", CONC.initial(), (L1, "p"))
+        assert isinstance(b, MemErr)
+        assert b.value[0] == "missing-property"
+
+    def test_mutate_overwrites(self):
+        mem = CONC.initial()
+        (b1,) = CONC.execute("mutate", mem, (L1, "p", 1))
+        (b2,) = CONC.execute("mutate", b1.memory, (L1, "p", 2))
+        (b3,) = CONC.execute("lookup", b2.memory, (L1, "p"))
+        assert b3.value == 2
+
+    def test_dispose_removes_all_props(self):
+        mem = CONC.initial()
+        (b1,) = CONC.execute("mutate", mem, (L1, "p", 1))
+        (b2,) = CONC.execute("mutate", b1.memory, (L1, "q", 2))
+        (b3,) = CONC.execute("dispose", b2.memory, (L1,))
+        (b4,) = CONC.execute("lookup", b3.memory, (L1, "p"))
+        assert isinstance(b4, MemErr)
+
+    def test_dispose_missing_errors(self):
+        (b,) = CONC.execute("dispose", CONC.initial(), (L1,))
+        assert isinstance(b, MemErr)
+        assert b.value[0] == "missing-object"
+
+    def test_dispose_spares_other_objects(self):
+        mem = CONC.initial()
+        (b1,) = CONC.execute("mutate", mem, (L1, "p", 1))
+        (b2,) = CONC.execute("mutate", b1.memory, (L2, "p", 2))
+        (b3,) = CONC.execute("dispose", b2.memory, (L1,))
+        (b4,) = CONC.execute("lookup", b3.memory, (L2, "p"))
+        assert b4.value == 2
+
+    def test_non_symbol_location_rejected(self):
+        from repro.gil.ops import EvalError
+
+        with pytest.raises(EvalError):
+            CONC.execute("lookup", CONC.initial(), (42, "p"))
+
+
+class TestSymbolicLookupBranching:
+    def _mem(self, cells):
+        return SymWhileMemory.of(cells)
+
+    def test_literal_locations_fold(self):
+        # Distinct symbols: no branching, direct hit.
+        mem = self._mem({(Lit(L1), "p"): Lit(1), (Lit(L2), "p"): Lit(2)})
+        branches = SYM.execute(
+            "lookup", mem, lst(L1, "p"), PathCondition.true(), Solver()
+        )
+        assert len(branches) == 1
+        assert branches[0].expr == Lit(1)
+
+    def test_symbolic_location_branches(self):
+        loc = LVar("l")
+        mem = self._mem({(Lit(L1), "p"): Lit(1), (Lit(L2), "p"): Lit(2)})
+        branches = SYM.execute(
+            "lookup", mem, lst(loc, "p"), PathCondition.true(), Solver()
+        )
+        # l = L1, l = L2, or l matches neither (error).
+        assert len(branches) == 3
+        kinds = [type(b).__name__ for b in branches]
+        assert kinds.count("SymMemOk") == 2 and kinds.count("SymMemErr") == 1
+
+    def test_learned_equalities(self):
+        loc = LVar("l")
+        mem = self._mem({(Lit(L1), "p"): Lit(1)})
+        branches = SYM.execute(
+            "lookup", mem, lst(loc, "p"), PathCondition.true(), Solver()
+        )
+        ok = next(b for b in branches if isinstance(b, SymMemOk))
+        assert ok.learned == (loc.eq(Lit(L1)),)
+
+    def test_pc_prunes_impossible_branch(self):
+        loc = LVar("l")
+        pc = PathCondition.of(loc.eq(Lit(L1)))
+        mem = self._mem({(Lit(L1), "p"): Lit(1), (Lit(L2), "p"): Lit(2)})
+        branches = SYM.execute("lookup", mem, lst(loc, "p"), pc, Solver())
+        assert len(branches) == 1
+        assert branches[0].expr == Lit(1)
+
+
+class TestSymbolicMutate:
+    def test_absent_branch_adds_cell(self):
+        mem = SymWhileMemory.of({(Lit(L1), "p"): Lit(1)})
+        branches = SYM.execute(
+            "mutate", mem, lst(L2, "p", Lit(9)), PathCondition.true(), Solver()
+        )
+        # L2 provably differs from L1: single absent-branch.
+        assert len(branches) == 1
+        assert len(branches[0].memory.cells) == 2
+
+    def test_present_branch_updates(self):
+        mem = SymWhileMemory.of({(Lit(L1), "p"): Lit(1)})
+        branches = SYM.execute(
+            "mutate", mem, lst(L1, "p", Lit(9)), PathCondition.true(), Solver()
+        )
+        assert len(branches) == 1
+        assert dict(branches[0].memory.cells)[(Lit(L1), "p")] == Lit(9)
+
+    def test_symbolic_location_mutate_branches(self):
+        loc = LVar("l")
+        mem = SymWhileMemory.of({(Lit(L1), "p"): Lit(1)})
+        branches = SYM.execute(
+            "mutate", mem, lst(loc, "p", Lit(9)), PathCondition.true(), Solver()
+        )
+        assert len(branches) == 2  # update L1's cell, or add a fresh cell
+
+
+class TestSymbolicDispose:
+    def test_aliased_locations_all_removed(self):
+        # The case the MA-RS harness caught: a symbolic location aliasing
+        # a literal one must be disposed together with it.
+        loc = LVar("l")
+        mem = SymWhileMemory.of(
+            {(Lit(L1), "a"): Lit(0), (loc, "b"): Lit(0)}
+        )
+        branches = SYM.execute(
+            "dispose", mem, lst(L1), PathCondition.true(), Solver()
+        )
+        ok_branches = [b for b in branches if isinstance(b, SymMemOk)]
+        # One branch where l = L1 (both cells gone), one where l ≠ L1.
+        sizes = sorted(len(b.memory.cells) for b in ok_branches)
+        assert sizes == [0, 1]

@@ -1,0 +1,157 @@
+"""Tests for the While parser."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, ParseError
+from repro.gil.values import NULL
+from repro.logic.expr import BinOp, BinOpExpr, EList, Lit, PVar, UnOp, UnOpExpr
+from repro.targets.while_lang import ast
+from repro.targets.while_lang.parser import parse_program
+
+
+def parse_main(body: str) -> ast.ProcDef:
+    program = parse_program(f"proc main() {{ {body} }}")
+    assert len(program.procs) == 1
+    return program.procs[0]
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_main(body).body[0]
+
+
+class TestProcedures:
+    def test_empty_proc(self):
+        proc = parse_main("")
+        assert proc.name == "main" and proc.params == () and proc.body == ()
+
+    def test_params(self):
+        program = parse_program("proc f(a, b, c) { return a; }")
+        assert program.procs[0].params == ("a", "b", "c")
+
+    def test_multiple_procs(self):
+        program = parse_program("proc f() { skip; } proc g() { skip; }")
+        assert [p.name for p in program.procs] == ["f", "g"]
+
+
+class TestStatements:
+    def test_skip(self):
+        assert isinstance(first_stmt("skip;"), ast.Skip)
+
+    def test_assignment(self):
+        stmt = first_stmt("x := 1 + 2;")
+        assert stmt == ast.Assign("x", Lit(1) + Lit(2))
+
+    def test_if_else(self):
+        stmt = first_stmt("if (x < 1) { y := 1; } else { y := 2; }")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        stmt = first_stmt("if (x < 1) { y := 1; }")
+        assert isinstance(stmt, ast.If) and stmt.else_body == ()
+
+    def test_while(self):
+        stmt = first_stmt("while (i < 10) { i := i + 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_return(self):
+        assert first_stmt("return 5;") == ast.ReturnStmt(Lit(5))
+
+    def test_assume_assert(self):
+        assert isinstance(first_stmt("assume(x < 1);"), ast.Assume)
+        assert isinstance(first_stmt("assert(x < 1);"), ast.Assert)
+
+    def test_call(self):
+        stmt = first_stmt("r := f(1, x);")
+        assert stmt == ast.CallStmt("r", "f", (Lit(1), PVar("x")))
+
+    def test_object_literal(self):
+        stmt = first_stmt('o := { a: 1, b: "two" };')
+        assert stmt == ast.New("o", (("a", Lit(1)), ("b", Lit("two"))))
+
+    def test_empty_object(self):
+        assert first_stmt("o := {};") == ast.New("o", ())
+
+    def test_lookup(self):
+        assert first_stmt("v := o.prop;") == ast.Lookup("v", PVar("o"), "prop")
+
+    def test_mutate(self):
+        assert first_stmt("o.prop := 3;") == ast.Mutate(PVar("o"), "prop", Lit(3))
+
+    def test_dispose(self):
+        assert first_stmt("dispose(o);") == ast.Dispose(PVar("o"))
+
+    def test_symbolic_inputs(self):
+        assert first_stmt("x := symb();") == ast.SymbolicInput("x", None)
+        assert first_stmt("x := symb_number();") == ast.SymbolicInput("x", "number")
+        assert first_stmt("x := symb_string();") == ast.SymbolicInput("x", "string")
+        assert first_stmt("x := symb_bool();") == ast.SymbolicInput("x", "bool")
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        stmt = first_stmt(f"x := {text};")
+        assert isinstance(stmt, ast.Assign)
+        return stmt.expr
+
+    def test_precedence_mul_over_add(self):
+        assert self.expr("1 + 2 * 3") == Lit(1) + (Lit(2) * Lit(3))
+
+    def test_precedence_cmp_over_and(self):
+        e = self.expr("a < b and c < d")
+        assert e == (PVar("a").lt(PVar("b"))).and_(PVar("c").lt(PVar("d")))
+
+    def test_parentheses(self):
+        assert self.expr("(1 + 2) * 3") == (Lit(1) + Lit(2)) * Lit(3)
+
+    def test_unary_minus_and_not(self):
+        assert self.expr("-x") == UnOpExpr(UnOp.NEG, PVar("x"))
+        assert self.expr("not b") == UnOpExpr(UnOp.NOT, PVar("b"))
+
+    def test_equality_and_diseq(self):
+        assert self.expr("a = b") == PVar("a").eq(PVar("b"))
+        assert self.expr("a != b") == PVar("a").neq(PVar("b"))
+
+    def test_gt_ge_desugar(self):
+        assert self.expr("a > b") == PVar("b").lt(PVar("a"))
+        assert self.expr("a >= b") == PVar("b").leq(PVar("a"))
+
+    def test_literals(self):
+        assert self.expr("true") == Lit(True)
+        assert self.expr("false") == Lit(False)
+        assert self.expr("null") == Lit(NULL)
+        assert self.expr("3.5") == Lit(3.5)
+        assert self.expr('"hi"') == Lit("hi")
+
+    def test_list_literal(self):
+        assert self.expr("[1, x]") == EList((Lit(1), PVar("x")))
+
+    def test_builtins(self):
+        assert self.expr("len(xs)") == UnOpExpr(UnOp.LSTLEN, PVar("xs"))
+        assert self.expr("nth(xs, 0)") == BinOpExpr(BinOp.LNTH, PVar("xs"), Lit(0))
+        assert self.expr('s ++ "x"') == BinOpExpr(BinOp.SCONCAT, PVar("s"), Lit("x"))
+
+    def test_string_concat_vs_add(self):
+        e = self.expr("a ++ b + c")
+        # ++ and + are the same precedence tier, left-assoc.
+        assert e == BinOpExpr(BinOp.ADD, BinOpExpr(BinOp.SCONCAT, PVar("a"), PVar("b")), PVar("c"))
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("proc main() { x := 1 }")
+
+    def test_keyword_as_expression(self):
+        with pytest.raises(ParseError):
+            parse_program("proc main() { x := while; }")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            parse_program('proc main() { x := "oops; }')
+
+    def test_comments_are_skipped(self):
+        program = parse_program(
+            "proc main() { // line comment\n /* block */ x := 1; }"
+        )
+        assert len(program.procs[0].body) == 1

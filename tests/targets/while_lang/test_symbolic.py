@@ -1,0 +1,183 @@
+"""Symbolic testing of While programs end to end (paper §2, §3.3)."""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.testing.harness import SymbolicTester
+from repro.targets.while_lang import WhileLanguage
+
+LANG = WhileLanguage()
+
+
+def run(source: str, entry: str = "main", **kw) -> "TestResult":
+    return SymbolicTester(LANG, **kw).run_source(source, entry)
+
+
+class TestBoundedVerification:
+    def test_abs_is_nonnegative(self):
+        result = run(
+            """
+            proc main() {
+              n := symb_number();
+              if (n < 0) { a := -n; } else { a := n; }
+              assert(0 <= a);
+            }"""
+        )
+        assert result.passed and result.paths == 2
+
+    def test_max_of_two(self):
+        result = run(
+            """
+            proc max2(a, b) { if (a < b) { return b; } else { return a; } }
+            proc main() {
+              a := symb_number(); b := symb_number();
+              m := max2(a, b);
+              assert(a <= m and b <= m);
+              assert(m = a or m = b);
+            }"""
+        )
+        assert result.passed
+
+    def test_loop_with_symbolic_bound(self):
+        result = run(
+            """
+            proc main() {
+              n := symb_int();
+              assume(0 <= n and n <= 4);
+              i := 0; total := 0;
+              while (i < n) { total := total + 1; i := i + 1; }
+              assert(total = n);
+            }"""
+        )
+        assert result.passed
+        assert result.paths == 5  # n ∈ {0, 1, 2, 3, 4}
+
+    def test_object_properties_with_symbolic_values(self):
+        result = run(
+            """
+            proc main() {
+              v := symb_number();
+              o := { data: v, count: 0 };
+              o.count := 1;
+              d := o.data; c := o.count;
+              assert(d = v and c = 1);
+            }"""
+        )
+        assert result.passed
+
+
+class TestBugFinding:
+    def test_boundary_bug_found_with_counter_model(self):
+        result = run(
+            """
+            proc main() {
+              n := symb_number();
+              assume(0 <= n and n <= 10);
+              assert(n != 10);
+            }"""
+        )
+        assert result.verdict == "bug"
+        bug = result.bugs[0]
+        assert bug.model is not None and bug.model["val_0_0"] == 10
+        assert bug.confirmed
+
+    def test_use_after_dispose_found(self):
+        result = run(
+            """
+            proc main() {
+              o := { a: 1 };
+              flag := symb_bool();
+              if (flag) { dispose(o); }
+              x := o.a;
+              return x;
+            }"""
+        )
+        assert result.verdict == "bug"
+        assert any(b.confirmed for b in result.bugs)
+        # The non-disposing path is fine: exactly one error.
+        assert len(result.bugs) == 1
+
+    def test_all_violating_paths_reported(self):
+        result = run(
+            """
+            proc main() {
+              a := symb_bool(); b := symb_bool();
+              assert(a); assert(b);
+            }"""
+        )
+        # Paths: a=false; a=true,b=false — two violations.
+        assert len(result.bugs) == 2
+
+    def test_no_false_positive_on_infeasible_path(self):
+        result = run(
+            """
+            proc main() {
+              n := symb_number();
+              assume(n < 0);
+              if (0 <= n) { assert(false); }
+              return n;
+            }"""
+        )
+        assert result.passed
+
+
+class TestEngineBounds:
+    def test_nonterminating_loop_is_bounded(self):
+        config = EngineConfig(max_steps_per_path=500)
+        result = SymbolicTester(LANG, config=config).run_source(
+            "proc main() { while (true) { x := 1; } }", "main"
+        )
+        assert result.passed  # no bug reported, path dropped at the bound
+        assert result.stats.paths_dropped >= 1
+
+    def test_command_counts_are_reported(self):
+        result = run("proc main() { x := 1; return x; }")
+        assert result.stats.commands_executed >= 2
+
+
+class TestMultiplePathsStatistics:
+    def test_path_explosion_is_complete_up_to_bound(self):
+        result = run(
+            """
+            proc main() {
+              a := symb_bool(); b := symb_bool(); c := symb_bool();
+              count := 0;
+              if (a) { count := count + 1; }
+              if (b) { count := count + 1; }
+              if (c) { count := count + 1; }
+              assert(count <= 3);
+              return count;
+            }"""
+        )
+        assert result.passed
+        assert result.paths == 8
+
+
+class TestSymbolicLists:
+    def test_cons_head_tail_laws(self):
+        result = run(
+            """
+            proc main() {
+              xs := symb();
+              assume(typeof(xs) = typeof([1]));
+              assume(len(xs) = 2);
+              ys := cons(0, xs);
+              assert(len(ys) = 3);
+              assert(hd(ys) = 0);
+              assert(tl(ys) = xs);
+            }"""
+        )
+        assert result.passed
+
+    def test_concat_lengths(self):
+        result = run(
+            """
+            proc main() {
+              xs := symb();
+              assume(typeof(xs) = typeof([1]));
+              n := len(xs);
+              ys := [1, 2];
+              assert(len(xs) + 2 = n + len(ys));
+            }"""
+        )
+        assert result.passed

@@ -1,0 +1,75 @@
+"""The documented public API is importable and wired correctly."""
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+    assert repro.__version__
+
+
+def test_subpackage_exports():
+    import importlib
+
+    for package in (
+        "repro.gil",
+        "repro.logic",
+        "repro.state",
+        "repro.engine",
+        "repro.testing",
+        "repro.soundness",
+        "repro.frontend",
+        "repro.targets",
+    ):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{package}.{name}"
+
+
+def test_unknown_attribute_raises():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.NotAThing
+    import repro.gil
+
+    with pytest.raises(AttributeError):
+        repro.gil.NotAThing
+
+
+def test_readme_quickstart_runs():
+    from repro import SymbolicTester, WhileLanguage
+
+    source = """
+    proc main() {
+      n := symb_int();
+      assume(0 <= n and n <= 100);
+      assert(n * n < 10000);
+    }
+    """
+    result = SymbolicTester(WhileLanguage()).run_source(source, "main")
+    assert result.verdict == "bug"
+    assert result.bugs[0].model == {"val_0_0": 100}
+    assert result.bugs[0].confirmed
+
+
+def test_readme_minic_example_runs():
+    from repro import MiniCLanguage, SymbolicTester
+
+    source = """
+    int main() {
+      int *a = (int *) malloc(3 * sizeof(int));
+      int i = symb_int();
+      assume(0 <= i && i <= 3);
+      a[i] = 1;
+      free(a);
+      return 0;
+    }
+    """
+    result = SymbolicTester(MiniCLanguage()).run_source(source, "main")
+    assert result.verdict == "bug"
+    assert result.bugs[0].model == {"val_1_0": 3}
