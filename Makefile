@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src:.
+
+.PHONY: test bench bench-solver clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench: bench-solver
+	$(PYTHON) -m pytest benchmarks -q
+
+bench-solver:
+	$(PYTHON) benchmarks/bench_solver.py
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache src/*.egg-info

@@ -1,0 +1,216 @@
+"""Solver benchmark: incremental prefix solving vs the monolithic ablation.
+
+Runs the Table 1 (Buckets-style MiniJS) and Table 2 (Collections-C-style
+MiniC) symbolic-testing workloads twice in the same process — once with
+the incremental layer enabled (per-prefix solver contexts, delta-only
+normalisation, parent-model reuse) and once with ``solver_incremental``
+ablated (every query re-solves the whole conjunction) — and reports:
+
+* solver wall time per configuration (``SolverStats.solve_time``);
+* query counts and hit rates, where a "hit" is any query answered
+  without running a solve pipeline (frozenset cache hit, solved-prefix
+  hit, or parent-model reuse);
+* a **differential check**: every query issued during the incremental
+  run is recorded and replayed through a fresh monolithic solver; the
+  verdicts must be identical.
+
+Emits ``BENCH_solver.json`` next to the repository root.  Acceptance
+target (ISSUE): ≥2× reduction in solver wall time OR ≥2× higher hit
+rate for the incremental configuration, with a clean differential.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_solver.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.engine.config import EngineConfig, gillian
+from repro.logic.pathcond import PathCondition
+from repro.logic.simplify import Simplifier
+from repro.logic.solver import SatResult, Solver
+from repro.testing.harness import SymbolicTester
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_solver.json",
+)
+
+
+class RecordingTester(SymbolicTester):
+    """A tester whose solvers log every (conjuncts, verdict) query."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.query_log: List[Tuple[Tuple, str]] = []
+        self.solvers: List[Solver] = []
+
+    def make_solver(self) -> Solver:
+        solver = super().make_solver()
+        self.solvers.append(solver)
+        if self.query_log is not None:
+            log = self.query_log
+            orig_check = solver.check
+
+            def check(pc):
+                result = orig_check(pc)
+                key = (
+                    tuple(pc.conjuncts)
+                    if isinstance(pc, PathCondition)
+                    else tuple(pc)
+                )
+                log.append((key, result.name))
+                return result
+
+            solver.check = check
+        return solver
+
+
+def workloads():
+    from repro.targets.c_like import MiniCLanguage
+    from repro.targets.c_like.collections import suites as c_suites
+    from repro.targets.js_like import MiniJSLanguage
+    from repro.targets.js_like.buckets import suites as js_suites
+
+    out = []
+    js = MiniJSLanguage()
+    for name in js_suites.suite_names():
+        source, tests = js_suites.suite(name)
+        out.append((js, f"table1/{name}", source, tests))
+    c = MiniCLanguage()
+    for name in c_suites.suite_names():
+        source, tests = c_suites.suite(name)
+        out.append((c, f"table2/{name}", source, tests))
+    return out
+
+
+def run_config(config: EngineConfig, record: bool) -> Dict:
+    """Run every workload suite under ``config``; aggregate solver stats."""
+    agg = {
+        "queries": 0,
+        "cache_hits": 0,
+        "prefix_hits": 0,
+        "model_reuse_hits": 0,
+        "unsat_inherited": 0,
+        "incremental_solves": 0,
+        "monolithic_solves": 0,
+        "solver_time": 0.0,
+        "wall_time": 0.0,
+        "commands": 0,
+        "suites": {},
+    }
+    query_log: List[Tuple[Tuple, str]] = []
+    for language, name, source, tests in workloads():
+        tester = RecordingTester(language, config=config, replay=False)
+        if not record:
+            tester.query_log = None
+        prog = language.compile(source)
+        suite_time = 0.0
+        for test in tests:
+            result = tester.run_test(prog, test)
+            agg["commands"] += result.stats.commands_executed
+            agg["wall_time"] += result.stats.wall_time
+            suite_time += result.stats.wall_time
+        for solver in tester.solvers:
+            s = solver.stats
+            agg["queries"] += s.queries
+            agg["cache_hits"] += s.cache_hits
+            agg["prefix_hits"] += s.prefix_hits
+            agg["model_reuse_hits"] += s.model_reuse_hits
+            agg["unsat_inherited"] += s.unsat_inherited
+            agg["incremental_solves"] += s.incremental_solves
+            agg["monolithic_solves"] += s.monolithic_solves
+            agg["solver_time"] += s.solve_time
+        agg["suites"][name] = round(suite_time, 4)
+        if record:
+            query_log.extend(tester.query_log)
+    hits = agg["cache_hits"] + agg["prefix_hits"] + agg["model_reuse_hits"]
+    agg["hit_rate"] = round(hits / agg["queries"], 4) if agg["queries"] else 0.0
+    agg["solver_time"] = round(agg["solver_time"], 4)
+    agg["wall_time"] = round(agg["wall_time"], 4)
+    return {"stats": agg, "query_log": query_log}
+
+
+def differential(query_log: List[Tuple[Tuple, str]]) -> Dict:
+    """Replay recorded queries through a fresh monolithic solver."""
+    unique: Dict[Tuple, str] = {}
+    for key, verdict in query_log:
+        unique.setdefault(key, verdict)
+    monolithic = Solver(
+        simplifier=Simplifier(memoise=True),
+        cache_enabled=False,
+        incremental=False,
+    )
+    mismatches = []
+    for key, verdict in unique.items():
+        replayed = monolithic.check(list(key)).name
+        if replayed != verdict:
+            mismatches.append(
+                {"pc": [repr(c) for c in key], "incremental": verdict,
+                 "monolithic": replayed}
+            )
+    return {
+        "queries_recorded": len(query_log),
+        "unique_queries": len(unique),
+        "mismatches": mismatches,
+        "identical": not mismatches,
+    }
+
+
+def main() -> int:
+    print("== incremental configuration ==")
+    inc = run_config(gillian(), record=True)
+    print(json.dumps(inc["stats"], indent=2))
+
+    print("== ablation: solver_incremental=False ==")
+    abl = run_config(gillian(solver_incremental=False), record=False)
+    print(json.dumps(abl["stats"], indent=2))
+
+    diff = differential(inc["query_log"])
+    print(
+        f"differential: {diff['unique_queries']} unique queries, "
+        f"{len(diff['mismatches'])} mismatches"
+    )
+
+    inc_stats, abl_stats = inc["stats"], abl["stats"]
+    speedup = (
+        abl_stats["solver_time"] / inc_stats["solver_time"]
+        if inc_stats["solver_time"]
+        else float("inf")
+    )
+    hit_gain = (
+        inc_stats["hit_rate"] / abl_stats["hit_rate"]
+        if abl_stats["hit_rate"]
+        else float("inf")
+    )
+    report = {
+        "benchmark": "bench_solver",
+        "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
+        "incremental": inc_stats,
+        "ablation_no_incremental": abl_stats,
+        "solver_time_speedup": round(speedup, 3),
+        "hit_rate_gain": round(hit_gain, 3),
+        "differential": diff,
+        "acceptance": {
+            "target": "speedup >= 2.0 or hit_rate_gain >= 2.0, differential identical",
+            "passed": (speedup >= 2.0 or hit_gain >= 2.0) and diff["identical"],
+        },
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"solver_time_speedup: {speedup:.2f}x   hit_rate_gain: {hit_gain:.2f}x")
+    print(f"wrote {OUT_PATH}")
+    return 0 if report["acceptance"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,10 @@ class EngineConfig:
     simplifier_memoisation: bool = True
     #: cache solver results per path-condition
     solver_cache: bool = True
+    #: solve path conditions incrementally along prefix chains (per-prefix
+    #: solver contexts, delta-only normalization, parent-model reuse); off
+    #: means every query re-solves the whole conjunction monolithically
+    solver_incremental: bool = True
     #: bound on GIL commands executed along a single path (loop unrolling
     #: bound; paper §1: "unrolling loops up to a bound")
     max_steps_per_path: int = 100_000
@@ -45,5 +49,6 @@ def javert2_baseline(**overrides) -> EngineConfig:
         name="javert2",
         simplifier_memoisation=False,
         solver_cache=False,
+        solver_incremental=False,
         **overrides,
     )

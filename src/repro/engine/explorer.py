@@ -61,6 +61,9 @@ class Explorer:
         solver = getattr(self.sm, "solver", None)
         base_queries = solver.stats.queries if solver else 0
         base_hits = solver.stats.cache_hits if solver else 0
+        base_prefix = solver.stats.prefix_hits if solver else 0
+        base_reuse = solver.stats.model_reuse_hits if solver else 0
+        base_time = solver.stats.solve_time if solver else 0.0
         start = time.perf_counter()
 
         finals: List[Final] = []
@@ -71,9 +74,16 @@ class Explorer:
                 stats.paths_dropped += len(worklist)
                 break
             if stats.paths_finished + len(worklist) > self.config.max_paths:
-                # Keep exploring but stop spawning beyond the cap; excess
-                # branches are dropped (sound per relaxed composition).
-                pass
+                # Over the path cap: drop the excess branches and count them
+                # (sound per relaxed composition, paper §3.1).
+                excess = min(
+                    stats.paths_finished + len(worklist) - self.config.max_paths,
+                    len(worklist),
+                )
+                del worklist[:excess]
+                stats.paths_dropped += excess
+                if not worklist:
+                    break
             cfg, depth = worklist.pop()
             if depth >= self.config.max_steps_per_path:
                 stats.paths_dropped += 1
@@ -93,4 +103,9 @@ class Explorer:
         if solver:
             stats.solver_queries = solver.stats.queries - base_queries
             stats.solver_cache_hits = solver.stats.cache_hits - base_hits
+            stats.solver_prefix_hits = solver.stats.prefix_hits - base_prefix
+            stats.solver_model_reuse = (
+                solver.stats.model_reuse_hits - base_reuse
+            )
+            stats.solver_time = solver.stats.solve_time - base_time
         return ExecutionResult(finals, stats)

@@ -18,6 +18,9 @@ class ExecutionStats:
     paths_dropped: int = 0
     solver_queries: int = 0
     solver_cache_hits: int = 0
+    solver_prefix_hits: int = 0
+    solver_model_reuse: int = 0
+    solver_time: float = 0.0
     wall_time: float = 0.0
 
     def merge(self, other: "ExecutionStats") -> None:
@@ -27,6 +30,9 @@ class ExecutionStats:
         self.paths_dropped += other.paths_dropped
         self.solver_queries += other.solver_queries
         self.solver_cache_hits += other.solver_cache_hits
+        self.solver_prefix_hits += other.solver_prefix_hits
+        self.solver_model_reuse += other.solver_model_reuse
+        self.solver_time += other.solver_time
         self.wall_time += other.wall_time
 
 

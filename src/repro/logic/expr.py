@@ -11,15 +11,29 @@ expression held in the symbolic store, yielding a logical expression
 
 All nodes are frozen (hashable) so they can key solver caches and sets of
 path-condition conjuncts.
+
+Nodes are *hash-consed*: each constructor interns structurally identical
+nodes, so two equal expressions are (almost always) the same object, every
+node's hash is computed exactly once at construction, and the equality
+dunder takes an identity fast path.  This turns every downstream dict/set
+operation over expressions — the simplifier memo, the solver caches, path
+condition dedup — from O(tree size) hashing into O(1) pointer work, which
+is the foundation of the incremental path-condition solving layer
+(paper §4.1: "more efficient use of OCaml features, such as hashtables").
+
+The structural-equality fallback in ``__eq__`` is kept because interning
+is deliberately not a strict identity guarantee: ``Lit(1)`` and
+``Lit(1.0)`` intern to *distinct* objects (so concrete int/float values
+round-trip exactly) yet compare equal under GIL's single numeric type,
+exactly as before.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Iterator, Mapping, Union
 
-from repro.gil.values import NULL, Symbol, Value
+from repro.gil.values import NULL, Symbol, Value, value_key
 
 
 class UnOp(enum.Enum):
@@ -125,7 +139,22 @@ class Expr:
         return UnOpExpr(UnOp.TYPEOF, self)
 
 
-@dataclass(frozen=True, repr=False, eq=False)
+def _exact_value_key(v: Value) -> object:
+    """An interning key that never conflates Python value types.
+
+    ``value_key`` (deliberately) identifies ``1`` and ``1.0``; the intern
+    table must not, so that a program literal keeps its exact concrete
+    representation.  Nested list values recurse for the same reason.
+    """
+    if isinstance(v, tuple):
+        return ("l",) + tuple(_exact_value_key(item) for item in v)
+    return (v.__class__.__name__, v)
+
+
+def _immutable_setattr(self, name, value):
+    raise AttributeError(f"{self.__class__.__name__} nodes are immutable")
+
+
 class Lit(Expr):
     """A literal GIL value.
 
@@ -135,21 +164,33 @@ class Lit(Expr):
     conjuncts, and memory cell keys would silently conflate them.
     """
 
-    value: Value
+    __slots__ = ("value", "_hash")
+    _interned: dict = {}
 
-    __slots__ = ("value",)
+    def __new__(cls, value: Value) -> "Lit":
+        key = _exact_value_key(value)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            object.__setattr__(self, "_hash", hash(value_key(value)))
+            cls._interned[key] = self
+        return self
+
+    __setattr__ = _immutable_setattr
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Lit):
             return NotImplemented
-        from repro.gil.values import value_key
-
         return value_key(self.value) == value_key(other.value)
 
     def __hash__(self) -> int:
-        from repro.gil.values import value_key
+        return self._hash
 
-        return hash(value_key(self.value))
+    def __reduce__(self):
+        return (Lit, (self.value,))
 
     def __repr__(self) -> str:
         if isinstance(self.value, bool):
@@ -157,63 +198,186 @@ class Lit(Expr):
         return repr(self.value)
 
 
-@dataclass(frozen=True, repr=False)
 class PVar(Expr):
     """A program variable ``x ∈ X``."""
 
-    name: str
+    __slots__ = ("name", "_hash")
+    _interned: dict = {}
 
-    __slots__ = ("name",)
+    def __new__(cls, name: str) -> "PVar":
+        self = cls._interned.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "_hash", hash(("pvar", name)))
+            cls._interned[name] = self
+        return self
+
+    __setattr__ = _immutable_setattr
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, PVar):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (PVar, (self.name,))
 
     def __repr__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, repr=False)
 class LVar(Expr):
     """A logical variable ``x̂ ∈ X̂`` (an *interpreted symbol*, paper §2.1)."""
 
-    name: str
+    __slots__ = ("name", "_hash")
+    _interned: dict = {}
 
-    __slots__ = ("name",)
+    def __new__(cls, name: str) -> "LVar":
+        self = cls._interned.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "_hash", hash(("lvar", name)))
+            cls._interned[name] = self
+        return self
+
+    __setattr__ = _immutable_setattr
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LVar):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (LVar, (self.name,))
 
     def __repr__(self) -> str:
         return f"#{self.name}"
 
 
-@dataclass(frozen=True, repr=False)
 class UnOpExpr(Expr):
-    op: UnOp
-    operand: Expr
+    __slots__ = ("op", "operand", "_hash")
+    _interned: dict = {}
 
-    __slots__ = ("op", "operand")
+    def __new__(cls, op: UnOp, operand: Expr) -> "UnOpExpr":
+        key = (op, operand)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "op", op)
+            object.__setattr__(self, "operand", operand)
+            object.__setattr__(self, "_hash", hash(("un", op, operand)))
+            cls._interned[key] = self
+        return self
+
+    __setattr__ = _immutable_setattr
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, UnOpExpr):
+            return NotImplemented
+        return self.op is other.op and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (UnOpExpr, (self.op, self.operand))
 
     def __repr__(self) -> str:
         return f"({self.op.value} {self.operand!r})"
 
 
-@dataclass(frozen=True, repr=False)
 class BinOpExpr(Expr):
-    op: BinOp
-    left: Expr
-    right: Expr
+    __slots__ = ("op", "left", "right", "_hash")
+    _interned: dict = {}
 
-    __slots__ = ("op", "left", "right")
+    def __new__(cls, op: BinOp, left: Expr, right: Expr) -> "BinOpExpr":
+        key = (op, left, right)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "op", op)
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "right", right)
+            object.__setattr__(self, "_hash", hash(("bin", op, left, right)))
+            cls._interned[key] = self
+        return self
+
+    __setattr__ = _immutable_setattr
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, BinOpExpr):
+            return NotImplemented
+        return (
+            self.op is other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (BinOpExpr, (self.op, self.left, self.right))
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op.value} {self.right!r})"
 
 
-@dataclass(frozen=True, repr=False)
 class EList(Expr):
     """An n-ary list constructor ``[e1, ..., en]``."""
 
-    items: tuple
+    __slots__ = ("items", "_hash")
+    _interned: dict = {}
 
-    __slots__ = ("items",)
+    def __new__(cls, items: tuple) -> "EList":
+        items = tuple(items)
+        self = cls._interned.get(items)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "items", items)
+            object.__setattr__(self, "_hash", hash(("elist", items)))
+            cls._interned[items] = self
+        return self
+
+    __setattr__ = _immutable_setattr
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, EList):
+            return NotImplemented
+        return self.items == other.items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (EList, (self.items,))
 
     def __repr__(self) -> str:
         return "[" + ", ".join(repr(item) for item in self.items) + "]"
+
+
+def clear_intern_caches() -> None:
+    """Drop every intern table (test/benchmark hygiene for memory runs)."""
+    for node_cls in (Lit, PVar, LVar, UnOpExpr, BinOpExpr, EList):
+        node_cls._interned.clear()
 
 
 ExprLike = Union[Expr, Value]

@@ -2,15 +2,34 @@
 
 A path condition is a conjunction of boolean logical expressions
 book-keeping the constraints on logical variables that led execution to
-the current symbolic state.  We keep the conjuncts as an ordered tuple
-(deduplicated) so that path conditions are hashable — they key the solver
-cache — and so that restriction (π ∧ π′, paper §3.1) is a cheap merge.
+the current symbolic state.
+
+Path conditions are *persistent prefix chains*: each node records only the
+conjuncts it adds over its ``parent`` plus a link to that parent, so the
+worklist entries of the symbolic explorer share their common prefix
+structurally.  ``conjoin``/``extend`` cost O(new conjuncts) along the hot
+(tip-extension) path instead of rebuilding and re-hashing the whole
+conjunct tuple at every branch point, and the solver walks ``parent``/
+``added`` to solve only the delta of a child path over its parent
+(see :class:`repro.logic.solver.Solver`).
+
+Deduplication uses a shared *trail*: the conjuncts of a whole chain live
+in one append-only list with a first-occurrence index, and each node is a
+(trail, length) view onto it.  Extending the tip of a trail appends in
+place; extending an interior node (the second child of a branch point)
+forks the trail once, an O(prefix) C-speed copy.  With hash-consed
+expressions every membership probe is O(1).
+
+The public surface is unchanged: ``conjuncts`` is still an ordered,
+deduplicated tuple, equality/hashing are still structural over that tuple
+(so path conditions still key caches and sets), and iteration/len behave
+as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Tuple
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.logic.expr import TRUE, BinOp, BinOpExpr, Expr
 
@@ -24,55 +43,169 @@ def _flatten(e: Expr) -> Iterator[Expr]:
         yield e
 
 
-@dataclass(frozen=True)
+class _Trail:
+    """The append-only conjunct store shared by a chain of path conditions."""
+
+    __slots__ = ("items", "index")
+
+    def __init__(self, items: Optional[List[Expr]] = None) -> None:
+        self.items: List[Expr] = items if items is not None else []
+        # First-occurrence position of each conjunct.  Conjuncts along a
+        # chain are unique (conjoin dedups), so this is exact.
+        self.index: Dict[Expr, int] = {c: i for i, c in enumerate(self.items)}
+
+    def append(self, c: Expr) -> None:
+        self.index[c] = len(self.items)
+        self.items.append(c)
+
+    def fork(self, length: int) -> "_Trail":
+        """An independent copy of the first ``length`` entries."""
+        return _Trail(self.items[:length])
+
+
+_uid_counter = itertools.count(1)
+
+
 class PathCondition:
     """An immutable conjunction of boolean logical expressions."""
 
-    conjuncts: Tuple[Expr, ...] = field(default=())
+    __slots__ = (
+        "_trail", "_length", "parent", "added", "uid", "_tuple", "_hash",
+    )
+
+    def __init__(self, conjuncts: Tuple[Expr, ...] = ()) -> None:
+        # Public constructor: build a root-anchored chain from a tuple.
+        # (Internal code extends existing nodes via _extend instead.)
+        object.__setattr__(self, "parent", None)
+        object.__setattr__(self, "added", tuple(conjuncts))
+        trail = _Trail()
+        for c in conjuncts:
+            if c not in trail.index:
+                trail.append(c)
+        object.__setattr__(self, "_trail", trail)
+        object.__setattr__(self, "_length", len(trail.items))
+        object.__setattr__(self, "uid", next(_uid_counter))
+        object.__setattr__(self, "_tuple", None)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("PathCondition is immutable")
+
+    @classmethod
+    def _extend(
+        cls, parent: "PathCondition", new: List[Expr]
+    ) -> "PathCondition":
+        """A child node adding ``new`` (already deduplicated) conjuncts."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "added", tuple(new))
+        trail = parent._trail
+        if parent._length == 0:
+            # Never grow a root's (possibly shared) empty trail: the shared
+            # TRUE root must not pin the first chain's conjuncts alive.
+            trail = _Trail()
+        elif len(trail.items) != parent._length:
+            # Parent is not the tip (a sibling extended first): fork once.
+            trail = trail.fork(parent._length)
+        for c in new:
+            trail.append(c)
+        object.__setattr__(self, "_trail", trail)
+        object.__setattr__(self, "_length", parent._length + len(new))
+        object.__setattr__(self, "uid", next(_uid_counter))
+        object.__setattr__(self, "_tuple", None)
+        object.__setattr__(self, "_hash", None)
+        return self
+
+    # -- construction --------------------------------------------------------
 
     @staticmethod
     def true() -> "PathCondition":
-        return PathCondition(())
+        return _TRUE_PC
 
     @staticmethod
     def of(*exprs: Expr) -> "PathCondition":
         return PathCondition.true().conjoin_all(exprs)
 
+    # -- membership ----------------------------------------------------------
+
+    def __contains__(self, c: Expr) -> bool:
+        pos = self._trail.index.get(c)
+        return pos is not None and pos < self._length
+
+    # -- extension -----------------------------------------------------------
+
     def conjoin(self, e: Expr) -> "PathCondition":
         """π ∧ e, flattening nested conjunctions and deduplicating."""
-        new = [c for c in _flatten(e) if c not in self.conjuncts]
+        new: List[Expr] = []
+        fresh = set()
+        for c in _flatten(e):
+            if c not in self and c not in fresh:
+                fresh.add(c)
+                new.append(c)
         if not new:
             return self
-        seen = set(self.conjuncts)
-        ordered = list(self.conjuncts)
-        for c in new:
-            if c not in seen:
-                seen.add(c)
-                ordered.append(c)
-        return PathCondition(tuple(ordered))
+        return PathCondition._extend(self, new)
 
     def conjoin_all(self, exprs: Iterable[Expr]) -> "PathCondition":
-        pc = self
+        """π ∧ e₁ ∧ … ∧ eₙ as a *single* chain extension."""
+        new: List[Expr] = []
+        fresh = set()
         for e in exprs:
-            pc = pc.conjoin(e)
-        return pc
+            for c in _flatten(e):
+                if c not in self and c not in fresh:
+                    fresh.add(c)
+                    new.append(c)
+        if not new:
+            return self
+        return PathCondition._extend(self, new)
 
     def extend(self, other: "PathCondition") -> "PathCondition":
         """Restriction on path conditions: π₁ ⇃π₂ = π₁ ∧ π₂ (paper §3.1)."""
         return self.conjoin_all(other.conjuncts)
 
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def conjuncts(self) -> Tuple[Expr, ...]:
+        """The ordered, deduplicated conjunct tuple (cached)."""
+        cached = self._tuple
+        if cached is None:
+            cached = tuple(self._trail.items[: self._length])
+            object.__setattr__(self, "_tuple", cached)
+        return cached
+
     def implies_syntactically(self, other: "PathCondition") -> bool:
         """True iff every conjunct of ``other`` appears in ``self``."""
-        mine = set(self.conjuncts)
-        return all(c in mine for c in other.conjuncts)
+        return all(c in self for c in other.conjuncts)
 
     def __iter__(self) -> Iterator[Expr]:
         return iter(self.conjuncts)
 
     def __len__(self) -> int:
-        return len(self.conjuncts)
+        return self._length
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, PathCondition):
+            return NotImplemented
+        return self._length == other._length and self.conjuncts == other.conjuncts
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.conjuncts)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __reduce__(self):
+        return (PathCondition, (self.conjuncts,))
 
     def __repr__(self) -> str:
-        if not self.conjuncts:
+        if not self._length:
             return "true"
         return " /\\ ".join(repr(c) for c in self.conjuncts)
+
+
+#: The shared root of every chain built through :meth:`PathCondition.true`.
+_TRUE_PC = PathCondition(())

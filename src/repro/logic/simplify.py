@@ -75,6 +75,11 @@ class Simplifier:
         result = self._simplify(e)
         if self.memoise:
             self._cache[e] = result
+            # Results are fixpoints; with hash-consed expressions the result
+            # node is shared, so mark it simplified too and skip a full
+            # re-walk when it comes back as an input (e.g. solver-normalised
+            # conjuncts re-entering through the incremental delta pipeline).
+            self._cache[result] = result
         return result
 
     # -- internals --------------------------------------------------------

@@ -25,14 +25,45 @@ no-false-positives guarantee (Theorem 3.6).
 The solver cache (keyed by the frozenset of conjuncts) is the second of
 the two engine improvements the paper credits for the 2× speed-up of
 Gillian-JS over JaVerT 2.0 (§4.1); the ablation benchmark toggles it.
+
+Incremental layer (this module's third speed lever)
+---------------------------------------------------
+
+Path conditions arrive as persistent prefix chains
+(:class:`repro.logic.pathcond.PathCondition`): a child path is its parent
+plus a handful of ``added`` conjuncts.  When ``incremental`` is enabled
+the solver maintains a :class:`SolverContext` per prefix, carrying the
+normalized conjunct list, the congruence-closure union-find, the variable
+type bindings, and the last verified model *of that prefix*.  Checking a
+child then costs only its delta:
+
+* the delta conjuncts alone are simplified/flattened/deduplicated;
+* an UNSAT parent makes every extension UNSAT (monotonicity of ∧);
+* if the parent's verified model also satisfies the delta (after filling
+  fresh variables with type-appropriate defaults), the child is SAT with
+  that model — no search;
+* otherwise the parent's union-find is cloned and only the delta literals
+  are merged, the type environment is extended (not re-derived), and the
+  remaining phases run over the combined literal list;
+* any delta that would require case splitting (a disjunction) falls back
+  to the monolithic solve, for that prefix and its descendants.
+
+Results are cached three ways: per prefix identity (``PathCondition.uid``),
+per (parent-context, added-conjuncts) pair — so sibling paths re-deriving
+the same guard hit — and in the pre-existing frozenset cache, which the
+incremental layer both consults and populates so conjunct-order
+permutations keep hitting.  Soundness is unchanged: UNSAT is still only
+produced with a proof (type conflict, congruence contradiction, empty
+interval) and SAT only with a model verified against every conjunct.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.gil.ops import EvalError, evaluate
 from repro.gil.values import GilType, Symbol, Value
@@ -49,6 +80,7 @@ from repro.logic.expr import (
     UnOpExpr,
     free_lvars,
 )
+from repro.logic.pathcond import PathCondition
 from repro.logic.simplify import Simplifier
 from repro.logic.types import TypeConflict, collect_var_types
 
@@ -69,6 +101,19 @@ class SolverStats:
     unsat: int = 0
     unknown: int = 0
     search_nodes: int = 0
+    #: incremental-layer counters ------------------------------------------
+    #: hits on an already-solved prefix (by uid or (parent, delta) key)
+    prefix_hits: int = 0
+    #: extensions decided by re-verifying the parent's model on the delta
+    model_reuse_hits: int = 0
+    #: extensions decided by UNSAT inheritance from the parent
+    unsat_inherited: int = 0
+    #: extensions solved by the delta (cloned union-find) pipeline
+    incremental_solves: int = 0
+    #: extensions that fell back to the monolithic pipeline
+    monolithic_solves: int = 0
+    #: total wall time spent inside solve entry points, seconds
+    solve_time: float = 0.0
 
 
 Model = Dict[str, Value]
@@ -76,6 +121,29 @@ Model = Dict[str, Value]
 _SPLIT_LIMIT = 256
 _SEARCH_NODE_LIMIT = 20_000
 _PROPAGATION_ROUNDS = 30
+
+
+@dataclass
+class SolverContext:
+    """Solver state carried along one path-condition prefix.
+
+    ``norm`` is the simplified/flattened/deduplicated conjunct tuple of the
+    whole prefix (what the monolithic pipeline would have produced for it);
+    ``literals`` / ``cc`` / ``var_types`` are the split-free theory state
+    used to extend by a delta, or ``None`` once a prefix needed case
+    splitting (from then on the chain solves monolithically).  ``model`` is
+    a model verified against every conjunct of the prefix, kept so child
+    extensions can try it on their delta first.
+    """
+
+    uid: int
+    result: "SatResult"
+    model: Optional[Model]
+    norm: Tuple[Expr, ...] = ()
+    norm_set: frozenset = frozenset()
+    literals: Optional[Tuple[Expr, ...]] = None
+    cc: Optional["_CongruenceClosure"] = None
+    var_types: Optional[Dict[str, GilType]] = None
 
 _INF = Fraction(10**12)  # pseudo-infinity for interval endpoints
 
@@ -122,20 +190,43 @@ class Solver:
         self,
         simplifier: Optional[Simplifier] = None,
         cache_enabled: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.simplifier = simplifier if simplifier is not None else Simplifier()
         self.cache_enabled = cache_enabled
+        self.incremental = incremental
         self.stats = SolverStats()
         self._cache: Dict[frozenset, Tuple[SatResult, Optional[Model]]] = {}
+        #: prefix contexts by PathCondition.uid
+        self._contexts: Dict[int, SolverContext] = {}
+        #: prefix contexts by (parent context uid, added conjunct tuple)
+        self._prefix_cache: Dict[tuple, SolverContext] = {}
+        self._root_context = SolverContext(
+            uid=0,
+            result=SatResult.SAT,
+            model={},
+            norm=(),
+            norm_set=frozenset(),
+            literals=(),
+            cc=_CongruenceClosure(),
+            var_types={},
+        )
 
     # -- public API --------------------------------------------------------
 
-    def check(self, pc: Iterable[Expr]) -> SatResult:
-        """Three-valued satisfiability of the conjunction of ``pc``."""
+    def check(self, pc: Union[PathCondition, Iterable[Expr]]) -> SatResult:
+        """Three-valued satisfiability of the conjunction of ``pc``.
+
+        A :class:`PathCondition` argument is solved through the incremental
+        prefix-context layer (when enabled); any other iterable of
+        conjuncts goes through the monolithic pipeline.
+        """
+        if self.incremental and isinstance(pc, PathCondition):
+            return self._ensure_context(pc).result
         result, _ = self._check_with_model(pc, want_model=False)
         return result
 
-    def is_sat(self, pc: Iterable[Expr]) -> bool:
+    def is_sat(self, pc: Union[PathCondition, Iterable[Expr]]) -> bool:
         """Over-approximate satisfiability: UNKNOWN counts as SAT.
 
         This is the query the symbolic ``assume`` uses (paper Def. 2.6):
@@ -145,8 +236,26 @@ class Solver:
         """
         return self.check(pc) is not SatResult.UNSAT
 
-    def get_model(self, pc: Iterable[Expr]) -> Optional[Model]:
+    def get_model(
+        self, pc: Union[PathCondition, Iterable[Expr]]
+    ) -> Optional[Model]:
         """A *verified* logical environment ε satisfying ``pc``, or None."""
+        if self.incremental and isinstance(pc, PathCondition):
+            ctx = self._ensure_context(pc)
+            if ctx.result is not SatResult.SAT:
+                return None
+            if ctx.model is not None:
+                # The context model covers the *normalised* conjuncts;
+                # extend it over variables the simplifier eliminated from
+                # the originals (and re-verify against them).
+                completed = self._complete_model(
+                    dict(ctx.model), list(pc.conjuncts)
+                )
+                if completed is not None:
+                    return completed
+            # SAT recorded without a usable model: retry monolithically
+            # (mirrors the frozenset cache's want_model bypass).
+            pc = pc.conjuncts
         result, model = self._check_with_model(pc, want_model=True)
         if result is SatResult.SAT:
             return model
@@ -160,9 +269,345 @@ class Solver:
         conjuncts = list(pc) + [UnOpExpr(UnOp.NOT, goal)]
         return self.check(conjuncts) is SatResult.UNSAT
 
+    # -- incremental prefix contexts ----------------------------------------
+
+    def _ensure_context(self, pc: PathCondition) -> SolverContext:
+        """The solved context of ``pc``, building missing ancestors first."""
+        ctx = self._contexts.get(pc.uid)
+        if ctx is not None:
+            self.stats.prefix_hits += 1
+            return ctx
+        # Walk up to the nearest solved ancestor (iterative: chains can be
+        # as deep as the per-path step bound).
+        chain: List[PathCondition] = []
+        node: Optional[PathCondition] = pc
+        ctx = None
+        while node is not None:
+            existing = self._contexts.get(node.uid)
+            if existing is not None:
+                ctx = existing
+                break
+            chain.append(node)
+            node = node.parent
+        if ctx is None:
+            ctx = self._root_context
+        for n in reversed(chain):
+            ctx = self._extend_context(ctx, n)
+        return ctx
+
+    def _extend_context(
+        self, parent: SolverContext, pc: PathCondition
+    ) -> SolverContext:
+        key = (parent.uid, pc.added)
+        ctx = self._prefix_cache.get(key) if self.cache_enabled else None
+        if ctx is not None:
+            self.stats.prefix_hits += 1
+        else:
+            start = time.perf_counter()
+            try:
+                ctx = self._solve_extension(parent, pc)
+            finally:
+                self.stats.solve_time += time.perf_counter() - start
+            if self.cache_enabled:
+                self._prefix_cache[key] = ctx
+        self._contexts[pc.uid] = ctx
+        return ctx
+
+    def _solve_extension(
+        self, parent: SolverContext, pc: PathCondition
+    ) -> SolverContext:
+        """Solve one chain extension: ``parent`` plus ``pc.added``."""
+        # UNSAT is inherited: conjoining cannot recover satisfiability.
+        if parent.result is SatResult.UNSAT:
+            self.stats.queries += 1
+            self.stats.unsat += 1
+            self.stats.unsat_inherited += 1
+            return SolverContext(
+                uid=pc.uid, result=SatResult.UNSAT, model=None,
+                norm=parent.norm, norm_set=parent.norm_set,
+            )
+
+        # 1. Normalize only the delta (simplify, flatten ∧, dedup against
+        # the parent's normalized set).
+        delta: List[Expr] = []
+        seen: set = set()
+        stack = list(pc.added)
+        stack.reverse()
+        while stack:
+            e = self.simplifier.simplify(stack.pop())
+            if e == TRUE:
+                continue
+            if e == FALSE:
+                self.stats.queries += 1
+                self.stats.unsat += 1
+                return SolverContext(
+                    uid=pc.uid, result=SatResult.UNSAT, model=None,
+                    norm=parent.norm, norm_set=parent.norm_set,
+                )
+            if isinstance(e, BinOpExpr) and e.op is BinOp.AND:
+                stack.append(e.right)
+                stack.append(e.left)
+                continue
+            if e not in parent.norm_set and e not in seen:
+                seen.add(e)
+                delta.append(e)
+        if not delta:
+            # Nothing new: the child shares the parent's context outright.
+            self.stats.prefix_hits += 1
+            return parent
+
+        self.stats.queries += 1
+        norm = parent.norm + tuple(delta)
+        norm_set = parent.norm_set | seen
+
+        # 2. Extend the split-free theory state by the delta (cloned
+        # union-find, merged type bindings).  ``None`` means the chain
+        # needs case splitting and solves monolithically from here on.
+        theory = self._extend_theory(parent, delta)
+        if theory is not None and theory[3]:
+            # Type conflict or congruence contradiction: an UNSAT proof.
+            self.stats.unsat += 1
+            self.stats.incremental_solves += 1
+            return self._finish_context(
+                pc, SatResult.UNSAT, None, norm, norm_set,
+                literals=None, cc=None, var_types=None,
+            )
+
+        # 3. Permutations of an already-solved conjunct set hit the
+        # frozenset cache; keep the theory state alive for descendants.
+        fkey = frozenset(norm)
+        if self.cache_enabled:
+            cached = self._cache.get(fkey)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                result, model = cached
+                return self._record_result(pc, result, model, norm, norm_set, theory)
+
+        # 4. Model reuse: if the parent's verified model also satisfies the
+        # delta (extending it over fresh variables), the child is SAT.
+        model = self._reuse_model(parent, delta, theory)
+        if model is not None:
+            self.stats.sat += 1
+            self.stats.model_reuse_hits += 1
+            return self._finish_context(
+                pc, SatResult.SAT, model, norm, norm_set,
+                *(theory[:3] if theory is not None else (None, None, None)),
+            )
+
+        # 5. Solve: delta pipeline over the combined literal list when the
+        # chain is split-free, else the monolithic pipeline.
+        if theory is not None:
+            literals, cc, var_types, _ = theory
+            result, model = self._solve_theory_literals(
+                list(literals), list(norm), var_types, cc
+            )
+            self.stats.incremental_solves += 1
+        else:
+            result, model = self._solve(list(norm))
+            self.stats.monolithic_solves += 1
+        if result is SatResult.SAT and model is not None:
+            model = self._complete_model(model, list(norm))
+        if result is SatResult.SAT:
+            self.stats.sat += 1
+        elif result is SatResult.UNSAT:
+            self.stats.unsat += 1
+        else:
+            self.stats.unknown += 1
+        return self._finish_context(
+            pc, result, model, norm, norm_set,
+            *(theory[:3] if theory is not None else (None, None, None)),
+        )
+
+    def _finish_context(
+        self, pc, result, model, norm, norm_set, literals, cc, var_types
+    ) -> SolverContext:
+        if self.cache_enabled:
+            self._cache[frozenset(norm)] = (result, model)
+        return SolverContext(
+            uid=pc.uid, result=result, model=model, norm=norm,
+            norm_set=norm_set, literals=literals, cc=cc, var_types=var_types,
+        )
+
+    def _record_result(self, pc, result, model, norm, norm_set, theory):
+        if result is SatResult.SAT:
+            self.stats.sat += 1
+        elif result is SatResult.UNSAT:
+            self.stats.unsat += 1
+        else:
+            self.stats.unknown += 1
+        literals, cc, var_types = (
+            theory[:3] if theory is not None else (None, None, None)
+        )
+        return SolverContext(
+            uid=pc.uid, result=result, model=model, norm=norm,
+            norm_set=norm_set, literals=literals, cc=cc, var_types=var_types,
+        )
+
+    def _extend_theory(self, parent: SolverContext, delta: List[Expr]):
+        """Extend the parent's theory state by the delta conjuncts.
+
+        Returns ``(literals, cc, var_types, unsat)`` — with ``unsat`` True
+        when the extension itself proves a contradiction — or ``None`` when
+        the parent has no live theory state or a delta conjunct requires
+        case splitting.
+        """
+        if parent.literals is None:
+            return None
+        delta_lits: List[Expr] = []
+        for c in delta:
+            lits = self._literals_of(c)
+            if lits is None:
+                return None
+            delta_lits.extend(lits)
+        literals = parent.literals + tuple(delta_lits)
+        if any(lit == FALSE for lit in delta_lits):
+            return (literals, None, None, True)
+        try:
+            var_types = collect_var_types(
+                delta_lits, env=dict(parent.var_types)
+            )
+        except TypeConflict:
+            return (literals, None, None, True)
+        cc = parent.cc.clone()
+        for lit in delta_lits:
+            if isinstance(lit, BinOpExpr) and lit.op is BinOp.EQ:
+                cc.merge(lit.left, lit.right)
+            elif (
+                isinstance(lit, UnOpExpr)
+                and lit.op is UnOp.NOT
+                and isinstance(lit.operand, BinOpExpr)
+                and lit.operand.op is BinOp.EQ
+            ):
+                cc.assert_distinct(lit.operand.left, lit.operand.right)
+        if not cc.consistent():
+            return (literals, cc, var_types, True)
+        return (literals, cc, var_types, False)
+
+    def _reuse_model(
+        self, parent: SolverContext, delta: List[Expr], theory
+    ) -> Optional[Model]:
+        """The parent's model extended over the delta, if it satisfies it.
+
+        Fresh variables (mentioned by the delta but absent from the model)
+        get type-appropriate defaults; they cannot occur in the parent's
+        conjuncts, so the extension stays a verified model of the whole
+        prefix whenever every delta conjunct evaluates to true.
+        """
+        if parent.model is None:
+            return None
+        missing: set = set()
+        for c in delta:
+            missing |= free_lvars(c)
+        missing -= parent.model.keys()
+        model = parent.model
+        if missing:
+            var_types = theory[2] if theory is not None else None
+            if var_types is None:
+                try:
+                    var_types = collect_var_types(delta)
+                except Exception:
+                    var_types = {}
+            defaults = {
+                GilType.NUMBER: 0,
+                GilType.STRING: "",
+                GilType.BOOLEAN: True,
+                GilType.LIST: (0, 0, 0),
+                GilType.SYMBOL: Symbol("fresh_default"),
+            }
+            model = dict(model)
+            for name in missing:
+                model[name] = defaults.get(
+                    var_types.get(name, GilType.NUMBER), 0
+                )
+        for c in delta:
+            try:
+                if evaluate(c, lvar_env=model) is not True:
+                    return None
+            except EvalError:
+                return None
+        return model
+
+    def _literals_of(self, e: Expr) -> Optional[List[Expr]]:
+        """The theory literals of a split-free conjunct, or None.
+
+        Mirrors exactly what :meth:`_split` does to a conjunct on the
+        single branch it produces when no disjunction is present, so the
+        incremental literal list matches the monolithic one.
+        """
+        out: List[Expr] = []
+        pending = [e]
+        while pending:
+            x = self.simplifier.simplify(pending.pop())
+            if x == TRUE:
+                continue
+            if x == FALSE:
+                out.append(FALSE)
+                continue
+            if isinstance(x, BinOpExpr) and x.op is BinOp.AND:
+                pending.append(x.right)
+                pending.append(x.left)
+                continue
+            if isinstance(x, BinOpExpr) and x.op is BinOp.OR:
+                return None
+            if isinstance(x, UnOpExpr) and x.op is UnOp.NOT:
+                inner = self.simplifier.simplify(x.operand)
+                if isinstance(inner, BinOpExpr) and inner.op is BinOp.AND:
+                    return None  # ¬(a ∧ b) is a disjunction
+                if isinstance(inner, BinOpExpr) and inner.op is BinOp.OR:
+                    pending.append(UnOpExpr(UnOp.NOT, inner.right))
+                    pending.append(UnOpExpr(UnOp.NOT, inner.left))
+                    continue
+                if isinstance(inner, UnOpExpr) and inner.op is UnOp.NOT:
+                    pending.append(inner.operand)
+                    continue
+                if isinstance(inner, LVar):
+                    out.append(BinOpExpr(BinOp.EQ, inner, FALSE))
+                    continue
+                out.append(UnOpExpr(UnOp.NOT, inner))
+                continue
+            if isinstance(x, LVar):
+                out.append(BinOpExpr(BinOp.EQ, x, TRUE))
+                continue
+            if isinstance(x, BinOpExpr) and x.op is BinOp.EQ:
+                reduced = self._reduce_bool_eq(x)
+                if reduced is not None:
+                    pending.append(reduced)
+                    continue
+            out.append(x)
+        return out
+
+    def _solve_theory_literals(
+        self,
+        literals: List[Expr],
+        norm: List[Expr],
+        var_types: Dict[str, GilType],
+        cc: "_CongruenceClosure",
+    ) -> Tuple[SatResult, Optional[Model]]:
+        """Phases 3–4 of :meth:`_solve_literals` on pre-extended state."""
+        intervals = self._propagate_intervals(literals, cc)
+        if intervals is None:
+            return SatResult.UNSAT, None
+        if self._diseq_point_conflict(literals, intervals):
+            return SatResult.UNSAT, None
+        if self._integral_domain_exhausted(literals, intervals):
+            return SatResult.UNSAT, None
+        model = self._search_model(literals, norm, var_types, cc, intervals)
+        if model is not None:
+            return SatResult.SAT, model
+        return SatResult.UNKNOWN, None
+
     # -- core ---------------------------------------------------------------
 
     def _check_with_model(
+        self, pc: Iterable[Expr], want_model: bool
+    ) -> Tuple[SatResult, Optional[Model]]:
+        start = time.perf_counter()
+        try:
+            return self._check_with_model_timed(pc, want_model)
+        finally:
+            self.stats.solve_time += time.perf_counter() - start
+
+    def _check_with_model_timed(
         self, pc: Iterable[Expr], want_model: bool
     ) -> Tuple[SatResult, Optional[Model]]:
         original = list(pc)
@@ -222,9 +667,11 @@ class Solver:
         return model if self._verify(original, model) else None
 
     def _normalise(self, pc: Iterable[Expr]) -> Optional[List[Expr]]:
-        """Simplify and flatten; None means a literal ``false`` appeared."""
+        """Simplify and flatten (in conjunct order); None means a literal
+        ``false`` appeared."""
         out: List[Expr] = []
         stack = list(pc)
+        stack.reverse()
         while stack:
             e = self.simplifier.simplify(stack.pop())
             if e == TRUE:
@@ -232,8 +679,8 @@ class Solver:
             if e == FALSE:
                 return None
             if isinstance(e, BinOpExpr) and e.op is BinOp.AND:
-                stack.append(e.left)
                 stack.append(e.right)
+                stack.append(e.left)
                 continue
             out.append(e)
         # Deduplicate, preserving order.
@@ -266,8 +713,16 @@ class Solver:
     def _split(
         self, conjuncts: Sequence[Expr], limit: int
     ) -> Iterable[List[Expr]]:
-        """Lazy DNF: yield lists of theory literals covering ``conjuncts``."""
-        branches: List[Tuple[List[Expr], List[Expr]]] = [([], list(conjuncts))]
+        """Lazy DNF: yield lists of theory literals covering ``conjuncts``.
+
+        Conjuncts are processed in order (the pending list is a stack of
+        the *reversed* remainder), so on a split-free input the single
+        branch's literals line up with what the incremental layer builds
+        by concatenating per-conjunct :meth:`_literals_of` results.
+        """
+        branches: List[Tuple[List[Expr], List[Expr]]] = [
+            ([], list(reversed(list(conjuncts))))
+        ]
         produced = 0
         while branches:
             literals, pending = branches.pop()
@@ -280,8 +735,8 @@ class Solver:
                     dead = True
                     break
                 if isinstance(e, BinOpExpr) and e.op is BinOp.AND:
-                    pending.append(e.left)
                     pending.append(e.right)
+                    pending.append(e.left)
                     continue
                 if isinstance(e, BinOpExpr) and e.op is BinOp.OR:
                     if produced + len(branches) >= limit:
@@ -304,8 +759,8 @@ class Solver:
                         )
                         continue
                     if isinstance(inner, BinOpExpr) and inner.op is BinOp.OR:
-                        pending.append(UnOpExpr(UnOp.NOT, inner.left))
                         pending.append(UnOpExpr(UnOp.NOT, inner.right))
+                        pending.append(UnOpExpr(UnOp.NOT, inner.left))
                         continue
                     if isinstance(inner, UnOpExpr) and inner.op is UnOp.NOT:
                         pending.append(inner.operand)
@@ -1070,8 +1525,30 @@ def _difference_analysis_unsat(
 
 # -- linear forms ------------------------------------------------------------
 
+_MISSING = object()
+_linear_cache: Dict[Expr, Optional[Tuple[Dict[Expr, Fraction], Fraction]]] = {}
+
 
 def _linear_form(e: Expr) -> Optional[Tuple[Dict[Expr, Fraction], Fraction]]:
+    """Memoising wrapper around :func:`_linear_form_impl`.
+
+    Hash-consed expressions make the memo global and cheap: the same atom
+    reappears at every branch point of a path, and across paths sharing a
+    prefix, so parsing each linear form once per process is the right
+    amortization.  Cached results are shared — callers must treat the
+    coefficient dict as read-only (they all do: combination steps copy).
+    """
+    cached = _linear_cache.get(e, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    result = _linear_form_impl(e)
+    _linear_cache[e] = result
+    return result
+
+
+def _linear_form_impl(
+    e: Expr,
+) -> Optional[Tuple[Dict[Expr, Fraction], Fraction]]:
     """``e`` as (coefficients over numeric atoms, constant), or None.
 
     Atoms are logical variables and opaque numeric terms (list lengths,
@@ -1194,6 +1671,22 @@ class _CongruenceClosure:
         self._diseqs: List[Tuple[Expr, Expr]] = []
         self._contradiction = False
         self._members: Dict[Expr, List[Expr]] = {}
+
+    def clone(self) -> "_CongruenceClosure":
+        """An independent copy (for extending a solved prefix by a delta).
+
+        Replaying only the delta's merges on a clone yields exactly the
+        state a from-scratch build over (prefix literals + delta literals)
+        would reach: the merge/assert sequence is identical, since delta
+        literals are appended after the prefix's.
+        """
+        other = _CongruenceClosure.__new__(_CongruenceClosure)
+        other._parent = dict(self._parent)
+        other._literal = dict(self._literal)
+        other._diseqs = list(self._diseqs)
+        other._contradiction = self._contradiction
+        other._members = {k: list(v) for k, v in self._members.items()}
+        return other
 
     def _find(self, t: Expr) -> Expr:
         if t not in self._parent:

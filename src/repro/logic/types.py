@@ -90,14 +90,21 @@ def infer_type(e: Expr) -> Optional[GilType]:
 
 def collect_var_types(
     conjuncts: Iterable[Expr],
+    env: Optional[Dict[str, GilType]] = None,
 ) -> Dict[str, GilType]:
     """Infer logical-variable types from how variables are *used*.
 
     Walks each conjunct and records, for every logical variable, the type
     its context imposes.  Raises :class:`TypeConflict` if the same variable
     is forced to two distinct types (the path condition is then UNSAT).
+
+    ``env`` seeds (and is extended with) bindings already inferred for a
+    solved prefix, so the incremental solver types only the delta: typing
+    facts accumulate per use site, so walking just the new conjuncts over
+    the parent's environment reaches the same bindings/conflicts as a full
+    re-walk of prefix + delta.
     """
-    env: Dict[str, GilType] = {}
+    env = {} if env is None else env
 
     def require(e: Expr, t: Optional[GilType]) -> None:
         if t is None:

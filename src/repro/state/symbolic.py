@@ -133,6 +133,9 @@ class SymbolicStateModel:
         if e == Lit(False):
             return []
         pc = state.pc.conjoin(e)
+        if pc is state.pc:
+            # No new conjuncts: π ∧ ê ≡ π, already admitted on this path.
+            return [state]
         if not self.solver.is_sat(pc):
             return []
         return [state.with_pc(pc)]
@@ -176,13 +179,13 @@ class SymbolicStateModel:
         for branch in branches:
             if isinstance(branch, SymMemOk):
                 pc = state.pc.conjoin_all(branch.learned)
-                if branch.learned and not self.solver.is_sat(pc):
+                if pc is not state.pc and not self.solver.is_sat(pc):
                     continue
                 new_state = SymbolicState(branch.memory, state.store, state.alloc, pc)
                 out.append(StateOk(new_state, branch.expr))
             elif isinstance(branch, SymMemErr):
                 pc = state.pc.conjoin_all(branch.learned)
-                if branch.learned and not self.solver.is_sat(pc):
+                if pc is not state.pc and not self.solver.is_sat(pc):
                     continue
                 out.append(StateErr(state.with_pc(pc), branch.expr))
             else:  # pragma: no cover - defensive

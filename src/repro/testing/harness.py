@@ -113,7 +113,11 @@ class SymbolicTester:
         simplifier = Simplifier(
             enabled=True, memoise=self.config.simplifier_memoisation
         )
-        return Solver(simplifier=simplifier, cache_enabled=self.config.solver_cache)
+        return Solver(
+            simplifier=simplifier,
+            cache_enabled=self.config.solver_cache,
+            incremental=self.config.solver_incremental,
+        )
 
     def run_test(
         self,
@@ -144,7 +148,9 @@ class SymbolicTester:
 
     def _diagnose(self, prog: Prog, entry: str, fin: Final, solver: Solver) -> Bug:
         pc = fin.state.pc
-        model = solver.get_model(pc.conjuncts)
+        # Pass the PathCondition itself: the error path's prefix context is
+        # usually already solved with a verified model in hand.
+        model = solver.get_model(pc)
         confirmed = False
         concrete_value = None
         if model is not None and self.replay:

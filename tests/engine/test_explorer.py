@@ -50,6 +50,26 @@ class TestBounds:
         result = symbolic_explorer(self._infinite_loop(), config).run("main")
         assert result.stats.commands_executed <= 30
 
+    def _wide_branching(self, n=4):
+        # n symbolic booleans → 2^n normal paths.
+        body = tuple(ISym(f"b{i}", i) for i in range(n))
+        for i in range(n):
+            body += (IfGoto(PVar(f"b{i}").eq(Lit(True)), len(body) + 1),)
+        body += (Return(Lit("done")),)
+        return prog_of(Proc("main", (), body))
+
+    def test_max_paths_caps_and_counts_drops(self):
+        config = EngineConfig(max_paths=3)
+        result = symbolic_explorer(self._wide_branching(), config).run("main")
+        assert result.stats.paths_finished <= 3
+        assert result.stats.paths_dropped > 0
+
+    def test_max_paths_not_hit_drops_nothing(self):
+        config = EngineConfig(max_paths=100_000)
+        result = symbolic_explorer(self._wide_branching(), config).run("main")
+        assert result.stats.paths_dropped == 0
+        assert result.stats.paths_finished == 16
+
     def test_branching_explores_all_paths(self):
         # Two symbolic booleans → up to 4 normal paths.
         body = (

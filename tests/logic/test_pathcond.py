@@ -1,0 +1,122 @@
+"""Tests for persistent prefix-chain path conditions (repro.logic.pathcond).
+
+The prefix-chain representation changed ``PathCondition``'s internals
+(shared trails, O(new) conjoin) — these tests pin the *observable*
+semantics: ordered deduplicated conjuncts, structural equality/hashing,
+flattening of nested conjunctions, and independence of sibling branches.
+"""
+
+import pickle
+
+from repro.logic.expr import TRUE, Lit, LVar, conj
+from repro.logic.pathcond import PathCondition
+
+x, y, z = LVar("x"), LVar("y"), LVar("z")
+a = x.lt(Lit(1))
+b = y.lt(Lit(2))
+c = z.lt(Lit(3))
+
+
+class TestDedupSemantics:
+    """Regression: conjoin dedup semantics are unchanged by the rewrite."""
+
+    def test_conjoin_skips_duplicate(self):
+        pc = PathCondition.of(a, b)
+        assert pc.conjoin(a) is pc
+        assert pc.conjuncts == (a, b)
+
+    def test_conjoin_all_dedups_within_batch(self):
+        pc = PathCondition.true().conjoin_all([a, b, a, b, c, a])
+        assert pc.conjuncts == (a, b, c)
+
+    def test_conjoin_all_dedups_against_prefix(self):
+        pc = PathCondition.of(a, b).conjoin_all([b, c, a])
+        assert pc.conjuncts == (a, b, c)
+
+    def test_duplicate_deep_in_chain(self):
+        # The duplicate sits several extensions back; membership must see
+        # the whole prefix, not just the immediate parent's delta.
+        pc = PathCondition.of(a).conjoin(b).conjoin(c)
+        assert pc.conjoin(a) is pc
+
+    def test_constructor_dedups(self):
+        assert PathCondition((a, b, a)).conjuncts == (a, b)
+
+    def test_nested_conjunction_flattened(self):
+        pc = PathCondition.true().conjoin(conj(a, conj(b, c)))
+        assert pc.conjuncts == (a, b, c)
+
+    def test_true_conjunct_dropped(self):
+        pc = PathCondition.true().conjoin(conj(a, TRUE))
+        assert pc.conjuncts == (a,)
+        assert PathCondition.true().conjoin(TRUE) is PathCondition.true()
+
+    def test_order_preserved(self):
+        pc = PathCondition.of(c, a, b)
+        assert pc.conjuncts == (c, a, b)
+
+
+class TestChainStructure:
+    def test_parent_and_added(self):
+        root = PathCondition.true()
+        child = root.conjoin(a)
+        grandchild = child.conjoin_all([b, c])
+        assert child.parent is root and child.added == (a,)
+        assert grandchild.parent is child and grandchild.added == (b, c)
+        assert grandchild.conjuncts == (a, b, c)
+
+    def test_sibling_branches_independent(self):
+        # Both children extend the same parent (the second forks the trail);
+        # neither sees the other's conjuncts and the parent is unchanged.
+        parent = PathCondition.of(a)
+        left = parent.conjoin(b)
+        right = parent.conjoin(c)
+        assert left.conjuncts == (a, b)
+        assert right.conjuncts == (a, c)
+        assert parent.conjuncts == (a,)
+        assert b not in right and c not in left
+
+    def test_true_is_shared_singleton(self):
+        assert PathCondition.true() is PathCondition.true()
+        PathCondition.true().conjoin(a)  # must not mutate the singleton
+        assert len(PathCondition.true()) == 0
+        assert a not in PathCondition.true()
+
+    def test_uids_are_distinct(self):
+        pc1, pc2 = PathCondition.of(a), PathCondition.of(a)
+        assert pc1.uid != pc2.uid
+
+
+class TestPublicSurface:
+    def test_equality_is_structural(self):
+        chain = PathCondition.true().conjoin(a).conjoin(b)
+        flat = PathCondition((a, b))
+        assert chain == flat
+        assert hash(chain) == hash(flat)
+        assert chain != PathCondition((b, a))
+
+    def test_membership_and_iter(self):
+        pc = PathCondition.of(a, b)
+        assert a in pc and b in pc and c not in pc
+        assert list(pc) == [a, b]
+        assert len(pc) == 2
+
+    def test_extend_is_restriction(self):
+        pc = PathCondition.of(a).extend(PathCondition.of(b, a))
+        assert pc.conjuncts == (a, b)
+
+    def test_implies_syntactically(self):
+        big, small = PathCondition.of(a, b, c), PathCondition.of(c, a)
+        assert big.implies_syntactically(small)
+        assert not small.implies_syntactically(big)
+
+    def test_pickle_roundtrip(self):
+        pc = PathCondition.of(a).conjoin(b)
+        back = pickle.loads(pickle.dumps(pc))
+        assert back == pc and back.conjuncts == (a, b)
+
+    def test_immutable(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            PathCondition.of(a).uid = 7
