@@ -1,16 +1,40 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-solver clean
+.PHONY: help test verify lint bench bench-solver bench-strategies clean
+
+help:
+	@echo "Targets:"
+	@echo "  test             tier-1 test suite (pytest -x -q)"
+	@echo "  verify           tier-1 tests + strategy-invariance smoke bench (<30s)"
+	@echo "  lint             byte-compile src/benchmarks/tests; forbid print() in src/"
+	@echo "  bench            all benchmark harnesses (regenerates tables/reports)"
+	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
+	@echo "  bench-strategies strategy benchmark + invariance (BENCH_strategies.json)"
+	@echo "  clean            remove caches and build artefacts"
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-bench: bench-solver
+verify: test
+	$(PYTHON) benchmarks/bench_strategies.py --smoke
+
+lint:
+	$(PYTHON) -m compileall -q src benchmarks tests
+	@if grep -rnE '(^|[^[:alnum:]_.])print\(' src; then \
+		echo "lint: print() is forbidden in src/ (use the event bus or return values)"; \
+		exit 1; \
+	fi
+	@echo "lint: ok"
+
+bench: bench-solver bench-strategies
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-solver:
 	$(PYTHON) benchmarks/bench_solver.py
+
+bench-strategies:
+	$(PYTHON) benchmarks/bench_strategies.py
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

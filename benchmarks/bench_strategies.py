@@ -1,0 +1,245 @@
+"""Strategy benchmark: search-order invariance and per-strategy costs.
+
+Runs the Table 1 (Buckets-style MiniJS) and Table 2 (Collections-C-style
+MiniC) symbolic-testing workloads under every search strategy the
+scheduler supports — DFS, BFS, seeded random, coverage-guided — and:
+
+* asserts that the exhaustive runs yield **identical multisets of final
+  outcomes** regardless of strategy (exploration order may change when a
+  path is found, never what is found: branching is path-local and
+  allocation records are threaded through states);
+* reports per-strategy statistics: paths found, paths/second, executed
+  GIL commands, solver time, wall time, and the stop reason;
+* measures the **event-bus overhead** when a bus is attached with no
+  subscriber — the scheduler's emission guard must keep it under 5% of
+  wall time on a pure-stepping workload.
+
+Emits ``BENCH_strategies.json`` next to the repository root.  The
+``--smoke`` mode runs a subset (first two suites per table, fewer
+overhead repeats), performs the same invariance assertion, and writes
+nothing — it is the <30s CI guard wired into ``make verify``.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_strategies.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import Counter
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.engine.events import EventBus
+from repro.engine.explorer import Explorer
+from repro.gil.syntax import Assignment, Goto, IfGoto, Proc, Prog, Return
+from repro.logic.expr import Lit, PVar
+from repro.state.concrete import ConcreteStateModel
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileConcreteMemory
+from repro.testing.harness import SymbolicTester
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_strategies.json",
+)
+
+#: the four scheduler policies under test (random pinned to a seed so the
+#: whole benchmark is reproducible)
+STRATEGIES = ["dfs", "bfs", "random:1234", "coverage"]
+
+
+def workloads(smoke: bool = False):
+    """(language, suite name, source, tests) for every Table 1/2 suite."""
+    from repro.targets.c_like import MiniCLanguage
+    from repro.targets.c_like.collections import suites as c_suites
+    from repro.targets.js_like import MiniJSLanguage
+    from repro.targets.js_like.buckets import suites as js_suites
+
+    out = []
+    js = MiniJSLanguage()
+    js_names = js_suites.suite_names()
+    c = MiniCLanguage()
+    c_names = c_suites.suite_names()
+    if smoke:
+        js_names, c_names = js_names[:2], c_names[:2]
+    for name in js_names:
+        source, tests = js_suites.suite(name)
+        out.append((js, f"table1/{name}", source, tests))
+    for name in c_names:
+        source, tests = c_suites.suite(name)
+        out.append((c, f"table2/{name}", source, tests))
+    return out
+
+
+def run_strategy(strategy: str, smoke: bool = False) -> Tuple[Counter, Dict]:
+    """One full workload pass under ``strategy``.
+
+    Returns the multiset of final outcomes — keyed by (suite, test,
+    outcome kind, outcome value) — and the aggregated statistics.
+    """
+    multiset: Counter = Counter()
+    agg = {
+        "strategy": strategy,
+        "tests": 0,
+        "finals": 0,
+        "commands": 0,
+        "solver_queries": 0,
+        "solver_time": 0.0,
+        "wall_time": 0.0,
+        "non_exhaustive_runs": 0,
+    }
+    for language, name, source, tests in workloads(smoke):
+        tester = SymbolicTester(language, replay=False, strategy=strategy)
+        prog = language.compile(source)
+        for test in tests:
+            solver = tester.make_solver()
+            sm = SymbolicStateModel(language.symbolic_memory(), solver=solver)
+            result = Explorer(prog, sm, tester.config, strategy=strategy).run(test)
+            agg["tests"] += 1
+            agg["finals"] += len(result.finals)
+            agg["commands"] += result.stats.commands_executed
+            agg["solver_queries"] += result.stats.solver_queries
+            agg["solver_time"] += result.stats.solver_time
+            agg["wall_time"] += result.stats.wall_time
+            if result.stats.stop_reason != "exhausted":
+                agg["non_exhaustive_runs"] += 1
+            for fin in result.finals:
+                multiset[(name, test, fin.kind.name, repr(fin.value))] += 1
+    agg["paths_per_sec"] = round(
+        agg["finals"] / agg["wall_time"] if agg["wall_time"] else 0.0, 1
+    )
+    agg["solver_time"] = round(agg["solver_time"], 4)
+    agg["wall_time"] = round(agg["wall_time"], 4)
+    return multiset, agg
+
+
+def _stepping_program(iterations: int) -> Prog:
+    """A branch-free counting loop: pure scheduler stepping, no solver."""
+    prog = Prog()
+    prog.add(
+        Proc(
+            "main",
+            (),
+            (
+                Assignment("i", Lit(0)),                      # 0
+                IfGoto(PVar("i").lt(Lit(iterations)), 3),     # 1
+                Return(PVar("i")),                            # 2
+                Assignment("i", PVar("i") + Lit(1)),          # 3
+                Goto(1),                                      # 4
+            ),
+        )
+    )
+    return prog
+
+
+def measure_bus_overhead(iterations: int = 30_000, repeats: int = 5) -> Dict:
+    """Wall-time cost of an attached, subscriber-less event bus.
+
+    A concrete counting loop isolates the per-step emission guard (the
+    worst case: step cost is minimal, so any per-step overhead is most
+    visible).  Takes the min over ``repeats`` to suppress timer noise.
+    """
+    prog = _stepping_program(iterations)
+
+    def one_run(events) -> float:
+        sm = ConcreteStateModel(WhileConcreteMemory())
+        explorer = Explorer(prog, sm, events=events)
+        start = time.perf_counter()
+        result = explorer.run("main")
+        elapsed = time.perf_counter() - start
+        assert result.sole_outcome.value == iterations
+        return elapsed
+
+    without_bus = min(one_run(None) for _ in range(repeats))
+    with_bus = min(one_run(EventBus()) for _ in range(repeats))
+    overhead = (with_bus - without_bus) / without_bus if without_bus else 0.0
+    return {
+        "steps": iterations * 3 + 2,
+        "repeats": repeats,
+        "no_bus_sec": round(without_bus, 4),
+        "idle_bus_sec": round(with_bus, 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "under_5pct": overhead < 0.05,
+    }
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "smoke" if smoke else "full"
+    print(f"== bench_strategies ({mode}) ==")
+
+    reference: Counter = Counter()
+    per_strategy: Dict[str, Dict] = {}
+    invariant = True
+    for i, strategy in enumerate(STRATEGIES):
+        multiset, agg = run_strategy(strategy, smoke=smoke)
+        per_strategy[strategy] = agg
+        if i == 0:
+            reference = multiset
+        elif multiset != reference:
+            invariant = False
+            missing = reference - multiset
+            extra = multiset - reference
+            print(f"!! {strategy}: finals multiset differs from {STRATEGIES[0]}")
+            for key in list(missing)[:5]:
+                print(f"   missing: {key}")
+            for key in list(extra)[:5]:
+                print(f"   extra:   {key}")
+        print(
+            f"{strategy:12s} finals={agg['finals']:5d} "
+            f"paths/sec={agg['paths_per_sec']:8.1f} "
+            f"solver={agg['solver_time']:6.2f}s wall={agg['wall_time']:6.2f}s"
+        )
+
+    exhaustive = all(
+        agg["non_exhaustive_runs"] == 0 for agg in per_strategy.values()
+    )
+    overhead = measure_bus_overhead(
+        iterations=5_000 if smoke else 30_000, repeats=3 if smoke else 5
+    )
+    print(
+        f"event-bus overhead (idle bus): {overhead['overhead_pct']}% "
+        f"({'<' if overhead['under_5pct'] else '>='}5% target)"
+    )
+
+    passed = invariant and exhaustive and overhead["under_5pct"]
+    print(f"strategy invariance: {'ok' if invariant else 'FAILED'}")
+    if not exhaustive:
+        print("!! some runs stopped before exhausting their paths")
+
+    if not smoke:
+        report = {
+            "benchmark": "bench_strategies",
+            "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
+            "strategies": per_strategy,
+            "finals_multiset_size": sum(reference.values()),
+            "distinct_finals": len(reference),
+            "invariance": {
+                "target": "identical multisets of finals across strategies",
+                "identical": invariant,
+                "all_exhaustive": exhaustive,
+            },
+            "event_bus_overhead": overhead,
+            "acceptance": {
+                "target": (
+                    "identical finals multisets under all strategies; "
+                    "idle event bus < 5% wall time"
+                ),
+                "passed": passed,
+            },
+        }
+        with open(OUT_PATH, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {OUT_PATH}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -61,14 +61,16 @@ def run_suite(
     name: str,
     config: Optional[EngineConfig] = None,
     replay: bool = False,
+    strategy=None,
 ) -> SuiteRow:
     """Run one suite (one table row) and collect its statistics.
 
     ``replay=False``: table timing measures the symbolic analysis itself
     (counter-model replay is covered by the soundness harness).
+    ``strategy`` selects the scheduler's search order (default DFS).
     """
     prog = language.compile(source)
-    tester = SymbolicTester(language, config=config, replay=replay)
+    tester = SymbolicTester(language, config=config, replay=replay, strategy=strategy)
     commands = 0
     elapsed = 0.0
     failures: List[str] = []
@@ -81,7 +83,9 @@ def run_suite(
     return SuiteRow(name, len(tests), commands, elapsed, failures)
 
 
-def run_table1(config: Optional[EngineConfig] = None) -> TableReport:
+def run_table1(
+    config: Optional[EngineConfig] = None, strategy=None
+) -> TableReport:
     """Table 1: the Buckets-style MiniJS suites under Gillian-JS."""
     from repro.targets.js_like import MiniJSLanguage
     from repro.targets.js_like.buckets import suites
@@ -90,11 +94,13 @@ def run_table1(config: Optional[EngineConfig] = None) -> TableReport:
     rows = []
     for name in suites.suite_names():
         source, tests = suites.suite(name)
-        rows.append(run_suite(language, source, tests, name, config))
+        rows.append(run_suite(language, source, tests, name, config, strategy=strategy))
     return TableReport(rows)
 
 
-def run_table2(config: Optional[EngineConfig] = None) -> TableReport:
+def run_table2(
+    config: Optional[EngineConfig] = None, strategy=None
+) -> TableReport:
     """Table 2: the Collections-C-style MiniC suites under Gillian-C."""
     from repro.targets.c_like import MiniCLanguage
     from repro.targets.c_like.collections import suites
@@ -103,5 +109,5 @@ def run_table2(config: Optional[EngineConfig] = None) -> TableReport:
     rows = []
     for name in suites.suite_names():
         source, tests = suites.suite(name)
-        rows.append(run_suite(language, source, tests, name, config))
+        rows.append(run_suite(language, source, tests, name, config, strategy=strategy))
     return TableReport(rows)

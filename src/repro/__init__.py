@@ -22,21 +22,28 @@ Quickstart::
     assert result.passed
 """
 
+from repro.engine.budget import Budget, StopReason
 from repro.engine.concolic import ConcolicTester
 from repro.engine.config import EngineConfig, gillian, javert2_baseline
+from repro.engine.events import EventBus
 from repro.engine.explorer import Explorer
+from repro.engine.strategy import SearchStrategy, make_strategy, strategy_names
 from repro.logic.solver import SatResult, Solver
 from repro.testing.harness import Bug, SuiteResult, SymbolicTester, TestResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Budget",
     "Bug",
     "ConcolicTester",
     "EngineConfig",
+    "EventBus",
     "Explorer",
     "SatResult",
+    "SearchStrategy",
     "Solver",
+    "StopReason",
     "SuiteResult",
     "SymbolicTester",
     "TestResult",
@@ -45,6 +52,8 @@ __all__ = [
     "MiniCLanguage",
     "gillian",
     "javert2_baseline",
+    "make_strategy",
+    "strategy_names",
 ]
 
 

@@ -1,12 +1,33 @@
-"""Execution drivers: path exploration, configurations, concolic mode."""
+"""Execution drivers: scheduler, strategies, budgets, events, concolic mode."""
 
+from repro.engine.budget import Budget, BudgetDecision, StopReason
 from repro.engine.concolic import ConcolicBug, ConcolicReport, ConcolicTester
 from repro.engine.config import EngineConfig, gillian, javert2_baseline
+from repro.engine.events import (
+    BranchEvent,
+    EventBus,
+    PathEndEvent,
+    SolverQueryEvent,
+    StepEvent,
+)
 from repro.engine.explorer import Explorer
 from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.engine.strategy import (
+    BFSStrategy,
+    CoverageGuidedStrategy,
+    DFSStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    make_strategy,
+    strategy_names,
+)
 
 __all__ = [
-    "ConcolicBug", "ConcolicReport", "ConcolicTester", "EngineConfig",
-    "ExecutionResult", "ExecutionStats", "Explorer", "gillian",
-    "javert2_baseline",
+    "BFSStrategy", "BranchEvent", "Budget", "BudgetDecision",
+    "ConcolicBug", "ConcolicReport", "ConcolicTester",
+    "CoverageGuidedStrategy", "DFSStrategy", "EngineConfig", "EventBus",
+    "ExecutionResult", "ExecutionStats", "Explorer", "PathEndEvent",
+    "RandomStrategy", "SearchStrategy", "SolverQueryEvent", "StepEvent",
+    "StopReason", "gillian", "javert2_baseline", "make_strategy",
+    "strategy_names",
 ]

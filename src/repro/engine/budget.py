@@ -1,0 +1,109 @@
+"""Execution budgets: every bound the scheduler enforces, in one object.
+
+Bounded symbolic execution (paper §1: "exploring all paths and unrolling
+loops up to a bound") is sound for bug-finding by the relaxed
+trace-composition result (§3.1): the engine has permission to drop paths
+by need.  Historically each bound was an ad-hoc ``if`` scattered through
+the exploration loop; :class:`Budget` unifies them behind a single
+:meth:`decide` call per scheduler iteration, and the decision records
+*why* exploration stopped so :class:`~repro.engine.results.ExecutionStats`
+can report it.
+
+Bounds:
+
+* ``max_steps_per_path`` — loop-unrolling bound: a popped item deeper
+  than this is dropped (the path, not the run).
+* ``max_paths`` — cap on finished+pending paths: overshoot is *evicted*
+  from the worklist (the strategy chooses the victims).
+* ``max_total_steps`` — global command budget: stops the run.
+* ``deadline`` — wall-clock budget in seconds: stops the run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class StopReason(enum.Enum):
+    """Why a scheduler run ended; stored in ``ExecutionStats.stop_reason``."""
+
+    #: the worklist drained — every path ran to a final or was dropped at
+    #: its depth bound (the only *exhaustive* stop)
+    EXHAUSTED = "exhausted"
+    #: the ``max_paths`` eviction emptied the worklist
+    MAX_PATHS = "max-paths"
+    #: the global ``max_total_steps`` command budget ran out
+    MAX_TOTAL_STEPS = "max-total-steps"
+    #: the wall-clock ``deadline`` passed
+    DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class BudgetDecision:
+    """The budget's verdict for one scheduler iteration.
+
+    Exactly one of three shapes: ``stop`` set (end the run, dropping the
+    current item and everything pending), ``drop_path`` (discard the
+    current item only, keep running), or neither (continue; first
+    evicting ``evict`` pending items if positive).  ``cap_hit`` marks a
+    drop caused by the path cap rather than the depth bound, so the
+    scheduler can report ``max-paths`` when the cap drains the worklist.
+    """
+
+    stop: Optional[StopReason] = None
+    drop_path: bool = False
+    evict: int = 0
+    cap_hit: bool = False
+
+
+_CONTINUE = BudgetDecision()
+_DROP_PATH = BudgetDecision(drop_path=True)
+
+
+@dataclass(frozen=True)
+class Budget:
+    """All scheduler bounds; checked at exactly one point in the loop."""
+
+    max_steps_per_path: int = 100_000
+    max_paths: int = 100_000
+    max_total_steps: int = 5_000_000
+    #: wall-clock budget for one ``explore`` call, in seconds (None: off)
+    deadline: Optional[float] = None
+
+    @classmethod
+    def from_config(cls, config) -> "Budget":
+        """The budget an :class:`~repro.engine.config.EngineConfig` implies."""
+        return cls(
+            max_steps_per_path=config.max_steps_per_path,
+            max_paths=config.max_paths,
+            max_total_steps=config.max_total_steps,
+            deadline=getattr(config, "deadline", None),
+        )
+
+    def decide(
+        self, stats, depth: int, pending: int, elapsed: float
+    ) -> BudgetDecision:
+        """Judge the item just popped (at ``depth``) against every bound.
+
+        ``stats`` is the run's live :class:`ExecutionStats`; ``pending``
+        is the worklist size *after* the pop; ``elapsed`` is wall-clock
+        seconds since the run started.
+        """
+        if stats.commands_executed >= self.max_total_steps:
+            return BudgetDecision(stop=StopReason.MAX_TOTAL_STEPS)
+        if self.deadline is not None and elapsed >= self.deadline:
+            return BudgetDecision(stop=StopReason.DEADLINE)
+        # Path cap: the popped item plus everything pending are prospective
+        # paths on top of those already finished.  Overshoot is evicted
+        # (strategy's choice of victims); if even the popped item is over
+        # the cap, it is dropped too.
+        overshoot = stats.paths_finished + pending + 1 - self.max_paths
+        if overshoot > pending:
+            return BudgetDecision(drop_path=True, evict=pending, cap_hit=True)
+        if depth >= self.max_steps_per_path:
+            return _DROP_PATH
+        if overshoot > 0:
+            return BudgetDecision(evict=overshoot)
+        return _CONTINUE

@@ -114,10 +114,17 @@ class ConcolicTester:
         language: Language,
         config: Optional[EngineConfig] = None,
         max_iterations: int = 64,
+        strategy=None,
+        events=None,
     ) -> None:
         self.language = language
         self.config = config if config is not None else EngineConfig()
         self.max_iterations = max_iterations
+        #: scheduler knobs, handed to every Explorer this driver builds —
+        #: the concrete run and the shadow symbolic run both go through
+        #: the shared scheduler loop (strategy, budget, events included)
+        self.strategy = strategy
+        self.events = events
 
     def run(self, prog: Prog, entry: str) -> ConcolicReport:
         solver = Solver()
@@ -209,7 +216,10 @@ class ConcolicTester:
         conc_sm = ConcreteStateModel(
             self.language.concrete_memory(), ConcreteAllocator(script=dict(inputs))
         )
-        conc_result = Explorer(prog, conc_sm, self.config).run(entry)
+        conc_result = Explorer(
+            prog, conc_sm, self.config,
+            strategy=self.strategy, events=self.events,
+        ).run(entry)
         finals = [
             f for f in conc_result.finals if f.kind is not OutcomeKind.VANISH
         ]
@@ -222,9 +232,10 @@ class ConcolicTester:
         sym_sm = _DirectedSymbolicModel(
             self.language.symbolic_memory(), solver, oracle
         )
-        sym_result = Explorer(prog, sym_sm, self.config).explore(
-            [self._initial_config(sym_sm, prog, entry)]
-        )
+        sym_result = Explorer(
+            prog, sym_sm, self.config,
+            strategy=self.strategy, events=self.events,
+        ).explore([self._initial_config(sym_sm, prog, entry)])
         all_finals = sym_result.finals
         if not all_finals:
             return conc_final, None

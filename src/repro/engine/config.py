@@ -16,6 +16,7 @@ same analysis under both configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -36,6 +37,13 @@ class EngineConfig:
     max_paths: int = 100_000
     #: global bound on executed GIL commands
     max_total_steps: int = 5_000_000
+    #: wall-clock budget per ``explore`` call, in seconds (None: unbounded)
+    deadline: Optional[float] = None
+    #: search strategy spec: "dfs" | "bfs" | "random" | "random:<seed>" |
+    #: "coverage" (see :mod:`repro.engine.strategy`)
+    strategy: str = "dfs"
+    #: PRNG seed for the "random" strategy (when the spec carries none)
+    random_seed: int = 0
 
 
 def gillian(**overrides) -> EngineConfig:

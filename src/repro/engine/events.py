@@ -1,0 +1,118 @@
+"""The execution event bus.
+
+Instrumentation for the scheduler loop and the solver without baking any
+consumer into the hot path: the scheduler and solver hold an optional
+:class:`EventBus` and guard every emission with its truthiness, so an
+unattached or subscriber-less bus costs one falsy check per step — the
+near-zero-overhead-when-unsubscribed contract the benchmarks assert.
+
+Events are small frozen dataclasses:
+
+* :class:`StepEvent` — one GIL command stepped by the scheduler;
+* :class:`BranchEvent` — a step that produced more than one successor;
+* :class:`PathEndEvent` — a path reached a final (normal/error/vanish);
+* :class:`SolverQueryEvent` — the solver answered one satisfiability
+  query (emitted from :mod:`repro.logic.solver`).
+
+Consumers subscribe a callable, optionally filtered to specific event
+types; :class:`repro.testing.trace.JsonlEventSink` is the stock JSONL
+consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Iterable, List, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One GIL command executed by the scheduler."""
+
+    proc: str
+    idx: int
+    depth: int
+    successors: int
+    finals: int
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """A step that split the path into ``arms`` successors."""
+
+    proc: str
+    idx: int
+    depth: int
+    arms: int
+
+
+@dataclass(frozen=True)
+class PathEndEvent:
+    """A path reached a final outcome."""
+
+    kind: str      # OutcomeKind name: NORMAL / ERROR / VANISH
+    depth: int
+    value: object  # outcome value (symbolic expression or concrete value)
+
+
+@dataclass(frozen=True)
+class SolverQueryEvent:
+    """The solver answered one query (cache hits included)."""
+
+    result: str     # SatResult name: SAT / UNSAT / UNKNOWN
+    conjuncts: int  # size of the queried conjunction
+    cached: bool    # answered without running a solve pipeline
+    time: float     # seconds spent answering (0.0 for cache hits)
+
+
+Event = object
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """A tiny synchronous pub/sub hub.
+
+    ``bool(bus)`` is False while nobody subscribes; emitters use that to
+    skip event construction entirely, which keeps the unsubscribed cost
+    to a single branch.
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Tuple[Subscriber, Optional[tuple]]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._subscribers)
+
+    def subscribe(
+        self,
+        callback: Subscriber,
+        kinds: Optional[Iterable[Type[Event]]] = None,
+    ) -> Subscriber:
+        """Register ``callback``; ``kinds`` filters to those event types.
+
+        Returns the callback so it can be passed to :meth:`unsubscribe`.
+        """
+        self._subscribers.append(
+            (callback, tuple(kinds) if kinds is not None else None)
+        )
+        return callback
+
+    def unsubscribe(self, callback: Subscriber) -> None:
+        self._subscribers = [
+            (cb, kinds) for cb, kinds in self._subscribers if cb is not callback
+        ]
+
+    def emit(self, event: Event) -> None:
+        for callback, kinds in self._subscribers:
+            if kinds is None or isinstance(event, kinds):
+                callback(event)
+
+
+def event_payload(event: Event) -> dict:
+    """``{"event": <type name>, ...fields}`` — the serialisation shape."""
+    payload = {"event": type(event).__name__}
+    for f in fields(event):
+        payload[f.name] = getattr(event, f.name)
+    return payload

@@ -1,14 +1,34 @@
-"""The symbolic execution driver.
+"""The symbolic execution driver: a scheduler over GIL configurations.
 
 Explores all branches of the GIL semantics up to configurable bounds
 (paper §1: "exploring all paths and unrolling loops up to a bound").
-Dropping a path at the bound is sound for bug-finding by the relaxed
+Dropping a path at a bound is sound for bug-finding by the relaxed
 trace-composition result (paper §3.1): "this gives us permission to
 arbitrarily drop paths in the analysis by need".
 
-The same explorer drives concrete execution — a concrete state model
+The driver is a thin scheduler composed from three pluggable layers:
+
+* a :class:`~repro.engine.strategy.SearchStrategy` owns the worklist and
+  decides exploration order and eviction victims (DFS by default);
+* a :class:`~repro.engine.budget.Budget` owns every bound — per-path
+  depth, path cap, global steps, wall-clock deadline — judged by a
+  single :meth:`~repro.engine.budget.Budget.decide` call per iteration,
+  and the run records *why* it stopped in ``ExecutionStats.stop_reason``;
+* an optional :class:`~repro.engine.events.EventBus` receives
+  step/branch/path-end events from the loop (and solver-query events
+  from the attached solver); when absent or subscriber-less the loop
+  pays one falsy check per step.
+
+The same scheduler drives concrete execution — a concrete state model
 simply never branches — which is what the differential conformance tests
-(E5) and counter-model replay (Thm. 3.6) rely on.
+(E5), counter-model replay (Thm. 3.6), the concolic driver, and the
+symbolic testing harness all rely on: one exploration loop, many modes.
+
+For an exhaustive run (stop reason ``exhausted``) the strategy cannot
+change the *multiset* of final outcomes, only the order they are found
+in: branching is path-local and allocation records are threaded through
+states, so every path produces the same finals whenever it is scheduled.
+``benchmarks/bench_strategies.py`` asserts this invariance.
 """
 
 from __future__ import annotations
@@ -16,8 +36,16 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
+from repro.engine.budget import Budget, StopReason
 from repro.engine.config import EngineConfig
+from repro.engine.events import (
+    BranchEvent,
+    EventBus,
+    PathEndEvent,
+    StepEvent,
+)
 from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.engine.strategy import SearchStrategy, StrategySpec, make_strategy
 from repro.gil.semantics import (
     Config,
     Final,
@@ -29,12 +57,30 @@ from repro.gil.syntax import Prog
 
 
 class Explorer:
-    """Runs a GIL program under a state model to completion."""
+    """Runs a GIL program under a state model to completion.
 
-    def __init__(self, prog: Prog, state_model, config: Optional[EngineConfig] = None):
+    ``strategy`` accepts a spec string (``"dfs"``, ``"bfs"``,
+    ``"random[:seed]"``, ``"coverage"``) or a ready
+    :class:`SearchStrategy` instance; None defers to
+    ``config.strategy``.  ``budget`` defaults to the bounds the config
+    carries.  ``events`` is an optional :class:`EventBus`.
+    """
+
+    def __init__(
+        self,
+        prog: Prog,
+        state_model,
+        config: Optional[EngineConfig] = None,
+        strategy: StrategySpec = None,
+        budget: Optional[Budget] = None,
+        events: Optional[EventBus] = None,
+    ):
         self.prog = prog
         self.sm = state_model
         self.config = config if config is not None else EngineConfig()
+        self.strategy = strategy
+        self.budget = budget if budget is not None else Budget.from_config(self.config)
+        self.events = events
 
     def run(
         self,
@@ -56,56 +102,84 @@ class Explorer:
         cfg = make_call_config(self.sm, state, self.prog, proc, evaluated)
         return self.explore([cfg])
 
+    def _make_strategy(self) -> SearchStrategy:
+        spec = self.strategy if self.strategy is not None else self.config.strategy
+        return make_strategy(spec, seed=self.config.random_seed)
+
     def explore(self, configs: List[Config]) -> ExecutionResult:
         stats = ExecutionStats()
+        strategy = self._make_strategy()
+        budget = self.budget
+        bus = self.events  # truthy only when subscribers are attached
         solver = getattr(self.sm, "solver", None)
-        base_queries = solver.stats.queries if solver else 0
-        base_hits = solver.stats.cache_hits if solver else 0
-        base_prefix = solver.stats.prefix_hits if solver else 0
-        base_reuse = solver.stats.model_reuse_hits if solver else 0
-        base_time = solver.stats.solve_time if solver else 0.0
+        solver_stats = solver.stats if solver is not None else None
+        # Route this run's solver queries onto our bus (restored on exit:
+        # nested or interleaved explorers over a shared solver each see
+        # their own wiring).
+        prev_solver_events = None
+        if solver is not None and bus is not None:
+            prev_solver_events = solver.events
+            solver.events = bus
+
         start = time.perf_counter()
-
         finals: List[Final] = []
-        # Worklist of (configuration, steps taken along this path); DFS.
-        worklist = [(cfg, 0) for cfg in configs]
-        while worklist:
-            if stats.commands_executed >= self.config.max_total_steps:
-                stats.paths_dropped += len(worklist)
-                break
-            if stats.paths_finished + len(worklist) > self.config.max_paths:
-                # Over the path cap: drop the excess branches and count them
-                # (sound per relaxed composition, paper §3.1).
-                excess = min(
-                    stats.paths_finished + len(worklist) - self.config.max_paths,
-                    len(worklist),
+        try:
+            for cfg in configs:
+                strategy.push((cfg, 0))
+            stop = StopReason.EXHAUSTED
+            while len(strategy):
+                cfg, depth = strategy.pop()
+                # The one budget checkpoint of the loop.
+                decision = budget.decide(
+                    stats,
+                    depth=depth,
+                    pending=len(strategy),
+                    elapsed=time.perf_counter() - start,
                 )
-                del worklist[:excess]
-                stats.paths_dropped += excess
-                if not worklist:
+                if decision.stop is not None:
+                    stats.paths_dropped += 1 + len(strategy)
+                    stop = decision.stop
                     break
-            cfg, depth = worklist.pop()
-            if depth >= self.config.max_steps_per_path:
-                stats.paths_dropped += 1
-                continue
-            successors, finished = step(self.prog, self.sm, cfg)
-            stats.commands_executed += 1
-            for fin in finished:
-                if fin.kind is OutcomeKind.VANISH:
-                    stats.paths_vanished += 1
-                else:
-                    stats.paths_finished += 1
-                    finals.append(fin)
-            for succ in successors:
-                worklist.append((succ, depth + 1))
+                if decision.evict:
+                    stats.paths_dropped += len(strategy.evict(decision.evict))
+                if decision.drop_path:
+                    stats.paths_dropped += 1
+                    if decision.cap_hit and not len(strategy):
+                        stop = StopReason.MAX_PATHS
+                    continue
 
+                # Attribute solver work step-by-step, so interleaved
+                # explorers over a shared state model stay accurate.
+                snap = solver_stats.snapshot() if solver_stats is not None else None
+                successors, finished = step(self.prog, self.sm, cfg)
+                stats.commands_executed += 1
+                if snap is not None:
+                    stats.add_solver_delta(solver_stats.delta(snap))
+
+                if bus:
+                    bus.emit(
+                        StepEvent(
+                            cfg.proc, cfg.idx, depth,
+                            len(successors), len(finished),
+                        )
+                    )
+                    if len(successors) > 1:
+                        bus.emit(
+                            BranchEvent(cfg.proc, cfg.idx, depth, len(successors))
+                        )
+                for fin in finished:
+                    if fin.kind is OutcomeKind.VANISH:
+                        stats.paths_vanished += 1
+                    else:
+                        stats.paths_finished += 1
+                        finals.append(fin)
+                    if bus:
+                        bus.emit(PathEndEvent(fin.kind.name, depth, fin.value))
+                for succ in successors:
+                    strategy.push((succ, depth + 1))
+            stats.stop_reason = stop.value
+        finally:
+            if solver is not None and bus is not None:
+                solver.events = prev_solver_events
         stats.wall_time = time.perf_counter() - start
-        if solver:
-            stats.solver_queries = solver.stats.queries - base_queries
-            stats.solver_cache_hits = solver.stats.cache_hits - base_hits
-            stats.solver_prefix_hits = solver.stats.prefix_hits - base_prefix
-            stats.solver_model_reuse = (
-                solver.stats.model_reuse_hits - base_reuse
-            )
-            stats.solver_time = solver.stats.solve_time - base_time
         return ExecutionResult(finals, stats)

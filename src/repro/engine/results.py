@@ -22,6 +22,9 @@ class ExecutionStats:
     solver_model_reuse: int = 0
     solver_time: float = 0.0
     wall_time: float = 0.0
+    #: why the scheduler stopped (a StopReason value, e.g. "exhausted",
+    #: "max-paths", "max-total-steps", "deadline"); "" before any run
+    stop_reason: str = ""
 
     def merge(self, other: "ExecutionStats") -> None:
         self.commands_executed += other.commands_executed
@@ -34,6 +37,21 @@ class ExecutionStats:
         self.solver_model_reuse += other.solver_model_reuse
         self.solver_time += other.solver_time
         self.wall_time += other.wall_time
+        # A merged run was exhaustive only if every constituent was.
+        reasons = {r for r in (self.stop_reason, other.stop_reason) if r}
+        non_exhaustive = reasons - {"exhausted"}
+        if non_exhaustive:
+            self.stop_reason = sorted(non_exhaustive)[0]
+        elif reasons:
+            self.stop_reason = "exhausted"
+
+    def add_solver_delta(self, delta) -> None:
+        """Fold a :class:`repro.logic.solver.SolverSnapshot` delta in."""
+        self.solver_queries += delta.queries
+        self.solver_cache_hits += delta.cache_hits
+        self.solver_prefix_hits += delta.prefix_hits
+        self.solver_model_reuse += delta.model_reuse_hits
+        self.solver_time += delta.solve_time
 
 
 @dataclass

@@ -91,6 +91,24 @@ class SatResult(enum.Enum):
     UNKNOWN = "unknown"
 
 
+@dataclass(frozen=True)
+class SolverSnapshot:
+    """An immutable capture of the attribution-relevant solver counters.
+
+    Engine runs attribute solver work to themselves by snapshotting
+    around each step and folding the delta into their own
+    :class:`~repro.engine.results.ExecutionStats` — correct even when
+    several explorers interleave over one shared solver, which the old
+    run-level base-counter subtraction was not.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    prefix_hits: int = 0
+    model_reuse_hits: int = 0
+    solve_time: float = 0.0
+
+
 @dataclass
 class SolverStats:
     """Counters surfaced by the benchmark harness."""
@@ -114,6 +132,26 @@ class SolverStats:
     monolithic_solves: int = 0
     #: total wall time spent inside solve entry points, seconds
     solve_time: float = 0.0
+
+    def snapshot(self) -> SolverSnapshot:
+        """The attribution counters, frozen at this instant."""
+        return SolverSnapshot(
+            queries=self.queries,
+            cache_hits=self.cache_hits,
+            prefix_hits=self.prefix_hits,
+            model_reuse_hits=self.model_reuse_hits,
+            solve_time=self.solve_time,
+        )
+
+    def delta(self, since: SolverSnapshot) -> SolverSnapshot:
+        """Counter growth since an earlier :meth:`snapshot`."""
+        return SolverSnapshot(
+            queries=self.queries - since.queries,
+            cache_hits=self.cache_hits - since.cache_hits,
+            prefix_hits=self.prefix_hits - since.prefix_hits,
+            model_reuse_hits=self.model_reuse_hits - since.model_reuse_hits,
+            solve_time=self.solve_time - since.solve_time,
+        )
 
 
 Model = Dict[str, Value]
@@ -196,6 +234,9 @@ class Solver:
         self.cache_enabled = cache_enabled
         self.incremental = incremental
         self.stats = SolverStats()
+        #: optional :class:`repro.engine.events.EventBus`; when truthy,
+        #: every answered query emits a ``SolverQueryEvent``
+        self.events = None
         self._cache: Dict[frozenset, Tuple[SatResult, Optional[Model]]] = {}
         #: prefix contexts by PathCondition.uid
         self._contexts: Dict[int, SolverContext] = {}
@@ -276,6 +317,8 @@ class Solver:
         ctx = self._contexts.get(pc.uid)
         if ctx is not None:
             self.stats.prefix_hits += 1
+            if self.events:
+                self._emit_query(ctx.result, len(ctx.norm), True, 0.0)
             return ctx
         # Walk up to the nearest solved ancestor (iterative: chains can be
         # as deep as the per-path step bound).
@@ -302,15 +345,20 @@ class Solver:
         ctx = self._prefix_cache.get(key) if self.cache_enabled else None
         if ctx is not None:
             self.stats.prefix_hits += 1
+            cached, elapsed = True, 0.0
         else:
             start = time.perf_counter()
             try:
                 ctx = self._solve_extension(parent, pc)
             finally:
-                self.stats.solve_time += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self.stats.solve_time += elapsed
+            cached = False
             if self.cache_enabled:
                 self._prefix_cache[key] = ctx
         self._contexts[pc.uid] = ctx
+        if self.events:
+            self._emit_query(ctx.result, len(ctx.norm), cached, elapsed)
         return ctx
 
     def _solve_extension(
@@ -598,14 +646,36 @@ class Solver:
 
     # -- core ---------------------------------------------------------------
 
+    def _emit_query(
+        self, result: SatResult, conjuncts: int, cached: bool, elapsed: float
+    ) -> None:
+        from repro.engine.events import SolverQueryEvent
+
+        self.events.emit(
+            SolverQueryEvent(
+                result=result.name,
+                conjuncts=conjuncts,
+                cached=cached,
+                time=elapsed,
+            )
+        )
+
     def _check_with_model(
         self, pc: Iterable[Expr], want_model: bool
     ) -> Tuple[SatResult, Optional[Model]]:
+        pc = list(pc)
         start = time.perf_counter()
+        hits_before = self.stats.cache_hits
         try:
-            return self._check_with_model_timed(pc, want_model)
+            result, model = self._check_with_model_timed(pc, want_model)
         finally:
-            self.stats.solve_time += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.stats.solve_time += elapsed
+        if self.events:
+            self._emit_query(
+                result, len(pc), self.stats.cache_hits > hits_before, elapsed
+            )
+        return result, model
 
     def _check_with_model_timed(
         self, pc: Iterable[Expr], want_model: bool

@@ -97,17 +97,27 @@ class SuiteResult:
 
 
 class SymbolicTester:
-    """Runs symbolic tests for a language instantiation."""
+    """Runs symbolic tests for a language instantiation.
+
+    ``strategy`` and ``events`` are handed to the scheduler unchanged
+    (see :class:`repro.engine.explorer.Explorer`): the harness drives the
+    same scheduler loop as every other engine client, so search order,
+    budgets, and instrumentation behave identically here.
+    """
 
     def __init__(
         self,
         language: Language,
         config: Optional[EngineConfig] = None,
         replay: bool = True,
+        strategy=None,
+        events=None,
     ) -> None:
         self.language = language
         self.config = config if config is not None else EngineConfig()
         self.replay = replay
+        self.strategy = strategy
+        self.events = events
 
     def make_solver(self) -> Solver:
         simplifier = Simplifier(
@@ -129,7 +139,9 @@ class SymbolicTester:
         """Symbolically execute ``entry`` and report bugs with models."""
         solver = self.make_solver()
         sm = SymbolicStateModel(self.language.symbolic_memory(), solver=solver)
-        explorer = Explorer(prog, sm, self.config)
+        explorer = Explorer(
+            prog, sm, self.config, strategy=self.strategy, events=self.events
+        )
         start = time.perf_counter()
         result = explorer.run(entry, args)
         bugs = [self._diagnose(prog, entry, fin, solver) for fin in result.errors]

@@ -10,14 +10,20 @@ the reproduction's answer:
   a code-stepper's view;
 * :func:`explain_bug` replays a bug's counter-model under the recorder
   and renders a human-readable report: the inputs ε chose, the last
-  ``n`` executed commands with their effects, and the final error.
+  ``n`` executed commands with their effects, and the final error;
+* :class:`JsonlEventSink` subscribes to the engine's
+  :class:`~repro.engine.events.EventBus` and streams every event —
+  steps, branches, path ends, solver queries — as one JSON object per
+  line, the machine-readable counterpart of the stepper's view.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import IO, Dict, List, Optional, Sequence, Union
 
+from repro.engine.events import EventBus, event_payload
 from repro.gil.semantics import Config, Final, OutcomeKind, make_call_config, step
 from repro.gil.syntax import Prog
 from repro.gil.text import print_command, print_value
@@ -65,6 +71,63 @@ class Trace:
         if self.outcome is not None:
             lines.append(f"outcome: {self.outcome.kind.name}({self.outcome.value!r})")
         return "\n".join(lines)
+
+
+class JsonlEventSink:
+    """Streams engine events to a JSONL file (one JSON object per line).
+
+    Usage::
+
+        bus = EventBus()
+        with JsonlEventSink("run.jsonl", bus) as sink:
+            Explorer(prog, sm, events=bus).run("main")
+
+    Each line is ``{"event": "<TypeName>", ...fields}``; values that are
+    not JSON-serialisable (symbolic expressions, GIL values) are written
+    as their ``repr``.  The sink unsubscribes on :meth:`close`, so once
+    closed the bus is subscriber-less again and the engine's emission
+    guard short-circuits.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        bus: Optional[EventBus] = None,
+        kinds=None,
+    ) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self._bus: Optional[EventBus] = None
+        self.events_written = 0
+        if bus is not None:
+            self.attach(bus, kinds=kinds)
+
+    def attach(self, bus: EventBus, kinds=None) -> "JsonlEventSink":
+        self._bus = bus
+        bus.subscribe(self, kinds=kinds)
+        return self
+
+    def __call__(self, event) -> None:
+        self._fh.write(json.dumps(event_payload(event), default=repr) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class TraceRecorder:

@@ -1,0 +1,152 @@
+"""Tests for the execution event bus (repro.engine.events)."""
+
+import json
+
+from repro.engine.events import (
+    BranchEvent,
+    EventBus,
+    PathEndEvent,
+    SolverQueryEvent,
+    StepEvent,
+    event_payload,
+)
+from repro.engine.explorer import Explorer
+from repro.gil.syntax import IfGoto, ISym, Proc, Prog, Return
+from repro.logic.expr import Lit, PVar
+from repro.state.concrete import ConcreteStateModel
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import (
+    WhileConcreteMemory,
+    WhileSymbolicMemory,
+)
+from repro.testing.trace import JsonlEventSink
+
+
+def branching_prog():
+    body = (
+        ISym("a", 0),
+        IfGoto(PVar("a").eq(Lit(True)), 3),
+        Return(Lit("a-false")),
+        Return(Lit("a-true")),
+    )
+    prog = Prog()
+    prog.add(Proc("main", (), body))
+    return prog
+
+
+class TestEventBus:
+    def test_unsubscribed_bus_is_falsy(self):
+        bus = EventBus()
+        assert not bus
+        bus.subscribe(lambda e: None)
+        assert bus
+
+    def test_unsubscribe_restores_falsy(self):
+        bus = EventBus()
+        cb = bus.subscribe(lambda e: None)
+        bus.unsubscribe(cb)
+        assert not bus
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=[PathEndEvent])
+        bus.emit(StepEvent("p", 0, 0, 1, 0))
+        bus.emit(PathEndEvent("NORMAL", 3, 1))
+        assert [type(e) for e in seen] == [PathEndEvent]
+
+    def test_payload_shape(self):
+        payload = event_payload(StepEvent("p", 2, 5, 1, 0))
+        assert payload == {
+            "event": "StepEvent",
+            "proc": "p",
+            "idx": 2,
+            "depth": 5,
+            "successors": 1,
+            "finals": 0,
+        }
+
+
+class TestSchedulerEmission:
+    def collect(self, prog, state_model):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        result = Explorer(prog, state_model, events=bus).run("main")
+        return result, seen
+
+    def test_step_events_match_commands(self):
+        result, seen = self.collect(
+            branching_prog(), SymbolicStateModel(WhileSymbolicMemory())
+        )
+        steps = [e for e in seen if isinstance(e, StepEvent)]
+        assert len(steps) == result.stats.commands_executed
+
+    def test_branch_and_path_end_events(self):
+        result, seen = self.collect(
+            branching_prog(), SymbolicStateModel(WhileSymbolicMemory())
+        )
+        branches = [e for e in seen if isinstance(e, BranchEvent)]
+        ends = [e for e in seen if isinstance(e, PathEndEvent)]
+        assert len(branches) == 1 and branches[0].arms == 2
+        assert len(ends) == result.stats.paths_finished == 2
+        assert {e.kind for e in ends} == {"NORMAL"}
+
+    def test_solver_query_events_emitted(self):
+        _, seen = self.collect(
+            branching_prog(), SymbolicStateModel(WhileSymbolicMemory())
+        )
+        queries = [e for e in seen if isinstance(e, SolverQueryEvent)]
+        assert queries
+        assert all(q.result in ("SAT", "UNSAT", "UNKNOWN") for q in queries)
+
+    def test_solver_wiring_restored_after_run(self):
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        assert sm.solver.events is None
+        Explorer(branching_prog(), sm, events=bus).run("main")
+        assert sm.solver.events is None
+
+    def test_concrete_run_emits_too(self):
+        prog = Prog()
+        prog.add(Proc("main", (), (Return(Lit(7)),)))
+        result, seen = self.collect(prog, ConcreteStateModel(WhileConcreteMemory()))
+        assert result.sole_outcome.value == 7
+        assert any(isinstance(e, StepEvent) for e in seen)
+        assert any(isinstance(e, PathEndEvent) for e in seen)
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        with JsonlEventSink(str(path), bus) as sink:
+            result = Explorer(branching_prog(), sm, events=bus).run("main")
+            written = sink.events_written
+        assert written > 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == written
+        records = [json.loads(line) for line in lines]
+        kinds = {r["event"] for r in records}
+        assert "StepEvent" in kinds and "PathEndEvent" in kinds
+        steps = [r for r in records if r["event"] == "StepEvent"]
+        assert len(steps) == result.stats.commands_executed
+
+    def test_close_unsubscribes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        sink = JsonlEventSink(str(path), bus)
+        assert bus
+        sink.close()
+        assert not bus
+
+    def test_kind_filtered_sink(self, tmp_path):
+        path = tmp_path / "ends.jsonl"
+        bus = EventBus()
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        with JsonlEventSink(str(path), bus, kinds=[PathEndEvent]):
+            Explorer(branching_prog(), sm, events=bus).run("main")
+        records = [json.loads(l) for l in path.read_text().strip().splitlines()]
+        assert records and all(r["event"] == "PathEndEvent" for r in records)

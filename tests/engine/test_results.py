@@ -1,0 +1,181 @@
+"""Tests for ExecutionStats / ExecutionResult (repro.engine.results)."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.gil.semantics import Final, OutcomeKind
+from repro.logic.solver import SolverSnapshot, SolverStats
+
+
+def final(kind, value=None):
+    return Final(state=None, kind=kind, value=value)
+
+
+class TestStatsMerge:
+    def test_merges_every_numeric_field(self):
+        a = ExecutionStats(
+            commands_executed=2,
+            paths_finished=1,
+            paths_vanished=3,
+            paths_dropped=4,
+            solver_queries=5,
+            solver_cache_hits=6,
+            solver_prefix_hits=7,
+            solver_model_reuse=8,
+            solver_time=0.5,
+            wall_time=1.0,
+        )
+        b = ExecutionStats(
+            commands_executed=10,
+            paths_finished=20,
+            paths_vanished=30,
+            paths_dropped=40,
+            solver_queries=50,
+            solver_cache_hits=60,
+            solver_prefix_hits=70,
+            solver_model_reuse=80,
+            solver_time=0.25,
+            wall_time=2.0,
+        )
+        a.merge(b)
+        assert a.commands_executed == 12
+        assert a.paths_finished == 21
+        assert a.paths_vanished == 33
+        assert a.paths_dropped == 44
+        assert a.solver_queries == 55
+        assert a.solver_cache_hits == 66
+        assert a.solver_prefix_hits == 77
+        assert a.solver_model_reuse == 88
+        assert a.solver_time == 0.75
+        assert a.wall_time == 3.0
+
+    def test_no_field_left_behind(self):
+        """Every numeric counter must change under merge with ones."""
+        numeric = {
+            f.name
+            for f in dataclasses.fields(ExecutionStats)
+            if f.type in ("int", "float")
+        }
+        a = ExecutionStats()
+        b = ExecutionStats(**{name: 1 for name in numeric})
+        a.merge(b)
+        for name in numeric:
+            assert getattr(a, name) == 1, f"merge dropped {name}"
+
+    def test_merge_exhausted_reasons(self):
+        a = ExecutionStats(stop_reason="exhausted")
+        a.merge(ExecutionStats(stop_reason="exhausted"))
+        assert a.stop_reason == "exhausted"
+
+    def test_merge_prefers_non_exhaustive_reason(self):
+        a = ExecutionStats(stop_reason="exhausted")
+        a.merge(ExecutionStats(stop_reason="deadline"))
+        assert a.stop_reason == "deadline"
+        b = ExecutionStats(stop_reason="max-paths")
+        b.merge(ExecutionStats(stop_reason="exhausted"))
+        assert b.stop_reason == "max-paths"
+
+    def test_merge_with_unset_reason(self):
+        a = ExecutionStats()
+        a.merge(ExecutionStats(stop_reason="exhausted"))
+        assert a.stop_reason == "exhausted"
+        b = ExecutionStats()
+        b.merge(ExecutionStats())
+        assert b.stop_reason == ""
+
+
+class TestSolverDelta:
+    def test_add_solver_delta(self):
+        stats = ExecutionStats(solver_queries=1, solver_time=0.5)
+        stats.add_solver_delta(
+            SolverSnapshot(
+                queries=2, cache_hits=3, prefix_hits=4,
+                model_reuse_hits=5, solve_time=0.25,
+            )
+        )
+        assert stats.solver_queries == 3
+        assert stats.solver_cache_hits == 3
+        assert stats.solver_prefix_hits == 4
+        assert stats.solver_model_reuse == 5
+        assert stats.solver_time == 0.75
+
+    def test_snapshot_delta_roundtrip(self):
+        live = SolverStats()
+        snap = live.snapshot()
+        live.queries += 3
+        live.cache_hits += 1
+        live.solve_time += 0.5
+        delta = live.delta(snap)
+        assert delta.queries == 3
+        assert delta.cache_hits == 1
+        assert delta.prefix_hits == 0
+        assert delta.solve_time == 0.5
+
+    def test_interleaved_attribution(self):
+        """Two runs sharing one solver each see only their own work."""
+        live = SolverStats()
+        run_a = ExecutionStats()
+        run_b = ExecutionStats()
+        # Run A steps, issuing 2 queries...
+        snap = live.snapshot()
+        live.queries += 2
+        run_a.add_solver_delta(live.delta(snap))
+        # ...then run B steps, issuing 5.
+        snap = live.snapshot()
+        live.queries += 5
+        run_b.add_solver_delta(live.delta(snap))
+        # ...then run A again, issuing 1.
+        snap = live.snapshot()
+        live.queries += 1
+        run_a.add_solver_delta(live.delta(snap))
+        assert run_a.solver_queries == 3
+        assert run_b.solver_queries == 5
+
+
+class TestExecutionResult:
+    def test_partitions(self):
+        finals = [
+            final(OutcomeKind.NORMAL, 1),
+            final(OutcomeKind.ERROR, "boom"),
+            final(OutcomeKind.VANISH),
+            final(OutcomeKind.NORMAL, 2),
+        ]
+        result = ExecutionResult(finals, ExecutionStats())
+        assert [f.value for f in result.normal] == [1, 2]
+        assert [f.value for f in result.errors] == ["boom"]
+
+    def test_sole_outcome_happy_path(self):
+        result = ExecutionResult(
+            [final(OutcomeKind.NORMAL, 42)], ExecutionStats()
+        )
+        assert result.sole_outcome.value == 42
+
+    def test_sole_outcome_ignores_vanished(self):
+        result = ExecutionResult(
+            [final(OutcomeKind.VANISH), final(OutcomeKind.ERROR, "e")],
+            ExecutionStats(),
+        )
+        assert result.sole_outcome.kind is OutcomeKind.ERROR
+
+    def test_sole_outcome_zero_finals(self):
+        with pytest.raises(ValueError, match="got 0"):
+            ExecutionResult([], ExecutionStats()).sole_outcome
+
+    def test_sole_outcome_only_vanished(self):
+        result = ExecutionResult([final(OutcomeKind.VANISH)], ExecutionStats())
+        with pytest.raises(ValueError, match="got 0"):
+            result.sole_outcome
+
+    def test_sole_outcome_multiple_finals(self):
+        result = ExecutionResult(
+            [final(OutcomeKind.NORMAL, 1), final(OutcomeKind.NORMAL, 2)],
+            ExecutionStats(),
+        )
+        with pytest.raises(ValueError, match="got 2"):
+            result.sole_outcome
+
+    def test_empty_result_partitions_empty(self):
+        result = ExecutionResult([], ExecutionStats())
+        assert result.normal == [] and result.errors == []

@@ -1,0 +1,192 @@
+"""Tests for search strategies (repro.engine.strategy)."""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.explorer import Explorer
+from repro.engine.strategy import (
+    BFSStrategy,
+    CoverageGuidedStrategy,
+    DFSStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    make_strategy,
+    strategy_names,
+)
+from repro.gil.semantics import Config, TopFrame
+from repro.gil.syntax import IfGoto, ISym, Proc, Prog, Return
+from repro.logic.expr import Lit, PVar
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+
+def item(proc: str, idx: int, depth: int = 0):
+    """A WorkItem with a distinguishable configuration."""
+    return (Config(None, (TopFrame(proc),), idx), depth)
+
+
+class TestFactory:
+    def test_names(self):
+        assert strategy_names() == ["bfs", "coverage", "dfs", "random"]
+
+    def test_default_is_dfs(self):
+        assert isinstance(make_strategy(None), DFSStrategy)
+        assert isinstance(make_strategy("dfs"), DFSStrategy)
+
+    def test_each_name_builds(self):
+        for name in strategy_names():
+            strat = make_strategy(name)
+            assert isinstance(strat, SearchStrategy)
+            assert strat.name == name
+
+    def test_random_seed_spec(self):
+        assert make_strategy("random:99").seed == 99
+        assert make_strategy("random", seed=7).seed == 7
+
+    def test_instance_passthrough(self):
+        strat = BFSStrategy()
+        assert make_strategy(strat) is strat
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("astar")
+
+    def test_argument_on_argless_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("dfs:3")
+
+
+class TestOrdering:
+    def test_dfs_is_lifo(self):
+        strat = DFSStrategy()
+        for i in range(3):
+            strat.push(item("p", i))
+        assert [strat.pop()[0].idx for _ in range(3)] == [2, 1, 0]
+
+    def test_bfs_is_fifo(self):
+        strat = BFSStrategy()
+        for i in range(3):
+            strat.push(item("p", i))
+        assert [strat.pop()[0].idx for _ in range(3)] == [0, 1, 2]
+
+    def test_random_is_seed_deterministic(self):
+        orders = []
+        for _ in range(2):
+            strat = RandomStrategy(seed=5)
+            for i in range(8):
+                strat.push(item("p", i))
+            orders.append([strat.pop()[0].idx for _ in range(8)])
+        assert orders[0] == orders[1]
+        assert sorted(orders[0]) == list(range(8))
+
+    def test_random_seeds_differ(self):
+        def order(seed):
+            strat = RandomStrategy(seed=seed)
+            for i in range(16):
+                strat.push(item("p", i))
+            return [strat.pop()[0].idx for _ in range(16)]
+
+        assert order(1) != order(2)
+
+    def test_coverage_prefers_least_visited_site(self):
+        strat = CoverageGuidedStrategy()
+        # Two items at site (p, 0), one at (p, 1).  After popping one
+        # (p, 0) item, the (p, 1) site is less visited and must win even
+        # though the second (p, 0) item was queued earlier.
+        strat.push(item("p", 0))
+        strat.push(item("p", 0))
+        strat.push(item("p", 1))
+        assert strat.pop()[0].idx == 0
+        assert strat.pop()[0].idx == 1
+        assert strat.pop()[0].idx == 0
+
+    def test_coverage_fifo_tiebreak(self):
+        strat = CoverageGuidedStrategy()
+        strat.push(item("a", 0))
+        strat.push(item("b", 0))
+        assert strat.pop()[0].proc == "a"
+        assert strat.pop()[0].proc == "b"
+
+
+class TestEviction:
+    def test_dfs_evicts_oldest(self):
+        strat = DFSStrategy()
+        for i in range(5):
+            strat.push(item("p", i))
+        evicted = strat.evict(2)
+        # Bottom of the stack: what DFS would have explored last.
+        assert [it[0].idx for it in evicted] == [0, 1]
+        assert strat.pop()[0].idx == 4
+
+    def test_bfs_evicts_newest(self):
+        strat = BFSStrategy()
+        for i in range(5):
+            strat.push(item("p", i))
+        evicted = strat.evict(2)
+        assert [it[0].idx for it in evicted] == [3, 4]
+        assert strat.pop()[0].idx == 0
+
+    def test_random_eviction_deterministic(self):
+        def evicted(seed):
+            strat = RandomStrategy(seed=seed)
+            for i in range(6):
+                strat.push(item("p", i))
+            return [it[0].idx for it in strat.evict(3)]
+
+        assert evicted(3) == evicted(3)
+        assert len(evicted(3)) == 3
+
+    def test_coverage_evicts_most_visited(self):
+        strat = CoverageGuidedStrategy()
+        strat.push(item("p", 0))
+        strat.push(item("p", 1))
+        strat.pop()  # visits (p, 0)
+        strat.push(item("p", 0))
+        strat.push(item("p", 2))
+        # Pending: (p,1) unvisited, (p,0) visited once, (p,2) unvisited.
+        evicted = strat.evict(1)
+        assert [it[0].idx for it in evicted] == [0]
+
+    def test_evict_caps_at_length(self):
+        for spec in strategy_names():
+            strat = make_strategy(spec)
+            strat.push(item("p", 0))
+            assert len(strat.evict(10)) == 1
+            assert len(strat) == 0
+
+
+class TestExplorationInvariance:
+    """All strategies find the same multiset of finals on exhaustive runs."""
+
+    def _branching_prog(self, n=4):
+        body = tuple(ISym(f"b{i}", i) for i in range(n))
+        for i in range(n):
+            body += (IfGoto(PVar(f"b{i}").eq(Lit(True)), len(body) + 1),)
+        body += (Return(Lit("done")),)
+        prog = Prog()
+        prog.add(Proc("main", (), body))
+        return prog
+
+    def _finals_multiset(self, strategy):
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        result = Explorer(self._branching_prog(), sm, strategy=strategy).run("main")
+        assert result.stats.stop_reason == "exhausted"
+        finals = sorted((f.kind.name, repr(f.value)) for f in result.finals)
+        return finals, result.stats.paths_finished
+
+    def test_identical_finals_across_strategies(self):
+        reference = self._finals_multiset("dfs")
+        for spec in ("bfs", "random:17", "coverage"):
+            assert self._finals_multiset(spec) == reference
+
+    def test_config_strategy_field_selects_policy(self):
+        config = EngineConfig(strategy="bfs")
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        explorer = Explorer(self._branching_prog(), sm, config)
+        assert isinstance(explorer._make_strategy(), BFSStrategy)
+
+    def test_explicit_strategy_overrides_config(self):
+        config = EngineConfig(strategy="bfs")
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        explorer = Explorer(self._branching_prog(), sm, config, strategy="coverage")
+        assert isinstance(explorer._make_strategy(), CoverageGuidedStrategy)
