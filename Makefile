@@ -1,16 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify lint bench bench-solver bench-strategies clean
+.PHONY: help test verify fuzz lint bench bench-solver bench-strategies bench-parallel clean
 
 help:
 	@echo "Targets:"
 	@echo "  test             tier-1 test suite (pytest -x -q)"
-	@echo "  verify           tier-1 tests + strategy-invariance smoke bench (<30s)"
+	@echo "  verify           tier-1 tests + strategy/parallel smoke benches + fuzz smoke"
+	@echo "  fuzz             differential fuzzer long mode (slow-marked soak tests)"
 	@echo "  lint             byte-compile src/benchmarks/tests; forbid print() in src/"
 	@echo "  bench            all benchmark harnesses (regenerates tables/reports)"
 	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
 	@echo "  bench-strategies strategy benchmark + invariance (BENCH_strategies.json)"
+	@echo "  bench-parallel   parallel-exploration benchmark + determinism (BENCH_parallel.json)"
 	@echo "  clean            remove caches and build artefacts"
 
 test:
@@ -18,6 +20,11 @@ test:
 
 verify: test
 	$(PYTHON) benchmarks/bench_strategies.py --smoke
+	$(PYTHON) benchmarks/bench_parallel.py --smoke
+	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
+
+fuzz:
+	$(PYTHON) -m pytest -q tests/engine/test_fuzz_differential.py -m slow
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tests
@@ -27,7 +34,7 @@ lint:
 	fi
 	@echo "lint: ok"
 
-bench: bench-solver bench-strategies
+bench: bench-solver bench-strategies bench-parallel
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-solver:
@@ -35,6 +42,9 @@ bench-solver:
 
 bench-strategies:
 	$(PYTHON) benchmarks/bench_strategies.py
+
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,209 @@
+"""Parallel-exploration benchmark: determinism and scaling.
+
+Runs the Table 1 (Buckets-style MiniJS) and Table 2 (Collections-C-style
+MiniC) symbolic-testing workloads through the
+:class:`~repro.engine.parallel.ParallelExplorer` at 1, 2, and 4 workers
+and:
+
+* asserts that every worker count yields an **identical multiset of
+  final outcomes** — the parallel explorer's core guarantee: sharding
+  the BFS frontier is a partition of the path set (§3.1 trace
+  composition), branching is path-local, and allocation records are
+  threaded through states, so the merge is outcome-deterministic;
+* reports per-worker-count statistics: finals, executed GIL commands,
+  wall time, and the speedup over the sequential run.
+
+Emits ``BENCH_parallel.json`` next to the repository root.  The
+``--smoke`` mode runs a subset (first suite per table) with workers 1
+and 2 only, performs the same determinism assertion, and writes nothing
+— it is the CI guard wired into ``make verify``.
+
+Acceptance: identical finals multisets at every worker count, and — on
+hosts that actually have multiple CPUs — a ≥1.5× wall-clock speedup at
+4 workers on the heaviest workload.  The speedup criterion is recorded
+but *waived* when ``os.cpu_count() < 2``: process-level parallelism
+cannot beat sequential execution on a single hardware thread, so a
+1-CPU container reports the measured (≈1×, often slightly below due to
+fork/pickle overhead) speedup honestly instead of failing a physically
+impossible target.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_parallel.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import Counter
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.engine.parallel import ParallelExplorer
+from repro.state.symbolic import SymbolicStateModel
+from repro.testing.harness import SymbolicTester
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_parallel.json",
+)
+
+WORKER_COUNTS = [1, 2, 4]
+SPEEDUP_TARGET = 1.5
+
+
+def workloads(smoke: bool = False):
+    """(language, suite name, source, tests) for Table 1/2 suites."""
+    from repro.targets.c_like import MiniCLanguage
+    from repro.targets.c_like.collections import suites as c_suites
+    from repro.targets.js_like import MiniJSLanguage
+    from repro.targets.js_like.buckets import suites as js_suites
+
+    out = []
+    js = MiniJSLanguage()
+    js_names = js_suites.suite_names()
+    c = MiniCLanguage()
+    c_names = c_suites.suite_names()
+    if smoke:
+        js_names, c_names = js_names[:1], c_names[:1]
+    for name in js_names:
+        source, tests = js_suites.suite(name)
+        out.append((js, f"table1/{name}", source, tests))
+    for name in c_names:
+        source, tests = c_suites.suite(name)
+        out.append((c, f"table2/{name}", source, tests))
+    return out
+
+
+def run_workers(workers: int, smoke: bool = False) -> Tuple[Counter, Dict]:
+    """One full workload pass at ``workers`` processes.
+
+    Returns the multiset of final outcomes — keyed by (suite, test,
+    outcome kind, outcome value) — and aggregated statistics.
+    """
+    multiset: Counter = Counter()
+    agg = {
+        "workers": workers,
+        "tests": 0,
+        "finals": 0,
+        "commands": 0,
+        "wall_time": 0.0,
+        "non_exhaustive_runs": 0,
+    }
+    start = time.perf_counter()
+    for language, name, source, tests in workloads(smoke):
+        tester = SymbolicTester(language, replay=False)
+        prog = language.compile(source)
+        for test in tests:
+            solver = tester.make_solver()
+            sm = SymbolicStateModel(language.symbolic_memory(), solver=solver)
+            explorer = ParallelExplorer(prog, sm, tester.config, workers=workers)
+            result = explorer.run(test)
+            agg["tests"] += 1
+            agg["finals"] += len(result.finals)
+            agg["commands"] += result.stats.commands_executed
+            if result.stats.stop_reason != "exhausted":
+                agg["non_exhaustive_runs"] += 1
+            for fin in result.finals:
+                multiset[(name, test, fin.kind.name, repr(fin.value))] += 1
+    agg["wall_time"] = round(time.perf_counter() - start, 4)
+    return multiset, agg
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "smoke" if smoke else "full"
+    cpus = os.cpu_count() or 1
+    worker_counts = WORKER_COUNTS[:2] if smoke else WORKER_COUNTS
+    print(f"== bench_parallel ({mode}, {cpus} cpu{'s' if cpus != 1 else ''}) ==")
+
+    reference: Counter = Counter()
+    per_workers: Dict[str, Dict] = {}
+    identical = True
+    baseline_wall = None
+    for i, workers in enumerate(worker_counts):
+        multiset, agg = run_workers(workers, smoke=smoke)
+        if i == 0:
+            reference = multiset
+            baseline_wall = agg["wall_time"]
+        elif multiset != reference:
+            identical = False
+            missing = reference - multiset
+            extra = multiset - reference
+            print(f"!! workers={workers}: finals multiset differs from workers=1")
+            for key in list(missing)[:5]:
+                print(f"   missing: {key}")
+            for key in list(extra)[:5]:
+                print(f"   extra:   {key}")
+        agg["speedup"] = round(
+            baseline_wall / agg["wall_time"] if agg["wall_time"] else 0.0, 2
+        )
+        per_workers[str(workers)] = agg
+        print(
+            f"workers={workers}  finals={agg['finals']:5d} "
+            f"commands={agg['commands']:7d} wall={agg['wall_time']:7.2f}s "
+            f"speedup={agg['speedup']:.2f}x"
+        )
+
+    exhaustive = all(
+        agg["non_exhaustive_runs"] == 0 for agg in per_workers.values()
+    )
+    best_speedup = max(agg["speedup"] for agg in per_workers.values())
+    speedup_ok = best_speedup >= SPEEDUP_TARGET
+    speedup_waived = cpus < 2
+    if speedup_waived:
+        print(
+            f"speedup target ({SPEEDUP_TARGET}x) waived: host has {cpus} cpu — "
+            f"measured best {best_speedup:.2f}x reported honestly"
+        )
+    else:
+        print(
+            f"best speedup {best_speedup:.2f}x "
+            f"({'meets' if speedup_ok else 'MISSES'} {SPEEDUP_TARGET}x target)"
+        )
+    print(f"outcome determinism: {'ok' if identical else 'FAILED'}")
+    if not exhaustive:
+        print("!! some runs stopped before exhausting their paths")
+
+    passed = identical and exhaustive and (speedup_ok or speedup_waived)
+    if not smoke:
+        report = {
+            "benchmark": "bench_parallel",
+            "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
+            "cpus": cpus,
+            "worker_counts": worker_counts,
+            "per_workers": per_workers,
+            "finals_multiset_size": sum(reference.values()),
+            "distinct_finals": len(reference),
+            "determinism": {
+                "target": "identical multisets of finals at every worker count",
+                "identical": identical,
+                "all_exhaustive": exhaustive,
+            },
+            "speedup": {
+                "target": f">= {SPEEDUP_TARGET}x wall-clock at 4 workers",
+                "best": best_speedup,
+                "met": speedup_ok,
+                "waived_single_cpu": speedup_waived,
+            },
+            "acceptance": {
+                "target": (
+                    "identical finals multisets at 1/2/4 workers; >=1.5x "
+                    "speedup where the host has >1 cpu"
+                ),
+                "passed": passed,
+            },
+        }
+        with open(OUT_PATH, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {OUT_PATH}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,8 +10,22 @@ from repro.engine.events import (
     SolverQueryEvent,
     StepEvent,
 )
+from repro.engine.events import WorkerEvent
 from repro.engine.explorer import Explorer
-from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.engine.parallel import (
+    ConcreteModelFactory,
+    ParallelExplorer,
+    SymbolicModelFactory,
+    WorkerError,
+    resolve_workers,
+)
+from repro.engine.results import (
+    STOP_REASON_PRECEDENCE,
+    ExecutionResult,
+    ExecutionStats,
+    merge_results,
+    merge_stop_reasons,
+)
 from repro.engine.strategy import (
     BFSStrategy,
     CoverageGuidedStrategy,
@@ -25,9 +39,12 @@ from repro.engine.strategy import (
 __all__ = [
     "BFSStrategy", "BranchEvent", "Budget", "BudgetDecision",
     "ConcolicBug", "ConcolicReport", "ConcolicTester",
-    "CoverageGuidedStrategy", "DFSStrategy", "EngineConfig", "EventBus",
-    "ExecutionResult", "ExecutionStats", "Explorer", "PathEndEvent",
-    "RandomStrategy", "SearchStrategy", "SolverQueryEvent", "StepEvent",
-    "StopReason", "gillian", "javert2_baseline", "make_strategy",
+    "ConcreteModelFactory", "CoverageGuidedStrategy", "DFSStrategy",
+    "EngineConfig", "EventBus", "ExecutionResult", "ExecutionStats",
+    "Explorer", "ParallelExplorer", "PathEndEvent", "RandomStrategy",
+    "STOP_REASON_PRECEDENCE", "SearchStrategy", "SolverQueryEvent",
+    "StepEvent", "StopReason", "SymbolicModelFactory", "WorkerError",
+    "WorkerEvent", "gillian", "javert2_baseline", "make_strategy",
+    "merge_results", "merge_stop_reasons", "resolve_workers",
     "strategy_names",
 ]

@@ -82,6 +82,38 @@ class Budget:
             deadline=getattr(config, "deadline", None),
         )
 
+    def shard_slice(
+        self,
+        shards: int,
+        steps_spent: int = 0,
+        paths_found: int = 0,
+        elapsed: float = 0.0,
+    ) -> "Budget":
+        """The per-shard slice of this budget for a ``shards``-way split.
+
+        The global bounds that survive the seeding phase (``steps_spent``
+        commands, ``paths_found`` finished paths, ``elapsed`` seconds)
+        are divided evenly across shards, rounding up so the shard sum
+        covers the remainder; the per-path depth bound is path-local and
+        passes through unchanged.  Exhaustive runs never touch these
+        bounds, which is why slicing preserves the outcome multiset; a
+        budget-bound run stops with the most restrictive shard reason
+        (see ``STOP_REASON_PRECEDENCE``) exactly as a sequential run
+        records why *it* stopped.
+        """
+        shards = max(1, shards)
+        remaining_steps = max(0, self.max_total_steps - steps_spent)
+        remaining_paths = max(0, self.max_paths - paths_found)
+        deadline = None
+        if self.deadline is not None:
+            deadline = max(0.0, self.deadline - elapsed)
+        return Budget(
+            max_steps_per_path=self.max_steps_per_path,
+            max_paths=-(-remaining_paths // shards),
+            max_total_steps=-(-remaining_steps // shards),
+            deadline=deadline,
+        )
+
     def decide(
         self, stats, depth: int, pending: int, elapsed: float
     ) -> BudgetDecision:

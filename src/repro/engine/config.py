@@ -16,7 +16,7 @@ same analysis under both configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 
 @dataclass
@@ -44,6 +44,13 @@ class EngineConfig:
     strategy: str = "dfs"
     #: PRNG seed for the "random" strategy (when the spec carries none)
     random_seed: int = 0
+    #: worker processes for path exploration: 1 (sequential, the
+    #: default), an explicit count, or "auto" (``os.cpu_count()``).
+    #: Values above 1 route harness/parallel-explorer runs through
+    #: :class:`repro.engine.parallel.ParallelExplorer`, which shards the
+    #: frontier across OS processes and merges outcomes
+    #: deterministically (same multiset of finals as ``workers=1``).
+    workers: Union[int, str] = 1
 
 
 def gillian(**overrides) -> EngineConfig:

@@ -65,6 +65,23 @@ class SolverQueryEvent:
     time: float     # seconds spent answering (0.0 for cache hits)
 
 
+@dataclass(frozen=True)
+class WorkerEvent:
+    """An event forwarded from a parallel-explorer worker process.
+
+    Workers run the ordinary scheduler loop against a local bus whose
+    single subscriber marshals every event over a queue; the parent
+    drains the queue and re-emits each one wrapped in this envelope, so
+    consumers see the usual Step/Branch/PathEnd/SolverQuery stream tagged
+    with the shard it came from.  Events from different workers interleave
+    in queue-arrival order; within one worker the order is the worker's
+    own emission order.
+    """
+
+    worker_id: int
+    inner: object   # the original event (StepEvent, BranchEvent, ...)
+
+
 Event = object
 Subscriber = Callable[[Event], None]
 
@@ -111,7 +128,16 @@ class EventBus:
 
 
 def event_payload(event: Event) -> dict:
-    """``{"event": <type name>, ...fields}`` — the serialisation shape."""
+    """``{"event": <type name>, ...fields}`` — the serialisation shape.
+
+    A :class:`WorkerEvent` envelope flattens to its inner event's payload
+    plus a ``worker_id`` field, so JSONL streams of parallel runs stay
+    grep-compatible with sequential ones.
+    """
+    if isinstance(event, WorkerEvent):
+        payload = event_payload(event.inner)
+        payload["worker_id"] = event.worker_id
+        return payload
     payload = {"event": type(event).__name__}
     for f in fields(event):
         payload[f.name] = getattr(event, f.name)

@@ -106,7 +106,17 @@ class Explorer:
         spec = self.strategy if self.strategy is not None else self.config.strategy
         return make_strategy(spec, seed=self.config.random_seed)
 
-    def explore(self, configs: List[Config]) -> ExecutionResult:
+    def explore(
+        self,
+        configs: List[Config],
+        depths: Optional[Sequence[int]] = None,
+    ) -> ExecutionResult:
+        """Drive every configuration to a final under budget and strategy.
+
+        ``depths`` optionally gives the starting depth of each config —
+        parallel-explorer shards resume mid-path, so their loop-unrolling
+        bound must keep counting from where the seeding phase stopped.
+        """
         stats = ExecutionStats()
         strategy = self._make_strategy()
         budget = self.budget
@@ -124,8 +134,8 @@ class Explorer:
         start = time.perf_counter()
         finals: List[Final] = []
         try:
-            for cfg in configs:
-                strategy.push((cfg, 0))
+            for i, cfg in enumerate(configs):
+                strategy.push((cfg, depths[i] if depths is not None else 0))
             stop = StopReason.EXHAUSTED
             while len(strategy):
                 cfg, depth = strategy.pop()
@@ -183,3 +193,103 @@ class Explorer:
                 solver.events = prev_solver_events
         stats.wall_time = time.perf_counter() - start
         return ExecutionResult(finals, stats)
+
+    def explore_frontier(
+        self, configs: List[Config], target: int
+    ) -> "tuple[List[tuple], ExecutionResult]":
+        """Breadth-first seeding: step until the worklist holds ``target``
+        pending items, then hand the frontier back instead of finishing.
+
+        This is the parallel explorer's phase 1.  BFS order is used
+        regardless of the configured strategy so the frontier is a *cut*
+        across the shallow part of the execution tree — every path of the
+        full run extends exactly one frontier item (or already ended),
+        which is what makes sharding the frontier a partition of the path
+        set (§3.1 trace composition: outcomes are path-local).
+
+        Returns ``(items, result)`` where ``items`` is the pending
+        ``(Config, depth)`` list (empty when the run finished during
+        seeding) and ``result`` carries the finals found so far plus the
+        seeding stats.  ``result.stats.stop_reason`` is ``""`` while the
+        frontier is live, or the budget's stop reason if a global bound
+        fired mid-seed (the frontier is then dropped and counted, exactly
+        as :meth:`explore` would have).
+        """
+        from repro.engine.strategy import BFSStrategy
+
+        stats = ExecutionStats()
+        strategy = BFSStrategy()
+        budget = self.budget
+        bus = self.events
+        solver = getattr(self.sm, "solver", None)
+        solver_stats = solver.stats if solver is not None else None
+        prev_solver_events = None
+        if solver is not None and bus is not None:
+            prev_solver_events = solver.events
+            solver.events = bus
+
+        start = time.perf_counter()
+        finals: List[Final] = []
+        items: List[tuple] = []
+        stop: Optional[StopReason] = None
+        try:
+            for cfg in configs:
+                strategy.push((cfg, 0))
+            while len(strategy):
+                if len(strategy) >= target:
+                    items = [strategy.pop() for _ in range(len(strategy))]
+                    break
+                cfg, depth = strategy.pop()
+                decision = budget.decide(
+                    stats,
+                    depth=depth,
+                    pending=len(strategy),
+                    elapsed=time.perf_counter() - start,
+                )
+                if decision.stop is not None:
+                    stats.paths_dropped += 1 + len(strategy)
+                    stop = decision.stop
+                    break
+                if decision.evict:
+                    stats.paths_dropped += len(strategy.evict(decision.evict))
+                if decision.drop_path:
+                    stats.paths_dropped += 1
+                    if decision.cap_hit and not len(strategy):
+                        stop = StopReason.MAX_PATHS
+                    continue
+
+                snap = solver_stats.snapshot() if solver_stats is not None else None
+                successors, finished = step(self.prog, self.sm, cfg)
+                stats.commands_executed += 1
+                if snap is not None:
+                    stats.add_solver_delta(solver_stats.delta(snap))
+
+                if bus:
+                    bus.emit(
+                        StepEvent(
+                            cfg.proc, cfg.idx, depth,
+                            len(successors), len(finished),
+                        )
+                    )
+                    if len(successors) > 1:
+                        bus.emit(
+                            BranchEvent(cfg.proc, cfg.idx, depth, len(successors))
+                        )
+                for fin in finished:
+                    if fin.kind is OutcomeKind.VANISH:
+                        stats.paths_vanished += 1
+                    else:
+                        stats.paths_finished += 1
+                        finals.append(fin)
+                    if bus:
+                        bus.emit(PathEndEvent(fin.kind.name, depth, fin.value))
+                for succ in successors:
+                    strategy.push((succ, depth + 1))
+            if not items:
+                # The run either drained (exhausted) or a bound fired.
+                stats.stop_reason = (stop or StopReason.EXHAUSTED).value
+        finally:
+            if solver is not None and bus is not None:
+                solver.events = prev_solver_events
+        stats.wall_time = time.perf_counter() - start
+        return items, ExecutionResult(finals, stats)

@@ -1,0 +1,403 @@
+"""Parallel multi-worker path exploration.
+
+The paper's engine "explores all paths up to a bound" (§1), and the
+relaxed trace-composition result (§3.1) grants permission to drop or
+*reorder* paths at will — branching is path-local and allocation records
+are threaded through states, so any schedule over the same path set
+produces the same multiset of final outcomes.  That soundness argument is
+exactly what licenses sharding the frontier across OS processes:
+
+1. **Seed** — a sequential breadth-first phase
+   (:meth:`~repro.engine.explorer.Explorer.explore_frontier`) steps the
+   program until the worklist holds a frontier of pending configurations
+   (a *cut* across the shallow execution tree: every path of the full run
+   extends exactly one frontier item or already ended during seeding).
+2. **Shard** — frontier items are dealt round-robin across ``workers``
+   processes.  Each worker rebuilds a fresh state model from a picklable
+   *factory* (solvers and their caches are per-process; only programs,
+   configurations, and results cross the boundary), then drives the
+   ordinary sequential :class:`~repro.engine.explorer.Explorer` over its
+   shard with a per-shard :meth:`~repro.engine.budget.Budget.shard_slice`
+   and the frontier depths preserved (the loop-unrolling bound keeps
+   counting from the cut).
+3. **Merge** — finals from the seed phase and every shard are combined
+   with :func:`~repro.engine.results.merge_results`: a sorted-multiset
+   outcome merge (stable, canonical key), ``ExecutionStats.merge``
+   aggregation, and the most restrictive ``stop_reason`` winning by the
+   documented ``STOP_REASON_PRECEDENCE``.
+
+The pickle layer underneath is what makes step 2 safe: hash-consed
+``Expr`` nodes re-intern in the receiving process (``__reduce__`` routes
+through the constructors), ``PathCondition`` prefix chains serialize as
+delta lists and re-link on load, and state stores re-wrap their mapping
+proxies.  Allocation records stay disjoint across shards by construction
+— they are threaded through per-path states (Def. 2.2/3.3 restriction) —
+so fresh names are identical to the sequential run's, which is why a
+parallel run with *any* worker count yields the same multiset of finals
+as ``workers=1``.  (:meth:`SymbolicAllocator.split` exists for the other
+topology — independent runs fanned out of one shared root state — where
+namespaces must be split per shard.)
+
+Worker events are marshalled over a queue and re-emitted on the parent
+bus wrapped in :class:`~repro.engine.events.WorkerEvent` (a ``worker_id``
+plus the inner event), but only when the parent bus has subscribers —
+the zero-overhead-when-unsubscribed contract holds across processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.engine.budget import Budget
+from repro.engine.config import EngineConfig
+from repro.engine.events import EventBus, WorkerEvent
+from repro.engine.explorer import Explorer
+from repro.engine.results import ExecutionResult, merge_results
+from repro.engine.strategy import StrategySpec, make_strategy
+from repro.gil.semantics import Config, make_call_config
+from repro.gil.syntax import Prog
+
+#: Frontier items targeted per worker during seeding.  Oversubscription
+#: smooths load imbalance: subtree sizes vary wildly, so handing each
+#: worker several frontier items keeps a worker with small subtrees from
+#: idling while another grinds a big one.
+SEED_FACTOR = 4
+
+
+def resolve_workers(spec: Union[int, str, None]) -> int:
+    """Normalise a ``workers`` spec: int count, or ``"auto"`` → CPUs."""
+    if spec is None:
+        return 1
+    if isinstance(spec, str):
+        if spec.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            spec = int(spec)
+        except ValueError:
+            raise ValueError(
+                f"workers must be a positive int or 'auto', got {spec!r}"
+            ) from None
+    if isinstance(spec, bool) or not isinstance(spec, int):
+        raise ValueError(f"workers must be a positive int or 'auto', got {spec!r}")
+    if spec < 1:
+        raise ValueError(f"workers must be >= 1, got {spec}")
+    return spec
+
+
+# -- state-model factories ----------------------------------------------------
+#
+# Workers never unpickle a live state model: solvers carry per-process
+# caches (and an event-bus slot) that must not cross the boundary.  A
+# factory is a small picklable recipe that builds a *fresh* model inside
+# the worker, mirroring what the harness does for every test.
+
+
+@dataclass(frozen=True)
+class SymbolicModelFactory:
+    """Builds a fresh :class:`SymbolicStateModel` with its own solver."""
+
+    memory_model: object
+    config: EngineConfig
+
+    def __call__(self):
+        from repro.logic.simplify import Simplifier
+        from repro.logic.solver import Solver
+        from repro.state.symbolic import SymbolicStateModel
+
+        simplifier = Simplifier(
+            enabled=True, memoise=self.config.simplifier_memoisation
+        )
+        solver = Solver(
+            simplifier=simplifier,
+            cache_enabled=self.config.solver_cache,
+            incremental=self.config.solver_incremental,
+        )
+        return SymbolicStateModel(self.memory_model, solver=solver)
+
+
+@dataclass(frozen=True)
+class ConcreteModelFactory:
+    """Builds a fresh :class:`ConcreteStateModel` (allocator included)."""
+
+    memory_model: object
+    allocator: object = None
+
+    def __call__(self):
+        from repro.state.concrete import ConcreteStateModel
+
+        return ConcreteStateModel(self.memory_model, self.allocator)
+
+
+def model_factory_for(state_model, config: EngineConfig):
+    """Derive the worker factory matching a parent state model."""
+    from repro.state.concrete import ConcreteStateModel
+    from repro.state.symbolic import SymbolicStateModel
+
+    if isinstance(state_model, SymbolicStateModel):
+        return SymbolicModelFactory(state_model.memory_model, config)
+    if isinstance(state_model, ConcreteStateModel):
+        return ConcreteModelFactory(state_model.memory_model, state_model.allocator)
+    raise TypeError(
+        f"cannot derive a worker factory for {type(state_model).__name__}; "
+        f"pass factory= explicitly"
+    )
+
+
+# -- the worker process -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """Everything one worker needs, shipped as a single pickled blob."""
+
+    prog: Prog
+    config: EngineConfig
+    strategy: StrategySpec
+    budget: Budget
+    factory: object
+    items: Tuple[Tuple[Config, int], ...]  # (config, depth) shard
+
+
+def _worker_main(worker_id: int, blob: bytes, result_q, event_q) -> None:
+    """Worker entry point: run a sequential explorer over one shard.
+
+    The task arrives pickled (exercising the same wire protocol under
+    every start method, fork included — expressions re-intern into this
+    process's tables on load); the result leaves the same way.  Any
+    failure is reported as an ``("err", ...)`` record rather than a
+    silent exit, so the parent can surface the worker traceback.
+    """
+    try:
+        task: _WorkerTask = pickle.loads(blob)
+        bus = None
+        if event_q is not None:
+            bus = EventBus()
+            bus.subscribe(lambda ev: event_q.put((worker_id, ev)))
+        sm = task.factory()
+        explorer = Explorer(
+            task.prog,
+            sm,
+            task.config,
+            strategy=task.strategy,
+            budget=task.budget,
+            events=bus,
+        )
+        configs = [cfg for cfg, _ in task.items]
+        depths = [depth for _, depth in task.items]
+        result = explorer.explore(configs, depths=depths)
+        payload = pickle.dumps((result.finals, result.stats))
+        if event_q is not None:
+            event_q.close()
+            event_q.join_thread()  # flush forwarded events before reporting
+        result_q.put(("ok", worker_id, payload))
+    except BaseException:
+        result_q.put(("err", worker_id, traceback.format_exc()))
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the worker's traceback text."""
+
+
+# -- the parallel explorer ----------------------------------------------------
+
+
+class ParallelExplorer:
+    """Shards bounded path exploration across a process pool.
+
+    Mirrors :class:`~repro.engine.explorer.Explorer`'s surface —
+    ``run(proc, args)`` / ``explore(configs)`` returning an
+    :class:`ExecutionResult` — plus:
+
+    * ``workers``: process count, ``"auto"`` (→ ``os.cpu_count()``), or
+      None to defer to ``config.workers``;
+    * ``factory``: a picklable zero-arg recipe building a worker's state
+      model (derived automatically for the stock symbolic/concrete
+      models);
+    * ``seed_factor``: frontier items targeted per worker before
+      sharding.
+
+    ``workers=1`` (or a frontier that never materialises — the program
+    finishes during seeding) degrades to the plain sequential run, so
+    callers can thread a single code path for any worker count.
+    """
+
+    def __init__(
+        self,
+        prog: Prog,
+        state_model,
+        config: Optional[EngineConfig] = None,
+        strategy: StrategySpec = None,
+        budget: Optional[Budget] = None,
+        events: Optional[EventBus] = None,
+        workers: Union[int, str, None] = None,
+        factory=None,
+        seed_factor: int = SEED_FACTOR,
+        mp_context=None,
+    ):
+        self.prog = prog
+        self.sm = state_model
+        self.config = config if config is not None else EngineConfig()
+        self.strategy = strategy
+        self.budget = budget if budget is not None else Budget.from_config(self.config)
+        self.events = events
+        self.workers = resolve_workers(
+            workers if workers is not None else self.config.workers
+        )
+        self.factory = factory
+        self.seed_factor = max(1, seed_factor)
+        self._mp = mp_context if mp_context is not None else multiprocessing.get_context()
+        # Validate the strategy spec up front: a malformed spec should
+        # fail in the caller's process, not inside N workers.
+        make_strategy(self.strategy if self.strategy is not None else self.config.strategy,
+                      seed=self.config.random_seed)
+
+    # -- Explorer-compatible surface ----------------------------------------
+
+    def run(self, proc: str, args: Sequence = (), state: object = None) -> ExecutionResult:
+        """Execute ``proc(args)`` from ``state`` (default: initial state)."""
+        if state is None:
+            state = self.sm.initial_state()
+        from repro.logic.expr import Expr
+
+        evaluated = [
+            self.sm.eval_expr(state, a) if isinstance(a, Expr) else a for a in args
+        ]
+        cfg = make_call_config(self.sm, state, self.prog, proc, evaluated)
+        return self.explore([cfg])
+
+    def explore(self, configs: List[Config]) -> ExecutionResult:
+        if self.workers <= 1:
+            return self._sequential().explore(configs)
+
+        start = time.perf_counter()
+        seq = self._sequential()
+        target = self.workers * self.seed_factor
+        items, seed_result = seq.explore_frontier(configs, target)
+        if not items:
+            # Finished (or hit a global bound) during seeding: the seed
+            # result already carries the authoritative stop reason.
+            return seed_result
+
+        shards = [items[i :: self.workers] for i in range(self.workers)]
+        shards = [shard for shard in shards if shard]
+        slice_budget = self.budget.shard_slice(
+            len(shards),
+            steps_spent=seed_result.stats.commands_executed,
+            paths_found=seed_result.stats.paths_finished,
+            elapsed=seed_result.stats.wall_time,
+        )
+        factory = self.factory
+        if factory is None:
+            factory = model_factory_for(self.sm, self.config)
+
+        parts = [seed_result] + self._run_shards(shards, slice_budget, factory)
+        merged = merge_results(parts)
+        # Per-part wall times are CPU-aggregate across processes; the
+        # run's wall clock is what the caller observes.
+        merged.stats.wall_time = time.perf_counter() - start
+        return merged
+
+    # -- internals -----------------------------------------------------------
+
+    def _sequential(self) -> Explorer:
+        return Explorer(
+            self.prog,
+            self.sm,
+            self.config,
+            strategy=self.strategy,
+            budget=self.budget,
+            events=self.events,
+        )
+
+    def _run_shards(
+        self, shards: List[list], slice_budget: Budget, factory
+    ) -> List[ExecutionResult]:
+        from repro.engine.results import ExecutionResult as _Result
+
+        result_q = self._mp.Queue()
+        event_q = None
+        drainer = None
+        bus = self.events
+        if bus:  # truthy only with subscribers: keep idle runs queue-free
+            event_q = self._mp.Queue()
+            drainer = threading.Thread(
+                target=_drain_events, args=(event_q, bus), daemon=True
+            )
+            drainer.start()
+
+        procs: List = []
+        for worker_id, shard in enumerate(shards):
+            task = _WorkerTask(
+                prog=self.prog,
+                config=self.config,
+                strategy=self.strategy,
+                budget=slice_budget,
+                factory=factory,
+                items=tuple(shard),
+            )
+            proc = self._mp.Process(
+                target=_worker_main,
+                args=(worker_id, pickle.dumps(task), result_q, event_q),
+                daemon=True,
+            )
+            proc.start()
+            procs.append(proc)
+
+        by_worker: dict = {}
+        failure: Optional[Tuple[int, str]] = None
+        try:
+            while len(by_worker) < len(procs) and failure is None:
+                try:
+                    kind, worker_id, payload = result_q.get(timeout=0.2)
+                except queue_mod.Empty:
+                    dead = [
+                        i for i, p in enumerate(procs)
+                        if not p.is_alive() and i not in by_worker
+                    ]
+                    if dead and all(
+                        not p.is_alive() for p in procs
+                    ) and result_q.empty():
+                        failure = (
+                            dead[0],
+                            f"worker {dead[0]} exited (code "
+                            f"{procs[dead[0]].exitcode}) without reporting",
+                        )
+                    continue
+                if kind == "err":
+                    failure = (worker_id, payload)
+                else:
+                    finals, stats = pickle.loads(payload)
+                    by_worker[worker_id] = _Result(finals, stats)
+        finally:
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+            if event_q is not None:
+                event_q.put(None)  # drainer sentinel
+                drainer.join(timeout=30)
+
+        if failure is not None:
+            worker_id, detail = failure
+            raise WorkerError(f"parallel worker {worker_id} failed:\n{detail}")
+        # Deterministic merge order: by worker id, i.e. by shard index.
+        return [by_worker[i] for i in sorted(by_worker)]
+
+
+def _drain_events(event_q, bus: EventBus) -> None:
+    """Parent-side pump: queue records → ``WorkerEvent`` on the bus."""
+    while True:
+        item = event_q.get()
+        if item is None:
+            return
+        worker_id, inner = item
+        bus.emit(WorkerEvent(worker_id, inner))

@@ -7,6 +7,27 @@ from typing import List
 
 from repro.gil.semantics import Final, OutcomeKind
 
+#: Stop-reason precedence for merging runs: lower rank wins.  A merged
+#: run reports the *most restrictive* reason any constituent hit —
+#: "deadline" (the run was cut mid-flight by wall clock) over
+#: "max-total-steps" (the global command budget ran dry) over
+#: "max-paths" (the path cap evicted the worklist) over "exhausted"
+#: (every constituent drained its worklist).  The parallel explorer's
+#: shard merge relies on this order being total and documented; an
+#: unknown reason ranks most restrictive of all so it is never silently
+#: swallowed.
+STOP_REASON_PRECEDENCE = ("deadline", "max-total-steps", "max-paths", "exhausted")
+
+_STOP_RANK = {reason: rank for rank, reason in enumerate(STOP_REASON_PRECEDENCE)}
+
+
+def merge_stop_reasons(*reasons: str) -> str:
+    """The most restrictive of the given reasons ("" entries ignored)."""
+    live = [r for r in reasons if r]
+    if not live:
+        return ""
+    return min(live, key=lambda r: _STOP_RANK.get(r, -1))
+
 
 @dataclass
 class ExecutionStats:
@@ -37,13 +58,9 @@ class ExecutionStats:
         self.solver_model_reuse += other.solver_model_reuse
         self.solver_time += other.solver_time
         self.wall_time += other.wall_time
-        # A merged run was exhaustive only if every constituent was.
-        reasons = {r for r in (self.stop_reason, other.stop_reason) if r}
-        non_exhaustive = reasons - {"exhausted"}
-        if non_exhaustive:
-            self.stop_reason = sorted(non_exhaustive)[0]
-        elif reasons:
-            self.stop_reason = "exhausted"
+        # A merged run was exhaustive only if every constituent was: the
+        # most restrictive stop reason wins (see STOP_REASON_PRECEDENCE).
+        self.stop_reason = merge_stop_reasons(self.stop_reason, other.stop_reason)
 
     def add_solver_delta(self, delta) -> None:
         """Fold a :class:`repro.logic.solver.SolverSnapshot` delta in."""
@@ -52,6 +69,37 @@ class ExecutionStats:
         self.solver_prefix_hits += delta.prefix_hits
         self.solver_model_reuse += delta.model_reuse_hits
         self.solver_time += delta.solve_time
+
+
+def final_sort_key(fin: Final) -> tuple:
+    """A canonical order on finals for the deterministic shard merge.
+
+    Keyed by outcome kind and the repr of the outcome value — enough to
+    make the merged *list* order independent of worker scheduling: the
+    sort is stable and the per-shard input order is itself deterministic
+    (seeding is sequential, shards are fixed by round-robin).
+    """
+    return (fin.kind.name, repr(fin.value))
+
+
+def merge_results(parts: List["ExecutionResult"]) -> "ExecutionResult":
+    """Deterministically merge sub-runs into one result.
+
+    Finals are combined as a sorted multiset (stable sort over
+    :func:`final_sort_key`, so equal-keyed finals keep their shard
+    order); stats are folded with :meth:`ExecutionStats.merge`, whose
+    stop-reason precedence makes the merged reason the most restrictive
+    one any shard hit.  This is the merge the parallel explorer's
+    outcome-determinism guarantee rests on: any partition of the same
+    path set yields the same multiset, hence the same sorted list.
+    """
+    finals: List[Final] = []
+    stats = ExecutionStats()
+    for part in parts:
+        finals.extend(part.finals)
+        stats.merge(part.stats)
+    finals.sort(key=final_sort_key)
+    return ExecutionResult(finals, stats)
 
 
 @dataclass

@@ -259,7 +259,12 @@ def make_strategy(spec: StrategySpec = None, seed: int = 0) -> SearchStrategy:
         return spec
     if spec is None:
         spec = "dfs"
-    name, _, arg = spec.partition(":")
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"strategy spec must be a name string or a SearchStrategy, "
+            f"got {type(spec).__name__}: {spec!r}"
+        )
+    name, sep, arg = spec.partition(":")
     name = name.strip().lower()
     factory = _FACTORIES.get(name)
     if factory is None:
@@ -267,7 +272,16 @@ def make_strategy(spec: StrategySpec = None, seed: int = 0) -> SearchStrategy:
             f"unknown search strategy {spec!r} (known: {', '.join(strategy_names())})"
         )
     if factory is RandomStrategy:
-        return RandomStrategy(seed=int(arg) if arg else seed)
-    if arg:
+        if not sep:
+            return RandomStrategy(seed=seed)
+        try:
+            explicit = int(arg.strip())
+        except ValueError:
+            raise ValueError(
+                f"malformed strategy spec {spec!r}: 'random:' takes an "
+                f"integer seed, got {arg!r}"
+            ) from None
+        return RandomStrategy(seed=explicit)
+    if sep:
         raise ValueError(f"strategy {name!r} takes no argument, got {spec!r}")
     return factory()

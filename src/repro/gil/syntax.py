@@ -22,7 +22,7 @@ uses multi-parameter procedures, which we follow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 from repro.logic.expr import Expr
@@ -32,6 +32,13 @@ class Command:
     """Base class for GIL commands."""
 
     __slots__ = ()
+
+    def __reduce__(self):
+        # Commands are frozen dataclasses with __slots__ and no __dict__,
+        # which defeats default pickling (it would setattr on a frozen
+        # instance); rebuild through the constructor instead.  Programs
+        # cross process boundaries in the parallel explorer.
+        return (type(self), tuple(getattr(self, f.name) for f in fields(self)))
 
 
 @dataclass(frozen=True, repr=False)

@@ -26,12 +26,21 @@ is deliberately not a strict identity guarantee: ``Lit(1)`` and
 ``Lit(1.0)`` intern to *distinct* objects (so concrete int/float values
 round-trip exactly) yet compare equal under GIL's single numeric type,
 exactly as before.
+
+Pickling re-interns: every node's ``__reduce__`` routes through its
+constructor, so ``pickle.loads`` in another process (a parallel-explorer
+worker) rebuilds the node *through the intern table of that process*.  A
+round-tripped expression therefore satisfies the identity fast path
+against freshly constructed equals on the receiving side — the caches
+and path-condition membership probes stay O(1) across process
+boundaries.  :func:`intern_table_sizes` exposes the table sizes so tests
+can assert that unpickling into a warm process creates no duplicates.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterator, Mapping, Union
+from typing import Dict, Iterator, Mapping, Union
 
 from repro.gil.values import NULL, Symbol, Value, value_key
 
@@ -378,6 +387,19 @@ def clear_intern_caches() -> None:
     """Drop every intern table (test/benchmark hygiene for memory runs)."""
     for node_cls in (Lit, PVar, LVar, UnOpExpr, BinOpExpr, EList):
         node_cls._interned.clear()
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Current intern-table sizes per node class.
+
+    Pickle round-trip tests use this to assert re-interning: unpickling
+    an expression whose nodes are already interned must not grow any
+    table.
+    """
+    return {
+        node_cls.__name__: len(node_cls._interned)
+        for node_cls in (Lit, PVar, LVar, UnOpExpr, BinOpExpr, EList)
+    }
 
 
 ExprLike = Union[Expr, Value]

@@ -199,12 +199,47 @@ class PathCondition:
         return cached
 
     def __reduce__(self):
-        return (PathCondition, (self.conjuncts,))
+        # Serialize as the chain's *delta lists* rather than the flat
+        # conjunct tuple: the root's raw conjuncts plus each extension's
+        # ``added`` tuple, re-linked iteratively on load.  This preserves
+        # the prefix-chain structure across process boundaries (workers
+        # receive real chains, so the incremental solver layer keeps its
+        # delta-solving behaviour), stays recursion-free for deep chains,
+        # and round-trips to an equal condition with the same conjunct
+        # order.  Hash-consed conjunct Exprs re-intern via their own
+        # ``__reduce__`` during the same load.
+        deltas = []
+        node = self
+        while node.parent is not None:
+            deltas.append(node.added)
+            node = node.parent
+        deltas.reverse()
+        return (_rebuild_chain, (node.added, tuple(deltas)))
 
     def __repr__(self) -> str:
         if not self._length:
             return "true"
         return " /\\ ".join(repr(c) for c in self.conjuncts)
+
+
+def _rebuild_chain(
+    root_conjuncts: Tuple[Expr, ...], deltas: Tuple[Tuple[Expr, ...], ...]
+) -> PathCondition:
+    """Re-link a pickled chain: root node, then one extension per delta.
+
+    The deltas were produced by ``_extend`` (flattened, deduplicated
+    against their prefix), so replaying them through ``_extend`` rebuilds
+    a structurally identical chain — same conjuncts, same order, same
+    per-node ``added`` tuples — with fresh uids (solver contexts are
+    per-process and re-derive from scratch in the receiving process).
+    """
+    if root_conjuncts:
+        pc = PathCondition(root_conjuncts)
+    else:
+        pc = _TRUE_PC
+    for added in deltas:
+        pc = PathCondition._extend(pc, list(added))
+    return pc
 
 
 #: The shared root of every chain built through :meth:`PathCondition.true`.

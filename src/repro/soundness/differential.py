@@ -123,8 +123,17 @@ def _check_final(
 def _values_match(sym_value, conc_value, model: Dict[str, Value]):
     """⟦v̂⟧ε = v, up to the error values the interpreter synthesises."""
     if isinstance(sym_value, Expr):
+        # ε only constrains variables the path condition mentions; inputs
+        # the path left unconstrained were replayed with the scripted
+        # allocator's default (0), so the interpretation must pick the
+        # same arbitrary value (Thm. 3.6 allows any concrete choice).
+        from repro.logic.expr import free_lvars
+
+        env = dict(model)
+        for name in free_lvars(sym_value):
+            env.setdefault(name, 0)
         try:
-            interpreted = evaluate(sym_value, lvar_env=model)
+            interpreted = evaluate(sym_value, lvar_env=env)
         except EvalError as exc:
             return False, f"symbolic outcome value uninterpretable: {exc}"
         if isinstance(conc_value, str) and not isinstance(interpreted, str):

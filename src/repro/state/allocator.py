@@ -64,25 +64,48 @@ class AllocRecord:
         return self.restrict(other) == self
 
 
-def usym_name(site: int, idx: int) -> str:
+def usym_name(site: int, idx: int, namespace: str = "") -> str:
+    if namespace:
+        return f"loc_{namespace}_{site}_{idx}"
     return f"loc_{site}_{idx}"
 
 
-def isym_name(site: int, idx: int) -> str:
+def isym_name(site: int, idx: int, namespace: str = "") -> str:
+    if namespace:
+        return f"val_{namespace}_{site}_{idx}"
     return f"val_{site}_{idx}"
 
 
 @dataclass
 class SymbolicAllocator:
-    """Allocates uninterpreted symbols and fresh logical variables."""
+    """Allocates uninterpreted symbols and fresh logical variables.
+
+    ``namespace`` partitions the allocation range |AL| (Def. 2.2): two
+    allocators with distinct namespaces draw from provably disjoint name
+    sets, so explorations seeded from the *same* root state can run side
+    by side without their fresh symbols colliding.  The parallel explorer
+    does not need this for frontier sharding — allocation records are
+    threaded through per-path states, so shard subtrees are already
+    disjoint in the Def. 2.2/3.3 restriction sense and must keep the
+    namespace-free names for sequential/parallel outcome equality — but
+    clients that fan independent runs out of one initial state (e.g.
+    concolic restarts) split the namespace per shard via :meth:`split`.
+    """
+
+    namespace: str = ""
+
+    def split(self, shard: int) -> "SymbolicAllocator":
+        """A shard-scoped allocator with a disjoint site namespace."""
+        base = f"{self.namespace}." if self.namespace else ""
+        return SymbolicAllocator(namespace=f"{base}w{shard}")
 
     def alloc_usym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, Symbol]:
         record, idx = record.bump(site)
-        return record, Symbol(usym_name(site, idx))
+        return record, Symbol(usym_name(site, idx, self.namespace))
 
     def alloc_isym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, LVar]:
         record, idx = record.bump(site)
-        return record, LVar(isym_name(site, idx))
+        return record, LVar(isym_name(site, idx, self.namespace))
 
 
 @dataclass
@@ -93,18 +116,32 @@ class ConcreteAllocator:
     :func:`isym_name`) to concrete values — supplying the counter-model ε
     makes a concrete run follow the corresponding symbolic trace, which is
     how the testing harness confirms reported bugs (Thm. 3.6).
+
+    ``namespace`` mirrors :class:`SymbolicAllocator.namespace`: a replay
+    of a namespaced symbolic run must allocate the same names so the
+    script keys line up.
     """
 
     script: Mapping[str, Value] = field(default_factory=dict)
     default_value: Value = 0
+    namespace: str = ""
+
+    def split(self, shard: int) -> "ConcreteAllocator":
+        """A shard-scoped allocator with a disjoint site namespace."""
+        base = f"{self.namespace}." if self.namespace else ""
+        return ConcreteAllocator(
+            script=self.script,
+            default_value=self.default_value,
+            namespace=f"{base}w{shard}",
+        )
 
     def alloc_usym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, Symbol]:
         record, idx = record.bump(site)
-        return record, Symbol(usym_name(site, idx))
+        return record, Symbol(usym_name(site, idx, self.namespace))
 
     def alloc_isym(self, record: AllocRecord, site: int) -> Tuple[AllocRecord, Value]:
         record, idx = record.bump(site)
-        name = isym_name(site, idx)
+        name = isym_name(site, idx, self.namespace)
         value = self.script.get(name, self.default_value)
         return record, value
 

@@ -42,6 +42,19 @@ class ConcreteState:
         store[x] = v
         return ConcreteState(self.memory, MappingProxyType(store), self.alloc)
 
+    def __reduce__(self):
+        # MappingProxyType stores are not picklable; ship sorted items
+        # (canonical wire form) and re-wrap on load.
+        return (
+            _rebuild_concrete_state,
+            (self.memory, tuple(sorted(self.store.items())), self.alloc),
+        )
+
+
+def _rebuild_concrete_state(memory, store_items, alloc) -> ConcreteState:
+    """Unpickle helper: re-wrap the store in a MappingProxyType."""
+    return ConcreteState(memory, MappingProxyType(dict(store_items)), alloc)
+
 
 class ConcreteStateModel:
     """CSC_AL(M): the state model over a concrete memory model."""

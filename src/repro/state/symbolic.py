@@ -54,6 +54,16 @@ class SymbolicState:
     def with_pc(self, pc: PathCondition) -> "SymbolicState":
         return SymbolicState(self.memory, self.store, self.alloc, pc)
 
+    def __reduce__(self):
+        # The store is a MappingProxyType (not picklable); ship it as a
+        # sorted item tuple and re-wrap on load.  Sorting makes the wire
+        # form canonical, so equal states pickle to equal payloads
+        # regardless of store insertion order.
+        return (
+            _rebuild_symbolic_state,
+            (self.memory, tuple(sorted(self.store.items())), self.alloc, self.pc),
+        )
+
     # -- restriction (paper Defs. 3.1/3.2) ----------------------------------
 
     def restrict(self, other: "SymbolicState") -> "SymbolicState":
@@ -75,6 +85,11 @@ class SymbolicState:
         return self.pc.implies_syntactically(other.pc) and self.alloc.precedes(
             other.alloc
         )
+
+
+def _rebuild_symbolic_state(memory, store_items, alloc, pc) -> SymbolicState:
+    """Unpickle helper: re-wrap the store in a MappingProxyType."""
+    return SymbolicState(memory, MappingProxyType(dict(store_items)), alloc, pc)
 
 
 class SymbolicStateModel:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine.config import EngineConfig
 from repro.engine.explorer import Explorer
+from repro.engine.parallel import ParallelExplorer, resolve_workers
 from repro.engine.results import ExecutionStats
 from repro.gil.semantics import Final, OutcomeKind
 from repro.gil.syntax import Prog
@@ -102,7 +103,11 @@ class SymbolicTester:
     ``strategy`` and ``events`` are handed to the scheduler unchanged
     (see :class:`repro.engine.explorer.Explorer`): the harness drives the
     same scheduler loop as every other engine client, so search order,
-    budgets, and instrumentation behave identically here.
+    budgets, and instrumentation behave identically here.  ``workers``
+    (default: ``config.workers``) routes exploration through
+    :class:`repro.engine.parallel.ParallelExplorer` when above 1; the
+    multiset of outcomes — and hence every verdict — is identical to the
+    sequential run.
     """
 
     def __init__(
@@ -112,12 +117,16 @@ class SymbolicTester:
         replay: bool = True,
         strategy=None,
         events=None,
+        workers=None,
     ) -> None:
         self.language = language
         self.config = config if config is not None else EngineConfig()
         self.replay = replay
         self.strategy = strategy
         self.events = events
+        self.workers = resolve_workers(
+            workers if workers is not None else self.config.workers
+        )
 
     def make_solver(self) -> Solver:
         simplifier = Simplifier(
@@ -139,9 +148,16 @@ class SymbolicTester:
         """Symbolically execute ``entry`` and report bugs with models."""
         solver = self.make_solver()
         sm = SymbolicStateModel(self.language.symbolic_memory(), solver=solver)
-        explorer = Explorer(
-            prog, sm, self.config, strategy=self.strategy, events=self.events
-        )
+        if self.workers > 1:
+            explorer = ParallelExplorer(
+                prog, sm, self.config,
+                strategy=self.strategy, events=self.events,
+                workers=self.workers,
+            )
+        else:
+            explorer = Explorer(
+                prog, sm, self.config, strategy=self.strategy, events=self.events
+            )
         start = time.perf_counter()
         result = explorer.run(entry, args)
         bugs = [self._diagnose(prog, entry, fin, solver) for fin in result.errors]

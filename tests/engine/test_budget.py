@@ -146,3 +146,75 @@ class TestSchedulerIntegration:
             )
             outcomes.append(sorted(repr(f.value) for f in result.finals))
         assert outcomes[0] == outcomes[1]
+
+
+class _FakeTime:
+    """A scripted stand-in for the explorer's ``time`` module."""
+
+    def __init__(self, times):
+        self._times = list(times)
+        self._last = self._times[0]
+
+    def perf_counter(self):
+        if self._times:
+            self._last = self._times.pop(0)
+        return self._last
+
+
+class TestDeadlineBetweenBranchAndPush:
+    """The deadline can pass in the window after a branch's successors
+    are pushed but before any of them is popped: the next pop's budget
+    check must stop the run and count every pushed child as dropped."""
+
+    def branching_once(self):
+        # ISym (1 step) then IfGoto (branches in two), arms return.
+        return prog_of(
+            Proc(
+                "main",
+                (),
+                (
+                    ISym("b", 0),
+                    IfGoto(PVar("b").lt(Lit(0)), 3),
+                    Return(Lit("pos")),
+                    Return(Lit("neg")),
+                ),
+            )
+        )
+
+    def run_with_clock(self, times, deadline):
+        import repro.engine.explorer as explorer_mod
+
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        explorer = Explorer(
+            self.branching_once(), sm, EngineConfig(deadline=deadline)
+        )
+        real_time = explorer_mod.time
+        explorer_mod.time = _FakeTime(times)
+        try:
+            return explorer.run("main")
+        finally:
+            explorer_mod.time = real_time
+
+    def test_deadline_after_branch_drops_all_children(self):
+        # Clock script: start, decide(ISym), decide(IfGoto — the branch),
+        # decide(first child) where the deadline has passed, final wall.
+        result = self.run_with_clock([0.0, 0.2, 0.4, 1.5, 2.0], deadline=1.0)
+        assert result.stats.stop_reason == "deadline"
+        # Both branch children were pushed, then dropped unexplored.
+        assert result.stats.commands_executed == 2
+        assert result.stats.paths_dropped == 2
+        assert result.finals == []
+
+    def test_deadline_between_children_keeps_first_final(self):
+        # One child gets explored before the clock passes the deadline;
+        # the sibling is dropped.
+        result = self.run_with_clock([0.0, 0.2, 0.4, 0.6, 1.5, 2.0], deadline=1.0)
+        assert result.stats.stop_reason == "deadline"
+        assert result.stats.commands_executed == 3
+        assert result.stats.paths_finished == 1
+        assert result.stats.paths_dropped == 1
+
+    def test_generous_clock_exhausts(self):
+        result = self.run_with_clock([0.0] * 12, deadline=1.0)
+        assert result.stats.stop_reason == "exhausted"
+        assert result.stats.paths_finished == 2

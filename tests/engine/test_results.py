@@ -4,7 +4,14 @@ import dataclasses
 
 import pytest
 
-from repro.engine.results import ExecutionResult, ExecutionStats
+from repro.engine.results import (
+    STOP_REASON_PRECEDENCE,
+    ExecutionResult,
+    ExecutionStats,
+    final_sort_key,
+    merge_results,
+    merge_stop_reasons,
+)
 from repro.gil.semantics import Final, OutcomeKind
 from repro.logic.solver import SolverSnapshot, SolverStats
 
@@ -179,3 +186,75 @@ class TestExecutionResult:
     def test_empty_result_partitions_empty(self):
         result = ExecutionResult([], ExecutionStats())
         assert result.normal == [] and result.errors == []
+
+
+class TestStopReasonPrecedence:
+    def test_precedence_is_total_over_known_reasons(self):
+        assert set(STOP_REASON_PRECEDENCE) == {
+            "deadline", "max-total-steps", "max-paths", "exhausted"
+        }
+
+    def test_most_restrictive_wins_pairwise(self):
+        # Every earlier reason beats every later one, in both arg orders.
+        for i, stronger in enumerate(STOP_REASON_PRECEDENCE):
+            for weaker in STOP_REASON_PRECEDENCE[i + 1:]:
+                assert merge_stop_reasons(stronger, weaker) == stronger
+                assert merge_stop_reasons(weaker, stronger) == stronger
+
+    def test_empty_reasons_are_ignored(self):
+        assert merge_stop_reasons("", "max-paths", "") == "max-paths"
+        assert merge_stop_reasons("", "") == ""
+        assert merge_stop_reasons() == ""
+
+    def test_unknown_reason_is_most_restrictive(self):
+        assert merge_stop_reasons("solver-meltdown", "deadline") == "solver-meltdown"
+
+    def test_merge_order_independent(self):
+        # Conflicting stop reasons resolve the same whichever side merges.
+        a = ExecutionStats(stop_reason="max-paths")
+        a.merge(ExecutionStats(stop_reason="max-total-steps"))
+        b = ExecutionStats(stop_reason="max-total-steps")
+        b.merge(ExecutionStats(stop_reason="max-paths"))
+        assert a.stop_reason == b.stop_reason == "max-total-steps"
+
+
+class TestMergeResults:
+    def parts(self):
+        return [
+            ExecutionResult(
+                [final(OutcomeKind.NORMAL, 2), final(OutcomeKind.ERROR, "z")],
+                ExecutionStats(commands_executed=3, stop_reason="exhausted"),
+            ),
+            ExecutionResult(
+                [final(OutcomeKind.NORMAL, 1)],
+                ExecutionStats(commands_executed=4, stop_reason="exhausted"),
+            ),
+        ]
+
+    def test_finals_sorted_canonically(self):
+        merged = merge_results(self.parts())
+        assert [final_sort_key(f) for f in merged.finals] == sorted(
+            final_sort_key(f) for f in merged.finals
+        )
+        assert len(merged.finals) == 3
+
+    def test_shard_order_invariant(self):
+        parts = self.parts()
+        forward = merge_results(parts)
+        backward = merge_results(list(reversed(parts)))
+        assert [final_sort_key(f) for f in forward.finals] == [
+            final_sort_key(f) for f in backward.finals
+        ]
+        assert forward.stats.commands_executed == backward.stats.commands_executed
+
+    def test_stats_and_reason_aggregate(self):
+        parts = self.parts()
+        parts[1].stats.stop_reason = "deadline"
+        merged = merge_results(parts)
+        assert merged.stats.commands_executed == 7
+        assert merged.stats.stop_reason == "deadline"
+
+    def test_merge_of_nothing(self):
+        merged = merge_results([])
+        assert merged.finals == []
+        assert merged.stats.stop_reason == ""

@@ -190,3 +190,74 @@ class TestExplorationInvariance:
         sm = SymbolicStateModel(WhileSymbolicMemory())
         explorer = Explorer(self._branching_prog(), sm, config, strategy="coverage")
         assert isinstance(explorer._make_strategy(), CoverageGuidedStrategy)
+
+
+class TestMalformedSpecs:
+    """make_strategy must reject malformed specs with a clear ValueError,
+    not silently fall back to a default policy."""
+
+    def test_random_with_empty_seed(self):
+        with pytest.raises(ValueError, match="integer seed"):
+            make_strategy("random:")
+
+    def test_random_with_non_integer_seed(self):
+        with pytest.raises(ValueError, match="notanint"):
+            make_strategy("random:notanint")
+
+    def test_random_with_float_seed(self):
+        with pytest.raises(ValueError, match="integer seed"):
+            make_strategy("random:1.5")
+
+    def test_random_with_whitespace_seed_accepted(self):
+        assert make_strategy("random: 42 ").seed == 42
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(ValueError, match="bfs.*coverage.*dfs.*random"):
+            make_strategy("montecarlo")
+
+    def test_unknown_name_with_argument(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            make_strategy("astar:4")
+
+    def test_non_string_non_strategy_rejected(self):
+        for bad in (7, 1.5, ["dfs"], {"name": "dfs"}):
+            with pytest.raises(ValueError, match="name string or a SearchStrategy"):
+                make_strategy(bad)
+
+    def test_case_and_whitespace_normalised(self):
+        assert isinstance(make_strategy("  BFS "), BFSStrategy)
+
+
+class TestCoverageEvictionTies:
+    def test_tied_sites_evict_most_recent_first(self):
+        # Four pending items at two never-visited sites: all priorities
+        # tie at 0, so eviction must fall back to recency — the most
+        # recently queued goes first, deterministically.
+        strat = CoverageGuidedStrategy()
+        strat.push(item("p", 0, depth=0))
+        strat.push(item("q", 0, depth=1))
+        strat.push(item("p", 0, depth=2))
+        strat.push(item("q", 0, depth=3))
+        evicted = strat.evict(2)
+        assert [it[1] for it in evicted] == [3, 2]
+        assert len(strat) == 2
+
+    def test_tie_break_is_reproducible(self):
+        def run():
+            strat = CoverageGuidedStrategy()
+            for i in range(6):
+                strat.push(item("p" if i % 2 else "q", 0, depth=i))
+            return [it[1] for it in strat.evict(4)]
+
+        assert run() == run()
+
+    def test_visited_site_beats_tied_fresh_sites(self):
+        strat = CoverageGuidedStrategy()
+        strat.push(item("p", 0, depth=0))
+        strat.pop()  # (p, 0) now visited once
+        strat.push(item("p", 0, depth=1))  # same site: priority 1
+        strat.push(item("q", 0, depth=2))  # fresh: priority 0
+        strat.push(item("r", 0, depth=3))  # fresh: priority 0
+        # The single eviction victim must be the visited site's item even
+        # though the fresh items were queued later.
+        assert [it[1] for it in strat.evict(1)] == [1]

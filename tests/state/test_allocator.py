@@ -119,3 +119,61 @@ def test_restriction_weakening(r1, r2, r3):
     if r1.restrict(r2.restrict(r3)) == r1:
         assert r1.restrict(r2) == r1
         assert r1.restrict(r3) == r1
+
+
+class TestNamespaceSplit:
+    """Namespace splitting partitions the allocation range |AL| (Def. 2.2)
+    so runs fanned out of one shared root state cannot collide on fresh
+    names.  (Frontier sharding in the parallel explorer deliberately does
+    NOT namespace: records are threaded per-path, and sequential/parallel
+    outcome equality needs the namespace-free names.)"""
+
+    def test_default_names_are_namespace_free(self):
+        assert usym_name(3, 1) == "loc_3_1"
+        assert isym_name(3, 1) == "val_3_1"
+
+    def test_namespaced_names_are_distinct_per_shard(self):
+        names = {
+            kind(site, idx, ns)
+            for kind in (usym_name, isym_name)
+            for ns in ("", "w0", "w1")
+            for site in (0, 1)
+            for idx in (0, 1)
+        }
+        assert len(names) == 2 * 3 * 2 * 2  # no collisions anywhere
+
+    def test_split_symbolic_allocators_draw_disjoint_names(self):
+        root = SymbolicAllocator()
+        a, b = root.split(0), root.split(1)
+        record = AllocRecord()
+        _, sym_a = a.alloc_usym(record, 0)
+        _, sym_b = b.alloc_usym(record, 0)
+        _, sym_root = root.alloc_usym(record, 0)
+        assert len({sym_a.name, sym_b.name, sym_root.name}) == 3
+
+    def test_nested_split_keeps_partitioning(self):
+        inner = SymbolicAllocator().split(1).split(2)
+        assert inner.namespace == "w1.w2"
+        _, lv = inner.alloc_isym(AllocRecord(), 0)
+        assert lv.name == "val_w1.w2_0_0"
+
+    def test_scripted_replay_with_matching_namespace(self):
+        # A counter-model produced by a namespaced symbolic run keys its
+        # script with namespaced names; the concrete replay allocator must
+        # split identically for the script to line up.
+        sym = SymbolicAllocator().split(4)
+        _, lvar = sym.alloc_isym(AllocRecord(), 7)
+        conc = ConcreteAllocator(script={lvar.name: 99}).split(4)
+        _, value = conc.alloc_isym(AllocRecord(), 7)
+        assert value == 99
+
+    def test_mismatched_namespace_misses_the_script(self):
+        conc = ConcreteAllocator(script={"val_7_0": 99}, default_value=-1).split(4)
+        _, value = conc.alloc_isym(AllocRecord(), 7)
+        assert value == -1  # namespaced name does not match the bare key
+
+    def test_concrete_split_preserves_script_and_default(self):
+        conc = ConcreteAllocator(script={"k": 1}, default_value=5).split(2)
+        assert conc.script == {"k": 1}
+        assert conc.default_value == 5
+        assert conc.namespace == "w2"
