@@ -1,14 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify fuzz lint bench bench-solver bench-strategies bench-parallel clean
+.PHONY: help test verify fuzz fuzz-faults lint bench bench-solver bench-strategies bench-parallel clean
 
 help:
 	@echo "Targets:"
 	@echo "  test             tier-1 test suite (pytest -x -q)"
-	@echo "  verify           tier-1 tests + strategy/parallel smoke benches + fuzz smoke"
+	@echo "  verify           tier-1 tests + lint + strategy/parallel smoke benches + fuzz/fault smoke"
 	@echo "  fuzz             differential fuzzer long mode (slow-marked soak tests)"
-	@echo "  lint             byte-compile src/benchmarks/tests; forbid print() in src/"
+	@echo "  fuzz-faults      fault-injection suites: recovery paths + fault-injecting fuzz arm"
+	@echo "  lint             byte-compile src/benchmarks/tests; forbid print() and bare except in src/"
 	@echo "  bench            all benchmark harnesses (regenerates tables/reports)"
 	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
 	@echo "  bench-strategies strategy benchmark + invariance (BENCH_strategies.json)"
@@ -18,16 +19,22 @@ help:
 test:
 	$(PYTHON) -m pytest -x -q
 
-verify: test
+verify: test lint
 	$(PYTHON) benchmarks/bench_strategies.py --smoke
 	$(PYTHON) benchmarks/bench_parallel.py --smoke
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
+	$(MAKE) fuzz-faults
 
 fuzz:
 	$(PYTHON) -m pytest -q tests/engine/test_fuzz_differential.py -m slow
 
+fuzz-faults:
+	$(PYTHON) -m pytest -x -q tests/engine/test_faults.py \
+		"tests/engine/test_fuzz_differential.py::TestFaultInjectionFuzz" -m "not slow"
+
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tests
+	$(PYTHON) tools/check_excepts.py src/repro
 	@if grep -rnE '(^|[^[:alnum:]_.])print\(' src; then \
 		echo "lint: print() is forbidden in src/ (use the event bus or return values)"; \
 		exit 1; \

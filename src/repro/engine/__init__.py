@@ -7,7 +7,10 @@ from repro.engine.events import (
     BranchEvent,
     EventBus,
     PathEndEvent,
+    ShardLostEvent,
+    ShardRetryEvent,
     SolverQueryEvent,
+    SolverUnknownEvent,
     StepEvent,
 )
 from repro.engine.events import WorkerEvent
@@ -23,6 +26,8 @@ from repro.engine.results import (
     STOP_REASON_PRECEDENCE,
     ExecutionResult,
     ExecutionStats,
+    Incompleteness,
+    RunReport,
     merge_results,
     merge_stop_reasons,
 )
@@ -41,10 +46,11 @@ __all__ = [
     "ConcolicBug", "ConcolicReport", "ConcolicTester",
     "ConcreteModelFactory", "CoverageGuidedStrategy", "DFSStrategy",
     "EngineConfig", "EventBus", "ExecutionResult", "ExecutionStats",
-    "Explorer", "ParallelExplorer", "PathEndEvent", "RandomStrategy",
-    "STOP_REASON_PRECEDENCE", "SearchStrategy", "SolverQueryEvent",
-    "StepEvent", "StopReason", "SymbolicModelFactory", "WorkerError",
-    "WorkerEvent", "gillian", "javert2_baseline", "make_strategy",
-    "merge_results", "merge_stop_reasons", "resolve_workers",
-    "strategy_names",
+    "Explorer", "Incompleteness", "ParallelExplorer", "PathEndEvent",
+    "RandomStrategy", "RunReport", "STOP_REASON_PRECEDENCE",
+    "SearchStrategy", "ShardLostEvent", "ShardRetryEvent",
+    "SolverQueryEvent", "SolverUnknownEvent", "StepEvent", "StopReason",
+    "SymbolicModelFactory", "WorkerError", "WorkerEvent", "gillian",
+    "javert2_baseline", "make_strategy", "merge_results",
+    "merge_stop_reasons", "resolve_workers", "strategy_names",
 ]

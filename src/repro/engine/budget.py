@@ -38,6 +38,12 @@ class StopReason(enum.Enum):
     MAX_TOTAL_STEPS = "max-total-steps"
     #: the wall-clock ``deadline`` passed
     DEADLINE = "deadline"
+    #: a branch's feasibility came back UNKNOWN under
+    #: ``unknown_policy="abort"`` — the run stopped rather than degrade
+    UNKNOWN_ABORT = "unknown-abort"
+    #: a parallel shard exhausted its crash retries and its frontier was
+    #: abandoned; partial results from healthy shards were kept
+    INCOMPLETE = "incomplete"
 
 
 @dataclass(frozen=True)

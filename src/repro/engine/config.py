@@ -18,6 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+#: valid values for :attr:`EngineConfig.unknown_policy`
+UNKNOWN_POLICIES = ("assume-sat", "prune", "abort")
+
+#: valid values for :attr:`EngineConfig.shard_failure`
+SHARD_FAILURE_MODES = ("degrade", "raise")
+
 
 @dataclass
 class EngineConfig:
@@ -51,6 +57,72 @@ class EngineConfig:
     #: frontier across OS processes and merges outcomes
     #: deterministically (same multiset of finals as ``workers=1``).
     workers: Union[int, str] = 1
+    #: per-query solver work budget, counted in solver *steps* (split
+    #: branches, propagation passes, model-search nodes) rather than wall
+    #: clock, so bounded runs stay deterministic.  A query that exhausts
+    #: the budget answers ``UNKNOWN`` with its timeout recorded in
+    #: ``SolverStats.timeouts`` / ``Incompleteness.solver_timeouts``.
+    #: None (the default) leaves queries unbounded.
+    solver_step_budget: Optional[int] = None
+    #: what the engine does with a branch whose feasibility the solver
+    #: could not decide (``UNKNOWN``):
+    #: ``"assume-sat"`` (default) keeps the branch alive — sound for
+    #: bug-finding since every reported bug is separately confirmed by
+    #: concrete replay (Theorem 3.6); ``"prune"`` drops the branch,
+    #: trading possible coverage for a path set with no undecided
+    #: feasibility; ``"abort"`` stops the run with stop reason
+    #: ``"unknown-abort"``.  Every degraded decision is counted in the
+    #: run's :class:`~repro.engine.results.Incompleteness` record.
+    unknown_policy: str = "assume-sat"
+    #: how many times a crashed/hung parallel shard is re-sharded and
+    #: retried before its frontier is abandoned (counted per shard
+    #: lineage, not per run)
+    max_shard_retries: int = 2
+    #: seconds of backoff before retry round ``r`` (scaled by ``r``);
+    #: affects wall clock only, never results
+    shard_retry_backoff: float = 0.05
+    #: ``"degrade"`` (default): exhausted shard retries downgrade the run
+    #: to stop reason ``"incomplete"`` — partial results from healthy
+    #: shards are kept and the lost frontier is reported on the result;
+    #: ``"raise"``: restore the historical behaviour of raising
+    #: :class:`~repro.engine.parallel.WorkerError` on the first failure.
+    shard_failure: str = "degrade"
+    #: wall-clock seconds a silent worker may run before it is declared
+    #: hung, terminated, and treated as a crashed shard (None: wait
+    #: forever — hung workers then stall the run, as they always did)
+    worker_timeout: Optional[float] = None
+    #: seconds the parent waits when joining a worker process at shutdown
+    #: before escalating to ``terminate()``
+    worker_join_timeout: float = 30.0
+    #: seconds between polls of the worker result queue (also the
+    #: granularity of crash detection)
+    worker_result_poll: float = 0.2
+    #: deterministic fault-injection plan
+    #: (:class:`repro.testing.faults.FaultPlan`); None disables injection
+    #: entirely.  Test-only: production runs never set this.
+    fault_plan: Optional[object] = None
+    #: fault-injection context, set internally by the parallel explorer:
+    #: the shard's worker id (None: the sequential/seeding phase)
+    fault_worker: Optional[int] = None
+    #: fault-injection context, set internally: the retry round (0 = the
+    #: first attempt), letting plans model transient vs permanent faults
+    fault_attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.unknown_policy not in UNKNOWN_POLICIES:
+            raise ValueError(
+                f"unknown_policy must be one of {UNKNOWN_POLICIES}, "
+                f"got {self.unknown_policy!r}"
+            )
+        if self.shard_failure not in SHARD_FAILURE_MODES:
+            raise ValueError(
+                f"shard_failure must be one of {SHARD_FAILURE_MODES}, "
+                f"got {self.shard_failure!r}"
+            )
+        if self.max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
 
 
 def gillian(**overrides) -> EngineConfig:

@@ -12,7 +12,11 @@ Events are small frozen dataclasses:
 * :class:`BranchEvent` — a step that produced more than one successor;
 * :class:`PathEndEvent` — a path reached a final (normal/error/vanish);
 * :class:`SolverQueryEvent` — the solver answered one satisfiability
-  query (emitted from :mod:`repro.logic.solver`).
+  query (emitted from :mod:`repro.logic.solver`);
+* :class:`SolverUnknownEvent` — a query degraded to ``UNKNOWN`` (budget
+  timeout or incomplete search);
+* :class:`ShardRetryEvent` / :class:`ShardLostEvent` — a parallel shard
+  crashed and was retried, or exhausted its retries and was abandoned.
 
 Consumers subscribe a callable, optionally filtered to specific event
 types; :class:`repro.testing.trace.JsonlEventSink` is the stock JSONL
@@ -63,6 +67,42 @@ class SolverQueryEvent:
     conjuncts: int  # size of the queried conjunction
     cached: bool    # answered without running a solve pipeline
     time: float     # seconds spent answering (0.0 for cache hits)
+
+
+@dataclass(frozen=True)
+class SolverUnknownEvent:
+    """A solver query degraded to ``UNKNOWN`` (incomplete search, a
+    step-budget timeout, or an internal degradation such as a type
+    conflict while completing a model).
+
+    Recorded in-band so JSONL traces show *where* a run's soundness
+    envelope narrowed, not just that it did.
+    """
+
+    reason: str     # "timeout" | "incomplete-search" | "model-completion"
+    conjuncts: int  # size of the queried conjunction
+    timed_out: bool # True iff the step budget (or an injected fault) fired
+
+
+@dataclass(frozen=True)
+class ShardRetryEvent:
+    """A parallel shard crashed or hung and its frontier is being
+    re-sharded for another attempt."""
+
+    worker_id: int  # the failed worker (ids are per retry round)
+    attempt: int    # the round that failed (0 = first attempt)
+    items: int      # frontier items being retried
+    detail: str     # truncated failure description (traceback head)
+
+
+@dataclass(frozen=True)
+class ShardLostEvent:
+    """A parallel shard exhausted its retries; its frontier is abandoned
+    and the run downgrades to stop reason ``"incomplete"``."""
+
+    worker_id: int  # the worker that failed last
+    attempt: int    # the final round
+    items: int      # frontier items lost
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,7 @@ from repro.gil.semantics import (
     step,
 )
 from repro.gil.syntax import Prog
+from repro.logic.solver import UnknownAbort
 
 
 class Explorer:
@@ -81,6 +82,23 @@ class Explorer:
         self.strategy = strategy
         self.budget = budget if budget is not None else Budget.from_config(self.config)
         self.events = events
+        # Deterministic fault injection: a FaultPlan shipped through the
+        # config (by the fault harness, or by the parallel explorer to
+        # its workers) is resolved to this process's injector here.  A
+        # plan with no fault for (fault_worker, fault_attempt) resolves
+        # to None and the loop pays nothing.
+        self.faults = None
+        plan = getattr(self.config, "fault_plan", None)
+        if plan is not None:
+            from repro.testing.faults import install_faults
+
+            injector = plan.injector(
+                getattr(self.config, "fault_worker", None),
+                getattr(self.config, "fault_attempt", 0),
+            )
+            if injector is not None:
+                install_faults(self.sm, injector)
+                self.faults = injector
 
     def run(
         self,
@@ -123,6 +141,8 @@ class Explorer:
         bus = self.events  # truthy only when subscribers are attached
         solver = getattr(self.sm, "solver", None)
         solver_stats = solver.stats if solver is not None else None
+        degradation = getattr(self.sm, "degradation", None)
+        faults = self.faults
         # Route this run's solver queries onto our bus (restored on exit:
         # nested or interleaved explorers over a shared solver each see
         # their own wiring).
@@ -161,10 +181,27 @@ class Explorer:
                 # Attribute solver work step-by-step, so interleaved
                 # explorers over a shared state model stay accurate.
                 snap = solver_stats.snapshot() if solver_stats is not None else None
-                successors, finished = step(self.prog, self.sm, cfg)
+                dsnap = degradation.snapshot() if degradation is not None else None
+                if faults is not None:
+                    faults.on_step()
+                try:
+                    successors, finished = step(self.prog, self.sm, cfg)
+                except UnknownAbort:
+                    stats.commands_executed += 1
+                    if snap is not None:
+                        stats.add_solver_delta(solver_stats.delta(snap))
+                    stats.paths_dropped += 1 + len(strategy)
+                    stop = StopReason.UNKNOWN_ABORT
+                    break
                 stats.commands_executed += 1
                 if snap is not None:
                     stats.add_solver_delta(solver_stats.delta(snap))
+                if dsnap is not None:
+                    now = degradation.snapshot()
+                    if now != dsnap:
+                        stats.add_degradation_delta(
+                            now[0] - dsnap[0], now[1] - dsnap[1]
+                        )
 
                 if bus:
                     bus.emit(
@@ -223,6 +260,8 @@ class Explorer:
         bus = self.events
         solver = getattr(self.sm, "solver", None)
         solver_stats = solver.stats if solver is not None else None
+        degradation = getattr(self.sm, "degradation", None)
+        faults = self.faults
         prev_solver_events = None
         if solver is not None and bus is not None:
             prev_solver_events = solver.events
@@ -259,10 +298,27 @@ class Explorer:
                     continue
 
                 snap = solver_stats.snapshot() if solver_stats is not None else None
-                successors, finished = step(self.prog, self.sm, cfg)
+                dsnap = degradation.snapshot() if degradation is not None else None
+                if faults is not None:
+                    faults.on_step()
+                try:
+                    successors, finished = step(self.prog, self.sm, cfg)
+                except UnknownAbort:
+                    stats.commands_executed += 1
+                    if snap is not None:
+                        stats.add_solver_delta(solver_stats.delta(snap))
+                    stats.paths_dropped += 1 + len(strategy)
+                    stop = StopReason.UNKNOWN_ABORT
+                    break
                 stats.commands_executed += 1
                 if snap is not None:
                     stats.add_solver_delta(solver_stats.delta(snap))
+                if dsnap is not None:
+                    now = degradation.snapshot()
+                    if now != dsnap:
+                        stats.add_degradation_delta(
+                            now[0] - dsnap[0], now[1] - dsnap[1]
+                        )
 
                 if bus:
                     bus.emit(

@@ -46,6 +46,7 @@ the zero-overhead-when-unsubscribed contract holds across processes.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import pickle
@@ -58,7 +59,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.engine.budget import Budget
 from repro.engine.config import EngineConfig
-from repro.engine.events import EventBus, WorkerEvent
+from repro.engine.events import (
+    EventBus,
+    ShardLostEvent,
+    ShardRetryEvent,
+    WorkerEvent,
+)
 from repro.engine.explorer import Explorer
 from repro.engine.results import ExecutionResult, merge_results
 from repro.engine.strategy import StrategySpec, make_strategy
@@ -70,6 +76,12 @@ from repro.gil.syntax import Prog
 #: worker several frontier items keeps a worker with small subtrees from
 #: idling while another grinds a big one.
 SEED_FACTOR = 4
+
+#: Consecutive empty result polls before a dead-without-reporting worker
+#: is declared failed.  A worker that crashed *after* putting its result
+#: may still have the payload in flight through the queue's feeder pipe;
+#: a few extra polls let it land before the shard is written off.
+_DEAD_WORKER_GRACE_POLLS = 3
 
 
 def resolve_workers(spec: Union[int, str, None]) -> int:
@@ -119,8 +131,13 @@ class SymbolicModelFactory:
             simplifier=simplifier,
             cache_enabled=self.config.solver_cache,
             incremental=self.config.solver_incremental,
+            step_budget=self.config.solver_step_budget,
         )
-        return SymbolicStateModel(self.memory_model, solver=solver)
+        return SymbolicStateModel(
+            self.memory_model,
+            solver=solver,
+            unknown_policy=self.config.unknown_policy,
+        )
 
 
 @dataclass(frozen=True)
@@ -140,9 +157,15 @@ def model_factory_for(state_model, config: EngineConfig):
     """Derive the worker factory matching a parent state model."""
     from repro.state.concrete import ConcreteStateModel
     from repro.state.symbolic import SymbolicStateModel
+    from repro.testing.faults import FaultyMemoryModel
 
     if isinstance(state_model, SymbolicStateModel):
-        return SymbolicModelFactory(state_model.memory_model, config)
+        memory = state_model.memory_model
+        if isinstance(memory, FaultyMemoryModel):
+            # The parent's injector wrapper must not leak into workers:
+            # each worker resolves its own injector from the shipped plan.
+            memory = memory.inner
+        return SymbolicModelFactory(memory, config)
     if isinstance(state_model, ConcreteStateModel):
         return ConcreteModelFactory(state_model.memory_model, state_model.allocator)
     raise TypeError(
@@ -177,6 +200,9 @@ def _worker_main(worker_id: int, blob: bytes, result_q, event_q) -> None:
     """
     try:
         task: _WorkerTask = pickle.loads(blob)
+        # Stamp this process's shard id into the (worker-local) config so
+        # a shipped FaultPlan resolves to this worker's injector.
+        task.config.fault_worker = worker_id
         bus = None
         if event_q is not None:
             bus = EventBus()
@@ -320,12 +346,28 @@ class ParallelExplorer:
     def _run_shards(
         self, shards: List[list], slice_budget: Budget, factory
     ) -> List[ExecutionResult]:
-        from repro.engine.results import ExecutionResult as _Result
+        """Run shards to completion with crash recovery.
 
-        result_q = self._mp.Queue()
+        Rounds: every shard of the round runs in its own process; results
+        from healthy workers are *salvaged* even when a sibling crashes.
+        Failed shards' frontier items are re-dealt across up to
+        ``workers`` fresh processes and retried (with
+        ``shard_retry_backoff`` exponential backoff) until they succeed
+        or ``max_shard_retries`` extra rounds are spent.  Exhausted
+        retries abandon the surviving items: the run *degrades* — stop
+        reason ``"incomplete"``, the abandoned ``(Config, depth)`` items
+        recorded on ``ExecutionResult.lost_frontier``, and the
+        :class:`~repro.engine.results.Incompleteness` ledger counting
+        every retry and loss — instead of raising.  Set
+        ``EngineConfig.shard_failure="raise"`` to restore the fail-fast
+        :class:`WorkerError`.
+        """
+        from repro.engine.results import ExecutionStats
+
+        cfg = self.config
+        bus = self.events
         event_q = None
         drainer = None
-        bus = self.events
         if bus:  # truthy only with subscribers: keep idle runs queue-free
             event_q = self._mp.Queue()
             drainer = threading.Thread(
@@ -333,11 +375,106 @@ class ParallelExplorer:
             )
             drainer.start()
 
+        acct = ExecutionStats()  # synthetic part: retry/loss accounting
+        lost_items: List[tuple] = []
+        parts: List[ExecutionResult] = []
+        pending: List[tuple] = [tuple(shard) for shard in shards if shard]
+        attempt = 0
+        try:
+            while pending:
+                results, failures = self._run_round(
+                    pending, slice_budget, factory, attempt, event_q
+                )
+                parts.extend(results)
+                if not failures:
+                    break
+                if cfg.shard_failure == "raise":
+                    worker_id, detail, _ = failures[0]
+                    raise WorkerError(
+                        f"parallel worker {worker_id} failed:\n{detail}"
+                    )
+                failed_items = [
+                    item for _, _, items in failures for item in items
+                ]
+                if attempt >= cfg.max_shard_retries:
+                    # Retries exhausted: salvage what we have, abandon the
+                    # rest, and downgrade the run instead of raising.
+                    for worker_id, _, items in failures:
+                        acct.incompleteness.shards_lost += 1
+                        acct.incompleteness.frontier_lost += len(items)
+                        if bus:
+                            bus.emit(
+                                ShardLostEvent(worker_id, attempt, len(items))
+                            )
+                    acct.paths_dropped += len(failed_items)
+                    acct.stop_reason = "incomplete"
+                    lost_items.extend(failed_items)
+                    break
+                for worker_id, detail, items in failures:
+                    acct.incompleteness.shards_retried += 1
+                    if bus:
+                        bus.emit(
+                            ShardRetryEvent(
+                                worker_id, attempt, len(items),
+                                detail.strip().splitlines()[-1][:200]
+                                if detail.strip() else "",
+                            )
+                        )
+                if cfg.shard_retry_backoff > 0:
+                    time.sleep(cfg.shard_retry_backoff * (2 ** attempt))
+                width = min(self.workers, len(failed_items))
+                pending = [
+                    tuple(failed_items[i::width]) for i in range(width)
+                ]
+                attempt += 1
+        finally:
+            if event_q is not None:
+                event_q.put(None)  # drainer sentinel
+                drainer.join(timeout=cfg.worker_join_timeout)
+
+        if drainer is not None and drainer.is_alive():
+            # Raised outside the finally so it cannot mask a WorkerError.
+            raise RuntimeError(
+                f"parallel event-drainer thread failed to shut down within "
+                f"worker_join_timeout={cfg.worker_join_timeout}s; a bus "
+                f"subscriber is likely blocked"
+            )
+
+        if not acct.incompleteness.clean or acct.incompleteness.shards_retried:
+            parts.append(
+                ExecutionResult([], acct, lost_frontier=tuple(lost_items))
+            )
+        return parts
+
+    def _run_round(
+        self,
+        shards: List[tuple],
+        slice_budget: Budget,
+        factory,
+        attempt: int,
+        event_q,
+    ) -> "Tuple[List[ExecutionResult], List[Tuple[int, str, tuple]]]":
+        """Run one round of shard processes and collect every outcome.
+
+        Returns ``(results, failures)``: salvaged results in worker-id
+        order, and ``(worker_id, detail, items)`` for each shard that
+        crashed (reported an error record), died without reporting
+        (e.g. ``os._exit`` — detected by liveness polling with a few
+        grace polls so an in-flight queue flush can land), or hung past
+        ``EngineConfig.worker_timeout`` (terminated and counted failed).
+        """
+        from repro.engine.results import ExecutionResult as _Result
+
+        cfg = self.config
+        # Fresh queue per round: a dead worker's half-flushed pipe must
+        # not pollute the next round's results.
+        result_q = self._mp.Queue()
+        round_config = dataclasses.replace(cfg, fault_attempt=attempt)
         procs: List = []
         for worker_id, shard in enumerate(shards):
             task = _WorkerTask(
                 prog=self.prog,
-                config=self.config,
+                config=round_config,
                 strategy=self.strategy,
                 budget=slice_budget,
                 factory=factory,
@@ -352,45 +489,59 @@ class ParallelExplorer:
             procs.append(proc)
 
         by_worker: dict = {}
-        failure: Optional[Tuple[int, str]] = None
-        try:
-            while len(by_worker) < len(procs) and failure is None:
-                try:
-                    kind, worker_id, payload = result_q.get(timeout=0.2)
-                except queue_mod.Empty:
-                    dead = [
-                        i for i, p in enumerate(procs)
-                        if not p.is_alive() and i not in by_worker
-                    ]
-                    if dead and all(
-                        not p.is_alive() for p in procs
-                    ) and result_q.empty():
-                        failure = (
-                            dead[0],
-                            f"worker {dead[0]} exited (code "
-                            f"{procs[dead[0]].exitcode}) without reporting",
+        failures: dict = {}
+        grace: dict = {}
+        outstanding = set(range(len(procs)))
+        hard_deadline = (
+            None
+            if cfg.worker_timeout is None
+            else time.monotonic() + cfg.worker_timeout
+        )
+        while outstanding:
+            try:
+                kind, worker_id, payload = result_q.get(
+                    timeout=cfg.worker_result_poll
+                )
+            except queue_mod.Empty:
+                if hard_deadline is not None and time.monotonic() > hard_deadline:
+                    for i in sorted(outstanding):
+                        proc = procs[i]
+                        if proc.is_alive():
+                            proc.terminate()
+                            proc.join()
+                        failures[i] = (
+                            f"worker {i} hung past worker_timeout="
+                            f"{cfg.worker_timeout}s and was terminated"
                         )
+                        outstanding.discard(i)
                     continue
-                if kind == "err":
-                    failure = (worker_id, payload)
-                else:
-                    finals, stats = pickle.loads(payload)
-                    by_worker[worker_id] = _Result(finals, stats)
-        finally:
-            for proc in procs:
-                proc.join(timeout=30)
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join()
-            if event_q is not None:
-                event_q.put(None)  # drainer sentinel
-                drainer.join(timeout=30)
+                for i in sorted(outstanding):
+                    if not procs[i].is_alive():
+                        grace[i] = grace.get(i, 0) + 1
+                        if grace[i] >= _DEAD_WORKER_GRACE_POLLS:
+                            failures[i] = (
+                                f"worker {i} exited (code "
+                                f"{procs[i].exitcode}) without reporting"
+                            )
+                            outstanding.discard(i)
+                continue
+            if kind == "err":
+                failures[worker_id] = payload
+            else:
+                finals, stats = pickle.loads(payload)
+                by_worker[worker_id] = _Result(finals, stats)
+            outstanding.discard(worker_id)
 
-        if failure is not None:
-            worker_id, detail = failure
-            raise WorkerError(f"parallel worker {worker_id} failed:\n{detail}")
-        # Deterministic merge order: by worker id, i.e. by shard index.
-        return [by_worker[i] for i in sorted(by_worker)]
+        for proc in procs:
+            proc.join(timeout=cfg.worker_join_timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        result_q.close()
+
+        results = [by_worker[i] for i in sorted(by_worker)]
+        failed = [(i, failures[i], shards[i]) for i in sorted(failures)]
+        return results, failed
 
 
 def _drain_events(event_q, bus: EventBus) -> None:

@@ -1,14 +1,16 @@
-"""Execution results and statistics."""
+"""Execution results, statistics, and incompleteness accounting."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 from repro.gil.semantics import Final, OutcomeKind
 
 #: Stop-reason precedence for merging runs: lower rank wins.  A merged
 #: run reports the *most restrictive* reason any constituent hit —
+#: "incomplete" (a shard's frontier was abandoned after crash retries)
+#: over "unknown-abort" (the run stopped on an undecidable branch) over
 #: "deadline" (the run was cut mid-flight by wall clock) over
 #: "max-total-steps" (the global command budget ran dry) over
 #: "max-paths" (the path cap evicted the worklist) over "exhausted"
@@ -16,7 +18,14 @@ from repro.gil.semantics import Final, OutcomeKind
 #: shard merge relies on this order being total and documented; an
 #: unknown reason ranks most restrictive of all so it is never silently
 #: swallowed.
-STOP_REASON_PRECEDENCE = ("deadline", "max-total-steps", "max-paths", "exhausted")
+STOP_REASON_PRECEDENCE = (
+    "incomplete",
+    "unknown-abort",
+    "deadline",
+    "max-total-steps",
+    "max-paths",
+    "exhausted",
+)
 
 _STOP_RANK = {reason: rank for rank, reason in enumerate(STOP_REASON_PRECEDENCE)}
 
@@ -27,6 +36,94 @@ def merge_stop_reasons(*reasons: str) -> str:
     if not live:
         return ""
     return min(live, key=lambda r: _STOP_RANK.get(r, -1))
+
+
+@dataclass
+class Incompleteness:
+    """What a run could *not* decide or explore, itemised.
+
+    The OCaml Gillian leans on Z3's per-query timeouts and ``Unknown``
+    verdict to survive hostile inputs; this record is the engine-side
+    ledger of every such degradation — each counter is a place where the
+    "explores all paths up to a bound" claim (paper §1) was narrowed
+    further than the configured bounds alone would narrow it.  All-zero
+    means the run's only incompleteness is the explicit budget.
+    """
+
+    #: solver queries that hit the per-query step budget (or an injected
+    #: timeout fault) and answered UNKNOWN
+    solver_timeouts: int = 0
+    #: branches dropped because their feasibility was UNKNOWN under
+    #: ``unknown_policy="prune"``
+    unknown_pruned: int = 0
+    #: branches kept alive under ``unknown_policy="assume-sat"`` (the
+    #: default) despite a *timed-out* UNKNOWN feasibility verdict (step
+    #: budget exhausted or fault-injected): sound for bug-finding, but
+    #: the branch may be infeasible.  Baseline incomplete-search
+    #: UNKNOWNs — those the solver reports even with no budget — are the
+    #: documented ``is_sat`` over-approximation and are not counted here
+    unknown_assumed: int = 0
+    #: parallel shards that crashed/hung and were re-sharded for retry.
+    #: Informational: a retried shard that then succeeds loses nothing,
+    #: so retries alone do not make a run :attr:`clean`-false
+    shards_retried: int = 0
+    #: parallel shards abandoned after exhausting their retries
+    shards_lost: int = 0
+    #: frontier items lost with abandoned shards (their subtrees were
+    #: never explored; see ``ExecutionResult.lost_frontier``)
+    frontier_lost: int = 0
+
+    def merge(self, other: "Incompleteness") -> None:
+        self.solver_timeouts += other.solver_timeouts
+        self.unknown_pruned += other.unknown_pruned
+        self.unknown_assumed += other.unknown_assumed
+        self.shards_retried += other.shards_retried
+        self.shards_lost += other.shards_lost
+        self.frontier_lost += other.frontier_lost
+
+    @property
+    def clean(self) -> bool:
+        """True iff nothing was degraded: no timeouts, no undecided
+        branches, no lost shards.  ``shards_retried`` is deliberately
+        excluded — a retry that succeeded recovered the exact result."""
+        return not (
+            self.solver_timeouts
+            or self.unknown_pruned
+            or self.unknown_assumed
+            or self.shards_lost
+            or self.frontier_lost
+        )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The operational verdict of a run: why it stopped and what it
+    could not decide — the shape a caller needs to judge whether
+    "no bug found" means *verified up to the bound* or merely *nothing
+    surfaced before the engine degraded*."""
+
+    stop_reason: str
+    incompleteness: Incompleteness
+
+    @property
+    def complete(self) -> bool:
+        """Every path ran to a final and no decision was degraded."""
+        return self.stop_reason == "exhausted" and self.incompleteness.clean
+
+    def summary(self) -> str:
+        inc = self.incompleteness
+        parts = [f"stop={self.stop_reason or 'not-run'}"]
+        for label, count in (
+            ("solver-timeouts", inc.solver_timeouts),
+            ("unknown-pruned", inc.unknown_pruned),
+            ("unknown-assumed", inc.unknown_assumed),
+            ("shards-retried", inc.shards_retried),
+            ("shards-lost", inc.shards_lost),
+            ("frontier-lost", inc.frontier_lost),
+        ):
+            if count:
+                parts.append(f"{label}={count}")
+        return " ".join(parts)
 
 
 @dataclass
@@ -44,8 +141,11 @@ class ExecutionStats:
     solver_time: float = 0.0
     wall_time: float = 0.0
     #: why the scheduler stopped (a StopReason value, e.g. "exhausted",
-    #: "max-paths", "max-total-steps", "deadline"); "" before any run
+    #: "max-paths", "max-total-steps", "deadline", "unknown-abort",
+    #: "incomplete"); "" before any run
     stop_reason: str = ""
+    #: the run's degradation ledger (see :class:`Incompleteness`)
+    incompleteness: Incompleteness = field(default_factory=Incompleteness)
 
     def merge(self, other: "ExecutionStats") -> None:
         self.commands_executed += other.commands_executed
@@ -61,6 +161,7 @@ class ExecutionStats:
         # A merged run was exhaustive only if every constituent was: the
         # most restrictive stop reason wins (see STOP_REASON_PRECEDENCE).
         self.stop_reason = merge_stop_reasons(self.stop_reason, other.stop_reason)
+        self.incompleteness.merge(other.incompleteness)
 
     def add_solver_delta(self, delta) -> None:
         """Fold a :class:`repro.logic.solver.SolverSnapshot` delta in."""
@@ -69,6 +170,12 @@ class ExecutionStats:
         self.solver_prefix_hits += delta.prefix_hits
         self.solver_model_reuse += delta.model_reuse_hits
         self.solver_time += delta.solve_time
+        self.incompleteness.solver_timeouts += delta.timeouts
+
+    def add_degradation_delta(self, pruned: int, assumed: int) -> None:
+        """Fold the state model's per-step unknown-policy counters in."""
+        self.incompleteness.unknown_pruned += pruned
+        self.incompleteness.unknown_assumed += assumed
 
 
 def final_sort_key(fin: Final) -> tuple:
@@ -95,11 +202,13 @@ def merge_results(parts: List["ExecutionResult"]) -> "ExecutionResult":
     """
     finals: List[Final] = []
     stats = ExecutionStats()
+    lost: List[tuple] = []
     for part in parts:
         finals.extend(part.finals)
         stats.merge(part.stats)
+        lost.extend(part.lost_frontier)
     finals.sort(key=final_sort_key)
-    return ExecutionResult(finals, stats)
+    return ExecutionResult(finals, stats, lost_frontier=tuple(lost))
 
 
 @dataclass
@@ -108,6 +217,16 @@ class ExecutionResult:
 
     finals: List[Final]
     stats: ExecutionStats
+    #: ``(Config, depth)`` frontier items whose subtrees were abandoned
+    #: with a lost shard — re-feeding them to ``Explorer.explore`` (with
+    #: their depths) resumes exactly the unexplored remainder of an
+    #: ``"incomplete"`` run
+    lost_frontier: Tuple[tuple, ...] = ()
+
+    @property
+    def report(self) -> RunReport:
+        """The run's :class:`RunReport` (stop reason + incompleteness)."""
+        return RunReport(self.stats.stop_reason, self.stats.incompleteness)
 
     @property
     def normal(self) -> List[Final]:

@@ -91,6 +91,21 @@ class SatResult(enum.Enum):
     UNKNOWN = "unknown"
 
 
+class UnknownAbort(RuntimeError):
+    """Raised by the engine when a branch's feasibility came back UNKNOWN
+    under ``unknown_policy="abort"``.
+
+    The exception is engine control flow, not an error: the scheduler
+    catches it and ends the run with stop reason ``"unknown-abort"``.
+    Defined here because the solver's three-valued verdict is what the
+    policy interprets.
+    """
+
+
+class _OutOfGas(Exception):
+    """Internal: the per-query step budget ran out mid-solve."""
+
+
 @dataclass(frozen=True)
 class SolverSnapshot:
     """An immutable capture of the attribution-relevant solver counters.
@@ -107,6 +122,7 @@ class SolverSnapshot:
     prefix_hits: int = 0
     model_reuse_hits: int = 0
     solve_time: float = 0.0
+    timeouts: int = 0
 
 
 @dataclass
@@ -132,6 +148,12 @@ class SolverStats:
     monolithic_solves: int = 0
     #: total wall time spent inside solve entry points, seconds
     solve_time: float = 0.0
+    #: queries that exhausted the per-query step budget (or hit an
+    #: injected timeout fault) and degraded to UNKNOWN
+    timeouts: int = 0
+    #: internal degradations survived with a fallback (e.g. a type
+    #: conflict while completing a model over eliminated variables)
+    degraded: int = 0
 
     def snapshot(self) -> SolverSnapshot:
         """The attribution counters, frozen at this instant."""
@@ -141,6 +163,7 @@ class SolverStats:
             prefix_hits=self.prefix_hits,
             model_reuse_hits=self.model_reuse_hits,
             solve_time=self.solve_time,
+            timeouts=self.timeouts,
         )
 
     def delta(self, since: SolverSnapshot) -> SolverSnapshot:
@@ -151,6 +174,7 @@ class SolverStats:
             prefix_hits=self.prefix_hits - since.prefix_hits,
             model_reuse_hits=self.model_reuse_hits - since.model_reuse_hits,
             solve_time=self.solve_time - since.solve_time,
+            timeouts=self.timeouts - since.timeouts,
         )
 
 
@@ -182,6 +206,10 @@ class SolverContext:
     literals: Optional[Tuple[Expr, ...]] = None
     cc: Optional["_CongruenceClosure"] = None
     var_types: Optional[Dict[str, GilType]] = None
+    #: True iff ``result`` is UNKNOWN *because* the step budget (or an
+    #: injected fault) cut the solve short — preserved through the prefix
+    #: cache so re-checks of the same prefix report the same provenance
+    timed_out: bool = False
 
 _INF = Fraction(10**12)  # pseudo-infinity for interval endpoints
 
@@ -229,15 +257,41 @@ class Solver:
         simplifier: Optional[Simplifier] = None,
         cache_enabled: bool = True,
         incremental: bool = True,
+        step_budget: Optional[int] = None,
     ) -> None:
         self.simplifier = simplifier if simplifier is not None else Simplifier()
         self.cache_enabled = cache_enabled
         self.incremental = incremental
+        #: per-query work budget in solver steps (split branches,
+        #: propagation passes, model-search nodes); step-counted rather
+        #: than wall-clock so budgeted runs stay deterministic.  None:
+        #: unbounded (every answer is exactly as before the budget
+        #: existed).  A query that runs out answers UNKNOWN and counts a
+        #: timeout — the from-scratch analogue of Z3's per-query timeout
+        #: and ``Unknown`` verdict.
+        self.step_budget = step_budget
         self.stats = SolverStats()
         #: optional :class:`repro.engine.events.EventBus`; when truthy,
         #: every answered query emits a ``SolverQueryEvent``
         self.events = None
+        #: optional :class:`repro.testing.faults.FaultInjector`; when set,
+        #: consulted once per solved query to force deterministic timeouts
+        self.faults = None
+        #: remaining gas for the query in flight (None: unbudgeted)
+        self._gas: Optional[int] = None
+        #: whether the query in flight degraded via budget/fault timeout
+        self._timed_out = False
+        #: provenance of the last :meth:`check` answer: True iff it was
+        #: UNKNOWN *because* the step budget (or an injected fault) cut
+        #: the solve short, as opposed to the baseline incomplete-search
+        #: UNKNOWN that exists without any budget.  Callers degrading
+        #: their behaviour on timeouts (e.g. the state model's
+        #: ``unknown_assumed`` accounting) read this right after check().
+        self.last_timed_out = False
         self._cache: Dict[frozenset, Tuple[SatResult, Optional[Model]]] = {}
+        #: conjunct-set keys whose cached UNKNOWN came from a timeout, so
+        #: cache hits report the same provenance as the original solve
+        self._timeout_keys: set = set()
         #: prefix contexts by PathCondition.uid
         self._contexts: Dict[int, SolverContext] = {}
         #: prefix contexts by (parent context uid, added conjunct tuple)
@@ -263,8 +317,11 @@ class Solver:
         conjuncts goes through the monolithic pipeline.
         """
         if self.incremental and isinstance(pc, PathCondition):
-            return self._ensure_context(pc).result
+            ctx = self._ensure_context(pc)
+            self.last_timed_out = ctx.timed_out
+            return ctx.result
         result, _ = self._check_with_model(pc, want_model=False)
+        self.last_timed_out = result is SatResult.UNKNOWN and self._timed_out
         return result
 
     def is_sat(self, pc: Union[PathCondition, Iterable[Expr]]) -> bool:
@@ -310,6 +367,42 @@ class Solver:
         conjuncts = list(pc) + [UnOpExpr(UnOp.NOT, goal)]
         return self.check(conjuncts) is SatResult.UNSAT
 
+    # -- per-query work budget ----------------------------------------------
+
+    def _begin_query(self) -> None:
+        """Arm the step budget for one freshly-solved query."""
+        self._gas = self.step_budget
+        self._timed_out = False
+
+    def _forced_timeout(self) -> bool:
+        """True when fault injection demands this query time out."""
+        return self.faults is not None and self.faults.solver_timeout()
+
+    def _charge(self, amount: int = 1) -> None:
+        """Spend budgeted solver work; deterministic because the units
+        are solver steps (branches, propagation passes, search nodes),
+        never wall clock."""
+        if self._gas is None:
+            return
+        self._gas -= amount
+        if self._gas < 0:
+            raise _OutOfGas()
+
+    def _emit_unknown(self, conjuncts: int, reason: Optional[str] = None) -> None:
+        """Emit a ``SolverUnknownEvent`` for a freshly-degraded query."""
+        if not self.events:
+            return
+        from repro.engine.events import SolverUnknownEvent
+
+        self.events.emit(
+            SolverUnknownEvent(
+                reason=reason
+                or ("timeout" if self._timed_out else "incomplete-search"),
+                conjuncts=conjuncts,
+                timed_out=self._timed_out,
+            )
+        )
+
     # -- incremental prefix contexts ----------------------------------------
 
     def _ensure_context(self, pc: PathCondition) -> SolverContext:
@@ -348,6 +441,7 @@ class Solver:
             cached, elapsed = True, 0.0
         else:
             start = time.perf_counter()
+            self._begin_query()
             try:
                 ctx = self._solve_extension(parent, pc)
             finally:
@@ -359,7 +453,28 @@ class Solver:
         self._contexts[pc.uid] = ctx
         if self.events:
             self._emit_query(ctx.result, len(ctx.norm), cached, elapsed)
+            if ctx.result is SatResult.UNKNOWN and not cached:
+                self._emit_unknown(len(ctx.norm))
         return ctx
+
+    def _timeout_context(
+        self, pc, norm, norm_set, theory
+    ) -> SolverContext:
+        """The UNKNOWN context of a query that ran out of budget (or hit
+        an injected timeout).  Theory state built before the timeout is
+        kept so descendants can still extend incrementally."""
+        self.stats.unknown += 1
+        self.stats.timeouts += 1
+        self._timed_out = True
+        literals, cc, var_types = (
+            theory[:3] if theory is not None else (None, None, None)
+        )
+        return SolverContext(
+            uid=pc.uid, result=SatResult.UNKNOWN, model=None,
+            norm=norm, norm_set=norm_set,
+            literals=literals, cc=cc, var_types=var_types,
+            timed_out=True,
+        )
 
     def _solve_extension(
         self, parent: SolverContext, pc: PathCondition
@@ -408,6 +523,13 @@ class Solver:
         norm = parent.norm + tuple(delta)
         norm_set = parent.norm_set | seen
 
+        # Injected timeout: degrade before solving, like a Z3 deadline
+        # firing on arrival.  Checked only for queries with real work —
+        # trivial extensions (empty delta, inherited UNSAT) never consume
+        # the fault's query counter.
+        if self._forced_timeout():
+            return self._timeout_context(pc, norm, norm_set, None)
+
         # 2. Extend the split-free theory state by the delta (cloned
         # union-find, merged type bindings).  ``None`` means the chain
         # needs case splitting and solves monolithically from here on.
@@ -444,15 +566,18 @@ class Solver:
 
         # 5. Solve: delta pipeline over the combined literal list when the
         # chain is split-free, else the monolithic pipeline.
-        if theory is not None:
-            literals, cc, var_types, _ = theory
-            result, model = self._solve_theory_literals(
-                list(literals), list(norm), var_types, cc
-            )
-            self.stats.incremental_solves += 1
-        else:
-            result, model = self._solve(list(norm))
-            self.stats.monolithic_solves += 1
+        try:
+            if theory is not None:
+                literals, cc, var_types, _ = theory
+                result, model = self._solve_theory_literals(
+                    list(literals), list(norm), var_types, cc
+                )
+                self.stats.incremental_solves += 1
+            else:
+                result, model = self._solve(list(norm))
+                self.stats.monolithic_solves += 1
+        except _OutOfGas:
+            return self._timeout_context(pc, norm, norm_set, theory)
         if result is SatResult.SAT and model is not None:
             model = self._complete_model(model, list(norm))
         if result is SatResult.SAT:
@@ -489,6 +614,10 @@ class Solver:
         return SolverContext(
             uid=pc.uid, result=result, model=model, norm=norm,
             norm_set=norm_set, literals=literals, cc=cc, var_types=var_types,
+            timed_out=(
+                result is SatResult.UNKNOWN
+                and frozenset(norm) in self._timeout_keys
+            ),
         )
 
     def _extend_theory(self, parent: SolverContext, delta: List[Expr]):
@@ -553,7 +682,12 @@ class Solver:
             if var_types is None:
                 try:
                     var_types = collect_var_types(delta)
-                except Exception:
+                except TypeConflict:
+                    # Ill-typed delta: fall back to untyped defaults; the
+                    # candidate model is still verified against every
+                    # conjunct below, so this only costs precision.
+                    self.stats.degraded += 1
+                    self._emit_unknown(len(delta), reason="model-completion")
                     var_types = {}
             defaults = {
                 GilType.NUMBER: 0,
@@ -671,15 +805,17 @@ class Solver:
         finally:
             elapsed = time.perf_counter() - start
             self.stats.solve_time += elapsed
+        cached = self.stats.cache_hits > hits_before
         if self.events:
-            self._emit_query(
-                result, len(pc), self.stats.cache_hits > hits_before, elapsed
-            )
+            self._emit_query(result, len(pc), cached, elapsed)
+            if result is SatResult.UNKNOWN and not cached:
+                self._emit_unknown(len(pc))
         return result, model
 
     def _check_with_model_timed(
         self, pc: Iterable[Expr], want_model: bool
     ) -> Tuple[SatResult, Optional[Model]]:
+        self._timed_out = False
         original = list(pc)
         conjuncts = self._normalise(original)
         if conjuncts is None:
@@ -690,8 +826,21 @@ class Solver:
             cached = self._cache.get(key)
             if cached is not None and (cached[1] is not None or not want_model):
                 self.stats.cache_hits += 1
+                self._timed_out = key in self._timeout_keys
                 return cached
-        result, model = self._solve(conjuncts)
+        self._begin_query()
+        try:
+            if self._forced_timeout():
+                raise _OutOfGas()
+            result, model = self._solve(conjuncts)
+        except _OutOfGas:
+            self.stats.unknown += 1
+            self.stats.timeouts += 1
+            self._timed_out = True
+            if self.cache_enabled:
+                self._cache[key] = (SatResult.UNKNOWN, None)
+                self._timeout_keys.add(key)
+            return SatResult.UNKNOWN, None
         if result is SatResult.SAT and model is not None:
             model = self._complete_model(model, original)
         if result is SatResult.SAT:
@@ -722,7 +871,12 @@ class Solver:
 
             try:
                 var_types = collect_var_types(original)
-            except Exception:
+            except TypeConflict:
+                # Ill-typed originals: untyped defaults, then re-verify —
+                # degraded (the model may fail verification) but never
+                # silent and never unsound.
+                self.stats.degraded += 1
+                self._emit_unknown(len(original), reason="model-completion")
                 var_types = {}
             defaults = {
                 GilType.NUMBER: 0,
@@ -814,6 +968,7 @@ class Solver:
                         # model search still evaluates it faithfully.
                         literals.append(e)
                         continue
+                    self._charge()
                     branches.append((list(literals), pending + [e.right]))
                     pending.append(e.left)
                     continue
@@ -1158,6 +1313,9 @@ class Solver:
 
         intervals: Dict[Expr, _Interval] = {a: _Interval() for a in atoms}
         for _ in range(_PROPAGATION_ROUNDS):
+            # One propagation pass over every constraint is one budget
+            # step per constraint (bounded, deterministic work units).
+            self._charge(len(constraints) + 1)
             changed = False
             for atom in integral:
                 iv = intervals.get(atom)
@@ -1252,6 +1410,7 @@ class Solver:
             for value in options:
                 budget[0] -= 1
                 self.stats.search_nodes += 1
+                self._charge()
                 env[name] = value
                 if self._consistent_so_far(literals, env):
                     found = dfs(idx + 1, env)

@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.logic.expr import Expr, Lit, UnOp, UnOpExpr, substitute_pvars
 from repro.logic.pathcond import PathCondition
 from repro.logic.simplify import Simplifier
-from repro.logic.solver import Solver
+from repro.logic.solver import SatResult, Solver, UnknownAbort
 from repro.state.allocator import AllocRecord, SymbolicAllocator
 from repro.state.interface import (
     StateErr,
@@ -92,6 +92,26 @@ def _rebuild_symbolic_state(memory, store_items, alloc, pc) -> SymbolicState:
     return SymbolicState(memory, MappingProxyType(dict(store_items)), alloc, pc)
 
 
+@dataclass
+class Degradation:
+    """Running unknown-policy counters for one state model.
+
+    The explorer snapshots these per step (like the solver stats) so a
+    run's :class:`~repro.engine.results.Incompleteness` ledger attributes
+    every degraded branch decision to the step that made it.
+    """
+
+    unknown_pruned: int = 0
+    unknown_assumed: int = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.unknown_pruned, self.unknown_assumed)
+
+
+#: Valid ``unknown_policy`` values (see :meth:`SymbolicStateModel._admit`).
+UNKNOWN_POLICIES = ("assume-sat", "prune", "abort")
+
+
 class SymbolicStateModel:
     """SSC_AL(M̂): the state model over a symbolic memory model."""
 
@@ -103,13 +123,64 @@ class SymbolicStateModel:
         solver: Optional[Solver] = None,
         allocator: Optional[SymbolicAllocator] = None,
         simplifier: Optional[Simplifier] = None,
+        unknown_policy: str = "assume-sat",
     ) -> None:
+        if unknown_policy not in UNKNOWN_POLICIES:
+            raise ValueError(
+                f"unknown_policy must be one of {UNKNOWN_POLICIES}, "
+                f"got {unknown_policy!r}"
+            )
         self.memory_model = memory_model
         self.solver = solver if solver is not None else Solver()
         self.allocator = allocator if allocator is not None else SymbolicAllocator()
         self.simplifier = (
             simplifier if simplifier is not None else self.solver.simplifier
         )
+        self.unknown_policy = unknown_policy
+        self.degradation = Degradation()
+
+    def _admit(self, pc: PathCondition) -> bool:
+        """Whether a strengthened π keeps its path alive.
+
+        SAT admits, UNSAT drops; UNKNOWN (the solver ran out of its
+        per-query step budget, or a fault forced a timeout) is decided by
+        ``unknown_policy``:
+
+        * ``"assume-sat"`` (default) — keep the branch.  Preserves the
+          relative-completeness direction (no feasible path is dropped)
+          at the cost of possibly exploring infeasible ones, so a bug
+          report must be confirmed by a concrete model (Theorem 3.6's
+          counter-model replay) before it is trusted.
+        * ``"prune"`` — drop the branch.  Keeps every surviving path
+          genuinely feasible but may miss bugs behind hard constraints.
+        * ``"abort"`` — raise :class:`~repro.logic.solver.UnknownAbort`;
+          the explorer stops the run with reason ``"unknown-abort"``.
+
+        Accounting: ``prune`` and ``abort`` act (and count) on *every*
+        UNKNOWN.  Under ``assume-sat``, only UNKNOWNs whose cause was a
+        timeout (step budget or injected fault) count as
+        ``unknown_assumed`` — assuming SAT on the solver's baseline
+        incomplete-search UNKNOWN is the documented ``is_sat``
+        over-approximation that exists without any budget, visible via
+        solver stats and ``SolverUnknownEvent`` rather than degradation
+        counters.
+        """
+        verdict = self.solver.check(pc)
+        if verdict is SatResult.SAT:
+            return True
+        if verdict is SatResult.UNSAT:
+            return False
+        if self.unknown_policy == "prune":
+            self.degradation.unknown_pruned += 1
+            return False
+        if self.unknown_policy == "abort":
+            raise UnknownAbort(
+                f"feasibility UNKNOWN for {len(pc)}-conjunct path condition "
+                f"under unknown_policy='abort'"
+            )
+        if self.solver.last_timed_out:
+            self.degradation.unknown_assumed += 1
+        return True
 
     # -- construction -------------------------------------------------------
 
@@ -151,7 +222,7 @@ class SymbolicStateModel:
         if pc is state.pc:
             # No new conjuncts: π ∧ ê ≡ π, already admitted on this path.
             return [state]
-        if not self.solver.is_sat(pc):
+        if not self._admit(pc):
             return []
         return [state.with_pc(pc)]
 
@@ -194,13 +265,13 @@ class SymbolicStateModel:
         for branch in branches:
             if isinstance(branch, SymMemOk):
                 pc = state.pc.conjoin_all(branch.learned)
-                if pc is not state.pc and not self.solver.is_sat(pc):
+                if pc is not state.pc and not self._admit(pc):
                     continue
                 new_state = SymbolicState(branch.memory, state.store, state.alloc, pc)
                 out.append(StateOk(new_state, branch.expr))
             elif isinstance(branch, SymMemErr):
                 pc = state.pc.conjoin_all(branch.learned)
-                if pc is not state.pc and not self.solver.is_sat(pc):
+                if pc is not state.pc and not self._admit(pc):
                     continue
                 out.append(StateErr(state.with_pc(pc), branch.expr))
             else:  # pragma: no cover - defensive

@@ -1,9 +1,23 @@
-"""Symbolic testing: harness, verdicts, counter-models, tracing."""
+"""Symbolic testing: harness, verdicts, counter-models, tracing, faults."""
 
+from repro.testing.faults import (
+    ActionFault,
+    FaultInjector,
+    FaultPlan,
+    FaultyMemoryModel,
+    InjectedActionError,
+    InjectedCrash,
+    SolverTimeout,
+    WorkerKill,
+    install_faults,
+)
 from repro.testing.harness import Bug, SuiteResult, SymbolicTester, TestResult
 from repro.testing.trace import Trace, TraceRecorder, TraceStep, explain_bug
 
 __all__ = [
-    "Bug", "SuiteResult", "SymbolicTester", "TestResult", "Trace",
-    "TraceRecorder", "TraceStep", "explain_bug",
+    "ActionFault", "Bug", "FaultInjector", "FaultPlan",
+    "FaultyMemoryModel", "InjectedActionError", "InjectedCrash",
+    "SolverTimeout", "SuiteResult", "SymbolicTester", "TestResult",
+    "Trace", "TraceRecorder", "TraceStep", "WorkerKill", "explain_bug",
+    "install_faults",
 ]

@@ -1,0 +1,252 @@
+"""Deterministic fault injection for the fault-tolerance test harness.
+
+The recovery machinery in :mod:`repro.engine.parallel` and the UNKNOWN
+handling in :mod:`repro.logic.solver` only earn their keep if every
+recovery path is exercised *reproducibly*.  This module provides a
+seeded, picklable :class:`FaultPlan` that can
+
+* kill a worker process at step K (by raising :class:`InjectedCrash`
+  or by ``os._exit`` — the latter dies without flushing its result
+  queue, the nastiest crash shape the parent must survive);
+* force the solver to answer UNKNOWN on its Nth query (as if the
+  per-query step budget fired);
+* raise :class:`InjectedActionError` from inside a memory-model action.
+
+Plans travel inside :class:`~repro.engine.config.EngineConfig` (they
+must pickle, since worker processes receive the config over a spawn
+boundary); each process resolves the plan to its own
+:class:`FaultInjector` via :meth:`FaultPlan.injector`, keyed by the
+``(fault_worker, fault_attempt)`` the parent stamped into the config.
+A plan with no fault for that key resolves to ``None`` — zero hooks
+installed, zero overhead, and (the tests assert) bit-for-bit identical
+output to a run with no plan at all.
+
+Faults are *transient* by default (``attempts=1``): they fire on the
+first attempt and stay quiet on retries, so a recovered run completes.
+Raising ``attempts`` makes a fault permanent enough to exhaust the
+parent's retry budget, which is how the "incomplete-run" downgrade path
+is tested.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class InjectedCrash(RuntimeError):
+    """An injected worker crash (the ``mode="raise"`` kill shape)."""
+
+
+class InjectedActionError(RuntimeError):
+    """An injected failure inside a symbolic memory-model action."""
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Kill worker ``worker`` at its ``at_step``-th scheduler step.
+
+    ``mode="raise"`` raises :class:`InjectedCrash` (an orderly crash the
+    worker's own error reporting catches and ships to the parent);
+    ``mode="exit"`` calls ``os._exit(1)`` (the process dies without
+    flushing queues — the parent must notice the silence).  The fault
+    fires on attempts ``0 .. attempts-1`` for its worker and is quiet
+    afterwards.
+    """
+
+    worker: int
+    at_step: int
+    mode: str = "raise"
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "exit"):
+            raise ValueError(f"WorkerKill.mode must be 'raise' or 'exit', got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class SolverTimeout:
+    """Force the ``at_query``-th solver solve (0-based, cache misses
+    only) to answer UNKNOWN, as if the step budget fired.  ``worker``
+    of None targets every process (including a sequential run)."""
+
+    at_query: int
+    worker: Optional[int] = None
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ActionFault:
+    """Raise :class:`InjectedActionError` from the ``at_call``-th memory
+    action executed (0-based), optionally only for action ``action`` and
+    only on worker ``worker``."""
+
+    at_call: int
+    worker: Optional[int] = None
+    action: Optional[str] = None
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, picklable schedule of faults.
+
+    Immutable; all mutability lives in the per-process
+    :class:`FaultInjector` the plan resolves to.
+    """
+
+    kills: Tuple[WorkerKill, ...] = ()
+    solver_timeouts: Tuple[SolverTimeout, ...] = ()
+    action_faults: Tuple[ActionFault, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: resolves to no injector anywhere."""
+        return cls()
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        workers: int = 2,
+        max_step: int = 40,
+        kinds: Tuple[str, ...] = ("kill-raise", "kill-exit", "action"),
+    ) -> "FaultPlan":
+        """A small random plan, fully determined by ``seed``.
+
+        Draws one fault; ``kinds`` restricts the shapes drawn (the fuzz
+        suite excludes solver timeouts from its exactness arm, since an
+        assumed-SAT branch may legitimately add finals).
+        """
+        rng = random.Random(seed)
+        kind = rng.choice(list(kinds))
+        worker = rng.randrange(max(1, workers))
+        at = rng.randrange(1, max(2, max_step))
+        if kind == "kill-raise":
+            return cls(kills=(WorkerKill(worker, at, mode="raise"),))
+        if kind == "kill-exit":
+            return cls(kills=(WorkerKill(worker, at, mode="exit"),))
+        if kind == "action":
+            return cls(action_faults=(ActionFault(at, worker=worker),))
+        if kind == "solver-timeout":
+            return cls(solver_timeouts=(SolverTimeout(at, worker=worker),))
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    @property
+    def empty(self) -> bool:
+        return not (self.kills or self.solver_timeouts or self.action_faults)
+
+    def injector(
+        self, worker: Optional[int], attempt: int = 0
+    ) -> Optional["FaultInjector"]:
+        """The injector for one process, or None if no fault targets it.
+
+        ``worker`` is the shard's worker id (None for a sequential /
+        parent-process run); ``attempt`` is the parent's retry round.
+        A fault matches when its worker is None or equals ``worker``,
+        and ``attempt < fault.attempts``.
+        """
+        kills = tuple(
+            k for k in self.kills if k.worker == worker and attempt < k.attempts
+        )
+        timeouts = tuple(
+            t
+            for t in self.solver_timeouts
+            if (t.worker is None or t.worker == worker) and attempt < t.attempts
+        )
+        actions = tuple(
+            a
+            for a in self.action_faults
+            if (a.worker is None or a.worker == worker) and attempt < a.attempts
+        )
+        if not (kills or timeouts or actions):
+            return None
+        return FaultInjector(kills, timeouts, actions)
+
+
+@dataclass
+class FaultInjector:
+    """The mutable per-process view of a :class:`FaultPlan`.
+
+    Hooked into the explorer loop (:meth:`on_step`), the solver
+    (:meth:`solver_timeout`, polled before each real solve), and the
+    memory model (:meth:`on_action`, via :class:`FaultyMemoryModel`).
+    """
+
+    kills: Tuple[WorkerKill, ...]
+    timeouts: Tuple[SolverTimeout, ...]
+    actions: Tuple[ActionFault, ...]
+    steps: int = field(default=0)
+    queries: int = field(default=0)
+    calls: int = field(default=0)
+
+    def on_step(self) -> None:
+        """Called once per scheduler iteration, before the step runs."""
+        step = self.steps
+        self.steps += 1
+        for kill in self.kills:
+            if step == kill.at_step:
+                if kill.mode == "exit":
+                    os._exit(1)
+                raise InjectedCrash(
+                    f"injected crash at step {step} (worker {kill.worker})"
+                )
+
+    def solver_timeout(self) -> bool:
+        """True iff the solve about to run should be forced to UNKNOWN."""
+        query = self.queries
+        self.queries += 1
+        return any(query == t.at_query for t in self.timeouts)
+
+    def on_action(self, action: str) -> None:
+        """Called before each memory-model action executes."""
+        call = self.calls
+        self.calls += 1
+        for fault in self.actions:
+            if call == fault.at_call and (
+                fault.action is None or fault.action == action
+            ):
+                raise InjectedActionError(
+                    f"injected failure in action {action!r} at call {call}"
+                )
+
+
+class FaultyMemoryModel:
+    """A delegating wrapper that routes each ``execute`` through the
+    injector's :meth:`~FaultInjector.on_action` hook."""
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    def initial(self):
+        return self.inner.initial()
+
+    def execute(self, action, memory, arg, pc, solver):
+        self.injector.on_action(action)
+        return self.inner.execute(action, memory, arg, pc, solver)
+
+    def __getattr__(self, name):
+        # Guard the delegation fields themselves: during unpickling the
+        # instance dict is empty and a plain lookup would recurse.
+        if name in ("inner", "injector"):
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+def install_faults(state_model, injector: FaultInjector) -> None:
+    """Wire ``injector`` into a state model's solver and memory model.
+
+    Idempotent per injector: re-installing over an already-faulty memory
+    model replaces the wrapper rather than stacking a second one.
+    """
+    solver = getattr(state_model, "solver", None)
+    if solver is not None:
+        solver.faults = injector
+    memory = getattr(state_model, "memory_model", None)
+    if memory is not None:
+        if isinstance(memory, FaultyMemoryModel):
+            memory = memory.inner
+        state_model.memory_model = FaultyMemoryModel(memory, injector)

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.engine.config import EngineConfig
 from repro.engine.explorer import Explorer
 from repro.engine.parallel import ParallelExplorer, resolve_workers
-from repro.engine.results import ExecutionStats
+from repro.engine.results import ExecutionStats, RunReport
 from repro.gil.semantics import Final, OutcomeKind
 from repro.gil.syntax import Prog
 from repro.gil.values import Value
@@ -59,6 +59,9 @@ class TestResult:
     bugs: List[Bug]
     stats: ExecutionStats
     paths: int
+    #: why exploration stopped and what it could not decide (see
+    #: :class:`repro.engine.results.RunReport`); None for legacy callers
+    report: Optional[RunReport] = None
 
     @property
     def passed(self) -> bool:
@@ -66,7 +69,17 @@ class TestResult:
 
     @property
     def verdict(self) -> str:
+        """``"bounded-verified"`` requires a *complete* run: every path
+        explored to its bound with no degraded decisions.  A bug-free
+        run that timed out queries, assumed/pruned UNKNOWN branches, or
+        lost a shard is only ``"bounded-verified-incomplete"`` — the
+        engine cannot honestly claim the bound was covered."""
         if self.passed:
+            if self.report is not None and not (
+                self.report.stop_reason == "exhausted"
+                and self.report.incompleteness.clean
+            ):
+                return "bounded-verified-incomplete"
             return "bounded-verified"
         if any(b.confirmed for b in self.bugs):
             return "bug"
@@ -136,6 +149,7 @@ class SymbolicTester:
             simplifier=simplifier,
             cache_enabled=self.config.solver_cache,
             incremental=self.config.solver_incremental,
+            step_budget=self.config.solver_step_budget,
         )
 
     def run_test(
@@ -147,7 +161,11 @@ class SymbolicTester:
     ) -> TestResult:
         """Symbolically execute ``entry`` and report bugs with models."""
         solver = self.make_solver()
-        sm = SymbolicStateModel(self.language.symbolic_memory(), solver=solver)
+        sm = SymbolicStateModel(
+            self.language.symbolic_memory(),
+            solver=solver,
+            unknown_policy=self.config.unknown_policy,
+        )
         if self.workers > 1:
             explorer = ParallelExplorer(
                 prog, sm, self.config,
@@ -167,6 +185,7 @@ class SymbolicTester:
             bugs=bugs,
             stats=result.stats,
             paths=result.stats.paths_finished,
+            report=result.report,
         )
 
     def run_source(self, source: str, entry: str, name: Optional[str] = None) -> TestResult:

@@ -6,7 +6,10 @@ from repro.engine.events import (
     BranchEvent,
     EventBus,
     PathEndEvent,
+    ShardLostEvent,
+    ShardRetryEvent,
     SolverQueryEvent,
+    SolverUnknownEvent,
     StepEvent,
     event_payload,
 )
@@ -115,6 +118,93 @@ class TestSchedulerEmission:
         assert result.sole_outcome.value == 7
         assert any(isinstance(e, StepEvent) for e in seen)
         assert any(isinstance(e, PathEndEvent) for e in seen)
+
+
+class TestFaultToleranceEvents:
+    def test_solver_unknown_payload_shape(self):
+        payload = event_payload(
+            SolverUnknownEvent(reason="timeout", conjuncts=4, timed_out=True)
+        )
+        assert payload == {
+            "event": "SolverUnknownEvent",
+            "reason": "timeout",
+            "conjuncts": 4,
+            "timed_out": True,
+        }
+
+    def test_shard_retry_payload_shape(self):
+        payload = event_payload(
+            ShardRetryEvent(worker_id=1, attempt=0, items=3, detail="boom")
+        )
+        assert payload == {
+            "event": "ShardRetryEvent",
+            "worker_id": 1,
+            "attempt": 0,
+            "items": 3,
+            "detail": "boom",
+        }
+
+    def test_shard_lost_payload_shape(self):
+        payload = event_payload(ShardLostEvent(worker_id=0, attempt=2, items=5))
+        assert payload == {
+            "event": "ShardLostEvent",
+            "worker_id": 0,
+            "attempt": 2,
+            "items": 5,
+        }
+
+    def test_forced_solver_timeout_emits_unknown_event(self):
+        from repro.engine.config import EngineConfig
+        from repro.testing.faults import FaultPlan, SolverTimeout
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=[SolverUnknownEvent])
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        config = EngineConfig(
+            fault_plan=FaultPlan(solver_timeouts=(SolverTimeout(0),))
+        )
+        Explorer(branching_prog(), sm, config, events=bus).run("main")
+        assert seen
+        assert seen[0].reason == "timeout" and seen[0].timed_out
+
+    def test_shard_retry_event_on_transient_worker_kill(self):
+        from repro.engine.config import EngineConfig
+        from repro.engine.parallel import ParallelExplorer
+        from repro.testing.faults import FaultPlan, WorkerKill
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=[ShardRetryEvent, ShardLostEvent])
+        plan = FaultPlan(kills=(WorkerKill(worker=0, at_step=0),))
+        config = EngineConfig(fault_plan=plan, shard_retry_backoff=0.0)
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        result = ParallelExplorer(
+            branching_prog(), sm, config, events=bus, workers=2, seed_factor=1
+        ).run("main")
+        retries = [e for e in seen if isinstance(e, ShardRetryEvent)]
+        assert retries and retries[0].worker_id == 0
+        assert not [e for e in seen if isinstance(e, ShardLostEvent)]
+        assert result.stats.stop_reason == "exhausted"
+
+    def test_shard_lost_event_on_permanent_worker_kill(self):
+        from repro.engine.config import EngineConfig
+        from repro.engine.parallel import ParallelExplorer
+        from repro.testing.faults import FaultPlan, WorkerKill
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=[ShardLostEvent])
+        plan = FaultPlan(kills=(WorkerKill(worker=0, at_step=0, attempts=99),))
+        config = EngineConfig(
+            fault_plan=plan, max_shard_retries=1, shard_retry_backoff=0.0
+        )
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        result = ParallelExplorer(
+            branching_prog(), sm, config, events=bus, workers=2, seed_factor=1
+        ).run("main")
+        assert seen and seen[0].items > 0
+        assert result.stats.stop_reason == "incomplete"
 
 
 class TestJsonlSink:

@@ -1,0 +1,400 @@
+"""Tests for the fault-tolerance machinery: the deterministic fault
+harness (repro.testing.faults), solver step budgets and the UNKNOWN
+verdict policies, worker crash recovery in the parallel explorer, and
+the incompleteness accounting that ties them together."""
+
+import pickle
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.explorer import Explorer
+from repro.engine.parallel import ParallelExplorer
+from repro.engine.results import final_sort_key
+from repro.gil.syntax import (
+    ActionCall,
+    Fail,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    USym,
+)
+from repro.logic.expr import Lit, PVar, lst
+from repro.logic.solver import SatResult, Solver, UnknownAbort
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+from repro.testing.faults import (
+    ActionFault,
+    FaultPlan,
+    InjectedActionError,
+    InjectedCrash,
+    SolverTimeout,
+    WorkerKill,
+)
+
+
+def prog_of(*procs):
+    p = Prog()
+    for proc in procs:
+        p.add(proc)
+    return p
+
+
+def branching_prog(levels=3):
+    """A binary tree of iSym branches, 2**levels leaves plus error paths."""
+    body = ()
+    for i in range(levels):
+        body += (ISym(f"b{i}", i),)
+    for i in range(levels):
+        body += (IfGoto(PVar(f"b{i}").lt(Lit(0)), 2 * levels + 1),)
+    body += (Return(Lit("ok")), Fail(Lit("neg")))
+    return prog_of(Proc("main", (), body))
+
+
+def action_prog(levels=2):
+    """Like branching_prog, but every surviving path runs memory actions
+    after the branches — so worker shards execute ActionCalls."""
+    body = ()
+    for i in range(levels):
+        body += (ISym(f"b{i}", i),)
+    fail_idx = 2 * levels + 4
+    for i in range(levels):
+        body += (IfGoto(PVar(f"b{i}").lt(Lit(0)), fail_idx),)
+    body += (
+        USym("o", 99),
+        ActionCall("w", "mutate", lst(PVar("o"), "p", Lit(7))),
+        ActionCall("v", "lookup", lst(PVar("o"), "p")),
+        Return(PVar("v")),
+        Fail(Lit("neg")),
+    )
+    return prog_of(Proc("main", (), body))
+
+
+def sym_model(**kwargs):
+    return SymbolicStateModel(WhileSymbolicMemory(), **kwargs)
+
+
+def keys(result):
+    return sorted(final_sort_key(f) for f in result.finals)
+
+
+def fingerprint(result):
+    """Bit-for-bit comparison key: kind, value, and path condition of
+    every final, in canonical order."""
+    return sorted(
+        (f.kind.name, repr(f.value), repr(tuple(f.state.pc.conjuncts)))
+        for f in result.finals
+    )
+
+
+# -- the plan itself ----------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_random_plans_are_deterministic(self):
+        for seed in range(20):
+            assert FaultPlan.random(seed) == FaultPlan.random(seed)
+
+    def test_plans_pickle(self):
+        plan = FaultPlan(
+            kills=(WorkerKill(0, 3, mode="exit"),),
+            solver_timeouts=(SolverTimeout(2, worker=1),),
+            action_faults=(ActionFault(5, action="lookup"),),
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_empty_plan_resolves_to_no_injector(self):
+        plan = FaultPlan.none()
+        assert plan.empty
+        assert plan.injector(None) is None
+        assert plan.injector(0) is None
+        assert plan.injector(3, attempt=1) is None
+
+    def test_injector_matches_worker_and_attempt(self):
+        plan = FaultPlan(kills=(WorkerKill(worker=1, at_step=2),))
+        assert plan.injector(0) is None          # wrong worker
+        assert plan.injector(1) is not None      # first attempt: armed
+        assert plan.injector(1, attempt=1) is None  # transient: quiet on retry
+        permanent = FaultPlan(kills=(WorkerKill(1, 2, attempts=3),))
+        assert permanent.injector(1, attempt=2) is not None
+        assert permanent.injector(1, attempt=3) is None
+
+    def test_worker_scoped_faults_skip_the_parent(self):
+        plan = FaultPlan(
+            solver_timeouts=(SolverTimeout(0, worker=2),),
+            action_faults=(ActionFault(0, worker=2),),
+        )
+        assert plan.injector(None) is None
+        assert plan.injector(2) is not None
+
+    def test_kill_modes_validated(self):
+        with pytest.raises(ValueError):
+            WorkerKill(0, 1, mode="segfault")
+
+    def test_injector_fires_at_exact_step(self):
+        injector = FaultPlan(kills=(WorkerKill(0, at_step=2),)).injector(0)
+        injector.on_step()
+        injector.on_step()
+        with pytest.raises(InjectedCrash):
+            injector.on_step()
+
+    def test_action_fault_filters_by_name(self):
+        injector = FaultPlan(
+            action_faults=(ActionFault(0, action="store"),)
+        ).injector(None)
+        injector.on_action("lookup")  # call 0, wrong action: quiet
+        injector.on_action("store")   # call 1, right action, wrong call
+        injector = FaultPlan(
+            action_faults=(ActionFault(1, action="store"),)
+        ).injector(None)
+        injector.on_action("lookup")
+        with pytest.raises(InjectedActionError):
+            injector.on_action("store")
+
+
+# -- solver step budget and UNKNOWN ------------------------------------------
+
+
+class TestSolverStepBudget:
+    def hard_pc(self):
+        from repro.logic.expr import LVar, disj
+
+        conjuncts = []
+        for i in range(6):
+            v = LVar(f"x{i}")
+            conjuncts.append(disj(v.eq(Lit(i)), v.eq(Lit(i + 1))))
+            conjuncts.append(v.lt(Lit(100)))
+        return conjuncts
+
+    def test_tiny_budget_yields_unknown_and_counts_timeout(self):
+        solver = Solver(step_budget=1)
+        verdict = solver.check(self.hard_pc())
+        assert verdict is SatResult.UNKNOWN
+        assert solver.stats.timeouts >= 1
+
+    def test_unbudgeted_solver_decides_the_same_query(self):
+        assert Solver().check(self.hard_pc()) is SatResult.SAT
+
+    def test_budget_verdicts_are_deterministic(self):
+        for budget in (1, 5, 20, 1000):
+            a = Solver(step_budget=budget).check(self.hard_pc())
+            b = Solver(step_budget=budget).check(self.hard_pc())
+            assert a is b
+
+    def test_is_sat_treats_unknown_as_sat(self):
+        # The documented over-approximation: UNKNOWN keeps a path alive.
+        solver = Solver(step_budget=1)
+        assert solver.is_sat(self.hard_pc()) is True
+
+
+class TestUnknownPolicies:
+    def run_with_forced_timeout(self, policy, levels=2):
+        config = EngineConfig(
+            fault_plan=FaultPlan(solver_timeouts=(SolverTimeout(0),)),
+            unknown_policy=policy,
+        )
+        sm = sym_model(unknown_policy=policy)
+        return Explorer(branching_prog(levels), sm, config).run("main")
+
+    def test_assume_sat_keeps_branches_and_counts(self):
+        result = self.run_with_forced_timeout("assume-sat")
+        baseline = Explorer(branching_prog(2), sym_model()).run("main")
+        assert keys(result) == keys(baseline)
+        inc = result.stats.incompleteness
+        assert inc.unknown_assumed >= 1
+        assert inc.solver_timeouts >= 1
+        assert not result.report.complete
+        assert result.stats.stop_reason == "exhausted"
+
+    def test_prune_drops_branches_and_counts(self):
+        result = self.run_with_forced_timeout("prune")
+        baseline = Explorer(branching_prog(2), sym_model()).run("main")
+        assert len(result.finals) < len(baseline.finals)
+        assert set(keys(result)) <= set(keys(baseline))
+        assert result.stats.incompleteness.unknown_pruned >= 1
+        assert not result.report.complete
+
+    def test_abort_stops_the_run(self):
+        result = self.run_with_forced_timeout("abort")
+        assert result.stats.stop_reason == "unknown-abort"
+        assert not result.report.complete
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            sym_model(unknown_policy="flip-a-coin")
+        with pytest.raises(ValueError):
+            EngineConfig(unknown_policy="flip-a-coin")
+
+    def test_abort_raises_from_state_model(self):
+        from repro.logic.expr import LVar
+
+        sm = sym_model(unknown_policy="abort")
+        sm.solver.step_budget = 1
+        state = sm.initial_state()
+        hard = TestSolverStepBudget().hard_pc()
+        with pytest.raises(UnknownAbort):
+            for conjunct in hard:
+                (state,) = sm.assume(state, conjunct) or (None,)
+
+
+# -- worker crash recovery ----------------------------------------------------
+
+
+class TestWorkerRecovery:
+    def fault_free(self, prog=None, workers=2):
+        config = EngineConfig(shard_retry_backoff=0.0)
+        return ParallelExplorer(
+            prog if prog is not None else branching_prog(), sym_model(),
+            config, workers=workers, seed_factor=1,
+        ).run("main")
+
+    def run_with_plan(self, plan, prog=None, workers=2, **overrides):
+        config = EngineConfig(
+            fault_plan=plan, shard_retry_backoff=0.0, **overrides
+        )
+        return ParallelExplorer(
+            prog if prog is not None else branching_prog(), sym_model(),
+            config, workers=workers, seed_factor=1,
+        ).run("main")
+
+    @pytest.mark.parametrize("mode", ["raise", "exit"])
+    def test_transient_kill_recovers_exactly(self, mode):
+        plan = FaultPlan(kills=(WorkerKill(worker=0, at_step=0, mode=mode),))
+        recovered = self.run_with_plan(plan)
+        baseline = self.fault_free()
+        assert fingerprint(recovered) == fingerprint(baseline)
+        assert recovered.stats.stop_reason == "exhausted"
+        inc = recovered.stats.incompleteness
+        assert inc.shards_retried >= 1
+        assert inc.shards_lost == 0 and inc.frontier_lost == 0
+
+    def test_transient_action_fault_recovers_exactly(self):
+        # worker=None arms every process, but action_prog only executes
+        # actions after the seeding cut, so the faults fire inside
+        # workers (each worker's first action call) and recovery re-runs
+        # their shards cleanly.
+        plan = FaultPlan(action_faults=(ActionFault(0),))
+        recovered = self.run_with_plan(plan, prog=action_prog())
+        baseline = self.fault_free(prog=action_prog())
+        assert fingerprint(recovered) == fingerprint(baseline)
+        assert recovered.stats.stop_reason == "exhausted"
+        assert recovered.stats.incompleteness.shards_retried >= 1
+
+    def test_permanent_kill_downgrades_to_incomplete(self):
+        plan = FaultPlan(kills=(WorkerKill(worker=0, at_step=0, attempts=99),))
+        result = self.run_with_plan(plan, max_shard_retries=1)
+        assert result.stats.stop_reason == "incomplete"
+        inc = result.stats.incompleteness
+        assert inc.shards_lost >= 1
+        assert inc.frontier_lost == len(result.lost_frontier) > 0
+        assert result.stats.paths_dropped >= len(result.lost_frontier)
+
+    def test_lost_frontier_resumes_to_the_exact_multiset(self):
+        # Healthy-shard results are salvaged; sequentially re-exploring
+        # exactly the lost items recovers the fault-free multiset.
+        plan = FaultPlan(kills=(WorkerKill(worker=0, at_step=0, attempts=99),))
+        partial = self.run_with_plan(plan, max_shard_retries=0)
+        assert partial.lost_frontier
+        configs = [cfg for cfg, _ in partial.lost_frontier]
+        depths = [depth for _, depth in partial.lost_frontier]
+        rest = Explorer(
+            branching_prog(), sym_model(), EngineConfig()
+        ).explore(configs, depths=depths)
+        combined = sorted(fingerprint(partial) + fingerprint(rest))
+        assert combined == sorted(fingerprint(self.fault_free()))
+
+    def test_hung_worker_is_terminated_and_degraded(self):
+        config = EngineConfig(
+            worker_timeout=1.0, max_shard_retries=0, shard_retry_backoff=0.0
+        )
+        result = ParallelExplorer(
+            branching_prog(), sym_model(), config,
+            workers=2, seed_factor=1, factory=_HangingFactory(),
+        ).run("main")
+        assert result.stats.stop_reason == "incomplete"
+        assert result.stats.incompleteness.shards_lost >= 1
+
+    def test_zero_fault_plan_is_bit_for_bit_identical(self):
+        for workers in (1, 2, 4):
+            plain = ParallelExplorer(
+                branching_prog(), sym_model(), EngineConfig(),
+                workers=workers, seed_factor=1,
+            ).run("main")
+            with_plan = ParallelExplorer(
+                branching_prog(), sym_model(),
+                EngineConfig(fault_plan=FaultPlan.none()),
+                workers=workers, seed_factor=1,
+            ).run("main")
+            assert fingerprint(plain) == fingerprint(with_plan)
+            assert with_plan.stats.incompleteness.clean
+
+    def test_sequential_injected_crash_propagates(self):
+        # With no parallel recovery layer, an injected crash surfaces.
+        config = EngineConfig(
+            fault_plan=FaultPlan(kills=(WorkerKill(worker=None, at_step=0),))
+        )
+        plan = config.fault_plan
+        # worker=None kills never match a real worker id, but do match
+        # the sequential explorer (fault_worker=None).
+        assert plan.injector(None) is not None
+        with pytest.raises(InjectedCrash):
+            Explorer(branching_prog(), sym_model(), config).run("main")
+
+
+class _HangingFactory:
+    """A worker factory that never returns: exercises worker_timeout."""
+
+    def __call__(self):
+        import time
+
+        time.sleep(3600)
+
+
+# -- report plumbing ----------------------------------------------------------
+
+
+class TestReportPlumbing:
+    def test_run_report_summary_names_degradations(self):
+        from repro.engine.results import Incompleteness, RunReport
+
+        report = RunReport(
+            "incomplete",
+            Incompleteness(solver_timeouts=2, shards_lost=1, frontier_lost=3),
+        )
+        assert not report.complete
+        text = report.summary()
+        assert "stop=incomplete" in text
+        assert "solver-timeouts=2" in text
+        assert "shards-lost=1" in text
+
+    def test_clean_exhausted_run_reports_complete(self):
+        result = Explorer(branching_prog(), sym_model(), EngineConfig()).run(
+            "main"
+        )
+        assert result.report.complete
+        assert result.report.summary() == "stop=exhausted"
+
+    def test_harness_verdict_degrades_without_bugs(self):
+        from repro.targets.while_lang import WhileLanguage
+        from repro.testing.harness import SymbolicTester
+
+        source = """
+        proc main() {
+          n := symb_int();
+          assume(0 <= n and n <= 1);
+          assert(n < 5);
+        }"""
+        clean = SymbolicTester(WhileLanguage()).run_source(source, "main")
+        assert clean.verdict == "bounded-verified"
+        assert clean.report is not None and clean.report.complete
+        config = EngineConfig(
+            fault_plan=FaultPlan(solver_timeouts=(SolverTimeout(0),)),
+            unknown_policy="prune",
+        )
+        degraded = SymbolicTester(WhileLanguage(), config=config).run_source(
+            source, "main"
+        )
+        assert degraded.passed
+        assert degraded.verdict == "bounded-verified-incomplete"

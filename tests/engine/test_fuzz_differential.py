@@ -14,7 +14,16 @@ every generated program is cross-checked two ways:
   ``workers=2`` :class:`ParallelExplorer` run must equal the sequential
   run's, exercising the pickle layer (expression re-interning,
   path-condition re-linking, state serialization) on arbitrary program
-  shapes rather than hand-picked ones.
+  shapes rather than hand-picked ones;
+* **faulted vs fault-free** — the same programs run again under a
+  seeded random :class:`FaultPlan` (worker kills by raise and by
+  ``os._exit``, injected action errors).  A *transient* fault must be
+  recovered by re-sharding to the bit-exact fault-free multiset; a
+  *permanent* kill must downgrade to an ``incomplete`` run whose
+  salvaged finals plus re-explored ``lost_frontier`` reconstitute the
+  fault-free multiset, with :class:`Incompleteness` accounting for
+  every item lost.  Solver timeouts are excluded from these exactness
+  arms: an assumed-SAT branch may legitimately add finals.
 
 Seeds are fixed, so every failure is reproducible: re-run with the seed
 from the failure message.  The default run covers ``QUICK_SEEDS``; the
@@ -22,6 +31,7 @@ from the failure message.  The default run covers ``QUICK_SEEDS``; the
 (``make fuzz`` / ``pytest -m slow``).
 """
 
+import dataclasses
 import random
 
 import pytest
@@ -47,6 +57,7 @@ from repro.soundness.differential import check_trace_soundness
 from repro.state.symbolic import SymbolicStateModel
 from repro.targets.while_lang import WhileLanguage
 from repro.targets.while_lang.memory import WhileSymbolicMemory
+from repro.testing.faults import FaultPlan, WorkerKill
 
 LANG = WhileLanguage()
 
@@ -261,6 +272,84 @@ def assert_parallel_matches(seed: int) -> None:
     assert par.stats.stop_reason == seq.stats.stop_reason
 
 
+def _finals_multiset(result):
+    return sorted(final_sort_key(f) for f in result.finals)
+
+
+def _parallel_run(prog, config):
+    return ParallelExplorer(
+        prog, SymbolicStateModel(WhileSymbolicMemory()), config,
+        workers=2, seed_factor=1,
+    ).run("main")
+
+
+#: fault shapes whose recovery must be *exact*; solver timeouts are
+#: excluded because an assumed-SAT branch may legitimately add finals
+EXACT_FAULT_KINDS = ("kill-raise", "kill-exit", "action")
+
+
+def assert_fault_recovery(seed: int) -> None:
+    """A transient random fault must be retried away to the exact result.
+
+    The plan is seeded alongside the program, so a failing seed pins
+    down both the program *and* the fault that broke recovery.  Faults
+    whose trigger never fires (e.g. a kill step beyond the shard's run)
+    degrade to the zero-fault case, which must also be exact.
+    """
+    prog = generate_program(seed)
+    reference = _parallel_run(prog, CONFIG)
+    plan = FaultPlan.random(seed, workers=2, max_step=12, kinds=EXACT_FAULT_KINDS)
+    faulted_config = dataclasses.replace(
+        CONFIG, fault_plan=plan, shard_retry_backoff=0.0
+    )
+    recovered = _parallel_run(prog, faulted_config)
+    assert recovered.report.complete, (
+        f"seed {seed}: transient fault not recovered "
+        f"({recovered.report.summary()})\nplan: {plan!r}\nprogram:\n{prog!r}"
+    )
+    assert _finals_multiset(recovered) == _finals_multiset(reference), (
+        f"seed {seed}: recovered finals differ from fault-free run\n"
+        f"plan: {plan!r}\nprogram:\n{prog!r}"
+    )
+
+
+def assert_incompleteness_accounts_exactly(seed: int) -> None:
+    """A permanent kill must lose *exactly* the frontier it reports.
+
+    Salvaged finals from healthy shards plus a sequential re-exploration
+    of ``lost_frontier`` must reconstitute the fault-free multiset — the
+    ``incomplete`` downgrade may not silently drop or duplicate paths.
+    """
+    prog = generate_program(seed)
+    reference = _parallel_run(prog, CONFIG)
+    doomed = random.Random(seed).randrange(2)
+    plan = FaultPlan(kills=(WorkerKill(doomed, at_step=0, attempts=99),))
+    partial_config = dataclasses.replace(
+        CONFIG, fault_plan=plan, max_shard_retries=0, shard_retry_backoff=0.0
+    )
+    partial = _parallel_run(prog, partial_config)
+    inc = partial.stats.incompleteness
+    if not partial.lost_frontier:
+        # The doomed worker drew an empty shard: nothing fired, so the
+        # run must be clean and already exact.
+        assert partial.report.complete, f"seed {seed}: {partial.report.summary()}"
+        assert _finals_multiset(partial) == _finals_multiset(reference)
+        return
+    assert partial.stats.stop_reason == "incomplete", f"seed {seed}"
+    assert inc.shards_lost >= 1, f"seed {seed}"
+    assert inc.frontier_lost == len(partial.lost_frontier), f"seed {seed}"
+    configs = [cfg for cfg, _ in partial.lost_frontier]
+    depths = [depth for _, depth in partial.lost_frontier]
+    rest = Explorer(
+        prog, SymbolicStateModel(WhileSymbolicMemory()), CONFIG
+    ).explore(configs, depths=depths)
+    combined = sorted(_finals_multiset(partial) + _finals_multiset(rest))
+    assert combined == _finals_multiset(reference), (
+        f"seed {seed}: salvaged + re-explored finals differ from the "
+        f"fault-free run\nprogram:\n{prog!r}"
+    )
+
+
 class TestGenerator:
     def test_same_seed_same_program(self):
         assert repr(generate_program(7)) == repr(generate_program(7))
@@ -288,6 +377,18 @@ class TestDifferentialFuzz:
         assert_parallel_matches(seed)
 
 
+class TestFaultInjectionFuzz:
+    """The fault-injecting arm (``make fuzz-faults`` runs just this)."""
+
+    @pytest.mark.parametrize("seed", list(QUICK_SEEDS)[::6])
+    def test_transient_fault_recovers_exactly(self, seed):
+        assert_fault_recovery(seed)
+
+    @pytest.mark.parametrize("seed", list(QUICK_SEEDS)[3::12])
+    def test_permanent_fault_accounts_exactly(self, seed):
+        assert_incompleteness_accounts_exactly(seed)
+
+
 @pytest.mark.slow
 class TestDifferentialFuzzLong:
     """Soak mode: the full seed range (run via ``make fuzz``)."""
@@ -299,3 +400,11 @@ class TestDifferentialFuzzLong:
     @pytest.mark.parametrize("seed", list(LONG_SEEDS)[::8])
     def test_parallel_vs_sequential_long(self, seed):
         assert_parallel_matches(seed)
+
+    @pytest.mark.parametrize("seed", list(LONG_SEEDS)[::10])
+    def test_transient_fault_recovers_exactly_long(self, seed):
+        assert_fault_recovery(seed)
+
+    @pytest.mark.parametrize("seed", list(LONG_SEEDS)[5::20])
+    def test_permanent_fault_accounts_exactly_long(self, seed):
+        assert_incompleteness_accounts_exactly(seed)

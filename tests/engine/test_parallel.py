@@ -263,14 +263,32 @@ class TestParallelExplorer:
         payload = event_payload(worker_events[0])
         assert "worker_id" in payload and payload["event"] != "WorkerEvent"
 
-    def test_worker_failure_surfaces_as_worker_error(self):
+    def test_worker_failure_raises_under_shard_failure_raise(self):
         prog = branching_prog()
         explorer = ParallelExplorer(
-            prog, sym_model(), EngineConfig(), workers=2, seed_factor=1,
-            factory=_ExplodingFactory(),
+            prog, sym_model(), EngineConfig(shard_failure="raise"),
+            workers=2, seed_factor=1, factory=_ExplodingFactory(),
         )
         with pytest.raises(WorkerError, match="boom in worker"):
             explorer.run("main")
+
+    def test_worker_failure_degrades_to_incomplete_by_default(self):
+        # Every worker explodes on every attempt, so retries exhaust and
+        # the run downgrades: "incomplete" stop reason, the abandoned
+        # frontier reported, and the ledger counting retries and losses.
+        prog = branching_prog()
+        config = EngineConfig(max_shard_retries=1, shard_retry_backoff=0.0)
+        explorer = ParallelExplorer(
+            prog, sym_model(), config, workers=2, seed_factor=1,
+            factory=_ExplodingFactory(),
+        )
+        result = explorer.run("main")
+        assert result.stats.stop_reason == "incomplete"
+        inc = result.stats.incompleteness
+        assert inc.shards_retried >= 1
+        assert inc.shards_lost >= 1
+        assert inc.frontier_lost == len(result.lost_frontier) > 0
+        assert not result.report.complete
 
     def test_model_factory_for_symbolic(self):
         factory = model_factory_for(sym_model(), EngineConfig())

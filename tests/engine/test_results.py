@@ -191,8 +191,14 @@ class TestExecutionResult:
 class TestStopReasonPrecedence:
     def test_precedence_is_total_over_known_reasons(self):
         assert set(STOP_REASON_PRECEDENCE) == {
-            "deadline", "max-total-steps", "max-paths", "exhausted"
+            "incomplete", "unknown-abort", "deadline", "max-total-steps",
+            "max-paths", "exhausted",
         }
+        # The degraded reasons are the most restrictive: a shard that
+        # lost frontier (or a run aborted on UNKNOWN) caps every other
+        # constituent's claim about coverage.
+        assert STOP_REASON_PRECEDENCE.index("incomplete") == 0
+        assert STOP_REASON_PRECEDENCE.index("unknown-abort") == 1
 
     def test_most_restrictive_wins_pairwise(self):
         # Every earlier reason beats every later one, in both arg orders.

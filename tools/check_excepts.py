@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""AST lint: forbid silent exception swallowing under src/repro/.
+
+Two shapes are rejected:
+
+* a *bare* handler — ``except:`` — which catches everything including
+  ``KeyboardInterrupt``/``SystemExit`` and hides the exception type from
+  the reader;
+* a *silencing* broad handler — ``except Exception:`` (or
+  ``BaseException``) whose body is only ``pass``/``...`` — which makes a
+  failure invisible.
+
+Broad handlers that *do something* with the exception (report it over a
+queue, convert it to a degraded verdict, re-raise) are allowed: the
+process-boundary containment in ``engine/parallel.py`` and the replay
+crash-conversion in ``soundness/`` are exactly such sites.  The fault
+tolerance work in this repo rests on failures being *routed*, never
+swallowed — this gate keeps it that way.
+
+Usage: ``python tools/check_excepts.py [paths...]`` (default:
+``src/repro``).  Exits non-zero listing each offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if isinstance(t, ast.Name):
+        return t.id in BROAD
+    if isinstance(t, ast.Tuple):
+        return any(isinstance(e, ast.Name) and e.id in BROAD for e in t.elts)
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )
+
+
+def check_file(path: Path) -> list:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            problems.append(
+                (path, node.lineno, "bare 'except:' — name the exception type")
+            )
+        elif _is_broad(node) and _is_silent(node):
+            problems.append(
+                (
+                    path,
+                    node.lineno,
+                    "broad except with an empty body swallows failures — "
+                    "report, convert, or re-raise",
+                )
+            )
+    return problems
+
+
+def main(argv: list) -> int:
+    roots = [Path(p) for p in argv] or [Path("src/repro")]
+    problems = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            problems.extend(check_file(f))
+    for path, line, msg in problems:
+        print(f"{path}:{line}: {msg}")
+    if problems:
+        print(f"check_excepts: {len(problems)} problem(s)")
+        return 1
+    print("check_excepts: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
