@@ -9,7 +9,7 @@ help:
 	@echo "  verify           tier-1 tests + lint + strategy/parallel smoke benches + fuzz/fault smoke"
 	@echo "  fuzz             differential fuzzer long mode (slow-marked soak tests)"
 	@echo "  fuzz-faults      fault-injection suites: recovery paths + fault-injecting fuzz arm"
-	@echo "  lint             byte-compile src/benchmarks/tests; forbid print() and bare except in src/"
+	@echo "  lint             byte-compile src/benchmarks/tests; docstring coverage; forbid print() and bare except in src/"
 	@echo "  bench            all benchmark harnesses (regenerates tables/reports)"
 	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
 	@echo "  bench-strategies strategy benchmark + invariance (BENCH_strategies.json)"
@@ -20,6 +20,7 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 verify: test lint
+	$(PYTHON) -m repro.obs.smoke
 	$(PYTHON) benchmarks/bench_strategies.py --smoke
 	$(PYTHON) benchmarks/bench_parallel.py --smoke
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
@@ -35,6 +36,7 @@ fuzz-faults:
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tests
 	$(PYTHON) tools/check_excepts.py src/repro
+	$(PYTHON) tools/check_docstrings.py src/repro
 	@if grep -rnE '(^|[^[:alnum:]_.])print\(' src; then \
 		echo "lint: print() is forbidden in src/ (use the event bus or return values)"; \
 		exit 1; \

@@ -49,6 +49,8 @@ from repro.engine.parallel import ParallelExplorer
 from repro.state.symbolic import SymbolicStateModel
 from repro.testing.harness import SymbolicTester
 
+from benchmarks.tables import bench_meta
+
 OUT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_parallel.json",
@@ -242,6 +244,7 @@ def main(argv: List[str]) -> int:
     if not smoke:
         report = {
             "benchmark": "bench_parallel",
+            "meta": bench_meta(),
             "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
             "cpus": cpus,
             "worker_counts": worker_counts,

@@ -39,6 +39,8 @@ from repro.logic.simplify import Simplifier
 from repro.logic.solver import SatResult, Solver
 from repro.testing.harness import SymbolicTester
 
+from benchmarks.tables import bench_meta
+
 OUT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_solver.json",
@@ -193,6 +195,7 @@ def main() -> int:
     )
     report = {
         "benchmark": "bench_solver",
+        "meta": bench_meta(),
         "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
         "incremental": inc_stats,
         "ablation_no_incremental": abl_stats,

@@ -44,6 +44,8 @@ from repro.state.symbolic import SymbolicStateModel
 from repro.targets.while_lang.memory import WhileConcreteMemory
 from repro.testing.harness import SymbolicTester
 
+from benchmarks.tables import bench_meta
+
 OUT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_strategies.json",
@@ -196,6 +198,64 @@ def measure_bus_overhead(
     }
 
 
+def measure_metrics_overhead(
+    repeats: int = 3, gate_pct: float = 5.0, smoke: bool = True
+) -> Dict:
+    """Wall-time cost of live metrics collection on a real workload.
+
+    Runs the symbolic-testing workload twice per repeat — once with no
+    bus, once with a :class:`repro.obs.collect.MetricsCollector`
+    subscribed (so every step/branch/path/solver event is constructed,
+    dispatched, and folded into a registry) — and compares min-of-repeats
+    wall time.  Unlike :func:`measure_bus_overhead` this measures the
+    *enabled* path: the acceptance target is that full metrics collection
+    stays within ``gate_pct`` of a metrics-free run, because symbolic
+    steps are solver-dominated.  The arms alternate so ambient load
+    drifts bias both equally.
+    """
+    import gc
+
+    from repro.engine.events import EventBus
+    from repro.obs.collect import MetricsCollector
+
+    def one_pass(with_metrics: bool) -> float:
+        wall = 0.0
+        for language, _name, source, tests in workloads(smoke):
+            tester = SymbolicTester(language, replay=False)
+            prog = language.compile(source)
+            for test in tests:
+                solver = tester.make_solver()
+                sm = SymbolicStateModel(language.symbolic_memory(), solver=solver)
+                bus = collector = None
+                if with_metrics:
+                    bus = EventBus()
+                    collector = MetricsCollector(bus)
+                explorer = Explorer(prog, sm, tester.config, events=bus)
+                gc.collect()
+                start = time.perf_counter()
+                explorer.run(test)
+                wall += time.perf_counter() - start
+                if collector is not None:
+                    collector.close()
+        return wall
+
+    disabled_times, enabled_times = [], []
+    for _ in range(repeats):
+        disabled_times.append(one_pass(False))
+        enabled_times.append(one_pass(True))
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+    overhead = (enabled - disabled) / disabled if disabled else 0.0
+    return {
+        "repeats": repeats,
+        "metrics_disabled_sec": round(disabled, 4),
+        "metrics_enabled_sec": round(enabled, 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "gate_pct": gate_pct,
+        "within_gate": overhead * 100 < gate_pct,
+    }
+
+
 def main(argv: List[str]) -> int:
     smoke = "--smoke" in argv
     mode = "smoke" if smoke else "full"
@@ -240,8 +300,26 @@ def main(argv: List[str]) -> int:
         f"event-bus overhead (idle bus): {overhead['overhead_pct']}% "
         f"({'<' if overhead['within_gate'] else '>='}{overhead['gate_pct']:g}% gate)"
     )
+    # Live metrics collection on the symbolic workload: smoke runs are
+    # short enough that a few percent of noise is irreducible, so the
+    # smoke gate is looser — mirroring the bus-overhead gate's argument.
+    metrics_overhead = measure_metrics_overhead(
+        repeats=5 if smoke else 3,
+        gate_pct=10.0 if smoke else 5.0,
+        smoke=True,
+    )
+    print(
+        f"metrics-collection overhead:   {metrics_overhead['overhead_pct']}% "
+        f"({'<' if metrics_overhead['within_gate'] else '>='}"
+        f"{metrics_overhead['gate_pct']:g}% gate)"
+    )
 
-    passed = invariant and exhaustive and overhead["within_gate"]
+    passed = (
+        invariant
+        and exhaustive
+        and overhead["within_gate"]
+        and metrics_overhead["within_gate"]
+    )
     print(f"strategy invariance: {'ok' if invariant else 'FAILED'}")
     if not exhaustive:
         print("!! some runs stopped before exhausting their paths")
@@ -249,6 +327,7 @@ def main(argv: List[str]) -> int:
     if not smoke:
         report = {
             "benchmark": "bench_strategies",
+            "meta": bench_meta(),
             "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
             "strategies": per_strategy,
             "finals_multiset_size": sum(reference.values()),
@@ -259,6 +338,7 @@ def main(argv: List[str]) -> int:
                 "all_exhaustive": exhaustive,
             },
             "event_bus_overhead": overhead,
+            "metrics_overhead": metrics_overhead,
             "acceptance": {
                 "target": (
                     "identical finals multisets under all strategies; "

@@ -3,10 +3,16 @@
 Runs a symbolic test suite for a language instantiation under a given
 engine configuration and collects the columns the paper reports: number
 of symbolic tests (#T), executed GIL commands, and wall-clock time.
+
+Also home of :func:`bench_meta`, the provenance stamp every
+``BENCH_*.json`` emitter embeds (see ``docs/benchmarks.md`` for the
+file format).
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -14,6 +20,46 @@ from typing import Dict, List, Optional, Tuple
 from repro.engine.config import EngineConfig, gillian, javert2_baseline
 from repro.targets.language import Language
 from repro.testing.harness import SymbolicTester, TestResult
+
+#: version of the shared BENCH_*.json envelope (the ``meta`` block plus
+#: the ``benchmark``/``workload``/``acceptance`` keys every report
+#: carries).  Bump when that shared shape changes incompatibly;
+#: benchmark-specific payload keys may evolve without a bump.  History
+#: documented in ``docs/benchmarks.md``.
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_revision() -> str:
+    """The repository's short HEAD revision, or ``"unknown"``.
+
+    ``"-dirty"`` is appended when the working tree has uncommitted
+    changes, so a bench report can always be traced to the exact code
+    that produced it (or flagged as untraceable).
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=repo_root, timeout=10,
+        )
+        if rev.returncode != 0 or not rev.stdout.strip():
+            return "unknown"
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, cwd=repo_root, timeout=10,
+        )
+        suffix = "-dirty" if dirty.stdout.strip() else ""
+        return rev.stdout.strip() + suffix
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+
+
+def bench_meta() -> Dict[str, object]:
+    """The provenance block shared by every ``BENCH_*.json`` report."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_revision": git_revision(),
+    }
 
 
 @dataclass

@@ -51,6 +51,8 @@ class ConcolicBug:
 
 @dataclass
 class ConcolicReport:
+    """Summary of a concolic run: iterations, paths, bugs, inputs tried."""
+
     iterations: int
     paths_explored: int
     bugs: List[ConcolicBug] = field(default_factory=list)

@@ -27,6 +27,10 @@ SHARD_FAILURE_MODES = ("degrade", "raise")
 
 @dataclass
 class EngineConfig:
+    """Every engine knob in one bundle; the named constructors below
+    build the paper's tool configurations.
+    """
+
     name: str = "gillian"
     #: memoise the expression simplifier
     simplifier_memoisation: bool = True
@@ -64,6 +68,12 @@ class EngineConfig:
     #: ``SolverStats.timeouts`` / ``Incompleteness.solver_timeouts``.
     #: None (the default) leaves queries unbounded.
     solver_step_budget: Optional[int] = None
+    #: attribute solver wall clock to pipeline phases (boolean case
+    #: splitting, interval propagation, model search), surfaced in
+    #: ``SolverStats`` / ``ExecutionStats.phase_times`` and emitted as
+    #: ``SpanEnd`` events at the end of a run.  Off by default: profiling
+    #: adds two ``perf_counter`` calls around each phase invocation
+    profile_solver_phases: bool = False
     #: what the engine does with a branch whose feasibility the solver
     #: could not decide (``UNKNOWN``):
     #: ``"assume-sat"`` (default) keeps the branch alive — sound for

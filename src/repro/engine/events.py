@@ -16,11 +16,18 @@ Events are small frozen dataclasses:
 * :class:`SolverUnknownEvent` — a query degraded to ``UNKNOWN`` (budget
   timeout or incomplete search);
 * :class:`ShardRetryEvent` / :class:`ShardLostEvent` — a parallel shard
-  crashed and was retried, or exhausted its retries and was abandoned.
+  crashed and was retried, or exhausted its retries and was abandoned;
+* :class:`SpanEnd` — a named engine phase (seed, explore, shards, merge,
+  compile) finished, with its wall-clock duration and step count;
+* :class:`MetricSample` — one observability metric reading, flushed by a
+  :class:`repro.obs.metrics.MetricsRegistry`.
 
 Consumers subscribe a callable, optionally filtered to specific event
 types; :class:`repro.testing.trace.JsonlEventSink` is the stock JSONL
-consumer.
+consumer and :class:`repro.obs.collect.MetricsCollector` is the stock
+metrics consumer.  The schema of every event is documented in
+``docs/events.md`` (kept authoritative by a test over
+:func:`event_types`).
 """
 
 from __future__ import annotations
@@ -106,6 +113,40 @@ class ShardLostEvent:
 
 
 @dataclass(frozen=True)
+class SpanEnd:
+    """A named engine phase finished.
+
+    Emitted once per phase per run (not per step), so spans are cheap
+    enough to leave on whenever a bus is attached: ``seed`` and
+    ``explore`` come from the scheduler, ``shards`` and ``merge`` from
+    the parallel explorer, ``compile`` from the testing harness, and
+    ``solver/*`` from :func:`repro.obs.profile.solver_phase_spans`.
+    Worker processes emit their own ``explore`` spans, which arrive
+    wrapped in :class:`WorkerEvent`.
+    """
+
+    name: str    # phase name ("seed", "explore", "shards", "merge", ...)
+    wall: float  # wall-clock seconds spent in the phase
+    steps: int   # work units attributed to the phase (0 when untracked)
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One metric reading flushed from a metrics registry.
+
+    ``labels`` is a (sorted) tuple of ``(key, value)`` string pairs so
+    samples stay hashable and JSONL-serialisable; histogram registries
+    flush one sample per bucket with an ``le`` label plus ``_count`` /
+    ``_sum`` samples.
+    """
+
+    name: str                    # metric name ("engine.paths", ...)
+    kind: str                    # "counter" | "gauge" | "histogram"
+    value: float                 # the reading
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
 class WorkerEvent:
     """An event forwarded from a parallel-explorer worker process.
 
@@ -165,6 +206,27 @@ class EventBus:
         for callback, kinds in self._subscribers:
             if kinds is None or isinstance(event, kinds):
                 callback(event)
+
+
+def event_types() -> List[Type[Event]]:
+    """Every event dataclass this module defines, in definition order.
+
+    The single source of truth for "what can appear on the bus": the
+    docs test walks it to enforce that ``docs/events.md`` documents
+    every type, and the report CLI uses it to distinguish engine events
+    from foreign JSONL lines.
+    """
+    import dataclasses as _dc
+    import sys as _sys
+
+    module = _sys.modules[__name__]
+    return [
+        obj
+        for obj in vars(module).values()
+        if isinstance(obj, type)
+        and _dc.is_dataclass(obj)
+        and obj.__module__ == __name__
+    ]
 
 
 def event_payload(event: Event) -> dict:

@@ -42,6 +42,7 @@ from repro.engine.events import (
     BranchEvent,
     EventBus,
     PathEndEvent,
+    SpanEnd,
     StepEvent,
 )
 from repro.engine.results import ExecutionResult, ExecutionStats
@@ -229,6 +230,10 @@ class Explorer:
             if solver is not None and bus is not None:
                 solver.events = prev_solver_events
         stats.wall_time = time.perf_counter() - start
+        if bus:
+            bus.emit(SpanEnd("explore", stats.wall_time, stats.commands_executed))
+            for name, seconds in sorted(stats.phase_times.items()):
+                bus.emit(SpanEnd(name, seconds, 0))
         return ExecutionResult(finals, stats)
 
     def explore_frontier(
@@ -348,4 +353,6 @@ class Explorer:
             if solver is not None and bus is not None:
                 solver.events = prev_solver_events
         stats.wall_time = time.perf_counter() - start
+        if bus:
+            bus.emit(SpanEnd("seed", stats.wall_time, stats.commands_executed))
         return items, ExecutionResult(finals, stats)

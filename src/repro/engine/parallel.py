@@ -63,6 +63,7 @@ from repro.engine.events import (
     EventBus,
     ShardLostEvent,
     ShardRetryEvent,
+    SpanEnd,
     WorkerEvent,
 )
 from repro.engine.explorer import Explorer
@@ -132,6 +133,7 @@ class SymbolicModelFactory:
             cache_enabled=self.config.solver_cache,
             incremental=self.config.solver_incremental,
             step_budget=self.config.solver_step_budget,
+            profile_phases=self.config.profile_solver_phases,
         )
         return SymbolicStateModel(
             self.memory_model,
@@ -324,8 +326,23 @@ class ParallelExplorer:
         if factory is None:
             factory = model_factory_for(self.sm, self.config)
 
-        parts = [seed_result] + self._run_shards(shards, slice_budget, factory)
-        merged = merge_results(parts)
+        bus = self.events
+        shards_start = time.perf_counter()
+        shard_parts = self._run_shards(shards, slice_budget, factory)
+        if bus:
+            bus.emit(
+                SpanEnd(
+                    "shards",
+                    time.perf_counter() - shards_start,
+                    sum(p.stats.commands_executed for p in shard_parts),
+                )
+            )
+        merge_start = time.perf_counter()
+        merged = merge_results([seed_result] + shard_parts)
+        if bus:
+            bus.emit(
+                SpanEnd("merge", time.perf_counter() - merge_start, len(merged.finals))
+            )
         # Per-part wall times are CPU-aggregate across processes; the
         # run's wall clock is what the caller observes.
         merged.stats.wall_time = time.perf_counter() - start

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.gil.semantics import Final, OutcomeKind
 
@@ -146,6 +146,13 @@ class ExecutionStats:
     stop_reason: str = ""
     #: the run's degradation ledger (see :class:`Incompleteness`)
     incompleteness: Incompleteness = field(default_factory=Incompleteness)
+    #: wall-clock seconds attributed to named phases — solver pipeline
+    #: phases ("solver/split", "solver/propagation", "solver/search")
+    #: when the solver profiles them (``EngineConfig.
+    #: profile_solver_phases``), and anything else a caller folds in.
+    #: Merged key-wise additively, so per-worker stats aggregate like
+    #: every other counter.  Empty unless profiling is on.
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "ExecutionStats") -> None:
         self.commands_executed += other.commands_executed
@@ -162,6 +169,8 @@ class ExecutionStats:
         # most restrictive stop reason wins (see STOP_REASON_PRECEDENCE).
         self.stop_reason = merge_stop_reasons(self.stop_reason, other.stop_reason)
         self.incompleteness.merge(other.incompleteness)
+        for name, seconds in other.phase_times.items():
+            self.phase_times[name] = self.phase_times.get(name, 0.0) + seconds
 
     def add_solver_delta(self, delta) -> None:
         """Fold a :class:`repro.logic.solver.SolverSnapshot` delta in."""
@@ -171,6 +180,19 @@ class ExecutionStats:
         self.solver_model_reuse += delta.model_reuse_hits
         self.solver_time += delta.solve_time
         self.incompleteness.solver_timeouts += delta.timeouts
+        for name, seconds in (
+            ("solver/split", delta.split_time),
+            ("solver/propagation", delta.propagation_time),
+            ("solver/search", delta.search_time),
+        ):
+            if seconds:
+                self.phase_times[name] = (
+                    self.phase_times.get(name, 0.0) + seconds
+                )
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        """Attribute ``seconds`` of wall clock to phase ``name``."""
+        self.phase_times[name] = self.phase_times.get(name, 0.0) + seconds
 
     def add_degradation_delta(self, pruned: int, assumed: int) -> None:
         """Fold the state model's per-step unknown-policy counters in."""

@@ -14,6 +14,8 @@ from typing import List, Optional, Sequence
 
 @dataclass(frozen=True)
 class Token:
+    """One lexed token with its source position."""
+
     kind: str       # "ident" | "number" | "string" | "punct" | "eof"
     text: str
     line: int
@@ -27,6 +29,8 @@ class Token:
 
 
 class LexError(Exception):
+    """Raised on an unlexable character sequence."""
+
     def __init__(self, message: str, line: int, col: int) -> None:
         super().__init__(f"{message} at line {line}, column {col}")
         self.line = line
@@ -190,6 +194,8 @@ class TokenStream:
 
 
 class ParseError(Exception):
+    """Raised when the token stream does not match the grammar."""
+
     def __init__(self, message: str, token: Token) -> None:
         super().__init__(f"{message} at line {token.line}, column {token.col}")
         self.token = token

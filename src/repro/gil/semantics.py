@@ -38,6 +38,8 @@ from repro.state.interface import StateErr, StateOk
 
 
 class OutcomeKind(enum.Enum):
+    """Kind of a final outcome: normal return, error, or vanish."""
+
     NORMAL = "N"    # top-level return
     ERROR = "E"     # fail / memory fault / evaluation error
     VANISH = "V"    # silent path termination

@@ -43,6 +43,8 @@ class Command:
 
 @dataclass(frozen=True, repr=False)
 class Assignment(Command):
+    """``x := e`` — assign the value of ``expr`` to ``target``."""
+
     target: str
     expr: Expr
 
@@ -54,6 +56,8 @@ class Assignment(Command):
 
 @dataclass(frozen=True, repr=False)
 class IfGoto(Command):
+    """``ifgoto e i`` — jump to command index ``target`` when ``condition`` holds."""
+
     condition: Expr
     target: int
 
@@ -65,6 +69,8 @@ class IfGoto(Command):
 
 @dataclass(frozen=True, repr=False)
 class Goto(Command):
+    """``goto i`` — unconditional jump to command index ``target``."""
+
     target: int
 
     __slots__ = ("target",)
@@ -75,6 +81,8 @@ class Goto(Command):
 
 @dataclass(frozen=True, repr=False)
 class Call(Command):
+    """``x := e(e1, ..., en)`` — dynamic procedure call."""
+
     target: str
     callee: Expr
     args: Tuple[Expr, ...]
@@ -88,6 +96,8 @@ class Call(Command):
 
 @dataclass(frozen=True, repr=False)
 class Return(Command):
+    """``return e`` — leave the current procedure with a value."""
+
     expr: Expr
 
     __slots__ = ("expr",)
@@ -98,6 +108,8 @@ class Return(Command):
 
 @dataclass(frozen=True, repr=False)
 class Fail(Command):
+    """``fail e`` — terminate the path with an error outcome."""
+
     expr: Expr
 
     __slots__ = ("expr",)
@@ -108,6 +120,8 @@ class Fail(Command):
 
 @dataclass(frozen=True, repr=False)
 class Vanish(Command):
+    """``vanish`` — terminate the path silently (no reported outcome)."""
+
     __slots__ = ()
 
     def __repr__(self) -> str:
@@ -116,6 +130,8 @@ class Vanish(Command):
 
 @dataclass(frozen=True, repr=False)
 class ActionCall(Command):
+    """``x := α(e)`` — execute a memory-model action."""
+
     target: str
     action: str
     arg: Expr

@@ -276,6 +276,8 @@ class LVar(Expr):
 
 
 class UnOpExpr(Expr):
+    """A unary operator applied to an operand (hash-consed)."""
+
     __slots__ = ("op", "operand", "_hash")
     _interned: dict = {}
 
@@ -310,6 +312,8 @@ class UnOpExpr(Expr):
 
 
 class BinOpExpr(Expr):
+    """A binary operator applied to two operands (hash-consed)."""
+
     __slots__ = ("op", "left", "right", "_hash")
     _interned: dict = {}
 

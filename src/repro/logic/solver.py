@@ -86,6 +86,8 @@ from repro.logic.types import TypeConflict, collect_var_types
 
 
 class SatResult(enum.Enum):
+    """Three-valued verdict of a satisfiability query."""
+
     SAT = "sat"
     UNSAT = "unsat"
     UNKNOWN = "unknown"
@@ -123,6 +125,10 @@ class SolverSnapshot:
     model_reuse_hits: int = 0
     solve_time: float = 0.0
     timeouts: int = 0
+    #: per-phase wall clock (zero unless ``Solver(profile_phases=True)``)
+    split_time: float = 0.0
+    propagation_time: float = 0.0
+    search_time: float = 0.0
 
 
 @dataclass
@@ -154,6 +160,14 @@ class SolverStats:
     #: internal degradations survived with a fallback (e.g. a type
     #: conflict while completing a model over eliminated variables)
     degraded: int = 0
+    #: per-phase wall clock inside the solve pipeline, seconds — boolean
+    #: case splitting, interval propagation, and model search.  All zero
+    #: unless the solver was built with ``profile_phases=True``; the
+    #: three phases do not sum to ``solve_time`` (normalization, theory
+    #: extension, and caching live outside them)
+    split_time: float = 0.0
+    propagation_time: float = 0.0
+    search_time: float = 0.0
 
     def snapshot(self) -> SolverSnapshot:
         """The attribution counters, frozen at this instant."""
@@ -164,6 +178,9 @@ class SolverStats:
             model_reuse_hits=self.model_reuse_hits,
             solve_time=self.solve_time,
             timeouts=self.timeouts,
+            split_time=self.split_time,
+            propagation_time=self.propagation_time,
+            search_time=self.search_time,
         )
 
     def delta(self, since: SolverSnapshot) -> SolverSnapshot:
@@ -175,6 +192,9 @@ class SolverStats:
             model_reuse_hits=self.model_reuse_hits - since.model_reuse_hits,
             solve_time=self.solve_time - since.solve_time,
             timeouts=self.timeouts - since.timeouts,
+            split_time=self.split_time - since.split_time,
+            propagation_time=self.propagation_time - since.propagation_time,
+            search_time=self.search_time - since.search_time,
         )
 
 
@@ -258,6 +278,7 @@ class Solver:
         cache_enabled: bool = True,
         incremental: bool = True,
         step_budget: Optional[int] = None,
+        profile_phases: bool = False,
     ) -> None:
         self.simplifier = simplifier if simplifier is not None else Simplifier()
         self.cache_enabled = cache_enabled
@@ -306,6 +327,60 @@ class Solver:
             cc=_CongruenceClosure(),
             var_types={},
         )
+        #: attribute solve time to pipeline phases (split / propagation /
+        #: search) in :class:`SolverStats` — off by default so the default
+        #: path pays zero extra ``perf_counter`` calls.  Enabled by
+        #: wrapping the phase entry points on *this instance*, which keeps
+        #: every call site (monolithic and incremental) covered without
+        #: per-call flag checks.
+        self.profile_phases = profile_phases
+        if profile_phases:
+            self._split = self._timed_phase_gen(self._split, "split_time")
+            self._propagate_intervals = self._timed_phase(
+                self._propagate_intervals, "propagation_time"
+            )
+            self._search_model = self._timed_phase(
+                self._search_model, "search_time"
+            )
+
+    def _timed_phase(self, func, attr: str):
+        """``func`` wrapped to accrue its wall time into ``stats.<attr>``."""
+
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                setattr(
+                    self.stats,
+                    attr,
+                    getattr(self.stats, attr) + time.perf_counter() - start,
+                )
+
+        return timed
+
+    def _timed_phase_gen(self, func, attr: str):
+        """Like :meth:`_timed_phase` for a generator: only time actually
+        spent producing items is charged, not the consumer's work between
+        ``next`` calls (``_solve`` interleaves splitting with solving)."""
+
+        def timed(*args, **kwargs):
+            it = func(*args, **kwargs)
+            while True:
+                start = time.perf_counter()
+                try:
+                    item = next(it)
+                except StopIteration:
+                    return
+                finally:
+                    setattr(
+                        self.stats,
+                        attr,
+                        getattr(self.stats, attr) + time.perf_counter() - start,
+                    )
+                yield item
+
+        return timed
 
     # -- public API --------------------------------------------------------
 
@@ -427,12 +502,19 @@ class Solver:
             node = node.parent
         if ctx is None:
             ctx = self._root_context
+        # Only the *requested* node emits a SolverQueryEvent.  Ancestors
+        # rebuilt along the way (a parallel worker re-solving the prefix
+        # chain of a restored frontier item) are implementation detail:
+        # emitting them would make event counts depend on how the frontier
+        # was partitioned, breaking the one-event-per-check determinism
+        # that metric aggregation across worker counts relies on.  Their
+        # work still lands in ``stats`` (queries, solve_time).
         for n in reversed(chain):
-            ctx = self._extend_context(ctx, n)
+            ctx = self._extend_context(ctx, n, emit=n is pc)
         return ctx
 
     def _extend_context(
-        self, parent: SolverContext, pc: PathCondition
+        self, parent: SolverContext, pc: PathCondition, emit: bool = True
     ) -> SolverContext:
         key = (parent.uid, pc.added)
         ctx = self._prefix_cache.get(key) if self.cache_enabled else None
@@ -451,7 +533,7 @@ class Solver:
             if self.cache_enabled:
                 self._prefix_cache[key] = ctx
         self._contexts[pc.uid] = ctx
-        if self.events:
+        if emit and self.events:
             self._emit_query(ctx.result, len(ctx.norm), cached, elapsed)
             if ctx.result is SatResult.UNKNOWN and not cached:
                 self._emit_unknown(len(ctx.norm))

@@ -1,0 +1,50 @@
+"""Observability: metrics, phase profiling, and trace analysis.
+
+The engine's :class:`~repro.engine.events.EventBus` already puts every
+interesting occurrence — steps, branches, path ends, solver queries,
+degradations, shard failures — on a near-zero-overhead bus.  This
+package is the consumer side:
+
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with the
+  same idle-overhead contract as the bus (hold ``None``, pay one falsy
+  check) and a deterministic, order-independent merge so per-worker
+  registries aggregate to the same totals under any scheduling;
+* :mod:`repro.obs.collect` — :class:`~repro.obs.collect.MetricsCollector`
+  subscribes a registry to a bus and folds every engine event (including
+  :class:`~repro.engine.events.WorkerEvent`-wrapped ones from parallel
+  runs) into metrics;
+* :mod:`repro.obs.profile` — per-phase wall-clock/step spans emitted as
+  :class:`~repro.engine.events.SpanEnd` events;
+* :mod:`repro.obs.report` — the trace-analysis CLI
+  (``python -m repro.obs.report trace.jsonl``) turning a JSONL trace
+  into the paper-style run breakdown (§5-style solver/exploration
+  buckets);
+* :mod:`repro.obs.smoke` — the ``make verify`` end-to-end check: record
+  a real trace, run the report, assert the required sections exist.
+
+See ``docs/events.md`` for the event schema and ``docs/architecture.md``
+for where observability sits in the engine dataflow.
+"""
+
+from repro.obs.collect import MetricsCollector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfiler, solver_phase_spans
+
+__all__ = [
+    "MetricsCollector",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "TraceReport",
+    "analyse_trace",
+    "solver_phase_spans",
+]
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.obs.report`` does not import the report
+    # module twice (runpy warns when the -m target is already loaded).
+    if name in ("TraceReport", "analyse_trace"):
+        from repro.obs import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,135 @@
+"""Bus-driven metrics collection.
+
+:class:`MetricsCollector` subscribes a :class:`MetricsRegistry` to an
+engine :class:`~repro.engine.events.EventBus` and folds every event into
+metrics — the observability counterpart of
+:class:`~repro.testing.trace.JsonlEventSink`.  Because it is a plain bus
+subscriber, attaching it costs nothing on the hot path beyond the bus's
+own dispatch, and *not* attaching it costs the scheduler's one falsy
+check per step.
+
+Cross-process aggregation is free: the parallel explorer already
+forwards worker events wrapped in
+:class:`~repro.engine.events.WorkerEvent`, and the collector unwraps the
+envelope before accounting, so a parallel run's registry holds the union
+of the seed phase and every shard.  All folds are commutative sums (or
+maxes), so the totals for deterministic counters — paths, branches,
+steps, solver queries — are identical at any worker count; the obs test
+suite asserts this at workers 1/2/4.
+
+Metric names (see ``docs/events.md`` for the event schema):
+
+=====================================  =========  ==========================
+name                                   kind       source event
+=====================================  =========  ==========================
+``engine.steps``                       counter    StepEvent
+``engine.depth``                       gauge      StepEvent (max depth seen)
+``engine.branches``                    counter    BranchEvent
+``engine.branch_arms``                 histogram  BranchEvent
+``engine.paths.<kind>``                counter    PathEndEvent (kind lowered)
+``engine.path_depth``                  histogram  PathEndEvent
+``solver.queries``                     counter    SolverQueryEvent
+``solver.queries.<result>``            counter    SolverQueryEvent
+``solver.cache_hits``                  counter    SolverQueryEvent (cached)
+``solver.time``                        counter    SolverQueryEvent (seconds)
+``solver.unknown.<reason>``            counter    SolverUnknownEvent
+``shards.retried`` / ``shards.lost``   counter    ShardRetry/ShardLostEvent
+``phase.<name>.seconds`` / ``.steps``  counter    SpanEnd
+=====================================  =========  ==========================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.events import (
+    BranchEvent,
+    EventBus,
+    MetricSample,
+    PathEndEvent,
+    ShardLostEvent,
+    ShardRetryEvent,
+    SolverQueryEvent,
+    SolverUnknownEvent,
+    SpanEnd,
+    StepEvent,
+    WorkerEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class MetricsCollector:
+    """Subscribes to a bus and turns engine events into metrics.
+
+    Usage::
+
+        bus = EventBus()
+        collector = MetricsCollector(bus)
+        Explorer(prog, sm, events=bus).run("main")
+        totals = collector.registry.as_dict()
+
+    Pass an existing ``registry`` to aggregate several runs into one.
+    :meth:`close` unsubscribes, restoring the bus's falsy idle state.
+    """
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._bus: Optional[EventBus] = None
+        if bus is not None:
+            self.attach(bus)
+
+    def attach(self, bus: EventBus) -> "MetricsCollector":
+        self._bus = bus
+        bus.subscribe(self)
+        return self
+
+    def close(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+
+    def __enter__(self) -> "MetricsCollector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the fold ------------------------------------------------------------
+
+    def __call__(self, event) -> None:
+        while isinstance(event, WorkerEvent):
+            event = event.inner
+        reg = self.registry
+        if isinstance(event, StepEvent):
+            reg.counter("engine.steps").inc()
+            depth_gauge = reg.gauge("engine.depth")
+            if event.depth > depth_gauge.max:
+                depth_gauge.set(event.depth)
+        elif isinstance(event, BranchEvent):
+            reg.counter("engine.branches").inc()
+            reg.histogram("engine.branch_arms").observe(event.arms)
+        elif isinstance(event, PathEndEvent):
+            reg.counter(f"engine.paths.{event.kind.lower()}").inc()
+            reg.histogram("engine.path_depth").observe(event.depth)
+        elif isinstance(event, SolverQueryEvent):
+            reg.counter("solver.queries").inc()
+            reg.counter(f"solver.queries.{event.result.lower()}").inc()
+            if event.cached:
+                reg.counter("solver.cache_hits").inc()
+            else:
+                reg.counter("solver.time").inc(event.time)
+        elif isinstance(event, SolverUnknownEvent):
+            reg.counter(f"solver.unknown.{event.reason}").inc()
+        elif isinstance(event, ShardRetryEvent):
+            reg.counter("shards.retried").inc()
+        elif isinstance(event, ShardLostEvent):
+            reg.counter("shards.lost").inc()
+        elif isinstance(event, SpanEnd):
+            reg.counter(f"phase.{event.name}.seconds").inc(event.wall)
+            reg.counter(f"phase.{event.name}.steps").inc(event.steps)
+        elif isinstance(event, MetricSample):
+            reg.absorb_sample(event)

@@ -1,0 +1,272 @@
+"""A lightweight metrics layer: counters, gauges, histograms.
+
+Design mirrors the :class:`~repro.engine.events.EventBus` contract:
+instrumented code holds an *optional* registry and guards every update
+with its truthiness, so a run with metrics disabled pays one falsy check
+per site.  There is no background thread, no locking, and no global
+state — a registry is a plain object owned by whoever wants numbers.
+
+Two properties matter for the parallel engine:
+
+* **Deterministic merge.**  :meth:`MetricsRegistry.merge` folds another
+  registry in with commutative, associative operations only (counters
+  and histogram buckets sum; gauges take the max), so merging per-worker
+  registries in *any* order — queue-arrival order included — yields the
+  same totals.  ``benchmarks/bench_parallel.py`` and the obs tests
+  assert this at workers 1/2/4.
+* **Flush as events.**  :meth:`MetricsRegistry.flush` emits each reading
+  as a :class:`~repro.engine.events.MetricSample` on a bus, which is how
+  registries cross process boundaries: a worker flushes to its local
+  bus, the samples ride the existing event queue, and the parent's
+  :class:`~repro.obs.collect.MetricsCollector` folds them back in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.events import EventBus, MetricSample
+
+#: default histogram bucket upper bounds (powers of two): small enough
+#: to resolve branch fan-out and path depth, few enough to stay cheap
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class Counter:
+    """A monotonically increasing sum (ints or floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value that also tracks its maximum.
+
+    The *max* is what merges deterministically across workers (the
+    per-process "last" write depends on scheduling), so
+    :meth:`MetricsRegistry.merge` and :meth:`MetricsRegistry.flush`
+    report ``max``; ``value`` is the process-local reading.
+    """
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.max = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+
+class Histogram:
+    """Fixed-bound bucket counts plus count/sum/max.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in the overflow bucket (reported with bound ``inf``).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "max")
+
+    def __init__(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def bucket_items(self) -> List[Tuple[float, int]]:
+        """``(upper bound, count)`` pairs, overflow bound = ``inf``."""
+        bounds = list(self.bounds) + [float("inf")]
+        return list(zip(bounds, self.counts))
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    and returned by name thereafter; mixing kinds under one name raises.
+    The registry is always truthy — the idle-overhead contract is that
+    *instrumented code* holds ``None`` when metrics are off, exactly as
+    the scheduler holds an optional bus.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_fresh(name, self._counters)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_fresh(name, self._gauges)
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_fresh(name, self._histograms)
+            inst = self._histograms[name] = Histogram(name, buckets)
+        return inst
+
+    def _check_fresh(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different kind"
+                )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` in with order-independent operations only.
+
+        Counters and histogram buckets sum, gauges take the max — all
+        commutative and associative, so per-worker registries merge to
+        identical totals under any arrival order.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).value += c.value
+        for name, g in other._gauges.items():
+            mine = self.gauge(name)
+            if g.max > mine.max:
+                mine.max = g.max
+            mine.value = mine.max
+        for name, h in other._histograms.items():
+            mine = self.histogram(name, h.bounds)
+            if mine.bounds != h.bounds:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ: "
+                    f"{mine.bounds} vs {h.bounds}"
+                )
+            for i, n in enumerate(h.counts):
+                mine.counts[i] += n
+            mine.count += h.count
+            mine.sum += h.sum
+            if h.max > mine.max:
+                mine.max = h.max
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot, deterministically ordered by name."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out[name] = {"max": self._gauges[name].max}
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            out[name] = {
+                "count": h.count,
+                "sum": h.sum,
+                "max": h.max,
+                "buckets": [
+                    [bound, n] for bound, n in h.bucket_items() if n
+                ],
+            }
+        return out
+
+    def flush(self, bus: Optional[EventBus]) -> int:
+        """Emit every reading as a :class:`MetricSample`; returns the
+        sample count.  This is the cross-process path: a worker flushes
+        to its local bus at end of run and the samples ride the
+        existing event queue to the parent.  Never flush a registry to a
+        bus whose collector feeds that same registry — it would absorb
+        its own samples and double every counter; detach first."""
+        if not bus:
+            return 0
+        emitted = 0
+        for name in sorted(self._counters):
+            bus.emit(MetricSample(name, "counter", self._counters[name].value))
+            emitted += 1
+        for name in sorted(self._gauges):
+            bus.emit(MetricSample(name, "gauge", self._gauges[name].max))
+            emitted += 1
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            for bound, n in h.bucket_items():
+                if n:
+                    bus.emit(
+                        MetricSample(
+                            name, "histogram", n, (("le", repr(bound)),)
+                        )
+                    )
+                    emitted += 1
+            bus.emit(MetricSample(name, "histogram", h.count, (("stat", "count"),)))
+            bus.emit(MetricSample(name, "histogram", h.sum, (("stat", "sum"),)))
+            bus.emit(MetricSample(name, "histogram", h.max, (("stat", "max"),)))
+            emitted += 3
+        return emitted
+
+    def absorb_sample(self, sample: MetricSample) -> None:
+        """Fold one flushed :class:`MetricSample` back into this registry.
+
+        The inverse of :meth:`flush`, used by the parent-side collector
+        when per-worker samples arrive over the event queue.  Absorption
+        is additive for counters and histogram buckets and max-taking
+        for gauges, so arrival order does not matter.
+        """
+        if sample.kind == "counter":
+            self.counter(sample.name).value += sample.value
+        elif sample.kind == "gauge":
+            g = self.gauge(sample.name)
+            if sample.value > g.max:
+                g.max = sample.value
+            g.value = g.max
+        elif sample.kind == "histogram":
+            labels = dict(sample.labels)
+            h = self.histogram(sample.name)
+            if "le" in labels:
+                bound = float(labels["le"])
+                bounds = list(h.bounds) + [float("inf")]
+                for i, b in enumerate(bounds):
+                    if b == bound:
+                        h.counts[i] += int(sample.value)
+                        return
+                raise ValueError(
+                    f"histogram {sample.name!r}: unknown bucket bound {bound}"
+                )
+            if labels.get("stat") == "count":
+                h.count += int(sample.value)
+            elif labels.get("stat") == "sum":
+                h.sum += sample.value
+            elif labels.get("stat") == "max":
+                if sample.value > h.max:
+                    h.max = sample.value
+        else:
+            raise ValueError(f"unknown metric kind {sample.kind!r}")

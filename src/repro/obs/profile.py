@@ -1,0 +1,112 @@
+"""Phase profiling: wall-clock/step spans emitted as bus events.
+
+The engine already stamps its own coarse phases — the scheduler emits
+``SpanEnd("explore", ...)`` / ``SpanEnd("seed", ...)``, the parallel
+explorer ``"shards"`` / ``"merge"``, the testing harness ``"compile"``,
+and (under ``EngineConfig.profile_solver_phases``) the solver's
+``"solver/split"`` / ``"solver/propagation"`` / ``"solver/search"``
+pipeline phases.  This module is for everything *around* the engine:
+
+* :class:`PhaseProfiler` wraps arbitrary caller code in named spans and
+  emits the same :class:`~repro.engine.events.SpanEnd` events, so a
+  benchmark's setup or a host tool's post-processing shows up in the
+  same trace timeline as the engine's own phases;
+* :func:`solver_phase_spans` converts a solver's accrued phase counters
+  into span events after the fact, for callers that drive the solver
+  directly rather than through an :class:`~repro.engine.explorer.Explorer`.
+
+Both honour the bus truthiness contract: with no bus (or no subscriber)
+a span costs two ``perf_counter`` calls and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.engine.events import EventBus, SpanEnd
+
+
+class Span:
+    """One live phase measurement; ends (and emits) on context exit.
+
+    ``steps`` attributes work units to the phase: assign or
+    :meth:`add` before the span closes.
+    """
+
+    __slots__ = ("name", "steps", "_bus", "_start", "_closed")
+
+    def __init__(self, name: str, bus: Optional[EventBus]) -> None:
+        self.name = name
+        self.steps = 0
+        self._bus = bus
+        self._start = time.perf_counter()
+        self._closed = False
+
+    def add(self, steps: int = 1) -> None:
+        self.steps += steps
+
+    def end(self) -> SpanEnd:
+        """Close the span (idempotent) and return the event emitted."""
+        event = SpanEnd(
+            self.name, time.perf_counter() - self._start, self.steps
+        )
+        if not self._closed and self._bus:
+            self._bus.emit(event)
+        self._closed = True
+        return event
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+
+
+class PhaseProfiler:
+    """Emits a :class:`SpanEnd` per named phase of caller code.
+
+    Usage::
+
+        profiler = PhaseProfiler(bus)
+        with profiler.span("compile") as s:
+            prog = language.compile(source)
+            s.add(len(prog.procs))
+
+    Spans may nest and overlap freely — each is an independent
+    measurement; the report CLI renders them as a flat phase table.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.bus = bus
+
+    def span(self, name: str) -> Span:
+        return Span(name, self.bus)
+
+
+#: the solver pipeline phases, in pipeline order, with the
+#: ``SolverStats`` attribute each one's wall clock accrues in
+SOLVER_PHASES = (
+    ("solver/split", "split_time"),
+    ("solver/propagation", "propagation_time"),
+    ("solver/search", "search_time"),
+)
+
+
+def solver_phase_spans(solver, bus: Optional[EventBus]) -> List[SpanEnd]:
+    """Emit one span per solver pipeline phase from accrued stats.
+
+    For callers driving a ``Solver(profile_phases=True)`` directly
+    (the explorer emits these itself at the end of a run).  Phases with
+    zero accrued time are skipped; returns the events emitted.
+    """
+    events: List[SpanEnd] = []
+    for name, attr in SOLVER_PHASES:
+        seconds = getattr(solver.stats, attr, 0.0)
+        if not seconds:
+            continue
+        event = SpanEnd(name, seconds, 0)
+        if bus:
+            bus.emit(event)
+        events.append(event)
+    return events

@@ -1,0 +1,335 @@
+"""Trace analysis: turn a JSONL event trace into a run report.
+
+``python -m repro.obs.report trace.jsonl`` reads a trace written by
+:class:`~repro.testing.trace.JsonlEventSink` and renders the paper-style
+run breakdown the Gillian evaluation (§5) reports per benchmark bucket:
+
+* run totals (steps, branches, path outcomes);
+* phase spans (seed / explore / shards / merge / compile / solver/*);
+* **solver time by query kind and cache tier** — SAT/UNSAT/UNKNOWN ×
+  cache-hit/solved, with counts and wall clock;
+* **branch fan-out histogram** — how many ways steps actually split;
+* frontier depth over time, one lane per worker (plus ``main`` for the
+  sequential/seed phase), windowed so long traces stay readable;
+* the degradation/fault timeline — every solver UNKNOWN, shard retry,
+  and shard loss in event order;
+* any flushed :class:`~repro.engine.events.MetricSample` readings.
+
+``--format md`` (default) emits Markdown suitable for committing next to
+``BENCH_*.json``; ``--format json`` emits the same data as one JSON
+object.  The analysis is pure (:func:`analyse_trace` consumes any
+iterable of payload dicts), so tests and notebooks can reuse it without
+touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: events the timeline section considers degradations/faults
+_TIMELINE_EVENTS = ("SolverUnknownEvent", "ShardRetryEvent", "ShardLostEvent")
+
+#: maximum windows per lane in the depth-over-time section
+_DEPTH_WINDOWS = 12
+
+
+@dataclass
+class TraceReport:
+    """The analysed contents of one JSONL trace."""
+
+    #: total event lines consumed
+    events: int = 0
+    #: run totals: steps, branches, and per-kind path counts
+    totals: Dict[str, int] = field(default_factory=dict)
+    #: phase name → {"wall", "steps", "count"} aggregated over spans
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: (result, tier) → {"count", "time"}; tier is "cache-hit"/"solved"
+    solver: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=dict
+    )
+    #: branch arm count → occurrences
+    branch_hist: Dict[int, int] = field(default_factory=dict)
+    #: lane name → list of (steps, max_depth, mean_depth) windows
+    depth_profile: Dict[str, List[Tuple[int, int, float]]] = field(
+        default_factory=dict
+    )
+    #: degradation/fault events, in trace order, with their sequence no.
+    timeline: List[dict] = field(default_factory=list)
+    #: flushed MetricSample readings, re-aggregated
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    # -- serialisation -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """A JSON-ready view (tuple keys flattened to strings)."""
+        return {
+            "events": self.events,
+            "totals": dict(sorted(self.totals.items())),
+            "spans": {
+                name: self.spans[name] for name in sorted(self.spans)
+            },
+            "solver": {
+                f"{result}/{tier}": stats
+                for (result, tier), stats in sorted(self.solver.items())
+            },
+            "branch_histogram": {
+                str(arms): count
+                for arms, count in sorted(self.branch_hist.items())
+            },
+            "depth_profile": {
+                lane: [
+                    {"steps": s, "max_depth": mx, "mean_depth": mean}
+                    for s, mx, mean in windows
+                ]
+                for lane, windows in sorted(self.depth_profile.items())
+            },
+            "timeline": self.timeline,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
+
+    def to_markdown(self) -> str:
+        lines: List[str] = ["# Trace report", ""]
+        lines += self._md_totals()
+        lines += self._md_spans()
+        lines += self._md_solver()
+        lines += self._md_branches()
+        lines += self._md_depth()
+        lines += self._md_timeline()
+        lines += self._md_metrics()
+        return "\n".join(lines).rstrip() + "\n"
+
+    def _md_totals(self) -> List[str]:
+        lines = ["## Run totals", "", "| counter | value |", "|---|---|"]
+        lines.append(f"| events | {self.events} |")
+        for name, value in sorted(self.totals.items()):
+            lines.append(f"| {name} | {value} |")
+        lines.append("")
+        return lines
+
+    def _md_spans(self) -> List[str]:
+        if not self.spans:
+            return []
+        lines = [
+            "## Phase spans",
+            "",
+            "| phase | wall (s) | steps | spans |",
+            "|---|---|---|---|",
+        ]
+        for name in sorted(self.spans):
+            s = self.spans[name]
+            lines.append(
+                f"| {name} | {s['wall']:.4f} | {int(s['steps'])} "
+                f"| {int(s['count'])} |"
+            )
+        lines.append("")
+        return lines
+
+    def _md_solver(self) -> List[str]:
+        lines = [
+            "## Solver time by query kind and cache tier",
+            "",
+            "| kind | tier | queries | time (s) |",
+            "|---|---|---|---|",
+        ]
+        if not self.solver:
+            lines.append("| (no solver queries) | — | 0 | 0 |")
+        for (result, tier), stats in sorted(self.solver.items()):
+            lines.append(
+                f"| {result} | {tier} | {int(stats['count'])} "
+                f"| {stats['time']:.4f} |"
+            )
+        lines.append("")
+        return lines
+
+    def _md_branches(self) -> List[str]:
+        lines = [
+            "## Branch fan-out histogram",
+            "",
+            "| arms | branches |",
+            "|---|---|",
+        ]
+        if not self.branch_hist:
+            lines.append("| (no branches) | 0 |")
+        for arms, count in sorted(self.branch_hist.items()):
+            lines.append(f"| {arms} | {count} |")
+        lines.append("")
+        return lines
+
+    def _md_depth(self) -> List[str]:
+        if not self.depth_profile:
+            return []
+        lines = [
+            "## Frontier depth over time",
+            "",
+            "| lane | window | steps | max depth | mean depth |",
+            "|---|---|---|---|---|",
+        ]
+        for lane in sorted(self.depth_profile):
+            for i, (steps, mx, mean) in enumerate(self.depth_profile[lane]):
+                lines.append(
+                    f"| {lane} | {i} | {steps} | {mx} | {mean:.1f} |"
+                )
+        lines.append("")
+        return lines
+
+    def _md_timeline(self) -> List[str]:
+        lines = ["## Degradation and fault timeline", ""]
+        if not self.timeline:
+            lines += ["(clean run: no degradations or faults)", ""]
+            return lines
+        lines += ["| seq | event | detail |", "|---|---|---|"]
+        for entry in self.timeline:
+            detail = ", ".join(
+                f"{k}={v}"
+                for k, v in entry.items()
+                if k not in ("seq", "event")
+            )
+            lines.append(f"| {entry['seq']} | {entry['event']} | {detail} |")
+        lines.append("")
+        return lines
+
+    def _md_metrics(self) -> List[str]:
+        readings = self.metrics.as_dict()
+        if not readings:
+            return []
+        lines = ["## Flushed metrics", "", "| metric | value |", "|---|---|"]
+        for name, value in readings.items():
+            lines.append(f"| {name} | {value} |")
+        lines.append("")
+        return lines
+
+
+def analyse_trace(payloads: Iterable[dict]) -> TraceReport:
+    """Fold JSONL payload dicts (see ``docs/events.md``) into a report."""
+    report = TraceReport()
+    totals = report.totals
+    depths: Dict[str, List[int]] = {}
+    for seq, payload in enumerate(payloads):
+        report.events += 1
+        kind = payload.get("event", "")
+        if kind == "StepEvent":
+            totals["steps"] = totals.get("steps", 0) + 1
+            lane = _lane(payload)
+            depths.setdefault(lane, []).append(int(payload.get("depth", 0)))
+        elif kind == "BranchEvent":
+            totals["branches"] = totals.get("branches", 0) + 1
+            arms = int(payload.get("arms", 0))
+            report.branch_hist[arms] = report.branch_hist.get(arms, 0) + 1
+        elif kind == "PathEndEvent":
+            key = f"paths.{str(payload.get('kind', '?')).lower()}"
+            totals[key] = totals.get(key, 0) + 1
+        elif kind == "SolverQueryEvent":
+            tier = "cache-hit" if payload.get("cached") else "solved"
+            skey = (str(payload.get("result", "?")), tier)
+            cell = report.solver.setdefault(skey, {"count": 0, "time": 0.0})
+            cell["count"] += 1
+            cell["time"] += float(payload.get("time", 0.0))
+        elif kind == "SpanEnd":
+            name = str(payload.get("name", "?"))
+            span = report.spans.setdefault(
+                name, {"wall": 0.0, "steps": 0, "count": 0}
+            )
+            span["wall"] += float(payload.get("wall", 0.0))
+            span["steps"] += int(payload.get("steps", 0))
+            span["count"] += 1
+        elif kind == "MetricSample":
+            report.metrics.absorb_sample(_sample_of(payload))
+        if kind in _TIMELINE_EVENTS:
+            entry = {"seq": seq, "event": kind}
+            entry.update(
+                {k: v for k, v in payload.items() if k != "event"}
+            )
+            report.timeline.append(entry)
+    for lane, series in depths.items():
+        report.depth_profile[lane] = _windows(series)
+    return report
+
+
+def _lane(payload: dict) -> str:
+    worker = payload.get("worker_id")
+    return "main" if worker is None else f"worker-{worker}"
+
+
+def _sample_of(payload: dict):
+    from repro.engine.events import MetricSample
+
+    labels = payload.get("labels") or ()
+    return MetricSample(
+        name=str(payload.get("name", "?")),
+        kind=str(payload.get("kind", "counter")),
+        value=float(payload.get("value", 0.0)),
+        labels=tuple((str(k), str(v)) for k, v in labels),
+    )
+
+
+def _windows(series: List[int]) -> List[Tuple[int, int, float]]:
+    """Split a depth series into up to ``_DEPTH_WINDOWS`` equal slices,
+    each summarised as (steps, max depth, mean depth)."""
+    if not series:
+        return []
+    count = min(_DEPTH_WINDOWS, len(series))
+    size = len(series) / count
+    windows: List[Tuple[int, int, float]] = []
+    for i in range(count):
+        chunk = series[int(i * size) : int((i + 1) * size)]
+        if not chunk:
+            continue
+        windows.append(
+            (len(chunk), max(chunk), sum(chunk) / len(chunk))
+        )
+    return windows
+
+
+def analyse_file(path: str) -> TraceReport:
+    """Analyse a JSONL trace file on disk."""
+    from repro.testing.trace import read_trace
+
+    return analyse_trace(read_trace(path))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a run report from a JSONL engine trace.",
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument(
+        "--format",
+        choices=("md", "json"),
+        default="md",
+        help="output format (default: md)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write to this file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = analyse_file(args.trace)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 1
+    rendered = (
+        report.to_json() + "\n" if args.format == "json" else report.to_markdown()
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

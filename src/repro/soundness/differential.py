@@ -54,6 +54,8 @@ class TraceCheck:
 
 @dataclass
 class DifferentialReport:
+    """All trace checks from one differential (symbolic vs concrete) run."""
+
     checks: List[TraceCheck] = field(default_factory=list)
 
     @property

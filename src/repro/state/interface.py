@@ -130,6 +130,8 @@ V = TypeVar("V")
 
 @dataclass(frozen=True)
 class StateOk(Generic[S, V]):
+    """A successful action branch: successor ``state`` and result ``value``."""
+
     state: S
     value: V
 

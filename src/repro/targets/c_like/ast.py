@@ -18,46 +18,64 @@ from repro.targets.c_like.ctypes import CType
 
 
 class Node:
+    """Base class for all MiniC AST nodes."""
+
     __slots__ = ()
 
 
 class Expression(Node):
+    """Base class for MiniC expressions."""
+
     __slots__ = ()
 
 
 @dataclass(frozen=True)
 class IntLit(Expression):
+    """Integer literal."""
+
     value: int
 
 
 @dataclass(frozen=True)
 class CharLit(Expression):
+    """Character literal, e.g. ``'a'``."""
+
     value: str  # single character
 
 
 @dataclass(frozen=True)
 class StrLit(Expression):
+    """String literal."""
+
     value: str
 
 
 @dataclass(frozen=True)
 class NullLit(Expression):
+    """The ``NULL`` pointer literal."""
+
     pass
 
 
 @dataclass(frozen=True)
 class Var(Expression):
+    """Variable reference."""
+
     name: str
 
 
 @dataclass(frozen=True)
 class Unary(Expression):
+    """Unary operator application."""
+
     op: str  # "-" | "!" | "*" | "&"
     operand: Expression
 
 
 @dataclass(frozen=True)
 class Binary(Expression):
+    """Binary operator application."""
+
     op: str  # + - * / % == != < <= > >= && ||
     left: Expression
     right: Expression
@@ -65,6 +83,8 @@ class Binary(Expression):
 
 @dataclass(frozen=True)
 class CallExpr(Expression):
+    """``name(args)`` — call of a top-level function or builtin."""
+
     name: str
     args: Tuple[Expression, ...]
 
@@ -80,32 +100,44 @@ class Member(Expression):
 
 @dataclass(frozen=True)
 class Index(Expression):
+    """``base[index]`` subscript."""
+
     base: Expression
     index: Expression
 
 
 @dataclass(frozen=True)
 class SizeofExpr(Expression):
+    """``sizeof(T)``."""
+
     type: CType
 
 
 @dataclass(frozen=True)
 class Cast(Expression):
+    """``(T) operand`` cast."""
+
     type: CType
     operand: Expression
 
 
 @dataclass(frozen=True)
 class SymbolicExpr(Expression):
+    """A fresh symbolic input of the given type."""
+
     type_name: Optional[str]  # None | "int" | "char" | "bool"
 
 
 class Statement(Node):
+    """Base class for MiniC statements."""
+
     __slots__ = ()
 
 
 @dataclass(frozen=True)
 class Decl(Statement):
+    """``T name = init;`` — variable declaration."""
+
     type: CType
     name: str
     init: Optional[Expression]
@@ -122,12 +154,16 @@ class ArrayDecl(Statement):
 
 @dataclass(frozen=True)
 class Assign(Statement):
+    """``target = value;`` — target is a variable, deref, member, or index."""
+
     target: Expression  # Var | Unary("*") | Member | Index
     value: Expression
 
 
 @dataclass(frozen=True)
 class IfStmt(Statement):
+    """``if (cond) { ... } else { ... }``."""
+
     cond: Expression
     then_body: Tuple[Statement, ...]
     else_body: Tuple[Statement, ...]
@@ -135,12 +171,16 @@ class IfStmt(Statement):
 
 @dataclass(frozen=True)
 class WhileStmt(Statement):
+    """``while (cond) { ... }``."""
+
     cond: Expression
     body: Tuple[Statement, ...]
 
 
 @dataclass(frozen=True)
 class ForStmt(Statement):
+    """``for (init; cond; step) { ... }``."""
+
     init: Optional[Statement]
     cond: Optional[Expression]
     step: Optional[Statement]
@@ -149,42 +189,58 @@ class ForStmt(Statement):
 
 @dataclass(frozen=True)
 class ReturnStmt(Statement):
+    """``return e;``."""
+
     expr: Optional[Expression]
 
 
 @dataclass(frozen=True)
 class BreakStmt(Statement):
+    """``break;``."""
+
     pass
 
 
 @dataclass(frozen=True)
 class ContinueStmt(Statement):
+    """``continue;``."""
+
     pass
 
 
 @dataclass(frozen=True)
 class ExprStmt(Statement):
+    """An expression evaluated for its side effects."""
+
     expr: Expression
 
 
 @dataclass(frozen=True)
 class AssumeStmt(Statement):
+    """``assume(e);`` — prune paths where ``e`` is false."""
+
     expr: Expression
 
 
 @dataclass(frozen=True)
 class AssertStmt(Statement):
+    """``assert(e);`` — flag paths where ``e`` can be false."""
+
     expr: Expression
 
 
 @dataclass(frozen=True)
 class Param(Node):
+    """A formal parameter: type and name."""
+
     type: CType
     name: str
 
 
 @dataclass(frozen=True)
 class FuncDef(Node):
+    """A function definition."""
+
     ret_type: CType
     name: str
     params: Tuple[Param, ...]
@@ -193,11 +249,15 @@ class FuncDef(Node):
 
 @dataclass(frozen=True)
 class StructDef(Node):
+    """A struct definition: name and ordered fields."""
+
     name: str
     fields: Tuple[Tuple[str, CType], ...]
 
 
 @dataclass(frozen=True)
 class Program(Node):
+    """A complete MiniC translation unit."""
+
     structs: Tuple[StructDef, ...]
     functions: Tuple[FuncDef, ...]

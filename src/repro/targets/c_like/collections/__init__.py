@@ -1,0 +1,1 @@
+"""Collections-C-style MiniC suites (the paper's Table 2 workloads)."""

@@ -79,6 +79,8 @@ ACTIONS = frozenset(
 
 
 class CompileError(Exception):
+    """Raised when MiniC source cannot be lowered to GIL."""
+
     pass
 
 

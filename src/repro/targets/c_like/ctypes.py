@@ -17,6 +17,8 @@ from typing import Dict, List, Tuple
 
 
 class CType:
+    """Base class for MiniC types."""
+
     __slots__ = ()
 
 
@@ -30,18 +32,24 @@ class IntType(CType):
 
 @dataclass(frozen=True)
 class CharType(CType):
+    """char (1 byte)."""
+
     def __repr__(self) -> str:
         return "char"
 
 
 @dataclass(frozen=True)
 class VoidType(CType):
+    """void — only valid behind a pointer or as a return type."""
+
     def __repr__(self) -> str:
         return "void"
 
 
 @dataclass(frozen=True)
 class PointerType(CType):
+    """Pointer to ``pointee``."""
+
     pointee: CType
 
     def __repr__(self) -> str:
@@ -50,6 +58,8 @@ class PointerType(CType):
 
 @dataclass(frozen=True)
 class StructType(CType):
+    """A named struct type; its field layout lives in the TypeTable."""
+
     name: str
 
     def __repr__(self) -> str:
@@ -74,6 +84,8 @@ VOID = VoidType()
 
 @dataclass
 class StructLayout:
+    """Computed field offsets, total size, and alignment of a struct."""
+
     name: str
     #: field name → (offset, type)
     fields: Dict[str, Tuple[int, CType]]

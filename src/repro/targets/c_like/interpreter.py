@@ -32,11 +32,15 @@ from repro.targets.c_like.memory import CConcreteMemory, CMemory
 
 @dataclass
 class InterpResult:
+    """Final outcome of a concrete MiniC run."""
+
     kind: str  # "normal" | "error" | "vanish"
     value: Value = 0
 
 
 class CRuntimeError(Exception):
+    """Raised by the concrete interpreter on a runtime fault."""
+
     def __init__(self, value) -> None:
         self.value = value
 

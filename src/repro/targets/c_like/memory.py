@@ -77,6 +77,8 @@ class Block:
 
 @dataclass(frozen=True)
 class CMemory:
+    """Concrete C memory: a sorted map from block symbols to blocks."""
+
     blocks: Tuple[Tuple[Symbol, Block], ...] = ()
 
     def as_dict(self) -> Dict[Symbol, Block]:
@@ -360,6 +362,8 @@ class SymBlock:
 
 @dataclass(frozen=True)
 class SymCMemory:
+    """Symbolic C memory: blocks whose cells hold value expressions."""
+
     blocks: Tuple[Tuple[Symbol, SymBlock], ...] = ()
 
     def as_dict(self) -> Dict[Symbol, SymBlock]:
@@ -705,6 +709,8 @@ def _encode_sym(block: SymBlock, offset: int, size: int, tag: str, value: Expr) 
 
 
 class InterpretationError(Exception):
+    """Raised when a symbolic memory has no concrete interpretation."""
+
     pass
 
 

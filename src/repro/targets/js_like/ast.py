@@ -16,6 +16,8 @@ from typing import Optional, Tuple
 
 
 class Node:
+    """Base class for all MiniJS AST nodes."""
+
     __slots__ = ()
 
 
@@ -23,26 +25,36 @@ class Node:
 
 
 class Expression(Node):
+    """Base class for MiniJS expressions."""
+
     __slots__ = ()
 
 
 @dataclass(frozen=True)
 class Literal(Expression):
+    """Number, string, or boolean literal."""
+
     value: object  # number | str | bool | "null"/"undefined" markers handled below
 
 
 @dataclass(frozen=True)
 class Undefined(Expression):
+    """The ``undefined`` literal."""
+
     pass
 
 
 @dataclass(frozen=True)
 class NullLit(Expression):
+    """The ``null`` literal."""
+
     pass
 
 
 @dataclass(frozen=True)
 class Var(Expression):
+    """Variable reference."""
+
     name: str
 
 
@@ -55,11 +67,15 @@ class FuncRef(Expression):
 
 @dataclass(frozen=True)
 class ObjectLit(Expression):
+    """``{p1: e1, ...}`` object literal."""
+
     props: Tuple[Tuple[str, Expression], ...]
 
 
 @dataclass(frozen=True)
 class ArrayLit(Expression):
+    """``[e1, ..., en]`` array literal."""
+
     items: Tuple[Expression, ...]
 
 
@@ -81,12 +97,16 @@ class CallExpr(Expression):
 
 @dataclass(frozen=True)
 class Unary(Expression):
+    """Unary operator application."""
+
     op: str  # "-" | "!" | "typeof"
     operand: Expression
 
 
 @dataclass(frozen=True)
 class Binary(Expression):
+    """Binary operator application."""
+
     op: str  # + - * / % === !== < <= > >= && ||
     left: Expression
     right: Expression
@@ -112,23 +132,31 @@ class SymbolicExpr(Expression):
 
 
 class Statement(Node):
+    """Base class for MiniJS statements."""
+
     __slots__ = ()
 
 
 @dataclass(frozen=True)
 class VarDecl(Statement):
+    """``var name = init;``."""
+
     name: str
     init: Optional[Expression]
 
 
 @dataclass(frozen=True)
 class AssignVar(Statement):
+    """``name = value;``."""
+
     name: str
     value: Expression
 
 
 @dataclass(frozen=True)
 class AssignMember(Statement):
+    """``o.p = value;`` / ``o[e] = value;``."""
+
     obj: Expression
     prop: Expression
     value: Expression
@@ -136,17 +164,23 @@ class AssignMember(Statement):
 
 @dataclass(frozen=True)
 class DeleteStmt(Statement):
+    """``delete o.p;`` / ``delete o[e];``."""
+
     obj: Expression
     prop: Expression
 
 
 @dataclass(frozen=True)
 class ExprStmt(Statement):
+    """An expression evaluated for its side effects."""
+
     expr: Expression
 
 
 @dataclass(frozen=True)
 class IfStmt(Statement):
+    """``if (cond) { ... } else { ... }``."""
+
     cond: Expression
     then_body: Tuple[Statement, ...]
     else_body: Tuple[Statement, ...]
@@ -154,12 +188,16 @@ class IfStmt(Statement):
 
 @dataclass(frozen=True)
 class WhileStmt(Statement):
+    """``while (cond) { ... }``."""
+
     cond: Expression
     body: Tuple[Statement, ...]
 
 
 @dataclass(frozen=True)
 class ForStmt(Statement):
+    """``for (init; cond; step) { ... }``."""
+
     init: Optional[Statement]
     cond: Optional[Expression]
     step: Optional[Statement]
@@ -168,26 +206,36 @@ class ForStmt(Statement):
 
 @dataclass(frozen=True)
 class ReturnStmt(Statement):
+    """``return e;``."""
+
     expr: Optional[Expression]
 
 
 @dataclass(frozen=True)
 class BreakStmt(Statement):
+    """``break;``."""
+
     pass
 
 
 @dataclass(frozen=True)
 class ContinueStmt(Statement):
+    """``continue;``."""
+
     pass
 
 
 @dataclass(frozen=True)
 class AssumeStmt(Statement):
+    """``assume(e);`` — prune paths where ``e`` is false."""
+
     expr: Expression
 
 
 @dataclass(frozen=True)
 class AssertStmt(Statement):
+    """``assert(e);`` — flag paths where ``e`` can be false."""
+
     expr: Expression
 
 
@@ -196,6 +244,8 @@ class AssertStmt(Statement):
 
 @dataclass(frozen=True)
 class FunctionDef(Node):
+    """A top-level function definition."""
+
     name: str
     params: Tuple[str, ...]
     body: Tuple[Statement, ...]
@@ -203,4 +253,6 @@ class FunctionDef(Node):
 
 @dataclass(frozen=True)
 class Program(Node):
+    """A complete MiniJS program."""
+
     functions: Tuple[FunctionDef, ...]

@@ -1,0 +1,1 @@
+"""Buckets-style MiniJS suites (the paper's Table 1 workloads)."""

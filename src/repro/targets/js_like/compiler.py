@@ -69,6 +69,8 @@ ACTIONS = frozenset(
 
 
 class CompileError(Exception):
+    """Raised when MiniJS source cannot be lowered to GIL."""
+
     pass
 
 

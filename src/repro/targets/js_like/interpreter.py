@@ -12,11 +12,15 @@ from repro.targets.js_like.memory import JSNULL, UNDEFINED
 
 @dataclass
 class InterpResult:
+    """Final outcome of a concrete MiniJS run."""
+
     kind: str  # "normal" | "error" | "vanish"
     value: Value = UNDEFINED
 
 
 class JSError(Exception):
+    """Raised by the concrete interpreter for a thrown JS error value."""
+
     def __init__(self, value) -> None:
         self.value = value
 

@@ -114,6 +114,8 @@ class JSMemory:
 
 
 class JSConcreteMemory(ConcreteMemoryModel):
+    """The concrete JS object-heap memory model."""
+
     @property
     def actions(self) -> frozenset:
         return ACTIONS
@@ -217,6 +219,8 @@ class JSObjectS:
 
 @dataclass(frozen=True)
 class SymJSMemory:
+    """Symbolic JS heap: locations and property tables as expressions."""
+
     objects: Tuple[Tuple[Expr, Optional[JSObjectS]], ...] = ()
 
     def as_dict(self) -> Dict[Expr, Optional[JSObjectS]]:
@@ -228,6 +232,8 @@ class SymJSMemory:
 
 
 class JSSymbolicMemory(SymbolicMemoryModel):
+    """The symbolic JS object-heap memory model."""
+
     @property
     def actions(self) -> frozenset:
         return ACTIONS
@@ -383,6 +389,8 @@ class JSSymbolicMemory(SymbolicMemoryModel):
 
 
 class InterpretationError(Exception):
+    """Raised when a symbolic heap has no concrete interpretation."""
+
     pass
 
 

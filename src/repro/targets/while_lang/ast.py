@@ -23,22 +23,30 @@ from repro.logic.expr import Expr
 
 
 class Stmt:
+    """Base class for While statements."""
+
     __slots__ = ()
 
 
 @dataclass(frozen=True)
 class Skip(Stmt):
+    """``skip``."""
+
     pass
 
 
 @dataclass(frozen=True)
 class Assign(Stmt):
+    """``x := e``."""
+
     target: str
     expr: Expr
 
 
 @dataclass(frozen=True)
 class If(Stmt):
+    """``if e { ... } else { ... }``."""
+
     condition: Expr
     then_body: Tuple[Stmt, ...]
     else_body: Tuple[Stmt, ...]
@@ -46,6 +54,8 @@ class If(Stmt):
 
 @dataclass(frozen=True)
 class While(Stmt):
+    """``while e { ... }``."""
+
     condition: Expr
     body: Tuple[Stmt, ...]
 
@@ -61,16 +71,22 @@ class CallStmt(Stmt):
 
 @dataclass(frozen=True)
 class ReturnStmt(Stmt):
+    """``return e``."""
+
     expr: Expr
 
 
 @dataclass(frozen=True)
 class Assume(Stmt):
+    """``assume(e)`` — prune paths where ``e`` is false."""
+
     expr: Expr
 
 
 @dataclass(frozen=True)
 class Assert(Stmt):
+    """``assert(e)`` — flag paths where ``e`` can be false."""
+
     expr: Expr
 
 
@@ -84,6 +100,8 @@ class New(Stmt):
 
 @dataclass(frozen=True)
 class Dispose(Stmt):
+    """``dispose(e)`` — free the object at location ``e``."""
+
     expr: Expr
 
 
@@ -115,6 +133,8 @@ class SymbolicInput(Stmt):
 
 @dataclass(frozen=True)
 class ProcDef:
+    """A procedure definition."""
+
     name: str
     params: Tuple[str, ...]
     body: Tuple[Stmt, ...]
@@ -122,4 +142,6 @@ class ProcDef:
 
 @dataclass(frozen=True)
 class Program:
+    """A complete While program."""
+
     procs: Tuple[ProcDef, ...]

@@ -18,6 +18,8 @@ from repro.targets.while_lang import ast
 
 @dataclass
 class InterpResult:
+    """Final outcome of a concrete While run."""
+
     kind: str  # "normal" | "error" | "vanish"
     value: Value = NULL
 

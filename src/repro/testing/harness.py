@@ -150,6 +150,7 @@ class SymbolicTester:
             cache_enabled=self.config.solver_cache,
             incremental=self.config.solver_incremental,
             step_budget=self.config.solver_step_budget,
+            profile_phases=self.config.profile_solver_phases,
         )
 
     def run_test(
@@ -189,7 +190,13 @@ class SymbolicTester:
         )
 
     def run_source(self, source: str, entry: str, name: Optional[str] = None) -> TestResult:
-        return self.run_test(self.language.compile(source), entry, name)
+        start = time.perf_counter()
+        prog = self.language.compile(source)
+        if self.events:
+            from repro.engine.events import SpanEnd
+
+            self.events.emit(SpanEnd("compile", time.perf_counter() - start, 0))
+        return self.run_test(prog, entry, name)
 
     # -- counter-models and replay ------------------------------------------
 

@@ -14,7 +14,11 @@ the reproduction's answer:
 * :class:`JsonlEventSink` subscribes to the engine's
   :class:`~repro.engine.events.EventBus` and streams every event —
   steps, branches, path ends, solver queries — as one JSON object per
-  line, the machine-readable counterpart of the stepper's view.
+  line, the machine-readable counterpart of the stepper's view;
+* :func:`read_trace` parses such a file back into payload dicts — the
+  input side of the trace-analysis CLI (``python -m repro.obs.report``).
+
+The line format is documented in ``docs/events.md``.
 """
 
 from __future__ import annotations
@@ -56,6 +60,8 @@ class TraceStep:
 
 @dataclass
 class Trace:
+    """A replayable path: its steps plus the final outcome."""
+
     steps: List[TraceStep]
     outcome: Optional[Final]
 
@@ -128,6 +134,37 @@ class JsonlEventSink:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def read_trace(source: Union[str, IO[str]]):
+    """Yield the payload dict of every event line in a JSONL trace.
+
+    Accepts a path or an open text stream.  Blank lines are skipped;
+    lines that are not JSON objects raise ``ValueError`` with the
+    offending line number (a trace file is machine-written, so garbage
+    means the wrong file, not a recoverable situation).
+    """
+    fh = open(source) if isinstance(source, str) else source
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {lineno}: not valid JSON ({exc})"
+                ) from None
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"line {lineno}: expected a JSON object, "
+                    f"got {type(payload).__name__}"
+                )
+            yield payload
+    finally:
+        if isinstance(source, str):
+            fh.close()
 
 
 class TraceRecorder:

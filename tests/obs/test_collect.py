@@ -1,0 +1,118 @@
+"""Tests for the bus-driven metrics collector (repro.obs.collect)."""
+
+from repro.engine.events import (
+    BranchEvent,
+    EventBus,
+    MetricSample,
+    PathEndEvent,
+    ShardLostEvent,
+    ShardRetryEvent,
+    SolverQueryEvent,
+    SolverUnknownEvent,
+    SpanEnd,
+    StepEvent,
+    WorkerEvent,
+)
+from repro.obs.collect import MetricsCollector
+from repro.obs.metrics import MetricsRegistry
+
+
+def step(depth=1):
+    return StepEvent("main", 0, depth, 1, 0)
+
+
+class TestFold:
+    def totals_after(self, *events):
+        bus = EventBus()
+        with MetricsCollector(bus) as collector:
+            for ev in events:
+                bus.emit(ev)
+        return collector.registry.as_dict()
+
+    def test_steps_and_depth(self):
+        totals = self.totals_after(step(1), step(5), step(2))
+        assert totals["engine.steps"] == 3
+        assert totals["engine.depth"] == {"max": 5}
+
+    def test_branches_feed_the_arm_histogram(self):
+        totals = self.totals_after(
+            BranchEvent("main", 0, 1, 2), BranchEvent("main", 1, 2, 3)
+        )
+        assert totals["engine.branches"] == 2
+        assert totals["engine.branch_arms"]["count"] == 2
+        assert totals["engine.branch_arms"]["sum"] == 5
+
+    def test_path_ends_count_per_kind(self):
+        totals = self.totals_after(
+            PathEndEvent("NORMAL", 4, None),
+            PathEndEvent("NORMAL", 6, None),
+            PathEndEvent("ERROR", 2, None),
+        )
+        assert totals["engine.paths.normal"] == 2
+        assert totals["engine.paths.error"] == 1
+        assert totals["engine.path_depth"]["count"] == 3
+
+    def test_solver_queries_split_by_result_and_tier(self):
+        totals = self.totals_after(
+            SolverQueryEvent("SAT", 3, False, 0.25),
+            SolverQueryEvent("SAT", 3, True, 0.0),
+            SolverQueryEvent("UNSAT", 2, False, 0.5),
+            SolverUnknownEvent("timeout", 9, True),
+        )
+        assert totals["solver.queries"] == 3
+        assert totals["solver.queries.sat"] == 2
+        assert totals["solver.queries.unsat"] == 1
+        assert totals["solver.cache_hits"] == 1
+        assert totals["solver.time"] == 0.75
+        assert totals["solver.unknown.timeout"] == 1
+
+    def test_shard_faults_and_spans(self):
+        totals = self.totals_after(
+            ShardRetryEvent(0, 0, 4, "boom"),
+            ShardLostEvent(1, 2, 3),
+            SpanEnd("explore", 1.5, 100),
+        )
+        assert totals["shards.retried"] == 1
+        assert totals["shards.lost"] == 1
+        assert totals["phase.explore.seconds"] == 1.5
+        assert totals["phase.explore.steps"] == 100
+
+    def test_worker_envelopes_are_unwrapped(self):
+        totals = self.totals_after(
+            WorkerEvent(0, step()), WorkerEvent(1, WorkerEvent(0, step()))
+        )
+        assert totals["engine.steps"] == 2
+
+    def test_metric_samples_are_absorbed(self):
+        totals = self.totals_after(
+            MetricSample("engine.steps", "counter", 7),
+            WorkerEvent(2, MetricSample("engine.steps", "counter", 5)),
+        )
+        assert totals["engine.steps"] == 12
+
+    def test_unknown_events_are_ignored(self):
+        totals = self.totals_after(object())
+        assert totals == {}
+
+
+class TestLifecycle:
+    def test_close_restores_the_bus_idle_contract(self):
+        bus = EventBus()
+        collector = MetricsCollector(bus)
+        assert bus  # truthy while subscribed: emitters will construct events
+        collector.close()
+        assert not bus
+        bus.emit(step())  # no subscriber: nothing recorded
+        assert collector.registry.as_dict() == {}
+
+    def test_shared_registry_aggregates_runs(self):
+        registry = MetricsRegistry()
+        for _ in range(2):
+            bus = EventBus()
+            with MetricsCollector(bus, registry=registry):
+                bus.emit(step())
+        assert registry.counter("engine.steps").value == 2
+
+    def test_attach_returns_self_for_chaining(self):
+        collector = MetricsCollector()
+        assert collector.attach(EventBus()) is collector

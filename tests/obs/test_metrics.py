@@ -1,0 +1,152 @@
+"""Tests for the metrics layer (repro.obs.metrics): instruments,
+deterministic merge, and the flush/absorb cross-process round trip."""
+
+import pytest
+
+from repro.engine.events import EventBus, MetricSample
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(3)
+        c.inc(0.5)
+        assert c.value == 4.5
+
+    def test_gauge_tracks_value_and_max(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 7
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram("arms", buckets=(1, 2, 4))
+        for v in (1, 2, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 108
+        assert h.max == 100
+        assert h.bucket_items() == [(1, 1), (2, 2), (4, 1), (float("inf"), 1)]
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert all(
+            b == 2 * a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )
+
+
+class TestRegistry:
+    def test_create_on_first_use_then_same_instance(self):
+        reg = MetricsRegistry()
+        c = reg.counter("engine.steps")
+        c.inc()
+        assert reg.counter("engine.steps") is c
+        assert reg.counter("engine.steps").value == 1
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_registry_is_always_truthy(self):
+        # The off-switch is holding None, as with the event bus.
+        assert MetricsRegistry()
+
+    def test_as_dict_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(5)
+        reg.histogram("h", buckets=(1, 2)).observe(2)
+        snap = reg.as_dict()
+        assert list(snap) == ["a", "b", "g", "h"]
+        assert snap["g"] == {"max": 5}
+        assert snap["h"]["buckets"] == [[2, 1]]
+
+
+def _worker_registry(steps, depth, arms):
+    reg = MetricsRegistry()
+    reg.counter("engine.steps").inc(steps)
+    reg.gauge("engine.depth").set(depth)
+    for a in arms:
+        reg.histogram("engine.branch_arms").observe(a)
+    return reg
+
+
+class TestMerge:
+    def test_merge_is_order_independent(self):
+        shards = [
+            _worker_registry(10, 3, [2, 2]),
+            _worker_registry(7, 9, [3]),
+            _worker_registry(1, 1, []),
+        ]
+        forward = MetricsRegistry()
+        for s in shards:
+            forward.merge(s)
+        backward = MetricsRegistry()
+        for s in reversed(shards):
+            backward.merge(s)
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.counter("engine.steps").value == 18
+        assert forward.gauge("engine.depth").max == 9
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1, 2, 4)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestFlushAbsorb:
+    def collect_samples(self, reg):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=(MetricSample,))
+        emitted = reg.flush(bus)
+        assert emitted == len(seen)
+        return seen
+
+    def test_flush_to_missing_or_idle_bus_is_a_noop(self):
+        reg = _worker_registry(5, 2, [2])
+        assert reg.flush(None) == 0
+        assert reg.flush(EventBus()) == 0  # falsy: no subscribers
+
+    def test_round_trip_preserves_everything(self):
+        source = _worker_registry(5, 4, [2, 3, 100])
+        sink = MetricsRegistry()
+        for sample in self.collect_samples(source):
+            sink.absorb_sample(sample)
+        assert sink.as_dict() == source.as_dict()
+
+    def test_absorption_is_additive_for_counters_max_for_gauges(self):
+        sink = MetricsRegistry()
+        for source in (_worker_registry(5, 4, []), _worker_registry(3, 9, [])):
+            for sample in self.collect_samples(source):
+                sink.absorb_sample(sample)
+        assert sink.counter("engine.steps").value == 8
+        assert sink.gauge("engine.depth").max == 9
+
+    def test_absorb_rejects_unknown_kind_and_bucket(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.absorb_sample(MetricSample("x", "timer", 1.0))
+        reg.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            reg.absorb_sample(
+                MetricSample("h", "histogram", 1, (("le", "7"),))
+            )

@@ -1,0 +1,109 @@
+"""Worker-count invariance of the observability layer.
+
+The acceptance bar for cross-process aggregation: running the same
+program at workers 1/2/4 must produce *identical* totals for every
+deterministic metric (steps, branches, path outcomes, solver query
+counts, depth/arms histograms).  Wall-clock metrics (``solver.time``,
+``phase.*``) are excluded — they measure the host, not the program."""
+
+from repro.engine.config import EngineConfig
+from repro.engine.events import EventBus
+from repro.engine.explorer import Explorer
+from repro.engine.parallel import ParallelExplorer
+from repro.gil.syntax import Assignment, Goto, IfGoto, ISym, Proc, Prog, Return
+from repro.logic.expr import Lit, PVar
+from repro.obs.collect import MetricsCollector
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+#: metric prefixes whose totals must be worker-count invariant
+DETERMINISTIC_PREFIXES = (
+    "engine.",
+    "solver.queries",
+    "shards.lost",
+)
+
+
+def branching_prog(levels=3):
+    """A bushy binary tree: both arms of every branch keep executing, so
+    the frontier genuinely grows to ``2**levels`` live paths and the
+    parallel explorer has something to shard."""
+    prog = Prog()
+    body = (Assignment("acc", Lit(0)),)
+    for i in range(levels):
+        body += (ISym(f"b{i}", i),)
+    for i in range(levels):
+        base = 1 + levels + 4 * i
+        body += (
+            IfGoto(PVar(f"b{i}").lt(Lit(0)), base + 3),
+            Assignment("acc", PVar("acc") + Lit(1)),
+            Goto(base + 4),
+            Assignment("acc", PVar("acc") - Lit(1)),
+        )
+    body += (Return(PVar("acc")),)
+    prog.add(Proc("main", (), body))
+    return prog
+
+
+def deterministic(totals):
+    return {
+        name: value
+        for name, value in totals.items()
+        if name.startswith(DETERMINISTIC_PREFIXES)
+    }
+
+
+def metrics_at(workers, levels=3):
+    prog = branching_prog(levels)
+    model = SymbolicStateModel(WhileSymbolicMemory())
+    bus = EventBus()
+    with MetricsCollector(bus) as collector:
+        if workers == 1:
+            Explorer(prog, model, EngineConfig(), events=bus).run("main")
+        else:
+            # seed_factor=1 stops seeding as soon as the frontier covers
+            # the workers, so shards genuinely run (and emit) in
+            # subprocesses rather than the program finishing during the
+            # seed phase.
+            ParallelExplorer(
+                prog,
+                model,
+                EngineConfig(),
+                events=bus,
+                workers=workers,
+                seed_factor=1,
+            ).run("main")
+    return collector
+
+
+class TestWorkerCountInvariance:
+    def test_deterministic_totals_identical_at_1_2_4_workers(self):
+        reference = deterministic(metrics_at(1).registry.as_dict())
+        assert reference["engine.steps"] > 0
+        assert reference["engine.branches"] > 0
+        assert reference["solver.queries"] > 0
+        for workers in (2, 4):
+            totals = deterministic(metrics_at(workers).registry.as_dict())
+            assert totals == reference, f"workers={workers}"
+
+    def test_path_outcomes_match_the_program_shape(self):
+        # A full binary tree over 3 symbolic sign tests: 2**3 normal
+        # leaves, and the branch histogram records one two-arm split per
+        # live comparison (2**levels - 1 interior nodes).
+        totals = metrics_at(1).registry.as_dict()
+        assert totals["engine.paths.normal"] == 8
+        assert totals["engine.branches"] == 7
+        assert totals["engine.branch_arms"]["count"] == totals[
+            "engine.branches"
+        ]
+
+
+class TestParallelSpans:
+    def test_parallel_run_emits_lifecycle_spans(self):
+        totals = metrics_at(4).registry.as_dict()
+        for phase in ("seed", "shards", "merge"):
+            assert f"phase.{phase}.seconds" in totals, phase
+
+    def test_sequential_run_emits_an_explore_span(self):
+        totals = metrics_at(1).registry.as_dict()
+        assert totals["phase.explore.steps"] == totals["engine.steps"]

@@ -1,0 +1,85 @@
+"""Tests for phase profiling spans (repro.obs.profile)."""
+
+from repro.engine.events import EventBus, SpanEnd
+from repro.logic.expr import Lit, LVar
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.obs.profile import SOLVER_PHASES, PhaseProfiler, Span, solver_phase_spans
+
+
+def spans_on(bus, seen=None):
+    seen = [] if seen is None else seen
+    bus.subscribe(seen.append, kinds=(SpanEnd,))
+    return seen
+
+
+class TestSpan:
+    def test_span_emits_on_end(self):
+        bus = EventBus()
+        seen = spans_on(bus)
+        span = Span("compile", bus)
+        span.add(3)
+        span.add()
+        event = span.end()
+        assert seen == [event]
+        assert event.name == "compile"
+        assert event.steps == 4
+        assert event.wall >= 0.0
+
+    def test_end_is_idempotent(self):
+        bus = EventBus()
+        seen = spans_on(bus)
+        span = Span("x", bus)
+        span.end()
+        span.end()
+        assert len(seen) == 1
+
+    def test_context_manager_ends_the_span(self):
+        bus = EventBus()
+        seen = spans_on(bus)
+        with PhaseProfiler(bus).span("setup") as span:
+            span.add(2)
+        assert len(seen) == 1 and seen[0].steps == 2
+
+    def test_no_bus_measures_without_emitting(self):
+        span = Span("quiet", None)
+        event = span.end()
+        assert event.name == "quiet"
+
+
+class TestSolverPhaseSpans:
+    def branchy_solver(self):
+        solver = Solver(profile_phases=True)
+        x = LVar("x")
+        pc = (
+            PathCondition.true()
+            .conjoin(Lit(0).lt(x))
+            .conjoin(x.lt(Lit(10)))
+        )
+        solver.check(pc)
+        return solver
+
+    def test_profiled_solver_accrues_phase_times(self):
+        solver = self.branchy_solver()
+        accrued = [
+            getattr(solver.stats, attr) for _, attr in SOLVER_PHASES
+        ]
+        assert any(t > 0 for t in accrued)
+
+    def test_spans_cover_nonzero_phases_only(self):
+        solver = self.branchy_solver()
+        bus = EventBus()
+        seen = spans_on(bus)
+        events = solver_phase_spans(solver, bus)
+        assert events == seen
+        names = {e.name for e in events}
+        assert names  # at least one pipeline phase did work
+        assert names <= {name for name, _ in SOLVER_PHASES}
+        for event in events:
+            assert event.wall > 0
+
+    def test_unprofiled_solver_emits_nothing(self):
+        solver = Solver()
+        x = LVar("x")
+        solver.check(PathCondition.true().conjoin(x.lt(Lit(1))))
+        assert solver_phase_spans(solver, EventBus()) == []

@@ -1,0 +1,174 @@
+"""Tests for trace analysis and the report CLI (repro.obs.report),
+plus the JSONL reader it is built on (repro.testing.trace.read_trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine.events import (
+    BranchEvent,
+    MetricSample,
+    PathEndEvent,
+    ShardRetryEvent,
+    SolverQueryEvent,
+    SolverUnknownEvent,
+    SpanEnd,
+    StepEvent,
+    WorkerEvent,
+    event_payload,
+)
+from repro.obs.report import TraceReport, analyse_trace, main
+from repro.testing.trace import read_trace
+
+
+def sample_events():
+    return [
+        SpanEnd("compile", 0.01, 0),
+        StepEvent("main", 0, 1, 2, 0),
+        BranchEvent("main", 0, 1, 2),
+        WorkerEvent(0, StepEvent("main", 1, 2, 1, 0)),
+        WorkerEvent(1, StepEvent("main", 1, 3, 1, 0)),
+        SolverQueryEvent("SAT", 2, False, 0.25),
+        SolverQueryEvent("SAT", 2, True, 0.0),
+        SolverQueryEvent("UNSAT", 3, False, 0.5),
+        SolverUnknownEvent("timeout", 5, True),
+        ShardRetryEvent(1, 0, 4, "crash"),
+        PathEndEvent("NORMAL", 3, None),
+        PathEndEvent("ERROR", 2, None),
+        SpanEnd("explore", 1.0, 3),
+        MetricSample("engine.steps", "counter", 3),
+    ]
+
+
+def sample_payloads():
+    return [event_payload(ev) for ev in sample_events()]
+
+
+class TestAnalyseTrace:
+    def report(self):
+        return analyse_trace(sample_payloads())
+
+    def test_totals(self):
+        report = self.report()
+        assert report.events == len(sample_events())
+        assert report.totals["steps"] == 3
+        assert report.totals["branches"] == 1
+        assert report.totals["paths.normal"] == 1
+        assert report.totals["paths.error"] == 1
+
+    def test_solver_breakdown_by_kind_and_tier(self):
+        solver = self.report().solver
+        assert solver[("SAT", "solved")] == {"count": 1, "time": 0.25}
+        assert solver[("SAT", "cache-hit")] == {"count": 1, "time": 0.0}
+        assert solver[("UNSAT", "solved")] == {"count": 1, "time": 0.5}
+
+    def test_branch_histogram(self):
+        assert self.report().branch_hist == {2: 1}
+
+    def test_spans_aggregate_by_name(self):
+        spans = self.report().spans
+        assert spans["compile"]["count"] == 1
+        assert spans["explore"] == {"wall": 1.0, "steps": 3, "count": 1}
+
+    def test_depth_lanes_split_main_from_workers(self):
+        profile = self.report().depth_profile
+        assert set(profile) == {"main", "worker-0", "worker-1"}
+        # one step per lane: one window of (steps=1, max=depth, mean=depth)
+        assert profile["worker-1"] == [(1, 3, 3.0)]
+
+    def test_timeline_preserves_event_order(self):
+        timeline = self.report().timeline
+        assert [e["event"] for e in timeline] == [
+            "SolverUnknownEvent",
+            "ShardRetryEvent",
+        ]
+        assert timeline[0]["seq"] < timeline[1]["seq"]
+
+    def test_flushed_metrics_are_absorbed(self):
+        assert self.report().metrics.as_dict() == {"engine.steps": 3}
+
+    def test_foreign_payloads_only_count_as_events(self):
+        report = analyse_trace([{"event": "SomethingElse"}, {}])
+        assert report.events == 2
+        assert report.totals == {}
+
+
+class TestRendering:
+    def test_markdown_has_the_required_sections(self):
+        md = analyse_trace(sample_payloads()).to_markdown()
+        for section in (
+            "# Trace report",
+            "## Run totals",
+            "## Phase spans",
+            "## Solver time by query kind and cache tier",
+            "## Branch fan-out histogram",
+            "## Frontier depth over time",
+            "## Degradation and fault timeline",
+            "## Flushed metrics",
+        ):
+            assert section in md, section
+        assert "| SAT | cache-hit | 1 | 0.0000 |" in md
+
+    def test_empty_trace_still_renders_required_sections(self):
+        md = TraceReport().to_markdown()
+        assert "## Solver time by query kind and cache tier" in md
+        assert "## Branch fan-out histogram" in md
+        assert "(clean run: no degradations or faults)" in md
+
+    def test_json_round_trips(self):
+        report = analyse_trace(sample_payloads())
+        data = json.loads(report.to_json())
+        assert data["totals"]["steps"] == 3
+        assert data["solver"]["SAT/cache-hit"]["count"] == 1
+        assert data["branch_histogram"] == {"2": 1}
+
+
+class TestReadTrace:
+    def test_reads_payloads_and_skips_blanks(self):
+        stream = io.StringIO('{"event": "StepEvent"}\n\n{"event": "SpanEnd"}\n')
+        assert [p["event"] for p in read_trace(stream)] == [
+            "StepEvent",
+            "SpanEnd",
+        ]
+
+    def test_bad_json_reports_the_line_number(self):
+        stream = io.StringIO('{"event": "StepEvent"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(read_trace(stream))
+
+    def test_non_object_lines_are_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_trace(io.StringIO("[1, 2]\n")))
+
+
+class TestCli:
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as fh:
+            for payload in sample_payloads():
+                fh.write(json.dumps(payload) + "\n")
+        return str(path)
+
+    def test_markdown_to_stdout(self, tmp_path, capsys):
+        assert main([self.trace_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Solver time by query kind and cache tier" in out
+
+    def test_json_to_output_file(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(
+            [self.trace_file(tmp_path), "--format", "json", "-o", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["totals"]["steps"] == 3
+
+    def test_missing_trace_is_a_clean_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_trace_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main([str(path)]) == 1
+        assert "line 1" in capsys.readouterr().err

@@ -1,0 +1,102 @@
+"""Docs-vs-code consistency checks.
+
+``docs/events.md`` is the authoritative bus schema; this test walks
+:func:`repro.engine.events.event_types` so that adding an event type
+without documenting it fails CI, keeping the doc from drifting.
+"""
+
+import os
+import re
+
+from repro.engine.events import event_types
+
+DOCS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "docs")
+
+
+def read_doc(name):
+    with open(os.path.join(DOCS_DIR, name)) as fh:
+        return fh.read()
+
+
+class TestEventsDoc:
+    def test_every_event_type_is_documented(self):
+        doc = read_doc("events.md")
+        missing = [
+            cls.__name__
+            for cls in event_types()
+            if f"### {cls.__name__}" not in doc
+        ]
+        assert not missing, (
+            f"docs/events.md lacks a section for: {missing} — every bus "
+            "event type needs a '### <TypeName>' schema entry"
+        )
+
+    def test_every_event_field_is_documented(self):
+        # Each type's field table must cover the dataclass fields, so a
+        # renamed/added field shows up here rather than as doc drift.
+        import dataclasses
+
+        doc = read_doc("events.md")
+        problems = []
+        for cls in event_types():
+            section = doc.split(f"### {cls.__name__}", 1)[1]
+            section = section.split("### ", 1)[0]
+            for field in dataclasses.fields(cls):
+                if f"`{field.name}`" not in section:
+                    problems.append(f"{cls.__name__}.{field.name}")
+        assert not problems, f"fields missing from docs/events.md: {problems}"
+
+    def test_collector_metric_names_are_documented(self):
+        doc = read_doc("events.md")
+        for name in (
+            "engine.steps",
+            "engine.branches",
+            "engine.branch_arms",
+            "engine.path_depth",
+            "solver.queries",
+            "solver.cache_hits",
+            "shards.retried",
+        ):
+            assert f"`{name}`" in doc, name
+
+
+class TestDocsTree:
+    def test_expected_docs_exist(self):
+        for name in (
+            "architecture.md",
+            "events.md",
+            "paper-map.md",
+            "benchmarks.md",
+        ):
+            assert os.path.exists(os.path.join(DOCS_DIR, name)), name
+
+    def test_readme_links_into_docs(self):
+        readme = read_doc(os.path.join(os.pardir, "README.md"))
+        for target in (
+            "docs/architecture.md",
+            "docs/events.md",
+            "docs/paper-map.md",
+            "docs/benchmarks.md",
+        ):
+            assert target in readme, f"README.md does not link {target}"
+
+    def test_doc_cross_links_resolve(self):
+        # Relative markdown links inside docs/ must point at real files.
+        for name in ("architecture.md", "events.md", "benchmarks.md", "paper-map.md"):
+            doc = read_doc(name)
+            for match in re.finditer(r"\]\(([a-z\-]+\.md)\)", doc):
+                target = match.group(1)
+                assert os.path.exists(
+                    os.path.join(DOCS_DIR, target)
+                ), f"{name} links to missing {target}"
+
+
+class TestBenchmarksDoc:
+    def test_schema_version_matches_the_doc(self):
+        import benchmarks.tables as tables
+
+        doc = read_doc("benchmarks.md")
+        assert f'"schema_version": {tables.BENCH_SCHEMA_VERSION}' in doc, (
+            "docs/benchmarks.md example envelope is out of date with "
+            "BENCH_SCHEMA_VERSION — update the doc and its history table"
+        )
