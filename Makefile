@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify fuzz fuzz-faults lint bench bench-solver bench-strategies bench-parallel clean
+.PHONY: help test verify fuzz fuzz-faults lint bench bench-solver bench-strategies bench-parallel bench-interp bench-gate clean
 
 help:
 	@echo "Targets:"
@@ -14,6 +14,8 @@ help:
 	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
 	@echo "  bench-strategies strategy benchmark + invariance (BENCH_strategies.json)"
 	@echo "  bench-parallel   parallel-exploration benchmark + determinism (BENCH_parallel.json)"
+	@echo "  bench-interp     compiled-vs-interpreted benchmark (BENCH_interp.json)"
+	@echo "  bench-gate       smoke throughput gate: fail below the recorded paths/sec floor"
 	@echo "  clean            remove caches and build artefacts"
 
 test:
@@ -23,6 +25,7 @@ verify: test lint
 	$(PYTHON) -m repro.obs.smoke
 	$(PYTHON) benchmarks/bench_strategies.py --smoke
 	$(PYTHON) benchmarks/bench_parallel.py --smoke
+	$(MAKE) bench-gate
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
 	$(MAKE) fuzz-faults
 
@@ -43,7 +46,7 @@ lint:
 	fi
 	@echo "lint: ok"
 
-bench: bench-solver bench-strategies bench-parallel
+bench: bench-solver bench-strategies bench-parallel bench-interp
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-solver:
@@ -54,6 +57,12 @@ bench-strategies:
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py
+
+bench-interp:
+	$(PYTHON) benchmarks/bench_interp.py
+
+bench-gate:
+	$(PYTHON) benchmarks/bench_interp.py --smoke --gate
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,198 @@
+"""Interpreter benchmark: compiled step closures vs the tree walker.
+
+Runs the Table 1 (Buckets-style MiniJS) and Table 2 (Collections-C-style
+MiniC) symbolic-testing workloads through both execution pipelines in
+the same process — the tree-walking interpreter
+(:func:`repro.gil.semantics.step`) and the compiled per-procedure step
+closures (:mod:`repro.gil.compile`) — and reports:
+
+* throughput per arm (paths/sec and commands/sec over engine wall time);
+* the compiled arm's **concrete fast-lane hit rate** (share of executed
+  commands decided by the specialized concrete evaluator, never touching
+  ``logic/``);
+* the compiled-vs-interpreted **speedup**, measured from the same run;
+* a **finals identity check**: both arms must finish the same number of
+  paths on every suite (the full bit-identical multiset comparison lives
+  in the differential fuzz suite; this is the cheap tripwire).
+
+Both arms are measured *warm*: a first untimed pass populates the
+per-program compile tables (cached on the ``Prog``) and the simplifier
+memos, so the numbers reflect the steady-state hot path rather than
+one-shot lowering cost.  The arms then alternate per repeat to spread
+machine noise evenly.
+
+Emits ``BENCH_interp.json`` next to the repository root.  ``--smoke``
+runs a reduced workload (first two suites per table, one repeat) and is
+what ``make bench-gate`` / ``make verify`` use; ``--gate`` additionally
+fails the run if smoke throughput regresses below the recorded floor
+(see :data:`SMOKE_PATHS_PER_SEC_FLOOR`).
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_interp.py [--smoke] [--gate]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.engine.config import gillian
+from repro.testing.harness import SymbolicTester
+
+from benchmarks.bench_strategies import workloads
+from benchmarks.tables import bench_meta
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_interp.json",
+)
+
+#: paths/sec the *compiled* arm must sustain on the smoke workload for
+#: ``--gate`` to pass.  Deliberately far below typical throughput
+#: (hundreds of paths/sec on an idle machine): the gate is a tripwire
+#: for order-of-magnitude regressions — an accidentally quadratic hot
+#: path, a disabled cache — not a micro-benchmark; shared CI machines
+#: routinely show 2× wall-clock swings between consecutive runs.
+SMOKE_PATHS_PER_SEC_FLOOR = 40.0
+
+FULL_REPEATS = 3
+
+
+def compiled_workloads(smoke: bool) -> List[tuple]:
+    """(language, suite name, prog, tests) with each program compiled
+    exactly once — the per-``Prog`` compile tables and the lazy command
+    lowering they hold must persist across arms and repeats for the
+    measurement to see the steady state."""
+    return [
+        (language, name, language.compile(source), tests)
+        for language, name, source, tests in workloads(smoke)
+    ]
+
+
+def run_arm(compiled: bool, suites: List[tuple]) -> Dict:
+    """One measured pass of every workload suite under one pipeline."""
+    config = gillian(compiled=compiled)
+    agg = {
+        "paths": 0,
+        "commands": 0,
+        "fast_lane_steps": 0,
+        "wall_time": 0.0,
+        "suites": {},
+    }
+    for language, name, prog, tests in suites:
+        tester = SymbolicTester(language, config=config, replay=False)
+        suite_paths = 0
+        for test in tests:
+            stats = tester.run_test(prog, test).stats
+            agg["paths"] += stats.paths_finished
+            agg["commands"] += stats.commands_executed
+            agg["fast_lane_steps"] += stats.fast_lane_steps
+            agg["wall_time"] += stats.wall_time
+            suite_paths += stats.paths_finished
+        agg["suites"][name] = suite_paths
+    return agg
+
+
+def merge(runs: List[Dict]) -> Dict:
+    """Fold repeated passes of one arm into a single report block."""
+    total = {
+        "paths": runs[0]["paths"],
+        "commands": runs[0]["commands"],
+        "fast_lane_steps": runs[0]["fast_lane_steps"],
+        "wall_time": sum(r["wall_time"] for r in runs),
+        "repeats": len(runs),
+        "suites": runs[0]["suites"],
+    }
+    elapsed = total["wall_time"] / len(runs)
+    total["paths_per_sec"] = (
+        round(total["paths"] / elapsed, 1) if elapsed else 0.0
+    )
+    total["commands_per_sec"] = (
+        round(total["commands"] / elapsed, 1) if elapsed else 0.0
+    )
+    total["fast_lane_rate"] = (
+        round(total["fast_lane_steps"] / total["commands"], 4)
+        if total["commands"]
+        else 0.0
+    )
+    total["wall_time"] = round(total["wall_time"], 4)
+    return total
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    gate = "--gate" in argv
+    mode = "smoke" if smoke else "full"
+    repeats = 1 if smoke else FULL_REPEATS
+    print(f"== bench_interp ({mode}) ==")
+
+    suites = compiled_workloads(smoke)
+    # Warm both pipelines untimed: populates the per-Prog compile tables
+    # and simplifier memos so the measured passes see the steady state.
+    for compiled in (False, True):
+        run_arm(compiled, suites)
+
+    runs: Dict[str, List[Dict]] = {"interpreted": [], "compiled": []}
+    for _ in range(repeats):
+        runs["interpreted"].append(run_arm(False, suites))
+        runs["compiled"].append(run_arm(True, suites))
+
+    interp = merge(runs["interpreted"])
+    comp = merge(runs["compiled"])
+    for label, arm in (("interpreted", interp), ("compiled", comp)):
+        print(
+            f"{label:12s} paths/sec={arm['paths_per_sec']:8.1f} "
+            f"commands/sec={arm['commands_per_sec']:10.1f} "
+            f"fast-lane={arm['fast_lane_rate']:.1%}"
+        )
+
+    speedup = (
+        interp["wall_time"] / comp["wall_time"] if comp["wall_time"] else 0.0
+    )
+    identical = interp["suites"] == comp["suites"] and (
+        interp["commands"] == comp["commands"]
+    )
+    if not identical:
+        print("!! compiled arm finished different paths/commands per suite")
+    floor_met = comp["paths_per_sec"] >= SMOKE_PATHS_PER_SEC_FLOOR
+    print(f"compiled-vs-interpreted speedup: {speedup:.2f}x")
+
+    report = {
+        "benchmark": "bench_interp",
+        "meta": bench_meta(),
+        "mode": mode,
+        "workload": "table1 (MiniJS/Buckets) + table2 (MiniC/Collections)",
+        "interpreted": interp,
+        "compiled": comp,
+        "compiled_speedup": round(speedup, 3),
+        "fast_lane_rate": comp["fast_lane_rate"],
+        "finals_identical": identical,
+        "gate": {
+            "smoke_paths_per_sec_floor": SMOKE_PATHS_PER_SEC_FLOOR,
+            "floor_met": floor_met,
+            "enforced": gate,
+        },
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {OUT_PATH}")
+    if not identical:
+        return 1
+    if gate and not floor_met:
+        print(
+            f"bench-gate: compiled smoke throughput "
+            f"{comp['paths_per_sec']:.1f} paths/sec is below the recorded "
+            f"floor {SMOKE_PATHS_PER_SEC_FLOOR:.1f}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

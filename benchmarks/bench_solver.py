@@ -18,6 +18,18 @@ Emits ``BENCH_solver.json`` next to the repository root.  Acceptance
 target (ISSUE): ≥2× reduction in solver wall time OR ≥2× higher hit
 rate for the incremental configuration, with a clean differential.
 
+The run also asserts a **cache-tier floor**: the incremental hit rate
+(any query answered without running a solve pipeline) must stay at or
+above ``HIT_RATE_FLOOR``.  The floor is deliberately on the combined
+rate rather than on the exact ``cache_hits`` tier alone: on this
+workload branch guards reach the solver pre-simplified, so the exact
+normalized-delta cache (keyed on ``(parent, simplified delta)``) only
+fires when the same extension arrives phrased differently — its
+historical dozen whole-conjunction-permutation hits are now intercepted
+earlier by the contradiction short-cut and the prefix tier, which is a
+strict improvement the per-tier counters would misreport as a
+regression.
+
 Run with::
 
     PYTHONPATH=src:. python benchmarks/bench_solver.py
@@ -45,6 +57,11 @@ OUT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_solver.json",
 )
+
+#: minimum combined hit rate (cache + prefix + model reuse over queries)
+#: the incremental configuration must sustain on the Table 1/2 workload;
+#: measured ~0.58 at the time the floor was recorded
+HIT_RATE_FLOOR = 0.5
 
 
 class RecordingTester(SymbolicTester):
@@ -202,9 +219,20 @@ def main() -> int:
         "solver_time_speedup": round(speedup, 3),
         "hit_rate_gain": round(hit_gain, 3),
         "differential": diff,
+        "cache_tiers": {
+            "hit_rate_floor": HIT_RATE_FLOOR,
+            "floor_met": inc_stats["hit_rate"] >= HIT_RATE_FLOOR,
+        },
         "acceptance": {
-            "target": "speedup >= 2.0 or hit_rate_gain >= 2.0, differential identical",
-            "passed": (speedup >= 2.0 or hit_gain >= 2.0) and diff["identical"],
+            "target": (
+                "speedup >= 2.0 or hit_rate_gain >= 2.0, differential "
+                f"identical, hit_rate >= {HIT_RATE_FLOOR}"
+            ),
+            "passed": (
+                (speedup >= 2.0 or hit_gain >= 2.0)
+                and diff["identical"]
+                and inc_stats["hit_rate"] >= HIT_RATE_FLOOR
+            ),
         },
     }
     with open(OUT_PATH, "w") as fh:

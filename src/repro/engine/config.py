@@ -40,6 +40,20 @@ class EngineConfig:
     #: solver contexts, delta-only normalization, parent-model reuse); off
     #: means every query re-solves the whole conjunction monolithically
     solver_incremental: bool = True
+    #: drive execution through the compiled per-procedure step closures
+    #: (:mod:`repro.gil.compile`) when the state model supports them; off
+    #: forces the tree-walking interpreter everywhere.  Results are
+    #: bit-identical either way (the differential fuzz suite asserts it);
+    #: the flag exists for ablation and as the interpreter's oracle switch
+    compiled: bool = True
+    #: gen-0 garbage-collector threshold while a drive loop runs (0:
+    #: leave the collector alone).  Path exploration allocates short-lived
+    #: states, configs, and expression nodes at a rate that makes the
+    #: default gen-0 threshold (~700 allocations) collect hundreds of
+    #: times per run; batching collections recovers a double-digit share
+    #: of wall time with bounded peak memory.  Purely a timing knob —
+    #: results are unaffected.
+    gc_batch: int = 50_000
     #: bound on GIL commands executed along a single path (loop unrolling
     #: bound; paper §1: "unrolling loops up to a bound")
     max_steps_per_path: int = 100_000

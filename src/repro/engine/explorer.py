@@ -19,6 +19,17 @@ The driver is a thin scheduler composed from three pluggable layers:
   from the attached solver); when absent or subscriber-less the loop
   pays one falsy check per step.
 
+Stepping goes through the compiled pipeline (:mod:`repro.gil.compile`)
+whenever ``config.compiled`` is on and the state model is one the
+compiler covers; anything else — custom state models, the ablation
+configuration — falls back to the tree-walking interpreter
+:func:`repro.gil.semantics.step`, which doubles as the differential
+oracle for the compiled path.  The scheduler also takes a private fast
+path of its own: under plain DFS, a step with a single successor and no
+finals continues inline instead of round-tripping through the worklist
+(push/pop order, budget decisions, and eviction victims are unchanged —
+the successor would have been the next pop anyway).
+
 The same scheduler drives concrete execution — a concrete state model
 simply never branches — which is what the differential conformance tests
 (E5), counter-model replay (Thm. 3.6), the concolic driver, and the
@@ -33,8 +44,10 @@ states, so every path produces the same finals whenever it is scheduled.
 
 from __future__ import annotations
 
+import gc
 import time
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import List, Optional, Sequence, Tuple
 
 from repro.engine.budget import Budget, StopReason
 from repro.engine.config import EngineConfig
@@ -46,7 +59,12 @@ from repro.engine.events import (
     StepEvent,
 )
 from repro.engine.results import ExecutionResult, ExecutionStats
-from repro.engine.strategy import SearchStrategy, StrategySpec, make_strategy
+from repro.engine.strategy import (
+    DFSStrategy,
+    SearchStrategy,
+    StrategySpec,
+    make_strategy,
+)
 from repro.gil.semantics import (
     Config,
     Final,
@@ -56,6 +74,33 @@ from repro.gil.semantics import (
 )
 from repro.gil.syntax import Prog
 from repro.logic.solver import UnknownAbort
+
+_VANISH = OutcomeKind.VANISH
+
+
+@contextmanager
+def _batched_gc(threshold: int):
+    """Raise the gen-0 collector threshold around a drive loop.
+
+    Exploration allocates short-lived objects fast enough that CPython's
+    default gen-0 threshold collects hundreds of times per run, a
+    double-digit share of wall time.  Collection stays *enabled* (peak
+    memory remains bounded); only the batch size grows.  Reentrant:
+    a nested drive (e.g. counter-model replay inside a test) sees the
+    already-raised threshold and leaves it alone.
+    """
+    if threshold <= 0 or not gc.isenabled():
+        yield
+        return
+    prev = gc.get_threshold()
+    if prev[0] >= threshold:
+        yield
+        return
+    gc.set_threshold(threshold, prev[1], prev[2])
+    try:
+        yield
+    finally:
+        gc.set_threshold(*prev)
 
 
 class Explorer:
@@ -100,6 +145,16 @@ class Explorer:
             if injector is not None:
                 install_faults(self.sm, injector)
                 self.faults = injector
+        # Lower the program to pre-resolved step closures when the config
+        # asks for it and the state model is one the compiler covers
+        # (fault installation above happens first: compiled closures bind
+        # state-model methods, which read the injected hooks dynamically).
+        self._compiled = None
+        if getattr(self.config, "compiled", True):
+            from repro.gil.compile import compile_prog, supports
+
+            if supports(self.sm):
+                self._compiled = compile_prog(prog, self.sm)
 
     def run(
         self,
@@ -125,47 +180,75 @@ class Explorer:
         spec = self.strategy if self.strategy is not None else self.config.strategy
         return make_strategy(spec, seed=self.config.random_seed)
 
-    def explore(
+    def _drive(
         self,
-        configs: List[Config],
-        depths: Optional[Sequence[int]] = None,
-    ) -> ExecutionResult:
-        """Drive every configuration to a final under budget and strategy.
+        strategy: SearchStrategy,
+        stats: ExecutionStats,
+        finals: List[Final],
+        start: float,
+        frontier_target: Optional[int],
+    ) -> Tuple[List[tuple], Optional[StopReason]]:
+        """The scheduler loop shared by :meth:`explore` (``frontier_target``
+        None: run to completion) and :meth:`explore_frontier` (stop once the
+        worklist holds that many pending items and hand them back).
 
-        ``depths`` optionally gives the starting depth of each config —
-        parallel-explorer shards resume mid-path, so their loop-unrolling
-        bound must keep counting from where the seeding phase stopped.
+        Returns ``(frontier_items, stop_reason)`` — items empty unless a
+        frontier was cut, stop None unless a bound fired.
         """
-        stats = ExecutionStats()
-        strategy = self._make_strategy()
         budget = self.budget
         bus = self.events  # truthy only when subscribers are attached
-        solver = getattr(self.sm, "solver", None)
-        solver_stats = solver.stats if solver is not None else None
-        degradation = getattr(self.sm, "degradation", None)
+        prog = self.prog
+        sm = self.sm
+        solver_stats = getattr(getattr(sm, "solver", None), "stats", None)
+        degradation = getattr(sm, "degradation", None)
         faults = self.faults
-        # Route this run's solver queries onto our bus (restored on exit:
-        # nested or interleaved explorers over a shared solver each see
-        # their own wiring).
-        prev_solver_events = None
-        if solver is not None and bus is not None:
-            prev_solver_events = solver.events
-            solver.events = bus
+        compiled = self._compiled
+        compiled_step = compiled.step if compiled is not None else None
+        fast0 = compiled.fast_steps if compiled is not None else 0
+        # The deadline is the only bound needing wall clock; without one,
+        # Budget.decide ignores ``elapsed`` and the loop skips the read.
+        timed = budget.deadline is not None
+        perf = time.perf_counter
+        # Inline continuation is a DFS-only identity: the sole successor
+        # of a non-branching step is exactly what a push would pop next.
+        inline = frontier_target is None and type(strategy) is DFSStrategy
 
-        start = time.perf_counter()
-        finals: List[Final] = []
+        items: List[tuple] = []
+        stop: Optional[StopReason] = None
+        item: Optional[tuple] = None
+        # Solver work and unknown-policy degradations are attributed to
+        # this drive as one start/end delta: the counters are additive,
+        # so folding them once at loop exit equals folding them per step,
+        # at none of the per-step snapshot cost.  The ``finally`` makes
+        # the flush cover every exit, including UnknownAbort.
+        ss = solver_stats
+        if ss is not None:
+            s0 = (
+                ss.queries, ss.cache_hits, ss.prefix_hits,
+                ss.model_reuse_hits, ss.solve_time, ss.timeouts,
+                ss.split_time, ss.propagation_time, ss.search_time,
+            )
+        if degradation is not None:
+            d0p = degradation.unknown_pruned
+            d0a = degradation.unknown_assumed
         try:
-            for i, cfg in enumerate(configs):
-                strategy.push((cfg, depths[i] if depths is not None else 0))
-            stop = StopReason.EXHAUSTED
-            while len(strategy):
-                cfg, depth = strategy.pop()
+            while True:
+                if item is None:
+                    pending = len(strategy)
+                    if not pending:
+                        break
+                    if frontier_target is not None and pending >= frontier_target:
+                        items = [strategy.pop() for _ in range(pending)]
+                        break
+                    item = strategy.pop()
+                cfg, depth = item
+                item = None
                 # The one budget checkpoint of the loop.
                 decision = budget.decide(
                     stats,
                     depth=depth,
                     pending=len(strategy),
-                    elapsed=time.perf_counter() - start,
+                    elapsed=perf() - start if timed else 0.0,
                 )
                 if decision.stop is not None:
                     stats.paths_dropped += 1 + len(strategy)
@@ -179,30 +262,19 @@ class Explorer:
                         stop = StopReason.MAX_PATHS
                     continue
 
-                # Attribute solver work step-by-step, so interleaved
-                # explorers over a shared state model stay accurate.
-                snap = solver_stats.snapshot() if solver_stats is not None else None
-                dsnap = degradation.snapshot() if degradation is not None else None
                 if faults is not None:
                     faults.on_step()
                 try:
-                    successors, finished = step(self.prog, self.sm, cfg)
+                    if compiled_step is not None:
+                        successors, finished = compiled_step(cfg)
+                    else:
+                        successors, finished = step(prog, sm, cfg)
                 except UnknownAbort:
                     stats.commands_executed += 1
-                    if snap is not None:
-                        stats.add_solver_delta(solver_stats.delta(snap))
                     stats.paths_dropped += 1 + len(strategy)
                     stop = StopReason.UNKNOWN_ABORT
                     break
                 stats.commands_executed += 1
-                if snap is not None:
-                    stats.add_solver_delta(solver_stats.delta(snap))
-                if dsnap is not None:
-                    now = degradation.snapshot()
-                    if now != dsnap:
-                        stats.add_degradation_delta(
-                            now[0] - dsnap[0], now[1] - dsnap[1]
-                        )
 
                 if bus:
                     bus.emit(
@@ -215,17 +287,90 @@ class Explorer:
                         bus.emit(
                             BranchEvent(cfg.proc, cfg.idx, depth, len(successors))
                         )
-                for fin in finished:
-                    if fin.kind is OutcomeKind.VANISH:
-                        stats.paths_vanished += 1
-                    else:
-                        stats.paths_finished += 1
-                        finals.append(fin)
-                    if bus:
-                        bus.emit(PathEndEvent(fin.kind.name, depth, fin.value))
+                if finished:
+                    for fin in finished:
+                        if fin.kind is _VANISH:
+                            stats.paths_vanished += 1
+                        else:
+                            stats.paths_finished += 1
+                            finals.append(fin)
+                        if bus:
+                            bus.emit(PathEndEvent(fin.kind.name, depth, fin.value))
+                elif inline and len(successors) == 1:
+                    item = (successors[0], depth + 1)
+                    continue
                 for succ in successors:
                     strategy.push((succ, depth + 1))
-            stats.stop_reason = stop.value
+        finally:
+            if compiled is not None:
+                stats.fast_lane_steps += compiled.fast_steps - fast0
+            if ss is not None:
+                self._flush_solver(stats, ss, s0)
+            if degradation is not None:
+                d1p = degradation.unknown_pruned
+                d1a = degradation.unknown_assumed
+                if d1p != d0p or d1a != d0a:
+                    stats.add_degradation_delta(d1p - d0p, d1a - d0a)
+        return items, stop
+
+    @staticmethod
+    def _flush_solver(stats: ExecutionStats, ss, s0) -> None:
+        """Fold the solver-counter movement since ``s0`` into ``stats``
+        (the raw-tuple equivalent of ``add_solver_delta``)."""
+        s1 = (
+            ss.queries, ss.cache_hits, ss.prefix_hits,
+            ss.model_reuse_hits, ss.solve_time, ss.timeouts,
+            ss.split_time, ss.propagation_time, ss.search_time,
+        )
+        if s1 == s0:
+            return
+        stats.solver_queries += s1[0] - s0[0]
+        stats.solver_cache_hits += s1[1] - s0[1]
+        stats.solver_prefix_hits += s1[2] - s0[2]
+        stats.solver_model_reuse += s1[3] - s0[3]
+        stats.solver_time += s1[4] - s0[4]
+        stats.incompleteness.solver_timeouts += s1[5] - s0[5]
+        for name, seconds in (
+            ("solver/split", s1[6] - s0[6]),
+            ("solver/propagation", s1[7] - s0[7]),
+            ("solver/search", s1[8] - s0[8]),
+        ):
+            if seconds:
+                stats.phase_times[name] = (
+                    stats.phase_times.get(name, 0.0) + seconds
+                )
+
+    def explore(
+        self,
+        configs: List[Config],
+        depths: Optional[Sequence[int]] = None,
+    ) -> ExecutionResult:
+        """Drive every configuration to a final under budget and strategy.
+
+        ``depths`` optionally gives the starting depth of each config —
+        parallel-explorer shards resume mid-path, so their loop-unrolling
+        bound must keep counting from where the seeding phase stopped.
+        """
+        stats = ExecutionStats()
+        strategy = self._make_strategy()
+        bus = self.events
+        solver = getattr(self.sm, "solver", None)
+        # Route this run's solver queries onto our bus (restored on exit:
+        # nested or interleaved explorers over a shared solver each see
+        # their own wiring).
+        prev_solver_events = None
+        if solver is not None and bus is not None:
+            prev_solver_events = solver.events
+            solver.events = bus
+
+        start = time.perf_counter()
+        finals: List[Final] = []
+        try:
+            for i, cfg in enumerate(configs):
+                strategy.push((cfg, depths[i] if depths is not None else 0))
+            with _batched_gc(getattr(self.config, "gc_batch", 0)):
+                _, stop = self._drive(strategy, stats, finals, start, None)
+            stats.stop_reason = (stop or StopReason.EXHAUSTED).value
         finally:
             if solver is not None and bus is not None:
                 solver.events = prev_solver_events
@@ -261,12 +406,8 @@ class Explorer:
 
         stats = ExecutionStats()
         strategy = BFSStrategy()
-        budget = self.budget
         bus = self.events
         solver = getattr(self.sm, "solver", None)
-        solver_stats = solver.stats if solver is not None else None
-        degradation = getattr(self.sm, "degradation", None)
-        faults = self.faults
         prev_solver_events = None
         if solver is not None and bus is not None:
             prev_solver_events = solver.events
@@ -274,78 +415,13 @@ class Explorer:
 
         start = time.perf_counter()
         finals: List[Final] = []
-        items: List[tuple] = []
-        stop: Optional[StopReason] = None
         try:
             for cfg in configs:
                 strategy.push((cfg, 0))
-            while len(strategy):
-                if len(strategy) >= target:
-                    items = [strategy.pop() for _ in range(len(strategy))]
-                    break
-                cfg, depth = strategy.pop()
-                decision = budget.decide(
-                    stats,
-                    depth=depth,
-                    pending=len(strategy),
-                    elapsed=time.perf_counter() - start,
+            with _batched_gc(getattr(self.config, "gc_batch", 0)):
+                items, stop = self._drive(
+                    strategy, stats, finals, start, target
                 )
-                if decision.stop is not None:
-                    stats.paths_dropped += 1 + len(strategy)
-                    stop = decision.stop
-                    break
-                if decision.evict:
-                    stats.paths_dropped += len(strategy.evict(decision.evict))
-                if decision.drop_path:
-                    stats.paths_dropped += 1
-                    if decision.cap_hit and not len(strategy):
-                        stop = StopReason.MAX_PATHS
-                    continue
-
-                snap = solver_stats.snapshot() if solver_stats is not None else None
-                dsnap = degradation.snapshot() if degradation is not None else None
-                if faults is not None:
-                    faults.on_step()
-                try:
-                    successors, finished = step(self.prog, self.sm, cfg)
-                except UnknownAbort:
-                    stats.commands_executed += 1
-                    if snap is not None:
-                        stats.add_solver_delta(solver_stats.delta(snap))
-                    stats.paths_dropped += 1 + len(strategy)
-                    stop = StopReason.UNKNOWN_ABORT
-                    break
-                stats.commands_executed += 1
-                if snap is not None:
-                    stats.add_solver_delta(solver_stats.delta(snap))
-                if dsnap is not None:
-                    now = degradation.snapshot()
-                    if now != dsnap:
-                        stats.add_degradation_delta(
-                            now[0] - dsnap[0], now[1] - dsnap[1]
-                        )
-
-                if bus:
-                    bus.emit(
-                        StepEvent(
-                            cfg.proc, cfg.idx, depth,
-                            len(successors), len(finished),
-                        )
-                    )
-                    if len(successors) > 1:
-                        bus.emit(
-                            BranchEvent(cfg.proc, cfg.idx, depth, len(successors))
-                        )
-                for fin in finished:
-                    if fin.kind is OutcomeKind.VANISH:
-                        stats.paths_vanished += 1
-                    else:
-                        stats.paths_finished += 1
-                        finals.append(fin)
-                    if bus:
-                        bus.emit(PathEndEvent(fin.kind.name, depth, fin.value))
-                for succ in successors:
-                    strategy.push((succ, depth + 1))
             if not items:
                 # The run either drained (exhausted) or a bound fired.
                 stats.stop_reason = (stop or StopReason.EXHAUSTED).value

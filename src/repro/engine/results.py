@@ -131,6 +131,11 @@ class ExecutionStats:
     """Counters for one engine run; the benchmark tables report these."""
 
     commands_executed: int = 0
+    #: commands that executed through the compiled concrete fast lane
+    #: (every program variable the command reads holds a literal; see
+    #: :mod:`repro.gil.compile`) — a subset of ``commands_executed``.
+    #: Zero under the tree-walking interpreter
+    fast_lane_steps: int = 0
     paths_finished: int = 0
     paths_vanished: int = 0
     paths_dropped: int = 0
@@ -156,6 +161,7 @@ class ExecutionStats:
 
     def merge(self, other: "ExecutionStats") -> None:
         self.commands_executed += other.commands_executed
+        self.fast_lane_steps += other.fast_lane_steps
         self.paths_finished += other.paths_finished
         self.paths_vanished += other.paths_vanished
         self.paths_dropped += other.paths_dropped

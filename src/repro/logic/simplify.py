@@ -356,3 +356,23 @@ DEFAULT_SIMPLIFIER = Simplifier()
 def simplify(e: Expr) -> Expr:
     """Simplify with the module-level default simplifier."""
     return DEFAULT_SIMPLIFIER.simplify(e)
+
+
+_SHARED: dict = {(True, True): DEFAULT_SIMPLIFIER}
+
+
+def shared_simplifier(enabled: bool = True, memoise: bool = True) -> Simplifier:
+    """The process-wide simplifier of one ``(enabled, memoise)`` flavour.
+
+    Simplification is pure, so callers that would otherwise build a
+    private instance (one solver per test, say) get bit-identical
+    results from the shared one — with the memo warm across calls
+    instead of rebuilt from nothing each time.  Hash-consed expressions
+    make the memo safe to grow without bound: entries are small and keys
+    are interned nodes that live forever anyway.
+    """
+    key = (enabled, memoise)
+    found = _SHARED.get(key)
+    if found is None:
+        found = _SHARED[key] = Simplifier(enabled=enabled, memoise=memoise)
+    return found

@@ -152,6 +152,12 @@ class SolverStats:
     incremental_solves: int = 0
     #: extensions that fell back to the monolithic pipeline
     monolithic_solves: int = 0
+    #: :meth:`Solver.check_batch` invocations (sibling branch points
+    #: decided in one pass).  Deliberately *not* part of
+    #: :class:`SolverSnapshot`: how queries are grouped into batches
+    #: depends on frontier partitioning, so folding it into per-run
+    #: attribution would break worker-count invariance of merged stats.
+    batch_calls: int = 0
     #: total wall time spent inside solve entry points, seconds
     solve_time: float = 0.0
     #: queries that exhausted the per-query step budget (or hit an
@@ -317,6 +323,19 @@ class Solver:
         self._contexts: Dict[int, SolverContext] = {}
         #: prefix contexts by (parent context uid, added conjunct tuple)
         self._prefix_cache: Dict[tuple, SolverContext] = {}
+        #: solved extensions by (parent context uid, *normalized* delta
+        #: tuple).  The raw prefix cache above keys on the syntactic
+        #: ``pc.added`` tuple, so two branch points phrasing an equal
+        #: extension differently — a guard vs its simplified form, one
+        #: conjoined ``∧`` vs two conjuncts, re-assertion of something
+        #: the prefix already holds — miss it and re-solve.  Keying on
+        #: the delta *after* simplification/flattening/dedup catches
+        #: exactly those; parent identity plus normalized delta fully
+        #: determines the context (norm, theory state, verdict), so a
+        #: hit returns it wholesale.  Hits count as ``cache_hits``: this
+        #: is the exact-result cache tier, now keyed where duplicates
+        #: actually arise instead of on whole-conjunction permutations
+        self._delta_cache: Dict[tuple, SolverContext] = {}
         self._root_context = SolverContext(
             uid=0,
             result=SatResult.SAT,
@@ -399,6 +418,44 @@ class Solver:
         self.last_timed_out = result is SatResult.UNKNOWN and self._timed_out
         return result
 
+    def check_batch(
+        self, pcs: Sequence[Union[PathCondition, Iterable[Expr]]]
+    ) -> List[Tuple[SatResult, bool]]:
+        """Feasibility of N sibling path conditions from one branch point.
+
+        Every element of ``pcs`` extends the same parent (the branching
+        state's path condition), so the shared parent prefix is resolved
+        once up front and each sibling is then decided as a single delta
+        extension of that context — one incremental pass over the branch
+        point instead of N independent chain walks.
+
+        Attribution is identical to N sequential :meth:`check` calls:
+        each sibling emits its own ``SolverQueryEvent``, lands in the
+        same stats tiers, and consumes fault/budget state in the same
+        order.  The shared parent resolution neither emits events nor
+        counts a prefix hit (matching the silent ancestor rebuilds of
+        :meth:`_ensure_context`), so merged counters stay invariant in
+        both batching and worker count.
+
+        Returns ``(verdict, timed_out)`` per sibling; the flag carries
+        the per-query provenance that :attr:`last_timed_out` would hold
+        right after the corresponding sequential check.
+        """
+        if not pcs:
+            return []
+        self.stats.batch_calls += 1
+        if self.incremental:
+            for pc in pcs:
+                if isinstance(pc, PathCondition) and pc.parent is not None:
+                    if pc.parent.uid not in self._contexts:
+                        self._ensure_context(pc.parent, emit=False)
+                    break
+        out: List[Tuple[SatResult, bool]] = []
+        for pc in pcs:
+            verdict = self.check(pc)
+            out.append((verdict, self.last_timed_out))
+        return out
+
     def is_sat(self, pc: Union[PathCondition, Iterable[Expr]]) -> bool:
         """Over-approximate satisfiability: UNKNOWN counts as SAT.
 
@@ -480,12 +537,19 @@ class Solver:
 
     # -- incremental prefix contexts ----------------------------------------
 
-    def _ensure_context(self, pc: PathCondition) -> SolverContext:
-        """The solved context of ``pc``, building missing ancestors first."""
+    def _ensure_context(
+        self, pc: PathCondition, emit: bool = True
+    ) -> SolverContext:
+        """The solved context of ``pc``, building missing ancestors first.
+
+        ``emit=False`` suppresses the requested node's own event too —
+        used when resolving a shared batch prefix, which must stay as
+        invisible as the silent ancestor rebuilds below.
+        """
         ctx = self._contexts.get(pc.uid)
         if ctx is not None:
             self.stats.prefix_hits += 1
-            if self.events:
+            if self.events and emit:
                 self._emit_query(ctx.result, len(ctx.norm), True, 0.0)
             return ctx
         # Walk up to the nearest solved ancestor (iterative: chains can be
@@ -510,7 +574,7 @@ class Solver:
         # that metric aggregation across worker counts relies on.  Their
         # work still lands in ``stats`` (queries, solve_time).
         for n in reversed(chain):
-            ctx = self._extend_context(ctx, n, emit=n is pc)
+            ctx = self._extend_context(ctx, n, emit=emit and n is pc)
         return ctx
 
     def _extend_context(
@@ -612,6 +676,46 @@ class Solver:
         if self._forced_timeout():
             return self._timeout_context(pc, norm, norm_set, None)
 
+        # 1b. Exact-delta cache: this normalized delta already solved
+        # under this same parent.  Probed after the forced-timeout check
+        # so fault injection consumes its query counter for every
+        # real-work query, cached or not (same rule the frozenset cache
+        # below follows); timeout contexts are never stored, so a hit
+        # can only replay a budget-independent verdict.
+        dkey: Optional[tuple] = None
+        if self.cache_enabled:
+            dkey = (parent.uid, tuple(delta))
+            hit = self._delta_cache.get(dkey)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                if hit.result is SatResult.SAT:
+                    self.stats.sat += 1
+                elif hit.result is SatResult.UNSAT:
+                    self.stats.unsat += 1
+                else:
+                    self.stats.unknown += 1
+                return hit
+
+        # Fast UNSAT: a delta conjunct whose negation is already in the
+        # conjunction is an immediate contradiction — the shape every
+        # re-branch on an already-decided guard produces (the path holds
+        # ``g``, the false arm asks about ``¬g``).  O(delta) set probes
+        # instead of a theory solve, and strictly more precise than the
+        # search pipeline, which can time out into UNKNOWN on the same
+        # pair.
+        for d in delta:
+            if type(d) is UnOpExpr and d.op is UnOp.NOT:
+                neg = d.operand
+            else:
+                neg = self.simplifier.simplify(UnOpExpr(UnOp.NOT, d))
+            if neg in norm_set:
+                self.stats.unsat += 1
+                self.stats.incremental_solves += 1
+                return self._finish_context(
+                    pc, SatResult.UNSAT, None, norm, norm_set,
+                    literals=None, cc=None, var_types=None, dkey=dkey,
+                )
+
         # 2. Extend the split-free theory state by the delta (cloned
         # union-find, merged type bindings).  ``None`` means the chain
         # needs case splitting and solves monolithically from here on.
@@ -622,7 +726,7 @@ class Solver:
             self.stats.incremental_solves += 1
             return self._finish_context(
                 pc, SatResult.UNSAT, None, norm, norm_set,
-                literals=None, cc=None, var_types=None,
+                literals=None, cc=None, var_types=None, dkey=dkey,
             )
 
         # 3. Permutations of an already-solved conjunct set hit the
@@ -633,7 +737,9 @@ class Solver:
             if cached is not None:
                 self.stats.cache_hits += 1
                 result, model = cached
-                return self._record_result(pc, result, model, norm, norm_set, theory)
+                return self._record_result(
+                    pc, result, model, norm, norm_set, theory, dkey=dkey
+                )
 
         # 4. Model reuse: if the parent's verified model also satisfies the
         # delta (extending it over fresh variables), the child is SAT.
@@ -644,6 +750,7 @@ class Solver:
             return self._finish_context(
                 pc, SatResult.SAT, model, norm, norm_set,
                 *(theory[:3] if theory is not None else (None, None, None)),
+                dkey=dkey,
             )
 
         # 5. Solve: delta pipeline over the combined literal list when the
@@ -671,19 +778,24 @@ class Solver:
         return self._finish_context(
             pc, result, model, norm, norm_set,
             *(theory[:3] if theory is not None else (None, None, None)),
+            dkey=dkey,
         )
 
     def _finish_context(
-        self, pc, result, model, norm, norm_set, literals, cc, var_types
+        self, pc, result, model, norm, norm_set, literals, cc, var_types,
+        dkey=None,
     ) -> SolverContext:
         if self.cache_enabled:
             self._cache[frozenset(norm)] = (result, model)
-        return SolverContext(
+        ctx = SolverContext(
             uid=pc.uid, result=result, model=model, norm=norm,
             norm_set=norm_set, literals=literals, cc=cc, var_types=var_types,
         )
+        if dkey is not None:
+            self._delta_cache[dkey] = ctx
+        return ctx
 
-    def _record_result(self, pc, result, model, norm, norm_set, theory):
+    def _record_result(self, pc, result, model, norm, norm_set, theory, dkey=None):
         if result is SatResult.SAT:
             self.stats.sat += 1
         elif result is SatResult.UNSAT:
@@ -693,7 +805,7 @@ class Solver:
         literals, cc, var_types = (
             theory[:3] if theory is not None else (None, None, None)
         )
-        return SolverContext(
+        ctx = SolverContext(
             uid=pc.uid, result=result, model=model, norm=norm,
             norm_set=norm_set, literals=literals, cc=cc, var_types=var_types,
             timed_out=(
@@ -701,6 +813,9 @@ class Solver:
                 and frozenset(norm) in self._timeout_keys
             ),
         )
+        if dkey is not None and not ctx.timed_out:
+            self._delta_cache[dkey] = ctx
+        return ctx
 
     def _extend_theory(self, parent: SolverContext, delta: List[Expr]):
         """Extend the parent's theory state by the delta conjuncts.

@@ -166,6 +166,20 @@ class SymbolicStateModel:
         counters.
         """
         verdict = self.solver.check(pc)
+        return self._admit_verdict(pc, verdict, self.solver.last_timed_out)
+
+    def _admit_verdict(
+        self, pc: PathCondition, verdict: SatResult, timed_out: bool
+    ) -> bool:
+        """Fold one already-obtained verdict through the UNKNOWN policy.
+
+        The batched admission sites (:meth:`branch_on`,
+        :meth:`execute_action`) obtain sibling verdicts in a single
+        :meth:`~repro.logic.solver.Solver.check_batch` pass and apply the
+        policy per sibling here; ``timed_out`` carries the per-query
+        provenance that ``solver.last_timed_out`` holds in the
+        sequential flow.
+        """
         if verdict is SatResult.SAT:
             return True
         if verdict is SatResult.UNSAT:
@@ -178,7 +192,7 @@ class SymbolicStateModel:
                 f"feasibility UNKNOWN for {len(pc)}-conjunct path condition "
                 f"under unknown_policy='abort'"
             )
-        if self.solver.last_timed_out:
+        if timed_out:
             self.degradation.unknown_assumed += 1
         return True
 
@@ -230,14 +244,37 @@ class SymbolicStateModel:
         self, state: SymbolicState, cond: Expr
     ) -> List[Tuple[SymbolicState, bool]]:
         """The two conditional-goto rules: branch when both π ∧ ê and
-        π ∧ ¬ê are satisfiable (paper §2.3, [Assume] discussion)."""
-        out: List[Tuple[SymbolicState, bool]] = []
+        π ∧ ¬ê are satisfiable (paper §2.3, [Assume] discussion).
+
+        The two arms are siblings of one branch point, so their
+        feasibility is decided in a single
+        :meth:`~repro.logic.solver.Solver.check_batch` pass that
+        resolves the parent prefix once and solves each guard as a
+        delta against the shared context.
+        """
+        arms: List[Tuple[bool, Optional[PathCondition]]] = []
+        pending: List[PathCondition] = []
         for taken, guard in (
             (True, cond),
             (False, UnOpExpr(UnOp.NOT, cond)),
         ):
-            for st in self.assume(state, guard):
-                out.append((st, taken))
+            g = self.simplifier.simplify(guard)
+            if g == Lit(False):
+                continue
+            pc = state.pc.conjoin(g)
+            if pc is not state.pc:
+                pending.append(pc)
+            arms.append((taken, pc))
+        verdicts = iter(self.solver.check_batch(pending))
+        out: List[Tuple[SymbolicState, bool]] = []
+        for taken, pc in arms:
+            if pc is state.pc:
+                # No new conjuncts: π ∧ ê ≡ π, already admitted.
+                out.append((state, taken))
+            else:
+                verdict, timed_out = next(verdicts)
+                if self._admit_verdict(pc, verdict, timed_out):
+                    out.append((state.with_pc(pc), taken))
         return out
 
     def fresh_usym(self, state: SymbolicState, site: int):
@@ -257,23 +294,35 @@ class SymbolicStateModel:
         self, state: SymbolicState, action: str, arg: Expr
     ) -> List:
         """Lift symbolic memory branches, conjoining learned conditions and
-        discarding unsatisfiable branches (paper Def. 2.6, [Action])."""
-        out = []
+        discarding unsatisfiable branches (paper Def. 2.6, [Action]).
+
+        The branches of one action are siblings of one branch point, so
+        their learned-condition feasibilities are decided in a single
+        :meth:`~repro.logic.solver.Solver.check_batch` pass, like
+        :meth:`branch_on`.
+        """
         branches = self.memory_model.execute(
             action, state.memory, arg, state.pc, self.solver
         )
+        staged = []
+        pending: List[PathCondition] = []
         for branch in branches:
-            if isinstance(branch, SymMemOk):
-                pc = state.pc.conjoin_all(branch.learned)
-                if pc is not state.pc and not self._admit(pc):
+            if not isinstance(branch, (SymMemOk, SymMemErr)):  # pragma: no cover
+                raise TypeError(f"bad symbolic branch {branch!r}")
+            pc = state.pc.conjoin_all(branch.learned)
+            if pc is not state.pc:
+                pending.append(pc)
+            staged.append((branch, pc))
+        verdicts = iter(self.solver.check_batch(pending))
+        out = []
+        for branch, pc in staged:
+            if pc is not state.pc:
+                verdict, timed_out = next(verdicts)
+                if not self._admit_verdict(pc, verdict, timed_out):
                     continue
+            if isinstance(branch, SymMemOk):
                 new_state = SymbolicState(branch.memory, state.store, state.alloc, pc)
                 out.append(StateOk(new_state, branch.expr))
-            elif isinstance(branch, SymMemErr):
-                pc = state.pc.conjoin_all(branch.learned)
-                if pc is not state.pc and not self._admit(pc):
-                    continue
+            else:
                 out.append(StateErr(state.with_pc(pc), branch.expr))
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"bad symbolic branch {branch!r}")
         return out

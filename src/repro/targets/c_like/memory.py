@@ -369,6 +369,38 @@ class SymCMemory:
     def as_dict(self) -> Dict[Symbol, SymBlock]:
         return dict(self.blocks)
 
+    def index(self) -> Dict[Symbol, SymBlock]:
+        """The block lookup dict, built once and cached on the instance.
+
+        Callers must treat it as read-only: the cache is shared between
+        every branch holding this (immutable) memory.  Updates go
+        through :meth:`with_block`, which never copies the dict.
+        """
+        d = self.__dict__.get("_index")
+        if d is None:
+            d = dict(self.blocks)
+            object.__setattr__(self, "_index", d)
+        return d
+
+    def with_block(self, loc: Symbol, block: SymBlock) -> "SymCMemory":
+        """This memory with ``loc`` bound to ``block`` (replace or
+        insert), preserving the sorted-tuple canonical form in one O(B)
+        pass — no intermediate dict, no re-sort."""
+        blocks = self.blocks
+        name = loc.name
+        for i, (s, _b) in enumerate(blocks):
+            if s == loc:
+                return SymCMemory(blocks[:i] + ((loc, block),) + blocks[i + 1:])
+            if s.name > name:
+                return SymCMemory(blocks[:i] + ((loc, block),) + blocks[i:])
+        return SymCMemory(blocks + ((loc, block),))
+
+    def __reduce__(self):
+        # Keep the cached lookup index off the wire: equal memories must
+        # pickle to equal payloads regardless of which instance has been
+        # read from.
+        return (SymCMemory, (self.blocks,))
+
     @staticmethod
     def of(blocks: Dict[Symbol, SymBlock]) -> "SymCMemory":
         return SymCMemory(tuple(sorted(blocks.items(), key=lambda kv: kv[0].name)))
@@ -398,7 +430,9 @@ class CSymbolicMemory(SymbolicMemoryModel):
             return [SymMemErr(_as_expr_list(exc.value))]
 
     def _execute(self, action: str, memory: SymCMemory, args, pc, solver) -> List:
-        blocks = memory.as_dict()
+        # Read-only lookup view, cached on the (immutable) memory; every
+        # update below builds a successor via ``with_block``.
+        blocks = memory.index()
 
         if action == "alloc":
             loc = _literal_symbol(args[0])
@@ -407,8 +441,9 @@ class CSymbolicMemory(SymbolicMemoryModel):
                 raise EvalError(f"alloc: block {loc!r} exists")
             if size <= 0:
                 raise CMemoryError(("invalid-allocation-size", size))
-            blocks[loc] = SymBlock.fresh(size)
-            return [SymMemOk(SymCMemory.of(blocks), lst(loc, 0))]
+            return [
+                SymMemOk(memory.with_block(loc, SymBlock.fresh(size)), lst(loc, 0))
+            ]
 
         if action == "free":
             loc, offset_expr = _pointer_parts(args[0])
@@ -424,11 +459,10 @@ class CSymbolicMemory(SymbolicMemoryModel):
                         SymMemErr(lst("free-of-interior-pointer", loc), learned)
                     )
                     continue
-                new_blocks = dict(blocks)
-                new_blocks[loc] = SymBlock(block.size, PERM_NONE, block.cells)
-                branches.append(
-                    SymMemOk(SymCMemory.of(new_blocks), Lit(True), learned)
+                freed = memory.with_block(
+                    loc, SymBlock(block.size, PERM_NONE, block.cells)
                 )
+                branches.append(SymMemOk(freed, Lit(True), learned))
             return branches
 
         if action == "load":
@@ -465,8 +499,10 @@ class CSymbolicMemory(SymbolicMemoryModel):
                 cells = list(dblock.cells)
                 for i in range(n):
                     cells[doff + i] = sblock.cells[soff + i]
-                blocks[dloc] = SymBlock(dblock.size, dblock.perm, tuple(cells))
-            return [SymMemOk(SymCMemory.of(blocks), args[0])]
+                memory = memory.with_block(
+                    dloc, SymBlock(dblock.size, dblock.perm, tuple(cells))
+                )
+            return [SymMemOk(memory, args[0])]
 
         if action == "memset":
             loc, off_e = _pointer_parts(args[0])
@@ -479,8 +515,10 @@ class CSymbolicMemory(SymbolicMemoryModel):
                 cells = list(block.cells)
                 for i in range(n):
                     cells[off + i] = (byte, 0, 1, "int8")
-                blocks[loc] = SymBlock(block.size, block.perm, tuple(cells))
-            return [SymMemOk(SymCMemory.of(blocks), args[0])]
+                memory = memory.with_block(
+                    loc, SymBlock(block.size, block.perm, tuple(cells))
+                )
+            return [SymMemOk(memory, args[0])]
 
         if action == "cmp_ptr":
             return self._cmp_ptr(memory, blocks, args, pc, solver)
@@ -525,11 +563,10 @@ class CSymbolicMemory(SymbolicMemoryModel):
                     )
                 )
             else:
-                new_blocks = dict(blocks)
-                new_blocks[loc] = _encode_sym(block, off, size, tag, stored)
-                branches.append(
-                    SymMemOk(SymCMemory.of(new_blocks), stored, learned)
+                written = memory.with_block(
+                    loc, _encode_sym(block, off, size, tag, stored)
                 )
+                branches.append(SymMemOk(written, stored, learned))
         return branches
 
     def _decode_branches(

@@ -226,6 +226,18 @@ class SymJSMemory:
     def as_dict(self) -> Dict[Expr, Optional[JSObjectS]]:
         return dict(self.objects)
 
+    def with_object(
+        self, loc: Expr, obj: Optional[JSObjectS]
+    ) -> "SymJSMemory":
+        """This heap with ``loc`` bound to ``obj`` (replace or append),
+        preserving insertion order exactly as a dict round-trip would —
+        in one O(B) pass with no intermediate dict."""
+        objects = self.objects
+        for i, (k, _v) in enumerate(objects):
+            if k == loc:
+                return SymJSMemory(objects[:i] + ((loc, obj),) + objects[i + 1:])
+        return SymJSMemory(objects + ((loc, obj),))
+
     @staticmethod
     def of(objects: Dict[Expr, Optional[JSObjectS]]) -> "SymJSMemory":
         return SymJSMemory(tuple(objects.items()))
@@ -245,11 +257,9 @@ class JSSymbolicMemory(SymbolicMemoryModel):
         args = _unpack_list(expr)
         if action == "initObj":
             loc, metadata = args
-            objects = memory.as_dict()
-            if loc in objects:
+            if any(k == loc for k, _v in memory.objects):
                 raise EvalError(f"initObj: location {loc!r} already allocated")
-            objects[loc] = JSObjectS(metadata)
-            return [SymMemOk(SymJSMemory.of(objects), loc)]
+            return [SymMemOk(memory.with_object(loc, JSObjectS(metadata)), loc)]
 
         loc = args[0]
         branches: List = []
@@ -304,9 +314,7 @@ class JSSymbolicMemory(SymbolicMemoryModel):
         self, action, memory, loc, obj: JSObjectS, args, learned0, pc, solver
     ) -> List:
         def update(new_obj: Optional[JSObjectS]) -> SymJSMemory:
-            objects = memory.as_dict()
-            objects[loc] = new_obj
-            return SymJSMemory.of(objects)
+            return memory.with_object(loc, new_obj)
 
         if action == "dispose":
             return [SymMemOk(update(None), Lit(True), learned0)]

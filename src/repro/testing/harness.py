@@ -24,7 +24,7 @@ from repro.gil.semantics import Final, OutcomeKind
 from repro.gil.syntax import Prog
 from repro.gil.values import Value
 from repro.logic.expr import Expr
-from repro.logic.simplify import Simplifier
+from repro.logic.simplify import shared_simplifier
 from repro.logic.solver import Solver
 from repro.state.allocator import ConcreteAllocator
 from repro.state.concrete import ConcreteStateModel
@@ -142,7 +142,10 @@ class SymbolicTester:
         )
 
     def make_solver(self) -> Solver:
-        simplifier = Simplifier(
+        # The shared per-flavour simplifier: pure, so results match a
+        # private instance exactly, but its memo stays warm across the
+        # suite's tests instead of being rebuilt for every entry point.
+        simplifier = shared_simplifier(
             enabled=True, memoise=self.config.simplifier_memoisation
         )
         return Solver(

@@ -15,6 +15,12 @@ every generated program is cross-checked two ways:
   run's, exercising the pickle layer (expression re-interning,
   path-condition re-linking, state serialization) on arbitrary program
   shapes rather than hand-picked ones;
+* **compiled vs interpreted** — the pre-compiled step closures
+  (:mod:`repro.gil.compile`) must produce the same multiset of finals
+  *and* the same non-timing stats (command counts, path tallies, solver
+  queries by cache tier, degradation ledger) as the tree-walking
+  interpreter, with and without fault injection: compilation may change
+  how fast a command runs, never what it does or what the solver sees;
 * **faulted vs fault-free** — the same programs run again under a
   seeded random :class:`FaultPlan` (worker kills by raise and by
   ``os._exit``, injected action errors).  A *transient* fault must be
@@ -276,6 +282,80 @@ def _finals_multiset(result):
     return sorted(final_sort_key(f) for f in result.finals)
 
 
+def _stats_key(stats):
+    """Every run counter except timing and the compiled-only fast-lane
+    tally — the fields the compiled pipeline must reproduce exactly."""
+    return (
+        stats.commands_executed,
+        stats.paths_finished,
+        stats.paths_vanished,
+        stats.paths_dropped,
+        stats.solver_queries,
+        stats.solver_cache_hits,
+        stats.solver_prefix_hits,
+        stats.solver_model_reuse,
+        stats.stop_reason,
+        stats.incompleteness,
+    )
+
+
+INTERP_CONFIG = dataclasses.replace(CONFIG, compiled=False)
+
+
+def assert_compiled_matches(seed: int) -> None:
+    """Compiled closures vs the tree-walking interpreter, bit for bit.
+
+    Both the multiset of finals *and* every non-timing stat (command
+    counts, path tallies, solver queries by cache tier, degradation
+    ledger) must be identical: the compiled pipeline may change how fast
+    a command executes, never what it does or what the solver is asked.
+    """
+    prog = generate_program(seed)
+    compiled = Explorer(
+        prog, SymbolicStateModel(WhileSymbolicMemory()), CONFIG
+    ).run("main")
+    interp = Explorer(
+        prog, SymbolicStateModel(WhileSymbolicMemory()), INTERP_CONFIG
+    ).run("main")
+    assert interp.stats.fast_lane_steps == 0, f"seed {seed}"
+    assert _finals_multiset(compiled) == _finals_multiset(interp), (
+        f"seed {seed}: compiled finals differ from interpreted\n"
+        f"program:\n{prog!r}"
+    )
+    assert _stats_key(compiled.stats) == _stats_key(interp.stats), (
+        f"seed {seed}: compiled stats diverge from interpreted\n"
+        f"compiled: {_stats_key(compiled.stats)}\n"
+        f"interp:   {_stats_key(interp.stats)}\nprogram:\n{prog!r}"
+    )
+
+
+def assert_compiled_matches_under_faults(seed: int) -> None:
+    """The compiled/interpreted identity must survive fault injection.
+
+    The same seeded fault plan is run through both pipelines: injected
+    action errors and worker kills trigger at the same steps either way
+    (the compiled path executes the same command sequence), so recovery
+    must land on the same finals and the same merged counters.
+    """
+    prog = generate_program(seed)
+    plan = FaultPlan.random(seed, workers=2, max_step=12, kinds=EXACT_FAULT_KINDS)
+    runs = {}
+    for label, base in (("compiled", CONFIG), (" interp ", INTERP_CONFIG)):
+        cfg = dataclasses.replace(base, fault_plan=plan, shard_retry_backoff=0.0)
+        runs[label] = _parallel_run(prog, cfg)
+    compiled, interp = runs["compiled"], runs[" interp "]
+    assert _finals_multiset(compiled) == _finals_multiset(interp), (
+        f"seed {seed}: compiled finals differ from interpreted under "
+        f"faults\nplan: {plan!r}\nprogram:\n{prog!r}"
+    )
+    assert _stats_key(compiled.stats) == _stats_key(interp.stats), (
+        f"seed {seed}: compiled stats diverge under faults\n"
+        f"compiled: {_stats_key(compiled.stats)}\n"
+        f"interp:   {_stats_key(interp.stats)}\n"
+        f"plan: {plan!r}\nprogram:\n{prog!r}"
+    )
+
+
 def _parallel_run(prog, config):
     return ParallelExplorer(
         prog, SymbolicStateModel(WhileSymbolicMemory()), config,
@@ -376,6 +456,10 @@ class TestDifferentialFuzz:
     def test_parallel_vs_sequential(self, seed):
         assert_parallel_matches(seed)
 
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_compiled_vs_interpreted(self, seed):
+        assert_compiled_matches(seed)
+
 
 class TestFaultInjectionFuzz:
     """The fault-injecting arm (``make fuzz-faults`` runs just this)."""
@@ -387,6 +471,10 @@ class TestFaultInjectionFuzz:
     @pytest.mark.parametrize("seed", list(QUICK_SEEDS)[3::12])
     def test_permanent_fault_accounts_exactly(self, seed):
         assert_incompleteness_accounts_exactly(seed)
+
+    @pytest.mark.parametrize("seed", list(QUICK_SEEDS)[1::6])
+    def test_compiled_vs_interpreted_under_faults(self, seed):
+        assert_compiled_matches_under_faults(seed)
 
 
 @pytest.mark.slow
@@ -408,3 +496,11 @@ class TestDifferentialFuzzLong:
     @pytest.mark.parametrize("seed", list(LONG_SEEDS)[5::20])
     def test_permanent_fault_accounts_exactly_long(self, seed):
         assert_incompleteness_accounts_exactly(seed)
+
+    @pytest.mark.parametrize("seed", LONG_SEEDS)
+    def test_compiled_vs_interpreted_long(self, seed):
+        assert_compiled_matches(seed)
+
+    @pytest.mark.parametrize("seed", list(LONG_SEEDS)[7::16])
+    def test_compiled_vs_interpreted_under_faults_long(self, seed):
+        assert_compiled_matches_under_faults(seed)

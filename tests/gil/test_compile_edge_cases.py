@@ -1,0 +1,178 @@
+"""Concrete fast lane vs the symbolic evaluator on operator edge cases.
+
+The compiled pipeline's fast lane (:mod:`repro.gil.compile`) executes a
+command through the concrete evaluator (:func:`repro.gil.ops.evaluate`)
+whenever every program variable it reads holds a literal, skipping
+``logic/`` entirely.  That is only sound under a one-directional
+contract with the symbolic route (simplify ∘ substitute, what the
+interpreter's ``eval_expr`` computes on the same literal store): when
+the concrete evaluator *succeeds*, the symbolic route must produce the
+same literal with the same runtime type; when it raises ``EvalError``
+the fast lane bails and replays through the slow path, so the symbolic
+answer ships either way.  The awkward corners exercised:
+
+* division and modulo by zero (a bail, then an error or residual from
+  the slow path — never a crash, never a fabricated value);
+* exact-integer division results (``10/2`` is ``5``, not ``5.0``);
+* short-circuit ``and``/``or`` (a false left arm must hide an erroring
+  right arm, matching the simplifier's annihilator rules);
+* mixed-type comparisons (number/string orderings error, ``==`` never
+  does, booleans are not numbers, ``10 == 10.0`` holds).
+
+Every case is checked twice: at the expression level (``evaluate`` vs
+simplified substitution) and end-to-end (a compiled symbolic run whose
+store is all literals — so the fast lane fires — against the
+tree-walking interpreter, finals compared exactly).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.explorer import Explorer
+from repro.engine.results import final_sort_key
+from repro.gil.ops import EvalError, evaluate
+from repro.gil.syntax import Assignment, Proc, Prog, Return
+from repro.logic.expr import (
+    BinOp,
+    BinOpExpr,
+    Expr,
+    Lit,
+    PVar,
+    substitute_pvars,
+)
+from repro.logic.simplify import Simplifier
+from repro.state.symbolic import SymbolicStateModel
+from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+COMPILED = EngineConfig()
+INTERP = dataclasses.replace(COMPILED, compiled=False)
+
+#: the literal store every case runs under — one binding per type so
+#: expressions can read variables instead of folding to constants at
+#: compile time (a PVar-free expression never exercises the fast lane's
+#: runtime evaluator)
+STORE = {
+    "n": Lit(10),
+    "z": Lit(0),
+    "f": Lit(2.5),
+    "s": Lit("abc"),
+    "t": Lit(True),
+    "nil": Lit(False),
+}
+
+
+def _div(a: Expr, b: Expr) -> Expr:
+    return BinOpExpr(BinOp.DIV, a, b)
+
+
+def _mod(a: Expr, b: Expr) -> Expr:
+    return BinOpExpr(BinOp.MOD, a, b)
+
+
+n, z, f, s, t, nil = (PVar(name) for name in ("n", "z", "f", "s", "t", "nil"))
+
+#: (label, expression) — every operator corner the fast lane must match
+EDGE_CASES = [
+    ("div-by-zero", _div(n, z)),
+    ("mod-by-zero", _mod(n, z)),
+    ("div-exact-int", _div(n, Lit(2))),
+    ("div-inexact", _div(Lit(7), Lit(2)).eq(Lit(3.5))),
+    ("div-float", _div(f, Lit(0.5))),
+    ("mod-negative", _mod(Lit(-7), Lit(3))),
+    ("and-short-circuit-hides-error", nil.and_(_div(n, z).lt(Lit(1)))),
+    ("or-short-circuit-hides-error", t.or_(_div(n, z).lt(Lit(1)))),
+    ("and-right-error-surfaces", t.and_(_div(n, z).lt(Lit(1)))),
+    ("and-non-bool-left", n.and_(t)),
+    ("lt-mixed-number-string", n.lt(s)),
+    ("lt-string-string", s.lt(Lit("abd"))),
+    ("lt-bool-is-not-number", t.lt(Lit(2))),
+    ("leq-int-float", n.leq(Lit(10.0))),
+    ("eq-mixed-types-is-false", n.eq(s)),
+    ("eq-int-float", n.eq(Lit(10.0))),
+    ("eq-bool-vs-int", t.eq(Lit(1))),
+]
+
+
+def symbolic_eval(e: Expr):
+    """The symbolic route on a literal store: simplify(subst(e))."""
+    return Simplifier().simplify(substitute_pvars(e, STORE))
+
+
+class TestEvaluatorAgreement:
+    """Expression level: concrete evaluate vs simplified substitution."""
+
+    @pytest.mark.parametrize(
+        "label,expr", EDGE_CASES, ids=[c[0] for c in EDGE_CASES]
+    )
+    def test_fast_and_symbolic_agree(self, label, expr):
+        env = {name: lit.value for name, lit in STORE.items()}
+        try:
+            concrete = evaluate(expr, pvar_env=env)
+        except EvalError:
+            concrete = EvalError
+        try:
+            sym = symbolic_eval(expr)
+        except TypeError:
+            sym = TypeError
+        if concrete is EvalError:
+            # The fast lane *bails* on EvalError and replays the command
+            # through the slow symbolic path, so a concrete rejection
+            # imposes no agreement obligation — the symbolic route may
+            # error (TypeError) or keep a residual expression; either
+            # way the slow path's answer is the one that ships.
+            return
+        # A concrete success is the dangerous direction: the fast lane
+        # commits to this value without consulting logic/, so the
+        # symbolic route must produce the same literal — never an error,
+        # never a residual, and with the exact runtime type (Lit
+        # equality coerces, Lit(1) == Lit(1.0)).
+        assert sym is not TypeError, (
+            f"{label}: fast lane returns {concrete!r}, symbolic raises"
+        )
+        assert sym == Lit(concrete), (
+            f"{label}: concrete={concrete!r} symbolic={sym!r}"
+        )
+        assert type(sym.value) is type(concrete), label
+
+
+def edge_prog(expr: Expr) -> Prog:
+    """``main`` binds the literal store, computes ``expr``, returns it."""
+    body = tuple(
+        Assignment(name, lit) for name, lit in STORE.items()
+    ) + (Assignment("out", expr), Return(PVar("out")))
+    prog = Prog()
+    prog.add(Proc("main", (), body))
+    return prog
+
+
+def run(prog: Prog, config: EngineConfig):
+    return Explorer(
+        prog, SymbolicStateModel(WhileSymbolicMemory()), config
+    ).run("main")
+
+
+class TestFastLaneEndToEnd:
+    """Whole-program level: compiled (fast lane firing) vs interpreter."""
+
+    @pytest.mark.parametrize(
+        "label,expr", EDGE_CASES, ids=[c[0] for c in EDGE_CASES]
+    )
+    def test_compiled_matches_interpreted(self, label, expr):
+        prog = edge_prog(expr)
+        compiled = run(prog, COMPILED)
+        interp = run(prog, INTERP)
+        assert sorted(final_sort_key(x) for x in compiled.finals) == sorted(
+            final_sort_key(x) for x in interp.finals
+        ), f"{label}: compiled finals differ"
+        assert compiled.stats.commands_executed == interp.stats.commands_executed
+        assert interp.stats.fast_lane_steps == 0
+
+    def test_fast_lane_actually_fires(self):
+        # The store is all literals, so the compiled run must take the
+        # fast lane for the assignments feeding it (erroring expressions
+        # bail to the slow path, which is the designed behaviour).
+        prog = edge_prog(n.leq(Lit(10.0)))
+        compiled = run(prog, COMPILED)
+        assert compiled.stats.fast_lane_steps > 0

@@ -68,6 +68,36 @@ class TestPrefixCaching:
         assert s.check(c2) is SatResult.SAT
         assert s.stats.prefix_hits == before + 1
 
+    def test_normalized_delta_hits_across_syntactic_forms(self):
+        # The exact-delta cache keys on the delta *after* simplification,
+        # so the same extension phrased differently — here a conjunct vs
+        # its double negation, a divergence the PathCondition layer's
+        # flatten/dedup does *not* resolve — is answered from cache
+        # instead of re-solved.
+        s = Solver()
+        parent = chain_of([Lit(0).leq(x)])
+        assert s.check(parent) is SatResult.SAT
+        a, b = x.lt(Lit(7)), y.eq(x)
+        assert s.check(parent.conjoin_all((a, b))) is SatResult.SAT
+        before = s.stats.cache_hits
+        solves = s.stats.incremental_solves + s.stats.monolithic_solves
+        # added=(¬¬a, b) raw-misses the (parent, added) prefix cache
+        # (the first child's key was added=(a, b)) but simplifies to the
+        # same normalized delta tuple.
+        assert s.check(parent.conjoin_all((a.not_().not_(), b))) is SatResult.SAT
+        assert s.stats.cache_hits == before + 1
+        assert s.stats.incremental_solves + s.stats.monolithic_solves == solves
+
+    def test_normalized_delta_unsat_hit(self):
+        s = Solver()
+        parent = chain_of([Lit(0).leq(x)])
+        assert s.check(parent) is SatResult.SAT
+        a, b = x.lt(Lit(3)), Lit(5).lt(x)
+        assert s.check(parent.conjoin_all((a, b))) is SatResult.UNSAT
+        before = s.stats.cache_hits
+        assert s.check(parent.conjoin_all((a.not_().not_(), b))) is SatResult.UNSAT
+        assert s.stats.cache_hits == before + 1
+
     def test_permutations_hit_same_frozenset_entry(self):
         s = Solver()
         conjuncts = [Lit(0).leq(x), x.lt(y), y.lt(Lit(9))]
