@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify fuzz fuzz-faults lint bench bench-solver bench-strategies bench-parallel bench-interp bench-gate clean
+.PHONY: help test verify fuzz fuzz-faults lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-gate fingerprint fingerprint-check clean
 
 help:
 	@echo "Targets:"
@@ -15,16 +15,21 @@ help:
 	@echo "  bench-strategies strategy benchmark + invariance (BENCH_strategies.json)"
 	@echo "  bench-parallel   parallel-exploration benchmark + determinism (BENCH_parallel.json)"
 	@echo "  bench-interp     compiled-vs-interpreted benchmark (BENCH_interp.json)"
+	@echo "  bench-memory     memory-model action dispatch benchmark (BENCH_memory.json)"
 	@echo "  bench-gate       smoke throughput gate: fail below the recorded paths/sec floor"
+	@echo "  fingerprint      regenerate the differential-fuzz fingerprints (baseline + heap)"
+	@echo "  fingerprint-check verify memory-model branch structure is byte-identical to the baselines"
 	@echo "  clean            remove caches and build artefacts"
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 verify: test lint
+	$(MAKE) fingerprint-check
 	$(PYTHON) -m repro.obs.smoke
 	$(PYTHON) benchmarks/bench_strategies.py --smoke
 	$(PYTHON) benchmarks/bench_parallel.py --smoke
+	$(PYTHON) benchmarks/bench_memory.py --smoke
 	$(MAKE) bench-gate
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
 	$(MAKE) fuzz-faults
@@ -46,7 +51,7 @@ lint:
 	fi
 	@echo "lint: ok"
 
-bench: bench-solver bench-strategies bench-parallel bench-interp
+bench: bench-solver bench-strategies bench-parallel bench-interp bench-memory
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-solver:
@@ -61,8 +66,19 @@ bench-parallel:
 bench-interp:
 	$(PYTHON) benchmarks/bench_interp.py
 
+bench-memory:
+	$(PYTHON) benchmarks/bench_memory.py
+
 bench-gate:
 	$(PYTHON) benchmarks/bench_interp.py --smoke --gate
+
+fingerprint:
+	$(PYTHON) tools/fingerprint.py --out tests/fingerprints/baseline.json
+	$(PYTHON) tools/fingerprint.py --arms heap --out tests/fingerprints/heap.json
+
+fingerprint-check:
+	$(PYTHON) tools/fingerprint.py --check tests/fingerprints/baseline.json
+	$(PYTHON) tools/fingerprint.py --arms heap --check tests/fingerprints/heap.json
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

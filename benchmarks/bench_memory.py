@@ -1,0 +1,419 @@
+"""Memory-model dispatch benchmark: combinator-built vs pre-refactor.
+
+The memlib refactor (ROADMAP item 4) rebuilt the target memories as
+composition expressions over :mod:`repro.memlib` parts.  The fingerprint
+(``make fingerprint-check``) pins *what* the rebuilt models do; this
+benchmark pins *how fast* they do it.  The pre-refactor While monolith —
+the hand-written dispatch loop the combinators replaced — is frozen
+below verbatim (``Frozen*``, copied from the last monolithic revision of
+``targets/while_lang/memory.py``) and both implementations run the same
+action scripts:
+
+* **concrete arm** — a mutate/lookup/dispose script over a store of
+  locations × properties, threading the returned memory;
+* **symbolic arm** — the same script through the symbolic models with
+  literal locations (the whole-program symbolic-testing fast path, where
+  equalities fold and the loop shape dominates).
+
+Acceptance (the ≤10% regression gate): the combinator-built model's
+best-of-N script time must be within ``GATE_RATIO`` of the frozen
+monolith's on both arms.  The full run emits ``BENCH_memory.json`` with
+the shared ``bench_meta`` envelope; ``--smoke`` runs fewer repetitions,
+applies the same gate, and writes nothing — it is the CI guard wired
+into ``make verify``.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_memory.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.gil.ops import EvalError
+from repro.gil.values import Symbol, Value
+from repro.logic.expr import Expr, Lit, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.simplify import simplify
+from repro.logic.solver import Solver
+from repro.state.interface import MemErr, MemOk, SymMemErr, SymMemOk
+from repro.targets.while_lang.memory import (
+    WhileConcreteMemory,
+    WhileSymbolicMemory,
+)
+
+from benchmarks.tables import bench_meta
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_memory.json",
+)
+
+#: combinator time / frozen time must stay at or below this on each arm
+GATE_RATIO = 1.10
+
+N_LOCS = 6
+N_PROPS = 4
+
+
+# -- the frozen pre-refactor monolith (dispatch baseline) ---------------------
+# Copied verbatim (modulo class names) from the last monolithic revision
+# of targets/while_lang/memory.py, so the comparison measures exactly the
+# dispatch indirection the combinator layering added.
+
+
+@dataclass(frozen=True)
+class FrozenWhileMemory:
+    cells: Tuple[Tuple[Tuple[Symbol, str], Value], ...] = ()
+
+    def as_dict(self) -> Dict[Tuple[Symbol, str], Value]:
+        return dict(self.cells)
+
+    @staticmethod
+    def of(cells: Dict[Tuple[Symbol, str], Value]) -> "FrozenWhileMemory":
+        return FrozenWhileMemory(
+            tuple(sorted(cells.items(), key=lambda kv: (kv[0][0].name, kv[0][1])))
+        )
+
+
+class FrozenWhileConcrete:
+    """The pre-refactor concrete While dispatch loop, frozen."""
+
+    def initial(self) -> FrozenWhileMemory:
+        return FrozenWhileMemory()
+
+    def execute(self, action: str, memory: FrozenWhileMemory, value: Value) -> List:
+        cells = memory.as_dict()
+        if action == "lookup":
+            loc, prop = self._loc_prop(value)
+            if (loc, prop) in cells:
+                return [MemOk(memory, cells[(loc, prop)])]
+            return [MemErr(("missing-property", loc, prop))]
+        if action == "mutate":
+            loc, prop, new_value = value
+            self._check_loc(loc)
+            cells[(loc, str(prop))] = new_value
+            return [MemOk(FrozenWhileMemory.of(cells), new_value)]
+        if action == "dispose":
+            (loc,) = value
+            self._check_loc(loc)
+            remaining = {k: v for k, v in cells.items() if k[0] != loc}
+            if len(remaining) == len(cells):
+                return [MemErr(("missing-object", loc))]
+            return [MemOk(FrozenWhileMemory.of(remaining), True)]
+        raise ValueError(f"unknown While action {action!r}")
+
+    @staticmethod
+    def _loc_prop(value: Value) -> Tuple[Symbol, str]:
+        loc, prop = value
+        FrozenWhileConcrete._check_loc(loc)
+        return loc, str(prop)
+
+    @staticmethod
+    def _check_loc(loc: Value) -> None:
+        if not isinstance(loc, Symbol):
+            raise EvalError(f"not an object location: {loc!r}")
+
+
+@dataclass(frozen=True)
+class FrozenSymWhileMemory:
+    cells: Tuple[Tuple[Tuple[Expr, str], Expr], ...] = ()
+
+    def as_dict(self) -> Dict[Tuple[Expr, str], Expr]:
+        return dict(self.cells)
+
+    @staticmethod
+    def of(cells: Dict[Tuple[Expr, str], Expr]) -> "FrozenSymWhileMemory":
+        return FrozenSymWhileMemory(tuple(cells.items()))
+
+    def locations(self) -> List[Expr]:
+        seen: List[Expr] = []
+        for (loc, _prop), _ in self.cells:
+            if loc not in seen:
+                seen.append(loc)
+        return seen
+
+
+class FrozenWhileSymbolic:
+    """The pre-refactor symbolic While dispatch loop, frozen."""
+
+    def initial(self) -> FrozenSymWhileMemory:
+        return FrozenSymWhileMemory()
+
+    def execute(
+        self, action: str, memory: FrozenSymWhileMemory, expr: Expr, pc, solver
+    ) -> List:
+        args = _unpack_list(expr)
+        if action == "lookup":
+            loc, prop = args[0], _prop_name(args[1])
+            return self._lookup(memory, loc, prop, pc, solver)
+        if action == "mutate":
+            loc, prop, new_value = args[0], _prop_name(args[1]), args[2]
+            return self._mutate(memory, loc, prop, new_value, pc, solver)
+        if action == "dispose":
+            return self._dispose(memory, args[0], pc, solver)
+        raise ValueError(f"unknown While action {action!r}")
+
+    def _lookup(
+        self, memory: FrozenSymWhileMemory, loc: Expr, prop: str, pc, solver
+    ) -> List:
+        branches: List = []
+        miss_conditions: List[Expr] = []
+        for (cell_loc, cell_prop), cell_value in memory.cells:
+            if cell_prop != prop:
+                continue
+            eq = simplify(loc.eq(cell_loc))
+            if eq == Lit(False):
+                continue
+            if eq == Lit(True):
+                return [SymMemOk(memory, cell_value)]
+            if solver.is_sat(pc.conjoin(eq)):
+                branches.append(SymMemOk(memory, cell_value, (eq,)))
+            miss_conditions.append(simplify(loc.neq(cell_loc)))
+        if not any(c == Lit(False) for c in miss_conditions):
+            miss = tuple(c for c in miss_conditions if c != Lit(True))
+            if solver.is_sat(pc.conjoin_all(miss)):
+                branches.append(
+                    SymMemErr(lst("missing-property", loc, prop), miss)
+                )
+        return branches
+
+    def _mutate(
+        self, memory: FrozenSymWhileMemory, loc: Expr, prop: str,
+        new_value: Expr, pc, solver,
+    ) -> List:
+        branches: List = []
+        absent_conditions: List[Expr] = []
+        for (cell_loc, cell_prop), _ in memory.cells:
+            if cell_prop != prop:
+                continue
+            eq = simplify(loc.eq(cell_loc))
+            if eq == Lit(False):
+                continue
+            cells = memory.as_dict()
+            cells[(cell_loc, prop)] = new_value
+            updated = FrozenSymWhileMemory.of(cells)
+            if eq == Lit(True):
+                return [SymMemOk(updated, new_value)]
+            if solver.is_sat(pc.conjoin(eq)):
+                branches.append(SymMemOk(updated, new_value, (eq,)))
+            absent_conditions.append(simplify(loc.neq(cell_loc)))
+        if not any(c == Lit(False) for c in absent_conditions):
+            learned = tuple(c for c in absent_conditions if c != Lit(True))
+            if solver.is_sat(pc.conjoin_all(learned)):
+                cells = memory.as_dict()
+                cells[(loc, prop)] = new_value
+                branches.append(
+                    SymMemOk(FrozenSymWhileMemory.of(cells), new_value, learned)
+                )
+        return branches
+
+    def _dispose(
+        self, memory: FrozenSymWhileMemory, loc: Expr, pc, solver
+    ) -> List:
+        cases: List = [(memory.as_dict(), [], False)]
+        for known_loc in memory.locations():
+            eq = simplify(loc.eq(known_loc))
+            next_cases: List = []
+            for cells, learned, matched in cases:
+                if eq == Lit(True):
+                    removed = {c: v for c, v in cells.items() if c[0] != known_loc}
+                    next_cases.append((removed, learned, True))
+                    continue
+                if eq == Lit(False):
+                    next_cases.append((cells, learned, matched))
+                    continue
+                alias_learned = learned + [eq]
+                if solver.is_sat(pc.conjoin_all(alias_learned)):
+                    removed = {c: v for c, v in cells.items() if c[0] != known_loc}
+                    next_cases.append((removed, alias_learned, True))
+                diseq = simplify(loc.neq(known_loc))
+                noalias_learned = learned + [diseq]
+                if solver.is_sat(pc.conjoin_all(noalias_learned)):
+                    next_cases.append((cells, noalias_learned, matched))
+            cases = next_cases
+        branches: List = []
+        for cells, learned, matched in cases:
+            learned_t = tuple(c for c in learned if c != Lit(True))
+            if matched:
+                branches.append(
+                    SymMemOk(FrozenSymWhileMemory.of(cells), Lit(True), learned_t)
+                )
+            else:
+                branches.append(
+                    SymMemErr(lst("missing-object", loc), learned_t)
+                )
+        return branches
+
+
+def _unpack_list(expr: Expr) -> List[Expr]:
+    from repro.logic.expr import EList
+
+    if isinstance(expr, EList):
+        return list(expr.items)
+    if isinstance(expr, Lit) and isinstance(expr.value, tuple):
+        return [Lit(v) for v in expr.value]
+    raise EvalError(f"action argument is not a list: {expr!r}")
+
+
+def _prop_name(expr: Expr) -> str:
+    if isinstance(expr, Lit) and isinstance(expr.value, str):
+        return expr.value
+    raise EvalError(f"While property names must be concrete strings: {expr!r}")
+
+
+# -- the workload -------------------------------------------------------------
+
+
+def action_script() -> List[Tuple[str, Tuple]]:
+    """A deterministic mutate/lookup/dispose script over the store.
+
+    Populates every (location, property) cell, reads each back (plus a
+    few misses), then disposes half the locations and re-reads — the
+    action mix one exploration path of a generated fuzz program performs.
+    """
+    locs = [Symbol(f"l{i}") for i in range(N_LOCS)]
+    props = [f"p{j}" for j in range(N_PROPS)]
+    script: List[Tuple[str, Tuple]] = []
+    for i, loc in enumerate(locs):
+        for j, prop in enumerate(props):
+            script.append(("mutate", (loc, prop, i * N_PROPS + j)))
+    for loc in locs:
+        for prop in props:
+            script.append(("lookup", (loc, prop)))
+        script.append(("lookup", (loc, "absent")))
+    for loc in locs[::2]:
+        script.append(("dispose", (loc,)))
+        script.append(("lookup", (loc, props[0])))
+        script.append(("mutate", (loc, props[0], -1)))
+    return script
+
+
+def run_concrete(model, script) -> int:
+    """Thread the script through a concrete model; count branches."""
+    memory = model.initial()
+    branches = 0
+    for action, args in script:
+        out = model.execute(action, memory, args)
+        branches += len(out)
+        for b in out:
+            if isinstance(b, (MemOk,)) or hasattr(b, "memory"):
+                memory = b.memory
+                break
+    return branches
+
+
+def run_symbolic(model, script, pc, solver) -> int:
+    """Thread the script through a symbolic model; count branches."""
+    memory = model.initial()
+    branches = 0
+    for action, args in script:
+        expr = lst(*(Lit(a) if isinstance(a, Symbol) else a for a in args))
+        out = model.execute(action, memory, expr, pc, solver)
+        branches += len(out)
+        for b in out:
+            if hasattr(b, "memory"):
+                memory = b.memory
+                break
+    return branches
+
+
+def best_of(fn, reps: int) -> Tuple[float, int]:
+    """Best wall time of ``reps`` runs of ``fn`` and its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(reps: int, iters: int) -> Dict[str, Dict]:
+    """Interleaved best-of-``reps`` timings for both arms."""
+    script = action_script()
+    pc, solver = PathCondition(), Solver()
+    frozen_c, combi_c = FrozenWhileConcrete(), WhileConcreteMemory()
+    frozen_s, combi_s = FrozenWhileSymbolic(), WhileSymbolicMemory()
+
+    def conc(model):
+        return lambda: sum(run_concrete(model, script) for _ in range(iters))
+
+    def symb(model):
+        return lambda: sum(
+            run_symbolic(model, script, pc, solver) for _ in range(iters)
+        )
+
+    # Warm up interning/solver caches so neither side pays them.
+    conc(frozen_c)(); conc(combi_c)(); symb(frozen_s)(); symb(combi_s)()
+
+    out: Dict[str, Dict] = {}
+    for arm, frozen_fn, combi_fn in (
+        ("concrete", conc(frozen_c), conc(combi_c)),
+        ("symbolic", symb(frozen_s), symb(combi_s)),
+    ):
+        frozen_t, frozen_branches = best_of(frozen_fn, reps)
+        combi_t, combi_branches = best_of(combi_fn, reps)
+        if frozen_branches != combi_branches:
+            raise AssertionError(
+                f"{arm}: branch counts diverge — frozen {frozen_branches}, "
+                f"combinator {combi_branches}"
+            )
+        out[arm] = {
+            "frozen_time": round(frozen_t, 6),
+            "combinator_time": round(combi_t, 6),
+            "ratio": round(combi_t / frozen_t, 4) if frozen_t else 0.0,
+            "branches_per_run": frozen_branches,
+            "actions_per_run": len(script) * iters,
+        }
+    return out
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    reps, iters = (5, 20) if smoke else (9, 60)
+    print(f"== bench_memory ({'smoke' if smoke else 'full'}) ==")
+    arms = measure(reps, iters)
+    passed = True
+    for arm, row in arms.items():
+        ok = row["ratio"] <= GATE_RATIO
+        passed = passed and ok
+        print(
+            f"{arm:9s} frozen={row['frozen_time'] * 1e3:7.2f}ms "
+            f"combinator={row['combinator_time'] * 1e3:7.2f}ms "
+            f"ratio={row['ratio']:.3f} "
+            f"({'ok' if ok else f'EXCEEDS {GATE_RATIO}x gate'})"
+        )
+    print(
+        f"dispatch-overhead gate (<= {GATE_RATIO}x): "
+        f"{'ok' if passed else 'FAILED'}"
+    )
+    if not smoke:
+        report = {
+            "benchmark": "bench_memory",
+            "meta": bench_meta(),
+            "workload": (
+                f"{len(action_script())}-action mutate/lookup/dispose script "
+                f"x{iters}, best of {reps}, While model vs frozen monolith"
+            ),
+            "gate_ratio": GATE_RATIO,
+            "arms": arms,
+            "passed": passed,
+        }
+        with open(OUT_PATH, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {OUT_PATH}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+"""Composing a new memory model from combinators (arXiv 2508.15576).
+
+The paper's pitch is that Gillian is *parametric* on the memory model;
+the follow-up combinator work sharpens it: real memory models are
+compositions of a small algebra of reusable parts.  This example shows
+the payoff.  The stock While memory silently recycles disposed
+locations — ``dispose`` removes the cells, so a later lookup reports a
+generic ``missing-property``.  Composing three combinators::
+
+    rename(Freeable(PropTable(...), create_on_absent={"setProp"}),
+           {"lookup": "getProp", "mutate": "setProp"})
+
+yields a *freeable* While heap (``repro.targets.while_lang.heap``, under
+100 lines including the language wiring) where touching a disposed
+object is a distinguishable ``use-after-dispose`` error — the same bug
+class Gillian-JS and Gillian-C report — with zero new branching code.
+
+Run:  python examples/freeable_heap.py
+"""
+
+from repro import SymbolicTester
+from repro.targets.while_lang import WhileLanguage
+from repro.targets.while_lang.heap import WhileHeapLanguage
+
+USE_AFTER_DISPOSE = """
+proc main() {
+  o := { balance: 100 };
+  n := symb_int();
+  assume(0 <= n and n <= 1);
+  if (n = 1) { dispose(o); }
+  // Bug: the object may already be disposed here.
+  x := o.balance;
+  return x;
+}
+"""
+
+
+def run(language, title: str) -> None:
+    """Symbolically test the racy dispose program under ``language``."""
+    print(f"== {title} ==")
+    result = SymbolicTester(language).run_source(USE_AFTER_DISPOSE, "main")
+    print(f"verdict: {result.verdict}")
+    for bug in result.bugs:
+        print(f"error value: {bug.value!r}")
+        print(f"counter-model ε: {bug.model}")
+        print(f"confirmed by concrete replay: {bug.confirmed}")
+    print()
+
+
+def main() -> None:
+    """Run the same program over the stock and the freeable While heap."""
+    # The stock While memory finds the bug but mislabels it: the cells
+    # are simply gone, so the error is a generic missing-property.
+    run(WhileLanguage(), "stock While memory")
+    # The combinator-built heap keeps a tombstone for disposed objects,
+    # so the same program reports the actual bug class.
+    run(WhileHeapLanguage(), "freeable heap (combinators)")
+
+
+if __name__ == "__main__":
+    main()

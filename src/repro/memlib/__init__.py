@@ -1,0 +1,103 @@
+"""Parametric memory-model combinators (paper §3; arXiv 2508.15576).
+
+The paper's central claim is that Gillian is *parametric* on the memory
+model: a tool developer supplies per-language actions and gets symbolic
+execution for free.  *Compositional Symbolic Execution for the Next 700
+Memory Models* (arXiv 2508.15576) sharpens that claim — real memory
+models are compositions of a small algebra of reusable *state-model
+combinators*.  This package is that algebra:
+
+* :class:`~repro.memlib.pmap.PMap` — a partial map with symbolic-key
+  branching (Figure 3's [S-Lookup]/[S-Mutate] rules);
+* :class:`~repro.memlib.freeable.Freeable` — an alloc/dispose lifecycle
+  wrapper whose freed entries produce use-after-free error branches;
+* :class:`~repro.memlib.proptable.PropTable` /
+  :class:`~repro.memlib.metadata.MetadataTable` — record-level parts for
+  extensible property tables and metadata slots;
+* :class:`~repro.memlib.blockoffset.BlockOffset` — CompCert-style
+  block/offset cells with bounds, alignment, permissions, and
+  value-fragment encoding;
+* :class:`~repro.memlib.permissions.Permissions` — an action-gating
+  permission wrapper;
+* :func:`~repro.memlib.core.rename` / :func:`~repro.memlib.core.product`
+  — action renaming and action-disjoint products.
+
+Every part provides *both* the concrete and the symbolic ``execute``
+arm of :mod:`repro.state.interface`, adapted to the engine-facing
+memory-model ABCs by :class:`~repro.memlib.core.PartConcreteModel` and
+:class:`~repro.memlib.core.PartSymbolicModel`.  The three target
+memories (While, MiniJS, MiniC) are composition expressions over these
+parts, differential-fuzz-fingerprinted byte-identical to their former
+monolithic implementations (``tools/fingerprint.py``).
+"""
+
+from repro.memlib.blockoffset import (
+    Block,
+    BlockMem,
+    BlockOffset,
+    BlockSpec,
+    SymBlock,
+    SymBlockMem,
+)
+from repro.memlib.core import (
+    MemFault,
+    MemoryPart,
+    PairMem,
+    PartConcreteModel,
+    PartSymbolicModel,
+    ProductPart,
+    RecErr,
+    RecOk,
+    RecordPart,
+    RenamedPart,
+    UNCHANGED,
+    product,
+    rename,
+)
+from repro.memlib.freeable import Freeable, FreeableSpec, Record, RecordProduct
+from repro.memlib.metadata import MetadataTable
+from repro.memlib.permissions import (
+    PERM_FREEABLE,
+    PERM_NONE,
+    PERM_READABLE,
+    PERM_WRITABLE,
+    Permissions,
+)
+from repro.memlib.pmap import PMap, PMapSpec
+from repro.memlib.proptable import PropTable, PropTableSpec
+
+__all__ = [
+    "Block",
+    "BlockMem",
+    "BlockOffset",
+    "BlockSpec",
+    "SymBlock",
+    "SymBlockMem",
+    "MemFault",
+    "MemoryPart",
+    "PairMem",
+    "PartConcreteModel",
+    "PartSymbolicModel",
+    "ProductPart",
+    "RecErr",
+    "RecOk",
+    "RecordPart",
+    "RenamedPart",
+    "UNCHANGED",
+    "product",
+    "rename",
+    "Freeable",
+    "FreeableSpec",
+    "Record",
+    "RecordProduct",
+    "MetadataTable",
+    "PERM_FREEABLE",
+    "PERM_NONE",
+    "PERM_READABLE",
+    "PERM_WRITABLE",
+    "Permissions",
+    "PMap",
+    "PMapSpec",
+    "PropTable",
+    "PropTableSpec",
+]

@@ -1,0 +1,804 @@
+"""``BlockOffset`` — CompCert-style block/offset cells (paper §4.2).
+
+The combinator behind the MiniC memory: a collection of separated
+blocks, each an array of byte-sized cells; pointers are block-offset
+pairs ``[l, off]``.  A cell holds either ``undef`` (uninitialised) or a
+*value fragment* ``[v, k, n, tag]`` — the k-th of n bytes of value ``v``
+encoded with chunk type ``tag`` (the CompCertS unified treatment the
+paper adopts for both the concrete and symbolic models).
+
+Loads and stores go through chunks ``[size, align, type]`` and check, in
+order (mirroring the paper's [SLoad - Valid Access] rule):
+
+1. the block exists and is not freed (catches use-after-free);
+2. the permission allows the access (:mod:`repro.memlib.permissions`);
+3. the access is in bounds (catches buffer overflows — the class of the
+   off-by-one Collections-C bug the paper found);
+4. alignment;
+5. the read bytes decode to a single value of the chunk's type (catches
+   uninitialised and type-confused reads).
+
+Pointer comparison is the ``cmp_ptr`` action: relational comparison of
+pointers into *different* blocks is C undefined behaviour, as is any
+comparison involving a pointer into a freed block — both error
+branches, reproducing the UB findings of §4.2.
+
+Symbolic offsets are concretised by branching over the feasible concrete
+offsets of the (concrete-sized) block
+(:func:`~repro.memlib.branching.concretise_int`); the paper shares this
+limitation ("we do not reason about allocation of symbolic size").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.gil.ops import EvalError
+from repro.gil.values import Symbol, Value, values_equal
+from repro.logic.expr import Expr, Lit, UnOp, UnOpExpr, lst
+from repro.logic.simplify import simplify
+from repro.memlib.branching import concretise_int
+from repro.memlib.convert import as_expr, as_expr_list, unpack_list
+from repro.memlib.core import MemFault, MemoryPart
+from repro.memlib.permissions import (
+    PERM_FREEABLE,
+    PERM_NONE,
+    PERM_READABLE,
+    PERM_WRITABLE,
+    require_perm,
+)
+from repro.state.interface import (
+    ConcreteBranch,
+    MemErr,
+    MemOk,
+    SymbolicBranch,
+    SymMemErr,
+    SymMemOk,
+)
+
+ACTIONS = frozenset(
+    {"alloc", "free", "load", "store", "memcpy", "memset", "cmp_ptr", "bounds"}
+)
+
+# A cell is None (undef) or a fragment tuple (value, k, size, tag).
+Fragment = Tuple[object, int, int, str]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One allocation: concrete size, uniform permission, byte cells."""
+
+    size: int
+    perm: int
+    cells: Tuple[Optional[Fragment], ...]
+
+    @classmethod
+    def fresh(cls, size: int, perm: int = PERM_FREEABLE) -> "Block":
+        """A fresh all-``undef`` block."""
+        return cls(size, perm, (None,) * size)
+
+
+@dataclass(frozen=True)
+class SymBlock:
+    """A symbolic block: concrete size/permission, symbolic contents."""
+
+    size: int
+    perm: int
+    cells: Tuple[Optional[Fragment], ...]  # fragment values are Exprs
+
+    @classmethod
+    def fresh(cls, size: int, perm: int = PERM_FREEABLE) -> "SymBlock":
+        """A fresh all-``undef`` symbolic block."""
+        return cls(size, perm, (None,) * size)
+
+
+@dataclass(frozen=True)
+class BlockMem:
+    """Concrete block memory: a sorted map from block symbols to blocks."""
+
+    blocks: Tuple[Tuple[Symbol, Block], ...] = ()
+
+    def as_dict(self) -> Dict[Symbol, Block]:
+        """The blocks as a dict (insertion order preserved)."""
+        return dict(self.blocks)
+
+    @classmethod
+    def of(cls, blocks: Dict[Symbol, Block]) -> "BlockMem":
+        """The canonical (name-sorted) memory for ``blocks``."""
+        return cls(tuple(sorted(blocks.items(), key=_block_name)))
+
+
+def _block_name(kv) -> str:
+    """Sort key for blocks: the block symbol's name."""
+    return kv[0].name
+
+
+@dataclass(frozen=True)
+class SymBlockMem:
+    """Symbolic block memory: blocks whose cells hold value expressions."""
+
+    blocks: Tuple[Tuple[Symbol, SymBlock], ...] = ()
+
+    def as_dict(self) -> Dict[Symbol, SymBlock]:
+        """The blocks as a dict (insertion order preserved)."""
+        return dict(self.blocks)
+
+    def index(self) -> Dict[Symbol, SymBlock]:
+        """The block lookup dict, built once and cached on the instance.
+
+        Callers must treat it as read-only: the cache is shared between
+        every branch holding this (immutable) memory.  Updates go
+        through :meth:`with_block`, which never copies the dict.
+        """
+        d = self.__dict__.get("_index")
+        if d is None:
+            d = dict(self.blocks)
+            object.__setattr__(self, "_index", d)
+        return d
+
+    def with_block(self, loc: Symbol, block: SymBlock) -> "SymBlockMem":
+        """This memory with ``loc`` bound to ``block`` (replace or
+        insert), preserving the sorted-tuple canonical form in one O(B)
+        pass — no intermediate dict, no re-sort."""
+        blocks = self.blocks
+        name = loc.name
+        for i, (s, _b) in enumerate(blocks):
+            if s == loc:
+                return type(self)(blocks[:i] + ((loc, block),) + blocks[i + 1:])
+            if s.name > name:
+                return type(self)(blocks[:i] + ((loc, block),) + blocks[i:])
+        return type(self)(blocks + ((loc, block),))
+
+    def __reduce__(self):
+        """Pickle from ``blocks`` alone.
+
+        Keeps the cached lookup index off the wire: equal memories must
+        pickle to equal payloads regardless of which instance has been
+        read from.
+        """
+        return (type(self), (self.blocks,))
+
+    @classmethod
+    def of(cls, blocks: Dict[Symbol, SymBlock]) -> "SymBlockMem":
+        """The canonical (name-sorted) memory for ``blocks``."""
+        return cls(tuple(sorted(blocks.items(), key=_block_name)))
+
+
+# -- shared cell-level logic (parameterised by value representation) -----------
+
+
+def check_access(
+    block, offset: int, size: int, align: int, need_perm: int, loc: Symbol
+) -> None:
+    """The [SLoad - Valid Access] side conditions, faulting in order."""
+    require_perm(block.perm, need_perm, loc)
+    if offset < 0 or offset + size > block.size:
+        raise MemFault(("buffer-overflow", loc, offset, size, block.size))
+    if offset % align != 0:
+        raise MemFault(("misaligned-access", loc, offset, align))
+
+
+def decode(block, offset: int, size: int, tag: str, loc: Symbol):
+    """Read ``size`` cells and decode them back into the stored value.
+
+    Two decodings succeed: reading back a value stored with the same
+    chunk, and reconstructing an integer from individually-written
+    concrete bytes (``calloc``/``memset`` initialisation).  Anything
+    else — type punning, partial overwrites — decodes to ``undef`` in
+    CompCert; using it is the error branch here.
+    """
+    first = block.cells[offset]
+    if first is None:
+        raise MemFault(("uninitialised-read", loc, offset))
+    value, k0, n0, tag0 = first
+    if k0 != 0 or n0 != size or tag0 != tag:
+        return decode_bytes(block, offset, size, tag, loc)
+    for i in range(1, size):
+        cell = block.cells[offset + i]
+        if cell is None:
+            raise MemFault(("uninitialised-read", loc, offset + i))
+        v, k, n, t = cell
+        if k != i or n != size or t != tag or v is not value and v != value:
+            raise MemFault(("corrupted-read", loc, offset + i, tag))
+    return value
+
+
+def byte_value(cell) -> Optional[int]:
+    """The concrete byte a single-byte fragment holds, if concrete."""
+    if cell is None:
+        return None
+    value, k, n, tag = cell
+    if k != 0 or n != 1 or tag != "int8":
+        return None
+    if isinstance(value, Lit):  # symbolic cell holding a literal
+        value = value.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if float(value).is_integer() and 0 <= value <= 255:
+        return int(value)
+    return None
+
+
+def decode_bytes(block, offset: int, size: int, tag: str, loc: Symbol):
+    """Reconstruct an integer from ``size`` concrete int8 cells
+    (little-endian); pointers cannot be reassembled from bytes."""
+    if tag == "ptr":
+        raise MemFault(("corrupted-read", loc, offset, tag))
+    total = 0
+    for i in range(size):
+        byte = byte_value(block.cells[offset + i])
+        if byte is None:
+            raise MemFault(("corrupted-read", loc, offset + i, tag))
+        total += byte << (8 * i)
+    return total
+
+
+def encode(block, offset: int, size: int, tag: str, value):
+    """``block`` with ``value`` fragmented into cells at ``offset``."""
+    cells = list(block.cells)
+    for i in range(size):
+        cells[offset + i] = (value, i, size, tag)
+    return type(block)(block.size, block.perm, tuple(cells))
+
+
+def copy_cells(dst, dst_off: int, src, src_off: int, n: int):
+    """``dst`` with ``n`` cells copied verbatim from ``src``."""
+    cells = list(dst.cells)
+    for i in range(n):
+        cells[dst_off + i] = src.cells[src_off + i]
+    return type(dst)(dst.size, dst.perm, tuple(cells))
+
+
+def unpack_chunk(chunk) -> Tuple[int, int, str]:
+    """A concrete (size, align, tag) chunk triple."""
+    size, align, tag = chunk
+    return int(size), int(align), str(tag)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Branding for a :class:`BlockOffset`: memory/block classes."""
+
+    concrete_mem: Type[BlockMem] = BlockMem
+    symbolic_mem: Type[SymBlockMem] = SymBlockMem
+    concrete_block: Type[Block] = Block
+    symbolic_block: Type[SymBlock] = SymBlock
+    #: name used in unknown-action errors
+    name: str = "block-offset"
+
+
+class BlockOffset(MemoryPart):
+    """The block/offset part (both arms).
+
+    Blocks are literal symbols (allocated by ``uSym``); symbolic offsets
+    are concretised by branching over feasible values, each branch
+    learning ``offset = o``; infeasible and out-of-bounds cases are
+    separated with learned conditions per [SLoad - Valid Access].
+    """
+
+    def __init__(self, spec: Optional[BlockSpec] = None) -> None:
+        """Build the part over ``spec`` (default: plain block/offset)."""
+        self.spec = spec or BlockSpec()
+
+    @property
+    def actions(self) -> frozenset:
+        """alloc/free/load/store/memcpy/memset/cmp_ptr/bounds."""
+        return ACTIONS
+
+    def initial_concrete(self) -> BlockMem:
+        """The empty concrete block memory."""
+        return self.spec.concrete_mem()
+
+    def initial_symbolic(self) -> SymBlockMem:
+        """The empty symbolic block memory."""
+        return self.spec.symbolic_mem()
+
+    # -- concrete arm --------------------------------------------------------
+
+    def execute_concrete(
+        self, action: str, memory: BlockMem, value: Value
+    ) -> List[ConcreteBranch]:
+        """Run the action, converting faults to error branches."""
+        try:
+            return self._execute_concrete(action, memory, value)
+        except MemFault as exc:
+            return [MemErr(exc.value)]
+
+    def _execute_concrete(
+        self, action: str, memory: BlockMem, value: Value
+    ) -> List[ConcreteBranch]:
+        """The concrete action rules (may raise :class:`MemFault`)."""
+        spec = self.spec
+        blocks = memory.as_dict()
+
+        if action == "alloc":
+            loc, size = value
+            self._loc(loc)
+            if loc in blocks:
+                raise EvalError(f"alloc: block {loc!r} exists")
+            size = int(size)
+            if size <= 0:
+                raise MemFault(("invalid-allocation-size", size))
+            blocks[loc] = spec.concrete_block.fresh(size)
+            return [MemOk(spec.concrete_mem.of(blocks), (loc, 0))]
+
+        if action == "free":
+            ptr = value[0]
+            loc, offset = self._pointer(ptr)
+            block = self._block(blocks, loc)
+            if block.perm == PERM_NONE:
+                raise MemFault(("double-free", loc))
+            if offset != 0:
+                raise MemFault(("free-of-interior-pointer", loc))
+            if block.perm < PERM_FREEABLE:
+                raise MemFault(("permission-denied", loc, 0))
+            blocks[loc] = spec.concrete_block(block.size, PERM_NONE, block.cells)
+            return [MemOk(spec.concrete_mem.of(blocks), True)]
+
+        if action == "load":
+            chunk, ptr = value
+            size, align, tag = unpack_chunk(chunk)
+            loc, offset = self._pointer(ptr)
+            block = self._block(blocks, loc)
+            check_access(block, int(offset), size, align, PERM_READABLE, loc)
+            loaded = decode(block, int(offset), size, tag, loc)
+            return [MemOk(memory, loaded)]
+
+        if action == "store":
+            chunk, ptr, stored = value
+            size, align, tag = unpack_chunk(chunk)
+            loc, offset = self._pointer(ptr)
+            block = self._block(blocks, loc)
+            check_access(block, int(offset), size, align, PERM_WRITABLE, loc)
+            blocks[loc] = encode(block, int(offset), size, tag, stored)
+            return [MemOk(spec.concrete_mem.of(blocks), stored)]
+
+        if action == "memcpy":
+            dst, src, n = value
+            n = int(n)
+            dloc, doff = self._pointer(dst)
+            sloc, soff = self._pointer(src)
+            dblock = self._block(blocks, dloc)
+            sblock = self._block(blocks, sloc)
+            if n > 0:
+                check_access(sblock, int(soff), n, 1, PERM_READABLE, sloc)
+                check_access(dblock, int(doff), n, 1, PERM_WRITABLE, dloc)
+                blocks[dloc] = copy_cells(dblock, int(doff), sblock, int(soff), n)
+            return [MemOk(spec.concrete_mem.of(blocks), dst)]
+
+        if action == "memset":
+            ptr, n, byte = value
+            n = int(n)
+            loc, offset = self._pointer(ptr)
+            block = self._block(blocks, loc)
+            if n > 0:
+                check_access(block, int(offset), n, 1, PERM_WRITABLE, loc)
+                for i in range(n):
+                    block = encode(block, int(offset) + i, 1, "int8", byte)
+                blocks[loc] = block
+            return [MemOk(spec.concrete_mem.of(blocks), ptr)]
+
+        if action == "cmp_ptr":
+            op, p1, p2 = value
+            return [MemOk(memory, self._cmp_ptr_concrete(blocks, str(op), p1, p2))]
+
+        if action == "bounds":
+            ptr = value[0]
+            loc, _ = self._pointer(ptr)
+            block = self._block(blocks, loc)
+            return [MemOk(memory, block.size)]
+
+        raise ValueError(f"unknown {spec.name} action {action!r}")
+
+    @staticmethod
+    def _loc(loc) -> Symbol:
+        """Require a concrete block symbol."""
+        if not isinstance(loc, Symbol):
+            raise EvalError(f"not a block: {loc!r}")
+        return loc
+
+    @staticmethod
+    def _pointer(ptr) -> Tuple[Symbol, int]:
+        """Split a concrete pointer value into (block, offset)."""
+        if (
+            isinstance(ptr, tuple)
+            and len(ptr) == 2
+            and isinstance(ptr[0], Symbol)
+            and isinstance(ptr[1], (int, float))
+        ):
+            return ptr[0], int(ptr[1])
+        if isinstance(ptr, (int, float)) and ptr == 0:
+            raise MemFault(("null-dereference",))
+        raise MemFault(("invalid-pointer", ptr))
+
+    @staticmethod
+    def _block(blocks, loc: Symbol):
+        """The block at ``loc``, faulting on dangling pointers."""
+        if loc not in blocks:
+            raise MemFault(("invalid-pointer", loc))
+        return blocks[loc]
+
+    def _cmp_ptr_concrete(self, blocks, op: str, p1, p2):
+        """Concrete pointer comparison with the §4.2 UB error cases."""
+        def freed(p) -> bool:
+            if isinstance(p, tuple) and len(p) == 2 and isinstance(p[0], Symbol):
+                block = blocks.get(p[0])
+                return block is not None and block.perm == PERM_NONE
+            return False
+
+        # Comparing a pointer into a freed block is undefined behaviour —
+        # the "comparing freed pointers" bug class of §4.2.
+        if freed(p1) or freed(p2):
+            raise MemFault(("ub-compare-freed-pointer", p1, p2))
+
+        null1 = isinstance(p1, (int, float)) and p1 == 0
+        null2 = isinstance(p2, (int, float)) and p2 == 0
+        if op in ("eq", "ne"):
+            if null1 or null2:
+                result = values_equal(p1, p2)
+            elif p1[0] != p2[0]:
+                result = False
+            else:
+                result = p1[1] == p2[1]
+            return result if op == "eq" else not result
+        # Relational: both must point into the same block.
+        if null1 or null2:
+            raise MemFault(("ub-relational-null-pointer", p1, p2))
+        if p1[0] != p2[0]:
+            raise MemFault(("ub-compare-different-blocks", p1, p2))
+        o1, o2 = p1[1], p2[1]
+        return {"lt": o1 < o2, "le": o1 <= o2, "gt": o1 > o2, "ge": o1 >= o2}[op]
+
+    # -- symbolic arm --------------------------------------------------------
+
+    def execute_symbolic(
+        self, action: str, memory: SymBlockMem, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Run the action, converting faults to error branches."""
+        args = unpack_list(expr)
+        try:
+            return self._execute_symbolic(action, memory, args, pc, solver)
+        except MemFault as exc:
+            return [SymMemErr(as_expr_list(exc.value))]
+
+    def _execute_symbolic(
+        self, action: str, memory: SymBlockMem, args, pc, solver
+    ) -> List[SymbolicBranch]:
+        """The symbolic action rules (may raise :class:`MemFault`)."""
+        spec = self.spec
+        # Read-only lookup view, cached on the (immutable) memory; every
+        # update below builds a successor via ``with_block``.
+        blocks = memory.index()
+
+        if action == "alloc":
+            loc = literal_symbol(args[0])
+            size = concrete_int(args[1], "allocation size")
+            if loc in blocks:
+                raise EvalError(f"alloc: block {loc!r} exists")
+            if size <= 0:
+                raise MemFault(("invalid-allocation-size", size))
+            return [
+                SymMemOk(
+                    memory.with_block(loc, spec.symbolic_block.fresh(size)),
+                    lst(loc, 0),
+                )
+            ]
+
+        if action == "free":
+            loc, offset_expr = pointer_parts(args[0])
+            block = self._block(blocks, loc)
+            if block.perm == PERM_NONE:
+                return [SymMemErr(lst("double-free", loc))]
+            branches: List[SymbolicBranch] = []
+            for off, learned in concretise_int(
+                offset_expr, [0], pc, solver, _invalid_offset
+            ):
+                if off is None:
+                    branches.append(
+                        SymMemErr(lst("free-of-interior-pointer", loc), learned)
+                    )
+                    continue
+                freed = memory.with_block(
+                    loc, spec.symbolic_block(block.size, PERM_NONE, block.cells)
+                )
+                branches.append(SymMemOk(freed, Lit(True), learned))
+            return branches
+
+        if action == "load":
+            chunk = concrete_chunk(args[0])
+            loc, offset_expr = pointer_parts(args[1])
+            return self._access(
+                memory, blocks, loc, offset_expr, chunk, pc, solver,
+                mode="load", stored=None,
+            )
+
+        if action == "store":
+            chunk = concrete_chunk(args[0])
+            loc, offset_expr = pointer_parts(args[1])
+            return self._access(
+                memory, blocks, loc, offset_expr, chunk, pc, solver,
+                mode="store", stored=args[2],
+            )
+
+        if action == "memcpy":
+            dloc, doff_e = pointer_parts(args[0])
+            sloc, soff_e = pointer_parts(args[1])
+            n = concrete_int(args[2], "memcpy length")
+            dblock = self._block(blocks, dloc)
+            sblock = self._block(blocks, sloc)
+            doff = concrete_int(doff_e, "memcpy dst offset")
+            soff = concrete_int(soff_e, "memcpy src offset")
+            for block, off, loc, need in (
+                (sblock, soff, sloc, PERM_READABLE),
+                (dblock, doff, dloc, PERM_WRITABLE),
+            ):
+                if n > 0:
+                    check_access(block, off, n, 1, need, loc)
+            if n > 0:
+                cells = list(dblock.cells)
+                for i in range(n):
+                    cells[doff + i] = sblock.cells[soff + i]
+                memory = memory.with_block(
+                    dloc, spec.symbolic_block(dblock.size, dblock.perm, tuple(cells))
+                )
+            return [SymMemOk(memory, args[0])]
+
+        if action == "memset":
+            loc, off_e = pointer_parts(args[0])
+            n = concrete_int(args[1], "memset length")
+            byte = args[2]
+            block = self._block(blocks, loc)
+            off = concrete_int(off_e, "memset offset")
+            if n > 0:
+                check_access(block, off, n, 1, PERM_WRITABLE, loc)
+                cells = list(block.cells)
+                for i in range(n):
+                    cells[off + i] = (byte, 0, 1, "int8")
+                memory = memory.with_block(
+                    loc, spec.symbolic_block(block.size, block.perm, tuple(cells))
+                )
+            return [SymMemOk(memory, args[0])]
+
+        if action == "cmp_ptr":
+            return self._cmp_ptr_symbolic(memory, blocks, args, pc, solver)
+
+        if action == "bounds":
+            loc, _ = pointer_parts(args[0])
+            block = self._block(blocks, loc)
+            return [SymMemOk(memory, Lit(block.size))]
+
+        raise ValueError(f"unknown {spec.name} action {action!r}")
+
+    # -- load/store with offset concretisation -------------------------------
+
+    def _access(
+        self, memory, blocks, loc, offset_expr, chunk, pc, solver, mode, stored
+    ) -> List[SymbolicBranch]:
+        """Concretise the offset, then decode (load) or encode (store)."""
+        spec = self.spec
+        size, align, tag = chunk
+        block = self._block(blocks, loc)
+        if block.perm == PERM_NONE:
+            return [SymMemErr(lst("use-after-free", loc))]
+        need = PERM_READABLE if mode == "load" else PERM_WRITABLE
+        if block.perm < need:
+            return [SymMemErr(lst("permission-denied", loc))]
+
+        feasible = list(range(0, block.size - size + 1, align))
+        branches: List[SymbolicBranch] = []
+        for off, learned in concretise_int(
+            offset_expr, feasible, pc, solver, _invalid_offset
+        ):
+            if off is None:
+                branches.append(
+                    SymMemErr(
+                        lst("buffer-overflow", loc, offset_expr, size, block.size),
+                        learned,
+                    )
+                )
+                continue
+            if mode == "load":
+                branches.extend(
+                    self._decode_branches(
+                        memory, block, off, size, tag, loc, learned, pc, solver
+                    )
+                )
+            else:
+                written = memory.with_block(
+                    loc, encode(block, off, size, tag, stored)
+                )
+                branches.append(SymMemOk(written, stored, learned))
+        return branches
+
+    def _decode_branches(
+        self, memory, block, off: int, size: int, tag: str, loc,
+        learned, pc, solver,
+    ) -> List[SymbolicBranch]:
+        """Symbolic decode: like :func:`decode`, but byte reconstruction
+        with *symbolic* byte values branches on the in-range conditions
+        (the concrete decode succeeds exactly when every byte lies in
+        [0, 255] under ε — required for MA-RS/MA-RC)."""
+        try:
+            value = decode(block, off, size, tag, loc)
+            return [SymMemOk(memory, as_expr(value), learned)]
+        except MemFault as exc:
+            kind = exc.value[0]
+            if kind != "corrupted-read":
+                return [SymMemErr(as_expr_list(exc.value), learned)]
+        # Attempt symbolic byte reconstruction.
+        if tag == "ptr":
+            return [
+                SymMemErr(as_expr_list(("corrupted-read", loc, off, tag)), learned)
+            ]
+        byte_exprs: List[Expr] = []
+        for i in range(size):
+            cell = block.cells[off + i]
+            if cell is None:
+                return [
+                    SymMemErr(
+                        as_expr_list(("uninitialised-read", loc, off + i)), learned
+                    )
+                ]
+            value, k, n, cell_tag = cell
+            if k != 0 or n != 1 or cell_tag != "int8":
+                return [
+                    SymMemErr(
+                        as_expr_list(("corrupted-read", loc, off + i, tag)), learned
+                    )
+                ]
+            byte_exprs.append(as_expr(value))
+        total: Expr = Lit(0)
+        range_conds: List[Expr] = []
+        for i, byte in enumerate(byte_exprs):
+            total = simplify(total + byte * Lit(256**i))
+            cond = simplify(Lit(0).leq(byte).and_(byte.leq(Lit(255))))
+            if cond != Lit(True):
+                range_conds.append(cond)
+        branches: List[SymbolicBranch] = []
+        ok_learned = learned + tuple(range_conds)
+        if not any(c == Lit(False) for c in range_conds):
+            if not range_conds or solver.is_sat(pc.conjoin_all(ok_learned)):
+                branches.append(SymMemOk(memory, total, ok_learned))
+        if range_conds:
+            from repro.logic.expr import disj
+
+            bad = simplify(
+                disj(*[simplify(UnOpExpr(UnOp.NOT, c)) for c in range_conds])
+            )
+            bad_learned = learned + ((bad,) if bad != Lit(True) else ())
+            if bad != Lit(False) and solver.is_sat(pc.conjoin_all(bad_learned)):
+                branches.append(
+                    SymMemErr(
+                        as_expr_list(("corrupted-read", loc, off, tag)), bad_learned
+                    )
+                )
+        return branches
+
+    # -- pointer comparison --------------------------------------------------
+
+    def _cmp_ptr_symbolic(self, memory, blocks, args, pc, solver) -> List[SymbolicBranch]:
+        """Symbolic pointer comparison with the §4.2 UB error cases."""
+        op = concrete_str(args[0])
+        p1, p2 = args[1], args[2]
+
+        def parts(p):
+            """(kind, loc, offset) where kind is 'null' | 'ptr' | 'sym'."""
+            p = simplify(p)
+            if isinstance(p, Lit) and isinstance(p.value, (int, float)) \
+                    and not isinstance(p.value, bool) and p.value == 0:
+                return ("null", None, None)
+            try:
+                loc, off = pointer_parts(p)
+                return ("ptr", loc, off)
+            except MemFault:
+                return ("sym", None, None)
+
+        k1, l1, o1 = parts(p1)
+        k2, l2, o2 = parts(p2)
+
+        for kind, loc in ((k1, l1), (k2, l2)):
+            if kind == "ptr":
+                block = blocks.get(loc)
+                if block is not None and block.perm == PERM_NONE:
+                    return [SymMemErr(lst("ub-compare-freed-pointer", loc))]
+
+        if op in ("eq", "ne"):
+            if k1 == "null" and k2 == "null":
+                result = Lit(op == "eq")
+            elif "null" in (k1, k2):
+                result = Lit(op == "ne")
+            elif k1 == "ptr" and k2 == "ptr":
+                if l1 != l2:
+                    result = Lit(op == "ne")
+                else:
+                    eq = simplify(o1.eq(o2)) if isinstance(o1, Expr) else Lit(o1 == o2)
+                    result = eq if op == "eq" else simplify(UnOpExpr(UnOp.NOT, eq))
+            else:
+                result = simplify(
+                    p1.eq(p2) if op == "eq" else UnOpExpr(UnOp.NOT, p1.eq(p2))
+                )
+            return [SymMemOk(memory, result)]
+
+        # Relational comparison.
+        if "null" in (k1, k2):
+            return [SymMemErr(lst("ub-relational-null-pointer",))]
+        if k1 != "ptr" or k2 != "ptr":
+            return [SymMemErr(lst("ub-relational-unknown-pointer",))]
+        if l1 != l2:
+            return [SymMemErr(lst("ub-compare-different-blocks", l1, l2))]
+        table = {
+            "lt": lambda a, b: a.lt(b),
+            "le": lambda a, b: a.leq(b),
+            "gt": lambda a, b: b.lt(a),
+            "ge": lambda a, b: b.leq(a),
+        }
+        result = simplify(table[op](as_expr(o1), as_expr(o2)))
+        return [SymMemOk(memory, result)]
+
+
+def _invalid_offset(e: Expr) -> MemFault:
+    """The fault for a non-numeric literal pointer offset."""
+    return MemFault(("invalid-pointer-offset", repr(e)))
+
+
+# -- argument coercions (literal-only, per the paper's limitation) -------------
+
+
+def literal_symbol(e: Expr) -> Symbol:
+    """Require a literal block symbol."""
+    e = simplify(e)
+    if isinstance(e, Lit) and isinstance(e.value, Symbol):
+        return e.value
+    raise EvalError(f"expected a literal block symbol, got {e!r}")
+
+
+def concrete_int(e: Expr, what: str) -> int:
+    """Require a concrete integer, faulting with a ``what``-branded tag."""
+    e = simplify(e)
+    if isinstance(e, Lit) and isinstance(e.value, (int, float)) \
+            and not isinstance(e.value, bool) and float(e.value).is_integer():
+        return int(e.value)
+    raise MemFault((f"symbolic-{what.replace(' ', '-')}-unsupported", repr(e)))
+
+
+def concrete_str(e: Expr) -> str:
+    """Require a literal string."""
+    e = simplify(e)
+    if isinstance(e, Lit) and isinstance(e.value, str):
+        return e.value
+    raise EvalError(f"expected a literal string, got {e!r}")
+
+
+def concrete_chunk(e: Expr) -> Tuple[int, int, str]:
+    """Require a literal (size, align, tag) chunk."""
+    from repro.logic.expr import EList
+
+    e = simplify(e)
+    if isinstance(e, Lit) and isinstance(e.value, tuple):
+        size, align, tag = e.value
+        return int(size), int(align), str(tag)
+    if isinstance(e, EList):
+        items = [simplify(x) for x in e.items]
+        if all(isinstance(x, Lit) for x in items):
+            return int(items[0].value), int(items[1].value), str(items[2].value)
+    raise EvalError(f"expected a literal chunk, got {e!r}")
+
+
+def pointer_parts(e: Expr) -> Tuple[Symbol, Expr]:
+    """Split a pointer expression into (literal block, offset expression)."""
+    from repro.logic.expr import EList
+
+    e = simplify(e)
+    if isinstance(e, EList) and len(e.items) == 2:
+        block = simplify(e.items[0])
+        if isinstance(block, Lit) and isinstance(block.value, Symbol):
+            return block.value, e.items[1]
+    if isinstance(e, Lit):
+        if isinstance(e.value, tuple) and len(e.value) == 2 \
+                and isinstance(e.value[0], Symbol):
+            return e.value[0], Lit(e.value[1])
+        if isinstance(e.value, (int, float)) and not isinstance(e.value, bool) \
+                and e.value == 0:
+            raise MemFault(("null-dereference",))
+    raise MemFault(("invalid-pointer", repr(e)))

@@ -1,0 +1,178 @@
+"""Symbolic-key branching engines shared by every combinator.
+
+Each engine reproduces, call-for-call, one of the branching loops the
+monolithic target memories used; the differential-fuzz fingerprint
+(``tools/fingerprint.py``) pins not only the branches produced but the
+exact sequence of solver queries, so the engines are deliberately eager
+or lazy exactly where the originals were and consult the solver under
+the same guards.
+
+* :func:`match_key` — the [S-Lookup]/[SGetProp]-style branch over an
+  ordered key list, with the two behavioural flags on which the While
+  and MiniJS loops differ;
+* :func:`alias_cases` — the cartesian alias/no-alias case expansion the
+  While ``dispose`` action performs over every known location;
+* :func:`concretise_int` — the MiniC offset concretiser, kept a
+  *generator* so solver calls interleave with the caller's per-offset
+  work in the original order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.gil.values import values_equal
+from repro.logic.expr import Expr, Lit
+from repro.logic.simplify import simplify
+
+
+def match_key(
+    keys: Sequence[Expr],
+    key: Expr,
+    pc,
+    solver,
+    on_match: Callable[[int, Tuple[Expr, ...]], List],
+    on_absent: Callable[[Tuple[Expr, ...]], List],
+    *,
+    learned0: Tuple[Expr, ...] = (),
+    keep_prior_on_concrete_hit: bool = False,
+    sat_check_on_empty_absent: bool = False,
+) -> List:
+    """Branch ``key`` over an ordered candidate ``keys`` list under ``pc``.
+
+    For each candidate (in order) the engine simplifies the equality
+    ``key = k``: a provably-false candidate is skipped; a provably-true
+    one short-circuits to ``on_match(i, learned0)`` — returning *only*
+    that branch, or appending it to the branches accumulated so far when
+    ``keep_prior_on_concrete_hit`` is set (the MiniJS property-table
+    behaviour); a genuinely symbolic equality contributes a branch iff
+    the solver finds ``pc ∧ learned0 ∧ (key = k)`` satisfiable.  The
+    final *absent* branch learns the disequality against every
+    non-skipped candidate and is emitted iff feasible; when no
+    disequality was learned, ``sat_check_on_empty_absent`` chooses
+    between still consulting the solver (the While behaviour — the path
+    condition itself may be infeasible) and taking the branch for free
+    (the MiniJS behaviour).
+
+    ``on_match(i, learned)`` / ``on_absent(learned)`` build the branch
+    list for candidate index ``i`` under the accumulated ``learned``
+    conditions (``learned0`` threaded through, per MiniJS's resolver).
+    """
+    branches: List = []
+    miss: List[Expr] = []
+    key_is_lit = isinstance(key, Lit)
+    for i, k in enumerate(keys):
+        if key_is_lit and isinstance(k, Lit):
+            # Fast lane mirroring simplify exactly: a Lit/Lit equality
+            # always folds to Lit(values_equal(...)), and the folded
+            # disequality of a skipped pair is Lit(True), which the
+            # absent branch filters out — so neither the branch list nor
+            # the solver-call sequence can differ from the general path.
+            if values_equal(key.value, k.value):
+                hit = on_match(i, learned0)
+                return branches + hit if keep_prior_on_concrete_hit else hit
+            continue
+        eq = simplify(key.eq(k))
+        if eq == Lit(False):
+            continue
+        if eq == Lit(True):
+            hit = on_match(i, learned0)
+            return branches + hit if keep_prior_on_concrete_hit else hit
+        learned = learned0 + (eq,)
+        if solver.is_sat(pc.conjoin_all(learned)):
+            branches.extend(on_match(i, learned))
+        miss.append(simplify(key.neq(k)))
+    if not any(c == Lit(False) for c in miss):
+        learned = learned0 + tuple(c for c in miss if c != Lit(True))
+        if not learned and not sat_check_on_empty_absent:
+            branches.extend(on_absent(learned))
+        elif solver.is_sat(pc.conjoin_all(learned)):
+            branches.extend(on_absent(learned))
+    return branches
+
+
+def alias_cases(
+    keys: Iterable[Expr], key: Expr, pc, solver
+) -> List[Tuple[Tuple[Expr, ...], Tuple[Expr, ...], bool]]:
+    """Expand every aliasing pattern of ``key`` against ``keys``.
+
+    A disposed location may alias several location expressions at once
+    (cells under different labels can legitimately share a location), so
+    each known key independently contributes an "aliases / does not
+    alias" case; cases are pruned against the path condition as they are
+    built, in candidate order.  Returns ``(matched_keys, learned,
+    matched_any)`` triples — ``matched_keys`` are the candidates the
+    case identifies with ``key`` — with provably-true conditions already
+    filtered from ``learned``.
+    """
+    # Each case: (matched keys, learned conditions, matched-any flag).
+    cases: List[Tuple[Tuple[Expr, ...], List[Expr], bool]] = [((), [], False)]
+    for known in keys:
+        eq = simplify(key.eq(known))
+        next_cases: List[Tuple[Tuple[Expr, ...], List[Expr], bool]] = []
+        for matched_keys, learned, matched in cases:
+            if eq == Lit(True):
+                next_cases.append((matched_keys + (known,), learned, True))
+                continue
+            if eq == Lit(False):
+                next_cases.append((matched_keys, learned, matched))
+                continue
+            # alias case
+            alias_learned = learned + [eq]
+            if solver.is_sat(pc.conjoin_all(alias_learned)):
+                next_cases.append((matched_keys + (known,), alias_learned, True))
+            # non-alias case
+            diseq = simplify(key.neq(known))
+            noalias_learned = learned + [diseq]
+            if solver.is_sat(pc.conjoin_all(noalias_learned)):
+                next_cases.append((matched_keys, noalias_learned, matched))
+        cases = next_cases
+    return [
+        (matched_keys, tuple(c for c in learned if c != Lit(True)), matched)
+        for matched_keys, learned, matched in cases
+    ]
+
+
+def concretise_int(
+    offset_expr: Expr,
+    feasible: Sequence[int],
+    pc,
+    solver,
+    on_invalid: Callable[[Expr], Exception],
+):
+    """Branch a symbolic integer over the ``feasible`` concrete values.
+
+    Yields ``(value, learned)`` pairs; ``value=None`` is the
+    out-of-feasible-set branch (for block offsets: out of bounds or
+    misaligned).  A literal short-circuits without touching the solver;
+    a non-numeric literal raises ``on_invalid(offset_expr)``.  This is a
+    *generator* on purpose: the MiniC access path interleaves each
+    offset's solver query with the caller's decode work, and the
+    fingerprint pins that interleaving.
+    """
+    offset_expr = simplify(offset_expr)
+    if isinstance(offset_expr, Lit):
+        off = offset_expr.value
+        if isinstance(off, (int, float)) and not isinstance(off, bool):
+            off = int(off)
+            if off in feasible:
+                yield off, ()
+            else:
+                yield None, ()
+            return
+        raise on_invalid(offset_expr)
+    miss: List[Expr] = []
+    for off in feasible:
+        eq = simplify(offset_expr.eq(Lit(off)))
+        if eq == Lit(False):
+            continue
+        if eq == Lit(True):
+            yield off, ()
+            return
+        if solver.is_sat(pc.conjoin(eq)):
+            yield off, (eq,)
+        miss.append(simplify(offset_expr.neq(Lit(off))))
+    learned = tuple(c for c in miss if c != Lit(True))
+    if not any(c == Lit(False) for c in miss):
+        if solver.is_sat(pc.conjoin_all(learned)):
+            yield None, learned

@@ -1,0 +1,49 @@
+"""Argument/value conversions shared by every memory part.
+
+Each of the three monolithic target memories carried a private copy of
+these helpers; they are the glue between GIL's action calling convention
+(one list-shaped argument expression) and the parts' typed views of it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gil.ops import EvalError
+from repro.gil.values import Symbol
+from repro.logic.expr import Expr, Lit, lst
+
+
+def unpack_list(expr: Expr) -> List[Expr]:
+    """View an action argument as a list of item expressions."""
+    from repro.logic.expr import EList
+
+    if isinstance(expr, EList):
+        return list(expr.items)
+    if isinstance(expr, Lit) and isinstance(expr.value, tuple):
+        return [Lit(v) for v in expr.value]
+    raise EvalError(f"action argument is not a list: {expr!r}")
+
+
+def as_expr(x) -> Expr:
+    """Wrap a raw value as an expression (exprs pass through)."""
+    return x if isinstance(x, Expr) else Lit(x)
+
+
+def as_expr_list(items) -> Expr:
+    """An error-value list expression; non-literal items are reprs."""
+    return lst(*[x if isinstance(x, (str, int, float, Symbol, bool)) else repr(x)
+                 for x in items])
+
+
+def check_loc(loc, message: str) -> None:
+    """Require a concrete location symbol (concrete-arm argument check)."""
+    if not isinstance(loc, Symbol):
+        raise EvalError(f"{message}: {loc!r}")
+
+
+def concrete_label(expr: Expr, message: str) -> str:
+    """Require a concrete string label (e.g. a While property name)."""
+    if isinstance(expr, Lit) and isinstance(expr.value, str):
+        return expr.value
+    raise EvalError(f"{message}: {expr!r}")

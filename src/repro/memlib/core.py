@@ -1,0 +1,369 @@
+"""The combinator core: memory parts, adapters, rename, and product.
+
+A :class:`MemoryPart` is one composable unit of memory behaviour.  It
+carries *both* execution arms of the paper's memory-model interface —
+the concrete ``ea : A → |M| → V ⇀ ℘(|M| × V)`` and the symbolic
+``êa : A → |M̂| → Ê → Π ⇀ ℘(|M̂| × Ê × Π)`` (Defs. 2.3/2.4) — so a single
+composition expression yields both memory models of a target language.
+:class:`PartConcreteModel` / :class:`PartSymbolicModel` adapt a part to
+the engine-facing ABCs of :mod:`repro.state.interface`.
+
+Combinators: :func:`rename` re-labels a part's action names (so two
+copies of the same part can coexist in a product), and :func:`product`
+runs two parts side by side on a :class:`PairMem`, dispatching on their
+*disjoint* action sets.
+
+Everything here must survive the parallel explorer's pickle boundary:
+parts are plain objects holding frozen-dataclass specs and other parts,
+never closures, so a model instance ships to workers unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.gil.values import Value
+from repro.logic.expr import Expr
+from repro.state.interface import (
+    ConcreteBranch,
+    ConcreteMemoryModel,
+    MemErr,
+    MemOk,
+    SymbolicBranch,
+    SymbolicMemoryModel,
+    SymMemErr,
+    SymMemOk,
+)
+
+
+class MemFault(Exception):
+    """A memory fault raised by shared part helpers.
+
+    Parts convert it to an error *branch* at their action boundary (the
+    value becomes the GIL error value), so helpers deep in cell logic
+    can bail without threading branch lists around.
+    """
+
+    def __init__(self, value) -> None:
+        """Record the GIL error ``value`` the fault converts to."""
+        super().__init__(repr(value))
+        self.value = value
+
+
+class MemoryPart(abc.ABC):
+    """One composable unit of memory behaviour (both execution arms)."""
+
+    @property
+    @abc.abstractmethod
+    def actions(self) -> frozenset:
+        """The action names this part understands."""
+
+    @abc.abstractmethod
+    def initial_concrete(self) -> object:
+        """The part's empty concrete memory."""
+
+    @abc.abstractmethod
+    def initial_symbolic(self) -> object:
+        """The part's empty symbolic memory."""
+
+    @abc.abstractmethod
+    def execute_concrete(
+        self, action: str, memory: object, value: Value
+    ) -> List[ConcreteBranch]:
+        """The concrete arm: a list of MemOk/MemErr branches."""
+
+    @abc.abstractmethod
+    def execute_symbolic(
+        self, action: str, memory: object, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """The symbolic arm: a list of SymMemOk/SymMemErr branches."""
+
+    def concrete_model(self) -> "PartConcreteModel":
+        """This part adapted to the engine's concrete-model ABC."""
+        return PartConcreteModel(self)
+
+    def symbolic_model(self) -> "PartSymbolicModel":
+        """This part adapted to the engine's symbolic-model ABC."""
+        return PartSymbolicModel(self)
+
+
+class PartConcreteModel(ConcreteMemoryModel):
+    """Adapter: a part's concrete arm as a Def. 2.3 memory model.
+
+    Target modules subclass this with a class-level ``part`` (so the
+    model class itself names the composition); ad-hoc compositions pass
+    the part to the constructor instead.
+    """
+
+    part: Optional[MemoryPart] = None
+
+    def __init__(self, part: Optional[MemoryPart] = None) -> None:
+        """Bind ``part``, or use the subclass's class-level part."""
+        if part is not None:
+            self.part = part
+        if self.part is None:
+            raise ValueError("PartConcreteModel requires a memory part")
+
+    @property
+    def actions(self) -> frozenset:
+        """The underlying part's action names."""
+        return self.part.actions
+
+    def initial(self) -> object:
+        """The part's empty concrete memory."""
+        return self.part.initial_concrete()
+
+    def execute(
+        self, action: str, memory: object, value: Value
+    ) -> List[ConcreteBranch]:
+        """Delegate to the part's concrete arm."""
+        return self.part.execute_concrete(action, memory, value)
+
+
+class PartSymbolicModel(SymbolicMemoryModel):
+    """Adapter: a part's symbolic arm as a Def. 2.4 memory model."""
+
+    part: Optional[MemoryPart] = None
+
+    def __init__(self, part: Optional[MemoryPart] = None) -> None:
+        """Bind ``part``, or use the subclass's class-level part."""
+        if part is not None:
+            self.part = part
+        if self.part is None:
+            raise ValueError("PartSymbolicModel requires a memory part")
+
+    @property
+    def actions(self) -> frozenset:
+        """The underlying part's action names."""
+        return self.part.actions
+
+    def initial(self) -> object:
+        """The part's empty symbolic memory."""
+        return self.part.initial_symbolic()
+
+    def execute(
+        self, action: str, memory: object, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Delegate to the part's symbolic arm."""
+        return self.part.execute_symbolic(action, memory, expr, pc, solver)
+
+
+# -- action renaming ----------------------------------------------------------
+
+
+class RenamedPart(MemoryPart):
+    """``inner`` with some actions exposed under new names.
+
+    ``mapping`` sends outer names to inner names; inner actions not
+    mentioned keep their names.  Memories are the inner part's memories
+    unchanged, so renaming composes freely with any other combinator.
+    """
+
+    def __init__(self, inner: MemoryPart, mapping: Dict[str, str]) -> None:
+        """Validate the mapping against ``inner``'s action set."""
+        unknown = sorted(set(mapping.values()) - inner.actions)
+        if unknown:
+            raise ValueError(f"rename: unknown inner actions {unknown}")
+        passthrough = inner.actions - frozenset(mapping.values())
+        clashes = sorted(passthrough & set(mapping))
+        if clashes:
+            raise ValueError(f"rename: outer names clash with inner ones {clashes}")
+        self.inner = inner
+        self.mapping = dict(mapping)
+        self._actions = frozenset(passthrough | set(mapping))
+
+    @property
+    def actions(self) -> frozenset:
+        """The renamed action set."""
+        return self._actions
+
+    def _inner_action(self, action: str) -> str:
+        """Translate an outer action name to the inner one."""
+        return self.mapping.get(action, action)
+
+    def initial_concrete(self) -> object:
+        """The inner part's empty concrete memory."""
+        return self.inner.initial_concrete()
+
+    def initial_symbolic(self) -> object:
+        """The inner part's empty symbolic memory."""
+        return self.inner.initial_symbolic()
+
+    def execute_concrete(
+        self, action: str, memory: object, value: Value
+    ) -> List[ConcreteBranch]:
+        """Delegate under the inner action name."""
+        return self.inner.execute_concrete(self._inner_action(action), memory, value)
+
+    def execute_symbolic(
+        self, action: str, memory: object, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Delegate under the inner action name."""
+        return self.inner.execute_symbolic(
+            self._inner_action(action), memory, expr, pc, solver
+        )
+
+
+def rename(inner: MemoryPart, mapping: Dict[str, str]) -> RenamedPart:
+    """``inner`` with outer→inner action name ``mapping`` applied."""
+    return RenamedPart(inner, mapping)
+
+
+# -- product ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PairMem:
+    """A product memory: the left and right component memories."""
+
+    left: object
+    right: object
+
+
+class ProductPart(MemoryPart):
+    """Two parts side by side, dispatching on disjoint action sets.
+
+    The product memory is a :class:`PairMem`; an action belonging to the
+    left part rewrites only the left component (and symmetrically), with
+    error branches and learned conditions passed through untouched.
+    """
+
+    def __init__(self, left: MemoryPart, right: MemoryPart) -> None:
+        """Check action-set disjointness — the product's side condition."""
+        overlap = sorted(left.actions & right.actions)
+        if overlap:
+            raise ValueError(f"product: parts share actions {overlap}")
+        self.left = left
+        self.right = right
+
+    @property
+    def actions(self) -> frozenset:
+        """The union of the two (disjoint) action sets."""
+        return self.left.actions | self.right.actions
+
+    def initial_concrete(self) -> PairMem:
+        """The pair of empty concrete component memories."""
+        return PairMem(self.left.initial_concrete(), self.right.initial_concrete())
+
+    def initial_symbolic(self) -> PairMem:
+        """The pair of empty symbolic component memories."""
+        return PairMem(self.left.initial_symbolic(), self.right.initial_symbolic())
+
+    def _dispatch(self, action: str) -> Tuple[MemoryPart, bool]:
+        """The component owning ``action`` and whether it is the left."""
+        if action in self.left.actions:
+            return self.left, True
+        if action in self.right.actions:
+            return self.right, False
+        raise ValueError(f"unknown product action {action!r}")
+
+    def execute_concrete(
+        self, action: str, memory: PairMem, value: Value
+    ) -> List[ConcreteBranch]:
+        """Run the owning component; rebuild the pair on success."""
+        part, is_left = self._dispatch(action)
+        component = memory.left if is_left else memory.right
+        out: List[ConcreteBranch] = []
+        for branch in part.execute_concrete(action, component, value):
+            if isinstance(branch, MemErr):
+                out.append(branch)
+            elif is_left:
+                out.append(MemOk(PairMem(branch.memory, memory.right), branch.value))
+            else:
+                out.append(MemOk(PairMem(memory.left, branch.memory), branch.value))
+        return out
+
+    def execute_symbolic(
+        self, action: str, memory: PairMem, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Run the owning component; rebuild the pair on success."""
+        part, is_left = self._dispatch(action)
+        component = memory.left if is_left else memory.right
+        out: List[SymbolicBranch] = []
+        for branch in part.execute_symbolic(action, component, expr, pc, solver):
+            if isinstance(branch, SymMemErr):
+                out.append(branch)
+            elif is_left:
+                out.append(
+                    SymMemOk(
+                        PairMem(branch.memory, memory.right),
+                        branch.expr,
+                        branch.learned,
+                    )
+                )
+            else:
+                out.append(
+                    SymMemOk(
+                        PairMem(memory.left, branch.memory),
+                        branch.expr,
+                        branch.learned,
+                    )
+                )
+        return out
+
+
+def product(left: MemoryPart, right: MemoryPart) -> ProductPart:
+    """``left × right`` over disjoint action sets on a :class:`PairMem`."""
+    return ProductPart(left, right)
+
+
+# -- record-level parts -------------------------------------------------------
+
+#: Sentinel a record part returns to say "the record did not change" —
+#: the enclosing store then reuses its memory unchanged, preserving the
+#: exact memory values (and pickles) the monolithic models produced.
+UNCHANGED = type("_Unchanged", (), {"__repr__": lambda self: "UNCHANGED"})()
+
+
+@dataclass(frozen=True)
+class RecOk:
+    """A successful record-level branch: new record (or UNCHANGED) + value."""
+
+    record: object
+    value: object
+    learned: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class RecErr:
+    """A failing record-level branch, guarded by ``learned``."""
+
+    value: object
+    learned: Tuple[Expr, ...] = ()
+
+
+RecordBranch = Union[RecOk, RecErr]
+
+
+class RecordPart(abc.ABC):
+    """A component operating on one *record* of an enclosing store.
+
+    Where a :class:`MemoryPart` owns a whole memory, a record part owns
+    one entry of a :class:`~repro.memlib.freeable.Freeable` store (e.g.
+    the property table or the metadata slot of a MiniJS object).  The
+    enclosing store resolves the location, threads the learned
+    conditions in, and lifts ``RecOk``/``RecErr`` back to memory-level
+    branches.  ``args`` is the full action argument list — ``args[0]``
+    is the (already-resolved) location, which record parts may use in
+    error values.
+    """
+
+    @property
+    @abc.abstractmethod
+    def actions(self) -> frozenset:
+        """The record-level action names."""
+
+    @abc.abstractmethod
+    def execute_concrete(
+        self, action: str, record: object, value: Value
+    ) -> List[RecordBranch]:
+        """The concrete arm over one record."""
+
+    @abc.abstractmethod
+    def execute_symbolic(
+        self, action: str, record: object, args: List[Expr],
+        learned0: Tuple[Expr, ...], pc, solver,
+    ) -> List[RecordBranch]:
+        """The symbolic arm over one record, under ``learned0``."""

@@ -1,0 +1,398 @@
+"""``Freeable`` — an alloc/dispose store of records with error branches.
+
+The combinator behind the MiniJS memory (paper §4.1): a store mapping
+location expressions to *records*, with an allocation action, a dispose
+action that marks the entry freed (``None``), and use-after-free /
+not-an-object error branches on every access.  What happens *inside* a
+live record is delegated to a :class:`~repro.memlib.core.RecordPart`
+(e.g. a :class:`~repro.memlib.proptable.PropTable`, a
+:class:`~repro.memlib.metadata.MetadataTable`, or their
+:class:`RecordProduct`), so the lifecycle logic is written once.
+
+Symbolically, the store resolves the accessed location by branching over
+every store entry it may alias (the paper's [SGetProp - Branch] shape);
+each surviving branch threads its learned equalities into the record
+part, mirroring the monolithic MiniJS resolver exactly.
+
+``create_on_absent`` lists actions that *implicitly allocate* an empty
+record when the location resolves to nothing — the ingredient that turns
+this combinator plus a property table into a freeable While-style heap
+(see :mod:`repro.targets.while_lang.heap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.gil.ops import EvalError
+from repro.gil.values import Symbol, Value, values_equal
+from repro.logic.expr import Expr, Lit, lst
+from repro.memlib.branching import match_key
+from repro.memlib.convert import check_loc, unpack_list
+from repro.memlib.core import (
+    MemoryPart,
+    RecErr,
+    RecOk,
+    RecordPart,
+    UNCHANGED,
+)
+from repro.state.interface import (
+    ConcreteBranch,
+    MemErr,
+    MemOk,
+    SymbolicBranch,
+    SymMemErr,
+    SymMemOk,
+)
+
+#: Internal resolver tag for a freed (``None``) store entry.
+FREED = type("_Freed", (), {"__repr__": lambda self: "FREED"})()
+
+
+@dataclass(frozen=True)
+class Record:
+    """A store record: a metadata slot plus an ordered property table.
+
+    Concrete records hold values; symbolic records hold expressions.
+    The lookup/update methods below are the concrete arm's helpers
+    (symbolic tables branch through the store instead).
+    """
+
+    metadata: object
+    props: Tuple[Tuple[object, object], ...] = ()
+
+    def get(self, key) -> Optional[object]:
+        """The value at ``key``, or None if absent."""
+        for k, v in self.props:
+            if values_equal(k, key):
+                return v
+        return None
+
+    def set(self, key, value) -> "Record":
+        """This record with ``key`` bound to ``value`` (replace/append)."""
+        out = []
+        replaced = False
+        for k, v in self.props:
+            if values_equal(k, key):
+                out.append((k, value))
+                replaced = True
+            else:
+                out.append((k, v))
+        if not replaced:
+            out.append((key, value))
+        return type(self)(self.metadata, tuple(out))
+
+    def delete(self, key) -> "Record":
+        """This record without ``key`` (no-op when absent)."""
+        return type(self)(
+            self.metadata,
+            tuple((k, v) for k, v in self.props if not values_equal(k, key)),
+        )
+
+
+@dataclass(frozen=True)
+class StoreMem:
+    """Concrete freeable store: location → record (None once freed)."""
+
+    entries: Tuple[Tuple[Symbol, Optional[Record]], ...] = ()
+
+    def as_dict(self) -> Dict[Symbol, Optional[Record]]:
+        """The entries as a dict (insertion order preserved)."""
+        return dict(self.entries)
+
+    @classmethod
+    def of(cls, entries: Dict[Symbol, Optional[Record]]) -> "StoreMem":
+        """The canonical (location-name sorted) store for ``entries``."""
+        return cls(tuple(sorted(entries.items(), key=_entry_name)))
+
+
+def _entry_name(kv) -> str:
+    """Sort key for concrete store entries: the location symbol's name."""
+    return kv[0].name
+
+
+@dataclass(frozen=True)
+class SymStoreMem:
+    """Symbolic freeable store: location expressions → symbolic records."""
+
+    entries: Tuple[Tuple[Expr, Optional[Record]], ...] = ()
+
+    def as_dict(self) -> Dict[Expr, Optional[Record]]:
+        """The entries as a dict (insertion order preserved)."""
+        return dict(self.entries)
+
+    def with_entry(self, loc: Expr, record: Optional[Record]) -> "SymStoreMem":
+        """This store with ``loc`` bound to ``record`` (replace or
+        append), preserving insertion order exactly as a dict round-trip
+        would — in one O(B) pass with no intermediate dict."""
+        entries = self.entries
+        for i, (k, _v) in enumerate(entries):
+            if k == loc:
+                return type(self)(entries[:i] + ((loc, record),) + entries[i + 1:])
+        return type(self)(entries + ((loc, record),))
+
+    @classmethod
+    def of(cls, entries: Dict[Expr, Optional[Record]]) -> "SymStoreMem":
+        """A store over ``entries`` in dict (insertion) order."""
+        return cls(tuple(entries.items()))
+
+
+@dataclass(frozen=True)
+class FreeableSpec:
+    """Branding and lifecycle policy for a :class:`Freeable` store."""
+
+    #: the allocation action name, or None for stores without explicit
+    #: allocation (e.g. an implicitly-creating heap)
+    alloc_action: Optional[str] = "initObj"
+    dispose_action: str = "dispose"
+    #: error tags for the two lifecycle error branches
+    not_object_error: str = "type-error-not-an-object"
+    disposed_error: str = "use-after-dispose"
+    #: message for the concrete non-symbol-location EvalError
+    loc_error: str = "not an object location"
+    #: name used in unknown-action errors
+    name: str = "Freeable"
+    #: record-part actions that implicitly allocate an empty record when
+    #: the location resolves to no entry (instead of erroring)
+    create_on_absent: frozenset = frozenset()
+    #: memory classes to build (targets subclass StoreMem/SymStoreMem)
+    concrete_mem: Type[StoreMem] = StoreMem
+    symbolic_mem: Type[SymStoreMem] = SymStoreMem
+    #: record classes the alloc action instantiates (metadata as arg)
+    concrete_record_cls: Type[Record] = Record
+    symbolic_record_cls: Type[Record] = Record
+    #: empty records used by ``create_on_absent`` implicit allocation
+    concrete_empty_record: Optional[Record] = None
+    symbolic_empty_record: Optional[Record] = None
+
+
+class Freeable(MemoryPart):
+    """The alloc/dispose record-store part, generic over a record part."""
+
+    def __init__(self, record: RecordPart, spec: Optional[FreeableSpec] = None) -> None:
+        """Wrap ``record`` in the lifecycle policy of ``spec``."""
+        self.record = record
+        self.spec = spec or FreeableSpec()
+        names = {self.spec.dispose_action} | set(record.actions)
+        if self.spec.alloc_action is not None:
+            names.add(self.spec.alloc_action)
+        self._actions = frozenset(names)
+
+    @property
+    def actions(self) -> frozenset:
+        """alloc + dispose + the record part's actions."""
+        return self._actions
+
+    def initial_concrete(self) -> StoreMem:
+        """The empty concrete store."""
+        return self.spec.concrete_mem()
+
+    def initial_symbolic(self) -> SymStoreMem:
+        """The empty symbolic store."""
+        return self.spec.symbolic_mem()
+
+    # -- concrete arm --------------------------------------------------------
+
+    def execute_concrete(
+        self, action: str, memory: StoreMem, value: Value
+    ) -> List[ConcreteBranch]:
+        """Resolve the location, then run the lifecycle or the record part."""
+        spec = self.spec
+        if action not in self._actions:
+            raise ValueError(f"unknown {spec.name} action {action!r}")
+        entries = memory.as_dict()
+        if action == spec.alloc_action:
+            loc, metadata = value
+            check_loc(loc, spec.loc_error)
+            if loc in entries:
+                raise EvalError(
+                    f"{spec.alloc_action}: location {loc!r} already allocated"
+                )
+            entries[loc] = spec.concrete_record_cls(metadata)
+            return [MemOk(spec.concrete_mem.of(entries), loc)]
+
+        loc = value[0]
+        record, err = self._resolve_concrete(entries, loc)
+        if err is not None:
+            if (
+                action in spec.create_on_absent
+                and isinstance(loc, Symbol)
+                and loc not in entries
+            ):
+                record = spec.concrete_empty_record
+            else:
+                return [MemErr(err)]
+
+        if action == spec.dispose_action:
+            entries[loc] = None
+            return [MemOk(spec.concrete_mem.of(entries), True)]
+
+        out: List[ConcreteBranch] = []
+        for r in self.record.execute_concrete(action, record, value):
+            if isinstance(r, RecErr):
+                out.append(MemErr(r.value))
+            elif r.record is UNCHANGED:
+                out.append(MemOk(memory, r.value))
+            else:
+                entries[loc] = r.record
+                out.append(MemOk(spec.concrete_mem.of(entries), r.value))
+        return out
+
+    def _resolve_concrete(self, entries, loc):
+        """A live record for ``loc``, or the error value to surface."""
+        spec = self.spec
+        if not isinstance(loc, Symbol) or loc not in entries:
+            return None, (spec.not_object_error, loc)
+        record = entries[loc]
+        if record is None:
+            return None, (spec.disposed_error, loc)
+        return record, None
+
+    # -- symbolic arm --------------------------------------------------------
+
+    def execute_symbolic(
+        self, action: str, memory: SymStoreMem, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Branch over aliasing entries, then lifecycle or record part."""
+        spec = self.spec
+        if action not in self._actions:
+            raise ValueError(f"unknown {spec.name} action {action!r}")
+        args = unpack_list(expr)
+        if action == spec.alloc_action:
+            loc, metadata = args
+            if any(k == loc for k, _v in memory.entries):
+                raise EvalError(
+                    f"{spec.alloc_action}: location {loc!r} already allocated"
+                )
+            fresh = spec.symbolic_record_cls(metadata)
+            return [SymMemOk(memory.with_entry(loc, fresh), loc)]
+
+        loc = args[0]
+        branches: List[SymbolicBranch] = []
+        for resolved, tag, learned in self._resolve_symbolic(
+            memory, loc, pc, solver
+        ):
+            if tag is None:
+                branches.extend(
+                    self._on_absent(action, memory, loc, args, learned, pc, solver)
+                )
+                continue
+            if tag is FREED:
+                branches.append(
+                    SymMemErr(lst(spec.disposed_error, loc), learned)
+                )
+                continue
+            if action == spec.dispose_action:
+                branches.append(
+                    SymMemOk(memory.with_entry(resolved, None), Lit(True), learned)
+                )
+                continue
+            branches.extend(
+                self._record_branches(
+                    action, memory, resolved, tag, args, learned, pc, solver
+                )
+            )
+        return branches
+
+    def _resolve_symbolic(self, memory: SymStoreMem, loc: Expr, pc, solver):
+        """Branch over the entries ``loc`` may denote.
+
+        Returns (resolved location key, record | FREED | None, learned)
+        triples.  In whole-program symbolic testing locations are
+        literal symbols, so the equalities fold and exactly one branch
+        survives; the general branching mirrors [SGetProp - Branch]
+        nonetheless.
+        """
+        entries = memory.entries
+        keys = [k for k, _v in entries]
+
+        def on_match(i: int, learned):
+            record = entries[i][1]
+            tag = FREED if record is None else record
+            return [(keys[i], tag, learned)]
+
+        def on_absent(learned):
+            return [(loc, None, learned)]
+
+        return match_key(keys, loc, pc, solver, on_match, on_absent)
+
+    def _on_absent(
+        self, action: str, memory: SymStoreMem, loc: Expr, args, learned,
+        pc, solver,
+    ) -> List[SymbolicBranch]:
+        """The location resolves to no entry: error, or implicit create."""
+        spec = self.spec
+        literal_non_symbol = isinstance(loc, Lit) and not isinstance(
+            loc.value, Symbol
+        )
+        if action not in spec.create_on_absent or literal_non_symbol:
+            return [SymMemErr(lst(spec.not_object_error, loc), learned)]
+        return self._record_branches(
+            action, memory, loc, spec.symbolic_empty_record, args, learned,
+            pc, solver,
+        )
+
+    def _record_branches(
+        self, action: str, memory: SymStoreMem, resolved: Expr, record: Record,
+        args, learned, pc, solver,
+    ) -> List[SymbolicBranch]:
+        """Lift the record part's branches back to store level."""
+        out: List[SymbolicBranch] = []
+        for r in self.record.execute_symbolic(
+            action, record, args, learned, pc, solver
+        ):
+            if isinstance(r, RecErr):
+                out.append(SymMemErr(r.value, r.learned))
+            elif r.record is UNCHANGED:
+                out.append(SymMemOk(memory, r.value, r.learned))
+            else:
+                out.append(
+                    SymMemOk(
+                        memory.with_entry(resolved, r.record), r.value, r.learned
+                    )
+                )
+        return out
+
+
+class RecordProduct(RecordPart):
+    """Several record parts over one record, on disjoint action sets.
+
+    The record-level analogue of :func:`~repro.memlib.core.product`: a
+    MiniJS object is ``RecordProduct(MetadataTable(), PropTable(...))``
+    — the metadata slot and the property table share the record but own
+    disjoint actions.
+    """
+
+    def __init__(self, *parts: RecordPart) -> None:
+        """Check pairwise action-set disjointness."""
+        seen: set = set()
+        for part in parts:
+            overlap = sorted(seen & part.actions)
+            if overlap:
+                raise ValueError(f"record product: parts share actions {overlap}")
+            seen |= part.actions
+        self.parts = tuple(parts)
+        self._actions = frozenset(seen)
+
+    @property
+    def actions(self) -> frozenset:
+        """The union of the component action sets."""
+        return self._actions
+
+    def _owner(self, action: str) -> RecordPart:
+        """The component part owning ``action``."""
+        for part in self.parts:
+            if action in part.actions:
+                return part
+        raise ValueError(f"unknown record action {action!r}")
+
+    def execute_concrete(self, action, record, value):
+        """Delegate to the owning component."""
+        return self._owner(action).execute_concrete(action, record, value)
+
+    def execute_symbolic(self, action, record, args, learned0, pc, solver):
+        """Delegate to the owning component."""
+        return self._owner(action).execute_symbolic(
+            action, record, args, learned0, pc, solver
+        )

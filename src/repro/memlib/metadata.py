@@ -1,0 +1,53 @@
+"""``MetadataTable`` — the metadata slot of a store record.
+
+The record-level part behind MiniJS object metadata (paper §4.1): every
+:class:`~repro.memlib.freeable.Record` carries one metadata value (the
+paper uses it for the JS internal prototype/class slot), read and
+written by ``getMetadata`` / ``setMetadata``.  Neither action branches:
+the slot always exists on a live record, so both arms are singleton.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gil.values import Value
+from repro.logic.expr import Expr
+from repro.memlib.core import RecordBranch, RecOk, RecordPart, UNCHANGED
+from repro.memlib.freeable import Record
+
+ACTIONS = frozenset({"getMetadata", "setMetadata"})
+
+
+class MetadataTable(RecordPart):
+    """The metadata-slot record part (both arms)."""
+
+    @property
+    def actions(self) -> frozenset:
+        """getMetadata / setMetadata."""
+        return ACTIONS
+
+    def execute_concrete(
+        self, action: str, record: Record, value: Value
+    ) -> List[RecordBranch]:
+        """Read or replace the concrete metadata value."""
+        if action == "getMetadata":
+            return [RecOk(UNCHANGED, record.metadata)]
+        if action == "setMetadata":
+            metadata = value[1]
+            return [RecOk(type(record)(metadata, record.props), metadata)]
+        raise ValueError(f"unknown metadata action {action!r}")
+
+    def execute_symbolic(
+        self, action: str, record: Record, args: List[Expr],
+        learned0: Tuple[Expr, ...], pc, solver,
+    ) -> List[RecordBranch]:
+        """Read or replace the metadata expression (no branching)."""
+        if action == "getMetadata":
+            return [RecOk(UNCHANGED, record.metadata, learned0)]
+        if action == "setMetadata":
+            metadata = args[1]
+            return [
+                RecOk(type(record)(metadata, record.props), metadata, learned0)
+            ]
+        raise ValueError(f"unknown metadata action {action!r}")

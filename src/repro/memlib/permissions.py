@@ -1,0 +1,103 @@
+"""Permissions: the access lattice and an action-gating wrapper part.
+
+The paper's MiniC memory (§4.2) models permissions as integers in
+ascending order of permissiveness; the constants and checks here are
+shared by :mod:`repro.memlib.blockoffset` (per-block permissions) and by
+the :class:`Permissions` wrapper, which gates a whole part's actions at
+a fixed grant level — e.g. freezing a heap read-only by granting
+``PERM_READABLE`` and requiring ``PERM_WRITABLE`` for its mutators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gil.values import Value
+from repro.logic.expr import Expr, lst
+from repro.memlib.core import MemFault, MemoryPart
+from repro.state.interface import (
+    ConcreteBranch,
+    MemErr,
+    SymbolicBranch,
+    SymMemErr,
+)
+
+#: Permission levels, in ascending order of permissiveness (paper §4.2:
+#: "we model permissions as integers, in ascending order").
+PERM_NONE = 0
+PERM_READABLE = 1
+PERM_WRITABLE = 2
+PERM_FREEABLE = 3
+
+
+def require_perm(perm: int, need: int, loc) -> None:
+    """Fault unless ``perm`` grants ``need``.
+
+    ``PERM_NONE`` means the entry was freed — the fault is a
+    use-after-free, not a permission failure; anything else below
+    ``need`` is a permission denial.
+    """
+    if perm == PERM_NONE:
+        raise MemFault(("use-after-free", loc))
+    if perm < need:
+        raise MemFault(("permission-denied", loc))
+
+
+class Permissions(MemoryPart):
+    """``inner`` with per-action required permission levels.
+
+    ``required`` maps action names to the minimum level they need;
+    unmapped actions need only ``PERM_READABLE``.  The wrapper holds a
+    fixed ``granted`` level: an action whose requirement exceeds it
+    becomes a single ``permission-denied`` error branch (both arms),
+    otherwise the part is transparent.  Memories are the inner part's.
+    """
+
+    def __init__(
+        self,
+        inner: MemoryPart,
+        required: Optional[Dict[str, int]] = None,
+        granted: int = PERM_FREEABLE,
+    ) -> None:
+        """Gate ``inner``'s actions at the ``granted`` level."""
+        required = dict(required or {})
+        unknown = sorted(set(required) - inner.actions)
+        if unknown:
+            raise ValueError(f"permissions: unknown actions {unknown}")
+        self.inner = inner
+        self.required = required
+        self.granted = granted
+
+    @property
+    def actions(self) -> frozenset:
+        """The inner part's action names (gating renames nothing)."""
+        return self.inner.actions
+
+    def _denied(self, action: str) -> bool:
+        """Whether ``action`` needs more than the granted level."""
+        return self.required.get(action, PERM_READABLE) > self.granted
+
+    def initial_concrete(self) -> object:
+        """The inner part's empty concrete memory."""
+        return self.inner.initial_concrete()
+
+    def initial_symbolic(self) -> object:
+        """The inner part's empty symbolic memory."""
+        return self.inner.initial_symbolic()
+
+    def execute_concrete(
+        self, action: str, memory: object, value: Value
+    ) -> List[ConcreteBranch]:
+        """Deny or delegate."""
+        if self._denied(action):
+            return [MemErr(("permission-denied", action))]
+        return self.inner.execute_concrete(action, memory, value)
+
+    def execute_symbolic(
+        self, action: str, memory: object, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Deny or delegate."""
+        if self._denied(action):
+            return [SymMemErr(lst("permission-denied", action))]
+        return self.inner.execute_symbolic(action, memory, expr, pc, solver)

@@ -1,0 +1,272 @@
+"""``PMap`` — a labelled partial map with symbolic-key branching.
+
+The combinator behind the While memory (paper §2.4, Figure 3): cells
+``(location, label) ↦ value`` with a concrete string label, three
+actions (``lookup``, ``mutate``, ``dispose``), and the Figure 3 rules:
+
+* [S-Lookup] branches over every location potentially equal to the
+  looked-up one under π, passing the learned equality back to the state;
+* [S-Mutate-Present]/[S-Mutate-Absent] likewise; the absent branch
+  learns that the location differs from every location defining the
+  label;
+* ``dispose`` expands every aliasing pattern over the known locations
+  (:func:`~repro.memlib.branching.alias_cases`), since cells under
+  different labels can legitimately share a location;
+* the error branches (no rule applies — missing cell, missing object)
+  surface as ``SymMemErr``, which the interpreter turns into GIL errors
+  ``E(v)``; this is how use-after-dispose is caught in While.
+
+The error tags, label-coercion message, and memory classes are spec
+parameters, so a target can brand the part without redefining it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.gil.ops import EvalError
+from repro.gil.values import Symbol, Value
+from repro.logic.expr import Expr, Lit, lst
+from repro.memlib.branching import alias_cases, match_key
+from repro.memlib.convert import check_loc, concrete_label, unpack_list
+from repro.memlib.core import MemoryPart
+from repro.state.interface import (
+    ConcreteBranch,
+    MemErr,
+    MemOk,
+    SymbolicBranch,
+    SymMemErr,
+    SymMemOk,
+)
+
+
+@dataclass(frozen=True)
+class MapMem:
+    """An immutable concrete labelled-map memory: cells (ς, p) ↦ v."""
+
+    cells: Tuple[Tuple[Tuple[Symbol, str], Value], ...] = ()
+
+    def as_dict(self) -> Dict[Tuple[Symbol, str], Value]:
+        """The cells as a dict (insertion order preserved)."""
+        return dict(self.cells)
+
+    @classmethod
+    def of(cls, cells: Dict[Tuple[Symbol, str], Value]) -> "MapMem":
+        """The canonical (name-then-label sorted) memory for ``cells``."""
+        return cls(tuple(sorted(cells.items(), key=_concrete_cell_key)))
+
+
+def _concrete_cell_key(kv) -> Tuple[str, str]:
+    """Sort key for concrete cells: location name, then label."""
+    return (kv[0][0].name, kv[0][1])
+
+
+@dataclass(frozen=True)
+class SymMapMem:
+    """An immutable symbolic labelled-map memory: cells (ê, p) ↦ ê′."""
+
+    cells: Tuple[Tuple[Tuple[Expr, str], Expr], ...] = ()
+
+    def as_dict(self) -> Dict[Tuple[Expr, str], Expr]:
+        """The cells as a dict (insertion order preserved)."""
+        return dict(self.cells)
+
+    @classmethod
+    def of(cls, cells: Dict[Tuple[Expr, str], Expr]) -> "SymMapMem":
+        """A memory over ``cells`` in dict (insertion) order."""
+        return cls(tuple(cells.items()))
+
+    def locations(self) -> List[Expr]:
+        """Distinct location expressions in the memory, in cell order."""
+        seen: List[Expr] = []
+        for (loc, _label), _ in self.cells:
+            if loc not in seen:
+                seen.append(loc)
+        return seen
+
+
+@dataclass(frozen=True)
+class PMapSpec:
+    """Branding for a :class:`PMap`: memory classes and error wording."""
+
+    #: memory classes to build (targets subclass MapMem/SymMapMem)
+    concrete_mem: Type[MapMem] = MapMem
+    symbolic_mem: Type[SymMapMem] = SymMapMem
+    #: error tags surfaced in error-branch values
+    missing_cell_error: str = "missing-property"
+    missing_store_error: str = "missing-object"
+    #: messages for argument-shape EvalErrors
+    label_error: str = "property names must be concrete strings"
+    loc_error: str = "not an object location"
+    #: name used in unknown-action errors
+    name: str = "PMap"
+    #: action names (renameable here or via the rename combinator)
+    lookup_action: str = "lookup"
+    mutate_action: str = "mutate"
+    dispose_action: str = "dispose"
+
+
+class PMap(MemoryPart):
+    """The labelled partial-map part (Figure 3, both columns)."""
+
+    def __init__(self, spec: Optional[PMapSpec] = None) -> None:
+        """Build the part over ``spec`` (default: a plain PMap)."""
+        self.spec = spec or PMapSpec()
+        # Action names cached as plain attributes: execute() compares
+        # against them on every memory action, and one attribute load
+        # beats two on that hot path.
+        self._lookup_name = self.spec.lookup_action
+        self._mutate_name = self.spec.mutate_action
+        self._dispose_name = self.spec.dispose_action
+        self._actions = frozenset(
+            {self._lookup_name, self._mutate_name, self._dispose_name}
+        )
+
+    @property
+    def actions(self) -> frozenset:
+        """lookup / mutate / dispose (under the spec's names)."""
+        return self._actions
+
+    def initial_concrete(self) -> MapMem:
+        """The empty concrete map."""
+        return self.spec.concrete_mem()
+
+    def initial_symbolic(self) -> SymMapMem:
+        """The empty symbolic map."""
+        return self.spec.symbolic_mem()
+
+    # -- concrete arm (Figure 3, left column) -------------------------------
+
+    def execute_concrete(
+        self, action: str, memory: MapMem, value: Value
+    ) -> List[ConcreteBranch]:
+        """ea for {lookup, mutate, dispose}."""
+        spec = self.spec
+        cells = memory.as_dict()
+        if action == self._lookup_name:
+            loc, label = value
+            check_loc(loc, spec.loc_error)
+            label = str(label)
+            if (loc, label) in cells:
+                return [MemOk(memory, cells[(loc, label)])]
+            return [MemErr((spec.missing_cell_error, loc, label))]
+        if action == self._mutate_name:
+            loc, label, new_value = value
+            check_loc(loc, spec.loc_error)
+            cells[(loc, str(label))] = new_value
+            return [MemOk(spec.concrete_mem.of(cells), new_value)]
+        if action == self._dispose_name:
+            (loc,) = value
+            check_loc(loc, spec.loc_error)
+            remaining = {k: v for k, v in cells.items() if k[0] != loc}
+            if len(remaining) == len(cells):
+                return [MemErr((spec.missing_store_error, loc))]
+            return [MemOk(spec.concrete_mem.of(remaining), True)]
+        raise ValueError(f"unknown {spec.name} action {action!r}")
+
+    # -- symbolic arm (Figure 3, right column) ------------------------------
+
+    def execute_symbolic(
+        self, action: str, memory: SymMapMem, expr: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """êa for {lookup, mutate, dispose}, with error branches."""
+        spec = self.spec
+        args = unpack_list(expr)
+        if action == self._lookup_name:
+            loc, label = args[0], concrete_label(args[1], spec.label_error)
+            return self._lookup(memory, loc, label, pc, solver)
+        if action == self._mutate_name:
+            loc, label = args[0], concrete_label(args[1], spec.label_error)
+            return self._mutate(memory, loc, label, args[2], pc, solver)
+        if action == self._dispose_name:
+            return self._dispose(memory, args[0], pc, solver)
+        raise ValueError(f"unknown {spec.name} action {action!r}")
+
+    # [S-Lookup]
+    def _lookup(
+        self, memory: SymMapMem, loc: Expr, label: str, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Branch over every cell defining ``label`` that may alias ``loc``."""
+        keys: List[Expr] = []
+        values: List[Expr] = []
+        for (cell_loc, cell_label), cell_value in memory.cells:
+            if cell_label == label:
+                keys.append(cell_loc)
+                values.append(cell_value)
+
+        def on_match(i: int, learned) -> List[SymbolicBranch]:
+            return [SymMemOk(memory, values[i], learned)]
+
+        def on_absent(learned) -> List[SymbolicBranch]:
+            return [
+                SymMemErr(
+                    _err(self.spec.missing_cell_error, loc, label), learned
+                )
+            ]
+
+        return match_key(
+            keys, loc, pc, solver, on_match, on_absent,
+            sat_check_on_empty_absent=True,
+        )
+
+    # [S-Mutate-Present] / [S-Mutate-Absent]
+    def _mutate(
+        self, memory: SymMapMem, loc: Expr, label: str, new_value: Expr,
+        pc, solver,
+    ) -> List[SymbolicBranch]:
+        """Update the aliasing cell per branch; create it on the absent one."""
+        spec = self.spec
+        keys = [k[0] for k, _ in memory.cells if k[1] == label]
+
+        def on_match(i: int, learned) -> List[SymbolicBranch]:
+            cells = memory.as_dict()
+            cells[(keys[i], label)] = new_value
+            return [SymMemOk(spec.symbolic_mem.of(cells), new_value, learned)]
+
+        def on_absent(learned) -> List[SymbolicBranch]:
+            cells = memory.as_dict()
+            cells[(loc, label)] = new_value
+            return [SymMemOk(spec.symbolic_mem.of(cells), new_value, learned)]
+
+        return match_key(
+            keys, loc, pc, solver, on_match, on_absent,
+            sat_check_on_empty_absent=True,
+        )
+
+    def _dispose(
+        self, memory: SymMapMem, loc: Expr, pc, solver
+    ) -> List[SymbolicBranch]:
+        """Dispose branches over *every* aliasing pattern.
+
+        A disposed location may alias several location expressions in
+        the memory, so each known location independently contributes an
+        "aliases / does not alias" case (see
+        :func:`~repro.memlib.branching.alias_cases`); matched cases drop
+        every cell under the matched locations, unmatched ones are the
+        missing-object error branch.
+        """
+        spec = self.spec
+        branches: List[SymbolicBranch] = []
+        for matched_keys, learned, matched in alias_cases(
+            memory.locations(), loc, pc, solver
+        ):
+            if matched:
+                cells = {
+                    k: v for k, v in memory.cells if k[0] not in matched_keys
+                }
+                branches.append(
+                    SymMemOk(spec.symbolic_mem.of(cells), Lit(True), learned)
+                )
+            else:
+                branches.append(
+                    SymMemErr(_err(spec.missing_store_error, loc), learned)
+                )
+        return branches
+
+
+def _err(tag: str, loc: Expr, label: Optional[str] = None) -> Expr:
+    """A symbolic error value: [tag, loc] or [tag, loc, label]."""
+    if label is None:
+        return lst(tag, loc)
+    return lst(tag, loc, label)

@@ -1,0 +1,149 @@
+"""``PropTable`` — an extensible property table over one store record.
+
+The record-level part behind MiniJS property access (paper §4.1):
+``getProp`` / ``setProp`` / ``delProp`` / ``hasProp`` over the ordered
+``(key, value)`` table of a :class:`~repro.memlib.freeable.Record`.
+Keys are logical expressions symbolically — JavaScript's dynamic
+property names are exactly what makes this part branch (the paper's
+[SGetProp - Branch - Found] rule).
+
+The spec chooses what an absent ``getProp`` means (a default value, as
+in JavaScript's ``undefined``, or an error branch, as in a While-style
+heap) and which of the two branching behaviours
+:func:`~repro.memlib.branching.match_key` supports this table uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.gil.values import Value
+from repro.logic.expr import Expr, Lit, lst
+from repro.memlib.branching import match_key
+from repro.memlib.core import RecErr, RecOk, RecordBranch, RecordPart, UNCHANGED
+from repro.memlib.freeable import Record
+
+ACTIONS = frozenset({"getProp", "setProp", "delProp", "hasProp"})
+
+
+@dataclass(frozen=True)
+class PropTableSpec:
+    """Absent-key policy and branching behaviour for a table."""
+
+    #: when set, an absent ``getProp`` is an error branch with this tag
+    #: (value ``[tag, loc, key]``); when None, it yields ``absent_value``
+    absent_get_error: Optional[str] = None
+    #: the value an absent ``getProp`` yields (e.g. JS ``undefined``)
+    absent_value: object = None
+    #: a concrete key hit keeps the symbolic branches found before it
+    #: (the MiniJS behaviour); a While-style table returns only the hit
+    keep_prior_on_hit: bool = True
+    #: consult the solver for the absent branch even with nothing
+    #: learned (the While behaviour); MiniJS takes it for free
+    sat_check_on_empty_absent: bool = False
+
+
+class PropTable(RecordPart):
+    """The property-table record part (both arms)."""
+
+    def __init__(self, spec: Optional[PropTableSpec] = None) -> None:
+        """Build the table over ``spec`` (default: MiniJS behaviour)."""
+        self.spec = spec or PropTableSpec()
+
+    @property
+    def actions(self) -> frozenset:
+        """getProp / setProp / delProp / hasProp."""
+        return ACTIONS
+
+    # -- concrete arm --------------------------------------------------------
+
+    def execute_concrete(
+        self, action: str, record: Record, value: Value
+    ) -> List[RecordBranch]:
+        """Value-level table access (keys compared with values_equal)."""
+        spec = self.spec
+        key = value[1]
+        if action == "getProp":
+            found = record.get(key)
+            if found is not None:
+                return [RecOk(UNCHANGED, found)]
+            if spec.absent_get_error is not None:
+                return [RecErr((spec.absent_get_error, value[0], key))]
+            return [RecOk(UNCHANGED, spec.absent_value)]
+        if action == "setProp":
+            new_value = value[2]
+            return [RecOk(record.set(key, new_value), new_value)]
+        if action == "delProp":
+            return [RecOk(record.delete(key), True)]
+        if action == "hasProp":
+            return [RecOk(UNCHANGED, record.get(key) is not None)]
+        raise ValueError(f"unknown property-table action {action!r}")
+
+    # -- symbolic arm --------------------------------------------------------
+
+    def execute_symbolic(
+        self, action: str, record: Record, args: List[Expr],
+        learned0: Tuple[Expr, ...], pc, solver,
+    ) -> List[RecordBranch]:
+        """The [SGetProp]-style branch over the record's table."""
+        spec = self.spec
+        key = args[1]
+        props = record.props
+        keys = [k for k, _v in props]
+
+        def branch(on_match, on_absent) -> List[RecordBranch]:
+            return match_key(
+                keys, key, pc, solver, on_match, on_absent,
+                learned0=learned0,
+                keep_prior_on_concrete_hit=spec.keep_prior_on_hit,
+                sat_check_on_empty_absent=spec.sat_check_on_empty_absent,
+            )
+
+        if action == "getProp":
+            def on_absent(learned):
+                if spec.absent_get_error is not None:
+                    return [
+                        RecErr(
+                            lst(spec.absent_get_error, args[0], key), learned
+                        )
+                    ]
+                return [RecOk(UNCHANGED, Lit(spec.absent_value), learned)]
+
+            return branch(
+                lambda i, learned: [RecOk(UNCHANGED, props[i][1], learned)],
+                on_absent,
+            )
+        if action == "hasProp":
+            return branch(
+                lambda i, learned: [RecOk(UNCHANGED, Lit(True), learned)],
+                lambda learned: [RecOk(UNCHANGED, Lit(False), learned)],
+            )
+        if action == "setProp":
+            new_value = args[2]
+
+            def set_at(i: int, learned) -> List[RecordBranch]:
+                table = list(props)
+                table[i] = (table[i][0], new_value)
+                updated = type(record)(record.metadata, tuple(table))
+                return [RecOk(updated, new_value, learned)]
+
+            def set_fresh(learned) -> List[RecordBranch]:
+                updated = type(record)(
+                    record.metadata, props + ((key, new_value),)
+                )
+                return [RecOk(updated, new_value, learned)]
+
+            return branch(set_at, set_fresh)
+        if action == "delProp":
+            def del_at(i: int, learned) -> List[RecordBranch]:
+                updated = type(record)(
+                    record.metadata, props[:i] + props[i + 1:]
+                )
+                return [RecOk(updated, Lit(True), learned)]
+
+            return branch(
+                del_at,
+                lambda learned: [RecOk(UNCHANGED, Lit(True), learned)],
+            )
+        raise ValueError(f"unknown property-table action {action!r}")

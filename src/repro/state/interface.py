@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Generic, List, Tuple, TypeVar
+from typing import Generic, List, Tuple, TypeVar, Union
 
 from repro.gil.values import Value
 from repro.logic.expr import Expr
@@ -73,6 +73,13 @@ class SymMemErr:
     learned: Tuple[Expr, ...] = ()
 
 
+#: What a concrete action execution may branch to.
+ConcreteBranch = Union[MemOk, MemErr]
+
+#: What a symbolic action execution may branch to.
+SymbolicBranch = Union[SymMemOk, SymMemErr]
+
+
 # -- memory models -----------------------------------------------------------
 
 
@@ -93,7 +100,9 @@ class ConcreteMemoryModel(abc.ABC):
         """The empty memory."""
 
     @abc.abstractmethod
-    def execute(self, action: str, memory: object, value: Value) -> List:
+    def execute(
+        self, action: str, memory: object, value: Value
+    ) -> List[ConcreteBranch]:
         """``µ.α(v) ⇝ (µ′, v′)`` — a list of MemOk/MemErr branches."""
 
 
@@ -112,7 +121,7 @@ class SymbolicMemoryModel(abc.ABC):
     @abc.abstractmethod
     def execute(
         self, action: str, memory: object, expr: Expr, pc, solver
-    ) -> List:
+    ) -> List[SymbolicBranch]:
         """``µ̂.α(ê, π) ⇝ (µ̂′, ê′, π′)`` — a list of SymMemOk/SymMemErr.
 
         ``pc`` is the current path condition (:class:`PathCondition`);

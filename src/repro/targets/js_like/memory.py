@@ -1,18 +1,23 @@
-"""MiniJS concrete and symbolic memory models (paper §4.1).
+"""MiniJS memory models as a memlib composition (paper §4.1).
 
-A JS memory is a pair of a heap and a metadata table.  Concretely, the
-heap maps object locations (uninterpreted symbols) and property names
-(strings or numbers) to values; symbolically, *both* the location and the
-property name are logical expressions — JavaScript has dynamic property
-access, which is exactly what makes this model branch (paper's
+A JS memory is a freeable store of object records, each a metadata slot
+plus an extensible property table.  Concretely, the heap maps object
+locations (uninterpreted symbols) and property names (strings or
+numbers) to values; symbolically, *both* the location and the property
+name are logical expressions — JavaScript has dynamic property access,
+which is exactly what makes this model branch (paper's
 [SGetProp - Branch - Found] rule).
 
-The model has the paper's eight actions:
+The composition expression is the whole model::
+
+    Freeable(RecordProduct(MetadataTable(), PropTable(...)), spec)
+
+yielding the paper's eight actions:
 
     initObj, dispose, getProp, setProp, delProp, hasProp,
     getMetadata, setMetadata
 
-JS-faithful behaviours encoded here:
+JS-faithful behaviours encoded in the spec:
 
 * reading an *absent* property of an existing object yields ``undefined``
   (an uninterpreted symbol, paper §2.1) — not an error;
@@ -27,21 +32,22 @@ The JS constants ``undefined`` and ``null`` are the uninterpreted symbols
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.gil.ops import EvalError, evaluate
+from repro.gil.ops import evaluate
 from repro.gil.values import Symbol, Value, values_equal
-from repro.logic.expr import Expr, Lit, lst
-from repro.logic.simplify import simplify
-from repro.state.interface import (
-    ConcreteMemoryModel,
-    MemErr,
-    MemOk,
-    SymbolicMemoryModel,
-    SymMemErr,
-    SymMemOk,
+from repro.logic.expr import Expr
+from repro.memlib.core import PartConcreteModel, PartSymbolicModel
+from repro.memlib.freeable import (
+    Freeable,
+    FreeableSpec,
+    Record,
+    RecordProduct,
+    StoreMem,
+    SymStoreMem,
 )
+from repro.memlib.metadata import MetadataTable
+from repro.memlib.proptable import PropTable, PropTableSpec
 
 ACTIONS = frozenset(
     {
@@ -63,334 +69,64 @@ UNDEFINED = Symbol("undefined")
 JSNULL = Symbol("null")
 
 
-# -- concrete -------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class JSObjectC:
+class JSObjectC(Record):
     """A concrete object: metadata value + ordered property table."""
 
-    metadata: Value
-    props: Tuple[Tuple[Value, Value], ...] = ()
 
-    def get(self, key: Value) -> Optional[Value]:
-        for k, v in self.props:
-            if values_equal(k, key):
-                return v
-        return None
-
-    def set(self, key: Value, value: Value) -> "JSObjectC":
-        out = []
-        replaced = False
-        for k, v in self.props:
-            if values_equal(k, key):
-                out.append((k, value))
-                replaced = True
-            else:
-                out.append((k, v))
-        if not replaced:
-            out.append((key, value))
-        return JSObjectC(self.metadata, tuple(out))
-
-    def delete(self, key: Value) -> "JSObjectC":
-        return JSObjectC(
-            self.metadata,
-            tuple((k, v) for k, v in self.props if not values_equal(k, key)),
-        )
-
-
-@dataclass(frozen=True)
-class JSMemory:
-    """Concrete JS memory: location → object record (None once disposed)."""
-
-    objects: Tuple[Tuple[Symbol, Optional[JSObjectC]], ...] = ()
-
-    def as_dict(self) -> Dict[Symbol, Optional[JSObjectC]]:
-        return dict(self.objects)
-
-    @staticmethod
-    def of(objects: Dict[Symbol, Optional[JSObjectC]]) -> "JSMemory":
-        return JSMemory(tuple(sorted(objects.items(), key=lambda kv: kv[0].name)))
-
-
-class JSConcreteMemory(ConcreteMemoryModel):
-    """The concrete JS object-heap memory model."""
-
-    @property
-    def actions(self) -> frozenset:
-        return ACTIONS
-
-    def initial(self) -> JSMemory:
-        return JSMemory()
-
-    def execute(self, action: str, memory: JSMemory, value: Value) -> List:
-        objects = memory.as_dict()
-        if action == "initObj":
-            loc, metadata = value
-            self._check_loc(loc)
-            if loc in objects:
-                raise EvalError(f"initObj: location {loc!r} already allocated")
-            objects[loc] = JSObjectC(metadata)
-            return [MemOk(JSMemory.of(objects), loc)]
-
-        if action == "dispose":
-            (loc,) = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            objects[loc] = None
-            return [MemOk(JSMemory.of(objects), True)]
-
-        if action == "getProp":
-            loc, key = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            found = obj.get(key)
-            return [MemOk(memory, found if found is not None else UNDEFINED)]
-
-        if action == "setProp":
-            loc, key, new_value = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            objects[loc] = obj.set(key, new_value)
-            return [MemOk(JSMemory.of(objects), new_value)]
-
-        if action == "delProp":
-            loc, key = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            objects[loc] = obj.delete(key)
-            return [MemOk(JSMemory.of(objects), True)]
-
-        if action == "hasProp":
-            loc, key = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            return [MemOk(memory, obj.get(key) is not None)]
-
-        if action == "getMetadata":
-            (loc,) = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            return [MemOk(memory, obj.metadata)]
-
-        if action == "setMetadata":
-            loc, metadata = value
-            obj, err = self._resolve(objects, loc)
-            if err:
-                return [MemErr(err)]
-            objects[loc] = JSObjectC(metadata, obj.props)
-            return [MemOk(JSMemory.of(objects), metadata)]
-
-        raise ValueError(f"unknown JS action {action!r}")
-
-    @staticmethod
-    def _check_loc(loc: Value) -> None:
-        if not isinstance(loc, Symbol):
-            raise EvalError(f"not an object location: {loc!r}")
-
-    @staticmethod
-    def _resolve(objects, loc: Value):
-        """Find a live object; error value otherwise (JS TypeError-like)."""
-        if not isinstance(loc, Symbol) or loc not in objects:
-            return None, ("type-error-not-an-object", loc)
-        obj = objects[loc]
-        if obj is None:
-            return None, ("use-after-dispose", loc)
-        return obj, None
-
-
-# -- symbolic -------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class JSObjectS:
+class JSObjectS(Record):
     """A symbolic object: metadata expression + property table with
     logical-expression keys (dynamic property names)."""
 
-    metadata: Expr
-    props: Tuple[Tuple[Expr, Expr], ...] = ()
 
-
-@dataclass(frozen=True)
-class SymJSMemory:
-    """Symbolic JS heap: locations and property tables as expressions."""
-
-    objects: Tuple[Tuple[Expr, Optional[JSObjectS]], ...] = ()
-
-    def as_dict(self) -> Dict[Expr, Optional[JSObjectS]]:
-        return dict(self.objects)
-
-    def with_object(
-        self, loc: Expr, obj: Optional[JSObjectS]
-    ) -> "SymJSMemory":
-        """This heap with ``loc`` bound to ``obj`` (replace or append),
-        preserving insertion order exactly as a dict round-trip would —
-        in one O(B) pass with no intermediate dict."""
-        objects = self.objects
-        for i, (k, _v) in enumerate(objects):
-            if k == loc:
-                return SymJSMemory(objects[:i] + ((loc, obj),) + objects[i + 1:])
-        return SymJSMemory(objects + ((loc, obj),))
-
-    @staticmethod
-    def of(objects: Dict[Expr, Optional[JSObjectS]]) -> "SymJSMemory":
-        return SymJSMemory(tuple(objects.items()))
-
-
-class JSSymbolicMemory(SymbolicMemoryModel):
-    """The symbolic JS object-heap memory model."""
+class JSMemory(StoreMem):
+    """Concrete JS memory: location → object record (None once disposed)."""
 
     @property
-    def actions(self) -> frozenset:
-        return ACTIONS
+    def objects(self) -> Tuple[Tuple[Symbol, Optional[JSObjectC]], ...]:
+        """The store entries under their historical JS name."""
+        return self.entries
 
-    def initial(self) -> SymJSMemory:
-        return SymJSMemory()
 
-    def execute(self, action: str, memory: SymJSMemory, expr: Expr, pc, solver) -> List:
-        args = _unpack_list(expr)
-        if action == "initObj":
-            loc, metadata = args
-            if any(k == loc for k, _v in memory.objects):
-                raise EvalError(f"initObj: location {loc!r} already allocated")
-            return [SymMemOk(memory.with_object(loc, JSObjectS(metadata)), loc)]
+class SymJSMemory(SymStoreMem):
+    """Symbolic JS heap: locations and property tables as expressions."""
 
-        loc = args[0]
-        branches: List = []
-        for resolved_loc, obj, learned in self._resolve(memory, loc, pc, solver):
-            if obj is None:
-                # Error branch: not an object / disposed.
-                branches.append(
-                    SymMemErr(lst("type-error-not-an-object", loc), learned)
-                )
-                continue
-            if obj == "disposed":
-                branches.append(SymMemErr(lst("use-after-dispose", loc), learned))
-                continue
-            branches.extend(
-                self._on_object(
-                    action, memory, resolved_loc, obj, args, learned, pc, solver
-                )
-            )
-        return branches
+    @property
+    def objects(self) -> Tuple[Tuple[Expr, Optional[JSObjectS]], ...]:
+        """The store entries under their historical JS name."""
+        return self.entries
 
-    # -- location resolution -----------------------------------------------
+    def with_object(self, loc: Expr, obj: Optional[JSObjectS]) -> "SymJSMemory":
+        """This heap with ``loc`` bound to ``obj`` (replace or append)."""
+        return self.with_entry(loc, obj)
 
-    def _resolve(self, memory: SymJSMemory, loc: Expr, pc, solver):
-        """Branch over the objects ``loc`` may denote.
 
-        Yields (resolved location key, object | "disposed" | None, learned).
-        In whole-program symbolic testing locations are literal symbols, so
-        the equalities fold and exactly one branch survives; the general
-        branching mirrors [SGetProp - Branch] nonetheless.
-        """
-        out = []
-        miss: List[Expr] = []
-        for obj_loc, obj in memory.objects:
-            eq = simplify(loc.eq(obj_loc))
-            if eq == Lit(False):
-                continue
-            tag = "disposed" if obj is None else obj
-            if eq == Lit(True):
-                return [(obj_loc, tag, ())]
-            if solver.is_sat(pc.conjoin(eq)):
-                out.append((obj_loc, tag, (eq,)))
-            miss.append(simplify(loc.neq(obj_loc)))
-        if not any(c == Lit(False) for c in miss):
-            learned = tuple(c for c in miss if c != Lit(True))
-            if not learned or solver.is_sat(pc.conjoin_all(learned)):
-                out.append((loc, None, learned))
-        return out
+#: The MiniJS composition: a freeable store of metadata × property-table
+#: records (paper §4.1's eight actions fall out of the product).
+JS_PART = Freeable(
+    RecordProduct(
+        MetadataTable(),
+        PropTable(PropTableSpec(absent_value=UNDEFINED)),
+    ),
+    FreeableSpec(
+        name="JS",
+        concrete_mem=JSMemory,
+        symbolic_mem=SymJSMemory,
+        concrete_record_cls=JSObjectC,
+        symbolic_record_cls=JSObjectS,
+    ),
+)
 
-    # -- per-object actions ---------------------------------------------------
 
-    def _on_object(
-        self, action, memory, loc, obj: JSObjectS, args, learned0, pc, solver
-    ) -> List:
-        def update(new_obj: Optional[JSObjectS]) -> SymJSMemory:
-            return memory.with_object(loc, new_obj)
+class JSConcreteMemory(PartConcreteModel):
+    """The concrete JS object-heap memory model."""
 
-        if action == "dispose":
-            return [SymMemOk(update(None), Lit(True), learned0)]
-        if action == "getMetadata":
-            return [SymMemOk(memory, obj.metadata, learned0)]
-        if action == "setMetadata":
-            metadata = args[1]
-            return [SymMemOk(update(JSObjectS(metadata, obj.props)), metadata, learned0)]
+    part = JS_PART
 
-        key = args[1]
-        if action == "getProp":
-            return self._match_prop(
-                memory, obj, key, learned0, pc, solver,
-                on_match=lambda i, v, learned: SymMemOk(memory, v, learned),
-                on_absent=lambda learned: SymMemOk(memory, Lit(UNDEFINED), learned),
-            )
-        if action == "hasProp":
-            return self._match_prop(
-                memory, obj, key, learned0, pc, solver,
-                on_match=lambda i, v, learned: SymMemOk(memory, Lit(True), learned),
-                on_absent=lambda learned: SymMemOk(memory, Lit(False), learned),
-            )
-        if action == "setProp":
-            new_value = args[2]
 
-            def set_at(i, _v, learned):
-                props = list(obj.props)
-                props[i] = (props[i][0], new_value)
-                return SymMemOk(
-                    update(JSObjectS(obj.metadata, tuple(props))), new_value, learned
-                )
+class JSSymbolicMemory(PartSymbolicModel):
+    """The symbolic JS object-heap memory model."""
 
-            def set_fresh(learned):
-                props = obj.props + ((key, new_value),)
-                return SymMemOk(
-                    update(JSObjectS(obj.metadata, props)), new_value, learned
-                )
-
-            return self._match_prop(
-                memory, obj, key, learned0, pc, solver,
-                on_match=set_at, on_absent=set_fresh,
-            )
-        if action == "delProp":
-            def del_at(i, _v, learned):
-                props = obj.props[:i] + obj.props[i + 1:]
-                return SymMemOk(
-                    update(JSObjectS(obj.metadata, props)), Lit(True), learned
-                )
-
-            return self._match_prop(
-                memory, obj, key, learned0, pc, solver,
-                on_match=del_at,
-                on_absent=lambda learned: SymMemOk(memory, Lit(True), learned),
-            )
-        raise ValueError(f"unknown JS action {action!r}")
-
-    @staticmethod
-    def _match_prop(memory, obj, key, learned0, pc, solver, on_match, on_absent):
-        """The [SGetProp]-style branch over an object's property table."""
-        branches: List = []
-        miss: List[Expr] = []
-        for i, (prop_key, prop_value) in enumerate(obj.props):
-            eq = simplify(key.eq(prop_key))
-            if eq == Lit(False):
-                continue
-            if eq == Lit(True):
-                return branches + [on_match(i, prop_value, learned0)]
-            learned = learned0 + (eq,)
-            if solver.is_sat(pc.conjoin_all(learned)):
-                branches.append(on_match(i, prop_value, learned))
-            miss.append(simplify(key.neq(prop_key)))
-        if not any(c == Lit(False) for c in miss):
-            learned = learned0 + tuple(c for c in miss if c != Lit(True))
-            if not learned or solver.is_sat(pc.conjoin_all(learned)):
-                branches.append(on_absent(learned))
-        return branches
+    part = JS_PART
 
 
 # -- interpretation I_JS --------------------------------------------------------
@@ -405,7 +141,7 @@ class InterpretationError(Exception):
 def interpret_memory(env: Dict[str, Value], memory: SymJSMemory) -> JSMemory:
     """I_JS(ε, µ̂): interpret locations, metadata, and property tables."""
     objects: Dict[Symbol, Optional[JSObjectC]] = {}
-    for loc_expr, obj in memory.objects:
+    for loc_expr, obj in memory.entries:
         loc = evaluate(loc_expr, lvar_env=env)
         if not isinstance(loc, Symbol):
             raise InterpretationError(f"location {loc_expr!r} → non-symbol {loc!r}")
@@ -425,13 +161,3 @@ def interpret_memory(env: Dict[str, Value], memory: SymJSMemory) -> JSMemory:
             props.append((key, evaluate(value_expr, lvar_env=env)))
         objects[loc] = JSObjectC(metadata, tuple(props))
     return JSMemory.of(objects)
-
-
-def _unpack_list(expr: Expr) -> List[Expr]:
-    from repro.logic.expr import EList
-
-    if isinstance(expr, EList):
-        return list(expr.items)
-    if isinstance(expr, Lit) and isinstance(expr.value, tuple):
-        return [Lit(v) for v in expr.value]
-    raise EvalError(f"action argument is not a list: {expr!r}")

@@ -1,0 +1,93 @@
+"""A *freeable* While heap, built from combinators in a few lines.
+
+The memlib payoff demo: the While memory of :mod:`.memory` silently
+recycles disposed locations (dispose removes the cells, so a later
+lookup reports ``missing-object``).  This fourth memory keeps a
+tombstone instead — dispose marks the store entry freed, so touching a
+disposed object is a distinguishable ``use-after-dispose`` error branch,
+exactly like MiniJS — without writing a single branching loop:
+
+* a :class:`~repro.memlib.proptable.PropTable` configured with the
+  While-style absent policy (absent lookup is a ``missing-property``
+  error, solver consulted like Figure 3's [S-Lookup]);
+* wrapped in a :class:`~repro.memlib.freeable.Freeable` store with no
+  explicit alloc — ``setProp`` implicitly creates the record, the way
+  While's ``mutate`` conjures cells (``create_on_absent``);
+* renamed so the part answers While's compiled action names
+  (``lookup``/``mutate``), letting every existing While program — and
+  the differential fuzzer's generated corpus — run unchanged.
+
+``tools/fingerprint.py --arms heap`` drives this model with the same
+seeded fuzzer programs as the While arm and pins its branch structure.
+"""
+
+from __future__ import annotations
+
+from repro.gil.syntax import Prog
+from repro.logic.expr import Lit
+from repro.memlib.core import PartConcreteModel, PartSymbolicModel, rename
+from repro.memlib.freeable import Freeable, FreeableSpec, Record
+from repro.memlib.proptable import PropTable, PropTableSpec
+from repro.targets.language import Language
+from repro.targets.while_lang.compiler import compile_source
+
+#: The whole model: Freeable(PropTable) under While's action names.
+HEAP_PART = rename(
+    Freeable(
+        PropTable(
+            PropTableSpec(
+                absent_get_error="missing-property",
+                keep_prior_on_hit=False,
+                sat_check_on_empty_absent=True,
+            )
+        ),
+        FreeableSpec(
+            alloc_action=None,
+            not_object_error="missing-object",
+            disposed_error="use-after-dispose",
+            name="While-heap",
+            create_on_absent=frozenset({"setProp"}),
+            concrete_empty_record=Record(0),
+            symbolic_empty_record=Record(Lit(0)),
+        ),
+    ),
+    {"lookup": "getProp", "mutate": "setProp"},
+)
+
+
+class WhileHeapConcreteMemory(PartConcreteModel):
+    """The concrete freeable While heap."""
+
+    part = HEAP_PART
+
+
+class WhileHeapSymbolicMemory(PartSymbolicModel):
+    """The symbolic freeable While heap."""
+
+    part = HEAP_PART
+
+
+class WhileHeapLanguage(Language):
+    """While source over the freeable heap: same compiler, new memory."""
+
+    name = "while-heap"
+
+    def compile(self, source: str) -> Prog:
+        """Compile While source with the standard While compiler."""
+        return compile_source(source)
+
+    def concrete_memory(self) -> WhileHeapConcreteMemory:
+        """A fresh concrete freeable-heap model."""
+        return WhileHeapConcreteMemory()
+
+    def symbolic_memory(self) -> WhileHeapSymbolicMemory:
+        """A fresh symbolic freeable-heap model."""
+        return WhileHeapSymbolicMemory()
+
+
+__all__ = [
+    "HEAP_PART",
+    "WhileHeapConcreteMemory",
+    "WhileHeapSymbolicMemory",
+    "WhileHeapLanguage",
+]

@@ -1,20 +1,18 @@
-"""While concrete and symbolic memory models (paper §2.4, Figure 3).
+"""While memory models as a memlib composition (paper §2.4, Figure 3).
 
 Concrete memories ``µ : U × S ⇀ V`` map (location symbol, property name)
 cells to values.  Symbolic memories ``µ̂ : Ê × S ⇀ Ê`` map (location
 *expression*, property name) cells to value expressions — property names
 stay concrete because While objects have static properties.
 
-The symbolic rules follow Figure 3:
-
-* [S-Lookup] branches on every location potentially equal to the
-  looked-up one under π, passing the learned equality back to the state;
-* [S-Mutate-Present]/[S-Mutate-Absent] likewise; the absent branch learns
-  that the location differs from every location that defines the
-  property;
-* the error branches (no rule applies — missing property, missing
-  object) surface as :class:`SymMemErr`, which the interpreter turns into
-  GIL errors ``E(v)``; this is how use-after-dispose is caught.
+Both models are one composition expression: a
+:class:`~repro.memlib.pmap.PMap` branded with the While error wording.
+The part implements the Figure 3 rules — [S-Lookup] branches on every
+location potentially equal to the looked-up one under π,
+[S-Mutate-Present]/[S-Mutate-Absent] likewise, ``dispose`` expands every
+aliasing pattern — and its error branches (missing property, missing
+object) surface as ``SymMemErr``, which the interpreter turns into GIL
+errors ``E(v)``; this is how use-after-dispose is caught.
 
 The module also defines the While memory interpretation function I_W
 (paper §3.3), used by the soundness harness.
@@ -22,228 +20,46 @@ The module also defines the While memory interpretation function I_W
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.gil.ops import EvalError, evaluate
+from repro.gil.ops import evaluate
 from repro.gil.values import Symbol, Value
-from repro.logic.expr import Expr, Lit
-from repro.logic.simplify import simplify
-from repro.state.interface import (
-    ConcreteMemoryModel,
-    MemErr,
-    MemOk,
-    SymbolicMemoryModel,
-    SymMemErr,
-    SymMemOk,
-)
+from repro.logic.expr import Expr
+from repro.memlib.core import PartConcreteModel, PartSymbolicModel
+from repro.memlib.pmap import MapMem, PMap, PMapSpec, SymMapMem
 
 ACTIONS = frozenset({"lookup", "mutate", "dispose"})
 
 
-# -- concrete -----------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class WhileMemory:
+class WhileMemory(MapMem):
     """An immutable concrete While memory: cells (ς, p) ↦ v."""
 
-    cells: Tuple[Tuple[Tuple[Symbol, str], Value], ...] = ()
 
-    def as_dict(self) -> Dict[Tuple[Symbol, str], Value]:
-        return dict(self.cells)
-
-    @staticmethod
-    def of(cells: Dict[Tuple[Symbol, str], Value]) -> "WhileMemory":
-        return WhileMemory(tuple(sorted(cells.items(), key=lambda kv: (kv[0][0].name, kv[0][1]))))
-
-
-class WhileConcreteMemory(ConcreteMemoryModel):
-    """ea for A_W = {lookup, mutate, dispose} (Figure 3, left column)."""
-
-    @property
-    def actions(self) -> frozenset:
-        return ACTIONS
-
-    def initial(self) -> WhileMemory:
-        return WhileMemory()
-
-    def execute(self, action: str, memory: WhileMemory, value: Value) -> List:
-        cells = memory.as_dict()
-        if action == "lookup":
-            loc, prop = self._loc_prop(value)
-            if (loc, prop) in cells:
-                return [MemOk(memory, cells[(loc, prop)])]
-            return [MemErr(("missing-property", loc, prop))]
-        if action == "mutate":
-            loc, prop, new_value = value
-            self._check_loc(loc)
-            cells[(loc, str(prop))] = new_value
-            return [MemOk(WhileMemory.of(cells), new_value)]
-        if action == "dispose":
-            (loc,) = value
-            self._check_loc(loc)
-            remaining = {k: v for k, v in cells.items() if k[0] != loc}
-            if len(remaining) == len(cells):
-                return [MemErr(("missing-object", loc))]
-            return [MemOk(WhileMemory.of(remaining), True)]
-        raise ValueError(f"unknown While action {action!r}")
-
-    @staticmethod
-    def _loc_prop(value: Value) -> Tuple[Symbol, str]:
-        loc, prop = value
-        WhileConcreteMemory._check_loc(loc)
-        return loc, str(prop)
-
-    @staticmethod
-    def _check_loc(loc: Value) -> None:
-        if not isinstance(loc, Symbol):
-            raise EvalError(f"not an object location: {loc!r}")
-
-
-# -- symbolic -----------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class SymWhileMemory:
+class SymWhileMemory(SymMapMem):
     """An immutable symbolic While memory: cells (ê, p) ↦ ê′."""
 
-    cells: Tuple[Tuple[Tuple[Expr, str], Expr], ...] = ()
 
-    def as_dict(self) -> Dict[Tuple[Expr, str], Expr]:
-        return dict(self.cells)
-
-    @staticmethod
-    def of(cells: Dict[Tuple[Expr, str], Expr]) -> "SymWhileMemory":
-        return SymWhileMemory(tuple(cells.items()))
-
-    def locations(self) -> List[Expr]:
-        """Distinct location expressions in the memory, in cell order."""
-        seen: List[Expr] = []
-        for (loc, _prop), _ in self.cells:
-            if loc not in seen:
-                seen.append(loc)
-        return seen
+#: The While composition: a single labelled partial map (Figure 3).
+WHILE_PART = PMap(
+    PMapSpec(
+        concrete_mem=WhileMemory,
+        symbolic_mem=SymWhileMemory,
+        label_error="While property names must be concrete strings",
+        name="While",
+    )
+)
 
 
-class WhileSymbolicMemory(SymbolicMemoryModel):
+class WhileConcreteMemory(PartConcreteModel):
+    """ea for A_W = {lookup, mutate, dispose} (Figure 3, left column)."""
+
+    part = WHILE_PART
+
+
+class WhileSymbolicMemory(PartSymbolicModel):
     """êa for A_W (Figure 3, right column), with error branches."""
 
-    @property
-    def actions(self) -> frozenset:
-        return ACTIONS
-
-    def initial(self) -> SymWhileMemory:
-        return SymWhileMemory()
-
-    def execute(self, action: str, memory: SymWhileMemory, expr: Expr, pc, solver) -> List:
-        args = _unpack_list(expr)
-        if action == "lookup":
-            loc, prop = args[0], _prop_name(args[1])
-            return self._lookup(memory, loc, prop, pc, solver)
-        if action == "mutate":
-            loc, prop, new_value = args[0], _prop_name(args[1]), args[2]
-            return self._mutate(memory, loc, prop, new_value, pc, solver)
-        if action == "dispose":
-            return self._dispose(memory, args[0], pc, solver)
-        raise ValueError(f"unknown While action {action!r}")
-
-    # [S-Lookup]
-    def _lookup(self, memory: SymWhileMemory, loc: Expr, prop: str, pc, solver) -> List:
-        branches: List = []
-        miss_conditions: List[Expr] = []
-        for (cell_loc, cell_prop), cell_value in memory.cells:
-            if cell_prop != prop:
-                continue
-            eq = simplify(loc.eq(cell_loc))
-            if eq == Lit(False):
-                continue
-            if eq == Lit(True):
-                return [SymMemOk(memory, cell_value)]
-            if solver.is_sat(pc.conjoin(eq)):
-                branches.append(SymMemOk(memory, cell_value, (eq,)))
-            miss_conditions.append(simplify(loc.neq(cell_loc)))
-        # Error branch: the location matches no cell defining the property.
-        if not any(c == Lit(False) for c in miss_conditions):
-            miss = tuple(c for c in miss_conditions if c != Lit(True))
-            if solver.is_sat(pc.conjoin_all(miss)):
-                branches.append(
-                    SymMemErr(_err("missing-property", loc, prop), miss)
-                )
-        return branches
-
-    # [S-Mutate-Present] / [S-Mutate-Absent]
-    def _mutate(
-        self, memory: SymWhileMemory, loc: Expr, prop: str, new_value: Expr, pc, solver
-    ) -> List:
-        branches: List = []
-        absent_conditions: List[Expr] = []
-        for (cell_loc, cell_prop), _ in memory.cells:
-            if cell_prop != prop:
-                continue
-            eq = simplify(loc.eq(cell_loc))
-            if eq == Lit(False):
-                continue
-            cells = memory.as_dict()
-            cells[(cell_loc, prop)] = new_value
-            updated = SymWhileMemory.of(cells)
-            if eq == Lit(True):
-                return [SymMemOk(updated, new_value)]
-            if solver.is_sat(pc.conjoin(eq)):
-                branches.append(SymMemOk(updated, new_value, (eq,)))
-            absent_conditions.append(simplify(loc.neq(cell_loc)))
-        # Absent branch: π′ = the location defines no cell for this property.
-        if not any(c == Lit(False) for c in absent_conditions):
-            learned = tuple(c for c in absent_conditions if c != Lit(True))
-            if solver.is_sat(pc.conjoin_all(learned)):
-                cells = memory.as_dict()
-                cells[(loc, prop)] = new_value
-                branches.append(SymMemOk(SymWhileMemory.of(cells), new_value, learned))
-        return branches
-
-    def _dispose(self, memory: SymWhileMemory, loc: Expr, pc, solver) -> List:
-        """Dispose branches over *every* aliasing pattern.
-
-        A disposed location may alias several location expressions in the
-        memory (cells under different properties can legitimately share a
-        location), so each known location independently contributes an
-        "aliases / does not alias" case.  Cases are pruned against the
-        path condition as they are built.
-        """
-        # Each case: (kept cells, learned conditions, matched-any-location).
-        cases: List = [(memory.as_dict(), [], False)]
-        for known_loc in memory.locations():
-            eq = simplify(loc.eq(known_loc))
-            next_cases: List = []
-            for cells, learned, matched in cases:
-                if eq == Lit(True):
-                    removed = {c: v for c, v in cells.items() if c[0] != known_loc}
-                    next_cases.append((removed, learned, True))
-                    continue
-                if eq == Lit(False):
-                    next_cases.append((cells, learned, matched))
-                    continue
-                # alias case
-                alias_learned = learned + [eq]
-                if solver.is_sat(pc.conjoin_all(alias_learned)):
-                    removed = {c: v for c, v in cells.items() if c[0] != known_loc}
-                    next_cases.append((removed, alias_learned, True))
-                # non-alias case
-                diseq = simplify(loc.neq(known_loc))
-                noalias_learned = learned + [diseq]
-                if solver.is_sat(pc.conjoin_all(noalias_learned)):
-                    next_cases.append((cells, noalias_learned, matched))
-            cases = next_cases
-        branches: List = []
-        for cells, learned, matched in cases:
-            learned_t = tuple(c for c in learned if c != Lit(True))
-            if matched:
-                branches.append(
-                    SymMemOk(SymWhileMemory.of(cells), Lit(True), learned_t)
-                )
-            else:
-                branches.append(SymMemErr(_err("missing-object", loc), learned_t))
-        return branches
+    part = WHILE_PART
 
 
 # -- interpretation I_W (paper §3.3) ------------------------------------------
@@ -270,31 +86,3 @@ def interpret_memory(env: Dict[str, Value], memory: SymWhileMemory) -> WhileMemo
             raise InterpretationError(f"cell collision at ({loc!r}, {prop!r})")
         cells[(loc, prop)] = value
     return WhileMemory.of(cells)
-
-
-# -- helpers ------------------------------------------------------------------
-
-
-def _unpack_list(expr: Expr) -> List[Expr]:
-    """View an action argument as a list of item expressions."""
-    from repro.logic.expr import EList
-
-    if isinstance(expr, EList):
-        return list(expr.items)
-    if isinstance(expr, Lit) and isinstance(expr.value, tuple):
-        return [Lit(v) for v in expr.value]
-    raise EvalError(f"action argument is not a list: {expr!r}")
-
-
-def _prop_name(expr: Expr) -> str:
-    if isinstance(expr, Lit) and isinstance(expr.value, str):
-        return expr.value
-    raise EvalError(f"While property names must be concrete strings: {expr!r}")
-
-
-def _err(tag: str, loc: Expr, prop: Optional[str] = None) -> Expr:
-    from repro.logic.expr import lst
-
-    if prop is None:
-        return lst(tag, loc)
-    return lst(tag, loc, prop)

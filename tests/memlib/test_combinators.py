@@ -1,0 +1,229 @@
+"""Unit and property tests for the memlib combinator algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gil.values import Symbol
+from repro.logic.expr import Lit, LVar, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.memlib import (
+    Freeable,
+    FreeableSpec,
+    MetadataTable,
+    PairMem,
+    PMap,
+    PMapSpec,
+    PropTable,
+    PropTableSpec,
+    Record,
+    RecordProduct,
+    product,
+    rename,
+)
+from repro.memlib.permissions import PERM_READABLE, PERM_WRITABLE, Permissions
+from repro.state.interface import MemErr, MemOk, SymMemErr, SymMemOk
+
+L1, L2 = Symbol("l1"), Symbol("l2")
+PC = PathCondition()
+SOLVER = Solver()
+
+
+def js_part():
+    return Freeable(
+        RecordProduct(
+            MetadataTable(),
+            PropTable(PropTableSpec(absent_value=Symbol("undefined"))),
+        ),
+        FreeableSpec(name="T"),
+    )
+
+
+class TestProduct:
+    def test_rejects_overlapping_action_sets(self):
+        with pytest.raises(ValueError, match="share actions"):
+            product(PMap(), PMap())
+
+    def test_record_product_rejects_overlap(self):
+        with pytest.raises(ValueError, match="share actions"):
+            RecordProduct(PropTable(), PropTable())
+
+    def test_disjoint_parts_dispatch_to_their_component(self):
+        left = PMap()
+        right = rename(
+            PMap(PMapSpec(name="R")),
+            {"rlookup": "lookup", "rmutate": "mutate", "rdispose": "dispose"},
+        )
+        part = product(left, right)
+        assert part.actions == left.actions | right.actions
+        mem = part.initial_concrete()
+        assert isinstance(mem, PairMem)
+        (b,) = part.execute_concrete("mutate", mem, (L1, "p", 7))
+        assert isinstance(b, MemOk) and b.memory.right == mem.right
+        (b2,) = part.execute_concrete("rmutate", b.memory, (L1, "p", 9))
+        assert b2.memory.left == b.memory.left
+        (lk,) = part.execute_concrete("lookup", b2.memory, (L1, "p"))
+        (rk,) = part.execute_concrete("rlookup", b2.memory, (L1, "p"))
+        assert (lk.value, rk.value) == (7, 9)
+
+    def test_error_branches_pass_through(self):
+        part = product(
+            PMap(),
+            rename(js_part(), {"jsdispose": "dispose"}),
+        )
+        (b,) = part.execute_concrete("lookup", part.initial_concrete(), (L1, "p"))
+        assert isinstance(b, MemErr) and b.value[0] == "missing-property"
+
+
+class TestRename:
+    def test_unknown_inner_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown inner actions"):
+            rename(PMap(), {"get": "nope"})
+
+    def test_outer_name_clash_rejected(self):
+        with pytest.raises(ValueError, match="clash"):
+            rename(PMap(), {"dispose": "lookup"})
+
+    def test_renamed_action_behaves_identically(self):
+        plain, renamed = PMap(), rename(PMap(), {"get": "lookup"})
+        mem = plain.initial_concrete()
+        (b,) = plain.execute_concrete("mutate", mem, (L1, "p", 1))
+        assert plain.execute_concrete(
+            "lookup", b.memory, (L1, "p")
+        ) == renamed.execute_concrete("get", b.memory, (L1, "p"))
+
+
+class TestPermissions:
+    def test_unknown_required_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown actions"):
+            Permissions(PMap(), {"nope": PERM_WRITABLE})
+
+    def test_granted_level_gates_both_arms(self):
+        frozen = Permissions(
+            PMap(), {"mutate": PERM_WRITABLE, "dispose": PERM_WRITABLE},
+            granted=PERM_READABLE,
+        )
+        mem = frozen.initial_concrete()
+        (b,) = frozen.execute_concrete("mutate", mem, (L1, "p", 1))
+        assert isinstance(b, MemErr) and b.value == ("permission-denied", "mutate")
+        (s,) = frozen.execute_symbolic(
+            "mutate", frozen.initial_symbolic(),
+            lst(Lit(L1), "p", 1), PC, SOLVER,
+        )
+        assert isinstance(s, SymMemErr)
+        # Reads stay transparent.
+        (r,) = frozen.execute_concrete("lookup", mem, (L1, "p"))
+        assert isinstance(r, MemErr) and r.value[0] == "missing-property"
+
+
+class TestConcreteSymbolicAgreement:
+    """On fully concrete inputs the two arms agree (MA-RS/MA-RC shadow)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["mutate", "lookup", "dispose"]),
+                st.sampled_from(["l1", "l2"]),
+                st.sampled_from(["p", "q"]),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=8,
+        )
+    )
+    def test_pmap_agreement(self, script):
+        part = PMap()
+        conc, sym = part.initial_concrete(), part.initial_symbolic()
+        for action, loc_name, label, val in script:
+            loc = Symbol(loc_name)
+            if action == "mutate":
+                args, sym_args = (loc, label, val), lst(Lit(loc), label, val)
+            elif action == "lookup":
+                args, sym_args = (loc, label), lst(Lit(loc), label)
+            else:
+                args, sym_args = (loc,), lst(Lit(loc))
+            (cb,) = part.execute_concrete(action, conc, args)
+            (sb,) = part.execute_symbolic(action, sym, sym_args, PC, SOLVER)
+            assert isinstance(cb, MemOk) == isinstance(sb, SymMemOk)
+            assert sb.learned == ()
+            if isinstance(cb, MemOk):
+                conc, sym = cb.memory, sb.memory
+                if not isinstance(cb.value, bool):
+                    assert sb.expr == Lit(cb.value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["initObj", "getProp", "setProp", "delProp", "hasProp",
+                     "getMetadata", "setMetadata", "dispose"]
+                ),
+                st.sampled_from(["o1", "o2"]),
+                st.sampled_from(["a", "b"]),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=8,
+        )
+    )
+    def test_freeable_agreement(self, script):
+        part = js_part()
+        conc, sym = part.initial_concrete(), part.initial_symbolic()
+        allocated = set()
+        for action, loc_name, key, val in script:
+            loc = Symbol(loc_name)
+            if action == "initObj":
+                if loc_name in allocated:
+                    continue
+                allocated.add(loc_name)
+                args, sym_args = (loc, val), lst(Lit(loc), val)
+            elif action in ("dispose", "getMetadata"):
+                args, sym_args = (loc,), lst(Lit(loc))
+            elif action == "setMetadata":
+                args, sym_args = (loc, val), lst(Lit(loc), val)
+            elif action == "setProp":
+                args, sym_args = (loc, key, val), lst(Lit(loc), key, val)
+            else:
+                args, sym_args = (loc, key), lst(Lit(loc), key)
+            (cb,) = part.execute_concrete(action, conc, args)
+            (sb,) = part.execute_symbolic(action, sym, sym_args, PC, SOLVER)
+            assert isinstance(cb, MemOk) == isinstance(sb, SymMemOk)
+            if isinstance(cb, MemErr):
+                assert sb.expr.items[0] == Lit(cb.value[0])
+            else:
+                conc, sym = cb.memory, sb.memory
+
+
+class TestSymbolicBranching:
+    def test_pmap_lookup_branches_on_symbolic_location(self):
+        part = PMap()
+        mem = part.initial_symbolic()
+        for loc, v in ((Lit(L1), Lit(1)), (Lit(L2), Lit(2))):
+            (b,) = part.execute_symbolic("mutate", mem, lst(loc, "p", v), PC, SOLVER)
+            mem = b.memory
+        branches = part.execute_symbolic("lookup", mem, lst(LVar("x"), "p"), PC, SOLVER)
+        kinds = [type(b).__name__ for b in branches]
+        assert kinds == ["SymMemOk", "SymMemOk", "SymMemErr"]
+        assert all(b.learned for b in branches)
+
+    def test_freeable_dispose_then_access_is_use_after_dispose(self):
+        part = js_part()
+        mem = part.initial_symbolic()
+        (b,) = part.execute_symbolic("initObj", mem, lst(Lit(L1), "M"), PC, SOLVER)
+        (b,) = part.execute_symbolic("dispose", b.memory, lst(Lit(L1)), PC, SOLVER)
+        (b,) = part.execute_symbolic("getProp", b.memory, lst(Lit(L1), "a"), PC, SOLVER)
+        assert isinstance(b, SymMemErr)
+        assert b.expr.items[0] == Lit("use-after-dispose")
+
+
+class TestRecordHelpers:
+    def test_record_set_get_delete_preserve_subclass(self):
+        class MyRec(Record):
+            """A record subclass used to check type preservation."""
+
+        r = MyRec("meta").set("a", 1).set("b", 2).set("a", 3)
+        assert type(r) is MyRec
+        assert r.get("a") == 3 and r.get("missing") is None
+        assert type(r.delete("a")) is MyRec
+        assert r.delete("a").props == (("b", 2),)

@@ -100,3 +100,46 @@ class TestBenchmarksDoc:
             "docs/benchmarks.md example envelope is out of date with "
             "BENCH_SCHEMA_VERSION — update the doc and its history table"
         )
+
+
+class TestReadmeCompositionExample:
+    """The README memlib example must build the shipped heap model."""
+
+    def readme_example_namespace(self):
+        readme = read_doc(os.path.join(os.pardir, "README.md"))
+        section = readme.split("## Composing a memory model", 1)[1]
+        code = re.search(r"```python\n(.*?)```", section, re.S).group(1)
+        namespace = {}
+        exec(compile(code, "README.md", "exec"), namespace)
+        return namespace
+
+    def test_example_executes_and_matches_shipped_model(self):
+        from repro.gil.values import Symbol
+        from repro.logic.expr import Lit, lst
+        from repro.logic.pathcond import PathCondition
+        from repro.logic.solver import Solver
+        from repro.targets.while_lang.heap import HEAP_PART
+
+        heap = self.readme_example_namespace()["HEAP"]
+        assert heap.actions == HEAP_PART.actions
+        # Both compositions must branch identically on a probe script
+        # (mutate creates, dispose tombstones, lookup reports the bug).
+        pc, solver = PathCondition(), Solver()
+        loc = Lit(Symbol("l"))
+        script = (
+            ("mutate", lst(loc, "p", 1)),
+            ("dispose", lst(loc)),
+            ("lookup", lst(loc, "p")),
+        )
+        mems = [heap.initial_symbolic(), HEAP_PART.initial_symbolic()]
+        for action, args in script:
+            outs = [
+                part.execute_symbolic(action, mem, args, pc, solver)
+                for part, mem in zip((heap, HEAP_PART), mems)
+            ]
+            assert len(outs[0]) == len(outs[1]) == 1, action
+            for i, (branch,) in enumerate(outs):
+                if hasattr(branch, "memory"):
+                    mems[i] = branch.memory
+        assert outs[0][0].expr == outs[1][0].expr
+        assert outs[0][0].expr.items[0] == Lit("use-after-dispose")

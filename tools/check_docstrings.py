@@ -7,10 +7,15 @@ a class docstring.  The repo's documentation tree (``docs/``) links into
 module docstrings as the authoritative per-module reference — a missing
 one is a dead link, so this gate keeps coverage at 100%.
 
-Functions and methods are deliberately out of scope: the codebase
-documents behaviour at module/class granularity plus targeted comments,
-and a blanket per-function requirement would breed one-line noise
-("Return the value.") rather than documentation.
+Functions and methods are deliberately out of scope *in general*: the
+codebase documents behaviour at module/class granularity plus targeted
+comments, and a blanket per-function requirement would breed one-line
+noise ("Return the value.") rather than documentation.  The exception is
+``src/repro/memlib/`` — the combinator library is a public extension
+API (every part/spec/engine is meant to be composed by tool developers,
+cf. ``examples/freeable_heap.py``), so there every module-level function
+and every directly-defined method must carry a docstring too (nested
+helper closures stay exempt).
 
 Usage: ``python tools/check_docstrings.py [paths...]`` (default:
 ``src/repro``).  Exits non-zero listing each offending ``file:line``.
@@ -21,6 +26,13 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
+
+#: path fragments under which function/method docstrings are required
+STRICT_FUNCTION_DIRS = ("repro/memlib",)
+
+
+def _is_strict(path: Path) -> bool:
+    return any(frag in path.as_posix() for frag in STRICT_FUNCTION_DIRS)
 
 
 def check_file(path: Path) -> list:
@@ -33,7 +45,19 @@ def check_file(path: Path) -> list:
         problems.append(
             (path, 1, "missing module docstring")
         )
+    strict = _is_strict(path)
+    funcs = (ast.FunctionDef, ast.AsyncFunctionDef)
     for node in tree.body:
+        if strict and isinstance(node, funcs):
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    (
+                        path,
+                        node.lineno,
+                        f"function {node.name!r} is missing a docstring",
+                    )
+                )
+            continue
         if not isinstance(node, ast.ClassDef):
             continue
         if node.name.startswith("_"):
@@ -46,6 +70,17 @@ def check_file(path: Path) -> list:
                     f"public class {node.name!r} is missing a docstring",
                 )
             )
+        if strict:
+            for item in node.body:
+                if isinstance(item, funcs) and ast.get_docstring(item) is None:
+                    problems.append(
+                        (
+                            path,
+                            item.lineno,
+                            f"method {node.name}.{item.name} is missing "
+                            "a docstring",
+                        )
+                    )
     return problems
 
 
