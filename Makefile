@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify fuzz fuzz-faults lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-gate fingerprint fingerprint-check clean
+.PHONY: help test verify fuzz fuzz-faults fuzz-cross lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-gate fingerprint fingerprint-check clean
 
 help:
 	@echo "Targets:"
@@ -9,6 +9,7 @@ help:
 	@echo "  verify           tier-1 tests + lint + strategy/parallel smoke benches + fuzz/fault smoke"
 	@echo "  fuzz             differential fuzzer long mode (slow-marked soak tests)"
 	@echo "  fuzz-faults      fault-injection suites: recovery paths + fault-injecting fuzz arm"
+	@echo "  fuzz-cross       cross-target corpus: one shape lowered to all four targets, cross-checked"
 	@echo "  lint             byte-compile src/benchmarks/tests; docstring coverage; forbid print() and bare except in src/"
 	@echo "  bench            all benchmark harnesses (regenerates tables/reports)"
 	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
@@ -17,7 +18,7 @@ help:
 	@echo "  bench-interp     compiled-vs-interpreted benchmark (BENCH_interp.json)"
 	@echo "  bench-memory     memory-model action dispatch benchmark (BENCH_memory.json)"
 	@echo "  bench-gate       smoke throughput gate: fail below the recorded paths/sec floor"
-	@echo "  fingerprint      regenerate the differential-fuzz fingerprints (baseline + heap)"
+	@echo "  fingerprint      regenerate the differential-fuzz fingerprints (baseline + heap + rust)"
 	@echo "  fingerprint-check verify memory-model branch structure is byte-identical to the baselines"
 	@echo "  clean            remove caches and build artefacts"
 
@@ -33,6 +34,7 @@ verify: test lint
 	$(MAKE) bench-gate
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
 	$(MAKE) fuzz-faults
+	$(MAKE) fuzz-cross
 
 fuzz:
 	$(PYTHON) -m pytest -q tests/engine/test_fuzz_differential.py -m slow
@@ -40,6 +42,9 @@ fuzz:
 fuzz-faults:
 	$(PYTHON) -m pytest -x -q tests/engine/test_faults.py \
 		"tests/engine/test_fuzz_differential.py::TestFaultInjectionFuzz" -m "not slow"
+
+fuzz-cross:
+	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_cross.py
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tests
@@ -75,10 +80,12 @@ bench-gate:
 fingerprint:
 	$(PYTHON) tools/fingerprint.py --out tests/fingerprints/baseline.json
 	$(PYTHON) tools/fingerprint.py --arms heap --out tests/fingerprints/heap.json
+	$(PYTHON) tools/fingerprint.py --arms rust --out tests/fingerprints/rust.json
 
 fingerprint-check:
 	$(PYTHON) tools/fingerprint.py --check tests/fingerprints/baseline.json
 	$(PYTHON) tools/fingerprint.py --arms heap --check tests/fingerprints/heap.json
+	$(PYTHON) tools/fingerprint.py --arms rust --check tests/fingerprints/rust.json
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -15,6 +15,13 @@ action scripts:
   literal locations (the whole-program symbolic-testing fast path, where
   equalities fold and the loop shape dominates).
 
+A second gate covers the MiniRust memory: the full ``RUST_PART``
+product (heap × owner table) runs an ownership-lifecycle script against
+hand-routed calls into the same two bare parts, and the composed
+model's time must stay within ``RUST_GATE_RATIO`` — pinning what the
+product combinator's routing and pair reassembly cost on the deepest
+composition the repo ships.
+
 Acceptance (the ≤10% regression gate): the combinator-built model's
 best-of-N script time must be within ``GATE_RATIO`` of the frozen
 monolith's on both arms.  The full run emits ``BENCH_memory.json`` with
@@ -45,6 +52,14 @@ from repro.logic.pathcond import PathCondition
 from repro.logic.simplify import simplify
 from repro.logic.solver import Solver
 from repro.state.interface import MemErr, MemOk, SymMemErr, SymMemOk
+from repro.targets.rust_like.memory import (
+    FRESH_OWNER_META,
+    RUST_BLOCKS,
+    RUST_OWNERS,
+    WORD_CHUNK,
+    RustConcreteMemory,
+    RustSymbolicMemory,
+)
 from repro.targets.while_lang.memory import (
     WhileConcreteMemory,
     WhileSymbolicMemory,
@@ -59,6 +74,11 @@ OUT_PATH = os.path.join(
 
 #: combinator time / frozen time must stay at or below this on each arm
 GATE_RATIO = 1.10
+
+#: full RUST_PART time / bare-part time must stay at or below this —
+#: the product layer's routing and pair reassembly over hand-routed
+#: calls into the same two parts
+RUST_GATE_RATIO = 1.50
 
 N_LOCS = 6
 N_PROPS = 4
@@ -326,6 +346,152 @@ def run_symbolic(model, script, pc, solver) -> int:
     return branches
 
 
+def rust_action_script() -> List[Tuple[str, Tuple]]:
+    """A deterministic owned-block lifecycle over the MiniRust memory.
+
+    Allocates and registers owners, writes and owner-checked-reads every
+    cell, runs shared and mutable borrow/release cycles, moves every
+    owner (generation bump), then drops half the blocks — the action mix
+    one path of a MiniRust collections test performs.
+    """
+    locs = [Symbol(f"r{i}") for i in range(N_LOCS)]
+    script: List[Tuple[str, Tuple]] = []
+    for loc in locs:
+        script.append(("alloc", (loc, N_PROPS)))
+        script.append(("own_new", (loc, FRESH_OWNER_META)))
+    for i, loc in enumerate(locs):
+        for j in range(N_PROPS):
+            script.append(("own_check", (loc, 0)))
+            script.append(("store", (WORD_CHUNK, (loc, j), i + j)))
+    for loc in locs:
+        script.append(("borrow", (loc, 0)))
+        for j in range(N_PROPS):
+            script.append(("load", (WORD_CHUNK, (loc, j))))
+        script.append(("release", (loc,)))
+        script.append(("borrow_mut", (loc, 0)))
+        script.append(("release_mut", (loc,)))
+        script.append(("own_move", (loc, 0)))
+    for loc in locs[::2]:
+        script.append(("drop_check", (loc, 1)))
+        script.append(("own_drop", (loc,)))
+        script.append(("free", ((loc, 0),)))
+    return script
+
+
+def _rust_sym_args(action: str, args: Tuple) -> Expr:
+    """The symbolic (Expr) argument list mirroring a concrete tuple."""
+    if action in ("store", "load"):
+        chunk, (loc, off) = args[0], args[1]
+        rest = [args[2]] if action == "store" else []
+        return lst(Lit(chunk), lst(Lit(loc), off), *rest)
+    if action == "free":
+        ((loc, off),) = args
+        return lst(lst(Lit(loc), off))
+    if action == "own_new":
+        return lst(Lit(args[0]), Lit(FRESH_OWNER_META))
+    return lst(*(Lit(a) if isinstance(a, Symbol) else a for a in args))
+
+
+def run_rust_bare_concrete(script) -> int:
+    """Hand-route the script to the two bare parts (no product layer)."""
+    block_actions = RUST_BLOCKS.actions
+    blocks = RUST_BLOCKS.initial_concrete()
+    owners = RUST_OWNERS.initial_concrete()
+    branches = 0
+    for action, args in script:
+        to_blocks = action in block_actions
+        part = RUST_BLOCKS if to_blocks else RUST_OWNERS
+        out = part.execute_concrete(action, blocks if to_blocks else owners, args)
+        branches += len(out)
+        b = out[0]
+        if hasattr(b, "memory"):
+            if to_blocks:
+                blocks = b.memory
+            else:
+                owners = b.memory
+    return branches
+
+
+def run_rust_bare_symbolic(script, pc, solver) -> int:
+    """The bare-part routing through the symbolic part arms."""
+    block_actions = RUST_BLOCKS.actions
+    blocks = RUST_BLOCKS.initial_symbolic()
+    owners = RUST_OWNERS.initial_symbolic()
+    branches = 0
+    for action, args in script:
+        expr = _rust_sym_args(action, args)
+        to_blocks = action in block_actions
+        part = RUST_BLOCKS if to_blocks else RUST_OWNERS
+        out = part.execute_symbolic(
+            action, blocks if to_blocks else owners, expr, pc, solver
+        )
+        branches += len(out)
+        b = out[0]
+        if hasattr(b, "memory"):
+            if to_blocks:
+                blocks = b.memory
+            else:
+                owners = b.memory
+    return branches
+
+
+def run_rust_symbolic(model, script, pc, solver) -> int:
+    """Thread the script through the full RustSymbolicMemory model."""
+    memory = model.initial()
+    branches = 0
+    for action, args in script:
+        out = model.execute(action, memory, _rust_sym_args(action, args), pc, solver)
+        branches += len(out)
+        b = out[0]
+        if hasattr(b, "memory"):
+            memory = b.memory
+    return branches
+
+
+def measure_rust(reps: int, iters: int) -> Dict[str, Dict]:
+    """Best-of-``reps`` timings: full RUST_PART vs hand-routed parts."""
+    script = rust_action_script()
+    pc, solver = PathCondition(), Solver()
+    full_c, full_s = RustConcreteMemory(), RustSymbolicMemory()
+
+    def conc_full():
+        return sum(run_concrete(full_c, script) for _ in range(iters))
+
+    def conc_bare():
+        return sum(run_rust_bare_concrete(script) for _ in range(iters))
+
+    def symb_full():
+        return sum(run_rust_symbolic(full_s, script, pc, solver)
+                   for _ in range(iters))
+
+    def symb_bare():
+        return sum(run_rust_bare_symbolic(script, pc, solver)
+                   for _ in range(iters))
+
+    conc_full(); conc_bare(); symb_full(); symb_bare()  # warm caches
+
+    out: Dict[str, Dict] = {}
+    for arm, bare_fn, full_fn in (
+        ("concrete", conc_bare, conc_full),
+        ("symbolic", symb_bare, symb_full),
+    ):
+        bare_t, bare_branches = best_of(bare_fn, reps)
+        full_t, full_branches = best_of(full_fn, reps)
+        if bare_branches != full_branches:
+            raise AssertionError(
+                f"rust {arm}: branch counts diverge — bare {bare_branches}, "
+                f"composed {full_branches}"
+            )
+        out[arm] = {
+            "bare_time": round(bare_t, 6),
+            "composed_time": round(full_t, 6),
+            "ratio": round(full_t / bare_t, 4) if bare_t else 0.0,
+            "branches_per_run": bare_branches,
+            "actions_per_run": len(script) * iters,
+        }
+    return out
+
+
 def best_of(fn, reps: int) -> Tuple[float, int]:
     """Best wall time of ``reps`` runs of ``fn`` and its last result."""
     best = float("inf")
@@ -392,9 +558,19 @@ def main(argv: List[str]) -> int:
             f"ratio={row['ratio']:.3f} "
             f"({'ok' if ok else f'EXCEEDS {GATE_RATIO}x gate'})"
         )
+    rust_arms = measure_rust(reps, iters)
+    for arm, row in rust_arms.items():
+        ok = row["ratio"] <= RUST_GATE_RATIO
+        passed = passed and ok
+        print(
+            f"rust-{arm:9s} bare={row['bare_time'] * 1e3:7.2f}ms "
+            f"composed={row['composed_time'] * 1e3:7.2f}ms "
+            f"ratio={row['ratio']:.3f} "
+            f"({'ok' if ok else f'EXCEEDS {RUST_GATE_RATIO}x gate'})"
+        )
     print(
-        f"dispatch-overhead gate (<= {GATE_RATIO}x): "
-        f"{'ok' if passed else 'FAILED'}"
+        f"dispatch-overhead gates (<= {GATE_RATIO}x While, "
+        f"<= {RUST_GATE_RATIO}x Rust): {'ok' if passed else 'FAILED'}"
     )
     if not smoke:
         report = {
@@ -402,10 +578,14 @@ def main(argv: List[str]) -> int:
             "meta": bench_meta(),
             "workload": (
                 f"{len(action_script())}-action mutate/lookup/dispose script "
-                f"x{iters}, best of {reps}, While model vs frozen monolith"
+                f"x{iters}, best of {reps}, While model vs frozen monolith; "
+                f"{len(rust_action_script())}-action ownership lifecycle, "
+                f"full RUST_PART vs hand-routed bare parts"
             ),
             "gate_ratio": GATE_RATIO,
+            "rust_gate_ratio": RUST_GATE_RATIO,
             "arms": arms,
+            "rust_dispatch": rust_arms,
             "passed": passed,
         }
         with open(OUT_PATH, "w") as fh:

@@ -157,3 +157,18 @@ def run_table2(
         source, tests = suites.suite(name)
         rows.append(run_suite(language, source, tests, name, config, strategy=strategy))
     return TableReport(rows)
+
+
+def run_table3(
+    config: Optional[EngineConfig] = None, strategy=None
+) -> TableReport:
+    """Table 3: the MiniRust library suites under Gillian-Rust."""
+    from repro.targets.rust_like import MiniRustLanguage
+    from repro.targets.rust_like.collections import suites
+
+    language = MiniRustLanguage()
+    rows = []
+    for name in suites.suite_names():
+        source, tests = suites.suite(name)
+        rows.append(run_suite(language, source, tests, name, config, strategy=strategy))
+    return TableReport(rows)

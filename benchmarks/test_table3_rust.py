@@ -1,0 +1,36 @@
+"""E8 — Table 3: symbolic testing of the MiniRust library.
+
+The third target column (no table in the paper — Gillian-Rust arrived
+after PLDI'20, so this extends Tables 1/2 with the ownership memory):
+per-row test counts, GIL commands and time for the vec/option/list
+suites, with the only failing tests being the planted ownership-fault
+demonstrations.
+"""
+
+import pytest
+
+from benchmarks.tables import run_suite, run_table3
+from repro.engine.config import gillian
+from repro.targets.rust_like import MiniRustLanguage
+from repro.targets.rust_like.collections import suites
+
+LANGUAGE = MiniRustLanguage()
+EXPECTED_T = suites.expected_test_counts()
+
+
+@pytest.mark.parametrize("name", suites.suite_names())
+def test_row(name, benchmark):
+    source, tests = suites.suite(name)
+    row = benchmark(run_suite, LANGUAGE, source, tests, name, gillian())
+    assert row.tests == EXPECTED_T[name]
+    assert set(row.failures) <= suites.KNOWN_BUG_TESTS
+    assert row.commands > 0
+
+
+def test_table3_totals():
+    report = run_table3(gillian())
+    total = report.total
+    assert total.tests == 18  # Table 3: 18 symbolic tests
+    assert set(total.failures) == suites.KNOWN_BUG_TESTS
+    print()
+    print(report.format("Table 3 — MiniRust library (Gillian-Rust)"))

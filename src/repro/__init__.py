@@ -50,6 +50,7 @@ __all__ = [
     "WhileLanguage",
     "MiniJSLanguage",
     "MiniCLanguage",
+    "MiniRustLanguage",
     "gillian",
     "javert2_baseline",
     "make_strategy",
@@ -72,4 +73,8 @@ def __getattr__(name):
         from repro.targets.c_like import MiniCLanguage
 
         return MiniCLanguage
+    if name == "MiniRustLanguage":
+        from repro.targets.rust_like import MiniRustLanguage
+
+        return MiniRustLanguage
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

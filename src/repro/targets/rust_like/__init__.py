@@ -1,0 +1,45 @@
+"""The MiniRust instantiation of Gillian.
+
+The third-wave target: an ownership/borrow-flavoured Rust subset over a
+word-addressed block/offset heap paired with a dynamic owner table,
+both built from the :mod:`repro.memlib` combinators — see
+:mod:`repro.targets.rust_like.memory` for the composition expression
+and :mod:`repro.targets.rust_like.compiler` for the discipline the
+compiled GIL enforces through it.
+"""
+
+from __future__ import annotations
+
+from repro.gil.syntax import Prog
+from repro.targets.language import Language
+from repro.targets.rust_like.compiler import compile_source
+from repro.targets.rust_like.memory import (
+    RustConcreteMemory,
+    RustSymbolicMemory,
+    interpret_memory,
+)
+
+
+class MiniRustLanguage(Language):
+    """Gillian-Rust in miniature: MiniRust source over the owner memory."""
+
+    name = "rust"
+
+    def compile(self, source: str) -> Prog:
+        """Compile MiniRust source to GIL."""
+        return compile_source(source)
+
+    def concrete_memory(self) -> RustConcreteMemory:
+        """A fresh concrete heap × owner-table model."""
+        return RustConcreteMemory()
+
+    def symbolic_memory(self) -> RustSymbolicMemory:
+        """A fresh symbolic heap × owner-table model."""
+        return RustSymbolicMemory()
+
+    def interpretation(self):
+        """The memory interpretation I_R for the soundness harness."""
+        return interpret_memory
+
+
+__all__ = ["MiniRustLanguage"]

@@ -1,0 +1,232 @@
+"""MiniRust abstract syntax.
+
+A deliberately small Rust-flavoured surface: functions over mathematical
+integers and *handles* (owned heap blocks, shared/mutable references),
+with `let`/`let mut` bindings, `if`/`else`, `while`, explicit `drop`,
+`assume`/`assert!`, and the symbolic inputs `symb_int()`/`symb_bool()`.
+Heap values come from ``Box::new(e)``, array literals ``[e1, ..., en]``
+and the ``alloc(n)`` builtin (an uninitialised owned block).
+
+Types exist only to classify bindings into ownership *kinds* — value,
+owned handle, shared reference, mutable reference — the compiler and the
+reference interpreter use the same classification to drive the dynamic
+ownership discipline (moves, borrows, drops).  There is no trait system,
+no lifetimes, and no struct declarations; the shipped data-structure
+library (:mod:`repro.targets.rust_like.collections`) encodes vec/option/
+list nodes directly as word arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Node:
+    """Base class for MiniRust AST nodes."""
+
+
+# -- types (ownership-kind carriers) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeExpr(Node):
+    """A parsed type: a base name plus reference decoration.
+
+    ``name`` is the underlying type name (``i64``, ``bool``, ``Box``,
+    an array ``[T; n]`` spelled ``array``, or any other identifier);
+    ``ref`` / ``ref_mut`` record an ``&`` / ``&mut`` prefix.
+    """
+
+    name: str
+    ref: bool = False
+    ref_mut: bool = False
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Node):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Var(Node):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """A unary operation: ``-``, ``!``, ``*`` (deref), ``&``, ``&mut``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """A binary operation (arithmetic, comparison, ``&&``/``||``)."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """``base[index]`` — a word read/write slot into a handle's block."""
+
+    base: Node
+    index: Node
+
+
+@dataclass(frozen=True)
+class ArrayLit(Node):
+    """``[e1, ..., en]`` — a fresh owned block of n initialised words."""
+
+    items: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class BoxNew(Node):
+    """``Box::new(e)`` — a fresh owned one-word block holding ``e``."""
+
+    value: Node
+
+
+@dataclass(frozen=True)
+class CallExpr(Node):
+    """A call: user function or builtin (``alloc``, ``len``, ...)."""
+
+    name: str
+    args: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class SymbolicExpr(Node):
+    """``symb_int()`` / ``symb_bool()`` — a fresh symbolic input."""
+
+    type_name: str  # "int" | "bool"
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LetStmt(Node):
+    """``let [mut] name [: T] = expr;``"""
+
+    name: str
+    value: Node
+    mutable: bool = False
+    type: Optional[TypeExpr] = None
+
+
+@dataclass(frozen=True)
+class AssignStmt(Node):
+    """``target = expr;`` where target is a var, index, or deref."""
+
+    target: Node
+    value: Node
+
+
+@dataclass(frozen=True)
+class IfStmt(Node):
+    """``if cond { ... } else { ... }`` (else body may be empty)."""
+
+    cond: Node
+    then_body: Tuple[Node, ...]
+    else_body: Tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileStmt(Node):
+    """``while cond { ... }``"""
+
+    cond: Node
+    body: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Node):
+    """``return [expr];``"""
+
+    expr: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class BreakStmt(Node):
+    """``break;``"""
+
+
+@dataclass(frozen=True)
+class ContinueStmt(Node):
+    """``continue;``"""
+
+
+@dataclass(frozen=True)
+class DropStmt(Node):
+    """``drop(name);`` — frees an owned handle or releases a borrow."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AssumeStmt(Node):
+    """``assume(expr);`` — path-prunes when false."""
+
+    expr: Node
+
+
+@dataclass(frozen=True)
+class AssertStmt(Node):
+    """``assert!(expr);`` — fails the path when false."""
+
+    expr: Node
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    """An expression used as a statement (calls with effects)."""
+
+    expr: Node
+
+
+# -- functions / program -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param(Node):
+    """A function parameter: ``name: T``."""
+
+    name: str
+    type: TypeExpr
+
+
+@dataclass(frozen=True)
+class FnDef(Node):
+    """``fn name(params) -> T { body }`` (return type optional)."""
+
+    name: str
+    params: Tuple[Param, ...]
+    ret_type: Optional[TypeExpr]
+    body: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    """A MiniRust compilation unit: a sequence of functions."""
+
+    functions: Tuple[FnDef, ...] = field(default_factory=tuple)

@@ -1,0 +1,1 @@
+"""MiniRust data-structure library suites (the third benchmark column)."""

@@ -1,0 +1,170 @@
+"""The MiniRust data-structure library: vec, option, list.
+
+MiniRust has no structs, so every structure is a word-addressed block
+behind an owned handle with a fixed cell layout:
+
+* **vec** — a bounded vector ``[len, elem0, …, elem_cap-1]`` in a block
+  of ``cap + 1`` cells; ``vec_push`` *consumes* the vector (the handle
+  moves through the call) and returns it back, the Rust builder idiom;
+  pushing past capacity is an unmasked ``buffer-overflow`` fault.
+* **option** — a two-cell block ``[tag, value]`` with ``tag ∈ {0, 1}``;
+  ``opt_unwrap`` asserts the tag, so unwrapping ``None`` is an
+  assertion failure, like ``Option::unwrap`` panicking.
+* **list** — a singly linked list of three-cell nodes
+  ``[is_node, value, next]`` terminated by an ``[0, 0, 0]`` sentinel;
+  the ``next`` cell stores the child's whole handle.  Traversal
+  re-kinds loaded handles with ``as_ref`` (read-only) and ``list_free``
+  walks the chain re-kinding with ``as_handle`` so each node can be
+  dropped — the library's two raw-handle escape hatches.
+
+Suites in :mod:`repro.targets.rust_like.collections.suites` append
+``fn test_*`` entry points to these sources.
+"""
+
+from __future__ import annotations
+
+VEC = r"""
+fn vec_new4() -> Vec {
+  let v = [0, 0, 0, 0, 0];
+  return v;
+}
+
+fn vec_new8() -> Vec {
+  let v = [0, 0, 0, 0, 0, 0, 0, 0, 0];
+  return v;
+}
+
+fn vec_len(v: &Vec) -> i64 {
+  return v[0];
+}
+
+fn vec_cap(v: &Vec) -> i64 {
+  return len(v) - 1;
+}
+
+fn vec_push(v: Vec, x: i64) -> Vec {
+  let n = v[0];
+  v[n + 1] = x;
+  v[0] = n + 1;
+  return v;
+}
+
+fn vec_get(v: &Vec, i: i64) -> i64 {
+  assert!(0 <= i && i < v[0]);
+  return v[i + 1];
+}
+
+fn vec_set(v: &mut Vec, i: i64, x: i64) -> i64 {
+  assert!(0 <= i && i < v[0]);
+  v[i + 1] = x;
+  return 0;
+}
+
+fn vec_sum(v: &Vec) -> i64 {
+  let mut i = 0;
+  let mut total = 0;
+  while i < v[0] {
+    total = total + v[i + 1];
+    i = i + 1;
+  }
+  return total;
+}
+
+fn vec_contains(v: &Vec, x: i64) -> bool {
+  let mut i = 0;
+  while i < v[0] {
+    if v[i + 1] == x {
+      return true;
+    }
+    i = i + 1;
+  }
+  return false;
+}
+"""
+
+OPTION = r"""
+fn opt_none() -> Opt {
+  let o = [0, 0];
+  return o;
+}
+
+fn opt_some(x: i64) -> Opt {
+  let o = [1, x];
+  return o;
+}
+
+fn opt_is_some(o: &Opt) -> bool {
+  return o[0] == 1;
+}
+
+fn opt_unwrap(o: &Opt) -> i64 {
+  assert!(o[0] == 1);
+  return o[1];
+}
+
+fn opt_unwrap_or(o: &Opt, d: i64) -> i64 {
+  if o[0] == 1 {
+    return o[1];
+  }
+  return d;
+}
+"""
+
+LIST = r"""
+fn list_nil() -> List {
+  let n = [0, 0, 0];
+  return n;
+}
+
+fn list_cons(x: i64, rest: List) -> List {
+  let n = [1, x, rest];
+  return n;
+}
+
+fn list_is_empty(l: &List) -> bool {
+  return l[0] == 0;
+}
+
+fn list_head(l: &List) -> i64 {
+  assert!(l[0] == 1);
+  return l[1];
+}
+
+fn list_sum(l: &List) -> i64 {
+  let mut total = 0;
+  let mut cur = as_ref(l);
+  while cur[0] == 1 {
+    total = total + cur[1];
+    cur = as_ref(cur[2]);
+  }
+  return total;
+}
+
+fn list_length(l: &List) -> i64 {
+  let mut n = 0;
+  let mut cur = as_ref(l);
+  while cur[0] == 1 {
+    n = n + 1;
+    cur = as_ref(cur[2]);
+  }
+  return n;
+}
+
+fn list_free(l: List) -> i64 {
+  let mut cur = l;
+  while cur[0] == 1 {
+    let nxt = as_handle(cur[2]);
+    drop(cur);
+    cur = nxt;
+  }
+  drop(cur);
+  return 0;
+}
+"""
+
+_MODULES = {"vec": VEC, "option": OPTION, "list": LIST}
+
+
+def module_source(name: str) -> str:
+    """The library source for one structure (``vec``/``option``/``list``)."""
+    return _MODULES[name]

@@ -1,0 +1,243 @@
+"""Symbolic test suites for the MiniRust library (the Table 3 column).
+
+One suite per structure in :mod:`repro.targets.rust_like.collections.library`
+(vec 7, option 5, list 6 — 18 tests in total).  Tests expected to fail
+are listed in :data:`KNOWN_BUG_TESTS`; each demonstrates a distinct
+ownership/memory fault class surfacing through the owner-table memory:
+
+* ``test_push_beyond_capacity`` — ``buffer-overflow`` (bounded vec);
+* ``test_use_after_move`` — ``use-after-move`` (stale generation);
+* ``test_unwrap_none`` — assertion failure (``Option::unwrap`` panic);
+* ``test_head_after_free`` — ``use-after-free`` (tombstoned owner).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.targets.rust_like.collections.library import module_source
+
+_VEC_TESTS = r"""
+fn test_push_and_len() -> i64 {
+  let v = vec_new4();
+  let v2 = vec_push(v, 7);
+  let v3 = vec_push(v2, 9);
+  assert!(vec_len(&v3) == 2);
+  assert!(vec_get(&v3, 0) == 7);
+  assert!(vec_get(&v3, 1) == 9);
+  drop(v3);
+  return 0;
+}
+
+fn test_push_symbolic() -> i64 {
+  let x = symb_int();
+  assume(0 <= x && x <= 100);
+  let v = vec_new4();
+  let v2 = vec_push(v, x);
+  assert!(vec_get(&v2, 0) == x);
+  assert!(vec_contains(&v2, x));
+  drop(v2);
+  return 0;
+}
+
+fn test_set_overwrites() -> i64 {
+  let v = vec_new4();
+  let mut v2 = vec_push(v, 1);
+  v2 = vec_push(v2, 2);
+  vec_set(&mut v2, 0, 5);
+  assert!(vec_get(&v2, 0) == 5);
+  assert!(vec_sum(&v2) == 7);
+  drop(v2);
+  return 0;
+}
+
+fn test_sum_loop() -> i64 {
+  let mut v = vec_new8();
+  let mut i = 1;
+  while i <= 5 {
+    v = vec_push(v, i);
+    i = i + 1;
+  }
+  assert!(vec_sum(&v) == 15);
+  assert!(vec_len(&v) == 5);
+  assert!(vec_cap(&v) == 8);
+  drop(v);
+  return 0;
+}
+
+fn test_contains_miss() -> i64 {
+  let v = vec_new4();
+  let v2 = vec_push(v, 2);
+  assert!(!vec_contains(&v2, 3));
+  drop(v2);
+  return 0;
+}
+
+fn test_push_beyond_capacity() -> i64 {
+  let mut v = vec_new4();
+  let mut i = 0;
+  while i < 5 {
+    v = vec_push(v, i);
+    i = i + 1;
+  }
+  drop(v);
+  return 0;
+}
+
+fn test_use_after_move() -> i64 {
+  let v = vec_new4();
+  let v2 = vec_push(v, 3);
+  assert!(vec_len(&v) == 0);
+  drop(v2);
+  return 0;
+}
+"""
+
+_OPTION_TESTS = r"""
+fn test_none_is_not_some() -> i64 {
+  let o = opt_none();
+  assert!(!opt_is_some(&o));
+  assert!(opt_unwrap_or(&o, 9) == 9);
+  drop(o);
+  return 0;
+}
+
+fn test_some_roundtrip() -> i64 {
+  let x = symb_int();
+  assume(0 - 50 <= x && x <= 50);
+  let o = opt_some(x);
+  assert!(opt_is_some(&o));
+  assert!(opt_unwrap(&o) == x);
+  drop(o);
+  return 0;
+}
+
+fn test_unwrap_or_prefers_value() -> i64 {
+  let o = opt_some(4);
+  assert!(opt_unwrap_or(&o, 9) == 4);
+  drop(o);
+  return 0;
+}
+
+fn test_symbolic_choice() -> i64 {
+  let b = symb_bool();
+  let mut o = opt_none();
+  if b == 1 {
+    drop(o);
+    o = opt_some(7);
+  }
+  assert!(opt_unwrap_or(&o, 7) == 7);
+  drop(o);
+  return 0;
+}
+
+fn test_unwrap_none() -> i64 {
+  let o = opt_none();
+  assert!(opt_unwrap(&o) == 0);
+  drop(o);
+  return 0;
+}
+"""
+
+_LIST_TESTS = r"""
+fn test_nil_is_empty() -> i64 {
+  let l = list_nil();
+  assert!(list_is_empty(&l));
+  assert!(list_sum(&l) == 0);
+  list_free(l);
+  return 0;
+}
+
+fn test_cons_head() -> i64 {
+  let l = list_cons(3, list_cons(2, list_nil()));
+  assert!(list_head(&l) == 3);
+  assert!(!list_is_empty(&l));
+  assert!(list_length(&l) == 2);
+  list_free(l);
+  return 0;
+}
+
+fn test_sum_symbolic() -> i64 {
+  let x = symb_int();
+  let y = symb_int();
+  assume(0 <= x && x <= 10);
+  assume(0 <= y && y <= 10);
+  let l = list_cons(x, list_cons(y, list_nil()));
+  assert!(list_sum(&l) == x + y);
+  list_free(l);
+  return 0;
+}
+
+fn test_length_loop() -> i64 {
+  let mut l = list_nil();
+  let mut i = 0;
+  while i < 4 {
+    l = list_cons(i, l);
+    i = i + 1;
+  }
+  assert!(list_sum(&l) == 6);
+  assert!(list_head(&l) == 3);
+  assert!(list_length(&l) == 4);
+  list_free(l);
+  return 0;
+}
+
+fn test_shared_reads() -> i64 {
+  let l = list_cons(4, list_nil());
+  let a = &l;
+  let b = &l;
+  assert!(a[1] == 4);
+  assert!(b[1] == 4);
+  drop(a);
+  drop(b);
+  list_free(l);
+  return 0;
+}
+
+fn test_head_after_free() -> i64 {
+  let l = list_cons(1, list_nil());
+  list_free(l);
+  assert!(list_head(&l) == 1);
+  return 0;
+}
+"""
+
+_RAW_SUITES: Dict[str, str] = {
+    "vec": _VEC_TESTS,
+    "option": _OPTION_TESTS,
+    "list": _LIST_TESTS,
+}
+
+#: Tests expected to fail — one per demonstrated fault class.
+KNOWN_BUG_TESTS = {
+    "test_push_beyond_capacity",
+    "test_use_after_move",
+    "test_unwrap_none",
+    "test_head_after_free",
+}
+
+
+def _test_names(source: str) -> List[str]:
+    """Scrape the ``fn test_*`` entry points from a suite source."""
+    names = []
+    for line in source.splitlines():
+        line = line.strip()
+        if line.startswith("fn test_"):
+            names.append(line.split()[1].split("(")[0])
+    return names
+
+
+def suite(name: str) -> Tuple[str, List[str]]:
+    """(full MiniRust source, test entry points) for one Table 3 row."""
+    source = module_source(name) + "\n" + _RAW_SUITES[name]
+    return source, _test_names(_RAW_SUITES[name])
+
+
+def suite_names() -> List[str]:
+    """The suite names, sorted."""
+    return sorted(_RAW_SUITES)
+
+
+def expected_test_counts() -> Dict[str, int]:
+    """The Table 3 #T column."""
+    return {"vec": 7, "option": 5, "list": 6}

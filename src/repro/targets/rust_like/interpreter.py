@@ -1,0 +1,489 @@
+"""A reference big-step interpreter for MiniRust (conformance oracle).
+
+Interprets the MiniRust AST directly — no GIL involved — against the
+same concrete memory model (heap × owner table) the compiled code runs
+on, mirroring the compiler's ownership discipline step for step: moves
+bump generations, borrows register releases on a scope stack, drops
+check-then-tombstone-then-free.  Differential agreement between this
+interpreter and concrete GIL execution of the compiled program is the
+compiler-trustworthiness evidence for the MiniRust front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gil.values import Symbol, Value
+from repro.state.interface import MemErr, MemOk
+from repro.targets.rust_like import ast
+from repro.targets.rust_like.compiler import (
+    HANDLE_KINDS,
+    MUTREF,
+    OWN,
+    REF,
+    VAL,
+    kind_of_type,
+)
+from repro.targets.rust_like.memory import (
+    FRESH_OWNER_META,
+    WORD_CHUNK,
+    RustConcreteMemory,
+)
+
+
+@dataclass
+class InterpResult:
+    """Final outcome of a concrete MiniRust run."""
+
+    kind: str  # "normal" | "error" | "vanish"
+    value: Value = 0
+
+
+class RustRuntimeError(Exception):
+    """Raised by the concrete interpreter on a runtime fault."""
+
+    def __init__(self, value) -> None:
+        """Record the fault ``value`` (mirrors the GIL error value)."""
+        super().__init__(repr(value))
+        self.value = value
+
+
+class _Return(Exception):
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Vanish(Exception):
+    pass
+
+
+class RustInterpreter:
+    """Direct interpreter over the MiniRust AST.
+
+    ``symb_values`` scripts the ``symb_int()``/``symb_bool()`` inputs in
+    occurrence order, exactly like the MiniC oracle.
+    """
+
+    def __init__(self, symb_values: Optional[Sequence[Value]] = None) -> None:
+        """Set up a fresh memory and the scripted symbolic inputs."""
+        self._symb_values: List[Value] = list(symb_values or [])
+        self._memory_model = RustConcreteMemory()
+        self._memory = self._memory_model.initial()
+        self._alloc_count = 0
+        self.functions: Dict[str, ast.FnDef] = {}
+
+    def run(
+        self, program: ast.Program, entry: str, args: Sequence[Value] = ()
+    ) -> InterpResult:
+        """Run ``entry`` to a final outcome."""
+        self.functions = {f.name: f for f in program.functions}
+        if entry not in self.functions:
+            raise ValueError(f"unknown function {entry!r}")
+        try:
+            value = self._call_function(self.functions[entry], list(args))
+        except RustRuntimeError as exc:
+            return InterpResult("error", exc.value)
+        except _Vanish:
+            return InterpResult("vanish")
+        return InterpResult("normal", value)
+
+    # -- memory helpers -------------------------------------------------------
+
+    def _action(self, action: str, value):
+        """Run one memory action; raise on the (sole) error branch."""
+        branches = self._memory_model.execute(action, self._memory, value)
+        assert len(branches) == 1
+        branch = branches[0]
+        if isinstance(branch, MemErr):
+            raise RustRuntimeError(branch.value)
+        assert isinstance(branch, MemOk)
+        self._memory = branch.memory
+        return branch.value
+
+    def _fresh_block(self) -> Symbol:
+        """A fresh block location for the next allocation."""
+        loc = Symbol(f"rblk_{self._alloc_count}")
+        self._alloc_count += 1
+        return loc
+
+    def _alloc_owned(self, size: int, init: Sequence[Value]) -> Tuple[Symbol, int]:
+        """Allocate an owned block, register its owner, store ``init``."""
+        handle = self._action("alloc", (self._fresh_block(), size))
+        self._action("own_new", (handle[0], FRESH_OWNER_META))
+        for i, value in enumerate(init):
+            self._action("store", (WORD_CHUNK, (handle[0], i), value))
+        return handle
+
+    @staticmethod
+    def _owner_args(handle) -> Tuple[Symbol, int]:
+        """The ``(loc, gen)`` argument pair an owner action expects."""
+        return (handle[0], handle[1])
+
+    # -- functions ------------------------------------------------------------
+
+    def _call_function(self, fn: ast.FnDef, args: List[Value]) -> Value:
+        """Run ``fn`` in a fresh frame; release its borrows on exit."""
+        if len(args) != len(fn.params):
+            raise RustRuntimeError(f"{fn.name}: arity mismatch")
+        env: Dict[str, Tuple[Value, str]] = {}
+        for p, arg in zip(fn.params, args):
+            env[p.name] = (arg, kind_of_type(p.type))
+        frame = _Frame()
+        frame.push()
+        try:
+            for stmt in fn.body:
+                self._stmt(env, frame, stmt)
+        except _Return as ret:
+            self._release_all(frame)
+            return ret.value
+        self._release_frame(frame.pop())
+        return 0
+
+    def _release_frame(self, entries) -> None:
+        """Release one scope's borrow entries, innermost first."""
+        for action, handle, _binding in reversed(entries):
+            self._action(action, self._owner_args(handle))
+
+    def _release_all(self, frame: "_Frame") -> None:
+        """Release every open scope (function return)."""
+        while frame.scopes:
+            self._release_frame(frame.pop())
+
+    def _release_down_to(self, frame: "_Frame", depth: int) -> None:
+        """Release scopes opened above ``depth`` (break/continue)."""
+        while len(frame.scopes) > depth:
+            self._release_frame(frame.pop())
+
+    def _block(self, env, frame: "_Frame", body) -> None:
+        """Run ``body`` in its own scope, releasing borrows on exit."""
+        # On _Break/_Continue/_Return the frame stays pushed; the loop
+        # dispatcher (or _call_function) releases down to its own depth.
+        frame.push()
+        for stmt in body:
+            self._stmt(env, frame, stmt)
+        self._release_frame(frame.pop())
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self, env, frame: "_Frame", stmt: ast.Node) -> None:
+        """Execute one statement."""
+        if isinstance(stmt, ast.LetStmt):
+            # Re-execution of the same static `let` (loop bodies) simply
+            # rebinds; the compiler rejects *statically* duplicate lets.
+            value, kind = self._binding_value(env, frame, stmt.value, stmt.name)
+            env[stmt.name] = (value, kind)
+            return
+        if isinstance(stmt, ast.AssignStmt):
+            self._assign(env, frame, stmt)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            body = stmt.then_body if self._cond(env, frame, stmt.cond) else stmt.else_body
+            self._block(env, frame, body)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            depth = len(frame.scopes)
+            while self._cond(env, frame, stmt.cond):
+                try:
+                    self._block(env, frame, stmt.body)
+                except _Break:
+                    self._release_down_to(frame, depth)
+                    return
+                except _Continue:
+                    self._release_down_to(frame, depth)
+                    continue
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.expr is None:
+                raise _Return(0)
+            value, _kind = self._expr(env, frame, stmt.expr)
+            raise _Return(value)
+        if isinstance(stmt, ast.BreakStmt):
+            raise _Break()
+        if isinstance(stmt, ast.ContinueStmt):
+            raise _Continue()
+        if isinstance(stmt, ast.DropStmt):
+            self._drop(env, frame, stmt.name)
+            return
+        if isinstance(stmt, ast.AssumeStmt):
+            if not self._cond(env, frame, stmt.expr):
+                raise _Vanish()
+            return
+        if isinstance(stmt, ast.AssertStmt):
+            if not self._cond(env, frame, stmt.expr):
+                raise RustRuntimeError(("assertion-failure", repr(stmt.expr)))
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._expr(env, frame, stmt.expr)
+            return
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _binding_value(
+        self, env, frame: "_Frame", e: ast.Node, binding: Optional[str]
+    ) -> Tuple[Value, str]:
+        """Evaluate a binding initialiser: borrows borrow, owners move."""
+        if isinstance(e, ast.Unary) and e.op in ("&", "&mut"):
+            return self._borrow(env, frame, e, binding)
+        if isinstance(e, ast.Var) and e.name in env and env[e.name][1] == OWN:
+            handle, _kind = env[e.name]
+            new_gen = self._action("own_move", self._owner_args(handle))
+            return (handle[0], new_gen), OWN
+        return self._expr(env, frame, e)
+
+    def _borrow(
+        self, env, frame: "_Frame", e: ast.Unary, binding: Optional[str]
+    ) -> Tuple[Value, str]:
+        """Take a ``&``/``&mut`` borrow, registering its release entry."""
+        if not isinstance(e.operand, ast.Var) or e.operand.name not in env:
+            raise RustRuntimeError("can only borrow a named binding")
+        handle, kind = env[e.operand.name]
+        if kind not in HANDLE_KINDS:
+            raise RustRuntimeError("cannot borrow a non-handle binding")
+        action = "borrow_mut" if e.op == "&mut" else "borrow"
+        gen = self._action(action, self._owner_args(handle))
+        new_handle = (handle[0], gen)
+        release = "release_mut" if e.op == "&mut" else "release"
+        frame.scopes[-1].append((release, new_handle, binding))
+        return new_handle, MUTREF if e.op == "&mut" else REF
+
+    def _assign(self, env, frame: "_Frame", stmt: ast.AssignStmt) -> None:
+        """Assign to a variable, index place, or deref place."""
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            if target.name not in env:
+                raise RustRuntimeError(f"assignment to undeclared {target.name!r}")
+            value, kind = self._binding_value(env, frame, stmt.value, target.name)
+            env[target.name] = (value, kind)
+            return
+        if isinstance(target, ast.Unary) and target.op == "*":
+            handle, kind = self._expr(env, frame, target.operand)
+            index: Value = 0
+        elif isinstance(target, ast.Index):
+            handle, kind = self._expr(env, frame, target.base)
+            index, _ = self._expr(env, frame, target.index)
+        else:
+            raise RustRuntimeError(f"not an assignable place: {target!r}")
+        if kind not in HANDLE_KINDS:
+            raise RustRuntimeError("write target is not a handle")
+        if kind == REF:
+            raise RustRuntimeError("cannot write through a shared reference")
+        value, _vkind = self._expr(env, frame, stmt.value)
+        self._action("own_check", self._owner_args(handle))
+        self._action("store", (WORD_CHUNK, (handle[0], int(index)), value))
+
+    def _drop(self, env, frame: "_Frame", name: str) -> None:
+        """``drop(name)``: free an owner or release a borrow early."""
+        if name not in env:
+            raise RustRuntimeError(f"drop of unknown binding {name!r}")
+        handle, kind = env[name]
+        if kind == OWN:
+            self._action("drop_check", self._owner_args(handle))
+            self._action("own_drop", (handle[0],))
+            self._action("free", ((handle[0], 0),))
+            return
+        if kind in (REF, MUTREF):
+            for entries in reversed(frame.scopes):
+                for i, (action, entry_handle, binding) in enumerate(entries):
+                    if binding == name:
+                        self._action(action, self._owner_args(entry_handle))
+                        del entries[i]
+                        return
+            raise RustRuntimeError(f"drop of already-released reference {name!r}")
+        raise RustRuntimeError(f"cannot drop value binding {name!r}")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, env, frame: "_Frame", e: ast.Node) -> Tuple[Value, str]:
+        """Evaluate an expression to ``(value, binding kind)``."""
+        if isinstance(e, ast.IntLit):
+            return e.value, VAL
+        if isinstance(e, ast.BoolLit):
+            return (1 if e.value else 0), VAL
+        if isinstance(e, ast.Var):
+            if e.name not in env:
+                raise RustRuntimeError(f"unknown identifier {e.name!r}")
+            return env[e.name]
+        if isinstance(e, ast.SymbolicExpr):
+            return self._symbolic(e), VAL
+        if isinstance(e, ast.Unary):
+            return self._unary(env, frame, e)
+        if isinstance(e, ast.Binary):
+            return self._binary(env, frame, e)
+        if isinstance(e, ast.Index):
+            handle, kind = self._expr(env, frame, e.base)
+            if kind not in HANDLE_KINDS:
+                raise RustRuntimeError("indexing a non-handle")
+            index, _ = self._expr(env, frame, e.index)
+            return self._read_word(handle, int(index)), VAL
+        if isinstance(e, ast.ArrayLit):
+            items = [self._expr(env, frame, item)[0] for item in e.items]
+            return self._alloc_owned(len(items), items), OWN
+        if isinstance(e, ast.BoxNew):
+            value, _kind = self._expr(env, frame, e.value)
+            return self._alloc_owned(1, [value]), OWN
+        if isinstance(e, ast.CallExpr):
+            return self._call(env, frame, e)
+        raise TypeError(f"unknown expression {e!r}")
+
+    def _read_word(self, handle, index: int) -> Value:
+        """Owner-checked load of one word through ``handle``."""
+        self._action("own_check", self._owner_args(handle))
+        return self._action("load", (WORD_CHUNK, (handle[0], index)))
+
+    def _symbolic(self, e: ast.SymbolicExpr) -> Value:
+        """The next scripted symbolic input; vanish when out of range."""
+        if not self._symb_values:
+            raise ValueError("interpreter ran out of symbolic input values")
+        value = self._symb_values.pop(0)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _Vanish()
+        if float(value) != int(value):
+            raise _Vanish()
+        value = int(value)
+        if e.type_name == "bool" and not 0 <= value <= 1:
+            raise _Vanish()
+        return value
+
+    def _unary(self, env, frame: "_Frame", e: ast.Unary) -> Tuple[Value, str]:
+        """Evaluate ``-``, ``!``, and deref; borrows are position-checked."""
+        if e.op == "-":
+            value, _ = self._expr(env, frame, e.operand)
+            return -self._int(value, "-"), VAL
+        if e.op == "!":
+            return (0 if self._cond(env, frame, e.operand) else 1), VAL
+        if e.op == "*":
+            handle, kind = self._expr(env, frame, e.operand)
+            if kind not in HANDLE_KINDS:
+                raise RustRuntimeError("dereference of a non-handle")
+            return self._read_word(handle, 0), VAL
+        if e.op in ("&", "&mut"):
+            raise RustRuntimeError(
+                "borrows are only allowed as let initialisers or call arguments"
+            )
+        raise RustRuntimeError(f"unknown unary {e.op!r}")
+
+    def _binary(self, env, frame: "_Frame", e: ast.Binary) -> Tuple[Value, str]:
+        """Evaluate arithmetic, comparisons, and short-circuit logic."""
+        if e.op == "&&":
+            result = self._cond(env, frame, e.left) and self._cond(env, frame, e.right)
+            return (1 if result else 0), VAL
+        if e.op == "||":
+            result = self._cond(env, frame, e.left) or self._cond(env, frame, e.right)
+            return (1 if result else 0), VAL
+        if e.op in ("==", "!=", "<", "<=", ">", ">="):
+            return (1 if self._comparison(env, frame, e) else 0), VAL
+        left, lkind = self._expr(env, frame, e.left)
+        right, rkind = self._expr(env, frame, e.right)
+        if lkind in HANDLE_KINDS or rkind in HANDLE_KINDS:
+            raise RustRuntimeError(f"arithmetic on handles ({e.op!r})")
+        lv, rv = self._int(left, e.op), self._int(right, e.op)
+        if e.op == "+":
+            return lv + rv, VAL
+        if e.op == "-":
+            return lv - rv, VAL
+        if e.op == "*":
+            return lv * rv, VAL
+        if e.op == "/":
+            if rv == 0:
+                raise RustRuntimeError("eval-error: division by zero")
+            return lv // rv, VAL
+        if e.op == "%":
+            if rv == 0:
+                raise RustRuntimeError("eval-error: modulo by zero")
+            return lv % rv, VAL
+        raise RustRuntimeError(f"unknown binary {e.op!r}")
+
+    def _comparison(self, env, frame: "_Frame", e: ast.Binary) -> bool:
+        """Evaluate a comparison; handles are not comparable."""
+        left, lkind = self._expr(env, frame, e.left)
+        right, rkind = self._expr(env, frame, e.right)
+        if lkind in HANDLE_KINDS or rkind in HANDLE_KINDS:
+            raise RustRuntimeError("cannot compare handles")
+        lv, rv = self._int(left, e.op), self._int(right, e.op)
+        return {
+            "==": lv == rv, "!=": lv != rv, "<": lv < rv,
+            "<=": lv <= rv, ">": lv > rv, ">=": lv >= rv,
+        }[e.op]
+
+    def _cond(self, env, frame: "_Frame", e: ast.Node) -> bool:
+        """Evaluate an expression as a branch condition."""
+        if isinstance(e, ast.Binary) and e.op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._comparison(env, frame, e)
+        if isinstance(e, ast.Binary) and e.op == "&&":
+            return self._cond(env, frame, e.left) and self._cond(env, frame, e.right)
+        if isinstance(e, ast.Binary) and e.op == "||":
+            return self._cond(env, frame, e.left) or self._cond(env, frame, e.right)
+        if isinstance(e, ast.Unary) and e.op == "!":
+            return not self._cond(env, frame, e.operand)
+        value, kind = self._expr(env, frame, e)
+        if kind in HANDLE_KINDS:
+            raise RustRuntimeError("a handle is not a condition")
+        return self._int(value, "condition") != 0
+
+    @staticmethod
+    def _int(value, op: str) -> int:
+        """Coerce ``value`` to an int, or fail with an eval error."""
+        if isinstance(value, bool):
+            return int(value)
+        if not isinstance(value, (int, float)):
+            raise RustRuntimeError(f"eval-error: {op}: expected an int, got {value!r}")
+        return int(value)
+
+    # -- calls ----------------------------------------------------------------
+
+    def _call(self, env, frame: "_Frame", e: ast.CallExpr) -> Tuple[Value, str]:
+        """Evaluate a builtin or user call (args move/borrow like lets)."""
+        name = e.name
+        if name == "alloc":
+            (size_ast,) = e.args
+            if not isinstance(size_ast, ast.IntLit):
+                raise RustRuntimeError("alloc() needs a literal size")
+            return self._alloc_owned(size_ast.value, ()), OWN
+        if name == "len":
+            (handle_ast,) = e.args
+            if isinstance(handle_ast, ast.Unary) and handle_ast.op in ("&", "&mut"):
+                handle_ast = handle_ast.operand
+            handle, kind = self._expr(env, frame, handle_ast)
+            if kind not in HANDLE_KINDS:
+                raise RustRuntimeError("len() of a non-handle")
+            self._action("own_check", self._owner_args(handle))
+            return self._action("bounds", ((handle[0], 0),)), VAL
+        if name in ("as_ref", "as_handle"):
+            (value_ast,) = e.args
+            value, _kind = self._expr(env, frame, value_ast)
+            if not (isinstance(value, (tuple, list)) and len(value) == 2):
+                raise RustRuntimeError(("invalid-handle", value))
+            return tuple(value), (REF if name == "as_ref" else OWN)
+        if name not in self.functions:
+            raise RustRuntimeError(f"unknown function {name!r}")
+        mark = len(frame.scopes[-1])
+        args = [self._binding_value(env, frame, a, None)[0] for a in e.args]
+        fn = self.functions[name]
+        value = self._call_function(fn, args)
+        # Release call-argument borrow temporaries (mirrors the compiler).
+        temporaries = frame.scopes[-1][mark:]
+        del frame.scopes[-1][mark:]
+        for action, entry_handle, _binding in reversed(temporaries):
+            self._action(action, self._owner_args(entry_handle))
+        return value, kind_of_type(fn.ret_type)
+
+
+class _Frame:
+    """The borrow-release scope stack for one function activation."""
+
+    def __init__(self) -> None:
+        self.scopes: List[List[Tuple[str, object, Optional[str]]]] = []
+
+    def push(self) -> None:
+        self.scopes.append([])
+
+    def pop(self):
+        return self.scopes.pop()

@@ -1,0 +1,306 @@
+"""MiniRust memory models as a memlib composition.
+
+The ownership-flavoured memory is a *product* of two parts:
+
+* a word-addressed :class:`~repro.memlib.blockoffset.BlockOffset` heap
+  (every cell holds one GIL value, chunk ``(1, 1, "word")``) wrapped in
+  a :class:`~repro.memlib.permissions.Permissions` gate that grants
+  ``PERM_WRITABLE`` while requiring ``PERM_FREEABLE`` for the raw byte
+  operations ``memcpy``/``memset`` — MiniRust has no ``unsafe``, so the
+  byte-smashing actions of the C instantiation are sealed off as
+  ``permission-denied`` branches rather than removed;
+* an **owner table**: a :class:`~repro.memlib.freeable.Freeable` store
+  of per-allocation ownership records ``(generation, shared borrows,
+  mutable borrow)``, checked on every access.
+
+Handles (owned boxes/arrays and references) are two-element GIL lists
+``[loc, gen]``.  A *move* bumps the owner's generation, so every stale
+binding is caught dynamically (``use-after-move``); ``&``/``&mut``
+borrows increment/flag the borrow counters with Rust's sharing-xor-
+mutation discipline (``already-borrowed`` / ``already-mutably-borrowed``);
+``drop`` refuses while borrows are live (``drop-while-borrowed``),
+tombstones the owner record (later access is ``use-after-free``) and
+frees the block.  Because both parts are memlib combinators, the
+concrete and symbolic execution arms — and pickle-safety across the
+parallel explorer — come for free from the composition expression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.gil.ops import EvalError, evaluate
+from repro.gil.values import Symbol, Value
+from repro.logic.expr import Expr, Lit, lst
+from repro.memlib.blockoffset import (
+    Block,
+    BlockMem,
+    BlockOffset,
+    BlockSpec,
+    Fragment,
+    SymBlockMem,
+)
+from repro.memlib.core import (
+    PairMem,
+    PartConcreteModel,
+    PartSymbolicModel,
+    RecErr,
+    RecOk,
+    RecordPart,
+    UNCHANGED,
+    product,
+)
+from repro.memlib.freeable import Freeable, FreeableSpec, Record, StoreMem, SymStoreMem
+from repro.memlib.permissions import PERM_FREEABLE, PERM_WRITABLE, Permissions
+
+#: The only chunk MiniRust uses: one word-sized, word-aligned GIL value.
+WORD_CHUNK = (1, 1, "word")
+
+#: Owner-record state for a freshly allocated handle:
+#: (generation, live shared borrows, mutable-borrow flag).
+FRESH_OWNER_META = (0, 0, 0)
+
+
+class RustBlockMemory(BlockMem):
+    """Concrete MiniRust heap: separated blocks of word cells."""
+
+
+class SymRustBlockMemory(SymBlockMem):
+    """Symbolic MiniRust heap: block cells hold value expressions."""
+
+
+class RustOwnerStore(StoreMem):
+    """Concrete owner table: block symbol → ownership record."""
+
+
+class SymRustOwnerStore(SymStoreMem):
+    """Symbolic owner table: location expressions → ownership records."""
+
+
+class OwnerTable(RecordPart):
+    """The per-allocation ownership record: generation + borrow state.
+
+    The record's metadata is the triple ``(gen, shared, mut)`` — always
+    concrete integers (generations travel inside handle values, which
+    whole-program symbolic execution keeps literal), so neither arm
+    branches: each action yields exactly one ``RecOk``/``RecErr``.
+
+    Actions (``args[0]`` is the resolved location, ``args[1]`` the
+    handle's generation):
+
+    * ``own_check`` — access guard: stale generation is ``use-after-move``;
+    * ``own_move`` — bump the generation (refusing while borrowed),
+      returning the new generation for the moved-to handle;
+    * ``borrow`` / ``borrow_mut`` — take a shared / unique borrow under
+      the sharing-xor-mutation discipline, returning the generation;
+    * ``release`` / ``release_mut`` — give a borrow back (lenient);
+    * ``drop_check`` — guard for ``drop``: refuses stale generations and
+      live borrows, mutating nothing (the enclosing
+      :class:`~repro.memlib.freeable.Freeable` dispose does the kill).
+    """
+
+    _ACTIONS = frozenset(
+        {
+            "own_check",
+            "own_move",
+            "borrow",
+            "borrow_mut",
+            "release",
+            "release_mut",
+            "drop_check",
+        }
+    )
+
+    @property
+    def actions(self) -> frozenset:
+        """The ownership action names."""
+        return self._ACTIONS
+
+    # -- shared state helpers -------------------------------------------------
+
+    @staticmethod
+    def _state(record: Record) -> Tuple[int, int, int]:
+        """The ``(gen, shared, mut)`` triple behind either arm's metadata."""
+        metadata = record.metadata
+        if isinstance(metadata, Lit):
+            metadata = metadata.value
+        gen, shared, mut = metadata
+        return int(gen), int(shared), int(mut)
+
+    @staticmethod
+    def _gen_arg(arg) -> int:
+        """The concrete generation carried by a handle argument."""
+        if isinstance(arg, Lit):
+            arg = arg.value
+        if isinstance(arg, bool) or not isinstance(arg, (int, float)):
+            raise EvalError(f"owner action expects a concrete generation, got {arg!r}")
+        return int(arg)
+
+    @staticmethod
+    def _transition(
+        action: str, state: Tuple[int, int, int], gen: int
+    ) -> Tuple[Optional[str], Optional[Tuple[int, int, int]], object]:
+        """The shared state machine: (error tag, new state, result value).
+
+        Returns ``(None, new_state_or_None, value)`` on success —
+        ``new_state`` is ``None`` when the record is unchanged — and
+        ``(tag, None, None)`` on an ownership fault.
+        """
+        cur_gen, shared, mut = state
+        if action == "release":
+            return None, (cur_gen, max(shared - 1, 0), mut), True
+        if action == "release_mut":
+            return None, (cur_gen, shared, 0), True
+        if cur_gen != gen:
+            return "use-after-move", None, None
+        if action == "own_check":
+            return None, None, True
+        if action == "own_move":
+            if shared > 0 or mut:
+                return "move-while-borrowed", None, None
+            return None, (cur_gen + 1, 0, 0), cur_gen + 1
+        if action == "borrow":
+            if mut:
+                return "already-mutably-borrowed", None, None
+            return None, (cur_gen, shared + 1, mut), cur_gen
+        if action == "borrow_mut":
+            if mut:
+                return "already-mutably-borrowed", None, None
+            if shared > 0:
+                return "already-borrowed", None, None
+            return None, (cur_gen, shared, 1), cur_gen
+        if action == "drop_check":
+            if shared > 0 or mut:
+                return "drop-while-borrowed", None, None
+            return None, None, True
+        raise ValueError(f"unknown owner action {action!r}")
+
+    # -- concrete arm ---------------------------------------------------------
+
+    def execute_concrete(self, action: str, record: Record, value: Value) -> List:
+        """One deterministic branch of the ownership state machine."""
+        loc = value[0]
+        gen = self._gen_arg(value[1]) if len(value) > 1 else 0
+        tag, new_state, result = self._transition(action, self._state(record), gen)
+        if tag is not None:
+            return [RecErr((tag, loc))]
+        if new_state is None:
+            return [RecOk(UNCHANGED, result)]
+        return [RecOk(type(record)(new_state, record.props), result)]
+
+    # -- symbolic arm ---------------------------------------------------------
+
+    def execute_symbolic(
+        self, action: str, record: Record, args: List[Expr], learned0, pc, solver
+    ) -> List:
+        """The same single branch; error values become GIL list exprs."""
+        loc = args[0]
+        gen = self._gen_arg(args[1]) if len(args) > 1 else 0
+        tag, new_state, result = self._transition(action, self._state(record), gen)
+        if tag is not None:
+            return [RecErr(lst(tag, loc), learned0)]
+        if new_state is None:
+            return [RecOk(UNCHANGED, Lit(result), learned0)]
+        return [
+            RecOk(type(record)(Lit(new_state), record.props), Lit(result), learned0)
+        ]
+
+
+#: The word-addressed heap, with the raw byte actions sealed off:
+#: ``memcpy``/``memset`` require ``PERM_FREEABLE`` but the gate grants
+#: only ``PERM_WRITABLE``, so safe MiniRust cannot byte-smash blocks.
+RUST_BLOCKS = Permissions(
+    BlockOffset(
+        BlockSpec(
+            concrete_mem=RustBlockMemory,
+            symbolic_mem=SymRustBlockMemory,
+            name="Rust-blocks",
+        )
+    ),
+    required={"memcpy": PERM_FREEABLE, "memset": PERM_FREEABLE},
+    granted=PERM_WRITABLE,
+)
+
+#: The owner table: a Freeable store of OwnerTable records.  ``own_new``
+#: registers a fresh allocation; ``own_drop`` tombstones it so stale
+#: handles fault with ``use-after-free``.
+RUST_OWNERS = Freeable(
+    OwnerTable(),
+    FreeableSpec(
+        alloc_action="own_new",
+        dispose_action="own_drop",
+        not_object_error="not-an-owner",
+        disposed_error="use-after-free",
+        loc_error="not an owner location",
+        name="Rust-owners",
+        concrete_mem=RustOwnerStore,
+        symbolic_mem=SymRustOwnerStore,
+    ),
+)
+
+#: The whole MiniRust memory: heap × owner table (disjoint action sets).
+RUST_PART = product(RUST_BLOCKS, RUST_OWNERS)
+
+
+class RustConcreteMemory(PartConcreteModel):
+    """The concrete MiniRust memory (heap × owner table)."""
+
+    part = RUST_PART
+
+
+class RustSymbolicMemory(PartSymbolicModel):
+    """The symbolic MiniRust memory (heap × owner table)."""
+
+    part = RUST_PART
+
+
+# -- interpretation I_R --------------------------------------------------------
+
+
+class InterpretationError(Exception):
+    """Raised when a symbolic memory has no concrete interpretation."""
+
+
+def interpret_memory(env: Dict[str, Value], memory: PairMem) -> PairMem:
+    """I_R(ε, µ̂): interpret heap cell expressions; copy owner records.
+
+    The heap side interprets every cell fragment's value expression
+    under ``ε`` exactly like the MiniC interpretation; the owner side is
+    already concrete (locations are literal symbols, metadata triples
+    are plain integers), so it converts representation only.
+    """
+    blocks: Dict[Symbol, Block] = {}
+    for loc, block in memory.left.blocks:
+        cells: List[Optional[Fragment]] = []
+        for cell in block.cells:
+            if cell is None:
+                cells.append(None)
+                continue
+            value_expr, k, n, tag = cell
+            try:
+                value = evaluate(value_expr, lvar_env=env)
+            except EvalError as exc:
+                raise InterpretationError(str(exc)) from exc
+            cells.append((value, k, n, tag))
+        blocks[loc] = Block(block.size, block.perm, tuple(cells))
+
+    entries: Dict[Symbol, Optional[Record]] = {}
+    for loc_expr, record in memory.right.entries:
+        loc = _literal_location(loc_expr)
+        if record is None:
+            entries[loc] = None
+            continue
+        metadata = record.metadata
+        if isinstance(metadata, Lit):
+            metadata = metadata.value
+        entries[loc] = Record(tuple(metadata), record.props)
+    return PairMem(RustBlockMemory.of(blocks), RustOwnerStore.of(entries))
+
+
+def _literal_location(loc_expr) -> Symbol:
+    """The literal block symbol behind an owner-store key."""
+    if isinstance(loc_expr, Lit) and isinstance(loc_expr.value, Symbol):
+        return loc_expr.value
+    if isinstance(loc_expr, Symbol):
+        return loc_expr
+    raise InterpretationError(f"owner location is not a literal symbol: {loc_expr!r}")

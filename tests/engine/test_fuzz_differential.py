@@ -42,211 +42,33 @@ import random
 
 import pytest
 
-from repro.engine.config import EngineConfig
 from repro.engine.explorer import Explorer
 from repro.engine.parallel import ParallelExplorer
 from repro.engine.results import final_sort_key
-from repro.gil.syntax import (
-    ActionCall,
-    Assignment,
-    Fail,
-    Goto,
-    IfGoto,
-    ISym,
-    Proc,
-    Prog,
-    Return,
-    USym,
-)
-from repro.logic.expr import Expr, Lit, PVar, lst
 from repro.soundness.differential import check_trace_soundness
 from repro.state.symbolic import SymbolicStateModel
 from repro.targets.while_lang import WhileLanguage
 from repro.targets.while_lang.memory import WhileSymbolicMemory
 from repro.testing.faults import FaultPlan, WorkerKill
 
+# The generator lives in repro.testing.genprog (promoted from this
+# module); these re-exports keep the historical import surface —
+# tools/fingerprint.py and other tests import from here.
+from repro.testing.genprog import (  # noqa: F401  (re-exported API)
+    CONFIG,
+    LONG_SEEDS,
+    MAX_INPUTS,
+    MAX_LOOP_ITERS,
+    MAX_STMTS,
+    QUICK_SEEDS,
+    ProgramBuilder,
+    generate_program,
+)
+
 LANG = WhileLanguage()
 
-#: bounds keeping every generated program's path count small enough to
-#: explore exhaustively (inputs and branches both split paths)
-MAX_INPUTS = 3
-MAX_STMTS = 8
-MAX_LOOP_ITERS = 3
-
-QUICK_SEEDS = range(50)
-LONG_SEEDS = range(200)
-
-CONFIG = EngineConfig(max_paths=2_000, max_total_steps=50_000)
-
-
-# -- the generator ------------------------------------------------------------
-
-
-class _ProgramBuilder:
-    """Emits one random-but-seeded GIL ``main`` procedure.
-
-    Commands are appended linearly; branch targets are backpatched, and
-    every jump except the bounded-loop back-edge goes forward, so all
-    generated programs terminate.
-    """
-
-    def __init__(self, rng: random.Random) -> None:
-        self.rng = rng
-        self.cmds = []
-        self.int_vars = []
-        self.loc_vars = []
-        self.site = 0
-        self.tmp = 0
-
-    def fresh_site(self) -> int:
-        self.site += 1
-        return self.site - 1
-
-    def fresh_var(self, prefix: str) -> str:
-        self.tmp += 1
-        return f"{prefix}{self.tmp}"
-
-    def int_expr(self, depth: int = 0) -> Expr:
-        roll = self.rng.random()
-        if roll < 0.35 or depth >= 2 or not self.int_vars:
-            return Lit(self.rng.randint(-10, 10))
-        if roll < 0.7:
-            return PVar(self.rng.choice(self.int_vars))
-        op = self.rng.choice(["+", "-", "*"])
-        left, right = self.int_expr(depth + 1), self.int_expr(depth + 1)
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        return left * right
-
-    def condition(self) -> Expr:
-        kind = self.rng.choice(["lt", "eq", "neq"])
-        left, right = self.int_expr(), self.int_expr()
-        return getattr(left, kind)(right)
-
-    # -- statement emitters (each appends commands; jumps backpatched) ----
-
-    def emit_input(self) -> None:
-        var = self.fresh_var("in")
-        self.cmds.append(ISym(var, self.fresh_site()))
-        self.int_vars.append(var)
-
-    def emit_assign(self) -> None:
-        var = self.fresh_var("v")
-        self.cmds.append(Assignment(var, self.int_expr()))
-        self.int_vars.append(var)
-
-    def emit_alloc(self) -> None:
-        var = self.fresh_var("obj")
-        self.cmds.append(USym(var, self.fresh_site()))
-        self.loc_vars.append(var)
-        # Initialise a property so later lookups can succeed.
-        self.cmds.append(
-            ActionCall(
-                self.fresh_var("t"), "mutate",
-                lst(PVar(var), "p", self.int_expr()),
-            )
-        )
-
-    def emit_memory_op(self) -> None:
-        if not self.loc_vars:
-            self.emit_alloc()
-            return
-        loc = PVar(self.rng.choice(self.loc_vars))
-        action = self.rng.choice(["lookup", "mutate", "dispose"])
-        prop = self.rng.choice(["p", "q"])  # "q" lookups may legitimately err
-        if action == "lookup":
-            var = self.fresh_var("r")
-            self.cmds.append(ActionCall(var, "lookup", lst(loc, prop)))
-            self.int_vars.append(var)
-        elif action == "mutate":
-            self.cmds.append(
-                ActionCall(self.fresh_var("t"), "mutate", lst(loc, prop, self.int_expr()))
-            )
-        else:
-            self.cmds.append(ActionCall(self.fresh_var("t"), "dispose", lst(loc)))
-
-    def scoped_block(self, depth: int, allow_loops: bool = True) -> None:
-        """Emit a block whose new variables stay local to the block.
-
-        Straight-line GIL fails loudly on use of an unassigned variable,
-        so names introduced on only one side of a branch (or inside a
-        loop body) must not leak into the enclosing scope's usable-vars
-        lists.
-        """
-        ints, locs = len(self.int_vars), len(self.loc_vars)
-        self.emit_block(depth, allow_loops=allow_loops)
-        del self.int_vars[ints:]
-        del self.loc_vars[locs:]
-
-    def emit_if(self, depth: int) -> None:
-        # ifgoto cond THEN; <else>; goto END; <then>; END:
-        cond_at = len(self.cmds)
-        self.cmds.append(None)  # placeholder IfGoto
-        cond = self.condition()
-        self.scoped_block(depth + 1)
-        goto_at = len(self.cmds)
-        self.cmds.append(None)  # placeholder Goto
-        then_at = len(self.cmds)
-        self.scoped_block(depth + 1)
-        end = len(self.cmds)
-        self.cmds[cond_at] = IfGoto(cond, then_at)
-        self.cmds[goto_at] = Goto(end)
-
-    def emit_loop(self, depth: int) -> None:
-        # i := 0; HEAD: ifgoto i >= k END via (k <= i) ... body; i++; goto HEAD
-        counter = self.fresh_var("i")
-        bound = self.rng.randint(1, MAX_LOOP_ITERS)
-        self.cmds.append(Assignment(counter, Lit(0)))
-        head = len(self.cmds)
-        exit_at = len(self.cmds)
-        self.cmds.append(None)  # placeholder exit IfGoto
-        self.scoped_block(depth + 1, allow_loops=False)
-        self.cmds.append(Assignment(counter, PVar(counter) + Lit(1)))
-        self.cmds.append(Goto(head))
-        end = len(self.cmds)
-        # exit when NOT (counter < bound): ifgoto (bound <= counter) end,
-        # expressed as bound - 1 < counter.
-        self.cmds[exit_at] = IfGoto(Lit(bound - 1).lt(PVar(counter)), end)
-        self.int_vars.append(counter)
-
-    def emit_check(self) -> None:
-        # A fallible assertion: fail on one side of a random condition.
-        cond_at = len(self.cmds)
-        self.cmds.append(None)
-        self.cmds.append(Fail(lst("violation", self.int_expr())))
-        self.cmds[cond_at] = IfGoto(self.condition(), len(self.cmds))
-
-    def emit_block(self, depth: int, allow_loops: bool = True) -> None:
-        emitters = [self.emit_assign, self.emit_assign, self.emit_memory_op]
-        if depth < 2:
-            emitters.append(self.emit_if)
-            if allow_loops:
-                emitters.append(self.emit_loop)
-        for _ in range(self.rng.randint(1, 2 if depth else MAX_STMTS)):
-            emitter = self.rng.choice(emitters)
-            if emitter in (self.emit_if, self.emit_loop):
-                emitter(depth)
-            else:
-                emitter()
-
-    def build(self) -> Prog:
-        for _ in range(self.rng.randint(1, MAX_INPUTS)):
-            self.emit_input()
-        self.emit_alloc()
-        self.emit_block(0)
-        if self.rng.random() < 0.7:
-            self.emit_check()
-        self.cmds.append(Return(self.int_expr()))
-        prog = Prog()
-        prog.add(Proc("main", (), tuple(self.cmds)))
-        return prog
-
-
-def generate_program(seed: int) -> Prog:
-    """The fixed program for ``seed`` — same seed, same program, always."""
-    return _ProgramBuilder(random.Random(seed)).build()
+#: historical alias from before the generator was promoted to src
+_ProgramBuilder = ProgramBuilder
 
 
 # -- the checks ---------------------------------------------------------------

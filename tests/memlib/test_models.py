@@ -1,16 +1,19 @@
 """Model-level properties of the rebuilt target memories.
 
-The three target memories (While, MiniJS, MiniC) plus the freeable While
-heap are memlib composition expressions; these tests pin the properties
-the composition must preserve beyond the fingerprint: pickle safety
-across the parallel explorer's worker boundary, parallel/sequential
-agreement, and concrete-replay soundness of the heap model over the
-differential fuzzer's generated corpus.
+The four target memories (While, MiniJS, MiniC, MiniRust) plus the
+freeable While heap are memlib composition expressions; these tests pin
+the properties the composition must preserve beyond the fingerprint:
+pickle safety across the parallel explorer's worker boundary,
+parallel/sequential agreement, concrete/symbolic lock-step on random
+owner-action scripts (hypothesis), and concrete-replay soundness of the
+heap model over the differential fuzzer's generated corpus.
 """
 
 import pickle
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine.config import EngineConfig
 from repro.engine.explorer import Explorer
@@ -30,10 +33,17 @@ from repro.targets.while_lang.heap import (
     WhileHeapLanguage,
     WhileHeapSymbolicMemory,
 )
+from repro.targets.rust_like.memory import (
+    FRESH_OWNER_META,
+    RUST_OWNERS,
+    RustConcreteMemory,
+    RustSymbolicMemory,
+)
 from repro.targets.while_lang.memory import (
     WhileConcreteMemory,
     WhileSymbolicMemory,
 )
+from repro.state.interface import MemErr, MemOk, SymMemOk
 from tests.engine.test_fuzz_differential import CONFIG, generate_program
 
 MODEL_CLASSES = [
@@ -45,6 +55,8 @@ MODEL_CLASSES = [
     CSymbolicMemory,
     WhileHeapConcreteMemory,
     WhileHeapSymbolicMemory,
+    RustConcreteMemory,
+    RustSymbolicMemory,
 ]
 
 L1 = Symbol("l1")
@@ -125,6 +137,112 @@ class TestConcreteSymbolicModels:
                 assert sb.expr.items[0] == Lit(cb.value[0])
 
 
+class TestRustOwnerAgreement:
+    """The owner table's two arms agree on arbitrary action scripts.
+
+    Scripts draw actions, locations and generations at random, so they
+    hit every error branch (unregistered owner, stale generation,
+    borrow-discipline violations, tombstoned records) as well as the
+    success paths; concrete and symbolic execution must stay in
+    lock-step on branch shape, error tags and returned generations.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["own_new", "own_check", "own_move", "borrow",
+                     "borrow_mut", "release", "release_mut", "drop_check",
+                     "own_drop"]
+                ),
+                st.sampled_from(["o1", "o2"]),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=10,
+        )
+    )
+    def test_owner_script_agreement(self, script):
+        pc, solver = PathCondition(), Solver()
+        conc, sym = RUST_OWNERS.initial_concrete(), RUST_OWNERS.initial_symbolic()
+        registered = set()
+        for action, loc_name, gen in script:
+            loc = Symbol(loc_name)
+            if action == "own_new":
+                if loc_name in registered:
+                    continue  # double registration raises (allocator bug)
+                registered.add(loc_name)
+                args, sym_args = (loc, FRESH_OWNER_META), lst(
+                    Lit(loc), Lit(FRESH_OWNER_META)
+                )
+            elif action == "own_drop":
+                args, sym_args = (loc,), lst(Lit(loc))
+            else:
+                args, sym_args = (loc, gen), lst(Lit(loc), gen)
+            (cb,) = RUST_OWNERS.execute_concrete(action, conc, args)
+            (sb,) = RUST_OWNERS.execute_symbolic(action, sym, sym_args, pc, solver)
+            assert isinstance(cb, MemOk) == isinstance(sb, SymMemOk), action
+            if isinstance(cb, MemErr):
+                assert sb.expr.items[0] == Lit(cb.value[0]), action
+            else:
+                conc, sym = cb.memory, sb.memory
+                if not isinstance(cb.value, bool):
+                    assert sb.expr == Lit(cb.value), action
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "store", "load", "free", "own_new",
+                                 "own_check", "own_move", "own_drop"]),
+                st.sampled_from(["b1", "b2"]),
+                st.integers(min_value=0, max_value=2),
+            ),
+            max_size=8,
+        )
+    )
+    def test_full_memory_script_agreement(self, script):
+        """The whole heap x owner product stays in lock-step too."""
+        pc, solver = PathCondition(), Solver()
+        conc_model, sym_model = RustConcreteMemory(), RustSymbolicMemory()
+        conc, sym = conc_model.initial(), sym_model.initial()
+        chunk = (1, 1, "word")
+        allocated = set()
+        registered = set()
+        for action, loc_name, n in script:
+            loc = Symbol(loc_name)
+            if action == "alloc":
+                if loc_name in allocated:
+                    continue
+                allocated.add(loc_name)
+                args, sym_args = (loc, 2), lst(Lit(loc), 2)
+            elif action == "own_new":
+                if loc_name in registered:
+                    continue
+                registered.add(loc_name)
+                args = (loc, FRESH_OWNER_META)
+                sym_args = lst(Lit(loc), Lit(FRESH_OWNER_META))
+            elif action in ("store",):
+                args = (chunk, (loc, n), n)
+                sym_args = lst(Lit(chunk), lst(Lit(loc), n), n)
+            elif action == "load":
+                args = (chunk, (loc, n))
+                sym_args = lst(Lit(chunk), lst(Lit(loc), n))
+            elif action == "free":
+                args, sym_args = ((loc, 0),), lst(lst(Lit(loc), 0))
+            elif action == "own_drop":
+                args, sym_args = (loc,), lst(Lit(loc))
+            else:
+                args, sym_args = (loc, n), lst(Lit(loc), n)
+            conc_branches = conc_model.execute(action, conc, args)
+            sym_branches = sym_model.execute(action, sym, sym_args, pc, solver)
+            assert len(conc_branches) == len(sym_branches) == 1, action
+            cb, sb = conc_branches[0], sym_branches[0]
+            assert isinstance(cb, MemOk) == isinstance(sb, SymMemOk), action
+            if isinstance(cb, MemOk):
+                conc, sym = cb.memory, sb.memory
+
+
 class TestParallelHeapExploration:
     """The heap model crosses the worker boundary inside the explorer."""
 
@@ -141,6 +259,48 @@ class TestParallelHeapExploration:
         assert sorted(final_sort_key(f) for f in par.finals) == sorted(
             final_sort_key(f) for f in seq.finals
         ), f"seed {seed}: parallel finals differ from sequential"
+
+
+#: a MiniRust program whose exploration crosses every owner action and
+#: branches on a symbolic index (block-offset concretisation)
+RUST_PARALLEL_SOURCE = """
+fn main() -> i64 {
+  let n = symb_int();
+  assume(0 <= n && n <= 2);
+  let mut v = [10, 20, 30];
+  let r = &v;
+  let x = r[n];
+  drop(r);
+  let m = &mut v;
+  m[0] = x + 1;
+  drop(m);
+  let w = v;
+  drop(w);
+  assert!(x <= 30);
+  return x;
+}
+"""
+
+
+class TestParallelRustExploration:
+    """The Rust product memory crosses the worker pickle boundary."""
+
+    def test_parallel_matches_sequential(self):
+        from repro.targets.rust_like import MiniRustLanguage
+
+        lang = MiniRustLanguage()
+        prog = lang.compile(RUST_PARALLEL_SOURCE)
+        seq = Explorer(
+            prog, SymbolicStateModel(lang.symbolic_memory()), CONFIG
+        ).run("main")
+        par = ParallelExplorer(
+            prog, SymbolicStateModel(lang.symbolic_memory()), CONFIG,
+            workers=2, seed_factor=1,
+        ).run("main")
+        assert sorted(final_sort_key(f) for f in par.finals) == sorted(
+            final_sort_key(f) for f in seq.finals
+        )
+        assert len(seq.finals) >= 3  # the symbolic index splits paths
 
 
 class TestHeapFuzzCrossCheck:

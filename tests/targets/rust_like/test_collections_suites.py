@@ -1,0 +1,43 @@
+"""The MiniRust data-structure library suites (Table 3 substrate)."""
+
+import pytest
+
+from repro.targets.rust_like import MiniRustLanguage
+from repro.targets.rust_like.collections import suites
+from repro.targets.rust_like.collections.library import module_source
+from repro.testing.harness import SymbolicTester
+
+LANG = MiniRustLanguage()
+
+
+def test_counts_match_table3():
+    counts = suites.expected_test_counts()
+    for name in suites.suite_names():
+        source, tests = suites.suite(name)
+        assert len(tests) == counts[name], name
+        LANG.compile(source)
+    assert sum(counts.values()) == 18
+
+
+@pytest.mark.parametrize("name", suites.suite_names())
+def test_modules_compile_alone(name):
+    prog = LANG.compile(module_source(name))
+    assert prog.procs
+
+
+@pytest.mark.parametrize("name", suites.suite_names())
+def test_suite_outcomes(name):
+    source, tests = suites.suite(name)
+    prog = LANG.compile(source)
+    tester = SymbolicTester(LANG)
+    for test in tests:
+        result = tester.run_test(prog, test)
+        if test in suites.KNOWN_BUG_TESTS:
+            assert not result.passed, f"{test} should re-detect a finding"
+            assert any(b.confirmed for b in result.bugs), test
+        else:
+            assert result.passed, (test, result.bugs)
+
+
+def test_known_findings_planted():
+    assert len(suites.KNOWN_BUG_TESTS) == 4

@@ -1,0 +1,159 @@
+"""Unit tests for the MiniRust owner-table × heap memory composition.
+
+Each ownership discipline violation must surface as a *distinguishable*
+memory fault: the owner table tags use-after-move, double mutable
+borrows, moves or drops under live borrows, and use-after-free each
+with their own error value, while the block side keeps reporting plain
+spatial faults (buffer-overflow).  The compiler relies on these tags to
+give MiniRust programs Rust-flavoured diagnostics.
+"""
+
+import pytest
+
+from repro.gil.values import Symbol
+from repro.logic.expr import Lit, lst
+from repro.logic.pathcond import PathCondition
+from repro.logic.solver import Solver
+from repro.state.interface import MemErr, MemOk, SymMemErr
+from repro.targets.rust_like.memory import (
+    FRESH_OWNER_META,
+    WORD_CHUNK,
+    RustConcreteMemory,
+    RustSymbolicMemory,
+)
+
+CONC = RustConcreteMemory()
+SYM = RustSymbolicMemory()
+B1 = Symbol("b1")
+
+
+def fresh(size=2, init=(0, 0)):
+    """An allocated, owned, initialised block; returns the memory."""
+    mem = CONC.initial()
+    (b,) = CONC.execute("alloc", mem, (B1, size))
+    (b,) = CONC.execute("own_new", b.memory, (B1, FRESH_OWNER_META))
+    mem = b.memory
+    for i, value in enumerate(init):
+        (b,) = CONC.execute("store", mem, (WORD_CHUNK, (B1, i), value))
+        mem = b.memory
+    return mem
+
+
+def run(mem, action, args):
+    (branch,) = CONC.execute(action, mem, args)
+    return branch
+
+
+class TestOwnershipFaults:
+    def test_fresh_owner_checks_at_gen_zero(self):
+        b = run(fresh(), "own_check", (B1, 0))
+        assert isinstance(b, MemOk) and b.value is True
+
+    def test_move_bumps_generation(self):
+        b = run(fresh(), "own_move", (B1, 0))
+        assert isinstance(b, MemOk) and b.value == 1
+        stale = run(b.memory, "own_check", (B1, 0))
+        assert isinstance(stale, MemErr)
+        assert stale.value[0] == "use-after-move"
+        live = run(b.memory, "own_check", (B1, 1))
+        assert isinstance(live, MemOk)
+
+    def test_double_mutable_borrow(self):
+        b = run(fresh(), "borrow_mut", (B1, 0))
+        again = run(b.memory, "borrow_mut", (B1, 0))
+        assert isinstance(again, MemErr)
+        assert again.value[0] == "already-mutably-borrowed"
+
+    def test_mutable_borrow_under_shared(self):
+        b = run(fresh(), "borrow", (B1, 0))
+        exclusive = run(b.memory, "borrow_mut", (B1, 0))
+        assert isinstance(exclusive, MemErr)
+        assert exclusive.value[0] == "already-borrowed"
+
+    def test_shared_borrows_stack(self):
+        b = run(fresh(), "borrow", (B1, 0))
+        b = run(b.memory, "borrow", (B1, 0))
+        assert isinstance(b, MemOk)
+
+    def test_move_while_borrowed(self):
+        b = run(fresh(), "borrow", (B1, 0))
+        moved = run(b.memory, "own_move", (B1, 0))
+        assert isinstance(moved, MemErr)
+        assert moved.value[0] == "move-while-borrowed"
+
+    def test_drop_while_borrowed(self):
+        b = run(fresh(), "borrow_mut", (B1, 0))
+        dropped = run(b.memory, "drop_check", (B1, 0))
+        assert isinstance(dropped, MemErr)
+        assert dropped.value[0] == "drop-while-borrowed"
+
+    def test_release_reenables_move(self):
+        b = run(fresh(), "borrow", (B1, 0))
+        b = run(b.memory, "release", (B1,))
+        moved = run(b.memory, "own_move", (B1, 0))
+        assert isinstance(moved, MemOk)
+
+    def test_release_mut_reenables_borrow(self):
+        b = run(fresh(), "borrow_mut", (B1, 0))
+        b = run(b.memory, "release_mut", (B1,))
+        assert isinstance(run(b.memory, "borrow", (B1, 0)), MemOk)
+
+    def test_use_after_free(self):
+        b = run(fresh(), "own_drop", (B1,))
+        stale = run(b.memory, "own_check", (B1, 0))
+        assert isinstance(stale, MemErr)
+        assert stale.value[0] == "use-after-free"
+
+
+class TestBlockSide:
+    def test_store_load_roundtrip(self):
+        mem = fresh(init=(7, 9))
+        b = run(mem, "load", (WORD_CHUNK, (B1, 1)))
+        assert isinstance(b, MemOk) and b.value == 9
+
+    def test_buffer_overflow(self):
+        b = run(fresh(size=2), "load", (WORD_CHUNK, (B1, 2)))
+        assert isinstance(b, MemErr)
+        assert b.value[0] == "buffer-overflow"
+
+    def test_raw_byte_actions_sealed(self):
+        # memcpy/memset require a permission the gate never grants.
+        mem = fresh()
+        b = run(mem, "memset", ((B1, 0), 2, 0))
+        assert isinstance(b, MemErr)
+
+
+class TestSymbolicFaultTags:
+    def _sym_after(self, actions):
+        pc, solver = PathCondition.true(), Solver()
+        mem = SYM.initial()
+        for action, args in actions:
+            (branch,) = SYM.execute(action, mem, args, pc, solver)
+            if isinstance(branch, SymMemErr):
+                return branch
+            mem = branch.memory
+        return None
+
+    def test_symbolic_use_after_move_tag(self):
+        branch = self._sym_after(
+            [
+                ("alloc", lst(Lit(B1), 1)),
+                ("own_new", lst(Lit(B1), Lit(FRESH_OWNER_META))),
+                ("own_move", lst(Lit(B1), 0)),
+                ("own_check", lst(Lit(B1), 0)),
+            ]
+        )
+        assert branch is not None
+        assert branch.expr.items[0] == Lit("use-after-move")
+
+    def test_symbolic_drop_while_borrowed_tag(self):
+        branch = self._sym_after(
+            [
+                ("alloc", lst(Lit(B1), 1)),
+                ("own_new", lst(Lit(B1), Lit(FRESH_OWNER_META))),
+                ("borrow", lst(Lit(B1), 0)),
+                ("drop_check", lst(Lit(B1), 0)),
+            ]
+        )
+        assert branch is not None
+        assert branch.expr.items[0] == Lit("drop-while-borrowed")

@@ -1,0 +1,124 @@
+"""Tests for the MiniRust parser (surface syntax → AST)."""
+
+import pytest
+
+from repro.frontend.lexer import ParseError
+from repro.targets.rust_like import ast
+from repro.targets.rust_like.compiler import MUTREF, OWN, REF, VAL, kind_of_type
+from repro.targets.rust_like.parser import parse_program
+
+
+def parse_main(body: str) -> ast.FnDef:
+    program = parse_program(f"fn main() -> i64 {{ {body} }}")
+    return program.functions[-1]
+
+
+def first_stmt(body: str) -> ast.Node:
+    return parse_main(body).body[0]
+
+
+def expr_of(text: str) -> ast.Node:
+    stmt = first_stmt(f"let x = {text};")
+    assert isinstance(stmt, ast.LetStmt)
+    return stmt.value
+
+
+class TestFunctions:
+    def test_signature(self):
+        program = parse_program(
+            "fn add(a: i64, b: i64) -> i64 { return a + b; }"
+        )
+        (fn,) = program.functions
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert fn.ret_type.name == "i64"
+
+    def test_param_kinds(self):
+        program = parse_program(
+            "fn f(v: Vec, r: &Vec, m: &mut Vec, n: i64) -> i64 { return n; }"
+        )
+        kinds = [kind_of_type(p.type) for p in program.functions[0].params]
+        assert kinds == [OWN, REF, MUTREF, VAL]
+
+    def test_multiple_functions(self):
+        program = parse_program(
+            "fn one() -> i64 { return 1; }\nfn main() -> i64 { return one(); }"
+        )
+        assert [f.name for f in program.functions] == ["one", "main"]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = expr_of("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        e = expr_of("1 + 2 < 4")
+        assert isinstance(e, ast.Binary) and e.op == "<"
+
+    def test_logical_ops(self):
+        e = expr_of("true && false || true")
+        assert isinstance(e, ast.Binary) and e.op == "||"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "&&"
+
+    def test_borrows(self):
+        stmts = parse_main("let a = [1]; let r = &a; let m = &mut a;").body
+        assert stmts[1].value == ast.Unary("&", ast.Var("a"))
+        assert stmts[2].value == ast.Unary("&mut", ast.Var("a"))
+
+    def test_deref_and_index(self):
+        assert expr_of("*r") == ast.Unary("*", ast.Var("r"))
+        e = expr_of("a[i + 1]")
+        assert isinstance(e, ast.Index) and e.base == ast.Var("a")
+
+    def test_box_new(self):
+        e = expr_of("Box::new(7)")
+        assert isinstance(e, ast.BoxNew) and e.value == ast.IntLit(7)
+
+    def test_array_literal(self):
+        e = expr_of("[1, 2, 3]")
+        assert isinstance(e, ast.ArrayLit) and len(e.items) == 3
+
+    def test_symbolic_inputs(self):
+        assert expr_of("symb_int()") == ast.SymbolicExpr("int")
+        assert expr_of("symb_bool()") == ast.SymbolicExpr("bool")
+
+
+class TestStatements:
+    def test_let_mut(self):
+        s = first_stmt("let mut x = 0;")
+        assert isinstance(s, ast.LetStmt) and s.mutable
+
+    def test_drop(self):
+        s = first_stmt("let b = Box::new(1); drop(b);")
+        assert isinstance(s, ast.LetStmt)
+        assert parse_main("let b = Box::new(1); drop(b);").body[1] == ast.DropStmt("b")
+
+    def test_assert_both_spellings(self):
+        for text in ("assert(1 == 1);", "assert!(1 == 1);"):
+            s = first_stmt(text)
+            assert isinstance(s, ast.AssertStmt)
+
+    def test_while_without_parens(self):
+        s = first_stmt("while x < 3 { x = x + 1; }")
+        assert isinstance(s, ast.WhileStmt)
+
+    def test_if_else(self):
+        s = first_stmt("if x < 0 { return 0; } else { return 1; }")
+        assert isinstance(s, ast.IfStmt) and s.else_body
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fn main() -> i64 { let = 1; }",
+            "fn main() -> i64 { if (x { return 1; } }",
+            "fn main() { return 0; ",
+            "fn main() -> i64 { x += 1; }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)

@@ -1,0 +1,110 @@
+"""Symbolic testing of MiniRust programs (the ownership behaviours)."""
+
+from repro.targets.rust_like import MiniRustLanguage
+from repro.testing.harness import SymbolicTester
+
+LANG = MiniRustLanguage()
+
+
+def run(source: str, entry: str = "main", **kw):
+    return SymbolicTester(LANG, **kw).run_source(source, entry)
+
+
+class TestMemorySafety:
+    def test_symbolic_index_overflow_found(self):
+        result = run(
+            """
+            fn main() -> i64 {
+              let a = [10, 20, 30];
+              let i = symb_int();
+              assume(0 <= i && i <= 3);
+              let v = a[i];
+              drop(a);
+              return v;
+            }"""
+        )
+        assert result.verdict == "bug"
+        bug = next(b for b in result.bugs if b.confirmed)
+        assert list(bug.model.values()) == [3]
+
+    def test_bounds_checked_read_verified(self):
+        result = run(
+            """
+            fn main() -> i64 {
+              let a = [10, 20, 30];
+              let i = symb_int();
+              assume(0 <= i && i < 3);
+              let v = a[i];
+              drop(a);
+              assert!(10 <= v && v <= 30);
+              return v;
+            }"""
+        )
+        assert result.passed
+
+    def test_conditional_drop_use_after_free(self):
+        result = run(
+            """
+            fn main() -> i64 {
+              let b = Box::new(1);
+              let flag = symb_bool();
+              if flag == 1 { drop(b); }
+              let v = *b;
+              return v;
+            }"""
+        )
+        assert result.verdict == "bug"
+        bug = next(b for b in result.bugs if b.confirmed)
+        assert bug.concrete_value[0] == "use-after-free"
+
+    def test_conditional_move_use_after_move(self):
+        result = run(
+            """
+            fn take(b: Box) -> i64 {
+              return b[0];
+            }
+            fn main() -> i64 {
+              let b = Box::new(7);
+              let flag = symb_bool();
+              let mut r = 0;
+              if flag == 1 { r = take(b); }
+              let v = *b;
+              return v + r;
+            }"""
+        )
+        assert result.verdict == "bug"
+        bug = next(b for b in result.bugs if b.confirmed)
+        assert bug.concrete_value[0] == "use-after-move"
+
+    def test_branch_scoped_borrow_verified(self):
+        result = run(
+            """
+            fn main() -> i64 {
+              let mut a = [0, 0];
+              let flag = symb_bool();
+              if flag == 1 {
+                let m = &mut a;
+                m[0] = 1;
+                drop(m);
+              }
+              let v = a[0];
+              drop(a);
+              assert!(v == 0 || v == 1);
+              return v;
+            }"""
+        )
+        assert result.passed
+
+
+class TestVerdictShape:
+    def test_both_paths_explored(self):
+        result = run(
+            """
+            fn main() -> i64 {
+              let x = symb_int();
+              if x < 0 { return 0 - x; }
+              return x;
+            }"""
+        )
+        assert result.passed
+        assert result.paths >= 2

@@ -143,3 +143,23 @@ class TestReadmeCompositionExample:
                     mems[i] = branch.memory
         assert outs[0][0].expr == outs[1][0].expr
         assert outs[0][0].expr.items[0] == Lit("use-after-dispose")
+
+
+class TestReadmeMiniRustExample:
+    """The README MiniRust example must run against the shipped target."""
+
+    def readme_example_namespace(self):
+        readme = read_doc(os.path.join(os.pardir, "README.md"))
+        section = readme.split("### MiniRust: ownership faults as memory errors", 1)[1]
+        code = re.search(r"```python\n(.*?)```", section, re.S).group(1)
+        namespace = {}
+        exec(compile(code, "README.md", "exec"), namespace)
+        return namespace
+
+    def test_example_finds_the_ownership_bug(self):
+        namespace = self.readme_example_namespace()
+        result, bug = namespace["result"], namespace["bug"]
+        assert result.verdict == "bug"
+        assert bug.confirmed
+        assert bug.concrete_value[0] == "use-after-move"
+        assert list(bug.model.values()) == [1]

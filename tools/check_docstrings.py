@@ -28,7 +28,7 @@ import sys
 from pathlib import Path
 
 #: path fragments under which function/method docstrings are required
-STRICT_FUNCTION_DIRS = ("repro/memlib",)
+STRICT_FUNCTION_DIRS = ("repro/memlib", "repro/targets/rust_like")
 
 
 def _is_strict(path: Path) -> bool:

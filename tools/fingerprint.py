@@ -163,6 +163,72 @@ C_CORPUS = {
 }
 
 
+#: Fixed MiniRust corpus: owner-table branching — conditional moves,
+#: drops and borrows, generation bumps, symbolic index overflow — the
+#: shapes the ownership discipline must pin.
+RUST_CORPUS = {
+    "symbolic_index": """
+        fn main() -> i64 {
+          let a = [10, 20, 30];
+          let i = symb_int();
+          assume(0 <= i && i <= 3);
+          let v = a[i];
+          drop(a);
+          return v;
+        }""",
+    "conditional_drop": """
+        fn main() -> i64 {
+          let b = Box::new(7);
+          let flag = symb_bool();
+          if flag == 1 { drop(b); }
+          let v = *b;
+          return v;
+        }""",
+    "conditional_move": """
+        fn take(b: Box) -> i64 {
+          return b[0];
+        }
+        fn main() -> i64 {
+          let b = Box::new(5);
+          let flag = symb_bool();
+          let mut r = 0;
+          if flag == 1 { r = take(b); }
+          let v = *b;
+          return v + r;
+        }""",
+    "borrow_discipline": """
+        fn main() -> i64 {
+          let mut a = [0, 0];
+          let flag = symb_bool();
+          if flag == 1 {
+            let m = &mut a;
+            m[0] = 1;
+            drop(m);
+          }
+          let r = &a;
+          let v = r[0];
+          drop(r);
+          drop(a);
+          return v;
+        }""",
+    "builder_loop": """
+        fn bump(b: Box, by: i64) -> Box {
+          b[0] = b[0] + by;
+          return b;
+        }
+        fn main() -> i64 {
+          let mut b = Box::new(0);
+          let n = symb_int();
+          assume(0 <= n && n <= 2);
+          let mut i = 0;
+          while i < n { b = bump(b, i); i = i + 1; }
+          let v = *b;
+          drop(b);
+          return v;
+        }""",
+}
+
+
 def _incompleteness_key(inc) -> List[int]:
     return [
         inc.solver_timeouts,
@@ -293,7 +359,21 @@ def heap_arm() -> Dict:
     )
 
 
-ARMS = {"while": while_arm, "js": js_arm, "c": c_arm, "heap": heap_arm}
+def rust_arm() -> Dict:
+    """The MiniRust owner-table × heap memory over the fixed corpus."""
+    from repro.targets.rust_like import MiniRustLanguage
+
+    return _corpus_section(
+        MiniRustLanguage(),
+        RUST_CORPUS,
+        fault_names={"symbolic_index", "conditional_drop"},
+    )
+
+
+ARMS = {
+    "while": while_arm, "js": js_arm, "c": c_arm, "heap": heap_arm,
+    "rust": rust_arm,
+}
 
 
 def fingerprint(arms) -> bytes:
