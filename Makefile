@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify fuzz fuzz-faults fuzz-cross lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-gate fingerprint fingerprint-check clean
+.PHONY: help test verify fuzz fuzz-faults fuzz-cross lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-service bench-gate fingerprint fingerprint-check clean
 
 help:
 	@echo "Targets:"
@@ -17,6 +17,7 @@ help:
 	@echo "  bench-parallel   parallel-exploration benchmark + determinism (BENCH_parallel.json)"
 	@echo "  bench-interp     compiled-vs-interpreted benchmark (BENCH_interp.json)"
 	@echo "  bench-memory     memory-model action dispatch benchmark (BENCH_memory.json)"
+	@echo "  bench-service    analysis-service burst/replay/crash-storm benchmark (BENCH_service.json)"
 	@echo "  bench-gate       smoke throughput gate: fail below the recorded paths/sec floor"
 	@echo "  fingerprint      regenerate the differential-fuzz fingerprints (baseline + heap + rust)"
 	@echo "  fingerprint-check verify memory-model branch structure is byte-identical to the baselines"
@@ -31,6 +32,7 @@ verify: test lint
 	$(PYTHON) benchmarks/bench_strategies.py --smoke
 	$(PYTHON) benchmarks/bench_parallel.py --smoke
 	$(PYTHON) benchmarks/bench_memory.py --smoke
+	$(PYTHON) benchmarks/bench_service.py --smoke
 	$(MAKE) bench-gate
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
 	$(MAKE) fuzz-faults
@@ -56,7 +58,7 @@ lint:
 	fi
 	@echo "lint: ok"
 
-bench: bench-solver bench-strategies bench-parallel bench-interp bench-memory
+bench: bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-service
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-solver:
@@ -73,6 +75,9 @@ bench-interp:
 
 bench-memory:
 	$(PYTHON) benchmarks/bench_memory.py
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
 
 bench-gate:
 	$(PYTHON) benchmarks/bench_interp.py --smoke --gate

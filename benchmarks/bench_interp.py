@@ -42,6 +42,7 @@ from typing import Dict, List
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.engine.config import gillian
+from repro.testing.io import atomic_write_json
 from repro.testing.harness import SymbolicTester
 
 from benchmarks.bench_strategies import workloads
@@ -178,9 +179,7 @@ def main(argv: List[str]) -> int:
             "enforced": gate,
         },
     }
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(OUT_PATH, report, indent=2)
     print(f"wrote {OUT_PATH}")
     if not identical:
         return 1

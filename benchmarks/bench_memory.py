@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.gil.ops import EvalError
+from repro.testing.io import atomic_write_json
 from repro.gil.values import Symbol, Value
 from repro.logic.expr import Expr, Lit, lst
 from repro.logic.pathcond import PathCondition
@@ -588,9 +589,7 @@ def main(argv: List[str]) -> int:
             "rust_dispatch": rust_arms,
             "passed": passed,
         }
-        with open(OUT_PATH, "w") as fh:
-            json.dump(report, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(OUT_PATH, report, indent=1, sort_keys=True)
         print(f"wrote {OUT_PATH}")
     return 0 if passed else 1
 

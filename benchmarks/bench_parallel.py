@@ -46,6 +46,7 @@ from typing import Dict, List, Tuple
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.engine.parallel import ParallelExplorer
+from repro.testing.io import atomic_write_json
 from repro.state.symbolic import SymbolicStateModel
 from repro.testing.harness import SymbolicTester
 
@@ -278,9 +279,7 @@ def main(argv: List[str]) -> int:
                 "passed": passed,
             },
         }
-        with open(OUT_PATH, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
+        atomic_write_json(OUT_PATH, report, indent=2)
         print(f"wrote {OUT_PATH}")
     return 0 if passed else 1
 

@@ -1,0 +1,278 @@
+"""Analysis-service benchmark: burst throughput, idempotent replay, and
+crash-storm durability.
+
+Three measurements over the crash-safe analysis service
+(:mod:`repro.service`):
+
+* **Burst throughput** — a burst of distinct jobs is submitted and
+  drained; reports jobs/sec cold (compile + explore + store) and
+  jobs/sec on an identical *replayed* burst, where every submission is
+  served from the content-addressed result store.
+* **Warm/cold ratio** — the replayed burst must be at least
+  ``WARM_RATIO_TARGET``× faster than the cold one: this is the
+  idempotent-replay guarantee paying for itself.
+* **Crash storm** — a subprocess daemon draining the same burst is
+  SIGKILLed at checkpoint boundaries and restarted until idle (at least
+  ``STORM_KILLS_TARGET`` kills mid-burst).  Acceptance: zero jobs lost,
+  zero duplicated — every job exactly once in ``done/`` — and every
+  finals digest identical to the calm run's.
+
+Emits ``BENCH_service.json`` next to the repository root.  The
+``--smoke`` mode runs a smaller burst, performs the same assertions,
+and writes nothing — it is the CI guard wired into ``make verify``.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_service.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+sys.path.insert(0, SRC_ROOT)
+
+from repro.service import AnalysisService, JobSpec
+from repro.testing.io import atomic_write_json
+
+from benchmarks.tables import bench_meta
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+WARM_RATIO_TARGET = 5.0
+STORM_KILLS_TARGET = 3
+
+STORM_CHILD = textwrap.dedent(
+    """
+    import json, sys
+    sys.path.insert(0, sys.argv[1])
+    from repro.service import AnalysisService, JobSpec
+    from repro.testing.faults import CheckpointKill, FaultPlan
+
+    plan = FaultPlan(checkpoint_kills=(CheckpointKill(1, mode="sigkill"),))
+    svc = AnalysisService(
+        sys.argv[2], checkpoint_interval=10, fault_plan=plan, max_attempts=3
+    )
+    if sys.argv[3] != "-":
+        for payload in json.load(open(sys.argv[3])):
+            svc.submit(JobSpec.from_dict(payload))
+    svc.run_until_idle()
+    print("IDLE", flush=True)
+    """
+)
+
+
+def burst(n: int) -> List[JobSpec]:
+    """``n`` distinct jobs: branching loops with a seed-dependent bug."""
+    specs = []
+    for i in range(n):
+        bound = 3 + (i % 3)
+        pivot = 2 + (i % 5)
+        specs.append(
+            JobSpec(
+                language="while",
+                source=f"""
+                proc main() {{
+                  x := symb_int();
+                  assume(0 <= x and x <= 12);
+                  s := {i};
+                  i := 0;
+                  while (i < {bound}) {{
+                    if (x = i + {pivot}) {{ s := s + 3; }} else {{ s := s + 1; }}
+                    i := i + 1;
+                  }}
+                  assert(not (s = {i + bound + 2}));
+                  return s;
+                }}
+                """,
+            )
+        )
+    return specs
+
+
+def run_burst(specs: List[JobSpec]) -> Dict:
+    """Cold burst + identical replayed burst on one service root."""
+    root = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        svc = AnalysisService(root, checkpoint_interval=200)
+        t0 = time.perf_counter()
+        for spec in specs:
+            svc.submit(spec)
+        processed = svc.run_until_idle()
+        cold = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        served = 0
+        for spec in specs:
+            job_id, cached = svc.submit(spec)
+            if job_id is None and cached is not None:
+                served += 1
+        warm = time.perf_counter() - t1
+
+        counters = svc.metrics.as_dict()
+        return {
+            "jobs": len(specs),
+            "processed": processed,
+            "served_from_cache": served,
+            "cold_wall": round(cold, 4),
+            "warm_wall": round(warm, 4),
+            "cold_jobs_per_sec": round(len(specs) / cold, 2) if cold else 0.0,
+            "warm_jobs_per_sec": round(len(specs) / warm, 2) if warm else 0.0,
+            "warm_ratio": round(cold / warm, 1) if warm else float("inf"),
+            "gil_cache_hits": counters.get("service.cache_hit_gil", 0),
+            "result_cache_hits": counters.get("service.cache_hit_result", 0),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_crash_storm(specs: List[JobSpec]) -> Dict:
+    """SIGKILL a subprocess daemon mid-burst until the burst drains."""
+    root = tempfile.mkdtemp(prefix="bench-service-storm-")
+    try:
+        calm = AnalysisService(os.path.join(root, "calm"), checkpoint_interval=10)
+        for spec in specs:
+            calm.submit(spec)
+        calm.run_until_idle()
+        truth = {s.key(): calm.result_for(s.key()).finals_digest for s in specs}
+
+        storm_root = os.path.join(root, "storm")
+        spec_file = os.path.join(root, "burst.json")
+        with open(spec_file, "w") as fh:
+            json.dump([s.to_dict() for s in specs], fh)
+
+        kills = 0
+        incarnations = 0
+        drained = False
+        t0 = time.perf_counter()
+        for incarnation in range(10 * len(specs)):
+            incarnations += 1
+            proc = subprocess.run(
+                [
+                    sys.executable, "-c", STORM_CHILD,
+                    SRC_ROOT, storm_root,
+                    spec_file if incarnation == 0 else "-",
+                ],
+                capture_output=True,
+                timeout=300,
+            )
+            if proc.returncode == -9:
+                kills += 1
+                continue
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"storm daemon failed: {proc.stderr.decode()[-2000:]}"
+                )
+            drained = True
+            break
+        wall = time.perf_counter() - t0
+
+        svc = AnalysisService(storm_root, checkpoint_interval=10)
+        done = svc.queue.done_ids()
+        done_keys = sorted(svc.queue.load_done(j)["key"] for j in done)
+        digests_ok = all(
+            svc.result_for(s.key()) is not None
+            and svc.result_for(s.key()).finals_digest == truth[s.key()]
+            for s in specs
+        )
+        return {
+            "jobs": len(specs),
+            "kills": kills,
+            "incarnations": incarnations,
+            "drained": drained,
+            "done": len(done),
+            "lost": len(specs) - len(set(done_keys) & set(truth)),
+            "duplicated": len(done_keys) - len(set(done_keys)),
+            "pending_left": len(svc.queue.pending_ids()),
+            "active_left": len(svc.queue.active_ids()),
+            "quarantined": len(svc.queue.quarantined_ids()),
+            "digests_match_calm_run": digests_ok,
+            "wall": round(wall, 4),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "smoke" if smoke else "full"
+    print(f"== bench_service ({mode}) ==")
+
+    specs = burst(4 if smoke else 12)
+    throughput = run_burst(specs)
+    print(
+        f"burst: {throughput['jobs']} jobs  "
+        f"cold {throughput['cold_jobs_per_sec']:.1f} jobs/s  "
+        f"warm {throughput['warm_jobs_per_sec']:.1f} jobs/s  "
+        f"ratio {throughput['warm_ratio']}x"
+    )
+    ratio_ok = throughput["warm_ratio"] >= WARM_RATIO_TARGET
+    replay_ok = throughput["served_from_cache"] == throughput["jobs"]
+    print(
+        f"idempotent replay: {throughput['served_from_cache']}/"
+        f"{throughput['jobs']} served from cache "
+        f"({'ok' if replay_ok else 'FAILED'}); warm/cold "
+        f"{'meets' if ratio_ok else 'MISSES'} {WARM_RATIO_TARGET}x target"
+    )
+
+    storm_specs = burst(4 if smoke else 6)
+    storm = run_crash_storm(storm_specs)
+    storm_ok = (
+        storm["drained"]
+        and storm["kills"] >= STORM_KILLS_TARGET
+        and storm["lost"] == 0
+        and storm["duplicated"] == 0
+        and storm["pending_left"] == 0
+        and storm["active_left"] == 0
+        and storm["digests_match_calm_run"]
+    )
+    print(
+        f"crash storm: {storm['kills']} kills over "
+        f"{storm['incarnations']} incarnations, "
+        f"{storm['done']}/{storm['jobs']} done, "
+        f"lost={storm['lost']} duplicated={storm['duplicated']} "
+        f"({'ok' if storm_ok else 'FAILED'})"
+    )
+
+    passed = ratio_ok and replay_ok and storm_ok
+    if not smoke:
+        report = {
+            "benchmark": "bench_service",
+            "meta": bench_meta(),
+            "workload": "replayed burst of seed-parametric While jobs",
+            "throughput": throughput,
+            "crash_storm": storm,
+            "acceptance": {
+                "target": (
+                    f"warm/cold >= {WARM_RATIO_TARGET}x on identical "
+                    f"resubmissions; >= {STORM_KILLS_TARGET} mid-burst "
+                    "SIGKILLs with zero lost/duplicated jobs and "
+                    "calm-run-identical digests"
+                ),
+                "passed": passed,
+            },
+        }
+        atomic_write_json(OUT_PATH, report)
+        print(f"wrote {OUT_PATH}")
+    print("PASS" if passed else "FAIL")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -46,6 +46,7 @@ from typing import Dict, List, Tuple
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.engine.config import EngineConfig, gillian
+from repro.testing.io import atomic_write_json
 from repro.logic.pathcond import PathCondition
 from repro.logic.simplify import Simplifier
 from repro.logic.solver import SatResult, Solver
@@ -235,9 +236,7 @@ def main() -> int:
             ),
         },
     }
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(OUT_PATH, report, indent=2)
     print(f"solver_time_speedup: {speedup:.2f}x   hit_rate_gain: {hit_gain:.2f}x")
     print(f"wrote {OUT_PATH}")
     return 0 if report["acceptance"]["passed"] else 1

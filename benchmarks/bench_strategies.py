@@ -36,6 +36,7 @@ from typing import Dict, List, Tuple
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.engine.events import EventBus
+from repro.testing.io import atomic_write_json
 from repro.engine.explorer import Explorer
 from repro.gil.syntax import Assignment, Goto, IfGoto, Proc, Prog, Return
 from repro.logic.expr import Lit, PVar
@@ -360,9 +361,7 @@ def main(argv: List[str]) -> int:
                 "passed": passed,
             },
         }
-        with open(OUT_PATH, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
+        atomic_write_json(OUT_PATH, report, indent=2)
         print(f"wrote {OUT_PATH}")
     return 0 if passed else 1
 

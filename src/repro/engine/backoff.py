@@ -1,0 +1,60 @@
+"""Deterministic exponential backoff with seeded jitter.
+
+Retry loops in this repo — the parallel explorer's shard re-deal and the
+analysis service's job retries — share one schedule shape: exponential
+growth from a base delay, a hard cap, and optional jitter to de-correlate
+retry storms.  :class:`BackoffPolicy` computes that schedule as a pure
+function of ``(attempt, jitter_seed)``, so tests can assert the *exact*
+delays (no wall-clock sleeping: callers take an injectable ``sleep``)
+and two processes retrying the same failure spread out deterministically
+given distinct seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """An exponential backoff schedule: ``base * factor**attempt``,
+    capped at ``cap``, plus up to ``jitter`` fraction of the capped
+    delay drawn from a PRNG seeded by ``jitter_seed`` mixed with the
+    attempt number.
+
+    ``delay(attempt)`` is a pure function — the same policy and attempt
+    always produce the same delay — which is what lets the retry tests
+    assert the full schedule instead of sampling wall clock.  A ``base``
+    of 0 disables backoff entirely (every delay is 0.0).
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base must be >= 0, got {self.base}")
+        if self.factor < 1:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.cap < 0:
+            raise ValueError(f"cap must be >= 0, got {self.cap}")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """The delay before retry round ``attempt`` (0-based), in seconds."""
+        if self.base <= 0:
+            return 0.0
+        raw = min(self.base * (self.factor ** attempt), self.cap)
+        if not self.jitter:
+            return raw
+        rng = random.Random(self.jitter_seed * 1_000_003 + attempt)
+        return raw * (1.0 + self.jitter * (rng.random() - 0.5))
+
+    def schedule(self, attempts: int) -> "list[float]":
+        """The first ``attempts`` delays, for logging and assertions."""
+        return [self.delay(i) for i in range(attempts)]

@@ -120,6 +120,28 @@ class Budget:
             deadline=deadline,
         )
 
+    def scaled(self, factor: float) -> "Budget":
+        """A cheaper copy of this budget, every global bound multiplied
+        by ``factor`` (with a floor of 1 so a scaled budget can still do
+        *some* work).
+
+        This is the degradation ladder's lever
+        (:mod:`repro.service.degrade`): under memory pressure the
+        analysis service admits new jobs at ``scaled(0.25)`` (say)
+        rather than refusing them or OOMing.  The per-path depth bound
+        is left alone — it bounds a single path's memory, not the run's
+        fan-out — and the wall-clock deadline scales like the step
+        bounds.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        return Budget(
+            max_steps_per_path=self.max_steps_per_path,
+            max_paths=max(1, int(self.max_paths * factor)),
+            max_total_steps=max(1, int(self.max_total_steps * factor)),
+            deadline=None if self.deadline is None else self.deadline * factor,
+        )
+
     def decide(
         self, stats, depth: int, pending: int, elapsed: float
     ) -> BudgetDecision:

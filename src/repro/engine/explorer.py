@@ -111,6 +111,17 @@ class Explorer:
     :class:`SearchStrategy` instance; None defers to
     ``config.strategy``.  ``budget`` defaults to the bounds the config
     carries.  ``events`` is an optional :class:`EventBus`.
+
+    ``checkpoint`` is an optional crash-recovery hook (duck-typed; see
+    :class:`repro.service.checkpoint.CheckpointManager`): an object with
+    an ``interval`` attribute (commands between snapshots; 0 disables)
+    and a ``save(frontier, finals, stats)`` method.  The scheduler calls
+    ``save`` at the :meth:`Budget.decide` boundary — after the decision,
+    before the step — every ``interval`` executed commands, passing the
+    full pending frontier (the in-flight item first), the finals found
+    so far, and the live stats with every solver/degradation delta
+    folded in, so a process killed at any point resumes from the last
+    snapshot with nothing double-counted.
     """
 
     def __init__(
@@ -121,6 +132,7 @@ class Explorer:
         strategy: StrategySpec = None,
         budget: Optional[Budget] = None,
         events: Optional[EventBus] = None,
+        checkpoint=None,
     ):
         self.prog = prog
         self.sm = state_model
@@ -128,6 +140,7 @@ class Explorer:
         self.strategy = strategy
         self.budget = budget if budget is not None else Budget.from_config(self.config)
         self.events = events
+        self.checkpoint = checkpoint
         # Deterministic fault injection: a FaultPlan shipped through the
         # config (by the fault harness, or by the parallel explorer to
         # its workers) is resolved to this process's injector here.  A
@@ -205,6 +218,9 @@ class Explorer:
         compiled = self._compiled
         compiled_step = compiled.step if compiled is not None else None
         fast0 = compiled.fast_steps if compiled is not None else 0
+        checkpoint = self.checkpoint
+        ck_every = getattr(checkpoint, "interval", 0) if checkpoint is not None else 0
+        ck_next = ck_every  # first snapshot after ``interval`` commands
         # The deadline is the only bound needing wall clock; without one,
         # Budget.decide ignores ``elapsed`` and the loop skips the read.
         timed = budget.deadline is not None
@@ -261,6 +277,35 @@ class Explorer:
                     if decision.cap_hit and not len(strategy):
                         stop = StopReason.MAX_PATHS
                     continue
+
+                if ck_every and stats.commands_executed >= ck_next:
+                    # Snapshot at the decide() boundary: the popped item
+                    # leads the frontier (its step has not run yet), and
+                    # every externally-held counter delta is folded into
+                    # ``stats`` first — with baselines reset so the
+                    # ``finally`` fold below stays exact — making the
+                    # snapshot self-contained: resume = frontier + finals
+                    # + stats, nothing double-counted.
+                    ck_next = stats.commands_executed + ck_every
+                    if compiled is not None:
+                        stats.fast_lane_steps += compiled.fast_steps - fast0
+                        fast0 = compiled.fast_steps
+                    if ss is not None:
+                        self._flush_solver(stats, ss, s0)
+                        s0 = (
+                            ss.queries, ss.cache_hits, ss.prefix_hits,
+                            ss.model_reuse_hits, ss.solve_time, ss.timeouts,
+                            ss.split_time, ss.propagation_time, ss.search_time,
+                        )
+                    if degradation is not None:
+                        d1p = degradation.unknown_pruned
+                        d1a = degradation.unknown_assumed
+                        if d1p != d0p or d1a != d0a:
+                            stats.add_degradation_delta(d1p - d0p, d1a - d0a)
+                            d0p, d0a = d1p, d1a
+                    checkpoint.save(
+                        ((cfg, depth),) + strategy.snapshot(), finals, stats
+                    )
 
                 if faults is not None:
                     faults.on_step()

@@ -57,6 +57,7 @@ import traceback
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.engine.backoff import BackoffPolicy
 from repro.engine.budget import Budget
 from repro.engine.config import EngineConfig
 from repro.engine.events import (
@@ -282,6 +283,10 @@ class ParallelExplorer:
         self.factory = factory
         self.seed_factor = max(1, seed_factor)
         self._mp = mp_context if mp_context is not None else multiprocessing.get_context()
+        #: retry-delay schedule for crashed shards; tests inject a fake
+        #: ``_sleep`` to assert the exact delays without real waiting
+        self.backoff = BackoffPolicy(base=self.config.shard_retry_backoff)
+        self._sleep = time.sleep
         # Validate the strategy spec up front: a malformed spec should
         # fail in the caller's process, not inside N workers.
         make_strategy(self.strategy if self.strategy is not None else self.config.strategy,
@@ -346,6 +351,50 @@ class ParallelExplorer:
         # Per-part wall times are CPU-aggregate across processes; the
         # run's wall clock is what the caller observes.
         merged.stats.wall_time = time.perf_counter() - start
+        return merged
+
+    def explore_items(
+        self, items: Sequence[tuple], budget: Optional[Budget] = None
+    ) -> ExecutionResult:
+        """Drive explicit ``(Config, depth)`` frontier items to completion.
+
+        The resumable entry point used by the analysis service's
+        checkpointed runner (:mod:`repro.service.runner`): seeding is
+        skipped — the caller already holds a frontier cut (from
+        :meth:`Explorer.explore_frontier` or a restored checkpoint) —
+        and the items are dealt round-robin across workers, run with the
+        usual crash recovery, and merged deterministically.  Because the
+        final multiset is partition-independent, processing a frontier
+        in several ``explore_items`` rounds (checkpointing between them)
+        yields exactly the finals of one uninterrupted run.
+
+        ``budget`` overrides the per-call budget (the runner passes the
+        job's remaining budget); it is sliced across shards as usual.
+        With ``workers<=1`` the items run on the sequential explorer.
+        """
+        items = list(items)
+        budget = budget if budget is not None else self.budget
+        configs = [cfg for cfg, _ in items]
+        depths = [depth for _, depth in items]
+        if self.workers <= 1 or len(items) <= 1:
+            seq = self._sequential()
+            seq.budget = budget
+            return seq.explore(configs, depths=depths)
+        start = time.perf_counter()
+        shards = [items[i :: self.workers] for i in range(self.workers)]
+        shards = [shard for shard in shards if shard]
+        slice_budget = budget.shard_slice(len(shards))
+        factory = self.factory
+        if factory is None:
+            factory = model_factory_for(self.sm, self.config)
+        parts = self._run_shards(shards, slice_budget, factory)
+        merged = merge_results(parts)
+        merged.stats.wall_time = time.perf_counter() - start
+        if self.events:
+            self.events.emit(
+                SpanEnd("shards", merged.stats.wall_time,
+                        merged.stats.commands_executed)
+            )
         return merged
 
     # -- internals -----------------------------------------------------------
@@ -437,8 +486,9 @@ class ParallelExplorer:
                                 if detail.strip() else "",
                             )
                         )
-                if cfg.shard_retry_backoff > 0:
-                    time.sleep(cfg.shard_retry_backoff * (2 ** attempt))
+                delay = self.backoff.delay(attempt)
+                if delay > 0:
+                    self._sleep(delay)
                 width = min(self.workers, len(failed_items))
                 pending = [
                     tuple(failed_items[i::width]) for i in range(width)

@@ -94,6 +94,22 @@ class Incompleteness:
             or self.frontier_lost
         )
 
+    def to_dict(self) -> Dict[str, int]:
+        """A JSON-able counter dict (durable job records store this)."""
+        return {
+            "solver_timeouts": self.solver_timeouts,
+            "unknown_pruned": self.unknown_pruned,
+            "unknown_assumed": self.unknown_assumed,
+            "shards_retried": self.shards_retried,
+            "shards_lost": self.shards_lost,
+            "frontier_lost": self.frontier_lost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "Incompleteness":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class RunReport:
@@ -109,6 +125,21 @@ class RunReport:
     def complete(self) -> bool:
         """Every path ran to a final and no decision was degraded."""
         return self.stop_reason == "exhausted" and self.incompleteness.clean
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able record: stop reason plus the itemised ledger."""
+        return {
+            "stop_reason": self.stop_reason,
+            "incompleteness": self.incompleteness.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            stop_reason=data["stop_reason"],
+            incompleteness=Incompleteness.from_dict(data["incompleteness"]),
+        )
 
     def summary(self) -> str:
         inc = self.incompleteness
@@ -204,6 +235,29 @@ class ExecutionStats:
         """Fold the state model's per-step unknown-policy counters in."""
         self.incompleteness.unknown_pruned += pruned
         self.incompleteness.unknown_assumed += assumed
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able summary (durable job records and reports).
+
+        Carries every counter plus the stop reason and ledger; the
+        wall-clock and solver-time floats are included for reporting but
+        are *not* part of any determinism contract.
+        """
+        return {
+            "commands_executed": self.commands_executed,
+            "fast_lane_steps": self.fast_lane_steps,
+            "paths_finished": self.paths_finished,
+            "paths_vanished": self.paths_vanished,
+            "paths_dropped": self.paths_dropped,
+            "solver_queries": self.solver_queries,
+            "solver_cache_hits": self.solver_cache_hits,
+            "solver_prefix_hits": self.solver_prefix_hits,
+            "solver_model_reuse": self.solver_model_reuse,
+            "solver_time": self.solver_time,
+            "wall_time": self.wall_time,
+            "stop_reason": self.stop_reason,
+            "incompleteness": self.incompleteness.to_dict(),
+        }
 
 
 def final_sort_key(fin: Final) -> tuple:

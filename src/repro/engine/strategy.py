@@ -77,6 +77,19 @@ class SearchStrategy:
         """
         raise NotImplementedError
 
+    def snapshot(self) -> Tuple[WorkItem, ...]:
+        """The pending items, *without* removing them.
+
+        Used by checkpointing (:mod:`repro.service.checkpoint`): the
+        returned tuple, pushed in order into a fresh strategy of the
+        same type, reproduces the same worklist contents.  For DFS and
+        BFS the rebuilt schedule is byte-identical; for the stateful
+        policies (random PRNG position, coverage visit counts) only the
+        *item set* is preserved — which is all outcome determinism needs,
+        since exhaustive exploration is schedule-independent.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -110,6 +123,10 @@ class DFSStrategy(SearchStrategy):
         del self._stack[:count]
         return evicted
 
+    def snapshot(self) -> Tuple[WorkItem, ...]:
+        """Stack bottom-to-top: re-pushing in order rebuilds it exactly."""
+        return tuple(self._stack)
+
     def __len__(self) -> int:
         return len(self._stack)
 
@@ -137,6 +154,10 @@ class BFSStrategy(SearchStrategy):
         evicted = [self._queue.pop() for _ in range(count)]
         evicted.reverse()
         return evicted
+
+    def snapshot(self) -> Tuple[WorkItem, ...]:
+        """Queue front-to-back: re-pushing in order rebuilds it exactly."""
+        return tuple(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -167,6 +188,10 @@ class RandomStrategy(SearchStrategy):
     def evict(self, count: int) -> List[WorkItem]:
         count = min(count, len(self._items))
         return [self.pop() for _ in range(count)]
+
+    def snapshot(self) -> Tuple[WorkItem, ...]:
+        """The pending item list (insertion order; PRNG state excluded)."""
+        return tuple(self._items)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -226,6 +251,10 @@ class CoverageGuidedStrategy(SearchStrategy):
         self._heap = [e for e in self._heap if e[1] not in victim_keys]
         heapq.heapify(self._heap)
         return [e[2] for e in victims]
+
+    def snapshot(self) -> Tuple[WorkItem, ...]:
+        """Pending items in (priority, seq) order (visit counts excluded)."""
+        return tuple(e[2] for e in sorted(self._heap, key=lambda e: (e[0], e[1])))
 
     def __len__(self) -> int:
         return len(self._heap)

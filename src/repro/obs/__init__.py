@@ -20,7 +20,10 @@ package is the consumer side:
   into the paper-style run breakdown (§5-style solver/exploration
   buckets);
 * :mod:`repro.obs.smoke` — the ``make verify`` end-to-end check: record
-  a real trace, run the report, assert the required sections exist.
+  a real trace, run the report, assert the required sections exist;
+* :mod:`repro.obs.service` — :class:`~repro.obs.service.ServiceMetrics`,
+  the analysis daemon's counter/gauge surface (jobs, cache tiers,
+  degradation, integrity evictions) over the same registry.
 
 See ``docs/events.md`` for the event schema and ``docs/architecture.md``
 for where observability sits in the engine dataflow.
@@ -34,6 +37,7 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "PhaseProfiler",
+    "ServiceMetrics",
     "TraceReport",
     "analyse_trace",
     "solver_phase_spans",
@@ -47,4 +51,8 @@ def __getattr__(name):
         from repro.obs import report
 
         return getattr(report, name)
+    if name == "ServiceMetrics":
+        from repro.obs.service import ServiceMetrics
+
+        return ServiceMetrics
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

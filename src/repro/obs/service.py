@@ -1,0 +1,101 @@
+"""Per-job service metrics: what the analysis daemon reports about itself.
+
+A thin, named façade over :class:`~repro.obs.metrics.MetricsRegistry` so
+the service layer increments well-known instruments instead of scattering
+string literals.  The instrument set (all under the ``service.`` prefix):
+
+* ``service.queue_depth`` (gauge) — pending jobs at last poll (the
+  backpressure signal);
+* ``service.checkpoint_age`` (gauge) — seconds since the running job's
+  last durable snapshot (staleness = crash replay cost);
+* ``service.jobs_submitted`` / ``service.jobs_completed`` /
+  ``service.jobs_retried`` / ``service.jobs_quarantined`` (counters) —
+  the job lifecycle ledger;
+* ``service.cache_hit_result`` / ``service.cache_hit_gil`` /
+  ``service.cache_miss`` (counters) — the cache tiers: a whole-run
+  replay hit, a compiled-program hit, or neither;
+* ``service.jobs_degraded`` (counter) — jobs admitted above level 0 on
+  the degradation ladder;
+* ``service.degraded`` (counter) — integrity degradations: corrupted
+  cache/checkpoint entries detected by checksum and evicted.
+
+:meth:`ServiceMetrics.flush` emits every reading as
+:class:`~repro.engine.events.MetricSample` events on a bus, so service
+health rides the same obs pipeline (collector, trace reports) as engine
+metrics — documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+
+
+class ServiceMetrics:
+    """The daemon's instrument panel (see module docstring)."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Wrap ``registry`` (a fresh one by default)."""
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def job_submitted(self) -> None:
+        """A job entered the queue."""
+        self.registry.counter("service.jobs_submitted").inc()
+
+    def job_completed(self) -> None:
+        """A job finished and was acked."""
+        self.registry.counter("service.jobs_completed").inc()
+
+    def job_retried(self) -> None:
+        """A failed job was requeued with backoff."""
+        self.registry.counter("service.jobs_retried").inc()
+
+    def job_quarantined(self) -> None:
+        """A job was declared poison."""
+        self.registry.counter("service.jobs_quarantined").inc()
+
+    def job_degraded(self) -> None:
+        """A job was admitted above level 0 on the degradation ladder."""
+        self.registry.counter("service.jobs_degraded").inc()
+
+    # -- caches and integrity -----------------------------------------------
+
+    def cache_hit_result(self) -> None:
+        """A submission was served from the whole-run result store."""
+        self.registry.counter("service.cache_hit_result").inc()
+
+    def cache_hit_gil(self) -> None:
+        """A run reused a cached compiled GIL program."""
+        self.registry.counter("service.cache_hit_gil").inc()
+
+    def cache_miss(self) -> None:
+        """A run compiled and executed from scratch."""
+        self.registry.counter("service.cache_miss").inc()
+
+    def integrity_degraded(self) -> None:
+        """A checksummed entry failed validation and was evicted."""
+        self.registry.counter("service.degraded").inc()
+
+    # -- gauges -------------------------------------------------------------
+
+    def queue_depth(self, depth: int) -> None:
+        """Record the pending-queue depth observed at a poll."""
+        self.registry.gauge("service.queue_depth").set(depth)
+
+    def checkpoint_age(self, seconds: float) -> None:
+        """Record the running job's snapshot staleness."""
+        self.registry.gauge("service.checkpoint_age").set(seconds)
+
+    # -- reporting ----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of every instrument."""
+        return self.registry.as_dict()
+
+    def flush(self, bus: Optional[EventBus]) -> int:
+        """Emit all readings as MetricSample events; returns the count."""
+        return self.registry.flush(bus)

@@ -1,0 +1,96 @@
+"""Admission control under memory pressure: the degradation ladder.
+
+A long-lived analysis daemon must not OOM because a burst of expensive
+jobs arrived while the process was already heavy.  Refusing work
+outright is the other failure mode — so between "run as submitted" and
+"reject" sits a ladder of cheaper admissions:
+
+* **level 0** (below the soft watermark) — the job runs exactly as
+  submitted;
+* **level 1** (soft watermark crossed) — the budget is scaled down
+  (:meth:`Budget.scaled`) and the unknown policy is forced to
+  ``"prune"``: UNKNOWN branches are dropped and *counted* in the
+  incompleteness ledger instead of being assumed feasible, trading
+  coverage for bounded memory, honestly;
+* **level 2** (hard watermark crossed) — a minimal scavenging budget,
+  still pruning.  The job produces a small, clearly-marked result
+  rather than being lost.
+
+The admitted level is recorded in ``JobResult.degraded_level``, and a
+degraded result is never served from the idempotent-replay cache
+(``JobResult.reusable``) — degradation is an artefact of *this* run's
+circumstances, not of the spec.
+
+Memory is read through an injectable ``memory_bytes`` callable
+(default: ``resource.getrusage`` peak RSS), so tests drive the ladder
+deterministically without actually ballooning the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.engine.budget import Budget
+
+
+def process_memory_bytes() -> int:
+    """The process's peak RSS in bytes (the default watermark input)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes; normalise to bytes.
+    import sys
+
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """The ladder's thresholds and levers (see module docstring).
+
+    ``soft_bytes``/``hard_bytes`` of None disable that rung.  The
+    scale factors are the budget multipliers applied at each level.
+    """
+
+    soft_bytes: Optional[int] = None
+    hard_bytes: Optional[int] = None
+    soft_scale: float = 0.25
+    hard_scale: float = 0.05
+    memory_bytes: Callable[[], int] = process_memory_bytes
+
+    def __post_init__(self) -> None:
+        """Validate that the hard watermark sits at or above the soft."""
+        if (
+            self.soft_bytes is not None
+            and self.hard_bytes is not None
+            and self.hard_bytes < self.soft_bytes
+        ):
+            raise ValueError("hard watermark must be >= soft watermark")
+
+    def level(self) -> int:
+        """The ladder rung current memory pressure puts new jobs on."""
+        used = self.memory_bytes()
+        if self.hard_bytes is not None and used >= self.hard_bytes:
+            return 2
+        if self.soft_bytes is not None and used >= self.soft_bytes:
+            return 1
+        return 0
+
+    def admit(
+        self, budget: Budget, unknown_policy: str
+    ) -> Tuple[int, Budget, str]:
+        """Admission terms for a new job right now.
+
+        Returns ``(level, effective_budget, effective_unknown_policy)``:
+        at level 0 the submitted terms pass through untouched; above it
+        the budget is scaled and UNKNOWN branches are pruned (and
+        ledgered) rather than assumed.
+        """
+        level = self.level()
+        if level == 0:
+            return 0, budget, unknown_policy
+        scale = self.soft_scale if level == 1 else self.hard_scale
+        return level, budget.scaled(scale), "prune"

@@ -1,0 +1,281 @@
+"""The checkpointed job runner: one JobSpec in, one total result out.
+
+This is the bridge between the service layer (durable queue, caches,
+checkpoints) and the engine.  A run proceeds in up to three phases:
+
+1. **Compile** — the TL source is compiled to GIL, through the
+   content-addressed :class:`~repro.service.store.GilStore` when one is
+   wired in (jobs differing only in entry point or budget share the
+   compiled program).
+2. **Resume or start** — if the job's checkpoint slot holds a durable
+   snapshot, the runner adopts its finals/stats as the base and feeds
+   its frontier back into the engine with the *remaining* budget
+   (global bounds minus what the snapshot already consumed); otherwise
+   it builds the entry-point configuration from a fresh initial state.
+3. **Explore** — ``workers == 1`` runs the sequential
+   :class:`~repro.engine.explorer.Explorer` with the checkpoint manager
+   installed as its snapshot hook; ``workers > 1`` seeds a frontier cut
+   (checkpointing through the same hook), then processes it in bounded
+   rounds of :meth:`~repro.engine.parallel.ParallelExplorer.explore_items`,
+   saving a snapshot of the unprocessed remainder between rounds.
+
+The identity contract (exercised by the crash-resume suite): for an
+exhaustive run, base + resumed-run merged through
+:func:`~repro.engine.results.merge_results` has exactly the finals
+multiset and incompleteness ledger of the uninterrupted run, at any
+worker count — path outcomes are path-local (paper §3.1 trace
+composition), so neither the cut point nor the partition matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.budget import Budget
+from repro.engine.config import EngineConfig
+from repro.engine.explorer import Explorer
+from repro.engine.parallel import SEED_FACTOR, ParallelExplorer, resolve_workers
+from repro.engine.results import ExecutionResult, ExecutionStats, merge_results
+from repro.gil.semantics import make_call_config
+from repro.logic.simplify import shared_simplifier
+from repro.logic.solver import Solver
+from repro.service.jobs import JobSpec
+from repro.state.symbolic import SymbolicStateModel
+
+
+def language_for(name: str):
+    """Instantiate the target language registered under ``name``."""
+    import repro
+
+    classes = {
+        "while": "WhileLanguage",
+        "minijs": "MiniJSLanguage",
+        "minic": "MiniCLanguage",
+        "rust": "MiniRustLanguage",
+    }
+    if name not in classes:
+        raise ValueError(
+            f"unknown language {name!r}; expected one of {sorted(classes)}"
+        )
+    return getattr(repro, classes[name])()
+
+
+def budget_for(spec: JobSpec) -> Budget:
+    """The budget a spec requests (before any degradation scaling)."""
+    return Budget(
+        max_steps_per_path=spec.max_steps_per_path,
+        max_paths=spec.max_paths,
+        max_total_steps=spec.max_total_steps,
+        deadline=spec.timeout,
+    )
+
+
+def verdict_for(result: ExecutionResult) -> str:
+    """The job-level verdict a finished result supports."""
+    if result.errors:
+        return "bug"
+    if result.report.complete:
+        return "bounded-verified"
+    return "bounded-verified-incomplete"
+
+
+@dataclass
+class RunOutcome:
+    """What one runner invocation produced.
+
+    ``result`` is the *total* run — base progress from any adopted
+    snapshot merged with this invocation's exploration — and
+    ``compile_cache_hit`` records whether the GIL program came from the
+    content store (the warm path the service benchmark measures).
+    """
+
+    result: ExecutionResult
+    compile_cache_hit: bool = False
+    resumed: bool = False
+
+
+class JobRunner:
+    """Runs :class:`JobSpec`\\ s, optionally compile-cached and checkpointed.
+
+    ``gil_store`` is an optional :class:`~repro.service.store.GilStore`;
+    ``round_items`` bounds how many frontier items a parallel round
+    processes between checkpoint saves (smaller = tighter crash window,
+    more snapshot overhead).
+    """
+
+    def __init__(self, gil_store=None, round_items: int = 0) -> None:
+        """Create a runner; see class docstring for the knobs."""
+        self.gil_store = gil_store
+        self.round_items = round_items
+
+    # -- compile ------------------------------------------------------------
+
+    def compile(self, spec: JobSpec) -> Tuple[object, bool]:
+        """The spec's GIL program, and whether it came from the cache."""
+        language = language_for(spec.language)
+        if self.gil_store is None:
+            return language.compile(spec.source), False
+        key = spec.source_key()
+        prog = self.gil_store.get(key)
+        if prog is not None:
+            return prog, True
+        prog = language.compile(spec.source)
+        self.gil_store.put(key, prog)
+        return prog, False
+
+    # -- run ----------------------------------------------------------------
+
+    def run(
+        self,
+        spec: JobSpec,
+        budget: Optional[Budget] = None,
+        unknown_policy: Optional[str] = None,
+        checkpoint=None,
+        events=None,
+    ) -> RunOutcome:
+        """Execute ``spec`` to completion, resuming from its checkpoint
+        slot if a durable snapshot exists.
+
+        ``budget``/``unknown_policy`` override the spec (the degradation
+        ladder admits jobs at a scaled budget and a pruning policy);
+        ``checkpoint`` is a :class:`~repro.service.checkpoint.CheckpointManager`
+        or None to run without snapshots.
+        """
+        prog, cache_hit = self.compile(spec)
+        policy = unknown_policy if unknown_policy is not None else spec.unknown_policy
+        budget = budget if budget is not None else budget_for(spec)
+        workers = resolve_workers(spec.workers)
+
+        language = language_for(spec.language)
+        config = EngineConfig(unknown_policy=policy)
+        solver = Solver(
+            simplifier=shared_simplifier(
+                enabled=True, memoise=config.simplifier_memoisation
+            ),
+            cache_enabled=config.solver_cache,
+            incremental=config.solver_incremental,
+            step_budget=config.solver_step_budget,
+        )
+        sm = SymbolicStateModel(
+            language.symbolic_memory(), solver=solver, unknown_policy=policy
+        )
+
+        snapshot = checkpoint.load() if checkpoint is not None else None
+        if snapshot is not None:
+            checkpoint.resume_from(snapshot)
+            items: List[tuple] = list(snapshot.frontier)
+            run_budget = budget.shard_slice(
+                1,
+                steps_spent=snapshot.stats.commands_executed,
+                paths_found=snapshot.stats.paths_finished,
+            )
+            if not items:
+                # The snapshot already covers the whole run (a crash fell
+                # between the last save and the ack).
+                total = ExecutionResult(
+                    list(snapshot.finals), self._copy_stats(snapshot.stats)
+                )
+                if not total.stats.stop_reason:
+                    total.stats.stop_reason = "exhausted"
+                return RunOutcome(total, cache_hit, resumed=True)
+        else:
+            state = sm.initial_state()
+            cfg = make_call_config(sm, state, prog, spec.entry, [])
+            items = [(cfg, 0)]
+            run_budget = budget
+
+        if workers <= 1:
+            session = self._run_sequential(
+                prog, sm, config, run_budget, items, checkpoint, events
+            )
+        else:
+            session = self._run_parallel(
+                prog, sm, config, run_budget, items, workers, checkpoint,
+                events, resumed=snapshot is not None,
+            )
+
+        total = self._fold_base(checkpoint, session)
+        if checkpoint is not None:
+            checkpoint.clear()
+        return RunOutcome(total, cache_hit, resumed=snapshot is not None)
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _copy_stats(stats: ExecutionStats) -> ExecutionStats:
+        """A detached copy (merge into a fresh instance)."""
+        copy = ExecutionStats()
+        copy.merge(stats)
+        return copy
+
+    def _run_sequential(
+        self, prog, sm, config, budget, items, checkpoint, events
+    ) -> ExecutionResult:
+        """One Explorer call; the checkpoint hook snapshots mid-run."""
+        explorer = Explorer(
+            prog, sm, config,
+            budget=budget, events=events, checkpoint=checkpoint,
+        )
+        configs = [cfg for cfg, _ in items]
+        depths = [depth for _, depth in items]
+        return explorer.explore(configs, depths=depths)
+
+    def _run_parallel(
+        self, prog, sm, config, budget, items, workers, checkpoint, events,
+        resumed: bool,
+    ) -> ExecutionResult:
+        """Seed (unless resuming), then explore in checkpointed rounds.
+
+        Each round hands at most ``round_items`` frontier items to the
+        worker pool with the budget that remains after everything this
+        invocation has already done, and the unprocessed remainder is
+        snapshotted between rounds — so a kill at any round boundary
+        resumes with exactly the path set one uninterrupted run covers.
+        """
+        parts: List[ExecutionResult] = []
+        session = ExecutionResult([], ExecutionStats())
+
+        if not resumed:
+            seeder = Explorer(
+                prog, sm, config,
+                budget=budget, events=events, checkpoint=checkpoint,
+            )
+            configs = [cfg for cfg, _ in items]
+            items, seed_result = seeder.explore_frontier(
+                configs, workers * SEED_FACTOR
+            )
+            parts.append(seed_result)
+            session = merge_results(parts)
+            if not items:
+                return session
+
+        pex = ParallelExplorer(
+            prog, sm, config, events=events, workers=workers,
+        )
+        chunk = self.round_items if self.round_items > 0 else len(items)
+        remaining = list(items)
+        while remaining:
+            batch, remaining = remaining[:chunk], remaining[chunk:]
+            round_budget = budget.shard_slice(
+                1,
+                steps_spent=session.stats.commands_executed,
+                paths_found=session.stats.paths_finished,
+            )
+            part = pex.explore_items(batch, budget=round_budget)
+            parts.append(part)
+            session = merge_results(parts)
+            if remaining and checkpoint is not None:
+                checkpoint.save(tuple(remaining), session.finals, session.stats)
+        return session
+
+    @staticmethod
+    def _fold_base(checkpoint, session: ExecutionResult) -> ExecutionResult:
+        """Merge a resumed base (if any) with this invocation's run."""
+        if checkpoint is None or checkpoint.base_stats is None:
+            return session
+        base = ExecutionResult(
+            list(checkpoint.base_finals),
+            JobRunner._copy_stats(checkpoint.base_stats),
+        )
+        return merge_results([base, session])

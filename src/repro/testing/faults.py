@@ -10,7 +10,11 @@ seeded, picklable :class:`FaultPlan` that can
   queue, the nastiest crash shape the parent must survive);
 * force the solver to answer UNKNOWN on its Nth query (as if the
   per-query step budget fired);
-* raise :class:`InjectedActionError` from inside a memory-model action.
+* raise :class:`InjectedActionError` from inside a memory-model action;
+* kill the process at a checkpoint boundary (:class:`CheckpointKill`,
+  real ``SIGKILL`` included), which is how the analysis service's
+  crash-resume identity suite exercises
+  :mod:`repro.service.checkpoint`.
 
 Plans travel inside :class:`~repro.engine.config.EngineConfig` (they
 must pickle, since worker processes receive the config over a spawn
@@ -78,6 +82,40 @@ class SolverTimeout:
 
 
 @dataclass(frozen=True)
+class CheckpointKill:
+    """Kill the process at its ``at_checkpoint``-th checkpoint save.
+
+    The crash-resume identity suite's fault shape: the checkpoint
+    manager (:mod:`repro.service.checkpoint`) calls the injector around
+    every snapshot, and this fault terminates the process exactly at a
+    checkpoint boundary.  ``phase="pre"`` fires *before* any bytes are
+    written (the in-flight snapshot is lost; resume falls back to the
+    previous durable one) and ``phase="post"`` fires after the atomic
+    rename (the snapshot survives; resume starts from it).  ``mode``
+    picks the death shape: ``"sigkill"`` (default) delivers a real
+    ``SIGKILL`` to the current process, ``"exit"`` calls ``os._exit(1)``,
+    and ``"raise"`` raises :class:`InjectedCrash` for in-process tests.
+    """
+
+    at_checkpoint: int
+    phase: str = "post"
+    mode: str = "sigkill"
+    worker: Optional[int] = None
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("pre", "post"):
+            raise ValueError(
+                f"CheckpointKill.phase must be 'pre' or 'post', got {self.phase!r}"
+            )
+        if self.mode not in ("sigkill", "exit", "raise"):
+            raise ValueError(
+                f"CheckpointKill.mode must be 'sigkill', 'exit' or 'raise', "
+                f"got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ActionFault:
     """Raise :class:`InjectedActionError` from the ``at_call``-th memory
     action executed (0-based), optionally only for action ``action`` and
@@ -100,6 +138,7 @@ class FaultPlan:
     kills: Tuple[WorkerKill, ...] = ()
     solver_timeouts: Tuple[SolverTimeout, ...] = ()
     action_faults: Tuple[ActionFault, ...] = ()
+    checkpoint_kills: Tuple[CheckpointKill, ...] = ()
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -136,7 +175,12 @@ class FaultPlan:
 
     @property
     def empty(self) -> bool:
-        return not (self.kills or self.solver_timeouts or self.action_faults)
+        return not (
+            self.kills
+            or self.solver_timeouts
+            or self.action_faults
+            or self.checkpoint_kills
+        )
 
     def injector(
         self, worker: Optional[int], attempt: int = 0
@@ -161,9 +205,14 @@ class FaultPlan:
             for a in self.action_faults
             if (a.worker is None or a.worker == worker) and attempt < a.attempts
         )
-        if not (kills or timeouts or actions):
+        ckpt_kills = tuple(
+            c
+            for c in self.checkpoint_kills
+            if (c.worker is None or c.worker == worker) and attempt < c.attempts
+        )
+        if not (kills or timeouts or actions or ckpt_kills):
             return None
-        return FaultInjector(kills, timeouts, actions)
+        return FaultInjector(kills, timeouts, actions, ckpt_kills)
 
 
 @dataclass
@@ -178,9 +227,11 @@ class FaultInjector:
     kills: Tuple[WorkerKill, ...]
     timeouts: Tuple[SolverTimeout, ...]
     actions: Tuple[ActionFault, ...]
+    ckpt_kills: Tuple[CheckpointKill, ...] = ()
     steps: int = field(default=0)
     queries: int = field(default=0)
     calls: int = field(default=0)
+    checkpoints: int = field(default=0)
 
     def on_step(self) -> None:
         """Called once per scheduler iteration, before the step runs."""
@@ -199,6 +250,31 @@ class FaultInjector:
         query = self.queries
         self.queries += 1
         return any(query == t.at_query for t in self.timeouts)
+
+    def on_checkpoint(self, phase: str) -> None:
+        """Called by the checkpoint manager around each snapshot save.
+
+        ``phase`` is ``"pre"`` (before any bytes are written; this is
+        where the per-save counter advances) or ``"post"`` (after the
+        atomic rename made the snapshot durable).  A matching
+        :class:`CheckpointKill` terminates the process here.
+        """
+        if phase == "pre":
+            current = self.checkpoints
+            self.checkpoints += 1
+        else:
+            current = self.checkpoints - 1
+        for kill in self.ckpt_kills:
+            if kill.phase == phase and current == kill.at_checkpoint:
+                if kill.mode == "exit":
+                    os._exit(1)
+                if kill.mode == "sigkill":
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+                raise InjectedCrash(
+                    f"injected crash at checkpoint {current} ({phase}-save)"
+                )
 
     def on_action(self, action: str) -> None:
         """Called before each memory-model action executes."""

@@ -67,15 +67,47 @@ MAX_LOOP_ITERS = 3
 CONFIG = EngineConfig(max_paths=2_000, max_total_steps=50_000)
 
 
+def _parse_count(token: str, raw: str) -> int:
+    """One seed-count token as a non-negative int, with a clear error.
+
+    The environment variable is typed by humans in CI configs; a typo
+    must name the bad token and the expected shape, not surface as a
+    bare ``ValueError: invalid literal`` at import time.
+    """
+    try:
+        count = int(token, 10)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_FUZZ_SEEDS={raw!r}: bad count {token!r} "
+            f"(expected 'N' or 'N:M' with decimal integers, e.g. '20' or '20:100')"
+        ) from None
+    if count < 0:
+        raise ValueError(
+            f"REPRO_FUZZ_SEEDS={raw!r}: count {token!r} must be >= 0"
+        )
+    return count
+
+
 def _seed_counts() -> Tuple[int, int]:
-    """The (quick, long) seed counts, honouring ``REPRO_FUZZ_SEEDS``."""
+    """The (quick, long) seed counts, honouring ``REPRO_FUZZ_SEEDS``.
+
+    Accepted shapes: ``"N"`` (quick = N, long = 4N) and ``"N:M"``
+    (both pinned); an empty token keeps that position's default.
+    Anything else — extra colons, non-integers, negatives — raises a
+    ``ValueError`` naming the offending token.
+    """
     raw = os.environ.get("REPRO_FUZZ_SEEDS", "").strip()
     if not raw:
         return 50, 200
     parts = raw.split(":")
-    quick = int(parts[0]) if parts[0] else 50
+    if len(parts) > 2:
+        raise ValueError(
+            f"REPRO_FUZZ_SEEDS={raw!r}: too many ':' separators "
+            f"(expected 'N' or 'N:M')"
+        )
+    quick = _parse_count(parts[0], raw) if parts[0] else 50
     if len(parts) > 1 and parts[1]:
-        long_ = int(parts[1])
+        long_ = _parse_count(parts[1], raw)
     else:
         long_ = quick * 4
     return quick, max(long_, quick)

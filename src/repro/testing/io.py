@@ -1,0 +1,162 @@
+"""Crash-safe file writes: atomic replace, fsync, and checksummed frames.
+
+Everything durable in this repo — benchmark reports, fuzz fingerprints,
+the analysis service's queue records, caches, and checkpoints — goes
+through this module, so an interrupted writer can never leave a torn
+file where a complete one used to be.  The discipline is the classic
+*write-temp, fsync, rename* sequence:
+
+1. the payload is written to a temporary file in the **same directory**
+   as the destination (rename is only atomic within a filesystem);
+2. the temporary file is flushed and ``fsync``\\ ed, so the bytes are
+   durable before the name is;
+3. ``os.replace`` swaps it in — a reader sees either the old complete
+   file or the new complete file, never a prefix of the new one;
+4. the directory is fsynced so the rename itself survives a power cut.
+
+For payloads that must also survive *storage* corruption (bit flips,
+truncation underneath the filesystem), :func:`write_checked_bytes` adds
+a one-line JSON header carrying the payload length and SHA-256; readers
+call :func:`read_checked_bytes`, which raises :class:`CorruptPayload`
+on any mismatch so the caller can evict and recompute instead of
+trusting a damaged entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+
+class CorruptPayload(ValueError):
+    """A checksummed frame failed validation (torn, truncated, flipped)."""
+
+
+def fsync_dir(path: str) -> None:
+    """Fsync the directory ``path`` so a rename inside it is durable.
+
+    Some platforms (and some filesystems) refuse to open directories for
+    fsync; failure to harden the rename is not failure to write, so
+    ``OSError`` is deliberately tolerated here.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Atomically replace ``path`` with ``data`` (write-temp-fsync-rename)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # The temp file must not survive a failed write: remove it and
+        # re-raise so the caller sees the original error.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(directory)
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(
+    path: str,
+    payload: object,
+    fsync: bool = True,
+    indent: Optional[int] = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    The file always ends with a newline, and serialization happens
+    *before* any filesystem mutation — a payload that does not serialize
+    leaves the old file untouched.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+# -- checksummed frames -------------------------------------------------------
+
+_MAGIC = "repro-frame-v1"
+
+
+def checked_frame(data: bytes) -> bytes:
+    """Wrap ``data`` in a one-line JSON header with length + SHA-256."""
+    header = json.dumps(
+        {
+            "magic": _MAGIC,
+            "len": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        },
+        sort_keys=True,
+    )
+    return header.encode("ascii") + b"\n" + data
+
+
+def unchecked_frame(blob: bytes) -> bytes:
+    """Validate a :func:`checked_frame` blob and return its payload.
+
+    Raises :class:`CorruptPayload` on a missing/garbled header, a length
+    mismatch (truncated or extended payload), or a digest mismatch
+    (flipped bits).  Never returns damaged data.
+    """
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise CorruptPayload("missing frame header")
+    try:
+        header = json.loads(blob[:newline].decode("ascii"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CorruptPayload(f"unreadable frame header: {exc}") from None
+    if not isinstance(header, dict) or header.get("magic") != _MAGIC:
+        raise CorruptPayload("bad frame magic")
+    payload = blob[newline + 1 :]
+    if len(payload) != header.get("len"):
+        raise CorruptPayload(
+            f"payload length {len(payload)} != recorded {header.get('len')}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("sha256"):
+        raise CorruptPayload("payload digest mismatch")
+    return payload
+
+
+def write_checked_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Atomically write ``data`` wrapped in a checksummed frame."""
+    atomic_write_bytes(path, checked_frame(data), fsync=fsync)
+
+
+def read_checked_bytes(path: str) -> bytes:
+    """Read and validate a :func:`write_checked_bytes` file.
+
+    Raises :class:`CorruptPayload` if the frame fails validation and
+    ``FileNotFoundError`` if the file does not exist.
+    """
+    with open(path, "rb") as fh:
+        return unchecked_frame(fh.read())

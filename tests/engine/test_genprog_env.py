@@ -1,0 +1,65 @@
+"""Tests for REPRO_FUZZ_SEEDS parsing (repro.testing.genprog): valid
+shapes are honoured and malformed values fail with one clear error
+naming the bad token."""
+
+import pytest
+
+from repro.testing.genprog import _seed_counts
+
+
+def counts(monkeypatch, value):
+    monkeypatch.setenv("REPRO_FUZZ_SEEDS", value)
+    return _seed_counts()
+
+
+class TestValidShapes:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FUZZ_SEEDS", raising=False)
+        assert _seed_counts() == (50, 200)
+
+    def test_default_when_blank(self, monkeypatch):
+        assert counts(monkeypatch, "   ") == (50, 200)
+
+    def test_single_count_scales_long(self, monkeypatch):
+        assert counts(monkeypatch, "20") == (20, 80)
+
+    def test_both_pinned(self, monkeypatch):
+        assert counts(monkeypatch, "20:100") == (20, 100)
+
+    def test_long_floored_at_quick(self, monkeypatch):
+        assert counts(monkeypatch, "30:10") == (30, 30)
+
+    def test_empty_positions_keep_defaults(self, monkeypatch):
+        assert counts(monkeypatch, ":100") == (50, 100)
+        assert counts(monkeypatch, "20:") == (20, 80)
+
+    def test_zero_allowed(self, monkeypatch):
+        assert counts(monkeypatch, "0") == (0, 0)
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "value, bad_token",
+        [
+            ("abc", "'abc'"),
+            ("20:xyz", "'xyz'"),
+            ("1.5", "'1.5'"),
+            ("20:100:7", "':'"),
+            ("0x10", "'0x10'"),
+            (" 20 : 1 0 ", "' 1 0'"),
+        ],
+    )
+    def test_error_names_the_bad_token(self, monkeypatch, value, bad_token):
+        monkeypatch.setenv("REPRO_FUZZ_SEEDS", value)
+        with pytest.raises(ValueError) as exc:
+            _seed_counts()
+        message = str(exc.value)
+        assert "REPRO_FUZZ_SEEDS" in message
+        assert repr(value.strip()) in message
+        if bad_token != "':'":
+            assert bad_token in message
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_SEEDS", "-5")
+        with pytest.raises(ValueError, match=">= 0"):
+            _seed_counts()

@@ -1,0 +1,135 @@
+"""Tests for durable job snapshots (repro.service.checkpoint): the
+save/load roundtrip, base folding across resumes, corruption eviction,
+and the fault-injection hooks at the save boundary."""
+
+import os
+
+import pytest
+
+from repro.engine.results import ExecutionStats
+from repro.service.checkpoint import Checkpoint, CheckpointManager
+from repro.testing.faults import CheckpointKill, FaultPlan, InjectedCrash
+
+
+KEY = "f" * 64
+
+
+def stats(commands=10, finished=2):
+    s = ExecutionStats()
+    s.commands_executed = commands
+    s.paths_finished = finished
+    return s
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        ck = CheckpointManager(str(tmp_path), KEY, interval=100)
+        ck.save(frontier=(("cfg", 3),), finals=("fin",), stats=stats())
+        snap = ck.load()
+        assert isinstance(snap, Checkpoint)
+        assert snap.key == KEY and snap.seq == 0
+        assert snap.frontier == (("cfg", 3),)
+        assert snap.finals == ("fin",)
+        assert snap.stats.commands_executed == 10
+
+    def test_missing_is_none(self, tmp_path):
+        assert CheckpointManager(str(tmp_path), KEY).load() is None
+
+    def test_seq_advances_per_save(self, tmp_path):
+        ck = CheckpointManager(str(tmp_path), KEY)
+        ck.save((), (), stats())
+        ck.save((), (), stats())
+        assert ck.load().seq == 1
+
+    def test_age_uses_injected_clock(self, tmp_path):
+        now = [100.0]
+        ck = CheckpointManager(str(tmp_path), KEY, clock=lambda: now[0])
+        assert ck.age() is None
+        ck.save((), (), stats())
+        now[0] = 107.5
+        assert ck.age() == pytest.approx(7.5)
+
+    def test_clear_discards_snapshot(self, tmp_path):
+        ck = CheckpointManager(str(tmp_path), KEY)
+        ck.save((), (), stats())
+        ck.clear()
+        assert ck.load() is None
+        ck.clear()  # idempotent
+
+
+class TestBaseFolding:
+    def test_saves_fold_resume_base(self, tmp_path):
+        ck = CheckpointManager(str(tmp_path), KEY)
+        ck.save((("c1", 1),), ("f1",), stats(10, 1))
+        # New incarnation resumes from the snapshot...
+        ck2 = CheckpointManager(str(tmp_path), KEY)
+        snap = ck2.load()
+        ck2.resume_from(snap)
+        assert ck2.seq == snap.seq + 1
+        # ...and its own saves describe *total* progress since job start.
+        ck2.save((("c2", 2),), ("f2",), stats(5, 1))
+        total = ck2.load()
+        assert total.finals == ("f1", "f2")
+        assert total.stats.commands_executed == 15
+        assert total.stats.paths_finished == 2
+
+    def test_multi_cycle_resume(self, tmp_path):
+        ck = CheckpointManager(str(tmp_path), KEY)
+        ck.save((), ("a",), stats(1, 1))
+        for extra in ("b", "c"):
+            nxt = CheckpointManager(str(tmp_path), KEY)
+            nxt.resume_from(nxt.load())
+            nxt.save((), (extra,), stats(1, 1))
+        final = CheckpointManager(str(tmp_path), KEY).load()
+        assert final.finals == ("a", "b", "c")
+        assert final.stats.commands_executed == 3
+
+
+class TestCorruption:
+    def test_corrupt_snapshot_evicted(self, tmp_path):
+        ck = CheckpointManager(str(tmp_path), KEY)
+        ck.save((), (), stats())
+        blob = bytearray(open(ck.path, "rb").read())
+        blob[-2] ^= 0xFF
+        open(ck.path, "wb").write(bytes(blob))
+        assert ck.load() is None
+        assert not os.path.exists(ck.path)
+
+    def test_wrong_key_rejected(self, tmp_path):
+        a = CheckpointManager(str(tmp_path), KEY)
+        a.save((), (), stats())
+        os.replace(a.path, os.path.join(str(tmp_path), "e" * 64 + ".ck"))
+        b = CheckpointManager(str(tmp_path), "e" * 64)
+        assert b.load() is None
+
+
+class TestKillHooks:
+    def test_post_kill_leaves_durable_snapshot(self, tmp_path):
+        plan = FaultPlan(checkpoint_kills=(CheckpointKill(1, mode="raise"),))
+        ck = CheckpointManager(
+            str(tmp_path), KEY, injector=plan.injector(None, 0)
+        )
+        ck.save((), ("a",), stats())
+        with pytest.raises(InjectedCrash):
+            ck.save((), ("a", "b"), stats())
+        # The kill fired *after* the atomic rename: snapshot 1 survives.
+        snap = CheckpointManager(str(tmp_path), KEY).load()
+        assert snap.seq == 1 and snap.finals == ("a", "b")
+
+    def test_pre_kill_preserves_previous_snapshot(self, tmp_path):
+        plan = FaultPlan(
+            checkpoint_kills=(CheckpointKill(1, phase="pre", mode="raise"),)
+        )
+        ck = CheckpointManager(
+            str(tmp_path), KEY, injector=plan.injector(None, 0)
+        )
+        ck.save((), ("a",), stats())
+        with pytest.raises(InjectedCrash):
+            ck.save((), ("a", "b"), stats())
+        # Nothing of save 1 was written: resume falls back to save 0.
+        snap = CheckpointManager(str(tmp_path), KEY).load()
+        assert snap.seq == 0 and snap.finals == ("a",)
+
+    def test_fault_quiet_on_retry_attempt(self, tmp_path):
+        plan = FaultPlan(checkpoint_kills=(CheckpointKill(0, mode="raise"),))
+        assert plan.injector(None, attempt=1) is None

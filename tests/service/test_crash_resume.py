@@ -1,0 +1,163 @@
+"""Crash-resume identity: a job killed at an arbitrary checkpoint
+boundary and resumed produces exactly the finals multiset and
+incompleteness ledger of an uninterrupted run — at workers 1, 2, and 4,
+across fault-injected seeds, with both in-process crash shapes and a
+real SIGKILL delivered mid-job in a subprocess."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.service import CheckpointManager, JobRunner, JobSpec, finals_digest
+from repro.testing.faults import CheckpointKill, FaultPlan, InjectedCrash
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def program(seed: int) -> str:
+    """A seed-parametric branching program with a reachable bug."""
+    bound = 3 + (seed % 3)
+    pivot = 2 + (seed % 5)
+    return f"""
+    proc main() {{
+      x := symb_int();
+      assume(0 <= x and x <= 12);
+      s := 0;
+      i := 0;
+      while (i < {bound}) {{
+        if (x = i + {pivot}) {{ s := s + 3; }} else {{ s := s + 1; }}
+        i := i + 1;
+      }}
+      assert(not (s = {bound + 2}));
+      return s;
+    }}
+    """
+
+
+def spec_for(seed: int, workers: int) -> JobSpec:
+    return JobSpec(language="while", source=program(seed), workers=workers)
+
+
+def run_uninterrupted(spec: JobSpec):
+    return JobRunner(round_items=2).run(spec).result
+
+
+def crash_then_resume(tmp_path, spec: JobSpec, kill: CheckpointKill):
+    """Run with an injected checkpoint-boundary crash, then resume."""
+    root = str(tmp_path)
+    plan = FaultPlan(checkpoint_kills=(kill,))
+    crashy = CheckpointManager(
+        root, spec.key(), interval=10, injector=plan.injector(None, 0)
+    )
+    runner = JobRunner(round_items=2)
+    with pytest.raises(InjectedCrash):
+        runner.run(spec, checkpoint=crashy)
+    resumed = CheckpointManager(root, spec.key(), interval=10)
+    return runner.run(spec, checkpoint=resumed)
+
+
+def assert_identical(base, total):
+    assert finals_digest(base.finals) == finals_digest(total.finals)
+    assert base.report.to_dict() == total.report.to_dict()
+    # Command and path counts are schedule-independent; solver query
+    # counts are NOT asserted — a resumed process starts with a cold
+    # solver cache, so prefix re-solves shift hits between counters.
+    assert base.stats.commands_executed == total.stats.commands_executed
+    assert base.stats.paths_finished == total.stats.paths_finished
+
+
+class TestResumeIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_kill_at_checkpoint_preserves_outcome(self, tmp_path, seed, workers):
+        spec = spec_for(seed, workers)
+        base = run_uninterrupted(spec)
+        kill = CheckpointKill(
+            at_checkpoint=seed % 3,
+            phase="post" if seed % 2 == 0 else "pre",
+            mode="raise",
+        )
+        outcome = crash_then_resume(tmp_path, spec, kill)
+        assert outcome.resumed or kill.phase == "pre"
+        assert_identical(base, outcome.result)
+
+    def test_double_crash_then_resume(self, tmp_path):
+        """Two crash/resume cycles still sum to the uninterrupted run."""
+        spec = spec_for(1, 1)
+        base = run_uninterrupted(spec)
+        root = str(tmp_path)
+        runner = JobRunner()
+        for at in (0, 1):
+            plan = FaultPlan(checkpoint_kills=(CheckpointKill(at, mode="raise"),))
+            ck = CheckpointManager(
+                root, spec.key(), interval=10, injector=plan.injector(None, 0)
+            )
+            with pytest.raises(InjectedCrash):
+                runner.run(spec, checkpoint=ck)
+        final = runner.run(
+            spec, checkpoint=CheckpointManager(root, spec.key(), interval=10)
+        )
+        assert_identical(base, final.result)
+
+    def test_checkpoint_cleared_after_completion(self, tmp_path):
+        spec = spec_for(0, 1)
+        ck = CheckpointManager(str(tmp_path), spec.key(), interval=10)
+        JobRunner().run(spec, checkpoint=ck)
+        assert ck.load() is None  # nothing left to resume
+
+
+class TestRealSigkill:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sigkill_mid_job_resumes_identically(self, tmp_path, workers):
+        """kill -9 delivered at a checkpoint boundary in a child process;
+        the parent resumes from the durable snapshot on disk."""
+        spec = spec_for(2, workers)
+        base = run_uninterrupted(spec)
+
+        root = str(tmp_path / "ck")
+        os.makedirs(root, exist_ok=True)
+        src_path = str(tmp_path / "prog.while")
+        with open(src_path, "w") as fh:
+            fh.write(spec.source)
+        child = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {SRC_ROOT!r})
+            from repro.service import CheckpointManager, JobRunner, JobSpec
+            from repro.testing.faults import CheckpointKill, FaultPlan
+
+            spec = JobSpec(
+                language="while",
+                source=open({src_path!r}).read(),
+                workers={workers},
+            )
+            plan = FaultPlan(
+                checkpoint_kills=(CheckpointKill(1, mode="sigkill"),)
+            )
+            ck = CheckpointManager(
+                {root!r}, spec.key(), interval=10,
+                injector=plan.injector(None, 0),
+            )
+            JobRunner(round_items=2).run(spec, checkpoint=ck)
+            raise SystemExit(99)  # must not be reached
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == -9, proc.stderr.decode()[-2000:]
+
+        # A durable snapshot survived the kill (phase=post, checkpoint 1).
+        resumed = CheckpointManager(root, spec.key(), interval=10)
+        assert resumed.load() is not None
+        outcome = JobRunner(round_items=2).run(spec, checkpoint=resumed)
+        assert outcome.resumed
+        assert_identical(base, outcome.result)

@@ -1,0 +1,91 @@
+"""Tests for the crash-safe write helpers (repro.testing.io): atomic
+replace semantics, checksummed frames, and corruption detection."""
+
+import json
+import os
+
+import pytest
+
+from repro.testing.io import (
+    CorruptPayload,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    checked_frame,
+    read_checked_bytes,
+    unchecked_frame,
+    write_checked_bytes,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"one")
+        assert open(path, "rb").read() == b"one"
+        atomic_write_bytes(path, b"two")
+        assert open(path, "rb").read() == b"two"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"payload")
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_failed_serialization_leaves_old_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.load(open(path)) == {"ok": 1}
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_json_ends_with_newline(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, [1, 2, 3])
+        assert open(path).read().endswith("\n")
+
+    def test_text_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "héllo\n")
+        assert open(path, encoding="utf-8").read() == "héllo\n"
+
+
+class TestCheckedFrames:
+    def test_roundtrip(self):
+        assert unchecked_frame(checked_frame(b"data")) == b"data"
+        assert unchecked_frame(checked_frame(b"")) == b""
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        write_checked_bytes(path, b"\x00\x01payload")
+        assert read_checked_bytes(path) == b"\x00\x01payload"
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        write_checked_bytes(path, b"sensitive-bytes")
+        blob = bytearray(open(path, "rb").read())
+        blob[-3] ^= 0x40  # flip one payload bit
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CorruptPayload):
+            read_checked_bytes(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        write_checked_bytes(path, b"0123456789" * 10)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) - 7])
+        with pytest.raises(CorruptPayload):
+            read_checked_bytes(path)
+
+    def test_garbled_header_detected(self):
+        with pytest.raises(CorruptPayload):
+            unchecked_frame(b"not json\npayload")
+        with pytest.raises(CorruptPayload):
+            unchecked_frame(b"no newline at all")
+        with pytest.raises(CorruptPayload):
+            unchecked_frame(b'{"magic": "wrong"}\npayload')
+
+    def test_extended_payload_detected(self):
+        blob = checked_frame(b"data") + b"trailing-garbage"
+        with pytest.raises(CorruptPayload):
+            unchecked_frame(blob)

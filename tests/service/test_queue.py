@@ -1,0 +1,156 @@
+"""Tests for the durable job queue (repro.service.queue): lifecycle
+renames, backpressure, retry scheduling, quarantine, crash recovery,
+and poison-file handling."""
+
+import os
+
+import pytest
+
+from repro.engine.results import Incompleteness, RunReport
+from repro.service.jobs import JobResult, JobSpec
+from repro.service.queue import DurableQueue, QueueFull
+
+
+def spec(n=0):
+    return JobSpec(language="while", source=f"proc main() {{ return {n}; }}")
+
+
+def result_for(lease):
+    return JobResult(
+        key=lease.key,
+        verdict="bounded-verified",
+        bugs=0,
+        paths=1,
+        report=RunReport("exhausted", Incompleteness()),
+        stats={},
+    )
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestLifecycle:
+    def test_submit_claim_ack(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        job_id = q.submit(spec())
+        assert q.pending_ids() == [job_id]
+        lease = q.claim()
+        assert lease.job_id == job_id
+        assert lease.attempts == 1
+        assert q.pending_ids() == [] and q.active_ids() == [job_id]
+        q.ack(lease, result_for(lease))
+        assert q.active_ids() == []
+        assert q.done_ids() == [job_id]
+        record = q.load_done(job_id)
+        assert record["result"]["verdict"] == "bounded-verified"
+
+    def test_fifo_order(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        ids = [q.submit(spec(i)) for i in range(3)]
+        claimed = [q.claim().job_id for _ in range(3)]
+        assert claimed == ids
+
+    def test_claim_empty_returns_none(self, tmp_path):
+        assert DurableQueue(str(tmp_path)).claim() is None
+
+    def test_depth_tracks_pending(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        assert q.depth == 0
+        q.submit(spec(1))
+        q.submit(spec(2))
+        assert q.depth == 2
+        q.claim()
+        assert q.depth == 1
+
+
+class TestBackpressure:
+    def test_capacity_rejects_overflow(self, tmp_path):
+        q = DurableQueue(str(tmp_path), capacity=2)
+        q.submit(spec(1))
+        q.submit(spec(2))
+        with pytest.raises(QueueFull):
+            q.submit(spec(3))
+        # Draining makes room again.
+        q.claim()
+        q.submit(spec(3))
+
+
+class TestRetry:
+    def test_retry_respects_backoff_window(self, tmp_path):
+        clock = FakeClock()
+        q = DurableQueue(str(tmp_path), clock=clock)
+        q.submit(spec())
+        lease = q.claim()
+        q.retry(lease, "transient", delay=5.0)
+        assert q.active_ids() == []
+        assert q.claim() is None  # still inside the window
+        clock.now += 5.0
+        again = q.claim()
+        assert again is not None
+        assert again.attempts == 2
+        assert again.record["last_error"] == "transient"
+
+    def test_quarantine_parks_structured_failure(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        q.submit(spec())
+        lease = q.claim()
+        failure = q.quarantine(lease, "poison: boom")
+        assert q.pending_ids() == [] and q.active_ids() == []
+        assert q.quarantined_ids() == [lease.job_id]
+        loaded = q.load_quarantined(lease.job_id)
+        assert loaded == failure
+        assert loaded.error == "poison: boom"
+        assert loaded.attempts == 1
+        assert loaded.spec["language"] == "while"
+        # The queue keeps serving other work.
+        other = q.submit(spec(7))
+        assert q.claim().job_id == other
+
+
+class TestRecovery:
+    def test_recover_redelivers_active_jobs(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        job_id = q.submit(spec())
+        q.claim()
+        assert q.active_ids() == [job_id]
+        # Simulate the daemon dying and a fresh incarnation starting.
+        q2 = DurableQueue(str(tmp_path))
+        assert q2.recover() == 1
+        assert q2.active_ids() == [] and q2.pending_ids() == [job_id]
+        lease = q2.claim()
+        # The claim-time bump survived, so crash-loops converge on the
+        # quarantine threshold.
+        assert lease.attempts == 2
+
+    def test_recover_empty_is_noop(self, tmp_path):
+        assert DurableQueue(str(tmp_path)).recover() == 0
+
+
+class TestPoisonFiles:
+    def test_torn_record_is_quarantined_not_served(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        good = q.submit(spec(1))
+        bad = q.submit(spec(2))
+        path = os.path.join(str(tmp_path), "pending", bad + ".json")
+        blob = open(path).read()
+        open(path, "w").write(blob[: len(blob) // 2])  # torn write
+        lease = q.claim()
+        assert lease.job_id == good
+        # The scan reaches the torn record on the next claim: it is
+        # parked, not served, and not left to wedge the queue.
+        assert q.claim() is None
+        assert q.quarantined_ids() == [bad]
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        q = DurableQueue(str(tmp_path))
+        bad = q.submit(spec())
+        path = os.path.join(str(tmp_path), "pending", bad + ".json")
+        blob = open(path).read().replace("while", "whale", 1)
+        open(path, "w").write(blob)
+        assert q.claim() is None
+        assert q.quarantined_ids() == [bad]

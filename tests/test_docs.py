@@ -67,6 +67,7 @@ class TestDocsTree:
             "events.md",
             "paper-map.md",
             "benchmarks.md",
+            "service.md",
         ):
             assert os.path.exists(os.path.join(DOCS_DIR, name)), name
 
@@ -77,12 +78,19 @@ class TestDocsTree:
             "docs/events.md",
             "docs/paper-map.md",
             "docs/benchmarks.md",
+            "docs/service.md",
         ):
             assert target in readme, f"README.md does not link {target}"
 
     def test_doc_cross_links_resolve(self):
         # Relative markdown links inside docs/ must point at real files.
-        for name in ("architecture.md", "events.md", "benchmarks.md", "paper-map.md"):
+        for name in (
+            "architecture.md",
+            "events.md",
+            "benchmarks.md",
+            "paper-map.md",
+            "service.md",
+        ):
             doc = read_doc(name)
             for match in re.finditer(r"\]\(([a-z\-]+\.md)\)", doc):
                 target = match.group(1)
@@ -143,6 +151,28 @@ class TestReadmeCompositionExample:
                     mems[i] = branch.memory
         assert outs[0][0].expr == outs[1][0].expr
         assert outs[0][0].expr.items[0] == Lit("use-after-dispose")
+
+
+class TestReadmeServiceExample:
+    """The README daemon example must run against the shipped service."""
+
+    def readme_example_namespace(self):
+        readme = read_doc(os.path.join(os.pardir, "README.md"))
+        section = readme.split("## Running as a service", 1)[1]
+        code = re.search(r"```python\n(.*?)```", section, re.S).group(1)
+        namespace = {}
+        exec(compile(code, "README.md", "exec"), namespace)
+        return namespace
+
+    def test_example_finds_bug_and_replays_from_cache(self):
+        namespace = self.readme_example_namespace()
+        result = namespace["result"]
+        assert result.verdict == "bug"
+        # The identical resubmission was served from the result store.
+        assert namespace["job_id"] is None
+        cached = namespace["cached"]
+        assert cached is not None
+        assert cached.finals_digest == result.finals_digest
 
 
 class TestReadmeMiniRustExample:

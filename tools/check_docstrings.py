@@ -15,7 +15,11 @@ noise ("Return the value.") rather than documentation.  The exception is
 API (every part/spec/engine is meant to be composed by tool developers,
 cf. ``examples/freeable_heap.py``), so there every module-level function
 and every directly-defined method must carry a docstring too (nested
-helper closures stay exempt).
+helper closures stay exempt).  ``src/repro/targets/rust_like/`` and
+``src/repro/service/`` are held to the same bar: the former is the
+ownership-model reference implementation, the latter is the crash-safe
+daemon whose durability contract lives in its docstrings
+(``docs/service.md`` links into them).
 
 Usage: ``python tools/check_docstrings.py [paths...]`` (default:
 ``src/repro``).  Exits non-zero listing each offending ``file:line``.
@@ -28,7 +32,11 @@ import sys
 from pathlib import Path
 
 #: path fragments under which function/method docstrings are required
-STRICT_FUNCTION_DIRS = ("repro/memlib", "repro/targets/rust_like")
+STRICT_FUNCTION_DIRS = (
+    "repro/memlib",
+    "repro/targets/rust_like",
+    "repro/service",
+)
 
 
 def _is_strict(path: Path) -> bool:

@@ -17,6 +17,13 @@ crash-conversion in ``soundness/`` are exactly such sites.  The fault
 tolerance work in this repo rests on failures being *routed*, never
 swallowed — this gate keeps it that way.
 
+Under ``STRICT_ROUTE_DIRS`` (currently ``src/repro/service/``, the
+crash-safe daemon) the bar is higher: a broad handler must *route* the
+failure — its body must contain a call (quarantine, evict, report) or a
+``raise`` — not merely steer control flow with ``continue``/``return``.
+A caught-and-dropped exception in the service would silently turn an
+at-least-once delivery into an at-most-once one.
+
 Usage: ``python tools/check_excepts.py [paths...]`` (default:
 ``src/repro``).  Exits non-zero listing each offending ``file:line``.
 """
@@ -28,6 +35,9 @@ import sys
 from pathlib import Path
 
 BROAD = ("Exception", "BaseException")
+
+#: path fragments where broad handlers must contain a call or a raise
+STRICT_ROUTE_DIRS = ("repro/service",)
 
 
 def _is_broad(handler: ast.ExceptHandler) -> bool:
@@ -51,12 +61,27 @@ def _is_silent(handler: ast.ExceptHandler) -> bool:
     )
 
 
+def _routes(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body acts on the failure: a call or a raise
+    anywhere in the body (eviction, quarantine, reporting, re-raise)."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Call, ast.Raise)):
+                return True
+    return False
+
+
+def _is_strict(path: Path) -> bool:
+    return any(frag in path.as_posix() for frag in STRICT_ROUTE_DIRS)
+
+
 def check_file(path: Path) -> list:
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
     except SyntaxError as exc:
         return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
     problems = []
+    strict = _is_strict(path)
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
@@ -71,6 +96,16 @@ def check_file(path: Path) -> list:
                     node.lineno,
                     "broad except with an empty body swallows failures — "
                     "report, convert, or re-raise",
+                )
+            )
+        elif strict and _is_broad(node) and not _routes(node):
+            problems.append(
+                (
+                    path,
+                    node.lineno,
+                    "broad except in the service must route the failure "
+                    "(call quarantine/evict/report, or re-raise) — bare "
+                    "control flow drops it",
                 )
             )
     return problems

@@ -54,6 +54,7 @@ from repro.state.symbolic import SymbolicStateModel
 from repro.targets.c_like import MiniCLanguage
 from repro.targets.js_like import MiniJSLanguage
 from repro.testing.faults import FaultPlan
+from repro.testing.io import atomic_write_bytes
 
 #: While-fuzzer seed slices per arm.  Kept moderate so ``make
 #: fingerprint-check`` stays a tens-of-seconds gate, but wide enough
@@ -407,8 +408,7 @@ def main(argv: List[str]) -> int:
         return 2
     data = fingerprint(arms)
     if out:
-        with open(out, "wb") as fh:
-            fh.write(data)
+        atomic_write_bytes(out, data)
         print(f"fingerprint: wrote {out} ({len(data)} bytes, arms={arms})")
         return 0
     with open(check, "rb") as fh:
