@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: help test verify fuzz fuzz-faults fuzz-cross lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-service bench-gate fingerprint fingerprint-check clean
+.PHONY: help test verify fuzz fuzz-faults fuzz-cross fuzz-summaries lint bench bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-service bench-summaries bench-gate fingerprint fingerprint-check clean
 
 help:
 	@echo "Targets:"
@@ -10,6 +10,7 @@ help:
 	@echo "  fuzz             differential fuzzer long mode (slow-marked soak tests)"
 	@echo "  fuzz-faults      fault-injection suites: recovery paths + fault-injecting fuzz arm"
 	@echo "  fuzz-cross       cross-target corpus: one shape lowered to all four targets, cross-checked"
+	@echo "  fuzz-summaries   summaries fuzz arm long mode: on/off equality on call-heavy programs"
 	@echo "  lint             byte-compile src/benchmarks/tests; docstring coverage; forbid print() and bare except in src/"
 	@echo "  bench            all benchmark harnesses (regenerates tables/reports)"
 	@echo "  bench-solver     solver benchmark + ablation (BENCH_solver.json)"
@@ -18,6 +19,7 @@ help:
 	@echo "  bench-interp     compiled-vs-interpreted benchmark (BENCH_interp.json)"
 	@echo "  bench-memory     memory-model action dispatch benchmark (BENCH_memory.json)"
 	@echo "  bench-service    analysis-service burst/replay/crash-storm benchmark (BENCH_service.json)"
+	@echo "  bench-summaries  compositional-execution benchmark + identity grid (BENCH_summaries.json)"
 	@echo "  bench-gate       smoke throughput gate: fail below the recorded paths/sec floor"
 	@echo "  fingerprint      regenerate the differential-fuzz fingerprints (baseline + heap + rust)"
 	@echo "  fingerprint-check verify memory-model branch structure is byte-identical to the baselines"
@@ -33,8 +35,9 @@ verify: test lint
 	$(PYTHON) benchmarks/bench_parallel.py --smoke
 	$(PYTHON) benchmarks/bench_memory.py --smoke
 	$(PYTHON) benchmarks/bench_service.py --smoke
+	$(PYTHON) benchmarks/bench_summaries.py --smoke
 	$(MAKE) bench-gate
-	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py -m "not slow"
+	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_differential.py tests/engine/test_fuzz_summaries.py -m "not slow"
 	$(MAKE) fuzz-faults
 	$(MAKE) fuzz-cross
 
@@ -48,6 +51,9 @@ fuzz-faults:
 fuzz-cross:
 	$(PYTHON) -m pytest -x -q tests/engine/test_fuzz_cross.py
 
+fuzz-summaries:
+	$(PYTHON) -m pytest -q tests/engine/test_fuzz_summaries.py -m slow
+
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tests
 	$(PYTHON) tools/check_excepts.py src/repro
@@ -58,7 +64,7 @@ lint:
 	fi
 	@echo "lint: ok"
 
-bench: bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-service
+bench: bench-solver bench-strategies bench-parallel bench-interp bench-memory bench-service bench-summaries
 	$(PYTHON) -m pytest benchmarks -q
 
 bench-solver:
@@ -78,6 +84,9 @@ bench-memory:
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+bench-summaries:
+	$(PYTHON) benchmarks/bench_summaries.py
 
 bench-gate:
 	$(PYTHON) benchmarks/bench_interp.py --smoke --gate

@@ -24,6 +24,9 @@ UNKNOWN_POLICIES = ("assume-sat", "prune", "abort")
 #: valid values for :attr:`EngineConfig.shard_failure`
 SHARD_FAILURE_MODES = ("degrade", "raise")
 
+#: valid values for :attr:`EngineConfig.summary_mode`
+SUMMARY_MODES = ("verify", "incorrectness")
+
 
 @dataclass
 class EngineConfig:
@@ -121,6 +124,30 @@ class EngineConfig:
     #: seconds between polls of the worker result queue (also the
     #: granularity of crash detection)
     worker_result_poll: float = 0.2
+    #: compositional execution via function summaries
+    #: (:mod:`repro.specs`): a procedure is executed once against a
+    #: ``π = true`` pre-state and replayed at call sites from a
+    #: content-addressed cache.  Off by default; applies only to the
+    #: stock symbolic state model, and is ignored (never constructed)
+    #: when a fault plan is installed.  With the default ``verify``
+    #: mode the finals multiset is identical on vs off — the
+    #: differential fuzz arm asserts it
+    summaries: bool = False
+    #: ``"verify"`` (default) replays only *complete* summaries (every
+    #: callee path recorded), preserving the whole path set;
+    #: ``"incorrectness"`` also replays partial summaries — paths may
+    #: be dropped but never widened (arXiv 2407.10838), so bug reports
+    #: remain true positives once confirmed by concrete replay
+    summary_mode: str = "verify"
+    #: directory for the durable checksummed summary store
+    #: (:class:`repro.service.store.SummaryStore`); None keeps
+    #: summaries in process memory only
+    summary_dir: Optional[str] = None
+    #: bound on GIL commands one summarisation run may execute before
+    #: the summary is cut (and marked incomplete)
+    summary_max_commands: int = 100_000
+    #: bound on paths one summarisation run may explore
+    summary_max_paths: int = 512
     #: deterministic fault-injection plan
     #: (:class:`repro.testing.faults.FaultPlan`); None disables injection
     #: entirely.  Test-only: production runs never set this.
@@ -146,6 +173,15 @@ class EngineConfig:
         if self.max_shard_retries < 0:
             raise ValueError(
                 f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.summary_mode not in SUMMARY_MODES:
+            raise ValueError(
+                f"summary_mode must be one of {SUMMARY_MODES}, "
+                f"got {self.summary_mode!r}"
+            )
+        if self.summary_max_commands <= 0 or self.summary_max_paths <= 0:
+            raise ValueError(
+                "summary_max_commands and summary_max_paths must be positive"
             )
 
 

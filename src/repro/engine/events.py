@@ -17,6 +17,10 @@ Events are small frozen dataclasses:
   timeout or incomplete search);
 * :class:`ShardRetryEvent` / :class:`ShardLostEvent` — a parallel shard
   crashed and was retried, or exhausted its retries and was abandoned;
+* :class:`SummaryHit` / :class:`SummaryMiss` / :class:`SummaryReplay` —
+  a ``Call`` was served from the function-summary cache, could not be,
+  or was answered by replaying a summary's recorded paths (emitted from
+  :mod:`repro.specs.engine`);
 * :class:`SpanEnd` — a named engine phase (seed, explore, shards, merge,
   compile) finished, with its wall-clock duration and step count;
 * :class:`MetricSample` — one observability metric reading, flushed by a
@@ -110,6 +114,38 @@ class ShardLostEvent:
     worker_id: int  # the worker that failed last
     attempt: int    # the final round
     items: int      # frontier items lost
+
+
+@dataclass(frozen=True)
+class SummaryHit:
+    """A ``Call`` found a usable summary in the cache."""
+
+    proc: str    # the summarised callee
+    tier: str    # "pure" (abstract summary) | "exact" (pre-state memo)
+    source: str  # "memory" | "disk" (which cache level answered)
+    paths: int   # recorded paths in the summary
+
+
+@dataclass(frozen=True)
+class SummaryMiss:
+    """A ``Call`` could not be served from the summary cache.
+
+    ``"cold"`` misses are followed by a summarisation run (and then a
+    replay); the other reasons fall back to inline descent.
+    """
+
+    proc: str    # the callee
+    reason: str  # "cold" | "incomplete" | "recursive" | "corrupt"
+
+
+@dataclass(frozen=True)
+class SummaryReplay:
+    """A ``Call`` was answered by replaying a summary's paths."""
+
+    proc: str            # the summarised callee
+    paths: int           # recorded paths considered
+    feasible: int        # paths admitted under the caller's π
+    commands_saved: int  # GIL commands the replay avoided re-executing
 
 
 @dataclass(frozen=True)

@@ -168,6 +168,20 @@ class Explorer:
 
             if supports(self.sm):
                 self._compiled = compile_prog(prog, self.sm)
+        # Compositional execution: a summary engine intercepts Call
+        # commands in both arms (interpreter parameter / compiled
+        # attachment).  Never constructed alongside a fault injector —
+        # an injected fault could be recorded into a summary and then
+        # replayed everywhere.
+        self._summaries = None
+        if getattr(self.config, "summaries", False) and self.faults is None:
+            from repro.specs.engine import make_summary_engine
+
+            self._summaries = make_summary_engine(
+                prog, self.sm, self.config, events=events
+            )
+            if self._summaries is not None and self._compiled is not None:
+                self._compiled.attach_summaries(self._summaries)
 
     def run(
         self,
@@ -217,6 +231,8 @@ class Explorer:
         faults = self.faults
         compiled = self._compiled
         compiled_step = compiled.step if compiled is not None else None
+        summaries = self._summaries
+        sum_counters = summaries.counters if summaries is not None else None
         fast0 = compiled.fast_steps if compiled is not None else 0
         checkpoint = self.checkpoint
         ck_every = getattr(checkpoint, "interval", 0) if checkpoint is not None else 0
@@ -247,6 +263,8 @@ class Explorer:
         if degradation is not None:
             d0p = degradation.unknown_pruned
             d0a = degradation.unknown_assumed
+        if sum_counters is not None:
+            sc0 = sum_counters.snapshot()
         try:
             while True:
                 if item is None:
@@ -303,6 +321,13 @@ class Explorer:
                         if d1p != d0p or d1a != d0a:
                             stats.add_degradation_delta(d1p - d0p, d1a - d0a)
                             d0p, d0a = d1p, d1a
+                    if sum_counters is not None:
+                        sc1 = sum_counters.snapshot()
+                        if sc1 != sc0:
+                            stats.add_summary_delta(
+                                *(a - b for a, b in zip(sc1, sc0))
+                            )
+                            sc0 = sc1
                     checkpoint.save(
                         ((cfg, depth),) + strategy.snapshot(), finals, stats
                     )
@@ -313,7 +338,7 @@ class Explorer:
                     if compiled_step is not None:
                         successors, finished = compiled_step(cfg)
                     else:
-                        successors, finished = step(prog, sm, cfg)
+                        successors, finished = step(prog, sm, cfg, summaries)
                 except UnknownAbort:
                     stats.commands_executed += 1
                     stats.paths_dropped += 1 + len(strategy)
@@ -356,6 +381,10 @@ class Explorer:
                 d1a = degradation.unknown_assumed
                 if d1p != d0p or d1a != d0a:
                     stats.add_degradation_delta(d1p - d0p, d1a - d0a)
+            if sum_counters is not None:
+                sc1 = sum_counters.snapshot()
+                if sc1 != sc0:
+                    stats.add_summary_delta(*(a - b for a, b in zip(sc1, sc0)))
         return items, stop
 
     @staticmethod

@@ -176,6 +176,20 @@ class ExecutionStats:
     solver_model_reuse: int = 0
     solver_time: float = 0.0
     wall_time: float = 0.0
+    #: call sites served from an already-recorded summary (memory/disk)
+    summary_hits: int = 0
+    #: call sites a summary could not answer (cold, incomplete-in-verify,
+    #: recursive, corrupt disk entry)
+    summary_misses: int = 0
+    #: call sites answered by summary replay (hits plus freshly-built)
+    summary_replays: int = 0
+    #: GIL commands replays avoided re-executing (the summarisation
+    #: run's command count, credited once per replay)
+    summary_commands_saved: int = 0
+    #: GIL commands executed *inside* summarisation sub-runs — not part
+    #: of ``commands_executed``, so a cold compositional run's true cost
+    #: is ``commands_executed + summary_build_commands``
+    summary_build_commands: int = 0
     #: why the scheduler stopped (a StopReason value, e.g. "exhausted",
     #: "max-paths", "max-total-steps", "deadline", "unknown-abort",
     #: "incomplete"); "" before any run
@@ -202,6 +216,11 @@ class ExecutionStats:
         self.solver_model_reuse += other.solver_model_reuse
         self.solver_time += other.solver_time
         self.wall_time += other.wall_time
+        self.summary_hits += other.summary_hits
+        self.summary_misses += other.summary_misses
+        self.summary_replays += other.summary_replays
+        self.summary_commands_saved += other.summary_commands_saved
+        self.summary_build_commands += other.summary_build_commands
         # A merged run was exhaustive only if every constituent was: the
         # most restrictive stop reason wins (see STOP_REASON_PRECEDENCE).
         self.stop_reason = merge_stop_reasons(self.stop_reason, other.stop_reason)
@@ -236,6 +255,17 @@ class ExecutionStats:
         self.incompleteness.unknown_pruned += pruned
         self.incompleteness.unknown_assumed += assumed
 
+    def add_summary_delta(
+        self, hits: int, misses: int, replays: int, saved: int, built: int
+    ) -> None:
+        """Fold a summary engine's counter movement in (see
+        :class:`repro.specs.engine.SummaryCounters`)."""
+        self.summary_hits += hits
+        self.summary_misses += misses
+        self.summary_replays += replays
+        self.summary_commands_saved += saved
+        self.summary_build_commands += built
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-able summary (durable job records and reports).
 
@@ -255,6 +285,11 @@ class ExecutionStats:
             "solver_model_reuse": self.solver_model_reuse,
             "solver_time": self.solver_time,
             "wall_time": self.wall_time,
+            "summary_hits": self.summary_hits,
+            "summary_misses": self.summary_misses,
+            "summary_replays": self.summary_replays,
+            "summary_commands_saved": self.summary_commands_saved,
+            "summary_build_commands": self.summary_build_commands,
             "stop_reason": self.stop_reason,
             "incompleteness": self.incompleteness.to_dict(),
         }

@@ -918,6 +918,31 @@ class CompiledProg:
         self._table = _shared_table(prog, sm, self.symbolic)
         self._slow: Dict[str, list] = {}
         self._fast: Dict[str, list] = {}
+        # Optional summary engine (attach_summaries): compiled closures
+        # are shared across instances, so call-site interception lives
+        # here, per instance, keyed by a lazily-built idx -> Call map.
+        self._summaries = None
+        self._call_cmds: Dict[str, dict] = {}
+
+    def attach_summaries(self, engine) -> None:
+        """Route ``Call`` commands through a summary engine first.
+
+        Mirrors the interpreter's ``step(..., summaries=...)`` parameter:
+        a ``Call`` the engine can answer returns its replayed successors;
+        ``None`` falls through to the ordinary compiled closure.
+        """
+        self._summaries = engine
+
+    def _index_calls(self, name: str) -> dict:
+        """The ``idx -> Call`` map of one procedure (built on first use)."""
+        proc = self.prog.get(name)
+        calls = (
+            {i: c for i, c in enumerate(proc.body) if isinstance(c, Call)}
+            if proc is not None
+            else {}
+        )
+        self._call_cmds[name] = calls
+        return calls
 
     def _bind_proc(self, name: str) -> list:
         # Same-length slot arrays; commands compile and bind on first
@@ -949,6 +974,16 @@ class CompiledProg:
         if run_slow is None:
             run_slow = self._bind_at(proc, idx)
         state = cfg.state
+        summaries = self._summaries
+        if summaries is not None:
+            calls = self._call_cmds.get(proc)
+            if calls is None:
+                calls = self._index_calls(proc)
+            cmd = calls.get(idx)
+            if cmd is not None:
+                served = summaries.try_call(state, stack, idx, cmd)
+                if served is not None:
+                    return served
         try:
             if self.symbolic:
                 # Concrete fast lane: try the specialized closure first.

@@ -110,14 +110,26 @@ def make_call_config(
     return initial_config(state, proc_name)
 
 
-def step(prog: Prog, sm, cfg: Config) -> Tuple[List[Config], List[Final]]:
-    """One transition of Figure 1: successor configurations and finals."""
+def step(
+    prog: Prog, sm, cfg: Config, summaries=None
+) -> Tuple[List[Config], List[Final]]:
+    """One transition of Figure 1: successor configurations and finals.
+
+    ``summaries`` is an optional :class:`repro.specs.engine.SummaryEngine`;
+    when present, ``Call`` commands are first offered to it (replay from a
+    recorded summary) and fall back to inline descent when it answers
+    ``None``.
+    """
     proc = prog.get(cfg.proc)
     if proc is None:
         raise GilRuntimeError(f"unknown procedure {cfg.proc!r}")
     if not 0 <= cfg.idx < len(proc.body):
         raise GilRuntimeError(f"{cfg.proc}: no command at index {cfg.idx}")
     cmd = proc.body[cfg.idx]
+    if summaries is not None and isinstance(cmd, Call):
+        served = summaries.try_call(cfg.state, cfg.stack, cfg.idx, cmd)
+        if served is not None:
+            return served
     try:
         return _step_command(prog, sm, cfg, cmd)
     except EvalError as exc:

@@ -701,7 +701,12 @@ class BlockOffset(MemoryPart):
             if kind == "ptr":
                 block = blocks.get(loc)
                 if block is not None and block.perm == PERM_NONE:
-                    return [SymMemErr(lst("ub-compare-freed-pointer", loc))]
+                    # Report both operands, mirroring the concrete arm's
+                    # payload shape — concrete replay must reproduce the
+                    # error value bit for bit.
+                    return [
+                        SymMemErr(lst("ub-compare-freed-pointer", p1, p2))
+                    ]
 
         if op in ("eq", "ne"):
             if k1 == "null" and k2 == "null":

@@ -14,10 +14,12 @@ so the store distinguishes three states on read:
   callback (the service wires it to the ``service.degraded`` counter on
   the obs bus) makes the eviction observable.
 
-Two stores sit on this base: :class:`GilStore` caches compiled GIL
-programs keyed by ``JobSpec.source_key()`` (language + source), and
+Three stores sit on this base: :class:`GilStore` caches compiled GIL
+programs keyed by ``JobSpec.source_key()`` (language + source),
 :class:`ResultStore` caches whole-run results keyed by
-``JobSpec.key()`` (the full spec hash) — the idempotent-replay cache.
+``JobSpec.key()`` (the full spec hash) — the idempotent-replay cache —
+and :class:`SummaryStore` persists function summaries for the
+compositional execution layer (:mod:`repro.specs`).
 """
 
 from __future__ import annotations
@@ -121,4 +123,19 @@ class ResultStore(ContentStore):
     an at-least-once re-delivery) is served from here without re-running
     the analysis, provided the stored :class:`~repro.service.jobs.JobResult`
     is ``reusable`` (full budget, no deadline cut).
+    """
+
+
+class SummaryStore(ContentStore):
+    """The durable function-summary cache: summary key → pickled
+    :class:`~repro.specs.summary.Summary`.
+
+    Keys are content hashes over the procedure's transitive code hash
+    plus (for the exact tier) the pickled pre-state, salted with the
+    engine format version and configuration — so summaries persist
+    across processes and runs, and a code or engine change simply misses
+    to a fresh key.  The inherited corrupt-entry handling is the
+    integrity story: a torn or bit-flipped frame is evicted on read,
+    reported through ``on_corrupt``, and recomputed — a damaged summary
+    is never replayed.
     """

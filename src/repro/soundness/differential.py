@@ -83,11 +83,11 @@ def check_trace_soundness(
     for fin in sym_result.finals:
         if fin.kind is OutcomeKind.VANISH:
             continue
-        report.checks.append(_check_final(language, prog, entry, fin, solver, config))
+        report.checks.append(check_final(language, prog, entry, fin, solver, config))
     return report
 
 
-def _check_final(
+def check_final(
     language: Language,
     prog: Prog,
     entry: str,
@@ -95,6 +95,13 @@ def _check_final(
     solver: Solver,
     config: EngineConfig,
 ) -> TraceCheck:
+    """Replay one symbolic final concretely (Thm. 3.6 for a single trace).
+
+    Exposed on its own so other confirmers — notably the incorrectness
+    arm's true-positive discharge (:func:`repro.specs.incorrectness.find_bugs`)
+    — can validate individual finals without re-running the whole
+    symbolic side.
+    """
     model = solver.get_model(fin.state.pc.conjuncts)
     if model is None:
         return TraceCheck(fin.kind, None, False, True, "no verified model")

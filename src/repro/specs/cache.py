@@ -1,0 +1,94 @@
+"""The two-level summary cache: process-wide memory + durable disk.
+
+Summaries are content-addressed (see :mod:`repro.specs.summary`), so
+one process-wide dictionary can back every engine in the process — two
+engines that derive the same key would record byte-equal summaries, and
+a symbolic-testing suite's per-test engines warm each other exactly the
+way the shared simplifier memo does.
+
+An optional disk level (``EngineConfig.summary_dir``) persists
+summaries across runs through
+:class:`repro.service.store.SummaryStore`, the checksummed
+content-addressed store machinery of the analysis service: entries are
+written atomically inside a checked frame, and a torn or bit-flipped
+entry is *evicted on read*, reported through ``on_corrupt``, and
+treated as a miss — a damaged summary is recomputed, never replayed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.specs.summary import Summary
+
+#: the process-wide summary cache (key → Summary), shared by every
+#: :class:`SummaryCache` instance — safe because keys are content hashes
+_MEMORY: Dict[str, Summary] = {}
+
+
+def clear_summary_cache() -> None:
+    """Drop every in-memory summary (tests; disk stores are untouched)."""
+    _MEMORY.clear()
+
+
+class SummaryCache:
+    """Key → :class:`Summary`, memory first, then the optional disk store.
+
+    ``on_corrupt(key, reason)`` observes disk-entry evictions (wired by
+    the summary engine onto the event bus and the corruption counter).
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        on_corrupt: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        """Open the cache; ``root`` enables the durable disk level."""
+        self._store = None
+        if root is not None:
+            from repro.service.store import SummaryStore
+
+            self._store = SummaryStore(root, on_corrupt=on_corrupt)
+
+    def get(self, key: str) -> Optional[Summary]:
+        """The summary under ``key``, or None.
+
+        A disk hit is promoted into the process-wide memory level; a
+        disk entry that fails its frame check (or unpickles to
+        something other than a :class:`Summary`) is evicted and missed.
+        """
+        found = _MEMORY.get(key)
+        if found is not None:
+            return found
+        if self._store is None:
+            return None
+        loaded = self._store.get(key)
+        if loaded is None:
+            return None
+        if not isinstance(loaded, Summary):
+            # Foreign payload under a summary key: treat as damage.
+            self._store.delete(key)
+            return None
+        _MEMORY[key] = loaded
+        return loaded
+
+    def source_of(self, key: str) -> str:
+        """Where :meth:`get` would find ``key``: "memory", "disk", "cold"."""
+        if key in _MEMORY:
+            return "memory"
+        if self._store is not None and self._store.contains(key):
+            return "disk"
+        return "cold"
+
+    def put(self, key: str, summary: Summary) -> None:
+        """Record ``summary`` in memory and (when configured) on disk.
+
+        Incomplete summaries are cached too: rebuilding one under the
+        same budgets (which are part of the key) would deterministically
+        cut at the same point, so the cached record doubles as the
+        negative-cache entry that stops verify mode re-summarising a
+        too-big procedure at every call site.
+        """
+        _MEMORY[key] = summary
+        if self._store is not None:
+            self._store.put(key, summary)

@@ -1,0 +1,265 @@
+"""Summary records, purity classification, and cache keys.
+
+A :class:`Summary` is the recorded behaviour of one procedure executed
+against a symbolic pre-state: one :class:`SummaryPath` per non-vanishing
+path, each carrying the outcome kind and value, the path-condition
+*delta* learned along the path (the pre-state starts at ``π = true``, so
+the final path condition's conjuncts *are* the delta), and — for
+heap-touching procedures — the post memory and allocation record.
+
+Two tiers of summary share the record shape:
+
+* **pure** (the paper's abstract summaries, arXiv 2001.05059): the
+  procedure touches no memory and allocates no symbols, so it is
+  summarised once against fresh canonical logical variables
+  (``spec_arg_0``, …) and replayed at *any* call site by substituting
+  the actual arguments into the recorded values and deltas;
+* **exact** (call-tree memoisation): any procedure, keyed by the exact
+  pre-state — arguments, memory, allocation record — so the recorded
+  post-states are literally the objects inline execution would have
+  produced.  Exact summaries make repeated concrete set-up call trees
+  (the dominant cost of the Buckets/Collections suites) replay for the
+  price of a hash.
+
+Keys are content-addressed (§cache keying in ``docs/summaries.md``): a
+procedure's hash covers its own body *and* its transitive static
+callees, so editing a helper invalidates every summary whose behaviour
+could change, with no invalidation protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.gil.semantics import OutcomeKind
+from repro.gil.syntax import ActionCall, Call, ISym, Proc, Prog, USym
+from repro.logic.expr import Lit
+
+#: bump when the record shape or replay semantics change incompatibly;
+#: part of every cache key, so stale on-disk summaries simply miss
+SUMMARY_FORMAT_VERSION = 1
+
+#: namespace of the canonical argument logical variables a pure summary
+#: is recorded over — distinct from the allocator's ``val_``/``loc_``
+#: namespaces, so substituting caller expressions can never capture
+SPEC_ARG_PREFIX = "spec_arg_"
+
+#: pickle protocol pinned for key stability across interpreter versions
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass(frozen=True)
+class SummaryPath:
+    """One recorded path of a summarised procedure.
+
+    ``pc_delta`` is the tuple of conjuncts the path added over the
+    ``true`` entry condition.  ``memory``/``alloc``/``store`` are the
+    final state's components for exact summaries and ``None`` for pure
+    ones (a pure body cannot change them).  ``store`` (the callee's
+    final store, as sorted items) is kept so replayed *error* finals
+    carry the same state shape inline execution would have produced.
+    """
+
+    kind: OutcomeKind
+    value: object
+    pc_delta: Tuple[object, ...]
+    memory: object = None
+    alloc: object = None
+    store: Optional[Tuple[Tuple[str, object], ...]] = None
+
+
+@dataclass(frozen=True)
+class Summary:
+    """The recorded behaviour of one procedure over a symbolic pre-state."""
+
+    proc: str
+    #: ``"pure"`` or ``"exact"`` (see module docstring)
+    tier: str
+    #: parameter names, positionally matching ``spec_arg_<i>`` (pure tier)
+    params: Tuple[str, ...]
+    paths: Tuple[SummaryPath, ...]
+    #: True iff the summarisation run explored every path to its final
+    #: (stop reason ``exhausted``).  Verify mode refuses incomplete
+    #: summaries; incorrectness mode may use them (drop paths freely,
+    #: never widen — arXiv 2407.10838)
+    complete: bool
+    #: GIL commands the summarisation run executed — the per-replay
+    #: saving reported in ``ExecutionStats.summary_commands_saved``
+    commands: int
+    format_version: int = SUMMARY_FORMAT_VERSION
+
+    def usable(self, mode: str) -> bool:
+        """Whether this summary may be replayed under ``mode``.
+
+        ``"verify"`` demands completeness (replay must preserve the
+        whole path set); ``"incorrectness"`` under-approximates, so any
+        recorded subset of paths is fair game.
+        """
+        if self.format_version != SUMMARY_FORMAT_VERSION:
+            return False
+        return self.complete or mode == "incorrectness"
+
+
+def spec_arg(i: int):
+    """The canonical logical variable a pure summary binds parameter ``i`` to."""
+    from repro.logic.expr import LVar
+
+    return LVar(f"{SPEC_ARG_PREFIX}{i}")
+
+
+def static_callee(cmd: Call) -> Optional[str]:
+    """The callee name of a statically-resolvable call, else None."""
+    callee = cmd.callee
+    if isinstance(callee, Lit) and isinstance(callee.value, str):
+        return callee.value
+    return None
+
+
+def classify_pure(prog: Prog) -> Dict[str, bool]:
+    """Which procedures are *transitively pure* (pure-tier eligible).
+
+    A procedure is pure iff its body contains no memory action, no
+    fresh-symbol command, and no call other than a static call to a
+    pure procedure.  ``fail``/``vanish`` are allowed — a pure body may
+    still end paths.  Cycles (recursion) classify as impure: replaying
+    a recursive summary would need a fixpoint this layer does not take.
+    """
+    verdicts: Dict[str, bool] = {}
+    in_flight: Set[str] = set()
+
+    def visit(name: str) -> bool:
+        """Purity of ``name``, memoised; cycles conservatively impure."""
+        known = verdicts.get(name)
+        if known is not None:
+            return known
+        if name in in_flight:
+            return False
+        proc = prog.get(name)
+        if proc is None:
+            return False
+        in_flight.add(name)
+        pure = True
+        for cmd in proc.body:
+            if isinstance(cmd, (ActionCall, USym, ISym)):
+                pure = False
+                break
+            if isinstance(cmd, Call):
+                callee = static_callee(cmd)
+                if callee is None or not visit(callee):
+                    pure = False
+                    break
+        in_flight.discard(name)
+        verdicts[name] = pure
+        return pure
+
+    for name in prog.procs:
+        visit(name)
+    return verdicts
+
+
+def proc_hash(prog: Prog, name: str, memo: Optional[Dict[str, str]] = None) -> str:
+    """Content hash of ``name`` covering its transitive static callees.
+
+    The hash digests the procedure's parameters and body (via their
+    stable pickled form — commands and expressions define structural
+    ``__reduce__``) plus the hash of every statically-called procedure,
+    so any edit anywhere in the call tree changes the key.  Recursive
+    cycles are broken by hashing the callee's *name* on re-entry, which
+    keeps the hash well-defined (cycle members still cover each other's
+    bodies through the non-cyclic part of the walk).
+    """
+    if memo is None:
+        memo = {}
+
+    def visit(pname: str, in_flight: Set[str]) -> str:
+        """The memoised transitive hash of one procedure."""
+        known = memo.get(pname)
+        if known is not None:
+            return known
+        if pname in in_flight:
+            return "cycle:" + pname
+        proc = prog.get(pname)
+        if proc is None:
+            return "missing:" + pname
+        in_flight.add(pname)
+        digest = hashlib.sha256()
+        digest.update(
+            pickle.dumps((pname, proc.params, proc.body), protocol=_PICKLE_PROTOCOL)
+        )
+        for cmd in proc.body:
+            if isinstance(cmd, Call):
+                callee = static_callee(cmd)
+                if callee is not None:
+                    digest.update(visit(callee, in_flight).encode())
+        in_flight.discard(pname)
+        result = digest.hexdigest()
+        memo[pname] = result
+        return result
+
+    return visit(name, set())
+
+
+def pure_key(phash: str, salt: str) -> str:
+    """Cache key for a pure-tier summary: proc hash + engine salt."""
+    return hashlib.sha256(f"pure:{phash}:{salt}".encode()).hexdigest()
+
+
+def exact_key(phash: str, args: List[object], memory, alloc, salt: str) -> str:
+    """Cache key for an exact-tier summary: the full pre-state.
+
+    Hashes the pickled (proc hash, evaluated arguments, memory,
+    allocation record, salt) tuple.  Pickle forms are canonical for the
+    engine's own types (states sort their stores, expressions and path
+    conditions re-intern structurally), so equal pre-states built in the
+    same order key identically; an incidental representation difference
+    costs a cache miss, never a wrong hit.
+    """
+    payload = pickle.dumps(
+        (phash, tuple(args), memory, alloc, salt), protocol=_PICKLE_PROTOCOL
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+def engine_salt(sm, config) -> str:
+    """The engine-identity component of every summary key.
+
+    Anything that can change a summarisation run's *recorded content*
+    must be in the key: the memory model (pickled — parametric memlib
+    compositions with the same class name differ structurally), the
+    allocator namespace (it prefixes fresh-symbol names), the UNKNOWN
+    policy and solver step budget (they decide which paths survive),
+    and the summarisation budgets (they decide where a partial summary
+    was cut).
+    """
+    try:
+        model = hashlib.sha256(
+            pickle.dumps(sm.memory_model, protocol=_PICKLE_PROTOCOL)
+        ).hexdigest()
+    except Exception:  # unpicklable custom model: key on its repr
+        model = repr(sm.memory_model)
+    return ":".join(
+        str(part)
+        for part in (
+            SUMMARY_FORMAT_VERSION,
+            model,
+            getattr(sm.allocator, "namespace", ""),
+            sm.unknown_policy,
+            getattr(config, "solver_step_budget", None),
+            getattr(config, "summary_max_commands", 0),
+            getattr(config, "summary_max_paths", 0),
+        )
+    )
+
+
+def proc_names_of(proc: Proc) -> Tuple[str, ...]:
+    """The static callee names a procedure's body mentions (deduplicated)."""
+    seen: List[str] = []
+    for cmd in proc.body:
+        if isinstance(cmd, Call):
+            callee = static_callee(cmd)
+            if callee is not None and callee not in seen:
+                seen.append(callee)
+    return tuple(seen)

@@ -43,6 +43,7 @@ from repro.gil.semantics import OutcomeKind
 from repro.gil.syntax import (
     ActionCall,
     Assignment,
+    Call,
     Fail,
     Goto,
     IfGoto,
@@ -304,6 +305,119 @@ class ProgramBuilder:
 def generate_program(seed: int) -> Prog:
     """The fixed program for ``seed`` — same seed, same program, always."""
     return ProgramBuilder(random.Random(seed)).build()
+
+
+# -- the call-heavy generator (summary fuzzing) --------------------------------
+
+
+class CallProgramBuilder:
+    """Emits a seeded multi-procedure program for the summary fuzz arm.
+
+    The shape is chosen to exercise both summary tiers and the fallback
+    paths: a layer of *pure* helpers (branching arithmetic over their
+    parameters, optional nested static calls to earlier pure helpers,
+    optional ``fail`` guards — pure-tier eligible), a layer of *impure*
+    helpers (allocate and mutate an object, optionally read it back —
+    exact-tier only), and a ``main`` that mixes repeated calls to both
+    layers between ordinary statements.  Branch counts are deliberately
+    small (at most two symbolic inputs, shallow helper bodies) so every
+    seed explores exhaustively under the shared fuzz ``CONFIG`` — the
+    on/off digest comparison is only meaningful for exhaustive runs.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        """Wrap the seeded ``rng`` driving every generation choice."""
+        self.rng = rng
+        self.pure_procs: List[Tuple[str, int]] = []    # (name, arity)
+        self.impure_procs: List[Tuple[str, int]] = []  # (name, arity)
+        self.procs: List[Proc] = []
+
+    def _helper_call(self, b: ProgramBuilder, pool: List[Tuple[str, int]]) -> None:
+        """Append a static call to a random helper from ``pool``."""
+        name, arity = self.rng.choice(pool)
+        var = b.fresh_var("c")
+        b.cmds.append(
+            Call(var, Lit(name), tuple(b.int_expr() for _ in range(arity)))
+        )
+        b.int_vars.append(var)
+
+    def _build_pure(self, index: int) -> None:
+        """One pure helper: params-only arithmetic with a branch."""
+        name = f"pure{index}"
+        arity = self.rng.randint(1, 2)
+        params = tuple(f"p{i}" for i in range(arity))
+        b = ProgramBuilder(self.rng)
+        b.int_vars.extend(params)
+        b.emit_assign()
+        if self.pure_procs and self.rng.random() < 0.6:
+            self._helper_call(b, self.pure_procs)
+        if self.rng.random() < 0.3:
+            # A fallible guard: fail on one side of a condition.
+            guard_at = len(b.cmds)
+            b.cmds.append(None)
+            b.cmds.append(Fail(lst("helper-violation", b.int_expr())))
+            b.cmds[guard_at] = IfGoto(b.condition(), len(b.cmds))
+        # A two-way return diamond keeps every helper multi-path.
+        cond_at = len(b.cmds)
+        b.cmds.append(None)
+        b.cmds.append(Return(b.int_expr()))
+        b.cmds[cond_at] = IfGoto(b.condition(), len(b.cmds))
+        b.cmds.append(Return(b.int_expr()))
+        self.procs.append(Proc(name, params, tuple(b.cmds)))
+        self.pure_procs.append((name, arity))
+
+    def _build_impure(self, index: int) -> None:
+        """One impure helper: allocates, writes, reads back."""
+        name = f"heap{index}"
+        params = ("p0",)
+        b = ProgramBuilder(self.rng)
+        b.int_vars.extend(params)
+        b.emit_alloc()
+        if self.pure_procs and self.rng.random() < 0.5:
+            self._helper_call(b, self.pure_procs)
+        obj = b.loc_vars[-1]
+        # A read of "q" may legitimately error (missing property).
+        prop = self.rng.choice(["p", "p", "q"])
+        out = b.fresh_var("r")
+        b.cmds.append(ActionCall(out, "lookup", lst(PVar(obj), prop)))
+        b.int_vars.append(out)
+        b.cmds.append(Return(b.int_expr()))
+        self.procs.append(Proc(name, params, tuple(b.cmds)))
+        self.impure_procs.append((name, 1))
+
+    def build(self) -> Prog:
+        """Assemble the whole seeded multi-procedure program."""
+        for i in range(self.rng.randint(1, 3)):
+            self._build_pure(i)
+        for i in range(self.rng.randint(0, 2)):
+            self._build_impure(i)
+        main = ProgramBuilder(self.rng)
+        for _ in range(self.rng.randint(1, 2)):
+            main.emit_input()
+        pools = [self.pure_procs] * 2 + (
+            [self.impure_procs] if self.impure_procs else []
+        )
+        for _ in range(self.rng.randint(2, 5)):
+            roll = self.rng.random()
+            if roll < 0.6:
+                self._helper_call(main, self.rng.choice(pools))
+            elif roll < 0.8:
+                main.emit_assign()
+            else:
+                main.emit_memory_op()
+        if self.rng.random() < 0.5:
+            main.emit_check()
+        main.cmds.append(Return(main.int_expr()))
+        prog = Prog()
+        prog.add(Proc("main", (), tuple(main.cmds)))
+        for proc in self.procs:
+            prog.add(proc)
+        return prog
+
+
+def generate_call_program(seed: int) -> Prog:
+    """The fixed call-heavy program for ``seed`` — deterministic."""
+    return CallProgramBuilder(random.Random(seed ^ 0x5E0C)).build()
 
 
 # -- the cross-target corpus ---------------------------------------------------

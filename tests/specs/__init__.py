@@ -1,0 +1,1 @@
+"""Tests for the compositional-execution layer (repro.specs)."""

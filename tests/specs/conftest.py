@@ -1,0 +1,13 @@
+"""Shared fixtures: every specs test starts from a cold summary cache."""
+
+import pytest
+
+from repro.specs.cache import clear_summary_cache
+
+
+@pytest.fixture(autouse=True)
+def _cold_summary_cache():
+    """The in-memory summary cache is process-wide; isolate each test."""
+    clear_summary_cache()
+    yield
+    clear_summary_cache()

@@ -1,0 +1,238 @@
+"""Tests for summary records, purity classification, and cache keys
+(repro.specs.summary)."""
+
+from repro.gil.syntax import (
+    ActionCall,
+    Assignment,
+    Call,
+    Fail,
+    IfGoto,
+    ISym,
+    Proc,
+    Prog,
+    Return,
+    USym,
+)
+from repro.logic.expr import Lit, PVar, lst
+from repro.specs.summary import (
+    SUMMARY_FORMAT_VERSION,
+    Summary,
+    classify_pure,
+    engine_salt,
+    exact_key,
+    proc_hash,
+    pure_key,
+    spec_arg,
+    static_callee,
+)
+
+
+def prog_of(*procs):
+    p = Prog()
+    for proc in procs:
+        p.add(proc)
+    return p
+
+
+def ret_proc(name, params=("a",), value=None):
+    """A one-command procedure returning ``value`` (default: its arg)."""
+    body = (Return(value if value is not None else PVar(params[0])),)
+    return Proc(name, params, body)
+
+
+class TestClassifyPure:
+    def test_arithmetic_only_is_pure(self):
+        prog = prog_of(
+            Proc("f", ("a",), (Assignment("x", PVar("a") + Lit(1)), Return(PVar("x"))))
+        )
+        assert classify_pure(prog) == {"f": True}
+
+    def test_fail_and_branches_stay_pure(self):
+        prog = prog_of(
+            Proc("f", ("a",), (
+                IfGoto(PVar("a").lt(Lit(0)), 2),
+                Return(PVar("a")),
+                Fail(Lit("neg")),
+            ))
+        )
+        assert classify_pure(prog)["f"] is True
+
+    def test_memory_action_is_impure(self):
+        prog = prog_of(
+            Proc("f", ("a",), (
+                ActionCall("r", "lookup", lst(PVar("a"), "p")),
+                Return(PVar("r")),
+            ))
+        )
+        assert classify_pure(prog)["f"] is False
+
+    def test_fresh_symbols_are_impure(self):
+        usym = prog_of(Proc("f", (), (USym("o", 0), Return(PVar("o")))))
+        isym = prog_of(Proc("f", (), (ISym("x", 0), Return(PVar("x")))))
+        assert classify_pure(usym)["f"] is False
+        assert classify_pure(isym)["f"] is False
+
+    def test_purity_is_transitive(self):
+        prog = prog_of(
+            ret_proc("leaf"),
+            Proc("mid", ("a",), (
+                Call("r", Lit("leaf"), (PVar("a"),)),
+                Return(PVar("r")),
+            )),
+            Proc("dirty", ("a",), (
+                USym("o", 0),
+                Call("r", Lit("leaf"), (PVar("a"),)),
+                Return(PVar("r")),
+            )),
+            Proc("taints", ("a",), (
+                Call("r", Lit("dirty"), (PVar("a"),)),
+                Return(PVar("r")),
+            )),
+        )
+        verdicts = classify_pure(prog)
+        assert verdicts["leaf"] and verdicts["mid"]
+        assert not verdicts["dirty"] and not verdicts["taints"]
+
+    def test_dynamic_callee_is_impure(self):
+        prog = prog_of(
+            ret_proc("leaf"),
+            Proc("f", ("a",), (
+                Assignment("n", Lit("leaf")),
+                Call("r", PVar("n"), (PVar("a"),)),
+                Return(PVar("r")),
+            )),
+        )
+        assert classify_pure(prog)["f"] is False
+
+    def test_recursion_is_impure(self):
+        prog = prog_of(
+            Proc("f", ("a",), (
+                Call("r", Lit("f"), (PVar("a"),)),
+                Return(PVar("r")),
+            ))
+        )
+        assert classify_pure(prog)["f"] is False
+
+
+class TestProcHash:
+    def test_deterministic(self):
+        prog = prog_of(ret_proc("f"))
+        assert proc_hash(prog, "f") == proc_hash(prog, "f")
+
+    def test_covers_own_body(self):
+        a = prog_of(ret_proc("f", value=Lit(1)))
+        b = prog_of(ret_proc("f", value=Lit(2)))
+        assert proc_hash(a, "f") != proc_hash(b, "f")
+
+    def test_covers_transitive_callees(self):
+        def with_leaf(value):
+            return prog_of(
+                ret_proc("leaf", value=value),
+                Proc("mid", ("a",), (
+                    Call("r", Lit("leaf"), (PVar("a"),)),
+                    Return(PVar("r")),
+                )),
+                Proc("top", ("a",), (
+                    Call("r", Lit("mid"), (PVar("a"),)),
+                    Return(PVar("r")),
+                )),
+            )
+
+        a, b = with_leaf(Lit(1)), with_leaf(Lit(2))
+        # Editing the leaf invalidates every caller up the chain...
+        assert proc_hash(a, "top") != proc_hash(b, "top")
+        assert proc_hash(a, "mid") != proc_hash(b, "mid")
+        # ...and the leaf itself.
+        assert proc_hash(a, "leaf") != proc_hash(b, "leaf")
+
+    def test_unrelated_procedures_unaffected(self):
+        a = prog_of(ret_proc("f", value=Lit(1)), ret_proc("g"))
+        b = prog_of(ret_proc("f", value=Lit(2)), ret_proc("g"))
+        assert proc_hash(a, "g") == proc_hash(b, "g")
+
+    def test_recursive_hash_well_defined(self):
+        prog = prog_of(
+            Proc("f", ("a",), (
+                Call("r", Lit("f"), (PVar("a"),)),
+                Return(PVar("r")),
+            ))
+        )
+        assert proc_hash(prog, "f") == proc_hash(prog, "f")
+
+    def test_memo_is_per_program(self):
+        a = prog_of(ret_proc("f", value=Lit(1)))
+        b = prog_of(ret_proc("f", value=Lit(2)))
+        memo_a, memo_b = {}, {}
+        assert proc_hash(a, "f", memo_a) != proc_hash(b, "f", memo_b)
+        # The memo returns the cached digest on re-query.
+        assert proc_hash(a, "f", memo_a) == memo_a["f"]
+
+
+class TestKeys:
+    def test_pure_key_covers_salt(self):
+        assert pure_key("abc", "salt1") != pure_key("abc", "salt2")
+        assert pure_key("abc", "s") == pure_key("abc", "s")
+
+    def test_exact_key_covers_args(self):
+        assert exact_key("h", [Lit(1)], None, None, "s") != exact_key(
+            "h", [Lit(2)], None, None, "s"
+        )
+
+    def test_exact_key_covers_memory(self):
+        assert exact_key("h", [], {"a": 1}, None, "s") != exact_key(
+            "h", [], {"a": 2}, None, "s"
+        )
+
+    def test_keys_are_hex(self):
+        key = exact_key("h", [], None, None, "s")
+        assert len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+
+
+class TestEngineSalt:
+    def test_salt_covers_budgets_and_policy(self):
+        from repro.engine.config import EngineConfig
+        from repro.state.symbolic import SymbolicStateModel
+        from repro.targets.while_lang.memory import WhileSymbolicMemory
+
+        sm = SymbolicStateModel(WhileSymbolicMemory())
+        base = engine_salt(sm, EngineConfig())
+        assert engine_salt(sm, EngineConfig()) == base
+        assert engine_salt(sm, EngineConfig(summary_max_paths=7)) != base
+        assert engine_salt(sm, EngineConfig(solver_step_budget=9)) != base
+        relaxed = SymbolicStateModel(
+            WhileSymbolicMemory(), unknown_policy="prune"
+        )
+        assert engine_salt(relaxed, EngineConfig(unknown_policy="prune")) != base
+
+
+class TestUsable:
+    def _summary(self, complete, version=SUMMARY_FORMAT_VERSION):
+        return Summary(
+            proc="f", tier="pure", params=("a",), paths=(),
+            complete=complete, commands=3, format_version=version,
+        )
+
+    def test_complete_usable_everywhere(self):
+        s = self._summary(complete=True)
+        assert s.usable("verify") and s.usable("incorrectness")
+
+    def test_incomplete_only_for_incorrectness(self):
+        s = self._summary(complete=False)
+        assert not s.usable("verify")
+        assert s.usable("incorrectness")
+
+    def test_foreign_format_version_unusable(self):
+        s = self._summary(complete=True, version=SUMMARY_FORMAT_VERSION + 1)
+        assert not s.usable("verify") and not s.usable("incorrectness")
+
+
+class TestHelpers:
+    def test_static_callee(self):
+        assert static_callee(Call("r", Lit("f"), ())) == "f"
+        assert static_callee(Call("r", PVar("x"), ())) is None
+
+    def test_spec_arg_namespace(self):
+        from repro.logic.expr import LVar
+
+        assert spec_arg(0) == LVar("spec_arg_0")
+        assert spec_arg(3) == LVar("spec_arg_3")

@@ -68,6 +68,7 @@ class TestDocsTree:
             "paper-map.md",
             "benchmarks.md",
             "service.md",
+            "summaries.md",
         ):
             assert os.path.exists(os.path.join(DOCS_DIR, name)), name
 
@@ -79,6 +80,7 @@ class TestDocsTree:
             "docs/paper-map.md",
             "docs/benchmarks.md",
             "docs/service.md",
+            "docs/summaries.md",
         ):
             assert target in readme, f"README.md does not link {target}"
 
@@ -90,6 +92,7 @@ class TestDocsTree:
             "benchmarks.md",
             "paper-map.md",
             "service.md",
+            "summaries.md",
         ):
             doc = read_doc(name)
             for match in re.finditer(r"\]\(([a-z\-]+\.md)\)", doc):
@@ -173,6 +176,50 @@ class TestReadmeServiceExample:
         cached = namespace["cached"]
         assert cached is not None
         assert cached.finals_digest == result.finals_digest
+
+
+class TestReadmeCompositionalExample:
+    """The README summaries example must run against the shipped engine."""
+
+    def readme_example_namespace(self):
+        from repro.specs.cache import clear_summary_cache
+
+        readme = read_doc(os.path.join(os.pardir, "README.md"))
+        section = readme.split("## Compositional execution", 1)[1]
+        code = re.search(r"```python\n(.*?)```", section, re.S).group(1)
+        clear_summary_cache()  # cold cache: the comments describe a cold run
+        namespace = {}
+        exec(compile(code, "README.md", "exec"), namespace)
+        return namespace
+
+    def test_example_matches_baseline_and_replays(self):
+        namespace = self.readme_example_namespace()
+        result, baseline = namespace["result"], namespace["baseline"]
+        assert result.verdict == baseline.verdict == "bug"
+        assert result.paths == baseline.paths
+        assert result.stats.summary_replays > 0
+        assert baseline.stats.summary_replays == 0
+        assert result.bugs[0].confirmed
+
+
+class TestSummariesDocExample:
+    """docs/summaries.md's worked example must execute as written.
+
+    The example's own assertions (verdict/paths identity with the
+    baseline, one cold miss, replay engagement, a pure-tier hit on the
+    bus) are the test; exec raises if any fails.
+    """
+
+    def test_worked_example_executes(self):
+        from repro.specs.cache import clear_summary_cache
+
+        doc = read_doc("summaries.md")
+        section = doc.split("## Worked example", 1)[1]
+        code = re.search(r"```python\n(.*?)```", section, re.S).group(1)
+        clear_summary_cache()  # the example asserts cold-run counters
+        namespace = {}
+        exec(compile(code, "summaries.md", "exec"), namespace)
+        assert namespace["result"].stats.summary_replays >= 2
 
 
 class TestReadmeMiniRustExample:

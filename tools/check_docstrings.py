@@ -36,6 +36,7 @@ STRICT_FUNCTION_DIRS = (
     "repro/memlib",
     "repro/targets/rust_like",
     "repro/service",
+    "repro/specs",
 )
 
 
